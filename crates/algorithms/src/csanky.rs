@@ -1,0 +1,283 @@
+//! Csanky's algorithm for the determinant and the matrix inverse as
+//! for-MATLANG[f_/] expressions (Section 4.2, Proposition 4.3, Appendix C.3).
+//!
+//! The construction:
+//!
+//! 1. compute the power sums `p_k = tr(Aᵏ)` for `k = 1..n`,
+//! 2. assemble the lower-triangular Newton system `M·c = −p` whose solution
+//!    is the vector of characteristic-polynomial coefficients
+//!    (`det(λI − A) = λⁿ + c₁λⁿ⁻¹ + ⋯ + cₙ`),
+//! 3. invert the triangular `M` with Lemma C.1 ([`crate::triangular`]),
+//! 4. read off `det(A) = (−1)ⁿ·cₙ` and, via Cayley–Hamilton,
+//!    `A⁻¹ = −(1/cₙ)·(Aⁿ⁻¹ + c₁Aⁿ⁻² + ⋯ + cₙ₋₁I)`.
+//!
+//! The signs and indexing here follow Newton's identities directly (the
+//! paper's Appendix C.3 uses an equivalent but differently-normalised
+//! system).
+
+use crate::order;
+use crate::triangular;
+use matlang_core::Expr;
+
+const S: &str = "_cs_S";
+const ID: &str = "_cs_Id";
+const EMAX: &str = "_cs_emax";
+const COEFFS: &str = "_cs_c";
+
+/// Wraps `body` with `let`-bindings for the order matrix `S≤`, the identity
+/// and `e_max` so they are evaluated only once.
+fn with_context(dim: &str, body: Expr) -> Expr {
+    Expr::let_in(
+        S,
+        order::s_leq(dim),
+        Expr::let_in(
+            ID,
+            order::identity(dim),
+            Expr::let_in(EMAX, order::e_max(dim), body),
+        ),
+    )
+}
+
+/// `e_pow(V, v) = V^{index(v)}` (1-based index):
+/// `Πw. succ(w, v) × V + (1 − succ(w, v)) × e_Id`.
+fn power_of(matrix: Expr, v: Expr, dim: &str) -> Expr {
+    let w = "_cs_pow_w";
+    let cond = order::succ_via(Expr::var(S), Expr::var(w), v);
+    let body = cond
+        .clone()
+        .smul(matrix)
+        .add(Expr::lit(1.0).minus(cond).smul(Expr::var(ID)));
+    Expr::mprod(w, dim, body)
+}
+
+/// `tr(V^{index(v)})` — the power-sum entry for the canonical vector `v`.
+fn power_trace(matrix: Expr, v: Expr, dim: &str) -> Expr {
+    let p = "_cs_ptr_P";
+    let w = "_cs_ptr_w";
+    Expr::let_in(
+        p,
+        power_of(matrix, v, dim),
+        Expr::sum(w, dim, Expr::var(w).t().mm(Expr::var(p)).mm(Expr::var(w))),
+    )
+}
+
+/// The power-sum vector `p = (tr(A¹), …, tr(Aⁿ))ᵀ`.
+fn power_sums(matrix: &str, dim: &str) -> Expr {
+    let v = "_cs_ps_v";
+    Expr::sum(
+        v,
+        dim,
+        power_trace(Expr::var(matrix), Expr::var(v), dim).smul(Expr::var(v)),
+    )
+}
+
+/// The index of a canonical vector as a scalar: `idx(v) = Σw. succ(w, v)`
+/// (1-based).
+fn index_of(v: Expr, dim: &str) -> Expr {
+    let w = "_cs_idx_w";
+    Expr::sum(w, dim, order::succ_via(Expr::var(S), Expr::var(w), v))
+}
+
+/// The Newton-identity matrix `M` with `M[k][k] = k` and `M[k][j] = p_{k−j}`
+/// for `j < k`, built as `Σv. idx(v)×v·vᵀ + Σv. (Next^{idx(v)}·p)·vᵀ`.
+fn newton_matrix(matrix: &str, dim: &str) -> Expr {
+    let p = "_cs_nm_p";
+    let v = "_cs_nm_v";
+    let diagonal = Expr::sum(
+        v,
+        dim,
+        index_of(Expr::var(v), dim).smul(Expr::var(v).mm(Expr::var(v).t())),
+    );
+    let shifted = Expr::sum(
+        v,
+        dim,
+        order::shift_down(Expr::var(p), Expr::var(v), dim).mm(Expr::var(v).t()),
+    );
+    Expr::let_in(p, power_sums(matrix, dim), diagonal.add(shifted))
+}
+
+/// Proposition 4.3 (step) — the coefficients `c = (c₁, …, cₙ)ᵀ` of the
+/// characteristic polynomial `det(λI − A) = λⁿ + c₁λⁿ⁻¹ + ⋯ + cₙ`,
+/// computed as `c = −M⁻¹·p` using the triangular inversion of Lemma C.1.
+pub fn char_poly_coeffs(matrix: &str, dim: &str) -> Expr {
+    with_context(dim, char_poly_coeffs_inner(matrix, dim))
+}
+
+fn char_poly_coeffs_inner(matrix: &str, dim: &str) -> Expr {
+    let m = "_cs_cc_M";
+    Expr::let_in(
+        m,
+        newton_matrix(matrix, dim),
+        Expr::lit(-1.0).smul(
+            triangular::lower_triangular_inverse(Expr::var(m), dim).mm(power_sums(matrix, dim)),
+        ),
+    )
+}
+
+/// Proposition 4.3 — `e_det(V)`: the determinant `det(A) = (−1)ⁿ·cₙ`.
+pub fn determinant(matrix: &str, dim: &str) -> Expr {
+    let sign = Expr::mprod("_cs_det_w", dim, Expr::lit(-1.0));
+    let body = Expr::let_in(
+        COEFFS,
+        char_poly_coeffs_inner(matrix, dim),
+        sign.smul(Expr::var(EMAX).t().mm(Expr::var(COEFFS))),
+    );
+    with_context(dim, body)
+}
+
+/// `A^{n−1−index(v)}` (Appendix C.3's `e_invPow`):
+/// `Πw. (1 − max(w)) × ((1 − succ(w, v)) × V + succ(w, v) × e_Id) + max(w) × e_Id`.
+fn complement_power(matrix: Expr, v: Expr, dim: &str) -> Expr {
+    let w = "_cs_ip_w";
+    let is_last = Expr::var(w).t().mm(Expr::var(EMAX));
+    let cond = order::succ_via(Expr::var(S), Expr::var(w), v);
+    let inner = Expr::lit(1.0)
+        .minus(cond.clone())
+        .smul(matrix)
+        .add(cond.smul(Expr::var(ID)));
+    let body = Expr::lit(1.0)
+        .minus(is_last.clone())
+        .smul(inner)
+        .add(is_last.smul(Expr::var(ID)));
+    Expr::mprod(w, dim, body)
+}
+
+/// `Aⁿ⁻¹`: `Πw. (1 − max(w)) × V + max(w) × e_Id`.
+fn power_n_minus_one(matrix: Expr, dim: &str) -> Expr {
+    let w = "_cs_pn_w";
+    let is_last = Expr::var(w).t().mm(Expr::var(EMAX));
+    let body = Expr::lit(1.0)
+        .minus(is_last.clone())
+        .smul(matrix)
+        .add(is_last.smul(Expr::var(ID)));
+    Expr::mprod(w, dim, body)
+}
+
+/// Proposition 4.3 — `e_inv(V)`: the inverse of an invertible matrix via
+/// Cayley–Hamilton, `A⁻¹ = −(1/cₙ)·(Aⁿ⁻¹ + Σ_{i=1}^{n−1} cᵢ·Aⁿ⁻¹⁻ⁱ)`.
+pub fn inverse(matrix: &str, dim: &str) -> Expr {
+    let v = "_cs_inv_v";
+    let c_n = Expr::var(EMAX).t().mm(Expr::var(COEFFS));
+    let not_last = Expr::lit(1.0).minus(Expr::var(v).t().mm(Expr::var(EMAX)));
+    let coeff = Expr::var(v).t().mm(Expr::var(COEFFS));
+    let summand = not_last.smul(coeff.smul(complement_power(Expr::var(matrix), Expr::var(v), dim)));
+    let series = power_n_minus_one(Expr::var(matrix), dim).add(Expr::sum(v, dim, summand));
+    let scale = Expr::lit(-1.0).smul(Expr::apply("div", vec![Expr::lit(1.0), c_n]));
+    let body = Expr::let_in(COEFFS, char_poly_coeffs_inner(matrix, dim), scale.smul(series));
+    with_context(dim, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::helpers::{square_instance, standard_registry};
+    use matlang_core::{evaluate, fragment_of, typecheck, Fragment, MatrixType, Schema};
+    use matlang_matrix::{random_invertible, Matrix};
+    use matlang_semiring::Real;
+
+    fn eval(e: &Expr, a: &Matrix<Real>) -> Matrix<Real> {
+        let inst = square_instance("A", "n", a.clone());
+        evaluate(e, &inst, &standard_registry()).unwrap()
+    }
+
+    fn m(rows: &[&[f64]]) -> Matrix<Real> {
+        Matrix::from_f64_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn expressions_typecheck() {
+        let schema = Schema::new().with_var("A", MatrixType::square("n"));
+        assert_eq!(
+            typecheck(&char_poly_coeffs("A", "n"), &schema).unwrap(),
+            MatrixType::vector("n")
+        );
+        assert_eq!(
+            typecheck(&determinant("A", "n"), &schema).unwrap(),
+            MatrixType::scalar()
+        );
+        assert_eq!(
+            typecheck(&inverse("A", "n"), &schema).unwrap(),
+            MatrixType::square("n")
+        );
+        assert_eq!(fragment_of(&inverse("A", "n")), Fragment::ForMatlang);
+    }
+
+    #[test]
+    fn char_poly_coefficients_of_a_diagonal_matrix() {
+        // det(λI − diag(1,2)) = λ² − 3λ + 2 ⇒ c = (−3, 2).
+        let a = m(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let c = eval(&char_poly_coeffs("A", "n"), &a);
+        assert!(c.approx_eq(&m(&[&[-3.0], &[2.0]]), 1e-9));
+    }
+
+    #[test]
+    fn char_poly_matches_baseline_on_random_matrices() {
+        for seed in 0..3 {
+            let a: Matrix<Real> = random_invertible(4, seed);
+            let expr_c = eval(&char_poly_coeffs("A", "n"), &a);
+            let base_c = baseline::char_poly_coeffs(&a).unwrap();
+            for (i, expected) in base_c.iter().enumerate() {
+                let got = expr_c.get(i, 0).unwrap().0;
+                assert!(
+                    (got - expected.0).abs() < 1e-6,
+                    "coefficient {i} differs: {got} vs {} (seed {seed})",
+                    expected.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_matches_gaussian_elimination() {
+        let a = m(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let d = eval(&determinant("A", "n"), &a).as_scalar().unwrap().0;
+        assert!((d - 5.0).abs() < 1e-9);
+
+        for seed in 10..13 {
+            let a: Matrix<Real> = random_invertible(4, seed);
+            let d_expr = eval(&determinant("A", "n"), &a).as_scalar().unwrap().0;
+            let d_base = a.determinant().unwrap().0;
+            let scale = d_expr.abs().max(d_base.abs()).max(1.0);
+            assert!((d_expr - d_base).abs() / scale < 1e-6, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn determinant_of_singular_matrix_is_zero() {
+        let a = m(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let d = eval(&determinant("A", "n"), &a).as_scalar().unwrap().0;
+        assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_matches_gauss_jordan() {
+        for seed in 0..3 {
+            let a: Matrix<Real> = random_invertible(4, seed);
+            let inv_expr = eval(&inverse("A", "n"), &a);
+            let inv_base = a.inverse().unwrap();
+            assert!(inv_expr.approx_eq(&inv_base, 1e-6), "seed {seed}");
+            assert!(a
+                .matmul(&inv_expr)
+                .unwrap()
+                .approx_eq(&Matrix::identity(4), 1e-6));
+        }
+    }
+
+    #[test]
+    fn inverse_of_a_two_by_two_is_exact() {
+        let a = m(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = eval(&inverse("A", "n"), &a);
+        let expected = m(&[&[0.6, -0.7], &[-0.2, 0.4]]);
+        assert!(inv.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn inverse_of_one_by_one_matrix() {
+        let a = m(&[&[5.0]]);
+        let inv = eval(&inverse("A", "n"), &a);
+        assert!(inv.approx_eq(&m(&[&[0.2]]), 1e-12));
+        let d = eval(&determinant("A", "n"), &a).as_scalar().unwrap().0;
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,283 @@
+//! LU and PLU decomposition in for-MATLANG (Section 4.1, Propositions 4.1 and
+//! 4.2, Appendix C.1/C.2).
+//!
+//! The construction reduces the columns of `A` one by one: iteration `i`
+//! multiplies the current matrix by `Tᵢ = I + cᵢ·bᵢᵀ` where
+//! `cᵢ = (0, …, 0, −A_{i+1,i}/A_{ii}, …, −A_{n,i}/A_{ii})ᵀ`, so that after
+//! all iterations `Tₙ⋯T₁·A = U` is upper triangular and `L = (Tₙ⋯T₁)⁻¹` is
+//! unit lower triangular.  With pivoting, a permutation `P = I − u·uᵀ`
+//! (swapping the pivot row into place) is interleaved, giving
+//! `L⁻¹·P·A = U`.
+//!
+//! All expressions require `MATLANG[f_/]` (and `f_{>0}` for pivoting) over an
+//! ordered field, exactly as stated in the paper.
+
+use crate::order;
+use matlang_core::{Expr, MatrixType};
+
+const SLT: &str = "_lu_Slt";
+const SLEQ: &str = "_lu_Sleq";
+const ID: &str = "_lu_Id";
+const EMAX: &str = "_lu_emax";
+
+/// Wraps `body` with `let`-bindings for the order matrices, the identity and
+/// `e_max`, so that these loop-built helpers are evaluated once instead of
+/// once per inner-loop iteration.
+fn with_order_context(dim: &str, body: Expr) -> Expr {
+    Expr::let_in(
+        ID,
+        order::identity(dim),
+        Expr::let_in(
+            SLT,
+            order::s_lt(dim),
+            Expr::let_in(
+                SLEQ,
+                order::s_leq(dim),
+                Expr::let_in(EMAX, order::e_max(dim), body),
+            ),
+        ),
+    )
+}
+
+/// `col(V, y)` — the `y`-th column of `target` with every entry at row index
+/// ≤ index(y) zeroed out (Section 4.1):
+/// `for v, X. succ⁺(y, v) × (vᵀ·V·y) × v + X`.
+fn column_below(target: Expr, y: Expr, dim: &str) -> Expr {
+    let v = "_lu_col_v";
+    let x = "_lu_col_x";
+    let cond = Expr::var(v).t().mm(Expr::var(SLT).t()).mm(y.clone());
+    // succ⁺(y, v) = yᵀ·S<·v = (vᵀ·S<ᵀ·y); written with v on the left so the
+    // result is 1×1 regardless of how `y` is parenthesised.
+    let entry = Expr::var(v).t().mm(target).mm(y);
+    let body = cond.smul(entry.smul(Expr::var(v))).add(Expr::var(x));
+    Expr::for_loop(v, dim, x, MatrixType::vector(dim), body)
+}
+
+/// Like [`column_below`] but keeping entries at row index ≥ index(y)
+/// (the pivot-search variant `coleq` of Appendix C.2).
+fn column_at_or_below(target: Expr, y: Expr, dim: &str) -> Expr {
+    let v = "_lu_ceq_v";
+    let x = "_lu_ceq_x";
+    let cond = Expr::var(v).t().mm(Expr::var(SLEQ).t()).mm(y.clone());
+    let entry = Expr::var(v).t().mm(target).mm(y);
+    let body = cond.smul(entry.smul(Expr::var(v))).add(Expr::var(x));
+    Expr::for_loop(v, dim, x, MatrixType::vector(dim), body)
+}
+
+/// `reduce(V, y) := e_Id + f_/(col(V, y), −(yᵀ·V·y)·1(y)) · yᵀ` — the
+/// elimination matrix `Tᵢ` for the column indicated by `y` (Section 4.1).
+fn reduce(target: Expr, y: Expr, dim: &str) -> Expr {
+    let pivot = y.clone().t().mm(target.clone()).mm(y.clone());
+    let denominator = Expr::lit(-1.0).smul(pivot).smul(y.clone().ones());
+    let c = Expr::apply("div", vec![column_below(target, y.clone(), dim), denominator]);
+    Expr::var(ID).add(c.mm(y.t()))
+}
+
+/// The pivoting variant of `reduce` (Appendix C.2): when the pivot
+/// `yᵀ·V·y` is zero the elimination step is skipped (the identity is
+/// returned), and the division is guarded so it never divides by zero.
+fn reduce_with_guard(target: Expr, y: Expr, dim: &str) -> Expr {
+    let pivot = y.clone().t().mm(target.clone()).mm(y.clone());
+    let pivot_nonzero = Expr::apply("gt0", vec![pivot.clone().mm(pivot.clone())]);
+    let guard_off = Expr::lit(1.0).minus(pivot_nonzero.clone());
+    let denominator = Expr::lit(-1.0)
+        .smul(pivot)
+        .smul(y.clone().ones())
+        .add(guard_off.smul(y.clone().ones()));
+    let c = Expr::apply("div", vec![column_below(target, y.clone(), dim), denominator]);
+    Expr::var(ID).add(pivot_nonzero.smul(c.mm(y.t())))
+}
+
+/// `neq(a, u)` (Appendix C.2): the first canonical vector `b_j` such that
+/// `a_j ≠ 0`, or `u` itself when `a` is the zero vector.
+fn first_nonzero_or(a: Expr, u: Expr, dim: &str) -> Expr {
+    let v = "_lu_neq_v";
+    let x = "_lu_neq_x";
+    let not_found = Expr::lit(1.0).minus(Expr::var(v).ones().t().mm(Expr::var(x)));
+    let entry = Expr::var(v).t().mm(a);
+    let hit = Expr::apply("gt0", vec![entry.clone().mm(entry)]);
+    let miss = Expr::lit(1.0).minus(hit.clone());
+    let is_last = Expr::var(v).t().mm(Expr::var(EMAX));
+    let body = Expr::var(x)
+        .add(not_found.clone().smul(hit.smul(Expr::var(v))))
+        .add(is_last.smul(not_found.smul(miss.smul(u))));
+    Expr::for_loop(v, dim, x, MatrixType::vector(dim), body)
+}
+
+/// `e_P(V, u)` (Appendix C.2): the row-interchange permutation
+/// `P = I − d·dᵀ` with `d = u − neq(coleq(V, u), u)`, i.e. the permutation
+/// that swaps the row of `u` with the first row at-or-below it holding a
+/// non-zero entry of column `u` (the identity when no pivot is needed or none
+/// exists).
+fn pivot_permutation(target: Expr, u: Expr, dim: &str) -> Expr {
+    let found = first_nonzero_or(column_at_or_below(target, u.clone(), dim), u.clone(), dim);
+    let d = "_lu_piv_d";
+    Expr::let_in(
+        d,
+        u.minus(found),
+        Expr::var(ID).add(Expr::lit(-1.0).smul(Expr::var(d).mm(Expr::var(d).t()))),
+    )
+}
+
+/// Proposition 4.1 — `e_{L⁻¹}(V)`: the product `Tₙ⋯T₁ = L⁻¹` for an
+/// LU-factorizable matrix bound to the variable `matrix`.
+pub fn l_inverse(matrix: &str, dim: &str) -> Expr {
+    let y = "_lu_y";
+    let x = "_lu_X";
+    let body = reduce(Expr::var(x).mm(Expr::var(matrix)), Expr::var(y), dim).mm(Expr::var(x));
+    with_order_context(
+        dim,
+        Expr::for_init(y, dim, x, MatrixType::square(dim), Expr::var(ID), body),
+    )
+}
+
+/// Proposition 4.1 — `e_U(V) = e_{L⁻¹}(V)·V`: the upper-triangular factor.
+pub fn upper_factor(matrix: &str, dim: &str) -> Expr {
+    l_inverse(matrix, dim).mm(Expr::var(matrix))
+}
+
+/// Proposition 4.1 — `e_L(V)`: the unit lower-triangular factor, obtained by
+/// inverting `e_{L⁻¹}(V)` with the triangular inversion of Lemma C.1.
+///
+/// Note: Appendix C.1 of the paper suggests the shortcut
+/// `L = −1 × L⁻¹ + 2 × e_Id`, but that identity only holds when the
+/// elimination matrices commute (it fails already for generic 3×3 inputs
+/// because `L⁻¹ = Tₙ⋯T₁` picks up cross terms); inverting the unit
+/// lower-triangular `L⁻¹` is both correct and still inside for-MATLANG[f_/].
+pub fn lower_factor(matrix: &str, dim: &str) -> Expr {
+    crate::triangular::lower_triangular_inverse(l_inverse(matrix, dim), dim)
+}
+
+/// Proposition 4.2 — `e_{L⁻¹P}(V)`: the accumulated `L⁻¹·P` of
+/// LU-decomposition *with* row pivoting; works on any square matrix.
+pub fn l_inverse_pivoted(matrix: &str, dim: &str) -> Expr {
+    let y = "_lu_py";
+    let x = "_lu_pX";
+    let p = "_lu_P";
+    let body = Expr::let_in(
+        p,
+        pivot_permutation(Expr::var(x).mm(Expr::var(matrix)), Expr::var(y), dim),
+        reduce_with_guard(
+            Expr::var(p).mm(Expr::var(x)).mm(Expr::var(matrix)),
+            Expr::var(y),
+            dim,
+        )
+        .mm(Expr::var(p))
+        .mm(Expr::var(x)),
+    );
+    with_order_context(
+        dim,
+        Expr::for_init(y, dim, x, MatrixType::square(dim), Expr::var(ID), body),
+    )
+}
+
+/// Proposition 4.2 — `e_U(V) = e_{L⁻¹P}(V)·V`: the upper-triangular factor of
+/// the pivoted decomposition, satisfying `L⁻¹·P·A = U`.
+pub fn upper_factor_pivoted(matrix: &str, dim: &str) -> Expr {
+    l_inverse_pivoted(matrix, dim).mm(Expr::var(matrix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::helpers::{square_instance, standard_registry};
+    use matlang_core::{evaluate, fragment_of, typecheck, Fragment, MatrixType as MT, Schema};
+    use matlang_matrix::{random_invertible, Matrix};
+    use matlang_semiring::Real;
+
+    fn eval(e: &Expr, a: &Matrix<Real>) -> Matrix<Real> {
+        let inst = square_instance("A", "n", a.clone());
+        evaluate(e, &inst, &standard_registry()).unwrap()
+    }
+
+    /// Upper-triangularity up to floating-point residue from the eliminations.
+    fn approx_upper(m: &Matrix<Real>) -> bool {
+        m.iter_entries().all(|(i, j, v)| j >= i || v.0.abs() < 1e-8)
+    }
+
+    /// Lower-triangularity up to floating-point residue.
+    fn approx_lower(m: &Matrix<Real>) -> bool {
+        m.iter_entries().all(|(i, j, v)| j <= i || v.0.abs() < 1e-8)
+    }
+
+    #[test]
+    fn lu_expressions_typecheck_and_are_for_matlang() {
+        let schema = Schema::new().with_var("A", MT::square("n"));
+        for e in [
+            l_inverse("A", "n"),
+            upper_factor("A", "n"),
+            lower_factor("A", "n"),
+            l_inverse_pivoted("A", "n"),
+            upper_factor_pivoted("A", "n"),
+        ] {
+            assert_eq!(typecheck(&e, &schema).unwrap(), MT::square("n"));
+            assert_eq!(fragment_of(&e), Fragment::ForMatlang);
+        }
+    }
+
+    #[test]
+    fn lu_decomposition_matches_baseline_on_factorizable_matrices() {
+        for seed in 0..4 {
+            let a: Matrix<Real> = random_invertible(5, seed);
+            let l = eval(&lower_factor("A", "n"), &a);
+            let u = eval(&upper_factor("A", "n"), &a);
+            assert!(approx_lower(&l), "L not lower triangular (seed {seed})");
+            assert!(approx_upper(&u), "U not upper triangular (seed {seed})");
+            assert!(
+                l.matmul(&u).unwrap().approx_eq(&a, 1e-6),
+                "L·U ≠ A for seed {seed}"
+            );
+            let (bl, bu) = baseline::lu_decompose(&a).unwrap();
+            assert!(l.approx_eq(&bl, 1e-6), "L differs from baseline (seed {seed})");
+            assert!(u.approx_eq(&bu, 1e-6), "U differs from baseline (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn l_inverse_times_l_is_identity() {
+        let a: Matrix<Real> = random_invertible(4, 99);
+        let l = eval(&lower_factor("A", "n"), &a);
+        let l_inv = eval(&l_inverse("A", "n"), &a);
+        assert!(l_inv
+            .matmul(&l)
+            .unwrap()
+            .approx_eq(&Matrix::identity(4), 1e-6));
+    }
+
+    #[test]
+    fn pivoted_lu_handles_zero_pivots() {
+        let a: Matrix<Real> = Matrix::from_f64_rows(&[
+            &[0.0, 1.0, 2.0],
+            &[1.0, 0.0, 3.0],
+            &[4.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let m = eval(&l_inverse_pivoted("A", "n"), &a);
+        let u = eval(&upper_factor_pivoted("A", "n"), &a);
+        assert!(approx_upper(&u), "U not upper triangular: {u:?}");
+        assert!(m.matmul(&a).unwrap().approx_eq(&u, 1e-9));
+        // |det(L⁻¹·P)| = 1, so |det U| = |det A|.
+        let det_a = a.determinant().unwrap().0.abs();
+        let det_u = u.determinant().unwrap().0.abs();
+        assert!((det_a - det_u).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivoted_lu_reduces_to_plain_lu_when_no_pivoting_is_needed() {
+        let a: Matrix<Real> = random_invertible(4, 7);
+        let m_plain = eval(&l_inverse("A", "n"), &a);
+        let m_pivot = eval(&l_inverse_pivoted("A", "n"), &a);
+        assert!(m_plain.approx_eq(&m_pivot, 1e-9));
+    }
+
+    #[test]
+    fn pivoted_lu_handles_singular_matrices() {
+        let a: Matrix<Real> =
+            Matrix::from_f64_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let u = eval(&upper_factor_pivoted("A", "n"), &a);
+        assert!(approx_upper(&u));
+        let m = eval(&l_inverse_pivoted("A", "n"), &a);
+        assert!(m.matmul(&a).unwrap().approx_eq(&u, 1e-9));
+    }
+}

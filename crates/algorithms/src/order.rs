@@ -1,0 +1,349 @@
+//! Order machinery on canonical vectors (Section 3.2 and Appendix B.1).
+//!
+//! The `for` operator iterates over canonical vectors in a fixed order, which
+//! makes an order relation definable *inside* the language.  This module
+//! builds, as for-MATLANG expressions:
+//!
+//! * `e_Id` — the identity matrix (as `Σv. v·vᵀ`),
+//! * `e_max` / `e_min` — the last / first canonical vector,
+//! * `S≤` / `S<` — the order matrices with `bᵢᵀ·S≤·bⱼ = 1` iff `i ≤ j`,
+//! * `succ` / `succ⁺` — the corresponding predicates on two vector
+//!   expressions,
+//! * `Prev` / `Next` — the shift matrices with `Prev·bᵢ = bᵢ₋₁`,
+//! * `min(u)` / `max(u)` — first/last canonical vector tests, and
+//! * `Nextʲ` ("get-next-matrix") used to shift vectors by a data-dependent
+//!   amount in Csanky's algorithm.
+//!
+//! These constructions use the literal constants `1` and `−1` and therefore
+//! require the annotation semiring to be (at least) a commutative ring; the
+//! paper likewise defines them over the reals.
+
+use matlang_core::{Expr, MatrixType};
+
+/// Prefix used for the bound variables introduced by this module, chosen so
+/// that they cannot collide with user variables in practice.
+const P: &str = "_ord";
+
+/// The identity matrix `e_Id := Σv. v·vᵀ` (a sum-MATLANG expression).
+pub fn identity(dim: &str) -> Expr {
+    let v = format!("{P}_id_v");
+    Expr::sum(&v, dim, Expr::var(&v).mm(Expr::var(&v).t()))
+}
+
+/// The last canonical vector `e_max := for v, X. v` (Section 3.2).
+pub fn e_max(dim: &str) -> Expr {
+    let v = format!("{P}_mx_v");
+    let x = format!("{P}_mx_x");
+    Expr::for_loop(&v, dim, &x, MatrixType::vector(dim), Expr::var(&v))
+}
+
+/// The predicate `max(u) = uᵀ·e_max`: `1` iff `u` is the last canonical
+/// vector.
+pub fn max_pred(u: Expr, dim: &str) -> Expr {
+    u.t().mm(e_max(dim))
+}
+
+/// The `Prev` shift matrix (Appendix B.1):
+/// `Prev·bᵢ = bᵢ₋₁` for `i > 1` and `Prev·b₁ = 0`.
+///
+/// `e_Prev := for v, X. X + (1 − max(v))×v·e_maxᵀ − (X·e_max)·e_maxᵀ + (X·e_max)·vᵀ`.
+pub fn prev_matrix(dim: &str) -> Expr {
+    let em = format!("{P}_prev_emax");
+    let v = format!("{P}_prev_v");
+    let x = format!("{P}_prev_x");
+    let max_v = Expr::var(&v).t().mm(Expr::var(&em));
+    let scratch = Expr::var(&x).mm(Expr::var(&em));
+    let body = Expr::var(&x)
+        .add(
+            Expr::lit(1.0)
+                .minus(max_v)
+                .smul(Expr::var(&v).mm(Expr::var(&em).t())),
+        )
+        .add(Expr::lit(-1.0).smul(scratch.clone().mm(Expr::var(&em).t())))
+        .add(scratch.mm(Expr::var(&v).t()));
+    Expr::let_in(
+        &em,
+        e_max(dim),
+        Expr::for_loop(&v, dim, &x, MatrixType::square(dim), body),
+    )
+}
+
+/// The `Next` shift matrix: `Next = Prevᵀ`, `Next·bᵢ = bᵢ₊₁` (0 for `i = n`).
+pub fn next_matrix(dim: &str) -> Expr {
+    prev_matrix(dim).t()
+}
+
+/// The predicate `min(u) := 1 − 1(u)ᵀ·Prev·u`: `1` iff `u` is the first
+/// canonical vector (Appendix B.1).
+pub fn min_pred(u: Expr, dim: &str) -> Expr {
+    Expr::lit(1.0).minus(u.clone().ones().t().mm(prev_matrix(dim)).mm(u))
+}
+
+/// The first canonical vector
+/// `e_min := for v, X. X + min(v) × v` (Appendix B.1).
+pub fn e_min(dim: &str) -> Expr {
+    let prev = format!("{P}_min_prev");
+    let v = format!("{P}_min_v");
+    let x = format!("{P}_min_x");
+    let min_v = Expr::lit(1.0).minus(
+        Expr::var(&v)
+            .ones()
+            .t()
+            .mm(Expr::var(&prev))
+            .mm(Expr::var(&v)),
+    );
+    let body = Expr::var(&x).add(min_v.smul(Expr::var(&v)));
+    Expr::let_in(
+        &prev,
+        prev_matrix(dim),
+        Expr::for_loop(&v, dim, &x, MatrixType::vector(dim), body),
+    )
+}
+
+/// The order matrix `S≤` with `bᵢᵀ·S≤·bⱼ = 1` iff `i ≤ j` (Section 3.2).
+///
+/// The construction follows the paper's idea of keeping the running prefix
+/// sum `b₁ + ⋯ + bᵢ` in the *last* column of the accumulator, with one
+/// adjustment: in the final iteration the scratch column coincides with the
+/// real last column of `S≤`, so the install step only adds the missing `bₙ`
+/// (the paper's formula as printed would double-count that column).
+pub fn s_leq(dim: &str) -> Expr {
+    let em = format!("{P}_leq_emax");
+    let v = format!("{P}_leq_v");
+    let x = format!("{P}_leq_x");
+    let is_last = Expr::var(&v).t().mm(Expr::var(&em));
+    let not_last = Expr::lit(1.0).minus(is_last.clone());
+    let scratch = Expr::var(&x).mm(Expr::var(&em));
+    // Column to install at position v: the running prefix sum (scratch + v),
+    // except in the last iteration where the prefix sum minus the leftover
+    // scratch (= just v) is installed.
+    let install = not_last
+        .clone()
+        .smul(scratch.clone().add(Expr::var(&v)))
+        .add(is_last.smul(Expr::var(&v)));
+    let body = Expr::var(&x)
+        .add(install.mm(Expr::var(&v).t()))
+        .add(not_last.smul(Expr::var(&v).mm(Expr::var(&em).t())));
+    Expr::let_in(
+        &em,
+        e_max(dim),
+        Expr::for_loop(&v, dim, &x, MatrixType::square(dim), body),
+    )
+}
+
+/// The strict order matrix `S< = S≤ − I`.
+pub fn s_lt(dim: &str) -> Expr {
+    s_leq(dim).add(Expr::lit(-1.0).smul(identity(dim)))
+}
+
+/// `succ(u, v) := uᵀ·S≤·v`: `1` iff the index of `u` is ≤ the index of `v`.
+pub fn succ(u: Expr, v: Expr, dim: &str) -> Expr {
+    succ_via(s_leq(dim), u, v)
+}
+
+/// `succ⁺(u, v) := uᵀ·S<·v`: `1` iff the index of `u` is < the index of `v`.
+pub fn succ_strict(u: Expr, v: Expr, dim: &str) -> Expr {
+    succ_via(s_lt(dim), u, v)
+}
+
+/// `uᵀ·S·v` for an already-built (typically `let`-bound) order matrix `S`.
+/// Using this avoids re-evaluating the `S≤` loop inside other loops.
+pub fn succ_via(order_matrix: Expr, u: Expr, v: Expr) -> Expr {
+    u.t().mm(order_matrix).mm(v)
+}
+
+/// `Nextʲ` where `j` is the index of the canonical vector denoted by `v`
+/// (Appendix B.1's `e_getNextMatrix`):
+/// `Πw. succ(w, v) × Next + (1 − succ(w, v)) × e_Id`.
+pub fn next_matrix_pow(v: Expr, dim: &str) -> Expr {
+    let s = format!("{P}_gnm_s");
+    let nx = format!("{P}_gnm_next");
+    let id = format!("{P}_gnm_id");
+    let w = format!("{P}_gnm_w");
+    let cond = succ_via(Expr::var(&s), Expr::var(&w), v);
+    let body = cond
+        .clone()
+        .smul(Expr::var(&nx))
+        .add(Expr::lit(1.0).minus(cond).smul(Expr::var(&id)));
+    Expr::let_in(
+        &s,
+        s_leq(dim),
+        Expr::let_in(
+            &nx,
+            next_matrix(dim),
+            Expr::let_in(&id, identity(dim), Expr::mprod(&w, dim, body)),
+        ),
+    )
+}
+
+/// `Prevʲ` where `j` is the index of the canonical vector denoted by `v`
+/// (Appendix B.1's `e_getPrevMatrix`).
+pub fn prev_matrix_pow(v: Expr, dim: &str) -> Expr {
+    let s = format!("{P}_gpm_s");
+    let pv = format!("{P}_gpm_prev");
+    let id = format!("{P}_gpm_id");
+    let w = format!("{P}_gpm_w");
+    let cond = succ_via(Expr::var(&s), Expr::var(&w), v);
+    let body = cond
+        .clone()
+        .smul(Expr::var(&pv))
+        .add(Expr::lit(1.0).minus(cond).smul(Expr::var(&id)));
+    Expr::let_in(
+        &s,
+        s_leq(dim),
+        Expr::let_in(
+            &pv,
+            prev_matrix(dim),
+            Expr::let_in(&id, identity(dim), Expr::mprod(&w, dim, body)),
+        ),
+    )
+}
+
+/// Shift a vector expression `a` down by the index of the canonical vector
+/// `v`: `Nextʲ·a`, i.e. `(a₁, …, aₙ) ↦ (0, …, 0, a₁, …, aₙ₋ⱼ)`.  This is the
+/// paper's `e_shift` (Appendix C.3), simplified using
+/// `Σw.(wᵀ·a)×(Nextʲ·w) = Nextʲ·a`.
+pub fn shift_down(a: Expr, v: Expr, dim: &str) -> Expr {
+    next_matrix_pow(v, dim).mm(a)
+}
+
+/// The `i`-th canonical vector (0-indexed) as the expression `Nextⁱ·e_min`
+/// (Appendix B.1's `e_{min+i}`).
+pub fn e_min_plus(i: usize, dim: &str) -> Expr {
+    let mut e = e_min(dim);
+    for _ in 0..i {
+        e = next_matrix(dim).mm(e);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::{square_instance, standard_registry};
+    use matlang_core::evaluate;
+    use matlang_matrix::Matrix;
+    use matlang_semiring::Real;
+
+    fn eval(e: &Expr, n: usize) -> Matrix<Real> {
+        // The order expressions only need a dimension, but we also bind a
+        // dummy square matrix so the same helper can be reused everywhere.
+        let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n));
+        evaluate(e, &inst, &standard_registry()).unwrap()
+    }
+
+    #[test]
+    fn identity_expression_evaluates_to_identity() {
+        for n in 1..=5 {
+            assert_eq!(eval(&identity("n"), n), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn e_max_and_e_min_are_the_extremal_canonical_vectors() {
+        for n in 1..=5 {
+            assert_eq!(eval(&e_max("n"), n), Matrix::canonical(n, n - 1).unwrap());
+            assert_eq!(eval(&e_min("n"), n), Matrix::canonical(n, 0).unwrap());
+        }
+    }
+
+    #[test]
+    fn prev_and_next_matrices_match_the_shift_matrices() {
+        for n in 1..=5 {
+            assert_eq!(eval(&prev_matrix("n"), n), Matrix::shift_prev(n));
+            assert_eq!(eval(&next_matrix("n"), n), Matrix::shift_next(n));
+        }
+    }
+
+    #[test]
+    fn s_leq_and_s_lt_match_the_order_matrices() {
+        for n in 1..=6 {
+            assert_eq!(eval(&s_leq("n"), n), Matrix::order_leq(n), "S≤ failed for n={n}");
+            assert_eq!(eval(&s_lt("n"), n), Matrix::order_lt(n), "S< failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn succ_predicates_compare_canonical_vector_indices() {
+        let n = 4;
+        for i in 0..n {
+            for j in 0..n {
+                let u = Expr::var("u");
+                let v = Expr::var("v");
+                let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n))
+                    .with_matrix("u", Matrix::canonical(n, i).unwrap())
+                    .with_matrix("v", Matrix::canonical(n, j).unwrap());
+                let leq = evaluate(&succ(u.clone(), v.clone(), "n"), &inst, &standard_registry())
+                    .unwrap()
+                    .as_scalar()
+                    .unwrap();
+                let lt = evaluate(&succ_strict(u, v, "n"), &inst, &standard_registry())
+                    .unwrap()
+                    .as_scalar()
+                    .unwrap();
+                assert_eq!(leq.0, if i <= j { 1.0 } else { 0.0 });
+                assert_eq!(lt.0, if i < j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn min_and_max_predicates() {
+        let n = 4;
+        for i in 0..n {
+            let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n))
+                .with_matrix("u", Matrix::canonical(n, i).unwrap());
+            let mx = evaluate(&max_pred(Expr::var("u"), "n"), &inst, &standard_registry())
+                .unwrap()
+                .as_scalar()
+                .unwrap();
+            let mn = evaluate(&min_pred(Expr::var("u"), "n"), &inst, &standard_registry())
+                .unwrap()
+                .as_scalar()
+                .unwrap();
+            assert_eq!(mx.0, if i == n - 1 { 1.0 } else { 0.0 });
+            assert_eq!(mn.0, if i == 0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn next_matrix_pow_shifts_by_the_index() {
+        let n = 4;
+        for j in 0..n {
+            let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n))
+                .with_matrix("p", Matrix::canonical(n, j).unwrap());
+            let out = evaluate(&next_matrix_pow(Expr::var("p"), "n"), &inst, &standard_registry())
+                .unwrap();
+            assert_eq!(out, Matrix::shift_next(n).pow(j + 1).unwrap(), "Next^{} failed", j + 1);
+            let out_prev =
+                evaluate(&prev_matrix_pow(Expr::var("p"), "n"), &inst, &standard_registry()).unwrap();
+            assert_eq!(out_prev, Matrix::shift_prev(n).pow(j + 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn shift_down_moves_vector_entries() {
+        let n = 4;
+        let a = Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]).unwrap();
+        // Shift by index(p) + 1 = 1 (p = b₁, 0-indexed 0 ⇒ Next¹).
+        let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n))
+            .with_matrix("a", a)
+            .with_matrix("p", Matrix::canonical(n, 0).unwrap());
+        let out = evaluate(
+            &shift_down(Expr::var("a"), Expr::var("p"), "n"),
+            &inst,
+            &standard_registry(),
+        )
+        .unwrap();
+        let expected = Matrix::from_f64_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn e_min_plus_enumerates_canonical_vectors() {
+        let n = 5;
+        for i in 0..n {
+            assert_eq!(eval(&e_min_plus(i, "n"), n), Matrix::canonical(n, i).unwrap());
+        }
+    }
+}

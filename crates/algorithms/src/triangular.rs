@@ -1,0 +1,157 @@
+//! Triangular-matrix machinery (Lemma C.1 of the paper): power sums,
+//! diagonal extraction/inversion and the inversion of non-singular upper or
+//! lower triangular matrices, all as for-MATLANG[f_/] expressions.
+//!
+//! Given an invertible upper-triangular `A = D + T` (diagonal `D`, strictly
+//! upper `T`), `A⁻¹ = (Σᵢ (−D⁻¹T)ⁱ)·D⁻¹` and the sum is finite because
+//! `D⁻¹T` is nilpotent; the finite geometric sum `I + M + ⋯ + Mⁿ` is the
+//! paper's `e_ps`.
+
+use crate::order;
+use matlang_core::Expr;
+
+/// `e_ps(M) := e_Id + Σv. Πw. (succ(w, v) × M + (1 − succ(w, v)) × e_Id)`,
+/// i.e. `I + M + M² + ⋯ + Mⁿ` (Lemma C.1).
+///
+/// `matrix` is an arbitrary square expression; `dim` its size symbol.
+pub fn power_sum(matrix: Expr, dim: &str) -> Expr {
+    let m = "_tri_ps_m";
+    let s = "_tri_ps_s";
+    let id = "_tri_ps_id";
+    let v = "_tri_ps_v";
+    let w = "_tri_ps_w";
+    let cond = order::succ_via(Expr::var(s), Expr::var(w), Expr::var(v));
+    let factor = cond
+        .clone()
+        .smul(Expr::var(m))
+        .add(Expr::lit(1.0).minus(cond).smul(Expr::var(id)));
+    let powers = Expr::sum(v, dim, Expr::mprod(w, dim, factor));
+    Expr::let_in(
+        m,
+        matrix,
+        Expr::let_in(
+            s,
+            order::s_leq(dim),
+            Expr::let_in(id, order::identity(dim), Expr::var(id).add(powers)),
+        ),
+    )
+}
+
+/// `e_getDiag(V) := Σv. (vᵀ·V·v) × v·vᵀ` — the diagonal part of a square
+/// matrix (Lemma C.1).
+pub fn diagonal_part(matrix: Expr, dim: &str) -> Expr {
+    let v = "_tri_gd_v";
+    let entry = Expr::var(v).t().mm(matrix).mm(Expr::var(v));
+    Expr::sum(v, dim, entry.smul(Expr::var(v).mm(Expr::var(v).t())))
+}
+
+/// `e_diagInverse(V) := Σv. f_/(1, vᵀ·V·v) × v·vᵀ` — the diagonal matrix of
+/// entrywise inverses of the diagonal of `V` (Lemma C.1).  Requires every
+/// diagonal entry of `V` to be non-zero.
+pub fn diagonal_inverse(matrix: Expr, dim: &str) -> Expr {
+    let v = "_tri_di_v";
+    let entry = Expr::var(v).t().mm(matrix).mm(Expr::var(v));
+    let inv = Expr::apply("div", vec![Expr::lit(1.0), entry]);
+    Expr::sum(v, dim, inv.smul(Expr::var(v).mm(Expr::var(v).t())))
+}
+
+/// Lemma C.1 — `e_upperDiagInv(V)`: the inverse of an invertible upper
+/// triangular matrix,
+/// `e_ps(−1 × D⁻¹·(V − D)) · D⁻¹` with `D = diag(V)`.
+pub fn upper_triangular_inverse(matrix: Expr, dim: &str) -> Expr {
+    let m = "_tri_ut_m";
+    let dinv = "_tri_ut_dinv";
+    let strict = Expr::var(m).minus(diagonal_part(Expr::var(m), dim));
+    let nilpotent = Expr::lit(-1.0).smul(Expr::var(dinv).mm(strict));
+    let body = power_sum(nilpotent, dim).mm(Expr::var(dinv));
+    Expr::let_in(
+        m,
+        matrix,
+        Expr::let_in(dinv, diagonal_inverse(Expr::var(m), dim), body),
+    )
+}
+
+/// Lemma C.1 — `e_lowerDiagInv(V) := (e_upperDiagInv(Vᵀ))ᵀ`: the inverse of
+/// an invertible lower triangular matrix.
+pub fn lower_triangular_inverse(matrix: Expr, dim: &str) -> Expr {
+    upper_triangular_inverse(matrix.t(), dim).t()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::{square_instance, standard_registry};
+    use matlang_core::{evaluate, fragment_of, Fragment};
+    use matlang_matrix::Matrix;
+    use matlang_semiring::Real;
+
+    fn eval(e: &Expr, a: &Matrix<Real>) -> Matrix<Real> {
+        let inst = square_instance("A", "n", a.clone());
+        evaluate(e, &inst, &standard_registry()).unwrap()
+    }
+
+    fn m(rows: &[&[f64]]) -> Matrix<Real> {
+        Matrix::from_f64_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn power_sum_of_nilpotent_matrix() {
+        // N strictly upper triangular: I + N + N² (+ 0 + ...).
+        let n = m(&[&[0.0, 1.0, 2.0], &[0.0, 0.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let expected = Matrix::identity(3)
+            .add(&n)
+            .unwrap()
+            .add(&n.matmul(&n).unwrap())
+            .unwrap();
+        assert_eq!(eval(&power_sum(Expr::var("A"), "n"), &n), expected);
+    }
+
+    #[test]
+    fn power_sum_of_identity_counts_terms() {
+        // I + I + ... + I (n+1 terms).
+        let id = Matrix::identity(3);
+        let out = eval(&power_sum(Expr::var("A"), "n"), &id);
+        assert_eq!(out, Matrix::identity(3).scalar_mul(&Real(4.0)));
+    }
+
+    #[test]
+    fn diagonal_part_and_inverse() {
+        let a = m(&[&[2.0, 5.0], &[7.0, 4.0]]);
+        assert_eq!(
+            eval(&diagonal_part(Expr::var("A"), "n"), &a),
+            m(&[&[2.0, 0.0], &[0.0, 4.0]])
+        );
+        assert_eq!(
+            eval(&diagonal_inverse(Expr::var("A"), "n"), &a),
+            m(&[&[0.5, 0.0], &[0.0, 0.25]])
+        );
+    }
+
+    #[test]
+    fn upper_triangular_inverse_is_correct() {
+        let u = m(&[&[2.0, 1.0, 3.0], &[0.0, 4.0, 5.0], &[0.0, 0.0, 8.0]]);
+        let inv = eval(&upper_triangular_inverse(Expr::var("A"), "n"), &u);
+        assert!(u.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(inv.is_upper_triangular());
+    }
+
+    #[test]
+    fn lower_triangular_inverse_is_correct() {
+        let l = m(&[&[1.0, 0.0, 0.0], &[2.0, 1.0, 0.0], &[4.0, 3.0, 1.0]]);
+        let inv = eval(&lower_triangular_inverse(Expr::var("A"), "n"), &l);
+        assert!(l.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(inv.is_lower_triangular());
+        // Hand-checked inverse of that unit lower triangular matrix.
+        let expected = m(&[&[1.0, 0.0, 0.0], &[-2.0, 1.0, 0.0], &[2.0, -3.0, 1.0]]);
+        assert!(inv.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn triangular_inverse_expressions_stay_in_for_matlang() {
+        // They only use Σ and Π (plus order matrices built with for), so the
+        // full expression is classified as for-MATLANG because of the order
+        // machinery, but never uses a general accumulator update beyond it.
+        let e = upper_triangular_inverse(Expr::var("A"), "n");
+        assert_eq!(fragment_of(&e), Fragment::ForMatlang);
+    }
+}

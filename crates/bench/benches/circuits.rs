@@ -1,0 +1,86 @@
+//! Experiment E7 — the for-MATLANG ↔ arithmetic-circuit correspondence
+//! (Theorems 5.1 / 5.3).
+//!
+//! Series: per size, (a) time to *compile* a for-MATLANG expression to a
+//! circuit, (b) time to evaluate the compiled circuit, (c) time to evaluate
+//! the original expression with the interpreter, and (d) time to evaluate a
+//! decompiled reference circuit through the interpreter.  Expected shape:
+//! compiled-circuit evaluation beats the interpreter (loops are unrolled away)
+//! at the cost of a one-off compilation that grows with the unrolling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::{graphs, standard_registry};
+use matlang_bench::quick_criterion;
+use matlang_circuits::{circuit_to_expr, expr_to_circuit, CircuitFamily};
+use matlang_core::{evaluate, Instance, MatrixType, Schema};
+use matlang_matrix::{random_matrix, Matrix, RandomMatrixConfig};
+use matlang_semiring::Real;
+
+fn bench_compile_and_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_circuits");
+    let registry = standard_registry::<Real>();
+    let schema = Schema::new().with_var("G", MatrixType::square("n"));
+    let trace = graphs::trace("G", "n");
+    let fw = graphs::transitive_closure_fw("G", "n");
+
+    for &n in &[3usize, 5] {
+        let g: Matrix<Real> = random_matrix(n, n, &RandomMatrixConfig::seeded(5 + n as u64));
+        let instance = Instance::new().with_dim("n", n).with_matrix("G", g);
+
+        group.bench_with_input(BenchmarkId::new("compile-trace", n), &n, |b, _| {
+            b.iter(|| expr_to_circuit(&trace, &schema, n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("compile-floyd-warshall", n), &n, |b, _| {
+            b.iter(|| expr_to_circuit(&fw, &schema, n).unwrap())
+        });
+
+        let trace_circuit = expr_to_circuit(&trace, &schema, n).unwrap();
+        let fw_circuit = expr_to_circuit(&fw, &schema, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("evaluate-circuit-trace", n), &n, |b, _| {
+            b.iter(|| trace_circuit.evaluate(&instance).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate-circuit-floyd-warshall", n), &n, |b, _| {
+            b.iter(|| fw_circuit.evaluate(&instance).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate-interpreter-trace", n), &n, |b, _| {
+            b.iter(|| evaluate(&trace, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("evaluate-interpreter-floyd-warshall", n),
+            &n,
+            |b, _| b.iter(|| evaluate(&fw, &instance, &registry).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decompiled_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_decompiled_circuits");
+    let registry = standard_registry::<Real>();
+    for &n in &[4usize, 8] {
+        let circuit = CircuitFamily::sum_of_squares().member(n);
+        let expr = circuit_to_expr(&circuit, "n");
+        let inputs: Vec<Real> = (0..n).map(|i| Real(i as f64 + 1.0)).collect();
+        let instance: Instance<Real> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("v", Matrix::from_vec(n, 1, inputs.clone()).unwrap());
+
+        group.bench_with_input(BenchmarkId::new("direct-circuit", n), &n, |b, _| {
+            b.iter(|| circuit.evaluate(&inputs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("two-stack-circuit", n), &n, |b, _| {
+            b.iter(|| circuit.evaluate_two_stack(&inputs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decompiled-expression", n), &n, |b, _| {
+            b.iter(|| evaluate(&expr, &instance, &registry).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_compile_and_evaluate, bench_decompiled_circuits
+}
+criterion_main!(benches);

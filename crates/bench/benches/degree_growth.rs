@@ -1,0 +1,77 @@
+//! Experiment E8 — degree growth across fragments (Proposition 6.1 and the
+//! `e_exp` example of Section 5.2).
+//!
+//! Before timing, the harness prints the degree table that reproduces the
+//! paper's qualitative claim: sum-MATLANG expressions compile to circuits of
+//! constant/linear degree, the FO-MATLANG diagonal product to linear degree,
+//! and the repeated-squaring for-MATLANG expression to exponential degree.
+//! The timed series measures the cost of the degree analysis (compilation +
+//! degree computation) per fragment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::graphs;
+use matlang_bench::quick_criterion;
+use matlang_circuits::{expr_to_circuit, CircuitFamily};
+use matlang_core::{Expr, MatrixType, Schema};
+
+fn witness_expressions() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("sum-matlang-trace", graphs::trace("G", "n")),
+        ("sum-matlang-triangles", graphs::triangle_count("G", "n")),
+        ("fo-matlang-diag-product", graphs::diagonal_product("G", "n")),
+        (
+            "for-matlang-repeated-squaring",
+            Expr::for_init(
+                "v",
+                "n",
+                "X",
+                MatrixType::square("n"),
+                Expr::var("G"),
+                Expr::var("X").mm(Expr::var("X")),
+            ),
+        ),
+    ]
+}
+
+fn print_degree_table() {
+    let schema = Schema::new().with_var("G", MatrixType::square("n"));
+    println!("\nE8 degree profile (max output degree of the compiled circuit):");
+    println!("{:<34} {:>6} {:>6} {:>6} {:>6}", "expression", "n=2", "n=3", "n=4", "n=5");
+    for (name, expr) in witness_expressions() {
+        let degrees: Vec<String> = (2..=5)
+            .map(|n| {
+                expr_to_circuit(&expr, &schema, n)
+                    .map(|c| c.max_output_degree().to_string())
+                    .unwrap_or_else(|_| "-".to_string())
+            })
+            .collect();
+        println!(
+            "{:<34} {:>6} {:>6} {:>6} {:>6}",
+            name, degrees[0], degrees[1], degrees[2], degrees[3]
+        );
+    }
+    println!(
+        "reference circuit families        : product-of-inputs degree(n)={:?}, repeated-squaring degree(n)={:?}\n",
+        CircuitFamily::product_of_inputs().degree_profile(5),
+        CircuitFamily::repeated_squaring().degree_profile(5),
+    );
+}
+
+fn bench_degree_analysis(c: &mut Criterion) {
+    print_degree_table();
+    let schema = Schema::new().with_var("G", MatrixType::square("n"));
+    let mut group = c.benchmark_group("E8_degree_analysis");
+    for (name, expr) in witness_expressions() {
+        group.bench_with_input(BenchmarkId::new("compile-and-measure", name), &expr, |b, e| {
+            b.iter(|| expr_to_circuit(e, &schema, 4).unwrap().max_output_degree())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_degree_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Experiment E6 — determinant and inverse via Csanky's algorithm
+//! (Proposition 4.3).
+//!
+//! Series: per matrix size, time for the for-MATLANG Csanky determinant and
+//! inverse versus (a) the Newton-identity baseline and (b) Gaussian
+//! elimination / Gauss–Jordan.  Expected shape: the expression is orders of
+//! magnitude slower (it re-derives matrix powers through Π-loops) but scales
+//! polynomially, matching Corollary 5.4's polynomial-degree bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::{baseline, csanky, standard_registry};
+use matlang_bench::quick_criterion;
+use matlang_core::{evaluate, Instance};
+use matlang_matrix::{random_invertible, Matrix};
+use matlang_semiring::Real;
+
+fn bench_det_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_determinant_inverse");
+    let registry = standard_registry::<Real>();
+    let det = csanky::determinant("A", "n");
+    let inv = csanky::inverse("A", "n");
+
+    for &n in &[3usize, 5] {
+        let a: Matrix<Real> = random_invertible(n, 41 + n as u64);
+        let instance = Instance::new().with_dim("n", n).with_matrix("A", a.clone());
+
+        group.bench_with_input(BenchmarkId::new("for-matlang-csanky-det", n), &n, |b, _| {
+            b.iter(|| evaluate(&det, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("for-matlang-csanky-inverse", n), &n, |b, _| {
+            b.iter(|| evaluate(&inv, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-newton-det", n), &n, |b, _| {
+            b.iter(|| baseline::determinant_via_char_poly(&a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-gaussian-det", n), &n, |b, _| {
+            b.iter(|| a.determinant().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-gauss-jordan-inverse", n), &n, |b, _| {
+            b.iter(|| a.inverse().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_det_inverse
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiments E1 / E10 — Figure 1 witnesses: the 4-clique query
+//! (Example 3.3) in sum-MATLANG versus the brute-force baseline, and the
+//! trace / diagonal-product queries that separate sum-MATLANG from
+//! FO-MATLANG.
+//!
+//! Series: per graph size, evaluation time of the sum-MATLANG 4-clique
+//! expression (O(n⁴) loop iterations in the interpreter) versus the native
+//! enumeration.  Expected shape: both grow polynomially; the interpreter pays
+//! a constant-factor overhead per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::{baseline, graphs, standard_registry};
+use matlang_bench::quick_criterion;
+use matlang_core::{evaluate, Instance};
+use matlang_matrix::{random_adjacency, Matrix};
+use matlang_semiring::Real;
+
+fn symmetric_graph(n: usize, seed: u64) -> Matrix<Real> {
+    let adjacency: Matrix<Real> = random_adjacency(n, 0.5, seed);
+    adjacency
+        .add(&adjacency.transpose())
+        .unwrap()
+        .map(|v| if v.0 > 0.0 { Real(1.0) } else { Real(0.0) })
+}
+
+fn bench_four_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_four_clique");
+    let registry = standard_registry::<Real>();
+    let expr = graphs::four_clique("G", "n");
+    for &n in &[5usize, 7] {
+        let graph = symmetric_graph(n, 13 + n as u64);
+        let instance = Instance::new().with_dim("n", n).with_matrix("G", graph.clone());
+        group.bench_with_input(BenchmarkId::new("sum-matlang-expression", n), &n, |b, _| {
+            b.iter(|| evaluate(&expr, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-enumeration", n), &n, |b, _| {
+            b.iter(|| baseline::has_four_clique(&graph))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragment_witnesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_fragment_witnesses");
+    let registry = standard_registry::<Real>();
+    let n = 12;
+    let graph: Matrix<Real> = random_adjacency(n, 0.4, 99);
+    let instance = Instance::new().with_dim("n", n).with_matrix("G", graph);
+    let witnesses = [
+        ("matlang-gram", Expr::var("G").t().mm(Expr::var("G"))),
+        ("sum-matlang-trace", graphs::trace("G", "n")),
+        ("fo-matlang-diag-product", graphs::diagonal_product("G", "n")),
+        ("prod-matlang-power", Expr::mprod("v", "n", Expr::var("G"))),
+    ];
+    for (name, expr) in witnesses {
+        group.bench_function(name, |b| b.iter(|| evaluate(&expr, &instance, &registry).unwrap()));
+    }
+    group.finish();
+}
+
+use matlang_core::Expr;
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_four_clique, bench_fragment_witnesses
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiment E9 — interpreter micro-benchmarks: the cost of the individual
+//! MATLANG operators and of the loop constructs as the dimension grows.
+//!
+//! Series: per size, evaluation time of a single matrix product, addition,
+//! transpose, pointwise function application, Σ-loop and for-loop, plus the
+//! same matrix product performed directly on `Matrix` values (the
+//! interpretation overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::standard_registry;
+use matlang_bench::{quick_criterion, MICRO_SIZES};
+use matlang_core::{evaluate, Expr, Instance, MatrixType};
+use matlang_matrix::{random_matrix, Matrix, RandomMatrixConfig};
+use matlang_semiring::Real;
+
+fn bench_interpreter_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_interpreter_ops");
+    let registry = standard_registry::<Real>();
+
+    for &n in MICRO_SIZES {
+        let a: Matrix<Real> = random_matrix(n, n, &RandomMatrixConfig::seeded(3 + n as u64));
+        let b: Matrix<Real> = random_matrix(n, n, &RandomMatrixConfig::seeded(4 + n as u64));
+        let instance = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("A", a.clone())
+            .with_matrix("B", b.clone());
+
+        let cases = [
+            ("matmul", Expr::var("A").mm(Expr::var("B"))),
+            ("add", Expr::var("A").add(Expr::var("B"))),
+            ("transpose", Expr::var("A").t()),
+            ("pointwise-div", Expr::apply("div", vec![Expr::var("A"), Expr::var("B")])),
+            (
+                "sigma-trace",
+                Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+            ),
+            (
+                "for-ones-vector",
+                Expr::for_loop(
+                    "v",
+                    "n",
+                    "X",
+                    MatrixType::vector("n"),
+                    Expr::var("X").add(Expr::var("v")),
+                ),
+            ),
+        ];
+        for (name, expr) in cases {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| evaluate(&expr, &instance, &registry).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("native-matmul", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_interpreter_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment E5 — LU and PLU decomposition (Propositions 4.1 and 4.2).
+//!
+//! Series: per matrix size, time to produce the `L`/`U` factors with the
+//! for-MATLANG expressions versus Gaussian elimination in plain Rust.
+//! Expected shape: both polynomial; the expression pays the interpreter
+//! overhead of re-evaluating the order machinery and the column loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::{baseline, lu, standard_registry};
+use matlang_bench::{quick_criterion, SMALL_SIZES};
+use matlang_core::{evaluate, Instance};
+use matlang_matrix::{random_invertible, Matrix};
+use matlang_semiring::Real;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_lu_decomposition");
+    let registry = standard_registry::<Real>();
+    let upper = lu::upper_factor("A", "n");
+    let upper_pivoted = lu::upper_factor_pivoted("A", "n");
+
+    for &n in SMALL_SIZES {
+        let a: Matrix<Real> = random_invertible(n, 31 + n as u64);
+        let instance = Instance::new().with_dim("n", n).with_matrix("A", a.clone());
+
+        group.bench_with_input(BenchmarkId::new("for-matlang-lu", n), &n, |b, _| {
+            b.iter(|| evaluate(&upper, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("for-matlang-plu", n), &n, |b, _| {
+            b.iter(|| evaluate(&upper_pivoted, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-gaussian", n), &n, |b, _| {
+            b.iter(|| baseline::lu_decompose(&a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-plu", n), &n, |b, _| {
+            b.iter(|| baseline::plu_decompose(&a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_lu
+}
+criterion_main!(benches);

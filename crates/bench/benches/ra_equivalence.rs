@@ -1,0 +1,72 @@
+//! Experiment E2 — sum-MATLANG ≡ RA⁺_K (Corollary 6.5).
+//!
+//! Series: per size, the time to answer the same query (a) with the
+//! sum-MATLANG interpreter over matrices, (b) with the RA⁺_K engine over the
+//! relational encoding `Rel(I)`, and (c) the time to perform the translation
+//! itself.  Expected shape: the relational engine wins on sparse inputs
+//! (support-proportional work) and loses on dense ones; the translation is
+//! negligible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_bench::{quick_criterion, SMALL_SIZES};
+use matlang_core::{evaluate, Expr, FunctionRegistry, Instance, MatrixType, Schema};
+use matlang_matrix::{random_matrix, RandomMatrixConfig};
+use matlang_ra::{encode_instance, matlang_to_ra};
+use matlang_semiring::Nat;
+
+fn query() -> Expr {
+    // Two-hop counting query: A·A followed by a trace-style contraction.
+    Expr::sum(
+        "v",
+        "n",
+        Expr::var("v")
+            .t()
+            .mm(Expr::var("A"))
+            .mm(Expr::var("A"))
+            .mm(Expr::var("v")),
+    )
+}
+
+fn bench_ra_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_sum_matlang_vs_ra");
+    let schema = Schema::new().with_var("A", MatrixType::square("n"));
+    let registry = FunctionRegistry::<Nat>::new().with_semiring_ops();
+    let expr = query();
+
+    for &n in SMALL_SIZES {
+        for (density_name, zero_probability) in [("dense", 0.0), ("sparse", 0.8)] {
+            let cfg = RandomMatrixConfig {
+                seed: 17 + n as u64,
+                min_value: 0.0,
+                max_value: 3.0,
+                integer_entries: true,
+                zero_probability,
+                ..Default::default()
+            };
+            let instance: Instance<Nat> = Instance::new()
+                .with_dim("n", n)
+                .with_matrix("A", random_matrix(n, n, &cfg));
+            let database = encode_instance(&schema, &instance).unwrap();
+            let ra_query = matlang_to_ra(&expr, &schema).unwrap();
+
+            let label = format!("{density_name}-n{n}");
+            group.bench_with_input(BenchmarkId::new("sum-matlang-interpreter", &label), &n, |b, _| {
+                b.iter(|| evaluate(&expr, &instance, &registry).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("ra-plus-k-engine", &label), &n, |b, _| {
+                b.iter(|| ra_query.evaluate(&database).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("translation-phi", &label), &n, |b, _| {
+                b.iter(|| matlang_to_ra(&expr, &schema).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_ra_equivalence
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment E4 — transitive closure (Example 3.5 and Section 6.3).
+//!
+//! Series: for each graph size `n`, the time to compute the transitive
+//! closure with (a) the for-MATLANG Floyd–Warshall expression, (b) the
+//! prod-MATLANG `(I+A)ⁿ` expression and (c) the native Rust Warshall
+//! baseline.  Expected shape: baseline ≪ prod-MATLANG < Floyd–Warshall
+//! expression, with the interpreter gap growing polynomially in `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::{baseline, graphs, standard_registry};
+use matlang_bench::{quick_criterion, SMALL_SIZES};
+use matlang_core::{evaluate, Instance};
+use matlang_matrix::{random_adjacency, Matrix};
+use matlang_semiring::Real;
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_transitive_closure");
+    let registry = standard_registry::<Real>();
+    let fw = graphs::transitive_closure_fw_bool("G", "n");
+    let prod = graphs::transitive_closure_prod("G", "n");
+
+    for &n in SMALL_SIZES {
+        let adjacency: Matrix<Real> = random_adjacency(n, 0.3, 7 + n as u64);
+        let instance = Instance::new().with_dim("n", n).with_matrix("G", adjacency.clone());
+
+        group.bench_with_input(BenchmarkId::new("for-matlang-floyd-warshall", n), &n, |b, _| {
+            b.iter(|| evaluate(&fw, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prod-matlang-power", n), &n, |b, _| {
+            b.iter(|| evaluate(&prod, &instance, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline-warshall", n), &n, |b, _| {
+            b.iter(|| baseline::transitive_closure(&adjacency, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_transitive_closure
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Experiment E3 — FO-MATLANG ≡ weighted logics (Proposition 6.7).
+//!
+//! Series: per size, the time to evaluate the same query (a) as an
+//! FO-MATLANG expression over matrices and (b) as the translated weighted
+//! logic formula over `WL(I)`.  Expected shape: both are Θ(n²)–Θ(n³) for the
+//! queries below; the logic evaluator pays the per-assignment interpretation
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::graphs;
+use matlang_bench::{quick_criterion, SMALL_SIZES};
+use matlang_core::{evaluate, FunctionRegistry, Instance, MatrixType, Schema};
+use matlang_matrix::{random_matrix, RandomMatrixConfig};
+use matlang_semiring::Nat;
+use matlang_wl::{encode_instance_as_structure, matlang_to_wl};
+use std::collections::HashMap;
+
+fn bench_wl_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_fo_matlang_vs_wl");
+    let schema = Schema::new().with_var("G", MatrixType::square("n"));
+    let registry = FunctionRegistry::<Nat>::new().with_semiring_ops();
+    let queries = [
+        ("diag-product", graphs::diagonal_product("G", "n")),
+        ("trace", graphs::trace("G", "n")),
+    ];
+
+    for &n in SMALL_SIZES {
+        let cfg = RandomMatrixConfig {
+            seed: 23 + n as u64,
+            min_value: 0.0,
+            max_value: 3.0,
+            integer_entries: true,
+            ..Default::default()
+        };
+        let instance: Instance<Nat> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", random_matrix(n, n, &cfg));
+        let structure = encode_instance_as_structure(&schema, &instance).unwrap();
+
+        for (name, expr) in &queries {
+            let formula = matlang_to_wl(expr, &schema).unwrap();
+            let label = format!("{name}-n{n}");
+            group.bench_with_input(BenchmarkId::new("fo-matlang-interpreter", &label), &n, |b, _| {
+                b.iter(|| evaluate(expr, &instance, &registry).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("weighted-logic-evaluator", &label), &n, |b, _| {
+                b.iter(|| formula.evaluate(&structure, &HashMap::new()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_wl_equivalence
+}
+criterion_main!(benches);

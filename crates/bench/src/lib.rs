@@ -1,0 +1,39 @@
+//! Shared configuration for the benchmark harness.
+//!
+//! Every bench target in `benches/` corresponds to one experiment of
+//! `EXPERIMENTS.md`.  The benchmarks compare the for-MATLANG interpreter (and
+//! its translations into circuits / RA⁺_K / WL) against the native Rust
+//! baselines on the same workloads; the point is the *shape* of the
+//! comparison — who wins, by what factor, and how the gap scales with the
+//! matrix dimension — not absolute numbers.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// A Criterion configuration tuned for short, repeatable runs of the whole
+/// suite (`cargo bench --workspace` finishes in a few minutes).
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700))
+        .configure_from_args()
+}
+
+/// The matrix dimensions swept by the scaling experiments.
+pub const SMALL_SIZES: &[usize] = &[4, 6, 8];
+
+/// Dimensions for the cheaper interpreter micro-benchmarks.
+pub const MICRO_SIZES: &[usize] = &[8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_criterion_builds() {
+        let _ = quick_criterion();
+        assert!(SMALL_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(MICRO_SIZES.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,323 @@
+//! The arithmetic-circuit data structure (Section 5.1).
+//!
+//! A circuit is a directed acyclic graph of gates.  Input gates are labelled
+//! by an input position or a constant; internal gates are labelled `+` or `×`
+//! and have unbounded fan-in.  Gates are stored in a vector and may only
+//! reference previously inserted gates, which guarantees acyclicity by
+//! construction and gives a topological order for free.
+
+use std::fmt;
+
+/// Identifier of a gate inside a [`Circuit`] (its index in insertion order).
+pub type GateId = usize;
+
+/// A single gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// An input gate labelled by the position of the input variable
+    /// (0-indexed `x_i`).
+    Input(usize),
+    /// An input gate labelled by a constant.  The paper allows the constants
+    /// 0 and 1; we allow arbitrary reals so that compiled MATLANG constants
+    /// fit without an encoding detour.
+    Const(f64),
+    /// A sum gate with unbounded fan-in.
+    Add(Vec<GateId>),
+    /// A product gate with unbounded fan-in.
+    Mul(Vec<GateId>),
+}
+
+/// Errors raised while constructing or querying circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a child that does not exist yet.
+    ForwardReference {
+        /// The offending child id.
+        child: GateId,
+        /// The number of gates currently in the circuit.
+        len: usize,
+    },
+    /// An evaluation was attempted with too few inputs.
+    MissingInput {
+        /// The requested input position.
+        index: usize,
+        /// The number of provided inputs.
+        provided: usize,
+    },
+    /// The circuit has no output gate / the requested output is out of range.
+    NoSuchOutput {
+        /// The requested output position.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::ForwardReference { child, len } => {
+                write!(f, "gate references child {child} but only {len} gates exist")
+            }
+            CircuitError::MissingInput { index, provided } => {
+                write!(f, "circuit reads input x_{index} but only {provided} inputs were provided")
+            }
+            CircuitError::NoSuchOutput { index } => write!(f, "circuit has no output {index}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// An arithmetic circuit with (possibly) multiple output gates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    outputs: Vec<GateId>,
+    num_inputs: usize,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Adds a gate, returning its id.  Children must already exist.
+    pub fn push(&mut self, gate: Gate) -> Result<GateId, CircuitError> {
+        match &gate {
+            Gate::Add(children) | Gate::Mul(children) => {
+                for &c in children {
+                    if c >= self.gates.len() {
+                        return Err(CircuitError::ForwardReference {
+                            child: c,
+                            len: self.gates.len(),
+                        });
+                    }
+                }
+            }
+            Gate::Input(i) => {
+                self.num_inputs = self.num_inputs.max(i + 1);
+            }
+            Gate::Const(_) => {}
+        }
+        self.gates.push(gate);
+        Ok(self.gates.len() - 1)
+    }
+
+    /// Convenience: push an input gate.
+    pub fn input(&mut self, index: usize) -> GateId {
+        self.push(Gate::Input(index)).expect("input gates have no children")
+    }
+
+    /// Convenience: push a constant gate.
+    pub fn constant(&mut self, value: f64) -> GateId {
+        self.push(Gate::Const(value)).expect("constant gates have no children")
+    }
+
+    /// Convenience: push a sum gate.
+    pub fn add(&mut self, children: Vec<GateId>) -> Result<GateId, CircuitError> {
+        self.push(Gate::Add(children))
+    }
+
+    /// Convenience: push a product gate.
+    pub fn mul(&mut self, children: Vec<GateId>) -> Result<GateId, CircuitError> {
+        self.push(Gate::Mul(children))
+    }
+
+    /// Marks a gate as an output gate (outputs are ordered).
+    pub fn mark_output(&mut self, gate: GateId) -> Result<(), CircuitError> {
+        if gate >= self.gates.len() {
+            return Err(CircuitError::ForwardReference {
+                child: gate,
+                len: self.gates.len(),
+            });
+        }
+        self.outputs.push(gate);
+        Ok(())
+    }
+
+    /// The gates in insertion (topological) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The output gate ids, in order.
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// The single output gate, if the circuit has exactly one.
+    pub fn single_output(&self) -> Option<GateId> {
+        if self.outputs.len() == 1 {
+            Some(self.outputs[0])
+        } else {
+            None
+        }
+    }
+
+    /// The number of distinct input positions read by the circuit
+    /// (`max index + 1`).
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of wires (edges).
+    pub fn num_wires(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|g| match g {
+                Gate::Add(c) | Gate::Mul(c) => c.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The paper's size measure `|Φ|`: gates plus wires.
+    pub fn size(&self) -> usize {
+        self.num_gates() + self.num_wires()
+    }
+
+    /// Depth: the length of the longest path from an output gate to an input
+    /// gate.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            depth[i] = match gate {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Add(children) | Gate::Mul(children) => {
+                    1 + children.iter().map(|&c| depth[c]).max().unwrap_or(0)
+                }
+            };
+        }
+        self.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0)
+    }
+
+    /// Per-gate degree (Section 5.1): input gates have degree 1, constants
+    /// degree 0, sum gates the maximum of their children and product gates
+    /// the sum of their children.
+    pub fn gate_degrees(&self) -> Vec<u128> {
+        let mut degree = vec![0u128; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            degree[i] = match gate {
+                Gate::Input(_) => 1,
+                Gate::Const(_) => 0,
+                Gate::Add(children) => children.iter().map(|&c| degree[c]).max().unwrap_or(0),
+                Gate::Mul(children) => children
+                    .iter()
+                    .map(|&c| degree[c])
+                    .fold(0u128, |a, b| a.saturating_add(b)),
+            };
+        }
+        degree
+    }
+
+    /// The degree of the circuit: the degree of its single output gate, or
+    /// (following the paper's convention for circuits over matrices) the sum
+    /// of the degrees of all output gates.
+    pub fn degree(&self) -> u128 {
+        let degrees = self.gate_degrees();
+        if let Some(single) = self.single_output() {
+            degrees[single]
+        } else {
+            self.outputs
+                .iter()
+                .map(|&o| degrees[o])
+                .fold(0u128, |a, b| a.saturating_add(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the circuit for x₀·x₁ + x₂·x₃ used throughout the paper's
+    /// Section 5 examples.
+    fn sum_of_products() -> Circuit {
+        let mut c = Circuit::new();
+        let x0 = c.input(0);
+        let x1 = c.input(1);
+        let x2 = c.input(2);
+        let x3 = c.input(3);
+        let m1 = c.mul(vec![x0, x1]).unwrap();
+        let m2 = c.mul(vec![x2, x3]).unwrap();
+        let s = c.add(vec![m1, m2]).unwrap();
+        c.mark_output(s).unwrap();
+        c
+    }
+
+    #[test]
+    fn construction_and_counters() {
+        let c = sum_of_products();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_gates(), 7);
+        assert_eq!(c.num_wires(), 6);
+        assert_eq!(c.size(), 13);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.single_output(), Some(6));
+        assert_eq!(c.outputs(), &[6]);
+        assert_eq!(c.gates().len(), 7);
+    }
+
+    #[test]
+    fn degree_of_sum_and_product_gates() {
+        let c = sum_of_products();
+        // Each product gate has degree 2; the sum gate keeps the max.
+        assert_eq!(c.degree(), 2);
+    }
+
+    #[test]
+    fn degree_of_repeated_squaring_is_exponential() {
+        // (((x²)²)²)… doubling the degree each time.
+        let mut c = Circuit::new();
+        let mut g = c.input(0);
+        for _ in 0..10 {
+            g = c.mul(vec![g, g]).unwrap();
+        }
+        c.mark_output(g).unwrap();
+        assert_eq!(c.degree(), 1 << 10);
+        assert_eq!(c.depth(), 10);
+    }
+
+    #[test]
+    fn constants_have_degree_zero() {
+        let mut c = Circuit::new();
+        let one = c.constant(1.0);
+        let x = c.input(0);
+        let m = c.mul(vec![one, x]).unwrap();
+        c.mark_output(m).unwrap();
+        assert_eq!(c.degree(), 1);
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let mut c = Circuit::new();
+        assert!(matches!(
+            c.add(vec![3]),
+            Err(CircuitError::ForwardReference { .. })
+        ));
+        assert!(c.mark_output(5).is_err());
+    }
+
+    #[test]
+    fn multi_output_degree_is_the_sum() {
+        let mut c = Circuit::new();
+        let x = c.input(0);
+        let m = c.mul(vec![x, x]).unwrap();
+        c.mark_output(x).unwrap();
+        c.mark_output(m).unwrap();
+        assert_eq!(c.single_output(), None);
+        assert_eq!(c.degree(), 3);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!CircuitError::ForwardReference { child: 3, len: 1 }.to_string().is_empty());
+        assert!(!CircuitError::MissingInput { index: 2, provided: 1 }.to_string().is_empty());
+        assert!(!CircuitError::NoSuchOutput { index: 0 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,667 @@
+//! `expr_to_circuit` — Theorem 5.3: every for-MATLANG expression (over the
+//! square-matrix schema convention of Section 5) translates, for each input
+//! size `n`, into an arithmetic circuit over matrices computing the same
+//! function.
+//!
+//! The compilation follows the paper's inductive construction: each
+//! (sub)expression becomes a block of gates computing every entry of its
+//! value; for-loops are unrolled over the `n` canonical vectors, whose
+//! entries become constant gates.  The generator `n ↦ expr_to_circuit(e, n)`
+//! is the operational form of the uniform circuit family of Theorem 5.3 (see
+//! DESIGN.md for the uniformity substitution).
+
+use crate::circuit::{Circuit, CircuitError, GateId};
+use matlang_core::{Dim, Expr, Instance, MatrixType, Schema};
+use matlang_matrix::Matrix;
+use matlang_semiring::Semiring;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A free variable of the expression is not declared in the schema.
+    UnknownVariable {
+        /// The undeclared variable.
+        name: String,
+    },
+    /// Pointwise function applications have no circuit counterpart
+    /// (Section 5 works with for-MATLANG[∅]; Section 5.3 discusses division,
+    /// which is eliminated rather than compiled).
+    UnsupportedFunction {
+        /// The function name that was encountered.
+        name: String,
+    },
+    /// The expression mixes more than one non-unit size symbol; Section 5
+    /// restricts attention to square schemas over a single symbol.
+    MixedDimensions {
+        /// The offending symbol.
+        symbol: String,
+    },
+    /// Shapes disagreed during compilation (the expression does not
+    /// type check).
+    ShapeMismatch {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// An underlying circuit construction error.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownVariable { name } => {
+                write!(f, "variable `{name}` is not declared in the schema")
+            }
+            CompileError::UnsupportedFunction { name } => {
+                write!(f, "pointwise function `{name}` cannot be compiled to a {{+, ×}} circuit")
+            }
+            CompileError::MixedDimensions { symbol } => {
+                write!(f, "size symbol `{symbol}` differs from the circuit dimension symbol")
+            }
+            CompileError::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
+            CompileError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+/// A matrix of gate ids: the symbolic value of a subexpression.
+#[derive(Debug, Clone)]
+struct SymMatrix {
+    rows: usize,
+    cols: usize,
+    gates: Vec<GateId>,
+}
+
+impl SymMatrix {
+    fn get(&self, i: usize, j: usize) -> GateId {
+        self.gates[i * self.cols + j]
+    }
+}
+
+/// An arithmetic circuit over matrices (Section 5.2): a circuit whose inputs
+/// are the flattened entries of named input matrices and whose outputs are
+/// the entries of a single output matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCircuit {
+    circuit: Circuit,
+    /// The input matrices in order: `(variable name, shape)`.
+    inputs: Vec<(String, (usize, usize))>,
+    /// The shape of the output matrix.
+    output_shape: (usize, usize),
+}
+
+impl MatrixCircuit {
+    /// The underlying gate-level circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The ordered input matrices `(name, shape)`.
+    pub fn inputs(&self) -> &[(String, (usize, usize))] {
+        &self.inputs
+    }
+
+    /// The output matrix shape.
+    pub fn output_shape(&self) -> (usize, usize) {
+        self.output_shape
+    }
+
+    /// The degree of the circuit (sum over output gates, Section 5.2).
+    pub fn degree(&self) -> u128 {
+        self.circuit.degree()
+    }
+
+    /// The maximum degree over the output gates — the natural measure of the
+    /// polynomial degree of the compiled expression's entries.
+    pub fn max_output_degree(&self) -> u128 {
+        let degrees = self.circuit.gate_degrees();
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&o| degrees[o])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the circuit on matrices taken (by input name) from a MATLANG
+    /// instance, returning the output matrix.  This is `Φₙ(A₁, …, A_k)`.
+    pub fn evaluate<K: Semiring>(&self, instance: &Instance<K>) -> Result<Matrix<K>, CompileError> {
+        let mut flat: Vec<K> = Vec::new();
+        for (name, shape) in &self.inputs {
+            let m = instance
+                .matrix(name)
+                .ok_or_else(|| CompileError::UnknownVariable { name: name.clone() })?;
+            if m.shape() != *shape {
+                return Err(CompileError::ShapeMismatch {
+                    message: format!(
+                        "input {name} has shape {:?}, circuit expects {:?}",
+                        m.shape(),
+                        shape
+                    ),
+                });
+            }
+            flat.extend(m.entries().iter().cloned());
+        }
+        let outputs = self.circuit.evaluate(&flat)?;
+        Matrix::from_vec(self.output_shape.0, self.output_shape.1, outputs).map_err(|e| {
+            CompileError::ShapeMismatch {
+                message: format!("output reshape failed: {e}"),
+            }
+        })
+    }
+}
+
+struct Compiler {
+    circuit: Circuit,
+    n: usize,
+    dim_symbol: Option<String>,
+    zero: Option<GateId>,
+    one: Option<GateId>,
+}
+
+impl Compiler {
+    fn zero(&mut self) -> GateId {
+        if let Some(g) = self.zero {
+            g
+        } else {
+            let g = self.circuit.constant(0.0);
+            self.zero = Some(g);
+            g
+        }
+    }
+
+    fn one(&mut self) -> GateId {
+        if let Some(g) = self.one {
+            g
+        } else {
+            let g = self.circuit.constant(1.0);
+            self.one = Some(g);
+            g
+        }
+    }
+
+    fn resolve_dim(&mut self, dim: &Dim) -> Result<usize, CompileError> {
+        match dim {
+            Dim::One => Ok(1),
+            Dim::Sym(s) => {
+                match &self.dim_symbol {
+                    Some(existing) if existing != s => {
+                        return Err(CompileError::MixedDimensions { symbol: s.clone() })
+                    }
+                    None => self.dim_symbol = Some(s.clone()),
+                    _ => {}
+                }
+                Ok(self.n)
+            }
+        }
+    }
+
+    fn resolve_type(&mut self, ty: &MatrixType) -> Result<(usize, usize), CompileError> {
+        Ok((self.resolve_dim(&ty.rows)?, self.resolve_dim(&ty.cols)?))
+    }
+
+    fn zeros(&mut self, rows: usize, cols: usize) -> SymMatrix {
+        let zero = self.zero();
+        SymMatrix {
+            rows,
+            cols,
+            gates: vec![zero; rows * cols],
+        }
+    }
+
+    fn canonical(&mut self, n: usize, i: usize) -> SymMatrix {
+        let zero = self.zero();
+        let one = self.one();
+        let mut gates = vec![zero; n];
+        gates[i] = one;
+        SymMatrix { rows: n, cols: 1, gates }
+    }
+
+    fn compile(
+        &mut self,
+        expr: &Expr,
+        env: &mut HashMap<String, SymMatrix>,
+    ) -> Result<SymMatrix, CompileError> {
+        match expr {
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CompileError::UnknownVariable { name: name.clone() }),
+            Expr::Const(c) => {
+                let g = self.circuit.constant(*c);
+                Ok(SymMatrix { rows: 1, cols: 1, gates: vec![g] })
+            }
+            Expr::Transpose(e) => {
+                let inner = self.compile(e, env)?;
+                let mut gates = vec![0; inner.gates.len()];
+                for i in 0..inner.rows {
+                    for j in 0..inner.cols {
+                        gates[j * inner.rows + i] = inner.get(i, j);
+                    }
+                }
+                Ok(SymMatrix { rows: inner.cols, cols: inner.rows, gates })
+            }
+            Expr::Ones(e) => {
+                let inner = self.compile(e, env)?;
+                let one = self.one();
+                Ok(SymMatrix { rows: inner.rows, cols: 1, gates: vec![one; inner.rows] })
+            }
+            Expr::Diag(e) => {
+                let inner = self.compile(e, env)?;
+                if inner.cols != 1 {
+                    return Err(CompileError::ShapeMismatch {
+                        message: "diag expects a column vector".to_string(),
+                    });
+                }
+                let zero = self.zero();
+                let n = inner.rows;
+                let mut gates = vec![zero; n * n];
+                for i in 0..n {
+                    gates[i * n + i] = inner.get(i, 0);
+                }
+                Ok(SymMatrix { rows: n, cols: n, gates })
+            }
+            Expr::MatMul(a, b) => {
+                let left = self.compile(a, env)?;
+                let right = self.compile(b, env)?;
+                if left.cols != right.rows {
+                    return Err(CompileError::ShapeMismatch {
+                        message: format!(
+                            "cannot multiply {}x{} by {}x{}",
+                            left.rows, left.cols, right.rows, right.cols
+                        ),
+                    });
+                }
+                let mut gates = Vec::with_capacity(left.rows * right.cols);
+                for i in 0..left.rows {
+                    for j in 0..right.cols {
+                        let mut terms = Vec::with_capacity(left.cols);
+                        for k in 0..left.cols {
+                            terms.push(self.circuit.mul(vec![left.get(i, k), right.get(k, j)])?);
+                        }
+                        gates.push(self.circuit.add(terms)?);
+                    }
+                }
+                Ok(SymMatrix { rows: left.rows, cols: right.cols, gates })
+            }
+            Expr::Add(a, b) => {
+                let left = self.compile(a, env)?;
+                let right = self.compile(b, env)?;
+                self.pointwise(left, right, "addition", |c, x, y| c.add(vec![x, y]))
+            }
+            Expr::Hadamard(a, b) => {
+                let left = self.compile(a, env)?;
+                let right = self.compile(b, env)?;
+                self.pointwise(left, right, "Hadamard product", |c, x, y| c.mul(vec![x, y]))
+            }
+            Expr::ScalarMul(a, b) => {
+                let scalar = self.compile(a, env)?;
+                if scalar.rows != 1 || scalar.cols != 1 {
+                    return Err(CompileError::ShapeMismatch {
+                        message: "scalar multiplication expects a 1x1 left operand".to_string(),
+                    });
+                }
+                let s = scalar.get(0, 0);
+                let target = self.compile(b, env)?;
+                let mut gates = Vec::with_capacity(target.gates.len());
+                for &g in &target.gates {
+                    gates.push(self.circuit.mul(vec![s, g])?);
+                }
+                Ok(SymMatrix { rows: target.rows, cols: target.cols, gates })
+            }
+            Expr::Apply(name, _) => Err(CompileError::UnsupportedFunction { name: name.clone() }),
+            Expr::Let { var, value, body } => {
+                let bound = self.compile(value, env)?;
+                let saved = env.insert(var.clone(), bound);
+                let result = self.compile(body, env);
+                match saved {
+                    Some(old) => {
+                        env.insert(var.clone(), old);
+                    }
+                    None => {
+                        env.remove(var);
+                    }
+                }
+                result
+            }
+            Expr::For { var, var_dim, acc, acc_type, init, body } => {
+                let iterations = self.resolve_dim(&Dim::Sym(var_dim.clone()))?;
+                let (rows, cols) = self.resolve_type(acc_type)?;
+                let mut accumulator = match init {
+                    Some(init) => self.compile(init, env)?,
+                    None => self.zeros(rows, cols),
+                };
+                let saved_var = env.remove(var);
+                let saved_acc = env.remove(acc);
+                for i in 0..iterations {
+                    let canonical = self.canonical(iterations, i);
+                    env.insert(var.clone(), canonical);
+                    env.insert(acc.clone(), accumulator.clone());
+                    accumulator = self.compile(body, env)?;
+                }
+                restore(env, var, saved_var);
+                restore(env, acc, saved_acc);
+                Ok(accumulator)
+            }
+            Expr::Sum { var, var_dim, body } => {
+                self.fold_loop(var, var_dim, body, env, |c, acc, value| match acc {
+                    None => Ok(value),
+                    Some(acc) => c.pointwise(acc, value, "Σ", |circ, x, y| circ.add(vec![x, y])),
+                })
+            }
+            Expr::HProd { var, var_dim, body } => {
+                self.fold_loop(var, var_dim, body, env, |c, acc, value| match acc {
+                    None => Ok(value),
+                    Some(acc) => c.pointwise(acc, value, "Π∘", |circ, x, y| circ.mul(vec![x, y])),
+                })
+            }
+            Expr::MProd { var, var_dim, body } => {
+                self.fold_loop(var, var_dim, body, env, |c, acc, value| match acc {
+                    None => Ok(value),
+                    Some(acc) => c.matmul_sym(acc, value),
+                })
+            }
+        }
+    }
+
+    fn matmul_sym(&mut self, left: SymMatrix, right: SymMatrix) -> Result<SymMatrix, CompileError> {
+        if left.cols != right.rows {
+            return Err(CompileError::ShapeMismatch {
+                message: "Π body shapes do not compose".to_string(),
+            });
+        }
+        let mut gates = Vec::with_capacity(left.rows * right.cols);
+        for i in 0..left.rows {
+            for j in 0..right.cols {
+                let mut terms = Vec::with_capacity(left.cols);
+                for k in 0..left.cols {
+                    terms.push(self.circuit.mul(vec![left.get(i, k), right.get(k, j)])?);
+                }
+                gates.push(self.circuit.add(terms)?);
+            }
+        }
+        Ok(SymMatrix { rows: left.rows, cols: right.cols, gates })
+    }
+
+    fn pointwise(
+        &mut self,
+        left: SymMatrix,
+        right: SymMatrix,
+        op: &str,
+        combine: impl Fn(&mut Circuit, GateId, GateId) -> Result<GateId, CircuitError>,
+    ) -> Result<SymMatrix, CompileError> {
+        if left.rows != right.rows || left.cols != right.cols {
+            return Err(CompileError::ShapeMismatch {
+                message: format!("{op} operands have different shapes"),
+            });
+        }
+        let mut gates = Vec::with_capacity(left.gates.len());
+        for (&x, &y) in left.gates.iter().zip(&right.gates) {
+            gates.push(combine(&mut self.circuit, x, y)?);
+        }
+        Ok(SymMatrix { rows: left.rows, cols: left.cols, gates })
+    }
+
+    fn fold_loop(
+        &mut self,
+        var: &str,
+        var_dim: &str,
+        body: &Expr,
+        env: &mut HashMap<String, SymMatrix>,
+        combine: impl Fn(&mut Self, Option<SymMatrix>, SymMatrix) -> Result<SymMatrix, CompileError>,
+    ) -> Result<SymMatrix, CompileError> {
+        let iterations = self.resolve_dim(&Dim::Sym(var_dim.to_string()))?;
+        let saved = env.remove(var);
+        let mut acc: Option<SymMatrix> = None;
+        for i in 0..iterations {
+            let canonical = self.canonical(iterations, i);
+            env.insert(var.to_string(), canonical);
+            let value = self.compile(body, env)?;
+            acc = Some(combine(self, acc.take(), value)?);
+        }
+        restore(env, var, saved);
+        acc.ok_or(CompileError::ShapeMismatch {
+            message: "loop over an empty dimension".to_string(),
+        })
+    }
+}
+
+fn restore(env: &mut HashMap<String, SymMatrix>, name: &str, saved: Option<SymMatrix>) {
+    match saved {
+        Some(m) => {
+            env.insert(name.to_string(), m);
+        }
+        None => {
+            env.remove(name);
+        }
+    }
+}
+
+/// Theorem 5.3 — compiles `expr` (over `schema`, which must follow the
+/// square-matrix convention of Section 5: every variable of type
+/// `(α,α)`, `(α,1)`, `(1,α)` or `(1,1)` for a single symbol `α`) into an
+/// arithmetic circuit over matrices for the concrete size `n`.
+pub fn expr_to_circuit(expr: &Expr, schema: &Schema, n: usize) -> Result<MatrixCircuit, CompileError> {
+    let mut compiler = Compiler {
+        circuit: Circuit::new(),
+        n,
+        dim_symbol: None,
+        zero: None,
+        one: None,
+    };
+    let mut env: HashMap<String, SymMatrix> = HashMap::new();
+    let mut inputs: Vec<(String, (usize, usize))> = Vec::new();
+    let mut next_input = 0usize;
+    for name in expr.free_vars() {
+        let ty = schema
+            .var_type(&name)
+            .ok_or_else(|| CompileError::UnknownVariable { name: name.clone() })?;
+        let (rows, cols) = compiler.resolve_type(ty)?;
+        let mut gates = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            gates.push(compiler.circuit.input(next_input));
+            next_input += 1;
+        }
+        env.insert(name.clone(), SymMatrix { rows, cols, gates });
+        inputs.push((name, (rows, cols)));
+    }
+    let output = compiler.compile(expr, &mut env)?;
+    for &gate in &output.gates {
+        compiler.circuit.mark_output(gate)?;
+    }
+    Ok(MatrixCircuit {
+        circuit: compiler.circuit,
+        inputs,
+        output_shape: (output.rows, output.cols),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_algorithms::{graphs, square_instance, standard_registry};
+    use matlang_core::evaluate;
+    use matlang_matrix::{random_matrix, RandomMatrixConfig};
+    use matlang_semiring::Real;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_var("A", MatrixType::square("n"))
+            .with_var("B", MatrixType::square("n"))
+            .with_var("u", MatrixType::vector("n"))
+    }
+
+    fn check_against_interpreter(expr: &Expr, n: usize, seed: u64) {
+        let circuit = expr_to_circuit(expr, &schema(), n).unwrap();
+        let cfg = RandomMatrixConfig { seed, integer_entries: true, min_value: -3.0, max_value: 3.0, ..Default::default() };
+        let inst: Instance<Real> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("A", random_matrix(n, n, &cfg))
+            .with_matrix("B", random_matrix(n, n, &RandomMatrixConfig { seed: seed + 1, ..cfg.clone() }))
+            .with_matrix("u", random_matrix(n, 1, &RandomMatrixConfig { seed: seed + 2, ..cfg }));
+        let from_circuit = circuit.evaluate(&inst).unwrap();
+        let from_interpreter = evaluate(expr, &inst, &standard_registry()).unwrap();
+        assert!(
+            from_circuit.approx_eq(&from_interpreter, 1e-9),
+            "circuit and interpreter disagree for {expr} at n={n}"
+        );
+    }
+
+    #[test]
+    fn matlang_operators_compile_correctly() {
+        let exprs = vec![
+            Expr::var("A").t(),
+            Expr::var("A").mm(Expr::var("B")),
+            Expr::var("A").add(Expr::var("B")),
+            Expr::var("A").had(Expr::var("B")),
+            Expr::lit(3.0).smul(Expr::var("A")),
+            Expr::var("A").ones(),
+            Expr::var("u").diag(),
+            Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")),
+        ];
+        for e in exprs {
+            for n in [1, 2, 4] {
+                check_against_interpreter(&e, n, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn loops_compile_by_unrolling() {
+        let exprs = vec![
+            Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())),
+            Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+            Expr::hprod("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+            Expr::mprod("v", "n", Expr::var("A").add(Expr::var("B"))),
+            Expr::for_loop(
+                "v",
+                "n",
+                "X",
+                MatrixType::vector("n"),
+                Expr::var("X").add(Expr::var("v")),
+            ),
+            Expr::let_in("T", Expr::var("A").mm(Expr::var("A")), Expr::var("T").add(Expr::var("T"))),
+        ];
+        for e in exprs {
+            for n in [2, 3] {
+                check_against_interpreter(&e, n, 11);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_queries_compile_and_agree() {
+        for n in [3, 4] {
+            check_against_interpreter(&graphs::trace("A", "n"), n, 3);
+            check_against_interpreter(&graphs::diagonal_product("A", "n"), n, 3);
+            check_against_interpreter(&graphs::transitive_closure_fw("A", "n"), n, 3);
+        }
+    }
+
+    #[test]
+    fn four_clique_circuit_detects_cliques() {
+        let expr = graphs::four_clique("A", "n");
+        let circuit = expr_to_circuit(&expr, &schema(), 4).unwrap();
+        let mut k4: Matrix<Real> = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    k4.set(i, j, Real(1.0)).unwrap();
+                }
+            }
+        }
+        let inst = square_instance("A", "n", k4);
+        let out = circuit.evaluate(&inst).unwrap().as_scalar().unwrap();
+        assert!(out.0 > 0.0);
+    }
+
+    #[test]
+    fn degrees_of_compiled_fragments_match_proposition_6_1() {
+        // sum-MATLANG expressions have polynomial (here: small constant in n)
+        // degree; the diagonal product has linear degree; repeated squaring
+        // via `for` has exponential degree.
+        let schema = schema();
+        let trace = graphs::trace("A", "n");
+        let dp = graphs::diagonal_product("A", "n");
+        let exp = Expr::for_init(
+            "v",
+            "n",
+            "X",
+            MatrixType::square("n"),
+            Expr::var("A"),
+            Expr::var("X").mm(Expr::var("X")),
+        );
+        for n in [2usize, 3, 4, 5] {
+            let trace_deg = expr_to_circuit(&trace, &schema, n).unwrap().max_output_degree();
+            let dp_deg = expr_to_circuit(&dp, &schema, n).unwrap().max_output_degree();
+            let exp_deg = expr_to_circuit(&exp, &schema, n).unwrap().max_output_degree();
+            assert_eq!(trace_deg, 1);
+            assert_eq!(dp_deg, n as u128);
+            assert_eq!(exp_deg, 1u128 << n);
+        }
+    }
+
+    #[test]
+    fn pointwise_functions_are_rejected() {
+        let e = Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]);
+        assert!(matches!(
+            expr_to_circuit(&e, &schema(), 3),
+            Err(CompileError::UnsupportedFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_variables_and_mixed_dimensions_are_rejected() {
+        let e = Expr::var("Z");
+        assert!(matches!(
+            expr_to_circuit(&e, &schema(), 3),
+            Err(CompileError::UnknownVariable { .. })
+        ));
+        let schema2 = Schema::new()
+            .with_var("A", MatrixType::square("n"))
+            .with_var("C", MatrixType::square("m"));
+        let e = Expr::var("A").add(Expr::var("C"));
+        assert!(matches!(
+            expr_to_circuit(&e, &schema2, 3),
+            Err(CompileError::MixedDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_circuit_reports_shapes_and_inputs() {
+        let e = Expr::var("A").mm(Expr::var("u"));
+        let c = expr_to_circuit(&e, &schema(), 3).unwrap();
+        assert_eq!(c.output_shape(), (3, 1));
+        assert_eq!(c.inputs().len(), 2);
+        assert!(c.circuit().num_gates() > 0);
+        assert!(c.degree() >= c.max_output_degree());
+    }
+
+    #[test]
+    fn evaluation_rejects_wrongly_shaped_inputs() {
+        let e = Expr::var("A");
+        let c = expr_to_circuit(&e, &schema(), 3).unwrap();
+        let inst: Instance<Real> = Instance::new()
+            .with_dim("n", 3)
+            .with_matrix("A", Matrix::identity(2));
+        assert!(matches!(
+            c.evaluate(&inst),
+            Err(CompileError::ShapeMismatch { .. })
+        ));
+        let missing: Instance<Real> = Instance::new().with_dim("n", 3);
+        assert!(matches!(
+            c.evaluate(&missing),
+            Err(CompileError::UnknownVariable { .. })
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! `circuit_to_expr` — the content of Theorem 5.1 for a fixed input size:
+//! every arithmetic circuit `Φₙ` over inputs `x₁, …, xₙ` translates into a
+//! for-MATLANG expression over a single vector variable `v` (of type
+//! `(α, 1)`) such that evaluating the expression on an instance with
+//! `D(α) = n` and `mat(v) = (a₁, …, aₙ)ᵀ` yields `Φₙ(a₁, …, aₙ)`.
+//!
+//! The paper's proof simulates the two-stack evaluation algorithm with a
+//! Turing-machine encoding in order to obtain a *single* expression that is
+//! uniform in `n`.  As documented in DESIGN.md, we instead compile each
+//! circuit size directly: every gate becomes a `let`-bound scalar
+//! subexpression (input gates select their entry of `v` through the order
+//! machinery `Nextⁱ·e_min` of Appendix B.1), which preserves exactly the
+//! semantic content that can be tested — `⟦e_Φ⟧(I) = Φₙ(a₁, …, aₙ)`.
+
+use crate::circuit::{Circuit, Gate};
+use matlang_algorithms::order;
+use matlang_core::Expr;
+
+/// The name given to the input-vector variable of the generated expression.
+pub const INPUT_VECTOR: &str = "v";
+
+/// Translates a single-output circuit into a for-MATLANG expression over the
+/// vector variable [`INPUT_VECTOR`] with size symbol `dim`.
+///
+/// Every gate `gᵢ` becomes a `let`-bound scalar `_gᵢ`; input gate `x_j`
+/// becomes `(Nextʲ·e_min)ᵀ · v`; sum/product gates combine their children
+/// with `+` / `·` on `1 × 1` matrices.  The resulting expression has size
+/// linear in the circuit size.
+pub fn circuit_to_expr(circuit: &Circuit, dim: &str) -> Expr {
+    let gate_name = |i: usize| format!("_g{i}");
+    let output = circuit
+        .single_output()
+        .or_else(|| circuit.outputs().first().copied())
+        .unwrap_or(circuit.num_gates().saturating_sub(1));
+
+    // Build from the innermost body (the output reference) outwards, wrapping
+    // one `let` per gate in reverse topological (insertion) order.
+    let mut body = Expr::var(gate_name(output));
+    for (i, gate) in circuit.gates().iter().enumerate().rev() {
+        let value = match gate {
+            Gate::Input(j) => order::e_min_plus(*j, dim).t().mm(Expr::var(INPUT_VECTOR)),
+            Gate::Const(c) => Expr::lit(*c),
+            Gate::Add(children) => children
+                .iter()
+                .map(|&c| Expr::var(gate_name(c)))
+                .reduce(|a, b| a.add(b))
+                .unwrap_or_else(|| Expr::lit(0.0)),
+            Gate::Mul(children) => children
+                .iter()
+                .map(|&c| Expr::var(gate_name(c)))
+                .reduce(|a, b| a.mm(b))
+                .unwrap_or_else(|| Expr::lit(1.0)),
+        };
+        body = Expr::let_in(gate_name(i), value, body);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::expr_to_circuit;
+    use crate::family::CircuitFamily;
+    use matlang_algorithms::standard_registry;
+    use matlang_core::{evaluate, typecheck, Instance, MatrixType, Schema};
+    use matlang_matrix::Matrix;
+    use matlang_semiring::Real;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn vector_schema() -> Schema {
+        Schema::new().with_var(INPUT_VECTOR, MatrixType::vector("n"))
+    }
+
+    fn eval_expr(expr: &Expr, inputs: &[f64]) -> f64 {
+        let n = inputs.len();
+        let data: Vec<Real> = inputs.iter().map(|&v| Real(v)).collect();
+        let inst: Instance<Real> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix(INPUT_VECTOR, Matrix::from_vec(n, 1, data).unwrap());
+        evaluate(expr, &inst, &standard_registry())
+            .unwrap()
+            .as_scalar()
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn generated_expressions_typecheck_as_scalars() {
+        let circuit = CircuitFamily::sum_of_squares().member(3);
+        let expr = circuit_to_expr(&circuit, "n");
+        assert_eq!(
+            typecheck(&expr, &vector_schema()).unwrap(),
+            MatrixType::scalar()
+        );
+    }
+
+    #[test]
+    fn reference_families_decompile_correctly() {
+        let inputs = [2.0, 3.0, 4.0, 5.0];
+        let cases: Vec<(CircuitFamily, f64)> = vec![
+            (CircuitFamily::sum_of_inputs(), 14.0),
+            (CircuitFamily::product_of_inputs(), 120.0),
+            (CircuitFamily::sum_of_squares(), 54.0),
+            (CircuitFamily::balanced_product(), 120.0),
+        ];
+        for (family, expected) in cases {
+            let circuit = family.member(4);
+            let expr = circuit_to_expr(&circuit, "n");
+            let got = eval_expr(&expr, &inputs);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "{}: got {got}, expected {expected}",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn decompiled_circuit_agrees_with_circuit_evaluation_on_random_circuits() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            // Random DAG over 4 inputs.
+            let n = 4usize;
+            let mut circuit = Circuit::new();
+            let mut gates: Vec<usize> = (0..n).map(|i| circuit.input(i)).collect();
+            gates.push(circuit.constant(1.0));
+            for _ in 0..8 {
+                let a = gates[rng.gen_range(0..gates.len())];
+                let b = gates[rng.gen_range(0..gates.len())];
+                let g = if rng.gen_bool(0.5) {
+                    circuit.add(vec![a, b]).unwrap()
+                } else {
+                    circuit.mul(vec![a, b]).unwrap()
+                };
+                gates.push(g);
+            }
+            circuit.mark_output(*gates.last().unwrap()).unwrap();
+
+            let inputs: Vec<f64> = (0..n).map(|_| rng.gen_range(-3..4) as f64).collect();
+            let reals: Vec<Real> = inputs.iter().map(|&v| Real(v)).collect();
+            let direct = circuit.evaluate(&reals).unwrap()[0].0;
+            let expr = circuit_to_expr(&circuit, "n");
+            let via_expr = eval_expr(&expr, &inputs);
+            assert!(
+                (direct - via_expr).abs() < 1e-6,
+                "direct {direct} vs expression {via_expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_expression_to_circuit_and_back() {
+        // Start from a MATLANG expression over a vector, compile it to a
+        // circuit (Thm 5.3), decompile the circuit back to an expression
+        // (Thm 5.1) and check all three agree.
+        let original = Expr::var(INPUT_VECTOR)
+            .t()
+            .mm(Expr::var(INPUT_VECTOR))
+            .add(Expr::lit(2.0));
+        let schema = vector_schema();
+        let n = 3;
+        let circuit = expr_to_circuit(&original, &schema, n).unwrap();
+        let back = circuit_to_expr(circuit.circuit(), "n");
+
+        let inputs = [1.0, -2.0, 3.0];
+        let original_value = eval_expr(&original, &inputs);
+        let back_value = eval_expr(&back, &inputs);
+        assert!((original_value - back_value).abs() < 1e-9);
+        assert!((original_value - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_gate_lists_become_constants() {
+        let mut c = Circuit::new();
+        let s = c.add(vec![]).unwrap();
+        let m = c.mul(vec![]).unwrap();
+        let total = c.add(vec![s, m]).unwrap();
+        c.mark_output(total).unwrap();
+        let expr = circuit_to_expr(&c, "n");
+        // The expression never touches v's entries, but still needs the
+        // instance to size the (unused) order machinery.
+        assert_eq!(eval_expr(&expr, &[0.0, 0.0]), 1.0);
+    }
+}

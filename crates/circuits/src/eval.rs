@@ -1,0 +1,252 @@
+//! Circuit evaluation.
+//!
+//! Two evaluators are provided:
+//!
+//! * [`Circuit::evaluate`] — a linear pass in topological order (the obvious
+//!   reference implementation);
+//! * [`Circuit::evaluate_two_stack`] — the depth-first evaluator with an
+//!   explicit gates-stack and values-stack, mirroring Algorithms 1–3 of the
+//!   paper's Appendix D.2.  Theorem 5.1 simulates exactly this machine inside
+//!   for-MATLANG; implementing it directly both documents the construction
+//!   and provides a differential-testing oracle for the topological
+//!   evaluator.
+
+use crate::circuit::{Circuit, CircuitError, Gate, GateId};
+use matlang_semiring::Semiring;
+
+impl Circuit {
+    /// Evaluates every gate in topological order and returns the values of
+    /// the output gates.
+    pub fn evaluate<K: Semiring>(&self, inputs: &[K]) -> Result<Vec<K>, CircuitError> {
+        let mut values: Vec<K> = Vec::with_capacity(self.num_gates());
+        for gate in self.gates() {
+            let value = match gate {
+                Gate::Input(i) => inputs
+                    .get(*i)
+                    .cloned()
+                    .ok_or(CircuitError::MissingInput {
+                        index: *i,
+                        provided: inputs.len(),
+                    })?,
+                Gate::Const(c) => K::from_f64(*c),
+                Gate::Add(children) => K::sum(children.iter().map(|&c| values[c].clone())),
+                Gate::Mul(children) => K::product(children.iter().map(|&c| values[c].clone())),
+            };
+            values.push(value);
+        }
+        self.outputs()
+            .iter()
+            .map(|&o| {
+                values
+                    .get(o)
+                    .cloned()
+                    .ok_or(CircuitError::NoSuchOutput { index: o })
+            })
+            .collect()
+    }
+
+    /// Evaluates the single output gate of the circuit with the explicit
+    /// two-stack, depth-first procedure of the paper (Appendix D.2,
+    /// Algorithms 1–3): a *gates stack* of gates being visited and a *values
+    /// stack* of partially aggregated results.
+    ///
+    /// Unlike [`Circuit::evaluate`] this re-expands shared sub-circuits (it
+    /// treats the DAG as a tree), exactly as the paper's algorithm does, so
+    /// it can be exponentially slower on deeply shared circuits — it exists
+    /// to document and cross-check the construction, not to be fast.
+    pub fn evaluate_two_stack<K: Semiring>(&self, inputs: &[K]) -> Result<K, CircuitError> {
+        let root = self
+            .single_output()
+            .ok_or(CircuitError::NoSuchOutput { index: 0 })?;
+        let gates = self.gates();
+
+        // The pair of stacks.  `gate_stack[i]` is a (gate, next-child-index)
+        // pair; `value_stack` holds the partial aggregate for each open gate.
+        let mut gate_stack: Vec<GateId> = vec![root];
+        let mut value_stack: Vec<K> = Vec::new();
+        // For each open gate, which child to visit next (parallel to
+        // gate_stack; the paper recovers this via the `next_gate` LOGSPACE
+        // transducer, we keep it explicitly).
+        let mut child_cursor: Vec<usize> = vec![0];
+
+        loop {
+            if gate_stack.len() == 1 && value_stack.len() == 1 {
+                return Ok(value_stack.pop().expect("just checked"));
+            }
+            if gate_stack.len() == value_stack.len() + 1 {
+                // Initialize: we are visiting the top gate for the first time.
+                let top = *gate_stack.last().expect("non-empty");
+                match &gates[top] {
+                    Gate::Input(i) => {
+                        let v = inputs.get(*i).cloned().ok_or(CircuitError::MissingInput {
+                            index: *i,
+                            provided: inputs.len(),
+                        })?;
+                        value_stack.push(v);
+                    }
+                    Gate::Const(c) => value_stack.push(K::from_f64(*c)),
+                    Gate::Add(children) => {
+                        value_stack.push(K::zero());
+                        if let Some(&first) = children.first() {
+                            gate_stack.push(first);
+                            child_cursor.push(0);
+                        }
+                    }
+                    Gate::Mul(children) => {
+                        value_stack.push(K::one());
+                        if let Some(&first) = children.first() {
+                            gate_stack.push(first);
+                            child_cursor.push(0);
+                        }
+                    }
+                }
+            } else {
+                // Aggregate: the top gate is fully evaluated; fold its value
+                // into its parent and advance to the parent's next child.
+                let finished_gate = gate_stack.pop().expect("non-empty");
+                let finished_value = value_stack.pop().expect("non-empty");
+                child_cursor.pop();
+                let parent = *gate_stack.last().expect("root never aggregates here");
+                let cursor = child_cursor.last_mut().expect("non-empty");
+                let parent_value = value_stack.last_mut().expect("non-empty");
+                let children = match &gates[parent] {
+                    Gate::Add(children) => {
+                        *parent_value = parent_value.add(&finished_value);
+                        children
+                    }
+                    Gate::Mul(children) => {
+                        *parent_value = parent_value.mul(&finished_value);
+                        children
+                    }
+                    _ => unreachable!("only internal gates have children on the stack"),
+                };
+                debug_assert_eq!(children[*cursor], finished_gate);
+                *cursor += 1;
+                if *cursor < children.len() {
+                    gate_stack.push(children[*cursor]);
+                    child_cursor.push(0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::{Boolean, Nat, Real};
+
+    fn example() -> Circuit {
+        // x0·x1 + x2·x3 + 1
+        let mut c = Circuit::new();
+        let x0 = c.input(0);
+        let x1 = c.input(1);
+        let x2 = c.input(2);
+        let x3 = c.input(3);
+        let one = c.constant(1.0);
+        let m1 = c.mul(vec![x0, x1]).unwrap();
+        let m2 = c.mul(vec![x2, x3]).unwrap();
+        let s = c.add(vec![m1, m2, one]).unwrap();
+        c.mark_output(s).unwrap();
+        c
+    }
+
+    #[test]
+    fn topological_evaluation_over_the_reals() {
+        let c = example();
+        let out = c
+            .evaluate(&[Real(2.0), Real(3.0), Real(4.0), Real(5.0)])
+            .unwrap();
+        assert_eq!(out, vec![Real(27.0)]);
+    }
+
+    #[test]
+    fn evaluation_over_other_semirings() {
+        let c = example();
+        let nat = c.evaluate(&[Nat(2), Nat(3), Nat(4), Nat(5)]).unwrap();
+        assert_eq!(nat, vec![Nat(27)]);
+        let boolean = c
+            .evaluate(&[Boolean(true), Boolean(false), Boolean(false), Boolean(true)])
+            .unwrap();
+        // (t∧f) ∨ (f∧t) ∨ 1 = 1.
+        assert_eq!(boolean, vec![Boolean(true)]);
+    }
+
+    #[test]
+    fn two_stack_evaluator_agrees_with_topological_one() {
+        let c = example();
+        for inputs in [
+            [0.0, 0.0, 0.0, 0.0],
+            [1.0, 2.0, 3.0, 4.0],
+            [-1.0, 5.0, 2.0, -2.0],
+        ] {
+            let reals: Vec<Real> = inputs.iter().map(|&v| Real(v)).collect();
+            let a = c.evaluate(&reals).unwrap()[0];
+            let b = c.evaluate_two_stack(&reals).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn two_stack_evaluator_handles_nested_structure() {
+        // ((x0 + 1) · (x0 + x1)) + x1
+        let mut c = Circuit::new();
+        let x0 = c.input(0);
+        let x1 = c.input(1);
+        let one = c.constant(1.0);
+        let a = c.add(vec![x0, one]).unwrap();
+        let b = c.add(vec![x0, x1]).unwrap();
+        let m = c.mul(vec![a, b]).unwrap();
+        let s = c.add(vec![m, x1]).unwrap();
+        c.mark_output(s).unwrap();
+        let inputs = [Real(3.0), Real(4.0)];
+        assert_eq!(c.evaluate(&inputs).unwrap()[0], Real(32.0));
+        assert_eq!(c.evaluate_two_stack(&inputs).unwrap(), Real(32.0));
+    }
+
+    #[test]
+    fn empty_sum_and_product_gates_use_identities() {
+        let mut c = Circuit::new();
+        let s = c.add(vec![]).unwrap();
+        let m = c.mul(vec![]).unwrap();
+        let total = c.add(vec![s, m]).unwrap();
+        c.mark_output(total).unwrap();
+        assert_eq!(c.evaluate::<Real>(&[]).unwrap(), vec![Real(1.0)]);
+        assert_eq!(c.evaluate_two_stack::<Real>(&[]).unwrap(), Real(1.0));
+    }
+
+    #[test]
+    fn missing_inputs_are_reported() {
+        let c = example();
+        assert!(matches!(
+            c.evaluate(&[Real(1.0)]),
+            Err(CircuitError::MissingInput { .. })
+        ));
+        assert!(matches!(
+            c.evaluate_two_stack(&[Real(1.0)]),
+            Err(CircuitError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn two_stack_requires_a_single_output() {
+        let mut c = Circuit::new();
+        let x = c.input(0);
+        c.mark_output(x).unwrap();
+        c.mark_output(x).unwrap();
+        assert!(matches!(
+            c.evaluate_two_stack(&[Real(1.0)]),
+            Err(CircuitError::NoSuchOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_outputs_evaluate_in_order() {
+        let mut c = Circuit::new();
+        let x = c.input(0);
+        let sq = c.mul(vec![x, x]).unwrap();
+        c.mark_output(x).unwrap();
+        c.mark_output(sq).unwrap();
+        assert_eq!(c.evaluate(&[Real(3.0)]).unwrap(), vec![Real(3.0), Real(9.0)]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Circuit families: the operational counterpart of the paper's uniform
+//! families `{Φₙ | n = 1, 2, …}`.
+//!
+//! In the paper, uniformity means a LOGSPACE Turing machine produces the
+//! description of `Φₙ` from `1ⁿ`.  Here a family is a single Rust function
+//! from `n` to a circuit — one finite program generating every member, which
+//! is the property all experiments rely on (see the substitution table in
+//! DESIGN.md).  The module also ships a few reference families used by the
+//! benchmarks and by the degree-growth experiment (E8).
+
+use crate::circuit::Circuit;
+use std::sync::Arc;
+
+/// A family `{Φₙ}` of arithmetic circuits given by a generator.
+#[derive(Clone)]
+pub struct CircuitFamily {
+    name: String,
+    generator: Arc<dyn Fn(usize) -> Circuit + Send + Sync>,
+}
+
+impl std::fmt::Debug for CircuitFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitFamily").field("name", &self.name).finish()
+    }
+}
+
+impl CircuitFamily {
+    /// Creates a family from a generator function.
+    pub fn new(name: impl Into<String>, generator: impl Fn(usize) -> Circuit + Send + Sync + 'static) -> Self {
+        CircuitFamily {
+            name: name.into(),
+            generator: Arc::new(generator),
+        }
+    }
+
+    /// The family's name (used in benchmark reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The member `Φₙ`.
+    pub fn member(&self, n: usize) -> Circuit {
+        (self.generator)(n)
+    }
+
+    /// The degrees of `Φ₁ … Φ_max_n`, used to probe whether the family is of
+    /// polynomial degree (Section 5.2).
+    pub fn degree_profile(&self, max_n: usize) -> Vec<u128> {
+        (1..=max_n).map(|n| self.member(n).degree()).collect()
+    }
+
+    /// The sizes of `Φ₁ … Φ_max_n`.
+    pub fn size_profile(&self, max_n: usize) -> Vec<usize> {
+        (1..=max_n).map(|n| self.member(n).size()).collect()
+    }
+
+    /// A crude polynomial-degree check: reports whether every observed degree
+    /// is bounded by `4·n^max_exponent`.  (A heuristic probe, not a proof —
+    /// families like `2ⁿ` fail it immediately, which is all experiment E8
+    /// needs; the constant 4 absorbs small-n offsets.)
+    pub fn looks_polynomial_degree(&self, max_n: usize, max_exponent: u32) -> bool {
+        self.degree_profile(max_n)
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| {
+                let n = (i + 1) as u128;
+                d <= 4u128.saturating_mul(n.saturating_pow(max_exponent)).max(1)
+            })
+    }
+
+    /// The family `Φₙ = x₁ + ⋯ + xₙ` (degree 1).
+    pub fn sum_of_inputs() -> CircuitFamily {
+        CircuitFamily::new("sum-of-inputs", |n| {
+            let mut c = Circuit::new();
+            let inputs: Vec<_> = (0..n).map(|i| c.input(i)).collect();
+            let s = c.add(inputs).expect("children exist");
+            c.mark_output(s).expect("gate exists");
+            c
+        })
+    }
+
+    /// The family `Φₙ = x₁·x₂·⋯·xₙ` (degree n).
+    pub fn product_of_inputs() -> CircuitFamily {
+        CircuitFamily::new("product-of-inputs", |n| {
+            let mut c = Circuit::new();
+            let inputs: Vec<_> = (0..n).map(|i| c.input(i)).collect();
+            let m = c.mul(inputs).expect("children exist");
+            c.mark_output(m).expect("gate exists");
+            c
+        })
+    }
+
+    /// The family `Φₙ = Σᵢ xᵢ²` (degree 2), a typical "polynomial degree"
+    /// example.
+    pub fn sum_of_squares() -> CircuitFamily {
+        CircuitFamily::new("sum-of-squares", |n| {
+            let mut c = Circuit::new();
+            let mut squares = Vec::with_capacity(n);
+            for i in 0..n {
+                let x = c.input(i);
+                squares.push(c.mul(vec![x, x]).expect("children exist"));
+            }
+            let s = c.add(squares).expect("children exist");
+            c.mark_output(s).expect("gate exists");
+            c
+        })
+    }
+
+    /// The family obtained by repeated squaring of a single input,
+    /// `Φₙ = x₁^(2ⁿ)` — polynomial *size* but **exponential degree**, the
+    /// canonical witness separating polynomial-size from polynomial-degree
+    /// families (Section 5.2, the `e_exp` example).
+    pub fn repeated_squaring() -> CircuitFamily {
+        CircuitFamily::new("repeated-squaring", |n| {
+            let mut c = Circuit::new();
+            let mut g = c.input(0);
+            for _ in 0..n {
+                g = c.mul(vec![g, g]).expect("children exist");
+            }
+            c.mark_output(g).expect("gate exists");
+            c
+        })
+    }
+
+    /// The balanced binary product tree over `n` inputs (degree `n`,
+    /// logarithmic depth) — the shape produced by the depth-reduction results
+    /// of Valiant–Skyum and Allender et al. that Corollary 5.2 relies on.
+    pub fn balanced_product() -> CircuitFamily {
+        CircuitFamily::new("balanced-product", |n| {
+            let mut c = Circuit::new();
+            let mut layer: Vec<_> = (0..n.max(1)).map(|i| c.input(i)).collect();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(c.mul(vec![pair[0], pair[1]]).expect("children exist"));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+            }
+            c.mark_output(layer[0]).expect("gate exists");
+            c
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::Real;
+
+    #[test]
+    fn sum_and_product_families_evaluate_correctly() {
+        let sum = CircuitFamily::sum_of_inputs();
+        let product = CircuitFamily::product_of_inputs();
+        let inputs: Vec<Real> = (1..=5).map(|v| Real(v as f64)).collect();
+        assert_eq!(sum.member(5).evaluate(&inputs).unwrap(), vec![Real(15.0)]);
+        assert_eq!(product.member(5).evaluate(&inputs).unwrap(), vec![Real(120.0)]);
+        assert_eq!(sum.name(), "sum-of-inputs");
+    }
+
+    #[test]
+    fn degree_profiles_match_theory() {
+        assert_eq!(CircuitFamily::sum_of_inputs().degree_profile(5), vec![1, 1, 1, 1, 1]);
+        assert_eq!(CircuitFamily::product_of_inputs().degree_profile(5), vec![1, 2, 3, 4, 5]);
+        assert_eq!(CircuitFamily::sum_of_squares().degree_profile(4), vec![2, 2, 2, 2]);
+        assert_eq!(
+            CircuitFamily::repeated_squaring().degree_profile(5),
+            vec![2, 4, 8, 16, 32]
+        );
+    }
+
+    #[test]
+    fn polynomial_degree_probe_separates_the_families() {
+        assert!(CircuitFamily::sum_of_inputs().looks_polynomial_degree(16, 1));
+        assert!(CircuitFamily::product_of_inputs().looks_polynomial_degree(16, 1));
+        assert!(CircuitFamily::sum_of_squares().looks_polynomial_degree(16, 2));
+        assert!(!CircuitFamily::repeated_squaring().looks_polynomial_degree(16, 3));
+    }
+
+    #[test]
+    fn balanced_product_has_logarithmic_depth_and_linear_degree() {
+        let family = CircuitFamily::balanced_product();
+        let c = family.member(16);
+        assert_eq!(c.degree(), 16);
+        assert_eq!(c.depth(), 4);
+        let inputs: Vec<Real> = (0..16).map(|_| Real(2.0)).collect();
+        assert_eq!(c.evaluate(&inputs).unwrap(), vec![Real(65536.0)]);
+        // Agrees with the flat product family semantically.
+        let flat = CircuitFamily::product_of_inputs().member(16);
+        assert_eq!(flat.evaluate(&inputs).unwrap(), vec![Real(65536.0)]);
+    }
+
+    #[test]
+    fn size_profile_grows_with_n() {
+        let sizes = CircuitFamily::sum_of_squares().size_profile(6);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn debug_prints_the_name() {
+        let dbg = format!("{:?}", CircuitFamily::sum_of_inputs());
+        assert!(dbg.contains("sum-of-inputs"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Desugaring of derived operators into "core" for-MATLANG.
+//!
+//! Section 3.1 of the paper shows that the one-vector and `diag` operators
+//! are redundant in for-MATLANG (Examples 3.1 and 3.2) and Section 6.1
+//! defines `Σv. e` as `for v, X. X + e`.  This module performs exactly those
+//! rewritings (plus inlining of the `let` sugar), so that
+//!
+//! * the "core" grammar `e ::= V | eᵀ | e·e | e+e | e×e | f(e…) | for v,X. e`
+//!   of Section 3.1 is reachable mechanically, and
+//! * the equivalence of the sugared and desugared forms can be tested
+//!   empirically (see the crate's integration tests).
+//!
+//! `Π∘` and `Π` are *not* rewritten: they carry their own initialization
+//! (the all-ones matrix / the identity) and remain primitive, as in
+//! Section 6.2/6.3.
+
+use crate::expr::Expr;
+use crate::schema::{Dim, MatrixType, Schema};
+use crate::typecheck::{typecheck, TypeError};
+
+/// Rewrites `Ones`, `Diag`, `Sum` and `Let` into core for-MATLANG constructs.
+///
+/// The `schema` is needed to determine the row symbol of the argument of
+/// `Ones`/`Diag` and the result type of `Σ`-bodies; loop binders encountered
+/// during the traversal extend it locally.
+pub fn desugar(expr: &Expr, schema: &Schema) -> Result<Expr, TypeError> {
+    let mut fresh = FreshNames::default();
+    desugar_rec(expr, schema, &mut fresh)
+}
+
+/// Whether an expression is already in the core for-MATLANG grammar of
+/// Section 3.1 (no `Ones`, `Diag`, `Let`, `Σ`, `Π∘`, `Π`).
+pub fn is_core(expr: &Expr) -> bool {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => true,
+        Expr::Transpose(e) => is_core(e),
+        Expr::Ones(_) | Expr::Diag(_) | Expr::Let { .. } => false,
+        Expr::Sum { .. } | Expr::HProd { .. } | Expr::MProd { .. } => false,
+        Expr::MatMul(a, b) | Expr::Add(a, b) | Expr::ScalarMul(a, b) | Expr::Hadamard(a, b) => {
+            is_core(a) && is_core(b)
+        }
+        Expr::Apply(_, args) => args.iter().all(is_core),
+        Expr::For { init, body, .. } => {
+            init.as_ref().map(|e| is_core(e)).unwrap_or(true) && is_core(body)
+        }
+    }
+}
+
+#[derive(Default)]
+struct FreshNames {
+    counter: usize,
+}
+
+impl FreshNames {
+    fn next(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("__{prefix}{}", self.counter)
+    }
+}
+
+fn row_symbol(ty: &MatrixType) -> Result<String, TypeError> {
+    match &ty.rows {
+        Dim::Sym(s) => Ok(s.clone()),
+        // A 1×… argument: iterate over the distinguished dimension 1.  The
+        // paper never needs this case, but it is well-defined: the loop runs
+        // exactly once.
+        Dim::One => Ok(one_dim_symbol().to_string()),
+    }
+}
+
+/// The pseudo size symbol used for one-row arguments; instances created by
+/// helper APIs always assign it the value 1.
+pub fn one_dim_symbol() -> &'static str {
+    "__one"
+}
+
+fn desugar_rec(expr: &Expr, schema: &Schema, fresh: &mut FreshNames) -> Result<Expr, TypeError> {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => Ok(expr.clone()),
+        Expr::Transpose(e) => Ok(Expr::Transpose(Box::new(desugar_rec(e, schema, fresh)?))),
+        Expr::MatMul(a, b) => Ok(Expr::MatMul(
+            Box::new(desugar_rec(a, schema, fresh)?),
+            Box::new(desugar_rec(b, schema, fresh)?),
+        )),
+        Expr::Add(a, b) => Ok(Expr::Add(
+            Box::new(desugar_rec(a, schema, fresh)?),
+            Box::new(desugar_rec(b, schema, fresh)?),
+        )),
+        Expr::ScalarMul(a, b) => Ok(Expr::ScalarMul(
+            Box::new(desugar_rec(a, schema, fresh)?),
+            Box::new(desugar_rec(b, schema, fresh)?),
+        )),
+        Expr::Hadamard(a, b) => Ok(Expr::Hadamard(
+            Box::new(desugar_rec(a, schema, fresh)?),
+            Box::new(desugar_rec(b, schema, fresh)?),
+        )),
+        Expr::Apply(name, args) => Ok(Expr::Apply(
+            name.clone(),
+            args.iter()
+                .map(|a| desugar_rec(a, schema, fresh))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::Ones(e) => {
+            // Example 3.1: 1(e) = for v, X. X + v, with type(v) = (α, 1) where
+            // type(e) = (α, β).
+            let inner = desugar_rec(e, schema, fresh)?;
+            let ty = typecheck(&inner, schema)?;
+            let sym = row_symbol(&ty)?;
+            let v = fresh.next("v");
+            let x = fresh.next("X");
+            Ok(Expr::for_loop(
+                v.clone(),
+                sym.clone(),
+                x.clone(),
+                MatrixType::new(ty.rows.clone(), Dim::One),
+                Expr::var(x).add(Expr::var(v)),
+            ))
+        }
+        Expr::Diag(e) => {
+            // Example 3.2: diag(e) = for v, X. X + (vᵀ·e) × (v·vᵀ).
+            let inner = desugar_rec(e, schema, fresh)?;
+            let ty = typecheck(&inner, schema)?;
+            if !ty.cols.is_one() {
+                return Err(TypeError::NotAVector { found: ty });
+            }
+            let sym = row_symbol(&ty)?;
+            let v = fresh.next("v");
+            let x = fresh.next("X");
+            let body = Expr::var(&x).add(
+                Expr::var(&v)
+                    .t()
+                    .mm(inner)
+                    .smul(Expr::var(&v).mm(Expr::var(&v).t())),
+            );
+            Ok(Expr::for_loop(
+                v,
+                sym,
+                x,
+                MatrixType::new(ty.rows.clone(), ty.rows.clone()),
+                body,
+            ))
+        }
+        Expr::Sum { var, var_dim, body } => {
+            // Σv. e = for v, X. X + e (Section 6.1).
+            let mut extended = schema.clone();
+            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let body = desugar_rec(body, &extended, fresh)?;
+            let body_ty = typecheck(&body, &extended)?;
+            let x = fresh.next("X");
+            Ok(Expr::For {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                acc: x.clone(),
+                acc_type: body_ty,
+                init: None,
+                body: Box::new(Expr::var(x).add(body)),
+            })
+        }
+        Expr::Let { var, value, body } => {
+            // Footnote 1: `let` is substitution sugar.
+            let value = desugar_rec(value, schema, fresh)?;
+            let mut extended = schema.clone();
+            extended.declare(var.clone(), typecheck(&value, schema)?);
+            let body = desugar_rec(body, &extended, fresh)?;
+            Ok(body.substitute(var, &value))
+        }
+        Expr::For {
+            var,
+            var_dim,
+            acc,
+            acc_type,
+            init,
+            body,
+        } => {
+            let init = match init {
+                Some(e) => Some(Box::new(desugar_rec(e, schema, fresh)?)),
+                None => None,
+            };
+            let mut extended = schema.clone();
+            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            extended.declare(acc.clone(), acc_type.clone());
+            let body = desugar_rec(body, &extended, fresh)?;
+            Ok(Expr::For {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                acc: acc.clone(),
+                acc_type: acc_type.clone(),
+                init,
+                body: Box::new(body),
+            })
+        }
+        Expr::HProd { var, var_dim, body } => {
+            let mut extended = schema.clone();
+            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            Ok(Expr::HProd {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                body: Box::new(desugar_rec(body, &extended, fresh)?),
+            })
+        }
+        Expr::MProd { var, var_dim, body } => {
+            let mut extended = schema.clone();
+            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            Ok(Expr::MProd {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                body: Box::new(desugar_rec(body, &extended, fresh)?),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::functions::FunctionRegistry;
+    use crate::schema::Instance;
+    use matlang_matrix::Matrix;
+    use matlang_semiring::Real;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_var("A", MatrixType::square("a"))
+            .with_var("u", MatrixType::vector("a"))
+    }
+
+    fn instance() -> Instance<Real> {
+        Instance::new()
+            .with_dim("a", 3)
+            .with_matrix("A", Matrix::from_f64_rows(&[
+                &[1.0, 2.0, 0.0],
+                &[0.0, 3.0, 1.0],
+                &[4.0, 0.0, 5.0],
+            ]).unwrap())
+            .with_matrix("u", Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap())
+    }
+
+    fn assert_equivalent(sugared: &Expr) {
+        let core = desugar(sugared, &schema()).unwrap();
+        assert!(is_core(&core), "desugared expression is not core: {core}");
+        let reg = FunctionRegistry::standard_field();
+        let inst = instance();
+        let lhs = evaluate(sugared, &inst, &reg).unwrap();
+        let rhs = evaluate(&core, &inst, &reg).unwrap();
+        assert_eq!(lhs, rhs, "sugared and desugared results differ for {sugared}");
+    }
+
+    #[test]
+    fn ones_desugars_to_example_3_1() {
+        assert_equivalent(&Expr::var("A").ones());
+    }
+
+    #[test]
+    fn diag_desugars_to_example_3_2() {
+        assert_equivalent(&Expr::var("u").diag());
+        assert_equivalent(&Expr::var("A").ones().diag());
+    }
+
+    #[test]
+    fn sum_desugars_to_additive_for_loop() {
+        assert_equivalent(&Expr::sum(
+            "v",
+            "a",
+            Expr::var("v").mm(Expr::var("v").t()),
+        ));
+        assert_equivalent(&Expr::sum(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        ));
+    }
+
+    #[test]
+    fn let_is_inlined_by_substitution() {
+        let e = Expr::let_in(
+            "T",
+            Expr::var("A").mm(Expr::var("A")),
+            Expr::var("T").add(Expr::var("T").t()),
+        );
+        assert_equivalent(&e);
+        let core = desugar(&e, &schema()).unwrap();
+        assert!(!format!("{core}").contains("let"));
+    }
+
+    #[test]
+    fn nested_sugar_is_fully_removed() {
+        let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("A").ones().t()));
+        let core = desugar(&e, &schema()).unwrap();
+        assert!(is_core(&core));
+        assert_equivalent(&e);
+    }
+
+    #[test]
+    fn diag_of_non_vector_is_rejected() {
+        let e = Expr::var("A").diag();
+        assert!(matches!(
+            desugar(&e, &schema()),
+            Err(TypeError::NotAVector { .. })
+        ));
+    }
+
+    #[test]
+    fn hprod_and_mprod_are_left_primitive_but_bodies_are_desugared() {
+        let e = Expr::hprod("v", "a", Expr::var("v").t().mm(Expr::var("A").ones()));
+        let d = desugar(&e, &schema()).unwrap();
+        match &d {
+            Expr::HProd { body, .. } => assert!(is_core(body)),
+            other => panic!("expected HProd, got {other}"),
+        }
+        assert!(!is_core(&d));
+        let m = Expr::mprod("v", "a", Expr::var("A"));
+        assert!(matches!(desugar(&m, &schema()).unwrap(), Expr::MProd { .. }));
+    }
+
+    #[test]
+    fn is_core_classifies_correctly() {
+        assert!(is_core(&Expr::var("A").t().mm(Expr::var("A"))));
+        assert!(!is_core(&Expr::var("A").ones()));
+        assert!(!is_core(&Expr::let_in("T", Expr::var("A"), Expr::var("T"))));
+        let f = Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::vector("a"),
+            Expr::var("X").add(Expr::var("v")),
+        );
+        assert!(is_core(&f));
+    }
+
+    #[test]
+    fn desugared_expressions_still_typecheck() {
+        let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("A").ones().t()));
+        let core = desugar(&e, &schema()).unwrap();
+        let ty = typecheck(&core, &schema()).unwrap();
+        assert_eq!(ty, MatrixType::square("a"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Pretty-printing of expressions in a concrete textual syntax.
+//!
+//! The syntax printed here is the one accepted by the `matlang-parser` crate;
+//! the parser's round-trip tests rely on `format!("{expr}")` producing a
+//! string that parses back to an equal AST.
+
+use crate::expr::Expr;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self, f)
+    }
+}
+
+fn write_expr(expr: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        Expr::Var(name) => write!(f, "{name}"),
+        Expr::Const(c) => {
+            if *c < 0.0 {
+                write!(f, "(const {c})")
+            } else {
+                write!(f, "(const {c})")
+            }
+        }
+        Expr::Transpose(e) => {
+            write!(f, "transpose(")?;
+            write_expr(e, f)?;
+            write!(f, ")")
+        }
+        Expr::Ones(e) => {
+            write!(f, "ones(")?;
+            write_expr(e, f)?;
+            write!(f, ")")
+        }
+        Expr::Diag(e) => {
+            write!(f, "diag(")?;
+            write_expr(e, f)?;
+            write!(f, ")")
+        }
+        Expr::MatMul(a, b) => binary(f, "(", a, " * ", b, ")"),
+        Expr::Add(a, b) => binary(f, "(", a, " + ", b, ")"),
+        Expr::ScalarMul(a, b) => binary(f, "(", a, " .* ", b, ")"),
+        Expr::Hadamard(a, b) => binary(f, "(", a, " ** ", b, ")"),
+        Expr::Apply(name, args) => {
+            write!(f, "apply[{name}](")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Let { var, value, body } => {
+            write!(f, "(let {var} = ")?;
+            write_expr(value, f)?;
+            write!(f, " in ")?;
+            write_expr(body, f)?;
+            write!(f, ")")
+        }
+        Expr::For {
+            var,
+            var_dim,
+            acc,
+            acc_type,
+            init,
+            body,
+        } => {
+            write!(f, "(for {var}:{var_dim}, {acc}:[{},{}]", acc_type.rows, acc_type.cols)?;
+            if let Some(init) = init {
+                write!(f, " = ")?;
+                write_expr(init, f)?;
+            }
+            write!(f, " . ")?;
+            write_expr(body, f)?;
+            write!(f, ")")
+        }
+        Expr::Sum { var, var_dim, body } => quantifier(f, "sum", var, var_dim, body),
+        Expr::HProd { var, var_dim, body } => quantifier(f, "hprod", var, var_dim, body),
+        Expr::MProd { var, var_dim, body } => quantifier(f, "mprod", var, var_dim, body),
+    }
+}
+
+fn binary(
+    f: &mut fmt::Formatter<'_>,
+    open: &str,
+    a: &Expr,
+    sep: &str,
+    b: &Expr,
+    close: &str,
+) -> fmt::Result {
+    write!(f, "{open}")?;
+    write_expr(a, f)?;
+    write!(f, "{sep}")?;
+    write_expr(b, f)?;
+    write!(f, "{close}")
+}
+
+fn quantifier(
+    f: &mut fmt::Formatter<'_>,
+    name: &str,
+    var: &str,
+    var_dim: &str,
+    body: &Expr,
+) -> fmt::Result {
+    write!(f, "({name} {var}:{var_dim} . ")?;
+    write_expr(body, f)?;
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MatrixType;
+
+    #[test]
+    fn displays_core_operators() {
+        let e = Expr::var("A").t().mm(Expr::var("B")).add(Expr::lit(1.0));
+        assert_eq!(e.to_string(), "((transpose(A) * B) + (const 1))");
+    }
+
+    #[test]
+    fn displays_quantifiers_and_loops() {
+        let s = Expr::sum("v", "a", Expr::var("v"));
+        assert_eq!(s.to_string(), "(sum v:a . v)");
+        let h = Expr::hprod("v", "a", Expr::var("v"));
+        assert_eq!(h.to_string(), "(hprod v:a . v)");
+        let p = Expr::mprod("v", "a", Expr::var("A"));
+        assert_eq!(p.to_string(), "(mprod v:a . A)");
+        let f = Expr::for_init(
+            "v",
+            "a",
+            "X",
+            MatrixType::square("a"),
+            Expr::var("A"),
+            Expr::var("X"),
+        );
+        assert_eq!(f.to_string(), "(for v:a, X:[a,a] = A . X)");
+        let f0 = Expr::for_loop("v", "a", "X", MatrixType::vector("a"), Expr::var("X"));
+        assert_eq!(f0.to_string(), "(for v:a, X:[a,1] . X)");
+    }
+
+    #[test]
+    fn displays_pointwise_application_and_let() {
+        let e = Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]);
+        assert_eq!(e.to_string(), "apply[div](A, B)");
+        let l = Expr::let_in("T", Expr::var("A"), Expr::var("T"));
+        assert_eq!(l.to_string(), "(let T = A in T)");
+        let sc = Expr::lit(2.0).smul(Expr::var("A").had(Expr::var("B")));
+        assert_eq!(sc.to_string(), "((const 2) .* (A ** B))");
+        assert_eq!(Expr::var("A").ones().diag().to_string(), "diag(ones(A))");
+    }
+}

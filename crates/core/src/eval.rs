@@ -1,0 +1,719 @@
+//! The semiring-generic evaluator: the semantics `⟦e⟧(I)` of Sections 2, 3
+//! and 6.
+
+use crate::expr::Expr;
+use crate::functions::FunctionRegistry;
+use crate::schema::{Dim, Instance};
+use matlang_matrix::{Matrix, MatrixError};
+use matlang_semiring::Semiring;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A matrix variable has no assigned matrix (neither in the instance nor
+    /// bound by an enclosing loop/let).
+    UnknownVariable {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A pointwise function name is not present in the registry.
+    UnknownFunction {
+        /// The unresolved function name.
+        name: String,
+    },
+    /// A size symbol used by a loop has no assigned dimension.
+    UnknownDimension {
+        /// The unresolved size symbol.
+        symbol: String,
+    },
+    /// A loop iterates over a dimension assigned the value zero; the result
+    /// shape would be ill-defined for Σ/Π∘/Π.
+    EmptyIteration {
+        /// The offending size symbol.
+        symbol: String,
+    },
+    /// The left operand of scalar multiplication did not evaluate to a `1×1`
+    /// matrix.
+    NotAScalar {
+        /// The shape that was produced instead.
+        shape: (usize, usize),
+    },
+    /// A loop body produced a matrix whose shape differs from the accumulator.
+    LoopShapeMismatch {
+        /// The accumulator variable.
+        acc: String,
+        /// The accumulator shape.
+        expected: (usize, usize),
+        /// The body's shape.
+        found: (usize, usize),
+    },
+    /// An underlying matrix operation failed (shape mismatch etc.).
+    Matrix(MatrixError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable { name } => write!(f, "unbound matrix variable `{name}`"),
+            EvalError::UnknownFunction { name } => {
+                write!(f, "pointwise function `{name}` is not registered")
+            }
+            EvalError::UnknownDimension { symbol } => {
+                write!(f, "size symbol `{symbol}` has no assigned dimension")
+            }
+            EvalError::EmptyIteration { symbol } => {
+                write!(f, "size symbol `{symbol}` is assigned 0; loops require dimension ≥ 1")
+            }
+            EvalError::NotAScalar { shape } => write!(
+                f,
+                "scalar multiplication expects a 1x1 left operand, got {}x{}",
+                shape.0, shape.1
+            ),
+            EvalError::LoopShapeMismatch { acc, expected, found } => write!(
+                f,
+                "loop body produced shape {}x{} but accumulator `{acc}` has shape {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            EvalError::Matrix(e) => write!(f, "matrix operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<MatrixError> for EvalError {
+    fn from(e: MatrixError) -> Self {
+        EvalError::Matrix(e)
+    }
+}
+
+/// Evaluates `expr` over `instance`, resolving pointwise functions in
+/// `registry`.  This is `⟦expr⟧(instance)`.
+pub fn evaluate<K: Semiring>(
+    expr: &Expr,
+    instance: &Instance<K>,
+    registry: &FunctionRegistry<K>,
+) -> Result<Matrix<K>, EvalError> {
+    evaluate_with_env(expr, instance, registry, &HashMap::new())
+}
+
+/// Evaluates `expr` with an extra layer of local variable bindings, which
+/// shadow the instance's matrices.  Used internally for loop variables and
+/// exposed for callers that want to pre-bind canonical vectors (e.g. the
+/// RA⁺_K and WL translations evaluate open expressions this way).
+pub fn evaluate_with_env<K: Semiring>(
+    expr: &Expr,
+    instance: &Instance<K>,
+    registry: &FunctionRegistry<K>,
+    env: &HashMap<String, Matrix<K>>,
+) -> Result<Matrix<K>, EvalError> {
+    let mut env = env.clone();
+    eval(expr, instance, registry, &mut env)
+}
+
+fn lookup<K: Semiring>(
+    name: &str,
+    instance: &Instance<K>,
+    env: &HashMap<String, Matrix<K>>,
+) -> Result<Matrix<K>, EvalError> {
+    if let Some(m) = env.get(name) {
+        return Ok(m.clone());
+    }
+    instance
+        .matrix(name)
+        .cloned()
+        .ok_or_else(|| EvalError::UnknownVariable {
+            name: name.to_string(),
+        })
+}
+
+fn dim_of<K: Semiring>(symbol: &str, instance: &Instance<K>) -> Result<usize, EvalError> {
+    let n = instance
+        .dim_value(&Dim::Sym(symbol.to_string()))
+        .ok_or_else(|| EvalError::UnknownDimension {
+            symbol: symbol.to_string(),
+        })?;
+    if n == 0 {
+        return Err(EvalError::EmptyIteration {
+            symbol: symbol.to_string(),
+        });
+    }
+    Ok(n)
+}
+
+fn eval<K: Semiring>(
+    expr: &Expr,
+    instance: &Instance<K>,
+    registry: &FunctionRegistry<K>,
+    env: &mut HashMap<String, Matrix<K>>,
+) -> Result<Matrix<K>, EvalError> {
+    match expr {
+        Expr::Var(name) => lookup(name, instance, env),
+        Expr::Const(c) => Ok(Matrix::scalar(K::from_f64(*c))),
+        Expr::Transpose(e) => Ok(eval(e, instance, registry, env)?.transpose()),
+        Expr::Ones(e) => {
+            let value = eval(e, instance, registry, env)?;
+            Ok(Matrix::ones_vector(value.rows()))
+        }
+        Expr::Diag(e) => {
+            let value = eval(e, instance, registry, env)?;
+            Ok(value.diag()?)
+        }
+        Expr::MatMul(a, b) => {
+            let left = eval(a, instance, registry, env)?;
+            let right = eval(b, instance, registry, env)?;
+            Ok(left.matmul(&right)?)
+        }
+        Expr::Add(a, b) => {
+            let left = eval(a, instance, registry, env)?;
+            let right = eval(b, instance, registry, env)?;
+            Ok(left.add(&right)?)
+        }
+        Expr::ScalarMul(a, b) => {
+            let left = eval(a, instance, registry, env)?;
+            if !left.is_scalar() {
+                return Err(EvalError::NotAScalar { shape: left.shape() });
+            }
+            let scalar = left.as_scalar()?;
+            let right = eval(b, instance, registry, env)?;
+            Ok(right.scalar_mul(&scalar))
+        }
+        Expr::Hadamard(a, b) => {
+            let left = eval(a, instance, registry, env)?;
+            let right = eval(b, instance, registry, env)?;
+            Ok(left.hadamard(&right)?)
+        }
+        Expr::Apply(name, args) => {
+            let f = registry
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownFunction { name: name.clone() })?
+                .clone();
+            let values: Vec<Matrix<K>> = args
+                .iter()
+                .map(|a| eval(a, instance, registry, env))
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&Matrix<K>> = values.iter().collect();
+            Ok(Matrix::zip_with(&refs, |entries| f(entries))?)
+        }
+        Expr::Let { var, value, body } => {
+            let bound = eval(value, instance, registry, env)?;
+            let saved = env.insert(var.clone(), bound);
+            let result = eval(body, instance, registry, env);
+            restore(env, var, saved);
+            result
+        }
+        Expr::For {
+            var,
+            var_dim,
+            acc,
+            acc_type,
+            init,
+            body,
+        } => {
+            let n = dim_of(var_dim, instance)?;
+            let acc_shape = instance
+                .shape_of(acc_type)
+                .ok_or_else(|| EvalError::UnknownDimension {
+                    symbol: acc_type.rows.to_string(),
+                })?;
+            let mut accumulator = match init {
+                Some(init) => {
+                    let value = eval(init, instance, registry, env)?;
+                    if value.shape() != acc_shape {
+                        return Err(EvalError::LoopShapeMismatch {
+                            acc: acc.clone(),
+                            expected: acc_shape,
+                            found: value.shape(),
+                        });
+                    }
+                    value
+                }
+                None => Matrix::zeros(acc_shape.0, acc_shape.1),
+            };
+            let saved_var = env.remove(var);
+            let saved_acc = env.remove(acc);
+            let mut outcome = Ok(());
+            for i in 0..n {
+                let canonical = Matrix::canonical(n, i)?;
+                env.insert(var.clone(), canonical);
+                env.insert(acc.clone(), accumulator.clone());
+                match eval(body, instance, registry, env) {
+                    Ok(value) => {
+                        if value.shape() != acc_shape {
+                            outcome = Err(EvalError::LoopShapeMismatch {
+                                acc: acc.clone(),
+                                expected: acc_shape,
+                                found: value.shape(),
+                            });
+                            break;
+                        }
+                        accumulator = value;
+                    }
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            restore_opt(env, var, saved_var);
+            restore_opt(env, acc, saved_acc);
+            outcome.map(|_| accumulator)
+        }
+        Expr::Sum { var, var_dim, body } => {
+            fold_loop(instance, registry, env, var, var_dim, body, |acc, value| {
+                Ok(match acc {
+                    None => value,
+                    Some(acc) => acc.add(&value)?,
+                })
+            })
+        }
+        Expr::HProd { var, var_dim, body } => {
+            fold_loop(instance, registry, env, var, var_dim, body, |acc, value| {
+                Ok(match acc {
+                    None => value,
+                    Some(acc) => acc.hadamard(&value)?,
+                })
+            })
+        }
+        Expr::MProd { var, var_dim, body } => {
+            fold_loop(instance, registry, env, var, var_dim, body, |acc, value| {
+                Ok(match acc {
+                    None => value,
+                    Some(acc) => acc.matmul(&value)?,
+                })
+            })
+        }
+    }
+}
+
+/// Shared iteration logic for the Σ / Π∘ / Π quantifiers: iterate the body
+/// over the canonical vectors and fold the results with `combine`.  Folding
+/// from the first value is equivalent to the paper's initialization with the
+/// neutral element (0, the all-ones matrix and the identity, respectively).
+fn fold_loop<K: Semiring>(
+    instance: &Instance<K>,
+    registry: &FunctionRegistry<K>,
+    env: &mut HashMap<String, Matrix<K>>,
+    var: &str,
+    var_dim: &str,
+    body: &Expr,
+    combine: impl Fn(Option<Matrix<K>>, Matrix<K>) -> Result<Matrix<K>, EvalError>,
+) -> Result<Matrix<K>, EvalError> {
+    let n = dim_of(var_dim, instance)?;
+    let saved_var = env.remove(var);
+    let mut acc: Option<Matrix<K>> = None;
+    let mut outcome = Ok(());
+    for i in 0..n {
+        let canonical = Matrix::canonical(n, i)?;
+        env.insert(var.to_string(), canonical);
+        match eval(body, instance, registry, env) {
+            Ok(value) => match combine(acc.take(), value) {
+                Ok(next) => acc = Some(next),
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            },
+            Err(e) => {
+                outcome = Err(e);
+                break;
+            }
+        }
+    }
+    restore_opt(env, var, saved_var);
+    outcome?;
+    acc.ok_or(EvalError::EmptyIteration {
+        symbol: var_dim.to_string(),
+    })
+}
+
+fn restore<K>(env: &mut HashMap<String, Matrix<K>>, name: &str, saved: Option<Matrix<K>>) {
+    match saved {
+        Some(m) => {
+            env.insert(name.to_string(), m);
+        }
+        None => {
+            env.remove(name);
+        }
+    }
+}
+
+fn restore_opt<K>(env: &mut HashMap<String, Matrix<K>>, name: &str, saved: Option<Matrix<K>>) {
+    restore(env, name, saved);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MatrixType;
+    use matlang_semiring::{Boolean, Nat, Real};
+
+    fn real_instance(n: usize, a: Matrix<Real>) -> Instance<Real> {
+        Instance::new().with_dim("a", n).with_matrix("A", a)
+    }
+
+    fn registry() -> FunctionRegistry<Real> {
+        FunctionRegistry::standard_field()
+    }
+
+    fn mat(rows: &[&[f64]]) -> Matrix<Real> {
+        Matrix::from_f64_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn variables_constants_and_basic_ops() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let inst = real_instance(2, a.clone());
+        let reg = registry();
+        assert_eq!(evaluate(&Expr::var("A"), &inst, &reg).unwrap(), a);
+        assert_eq!(
+            evaluate(&Expr::lit(2.5), &inst, &reg).unwrap(),
+            Matrix::scalar(Real(2.5))
+        );
+        assert_eq!(
+            evaluate(&Expr::var("A").t(), &inst, &reg).unwrap(),
+            a.transpose()
+        );
+        assert_eq!(
+            evaluate(&Expr::var("A").add(Expr::var("A")), &inst, &reg).unwrap(),
+            a.add(&a).unwrap()
+        );
+        assert_eq!(
+            evaluate(&Expr::var("A").mm(Expr::var("A")), &inst, &reg).unwrap(),
+            a.matmul(&a).unwrap()
+        );
+        assert!(matches!(
+            evaluate(&Expr::var("Z"), &inst, &reg),
+            Err(EvalError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn ones_and_diag_operators() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let inst = real_instance(2, a);
+        let reg = registry();
+        assert_eq!(
+            evaluate(&Expr::var("A").ones(), &inst, &reg).unwrap(),
+            Matrix::ones_vector(2)
+        );
+        let diag = evaluate(&Expr::var("A").ones().diag(), &inst, &reg).unwrap();
+        assert_eq!(diag, Matrix::identity(2));
+    }
+
+    #[test]
+    fn scalar_multiplication_requires_scalar() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let inst = real_instance(2, a.clone());
+        let reg = registry();
+        let ok = evaluate(&Expr::lit(2.0).smul(Expr::var("A")), &inst, &reg).unwrap();
+        assert_eq!(ok, a.scalar_mul(&Real(2.0)));
+        assert!(matches!(
+            evaluate(&Expr::var("A").smul(Expr::var("A")), &inst, &reg),
+            Err(EvalError::NotAScalar { .. })
+        ));
+    }
+
+    #[test]
+    fn hadamard_product_is_pointwise() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let inst = real_instance(2, a.clone());
+        let reg = registry();
+        assert_eq!(
+            evaluate(&Expr::var("A").had(Expr::var("A")), &inst, &reg).unwrap(),
+            a.hadamard(&a).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_resolves_registered_functions() {
+        let a = mat(&[&[4.0, 9.0]]);
+        let inst = Instance::new().with_dim("a", 2).with_matrix("A", a);
+        let mut reg = registry();
+        reg.register("sqrt", |args: &[Real]| Real(args[0].0.sqrt()));
+        let out = evaluate(&Expr::apply("sqrt", vec![Expr::var("A")]), &inst, &reg).unwrap();
+        assert_eq!(out, mat(&[&[2.0, 3.0]]));
+        assert!(matches!(
+            evaluate(&Expr::apply("nope", vec![Expr::var("A")]), &inst, &reg),
+            Err(EvalError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn division_function_from_the_paper() {
+        let inst: Instance<Real> = Instance::new().with_dim("a", 1);
+        let reg = registry();
+        let e = Expr::apply("div", vec![Expr::lit(6.0), Expr::lit(3.0)]);
+        assert_eq!(evaluate(&e, &inst, &reg).unwrap(), Matrix::scalar(Real(2.0)));
+    }
+
+    #[test]
+    fn example_3_1_one_vector_via_for_loop() {
+        // e₁ := for v, X. X + v evaluates to the all-ones vector.
+        let e = Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::vector("a"),
+            Expr::var("X").add(Expr::var("v")),
+        );
+        let inst = real_instance(4, Matrix::zeros(4, 4));
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            Matrix::ones_vector(4)
+        );
+    }
+
+    #[test]
+    fn example_order_e_max_returns_last_canonical_vector() {
+        // e_max := for v, X. v overwrites X and ends with bₙ (Section 3.2).
+        let e = Expr::for_loop("v", "a", "X", MatrixType::vector("a"), Expr::var("v"));
+        let inst = real_instance(5, Matrix::zeros(5, 5));
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            Matrix::canonical(5, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn example_3_2_diag_via_for_loop() {
+        // e_diag := for v, X. X + (vᵀ·e) × v·vᵀ with e = 1(A) gives the identity.
+        let body = Expr::var("X").add(
+            Expr::var("v")
+                .t()
+                .mm(Expr::var("A").ones())
+                .smul(Expr::var("v").mm(Expr::var("v").t())),
+        );
+        let e = Expr::for_loop("v", "a", "X", MatrixType::square("a"), body);
+        let inst = real_instance(3, mat(&[&[7.0, 0.0, 0.0], &[0.0, 7.0, 0.0], &[0.0, 0.0, 7.0]]));
+        assert_eq!(evaluate(&e, &inst, &registry()).unwrap(), Matrix::identity(3));
+    }
+
+    #[test]
+    fn for_loop_with_initialization() {
+        // for v, X = A. X · X squares the accumulator n times: A^(2^n).
+        let e = Expr::for_init(
+            "v",
+            "a",
+            "X",
+            MatrixType::scalar(),
+            Expr::var("S"),
+            Expr::var("X").mm(Expr::var("X")),
+        );
+        let inst: Instance<Real> = Instance::new()
+            .with_dim("a", 3)
+            .with_matrix("S", Matrix::scalar(Real(2.0)));
+        // 2^(2^3) = 256.
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            Matrix::scalar(Real(256.0))
+        );
+    }
+
+    #[test]
+    fn sum_quantifier_matches_desugared_for() {
+        // Σv. v·vᵀ = identity matrix.
+        let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t()));
+        let inst = real_instance(4, Matrix::zeros(4, 4));
+        assert_eq!(evaluate(&e, &inst, &registry()).unwrap(), Matrix::identity(4));
+    }
+
+    #[test]
+    fn hprod_quantifier_multiplies_pointwise() {
+        // Π∘v. (vᵀ·A·v) over the diagonal (2, 3, 4) = 24 (Example 6.6).
+        let e = Expr::hprod(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        );
+        let a = mat(&[&[2.0, 9.0, 9.0], &[9.0, 3.0, 9.0], &[9.0, 9.0, 4.0]]);
+        let inst = real_instance(3, a);
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            Matrix::scalar(Real(24.0))
+        );
+    }
+
+    #[test]
+    fn mprod_quantifier_composes_matrix_products() {
+        // Πv. A = Aⁿ.
+        let e = Expr::mprod("v", "a", Expr::var("A"));
+        let a = mat(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let inst = real_instance(2, a.clone());
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            a.matmul(&a).unwrap()
+        );
+    }
+
+    #[test]
+    fn let_binding_shares_a_subexpression() {
+        let e = Expr::let_in(
+            "T",
+            Expr::var("A").mm(Expr::var("A")),
+            Expr::var("T").add(Expr::var("T")),
+        );
+        let a = mat(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let inst = real_instance(2, a.clone());
+        let expected = a.matmul(&a).unwrap().scalar_mul(&Real(2.0));
+        assert_eq!(evaluate(&e, &inst, &registry()).unwrap(), expected);
+    }
+
+    #[test]
+    fn loop_over_unknown_or_zero_dimension_fails() {
+        let e = Expr::sum("v", "missing", Expr::var("v"));
+        let inst = real_instance(3, Matrix::zeros(3, 3));
+        assert!(matches!(
+            evaluate(&e, &inst, &registry()),
+            Err(EvalError::UnknownDimension { .. })
+        ));
+        let zero = Expr::sum("v", "z", Expr::var("v"));
+        let inst = Instance::new()
+            .with_dim("z", 0)
+            .with_matrix("A", Matrix::<Real>::zeros(1, 1));
+        assert!(matches!(
+            evaluate(&zero, &inst, &registry()),
+            Err(EvalError::EmptyIteration { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_shape_mismatch_is_detected() {
+        // Accumulator declared square but the body is a vector.
+        let e = Expr::For {
+            var: "v".into(),
+            var_dim: "a".into(),
+            acc: "X".into(),
+            acc_type: MatrixType::square("a"),
+            init: None,
+            body: Box::new(Expr::var("v")),
+        };
+        let inst = real_instance(3, Matrix::zeros(3, 3));
+        assert!(matches!(
+            evaluate(&e, &inst, &registry()),
+            Err(EvalError::LoopShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn four_clique_example_3_3_over_reals() {
+        // Example 3.3: non-zero output iff the graph has a 4-clique.
+        let g = |u: &str, v: &str| {
+            Expr::lit(1.0).minus(Expr::var(u).t().mm(Expr::var(v)))
+        };
+        let pairwise_distinct = g("u", "v")
+            .mm(g("u", "w"))
+            .mm(g("u", "x"))
+            .mm(g("v", "w"))
+            .mm(g("v", "x"))
+            .mm(g("w", "x"));
+        let adjacency = |a: &str, b: &str| Expr::var(a).t().mm(Expr::var("V")).mm(Expr::var(b));
+        let body = adjacency("u", "v")
+            .mm(adjacency("u", "w"))
+            .mm(adjacency("u", "x"))
+            .mm(adjacency("v", "w"))
+            .mm(adjacency("v", "x"))
+            .mm(adjacency("w", "x"))
+            .mm(pairwise_distinct);
+        let e = Expr::sum(
+            "u",
+            "a",
+            Expr::sum("v", "a", Expr::sum("w", "a", Expr::sum("x", "a", body))),
+        );
+
+        // K4: complete graph on 4 vertices has a 4-clique.
+        let mut k4: Matrix<Real> = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    k4.set(i, j, Real(1.0)).unwrap();
+                }
+            }
+        }
+        let inst = Instance::new().with_dim("a", 4).with_matrix("V", k4);
+        let result = evaluate(&e, &inst, &registry()).unwrap().as_scalar().unwrap();
+        assert!(result.0 > 0.0);
+
+        // A 4-cycle has no 4-clique.
+        let cycle = mat(&[
+            &[0.0, 1.0, 0.0, 1.0],
+            &[1.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 0.0, 1.0],
+            &[1.0, 0.0, 1.0, 0.0],
+        ]);
+        let inst = Instance::new().with_dim("a", 4).with_matrix("V", cycle);
+        let result = evaluate(&e, &inst, &registry()).unwrap().as_scalar().unwrap();
+        assert_eq!(result.0, 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_generic_over_semirings() {
+        // Σv. vᵀ·A·v computes the "trace" in any semiring.
+        let e = Expr::sum(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        );
+        let nat_a: Matrix<Nat> =
+            Matrix::from_rows(vec![vec![Nat(1), Nat(5)], vec![Nat(7), Nat(3)]]).unwrap();
+        let inst: Instance<Nat> = Instance::new().with_dim("a", 2).with_matrix("A", nat_a);
+        let reg: FunctionRegistry<Nat> = FunctionRegistry::new();
+        assert_eq!(evaluate(&e, &inst, &reg).unwrap(), Matrix::scalar(Nat(4)));
+
+        let bool_a: Matrix<Boolean> = Matrix::from_rows(vec![
+            vec![Boolean(false), Boolean(true)],
+            vec![Boolean(true), Boolean(true)],
+        ])
+        .unwrap();
+        let inst: Instance<Boolean> = Instance::new().with_dim("a", 2).with_matrix("A", bool_a);
+        let reg: FunctionRegistry<Boolean> = FunctionRegistry::new();
+        assert_eq!(
+            evaluate(&e, &inst, &reg).unwrap(),
+            Matrix::scalar(Boolean(true))
+        );
+    }
+
+    #[test]
+    fn evaluate_with_env_pre_binds_variables() {
+        let e = Expr::var("v").t().mm(Expr::var("v"));
+        let inst: Instance<Real> = Instance::new().with_dim("a", 3);
+        let mut env = HashMap::new();
+        env.insert("v".to_string(), Matrix::canonical(3, 1).unwrap());
+        let out = evaluate_with_env(&e, &inst, &registry(), &env).unwrap();
+        assert_eq!(out, Matrix::scalar(Real(1.0)));
+    }
+
+    #[test]
+    fn loop_variables_do_not_leak_into_outer_scope() {
+        let inner = Expr::sum("v", "a", Expr::var("v"));
+        let outer = inner.add(Expr::var("v"));
+        let inst: Instance<Real> = Instance::new().with_dim("a", 2);
+        // `v` is not bound outside the Σ, so the addition must fail.
+        assert!(matches!(
+            evaluate(&outer, &inst, &registry()),
+            Err(EvalError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let errs = vec![
+            EvalError::UnknownVariable { name: "X".into() },
+            EvalError::UnknownFunction { name: "f".into() },
+            EvalError::UnknownDimension { symbol: "a".into() },
+            EvalError::EmptyIteration { symbol: "a".into() },
+            EvalError::NotAScalar { shape: (2, 2) },
+            EvalError::LoopShapeMismatch {
+                acc: "X".into(),
+                expected: (2, 2),
+                found: (2, 1),
+            },
+            EvalError::Matrix(MatrixError::NotSquare { shape: (1, 2) }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The expression AST for MATLANG and its extensions.
+
+use crate::schema::MatrixType;
+use std::collections::BTreeSet;
+
+/// A MATLANG / for-MATLANG expression.
+///
+/// The grammar follows Sections 2, 3 and 6 of the paper.  Loop binders carry
+/// the size symbol of the iteration vector (and, for `for`, the type of the
+/// accumulator variable) so that expressions are self-contained and can be
+/// type checked without having to pre-declare loop variables in the schema —
+/// this corresponds to the paper's convention that "S now necessarily
+/// includes v and X as variables and assigns size symbols to them".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A matrix variable `V`.
+    Var(String),
+    /// A literal scalar constant (a `1 × 1` matrix).  Constants such as `1`,
+    /// `2` or `1/2` appear in the paper's derived expressions (Appendix B–D);
+    /// each semiring interprets them through `Semiring::from_f64`.
+    Const(f64),
+    /// Transpose `eᵀ`.
+    Transpose(Box<Expr>),
+    /// The one-vector `1(e)`: an `n × 1` all-ones vector where `n` is the
+    /// number of rows of `e`.
+    Ones(Box<Expr>),
+    /// Diagonalization `diag(e)` of an `n × 1` vector into an `n × n`
+    /// diagonal matrix.
+    Diag(Box<Expr>),
+    /// Matrix multiplication `e₁ · e₂`.
+    MatMul(Box<Expr>, Box<Expr>),
+    /// Matrix addition `e₁ + e₂`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Scalar multiplication `e₁ × e₂` where `e₁` has type `(1, 1)`.
+    ScalarMul(Box<Expr>, Box<Expr>),
+    /// Hadamard (pointwise) product `e₁ ∘ e₂` (Section 6.2).
+    Hadamard(Box<Expr>, Box<Expr>),
+    /// Pointwise application `f(e₁, …, e_k)` of a named function from the
+    /// function registry.
+    Apply(String, Vec<Expr>),
+    /// `let V = e₁ in e₂` — syntactic sugar (footnote 1 of the paper).
+    Let {
+        /// The bound variable name.
+        var: String,
+        /// The expression whose value is bound.
+        value: Box<Expr>,
+        /// The expression in which the binding is visible.
+        body: Box<Expr>,
+    },
+    /// The canonical for-loop `for v, X. e` / `for v, X = e₀. e`
+    /// (Section 3.1 / 3.2).
+    For {
+        /// The iteration vector variable `v`, bound to `b₁ⁿ, …, bₙⁿ` in order.
+        var: String,
+        /// The size symbol `γ` with `type(v) = (γ, 1)`; the loop runs for
+        /// `D(γ)` iterations.
+        var_dim: String,
+        /// The accumulator variable `X`.
+        acc: String,
+        /// The type of the accumulator (equal to the type of the body).
+        acc_type: MatrixType,
+        /// Optional initialization `e₀` (defaults to the zero matrix).
+        init: Option<Box<Expr>>,
+        /// The loop body `e`, which may refer to both `v` and `X`.
+        body: Box<Expr>,
+    },
+    /// The additive-update loop `Σv. e := for v, X. X + e` (Section 6.1).
+    Sum {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol of the iteration vector.
+        var_dim: String,
+        /// The summand; may refer to `var` but not to an accumulator.
+        body: Box<Expr>,
+    },
+    /// The Hadamard-product loop `Π∘v. e := for v, X = 1. X ∘ e`
+    /// (Section 6.2).
+    HProd {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol of the iteration vector.
+        var_dim: String,
+        /// The factor; may refer to `var`.
+        body: Box<Expr>,
+    },
+    /// The matrix-product loop `Πv. e := for v, X = I. X · e` (Section 6.3).
+    MProd {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol of the iteration vector.
+        var_dim: String,
+        /// The factor; may refer to `var`.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// A matrix variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A literal scalar.
+    pub fn lit(value: f64) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// Transpose of this expression.
+    pub fn t(self) -> Expr {
+        Expr::Transpose(Box::new(self))
+    }
+
+    /// The one-vector of this expression.
+    pub fn ones(self) -> Expr {
+        Expr::Ones(Box::new(self))
+    }
+
+    /// Diagonalization of this (vector-typed) expression.
+    pub fn diag(self) -> Expr {
+        Expr::Diag(Box::new(self))
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn mm(self, rhs: Expr) -> Expr {
+        Expr::MatMul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Matrix sum `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// Scalar multiplication `self × rhs` (self must be `1 × 1`).
+    pub fn smul(self, rhs: Expr) -> Expr {
+        Expr::ScalarMul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Hadamard product `self ∘ rhs`.
+    pub fn had(self, rhs: Expr) -> Expr {
+        Expr::Hadamard(Box::new(self), Box::new(rhs))
+    }
+
+    /// Pointwise function application `name(args…)`.
+    pub fn apply(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Apply(name.into(), args)
+    }
+
+    /// `let var = value in body`.
+    pub fn let_in(var: impl Into<String>, value: Expr, body: Expr) -> Expr {
+        Expr::Let {
+            var: var.into(),
+            value: Box::new(value),
+            body: Box::new(body),
+        }
+    }
+
+    /// The canonical for-loop with zero initialization.
+    pub fn for_loop(
+        var: impl Into<String>,
+        var_dim: impl Into<String>,
+        acc: impl Into<String>,
+        acc_type: MatrixType,
+        body: Expr,
+    ) -> Expr {
+        Expr::For {
+            var: var.into(),
+            var_dim: var_dim.into(),
+            acc: acc.into(),
+            acc_type,
+            init: None,
+            body: Box::new(body),
+        }
+    }
+
+    /// The canonical for-loop with explicit initialization `for v, X = e₀. e`.
+    pub fn for_init(
+        var: impl Into<String>,
+        var_dim: impl Into<String>,
+        acc: impl Into<String>,
+        acc_type: MatrixType,
+        init: Expr,
+        body: Expr,
+    ) -> Expr {
+        Expr::For {
+            var: var.into(),
+            var_dim: var_dim.into(),
+            acc: acc.into(),
+            acc_type,
+            init: Some(Box::new(init)),
+            body: Box::new(body),
+        }
+    }
+
+    /// The additive-update loop `Σv. e`.
+    pub fn sum(var: impl Into<String>, var_dim: impl Into<String>, body: Expr) -> Expr {
+        Expr::Sum {
+            var: var.into(),
+            var_dim: var_dim.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// The Hadamard-product loop `Π∘v. e`.
+    pub fn hprod(var: impl Into<String>, var_dim: impl Into<String>, body: Expr) -> Expr {
+        Expr::HProd {
+            var: var.into(),
+            var_dim: var_dim.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// The matrix-product loop `Πv. e`.
+    pub fn mprod(var: impl Into<String>, var_dim: impl Into<String>, body: Expr) -> Expr {
+        Expr::MProd {
+            var: var.into(),
+            var_dim: var_dim.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Scalar subtraction helper `self + (−1) × rhs`, used pervasively by the
+    /// paper's derived expressions over the reals.
+    pub fn minus(self, rhs: Expr) -> Expr {
+        self.add(Expr::lit(-1.0).smul(rhs))
+    }
+
+    /// The set of *free* matrix variables of this expression (loop, let and
+    /// accumulator variables bound inside are excluded).
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Var(name) => {
+                if !bound.iter().any(|b| b == name) {
+                    out.insert(name.clone());
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => {
+                e.collect_free_vars(bound, out)
+            }
+            Expr::MatMul(a, b)
+            | Expr::Add(a, b)
+            | Expr::ScalarMul(a, b)
+            | Expr::Hadamard(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Expr::Apply(_, args) => {
+                for a in args {
+                    a.collect_free_vars(bound, out);
+                }
+            }
+            Expr::Let { var, value, body } => {
+                value.collect_free_vars(bound, out);
+                bound.push(var.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+            Expr::For {
+                var,
+                acc,
+                init,
+                body,
+                ..
+            } => {
+                if let Some(init) = init {
+                    init.collect_free_vars(bound, out);
+                }
+                bound.push(var.clone());
+                bound.push(acc.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            Expr::Sum { var, body, .. }
+            | Expr::HProd { var, body, .. }
+            | Expr::MProd { var, body, .. } => {
+                bound.push(var.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Capture-avoiding-enough substitution of every *free* occurrence of the
+    /// variable `name` by `replacement`.  Loop/let binders with the same name
+    /// shadow the substitution (the paper's `e(v, X/e₀)` notation from
+    /// Section 3.2).
+    pub fn substitute(&self, name: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Var(v) if v == name => replacement.clone(),
+            Expr::Var(_) | Expr::Const(_) => self.clone(),
+            Expr::Transpose(e) => Expr::Transpose(Box::new(e.substitute(name, replacement))),
+            Expr::Ones(e) => Expr::Ones(Box::new(e.substitute(name, replacement))),
+            Expr::Diag(e) => Expr::Diag(Box::new(e.substitute(name, replacement))),
+            Expr::MatMul(a, b) => Expr::MatMul(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::ScalarMul(a, b) => Expr::ScalarMul(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Hadamard(a, b) => Expr::Hadamard(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Apply(f, args) => Expr::Apply(
+                f.clone(),
+                args.iter().map(|a| a.substitute(name, replacement)).collect(),
+            ),
+            Expr::Let { var, value, body } => {
+                let value = Box::new(value.substitute(name, replacement));
+                let body = if var == name {
+                    body.clone()
+                } else {
+                    Box::new(body.substitute(name, replacement))
+                };
+                Expr::Let {
+                    var: var.clone(),
+                    value,
+                    body,
+                }
+            }
+            Expr::For {
+                var,
+                var_dim,
+                acc,
+                acc_type,
+                init,
+                body,
+            } => {
+                let init = init
+                    .as_ref()
+                    .map(|e| Box::new(e.substitute(name, replacement)));
+                let body = if var == name || acc == name {
+                    body.clone()
+                } else {
+                    Box::new(body.substitute(name, replacement))
+                };
+                Expr::For {
+                    var: var.clone(),
+                    var_dim: var_dim.clone(),
+                    acc: acc.clone(),
+                    acc_type: acc_type.clone(),
+                    init,
+                    body,
+                }
+            }
+            Expr::Sum { var, var_dim, body } => Expr::Sum {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                body: if var == name {
+                    body.clone()
+                } else {
+                    Box::new(body.substitute(name, replacement))
+                },
+            },
+            Expr::HProd { var, var_dim, body } => Expr::HProd {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                body: if var == name {
+                    body.clone()
+                } else {
+                    Box::new(body.substitute(name, replacement))
+                },
+            },
+            Expr::MProd { var, var_dim, body } => Expr::MProd {
+                var: var.clone(),
+                var_dim: var_dim.clone(),
+                body: if var == name {
+                    body.clone()
+                } else {
+                    Box::new(body.substitute(name, replacement))
+                },
+            },
+        }
+    }
+
+    /// Number of AST nodes — a rough syntactic size measure used by tests and
+    /// by the parser round-trip checks.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => 1,
+            Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => 1 + e.size(),
+            Expr::MatMul(a, b)
+            | Expr::Add(a, b)
+            | Expr::ScalarMul(a, b)
+            | Expr::Hadamard(a, b) => 1 + a.size() + b.size(),
+            Expr::Apply(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Let { value, body, .. } => 1 + value.size() + body.size(),
+            Expr::For { init, body, .. } => {
+                1 + init.as_ref().map(|e| e.size()).unwrap_or(0) + body.size()
+            }
+            Expr::Sum { body, .. } | Expr::HProd { body, .. } | Expr::MProd { body, .. } => {
+                1 + body.size()
+            }
+        }
+    }
+
+    /// Maximum nesting depth of loop constructs (`for`, `Σ`, `Π∘`, `Π`).
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => 0,
+            Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => e.loop_depth(),
+            Expr::MatMul(a, b)
+            | Expr::Add(a, b)
+            | Expr::ScalarMul(a, b)
+            | Expr::Hadamard(a, b) => a.loop_depth().max(b.loop_depth()),
+            Expr::Apply(_, args) => args.iter().map(Expr::loop_depth).max().unwrap_or(0),
+            Expr::Let { value, body, .. } => value.loop_depth().max(body.loop_depth()),
+            Expr::For { init, body, .. } => {
+                1 + init
+                    .as_ref()
+                    .map(|e| e.loop_depth())
+                    .unwrap_or(0)
+                    .max(body.loop_depth())
+            }
+            Expr::Sum { body, .. } | Expr::HProd { body, .. } | Expr::MProd { body, .. } => {
+                1 + body.loop_depth()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Dim, MatrixType};
+
+    fn sq() -> MatrixType {
+        MatrixType::new(Dim::sym("a"), Dim::sym("a"))
+    }
+
+    #[test]
+    fn builders_produce_expected_nodes() {
+        let e = Expr::var("A").t().mm(Expr::var("B")).add(Expr::lit(1.0));
+        assert!(matches!(e, Expr::Add(_, _)));
+        assert_eq!(e.size(), 6);
+    }
+
+    #[test]
+    fn free_vars_excludes_bound_loop_variables() {
+        let e = Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            sq(),
+            Expr::var("X").add(Expr::var("v").mm(Expr::var("A"))),
+        );
+        let fv = e.free_vars();
+        assert!(fv.contains("A"));
+        assert!(!fv.contains("v"));
+        assert!(!fv.contains("X"));
+    }
+
+    #[test]
+    fn free_vars_in_init_are_free() {
+        let e = Expr::for_init("v", "a", "X", sq(), Expr::var("B"), Expr::var("X"));
+        assert!(e.free_vars().contains("B"));
+    }
+
+    #[test]
+    fn let_binds_its_variable() {
+        let e = Expr::let_in("T", Expr::var("A"), Expr::var("T").mm(Expr::var("T")));
+        let fv = e.free_vars();
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn substitute_replaces_free_occurrences_only() {
+        let e = Expr::var("X").add(Expr::sum("X", "a", Expr::var("X")));
+        let s = e.substitute("X", &Expr::var("Y"));
+        // The outer X is replaced, the Σ-bound X is not.
+        match s {
+            Expr::Add(left, right) => {
+                assert_eq!(*left, Expr::var("Y"));
+                match *right {
+                    Expr::Sum { body, .. } => assert_eq!(*body, Expr::var("X")),
+                    other => panic!("expected Sum, got {other:?}"),
+                }
+            }
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitute_into_for_body_respects_shadowing() {
+        let e = Expr::for_loop("v", "a", "X", sq(), Expr::var("A").add(Expr::var("X")));
+        let s = e.substitute("A", &Expr::var("B"));
+        match &s {
+            Expr::For { body, .. } => {
+                assert!(body.free_vars().contains("B"));
+            }
+            other => panic!("expected For, got {other:?}"),
+        }
+        // Substituting the accumulator name does nothing inside the body.
+        let t = e.substitute("X", &Expr::var("Z"));
+        assert_eq!(t, e);
+    }
+
+    #[test]
+    fn loop_depth_counts_nested_loops() {
+        let four_nested = Expr::sum(
+            "u",
+            "a",
+            Expr::sum("v", "a", Expr::sum("w", "a", Expr::sum("x", "a", Expr::lit(1.0)))),
+        );
+        assert_eq!(four_nested.loop_depth(), 4);
+        assert_eq!(Expr::var("A").loop_depth(), 0);
+    }
+
+    #[test]
+    fn minus_desugars_to_scalar_multiplication() {
+        let e = Expr::lit(1.0).minus(Expr::var("x"));
+        assert!(matches!(e, Expr::Add(_, _)));
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn size_counts_apply_arguments() {
+        let e = Expr::apply("f", vec![Expr::var("A"), Expr::var("B"), Expr::lit(0.0)]);
+        assert_eq!(e.size(), 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Syntactic fragment classification (Figure 1 of the paper).
+//!
+//! The paper's fragments form a chain
+//!
+//! ```text
+//! MATLANG ⊊ sum-MATLANG ⊆ FO-MATLANG ⊆ prod-MATLANG ⊆ for-MATLANG
+//! ```
+//!
+//! (sum ⊊ FO by Example 6.6, FO ⊆ prod by Proposition 6.8, prod ⊊ for because
+//! general `for` may overwrite its accumulator arbitrarily).  Classification
+//! here is purely syntactic: an expression is placed in the *smallest*
+//! fragment whose grammar generates it.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// The language fragments of Figure 1, ordered by syntactic inclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fragment {
+    /// Plain MATLANG (Section 2): no loops at all.
+    Matlang,
+    /// sum-MATLANG (Section 6.1): loops only via the additive quantifier `Σ`.
+    SumMatlang,
+    /// FO-MATLANG (Section 6.2): `Σ` plus the Hadamard quantifier `Π∘` and
+    /// the pointwise product `∘`.
+    FoMatlang,
+    /// prod-MATLANG (Section 6.3): `Σ`, `Π∘` and the matrix-product
+    /// quantifier `Π`.
+    ProdMatlang,
+    /// Full for-MATLANG (Section 3): unrestricted canonical for-loops.
+    ForMatlang,
+}
+
+impl Fragment {
+    /// Whether `self` is (syntactically) included in `other`.
+    pub fn is_subfragment_of(&self, other: &Fragment) -> bool {
+        self <= other
+    }
+
+    /// All fragments, smallest to largest.
+    pub fn all() -> [Fragment; 5] {
+        [
+            Fragment::Matlang,
+            Fragment::SumMatlang,
+            Fragment::FoMatlang,
+            Fragment::ProdMatlang,
+            Fragment::ForMatlang,
+        ]
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Fragment::Matlang => "MATLANG",
+            Fragment::SumMatlang => "sum-MATLANG",
+            Fragment::FoMatlang => "FO-MATLANG",
+            Fragment::ProdMatlang => "prod-MATLANG",
+            Fragment::ForMatlang => "for-MATLANG",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Feature flags collected from an expression.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Features {
+    uses_for: bool,
+    uses_mprod: bool,
+    uses_hprod: bool,
+    uses_hadamard: bool,
+    uses_sum: bool,
+}
+
+fn collect(expr: &Expr, features: &mut Features) {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => {}
+        Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => collect(e, features),
+        Expr::MatMul(a, b) | Expr::Add(a, b) | Expr::ScalarMul(a, b) => {
+            collect(a, features);
+            collect(b, features);
+        }
+        Expr::Hadamard(a, b) => {
+            features.uses_hadamard = true;
+            collect(a, features);
+            collect(b, features);
+        }
+        Expr::Apply(_, args) => {
+            for a in args {
+                collect(a, features);
+            }
+        }
+        Expr::Let { value, body, .. } => {
+            collect(value, features);
+            collect(body, features);
+        }
+        Expr::For { init, body, .. } => {
+            features.uses_for = true;
+            if let Some(init) = init {
+                collect(init, features);
+            }
+            collect(body, features);
+        }
+        Expr::Sum { body, .. } => {
+            features.uses_sum = true;
+            collect(body, features);
+        }
+        Expr::HProd { body, .. } => {
+            features.uses_hprod = true;
+            collect(body, features);
+        }
+        Expr::MProd { body, .. } => {
+            features.uses_mprod = true;
+            collect(body, features);
+        }
+    }
+}
+
+/// The smallest fragment that syntactically contains `expr`.
+pub fn fragment_of(expr: &Expr) -> Fragment {
+    let mut features = Features::default();
+    collect(expr, &mut features);
+    if features.uses_for {
+        Fragment::ForMatlang
+    } else if features.uses_mprod {
+        Fragment::ProdMatlang
+    } else if features.uses_hprod || features.uses_hadamard {
+        Fragment::FoMatlang
+    } else if features.uses_sum {
+        Fragment::SumMatlang
+    } else {
+        Fragment::Matlang
+    }
+}
+
+/// Whether `expr` belongs (syntactically) to the given fragment.
+pub fn is_in_fragment(expr: &Expr, fragment: Fragment) -> bool {
+    fragment_of(expr).is_subfragment_of(&fragment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MatrixType;
+
+    #[test]
+    fn fragment_ordering_matches_figure_1() {
+        use Fragment::*;
+        assert!(Matlang < SumMatlang);
+        assert!(SumMatlang < FoMatlang);
+        assert!(FoMatlang < ProdMatlang);
+        assert!(ProdMatlang < ForMatlang);
+        assert!(Matlang.is_subfragment_of(&ForMatlang));
+        assert!(!ForMatlang.is_subfragment_of(&Matlang));
+        assert_eq!(Fragment::all().len(), 5);
+    }
+
+    #[test]
+    fn plain_expressions_are_matlang() {
+        let e = Expr::var("A").t().mm(Expr::var("A")).add(Expr::var("B"));
+        assert_eq!(fragment_of(&e), Fragment::Matlang);
+        assert!(is_in_fragment(&e, Fragment::SumMatlang));
+    }
+
+    #[test]
+    fn sum_expressions_are_sum_matlang() {
+        let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t()));
+        assert_eq!(fragment_of(&e), Fragment::SumMatlang);
+        assert!(!is_in_fragment(&e, Fragment::Matlang));
+    }
+
+    #[test]
+    fn hadamard_and_hprod_are_fo_matlang() {
+        let dp = Expr::hprod("v", "a", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")));
+        assert_eq!(fragment_of(&dp), Fragment::FoMatlang);
+        let had = Expr::var("A").had(Expr::var("B"));
+        assert_eq!(fragment_of(&had), Fragment::FoMatlang);
+    }
+
+    #[test]
+    fn mprod_is_prod_matlang() {
+        let e = Expr::mprod("v", "a", Expr::var("A").add(Expr::var("B")));
+        assert_eq!(fragment_of(&e), Fragment::ProdMatlang);
+        assert!(is_in_fragment(&e, Fragment::ForMatlang));
+        assert!(!is_in_fragment(&e, Fragment::FoMatlang));
+    }
+
+    #[test]
+    fn for_loops_are_for_matlang() {
+        let e = Expr::for_loop("v", "a", "X", MatrixType::vector("a"), Expr::var("v"));
+        assert_eq!(fragment_of(&e), Fragment::ForMatlang);
+    }
+
+    #[test]
+    fn nested_features_pick_the_largest_fragment() {
+        let e = Expr::sum(
+            "v",
+            "a",
+            Expr::mprod("w", "a", Expr::var("A")).had(Expr::var("B")),
+        );
+        assert_eq!(fragment_of(&e), Fragment::ProdMatlang);
+    }
+
+    #[test]
+    fn features_inside_let_and_init_are_detected() {
+        let e = Expr::let_in("T", Expr::sum("v", "a", Expr::var("v")), Expr::var("T"));
+        assert_eq!(fragment_of(&e), Fragment::SumMatlang);
+        let f = Expr::for_init(
+            "v",
+            "a",
+            "X",
+            MatrixType::square("a"),
+            Expr::var("A"),
+            Expr::var("X"),
+        );
+        assert_eq!(fragment_of(&f), Fragment::ForMatlang);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Fragment::Matlang.to_string(), "MATLANG");
+        assert_eq!(Fragment::SumMatlang.to_string(), "sum-MATLANG");
+        assert_eq!(Fragment::FoMatlang.to_string(), "FO-MATLANG");
+        assert_eq!(Fragment::ProdMatlang.to_string(), "prod-MATLANG");
+        assert_eq!(Fragment::ForMatlang.to_string(), "for-MATLANG");
+    }
+}

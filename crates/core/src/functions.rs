@@ -1,0 +1,193 @@
+//! Pointwise function registries: the parameter `F` of `MATLANG[F]`.
+//!
+//! The paper parameterizes every language by a collection `F` of functions
+//! `f : K^k → K` applied pointwise.  Expressions refer to functions *by name*
+//! ([`crate::Expr::Apply`]); at evaluation time the names are resolved in a
+//! [`FunctionRegistry`].  The registry for ordered fields ships the two
+//! functions the paper singles out:
+//!
+//! * `f_/` (division, name `"div"`) — needed for LU decomposition and
+//!   Csanky's algorithm (Propositions 4.1 and 4.3),
+//! * `f_{>0}` (positivity test, name `"gt0"`) — needed for pivoting and for
+//!   the prod-MATLANG transitive closure (Proposition 4.2, Section 6.3).
+
+use matlang_semiring::{OrderedField, Semiring};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A pointwise function over semiring values.
+pub type PointwiseFn<K> = Arc<dyn Fn(&[K]) -> K + Send + Sync>;
+
+/// A named collection of pointwise functions.
+#[derive(Clone)]
+pub struct FunctionRegistry<K> {
+    functions: HashMap<String, PointwiseFn<K>>,
+}
+
+impl<K: Semiring> Default for FunctionRegistry<K> {
+    fn default() -> Self {
+        FunctionRegistry {
+            functions: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Debug for FunctionRegistry<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&String> = self.functions.keys().collect();
+        names.sort();
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &names)
+            .finish()
+    }
+}
+
+impl<K: Semiring> FunctionRegistry<K> {
+    /// The empty registry: `MATLANG[∅]`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function under a name, replacing any previous binding.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&[K]) -> K + Send + Sync + 'static,
+    {
+        self.functions.insert(name.into(), Arc::new(f));
+    }
+
+    /// Builder-style [`FunctionRegistry::register`].
+    pub fn with<F>(mut self, name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&[K]) -> K + Send + Sync + 'static,
+    {
+        self.register(name, f);
+        self
+    }
+
+    /// Looks up a function by name.
+    pub fn get(&self, name: &str) -> Option<&PointwiseFn<K>> {
+        self.functions.get(name)
+    }
+
+    /// Whether a function with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.functions.contains_key(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.functions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registers the semiring-generic k-ary product `f_⊙` and sum `f_⊕`
+    /// functions of Appendix A.2 (they do not add expressive power, Lemma
+    /// A.1, but are convenient).
+    pub fn with_semiring_ops(mut self) -> Self {
+        self.register("mul", |args: &[K]| K::product(args.iter().cloned()));
+        self.register("add", |args: &[K]| K::sum(args.iter().cloned()));
+        self
+    }
+}
+
+impl<K: OrderedField> FunctionRegistry<K> {
+    /// The registry `{f_/, f_{>0}}` of the paper plus the generic `f_⊙`/`f_⊕`:
+    /// everything needed by the Section 4 algorithms.
+    pub fn standard_field() -> Self {
+        let mut reg = FunctionRegistry::new().with_semiring_ops();
+        reg.register("div", |args: &[K]| {
+            // f_/(x, y) = x / y.  Division by zero yields 0; the paper's
+            // expressions guard every division so the guard value is never
+            // observed (see Appendix C.2's modified `reduce`).
+            match args {
+                [x, y] => x.div(y).unwrap_or_else(K::zero),
+                _ => K::zero(),
+            }
+        });
+        reg.register("gt0", |args: &[K]| {
+            // f_{>0}(x) = 1 if x > 0 else 0.
+            args.first().map(|x| x.gt_zero()).unwrap_or_else(K::zero)
+        });
+        reg.register("nonzero", |args: &[K]| {
+            // 1 if x ≠ 0 else 0 — a convenience used to normalize boolean-ish
+            // results; definable as f_{>0}(x²) over ordered fields.
+            match args.first() {
+                Some(x) if !x.is_zero() => K::one(),
+                _ => K::zero(),
+            }
+        });
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::{Nat, Real};
+
+    #[test]
+    fn empty_registry_has_no_functions() {
+        let reg: FunctionRegistry<Real> = FunctionRegistry::new();
+        assert!(!reg.contains("div"));
+        assert!(reg.get("div").is_none());
+        assert!(reg.names().is_empty());
+    }
+
+    #[test]
+    fn register_and_call() {
+        let mut reg: FunctionRegistry<Real> = FunctionRegistry::new();
+        reg.register("halve", |args: &[Real]| Real(args[0].0 / 2.0));
+        let f = reg.get("halve").unwrap();
+        assert_eq!(f(&[Real(4.0)]), Real(2.0));
+        assert!(reg.contains("halve"));
+    }
+
+    #[test]
+    fn standard_field_registry_contains_paper_functions() {
+        let reg: FunctionRegistry<Real> = FunctionRegistry::standard_field();
+        assert_eq!(reg.names(), vec!["add", "div", "gt0", "mul", "nonzero"]);
+
+        let div = reg.get("div").unwrap();
+        assert_eq!(div(&[Real(6.0), Real(3.0)]), Real(2.0));
+        assert_eq!(div(&[Real(6.0), Real(0.0)]), Real(0.0));
+
+        let gt0 = reg.get("gt0").unwrap();
+        assert_eq!(gt0(&[Real(0.5)]), Real(1.0));
+        assert_eq!(gt0(&[Real(-0.5)]), Real(0.0));
+        assert_eq!(gt0(&[Real(0.0)]), Real(0.0));
+
+        let nonzero = reg.get("nonzero").unwrap();
+        assert_eq!(nonzero(&[Real(-3.0)]), Real(1.0));
+        assert_eq!(nonzero(&[Real(0.0)]), Real(0.0));
+    }
+
+    #[test]
+    fn semiring_ops_work_over_any_semiring() {
+        let reg: FunctionRegistry<Nat> = FunctionRegistry::new().with_semiring_ops();
+        let mul = reg.get("mul").unwrap();
+        let add = reg.get("add").unwrap();
+        assert_eq!(mul(&[Nat(2), Nat(3), Nat(4)]), Nat(24));
+        assert_eq!(add(&[Nat(2), Nat(3), Nat(4)]), Nat(9));
+        assert_eq!(mul(&[]), Nat(1));
+        assert_eq!(add(&[]), Nat(0));
+    }
+
+    #[test]
+    fn with_builder_chains() {
+        let reg: FunctionRegistry<Real> = FunctionRegistry::new()
+            .with("id", |args: &[Real]| args[0])
+            .with("zero", |_: &[Real]| Real(0.0));
+        assert_eq!(reg.names(), vec!["id", "zero"]);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let reg: FunctionRegistry<Real> = FunctionRegistry::standard_field();
+        let dbg = format!("{reg:?}");
+        assert!(dbg.contains("div"));
+        assert!(dbg.contains("gt0"));
+    }
+}

@@ -1,0 +1,51 @@
+//! The MATLANG family of matrix query languages.
+//!
+//! This crate implements the languages studied in *"Expressive power of
+//! linear algebra query languages"* (Geerts, Muñoz, Riveros, Vrgoč, PODS
+//! 2021):
+//!
+//! * **MATLANG** (Section 2): matrix variables, transpose, the one-vector
+//!   `1(e)`, diagonalization `diag(e)`, matrix product, matrix addition,
+//!   scalar multiplication and pointwise function application.
+//! * **for-MATLANG** (Section 3): MATLANG plus canonical for-loops
+//!   `for v, X. e` (with optional initialization `for v, X = e₀. e`).
+//! * **sum-MATLANG**, **FO-MATLANG** and **prod-MATLANG** (Section 6): the
+//!   fragments in which loops may only perform additive updates (`Σv. e`),
+//!   Hadamard-product updates (`Π∘v. e`) or matrix-product updates
+//!   (`Πv. e`).
+//!
+//! The crate provides:
+//!
+//! * the expression AST ([`Expr`]) together with ergonomic builders,
+//! * schemas, size symbols and instances ([`Schema`], [`Dim`], [`Instance`]),
+//! * the paper's typing rules ([`typecheck()`]),
+//! * syntactic fragment classification ([`fragment`]),
+//! * pointwise-function registries ([`FunctionRegistry`]),
+//! * a semiring-generic evaluator ([`evaluate`]) implementing the semantics
+//!   of Sections 2, 3 and 6, and
+//! * desugarings of the derived operators into core for-MATLANG
+//!   ([`desugar`]), mirroring Examples 3.1 and 3.2.
+
+pub mod desugar;
+pub mod display;
+pub mod eval;
+pub mod expr;
+pub mod fragment;
+pub mod functions;
+pub mod rewrite;
+pub mod schema;
+pub mod typecheck;
+
+pub use eval::{evaluate, evaluate_with_env, EvalError};
+pub use expr::Expr;
+pub use fragment::{fragment_of, Fragment};
+pub use rewrite::simplify;
+pub use functions::{FunctionRegistry, PointwiseFn};
+pub use schema::{Dim, Instance, MatrixType, Schema};
+pub use typecheck::{typecheck, TypeError};
+
+/// Result alias for evaluation.
+pub type EvalResult<T> = std::result::Result<T, EvalError>;
+
+/// Result alias for type checking.
+pub type TypeResult<T> = std::result::Result<T, TypeError>;

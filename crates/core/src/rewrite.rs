@@ -1,0 +1,281 @@
+//! Algebraic simplification of expressions.
+//!
+//! The paper's concluding section points at efficient evaluation of
+//! (fragments of) for-MATLANG as future work; this module implements the
+//! obvious first step: a semantics-preserving rewriter that removes
+//! syntactic noise produced by mechanical translations (the circuit
+//! decompiler, the RA⁺_K/WL translations and the desugarer all emit
+//! expressions with double transposes, multiplications by the literal `1`,
+//! additions of the literal `0` and single-use `let` bindings).
+//!
+//! Every rule is an identity in *every* commutative semiring, so rewriting is
+//! sound for all annotation domains:
+//!
+//! * `(eᵀ)ᵀ → e`
+//! * `(const 1) × e → e` and `(const 0) × e` stays (it is the zero matrix of
+//!   `e`'s shape, which cannot be written without knowing the shape — left
+//!   untouched),
+//! * `(const c) × (const d) → const (c·d)` and `(const c) + (const d) → const (c+d)`,
+//! * `(const c)·(const d) → const (c·d)` for `1×1` products,
+//! * `let X = e in X → e`, and inlining of `let`-bound *variables* and
+//!   *constants* (cheap values whose duplication costs nothing),
+//! * transpose of a constant is the constant.
+
+use crate::expr::Expr;
+
+/// Applies the simplification rules bottom-up until a fixpoint is reached.
+pub fn simplify(expr: &Expr) -> Expr {
+    let mut current = expr.clone();
+    loop {
+        let next = pass(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+}
+
+/// The number of AST nodes saved by simplification (for reporting/tests).
+pub fn savings(expr: &Expr) -> usize {
+    expr.size().saturating_sub(simplify(expr).size())
+}
+
+fn pass(expr: &Expr) -> Expr {
+    let rebuilt = map_children(expr);
+    rewrite_node(rebuilt)
+}
+
+fn map_children(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::Transpose(e) => Expr::Transpose(Box::new(pass(e))),
+        Expr::Ones(e) => Expr::Ones(Box::new(pass(e))),
+        Expr::Diag(e) => Expr::Diag(Box::new(pass(e))),
+        Expr::MatMul(a, b) => Expr::MatMul(Box::new(pass(a)), Box::new(pass(b))),
+        Expr::Add(a, b) => Expr::Add(Box::new(pass(a)), Box::new(pass(b))),
+        Expr::ScalarMul(a, b) => Expr::ScalarMul(Box::new(pass(a)), Box::new(pass(b))),
+        Expr::Hadamard(a, b) => Expr::Hadamard(Box::new(pass(a)), Box::new(pass(b))),
+        Expr::Apply(f, args) => Expr::Apply(f.clone(), args.iter().map(pass).collect()),
+        Expr::Let { var, value, body } => Expr::Let {
+            var: var.clone(),
+            value: Box::new(pass(value)),
+            body: Box::new(pass(body)),
+        },
+        Expr::For {
+            var,
+            var_dim,
+            acc,
+            acc_type,
+            init,
+            body,
+        } => Expr::For {
+            var: var.clone(),
+            var_dim: var_dim.clone(),
+            acc: acc.clone(),
+            acc_type: acc_type.clone(),
+            init: init.as_ref().map(|e| Box::new(pass(e))),
+            body: Box::new(pass(body)),
+        },
+        Expr::Sum { var, var_dim, body } => Expr::Sum {
+            var: var.clone(),
+            var_dim: var_dim.clone(),
+            body: Box::new(pass(body)),
+        },
+        Expr::HProd { var, var_dim, body } => Expr::HProd {
+            var: var.clone(),
+            var_dim: var_dim.clone(),
+            body: Box::new(pass(body)),
+        },
+        Expr::MProd { var, var_dim, body } => Expr::MProd {
+            var: var.clone(),
+            var_dim: var_dim.clone(),
+            body: Box::new(pass(body)),
+        },
+    }
+}
+
+fn rewrite_node(expr: Expr) -> Expr {
+    match expr {
+        // (eᵀ)ᵀ → e ; (const c)ᵀ → const c.
+        Expr::Transpose(inner) => match *inner {
+            Expr::Transpose(e) => *e,
+            Expr::Const(c) => Expr::Const(c),
+            other => Expr::Transpose(Box::new(other)),
+        },
+        // Scalar-multiplication identities.
+        Expr::ScalarMul(a, b) => match (*a, *b) {
+            (Expr::Const(c), e) if c == 1.0 => e,
+            (Expr::Const(c), Expr::Const(d)) => Expr::Const(c * d),
+            (Expr::Const(c), Expr::ScalarMul(inner_scalar, inner)) => {
+                // c × (d × e) → (c·d) × e when the inner scalar is a constant.
+                match *inner_scalar {
+                    Expr::Const(d) => Expr::ScalarMul(Box::new(Expr::Const(c * d)), inner),
+                    other => Expr::ScalarMul(
+                        Box::new(Expr::Const(c)),
+                        Box::new(Expr::ScalarMul(Box::new(other), inner)),
+                    ),
+                }
+            }
+            (a, b) => Expr::ScalarMul(Box::new(a), Box::new(b)),
+        },
+        // Constant folding for 1×1 sums and products.
+        Expr::Add(a, b) => match (*a, *b) {
+            (Expr::Const(c), Expr::Const(d)) => Expr::Const(c + d),
+            (a, b) => Expr::Add(Box::new(a), Box::new(b)),
+        },
+        Expr::MatMul(a, b) => match (*a, *b) {
+            (Expr::Const(c), Expr::Const(d)) => Expr::Const(c * d),
+            (a, b) => Expr::MatMul(Box::new(a), Box::new(b)),
+        },
+        Expr::Hadamard(a, b) => match (*a, *b) {
+            (Expr::Const(c), Expr::Const(d)) => Expr::Const(c * d),
+            (a, b) => Expr::Hadamard(Box::new(a), Box::new(b)),
+        },
+        // `let` simplifications: trivial bodies and cheap bound values.
+        Expr::Let { var, value, body } => {
+            if let Expr::Var(name) = body.as_ref() {
+                if name == &var {
+                    return *value;
+                }
+            }
+            let cheap = matches!(value.as_ref(), Expr::Var(_) | Expr::Const(_));
+            let used = body.free_vars().contains(&var);
+            if !used {
+                // The binding is dead; keep only the body.  (The bound value
+                // is pure — the language has no effects — so this is sound.)
+                return *body;
+            }
+            if cheap {
+                return body.substitute(&var, &value);
+            }
+            Expr::Let { var, value, body }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::functions::FunctionRegistry;
+    use crate::schema::{Instance, MatrixType};
+    use matlang_matrix::Matrix;
+    use matlang_semiring::Real;
+
+    fn instance() -> Instance<Real> {
+        Instance::new()
+            .with_dim("n", 3)
+            .with_matrix(
+                "A",
+                Matrix::from_f64_rows(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 1.0], &[4.0, 0.0, 5.0]])
+                    .unwrap(),
+            )
+            .with_matrix("u", Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap())
+    }
+
+    fn assert_equivalent_and_smaller(expr: &Expr) {
+        let simplified = simplify(expr);
+        assert!(simplified.size() <= expr.size());
+        let registry = FunctionRegistry::standard_field();
+        let inst = instance();
+        let lhs = evaluate(expr, &inst, &registry).unwrap();
+        let rhs = evaluate(&simplified, &inst, &registry).unwrap();
+        assert_eq!(lhs, rhs, "simplification changed the value of {expr}");
+    }
+
+    #[test]
+    fn double_transpose_is_removed() {
+        let e = Expr::var("A").t().t();
+        assert_eq!(simplify(&e), Expr::var("A"));
+        assert_equivalent_and_smaller(&e);
+        let nested = Expr::var("A").t().t().t();
+        assert_eq!(simplify(&nested), Expr::var("A").t());
+    }
+
+    #[test]
+    fn multiplication_by_one_is_removed_and_constants_fold() {
+        let e = Expr::lit(1.0).smul(Expr::var("A"));
+        assert_eq!(simplify(&e), Expr::var("A"));
+        let folded = Expr::lit(2.0).smul(Expr::lit(3.0).smul(Expr::var("A")));
+        assert_eq!(simplify(&folded), Expr::lit(6.0).smul(Expr::var("A")));
+        let scalar_chain = Expr::lit(2.0).add(Expr::lit(3.0)).mm(Expr::lit(4.0));
+        assert_eq!(simplify(&scalar_chain), Expr::lit(20.0));
+        assert_equivalent_and_smaller(&folded);
+    }
+
+    #[test]
+    fn minus_helper_simplifies_its_constant_part() {
+        // 1 − (1 − x) builds nested constants that partially fold away.
+        let e = Expr::lit(1.0).minus(Expr::lit(1.0).minus(Expr::var("s")));
+        let inst = instance().with_matrix("s", Matrix::scalar(Real(0.25)));
+        let registry = FunctionRegistry::standard_field();
+        let lhs = evaluate(&e, &inst, &registry).unwrap();
+        let rhs = evaluate(&simplify(&e), &inst, &registry).unwrap();
+        assert_eq!(lhs, rhs);
+        assert!(simplify(&e).size() <= e.size());
+    }
+
+    #[test]
+    fn trivial_and_dead_lets_are_removed() {
+        let trivial = Expr::let_in("T", Expr::var("A").mm(Expr::var("A")), Expr::var("T"));
+        assert_eq!(simplify(&trivial), Expr::var("A").mm(Expr::var("A")));
+        let dead = Expr::let_in("T", Expr::var("A").mm(Expr::var("A")), Expr::var("u"));
+        assert_eq!(simplify(&dead), Expr::var("u"));
+        let cheap = Expr::let_in("T", Expr::var("A"), Expr::var("T").add(Expr::var("T")));
+        assert_eq!(simplify(&cheap), Expr::var("A").add(Expr::var("A")));
+        // Expensive, genuinely shared bindings are preserved.
+        let shared = Expr::let_in(
+            "T",
+            Expr::var("A").mm(Expr::var("A")),
+            Expr::var("T").add(Expr::var("T")),
+        );
+        assert!(matches!(simplify(&shared), Expr::Let { .. }));
+        for e in [trivial, dead, cheap, shared] {
+            assert_equivalent_and_smaller(&e);
+        }
+    }
+
+    #[test]
+    fn simplification_recurses_into_loops() {
+        let e = Expr::sum(
+            "v",
+            "n",
+            Expr::lit(1.0).smul(Expr::var("v").t().t().t().mm(Expr::var("A")).mm(Expr::var("v"))),
+        );
+        let simplified = simplify(&e);
+        assert!(simplified.size() < e.size());
+        assert_equivalent_and_smaller(&e);
+        let f = Expr::for_init(
+            "v",
+            "n",
+            "X",
+            MatrixType::square("n"),
+            Expr::var("A").t().t(),
+            Expr::var("X").add(Expr::lit(1.0).smul(Expr::var("A"))),
+        );
+        assert_equivalent_and_smaller(&f);
+    }
+
+    #[test]
+    fn savings_reports_node_reduction() {
+        let e = Expr::lit(1.0).smul(Expr::var("A").t().t());
+        assert_eq!(savings(&e), e.size() - 1);
+        assert_eq!(savings(&Expr::var("A")), 0);
+    }
+
+    #[test]
+    fn simplification_is_idempotent() {
+        let exprs = [
+            Expr::var("A").t().t(),
+            Expr::lit(2.0).smul(Expr::lit(3.0).smul(Expr::var("A"))),
+            Expr::let_in("T", Expr::var("A"), Expr::var("T").mm(Expr::var("T"))),
+            Expr::sum("v", "n", Expr::lit(1.0).smul(Expr::var("v"))),
+        ];
+        for e in exprs {
+            let once = simplify(&e);
+            let twice = simplify(&once);
+            assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The typing rules of MATLANG and for-MATLANG (Sections 2 and 3.1).
+//!
+//! A well-typed expression can be evaluated on any instance regardless of the
+//! concrete dimensions assigned to size symbols; the evaluator relies on the
+//! type checker both for early error reporting and to determine the shape of
+//! loop accumulators.
+
+use crate::expr::Expr;
+use crate::schema::{Dim, MatrixType, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by the type checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A matrix variable is not declared in the schema (or bound by a loop).
+    UnknownVariable {
+        /// The undeclared name.
+        name: String,
+    },
+    /// The two sides of `+`, `∘` or the arguments of a pointwise function
+    /// have different types.
+    Mismatch {
+        /// The operation being typed.
+        op: &'static str,
+        /// The type of the left / first operand.
+        left: MatrixType,
+        /// The type of the right / offending operand.
+        right: MatrixType,
+    },
+    /// The inner dimensions of a matrix product disagree.
+    ProductMismatch {
+        /// Type of the left operand.
+        left: MatrixType,
+        /// Type of the right operand.
+        right: MatrixType,
+    },
+    /// `diag` was applied to a non-vector.
+    NotAVector {
+        /// The offending type.
+        found: MatrixType,
+    },
+    /// Scalar multiplication whose left operand is not `(1, 1)`.
+    NotAScalar {
+        /// The offending type.
+        found: MatrixType,
+    },
+    /// A for-loop body (or initializer) does not have the accumulator's type.
+    LoopBodyMismatch {
+        /// The accumulator variable.
+        acc: String,
+        /// The declared accumulator type.
+        expected: MatrixType,
+        /// The type of the body / initializer.
+        found: MatrixType,
+    },
+    /// The body of a `Π` (matrix-product) loop must be square so that the
+    /// iterated products compose.
+    ProductLoopNotSquare {
+        /// The offending body type.
+        found: MatrixType,
+    },
+    /// A pointwise function was applied to zero arguments.
+    EmptyApplication {
+        /// The function name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownVariable { name } => {
+                write!(f, "variable `{name}` is not declared in the schema")
+            }
+            TypeError::Mismatch { op, left, right } => {
+                write!(f, "type mismatch in {op}: {left} vs {right}")
+            }
+            TypeError::ProductMismatch { left, right } => {
+                write!(f, "cannot multiply {left} by {right}: inner size symbols differ")
+            }
+            TypeError::NotAVector { found } => {
+                write!(f, "diag expects a column vector, found {found}")
+            }
+            TypeError::NotAScalar { found } => {
+                write!(f, "scalar multiplication expects a (1, 1) left operand, found {found}")
+            }
+            TypeError::LoopBodyMismatch { acc, expected, found } => write!(
+                f,
+                "loop over accumulator `{acc}` expects body/init of type {expected}, found {found}"
+            ),
+            TypeError::ProductLoopNotSquare { found } => {
+                write!(f, "Π-loop body must be square, found {found}")
+            }
+            TypeError::EmptyApplication { name } => {
+                write!(f, "pointwise function `{name}` applied to no arguments")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A typing environment: the schema plus loop/let-bound variables.
+struct TypeEnv<'a> {
+    schema: &'a Schema,
+    locals: HashMap<String, MatrixType>,
+}
+
+impl<'a> TypeEnv<'a> {
+    fn lookup(&self, name: &str) -> Option<MatrixType> {
+        self.locals
+            .get(name)
+            .cloned()
+            .or_else(|| self.schema.var_type(name).cloned())
+    }
+}
+
+/// Type checks `expr` against `schema`, returning its type `(α, β)`.
+///
+/// This is the paper's `type_S(e)` function, extended with the loop binders'
+/// annotations for `v` and `X`.
+pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<MatrixType, TypeError> {
+    let mut env = TypeEnv {
+        schema,
+        locals: HashMap::new(),
+    };
+    check(expr, &mut env)
+}
+
+fn check(expr: &Expr, env: &mut TypeEnv<'_>) -> Result<MatrixType, TypeError> {
+    match expr {
+        Expr::Var(name) => env
+            .lookup(name)
+            .ok_or_else(|| TypeError::UnknownVariable { name: name.clone() }),
+        Expr::Const(_) => Ok(MatrixType::scalar()),
+        Expr::Transpose(e) => Ok(check(e, env)?.transposed()),
+        Expr::Ones(e) => {
+            let ty = check(e, env)?;
+            Ok(MatrixType::new(ty.rows, Dim::One))
+        }
+        Expr::Diag(e) => {
+            let ty = check(e, env)?;
+            if !ty.cols.is_one() {
+                return Err(TypeError::NotAVector { found: ty });
+            }
+            Ok(MatrixType::new(ty.rows.clone(), ty.rows))
+        }
+        Expr::MatMul(a, b) => {
+            let ta = check(a, env)?;
+            let tb = check(b, env)?;
+            if ta.cols != tb.rows {
+                return Err(TypeError::ProductMismatch { left: ta, right: tb });
+            }
+            Ok(MatrixType::new(ta.rows, tb.cols))
+        }
+        Expr::Add(a, b) => {
+            let ta = check(a, env)?;
+            let tb = check(b, env)?;
+            if ta != tb {
+                return Err(TypeError::Mismatch {
+                    op: "matrix addition",
+                    left: ta,
+                    right: tb,
+                });
+            }
+            Ok(ta)
+        }
+        Expr::ScalarMul(a, b) => {
+            let ta = check(a, env)?;
+            if !ta.is_scalar() {
+                return Err(TypeError::NotAScalar { found: ta });
+            }
+            check(b, env)
+        }
+        Expr::Hadamard(a, b) => {
+            let ta = check(a, env)?;
+            let tb = check(b, env)?;
+            if ta != tb {
+                return Err(TypeError::Mismatch {
+                    op: "Hadamard product",
+                    left: ta,
+                    right: tb,
+                });
+            }
+            Ok(ta)
+        }
+        Expr::Apply(name, args) => {
+            if args.is_empty() {
+                return Err(TypeError::EmptyApplication { name: name.clone() });
+            }
+            let first = check(&args[0], env)?;
+            for arg in &args[1..] {
+                let ty = check(arg, env)?;
+                if ty != first {
+                    return Err(TypeError::Mismatch {
+                        op: "pointwise function application",
+                        left: first,
+                        right: ty,
+                    });
+                }
+            }
+            Ok(first)
+        }
+        Expr::Let { var, value, body } => {
+            let value_ty = check(value, env)?;
+            let saved = env.locals.insert(var.clone(), value_ty);
+            let result = check(body, env);
+            restore(env, var, saved);
+            result
+        }
+        Expr::For {
+            var,
+            var_dim,
+            acc,
+            acc_type,
+            init,
+            body,
+        } => {
+            if let Some(init) = init {
+                let init_ty = check(init, env)?;
+                if &init_ty != acc_type {
+                    return Err(TypeError::LoopBodyMismatch {
+                        acc: acc.clone(),
+                        expected: acc_type.clone(),
+                        found: init_ty,
+                    });
+                }
+            }
+            let saved_var = env
+                .locals
+                .insert(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let saved_acc = env.locals.insert(acc.clone(), acc_type.clone());
+            let body_ty = check(body, env);
+            restore(env, acc, saved_acc);
+            restore(env, var, saved_var);
+            let body_ty = body_ty?;
+            if &body_ty != acc_type {
+                return Err(TypeError::LoopBodyMismatch {
+                    acc: acc.clone(),
+                    expected: acc_type.clone(),
+                    found: body_ty,
+                });
+            }
+            Ok(acc_type.clone())
+        }
+        Expr::Sum { var, var_dim, body } | Expr::HProd { var, var_dim, body } => {
+            let saved = env
+                .locals
+                .insert(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let body_ty = check(body, env);
+            restore(env, var, saved);
+            body_ty
+        }
+        Expr::MProd { var, var_dim, body } => {
+            let saved = env
+                .locals
+                .insert(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let body_ty = check(body, env);
+            restore(env, var, saved);
+            let body_ty = body_ty?;
+            if body_ty.rows != body_ty.cols {
+                return Err(TypeError::ProductLoopNotSquare { found: body_ty });
+            }
+            Ok(body_ty)
+        }
+    }
+}
+
+fn restore(env: &mut TypeEnv<'_>, name: &str, saved: Option<MatrixType>) {
+    match saved {
+        Some(ty) => {
+            env.locals.insert(name.to_string(), ty);
+        }
+        None => {
+            env.locals.remove(name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_var("A", MatrixType::square("a"))
+            .with_var("B", MatrixType::square("a"))
+            .with_var("u", MatrixType::vector("a"))
+            .with_var("s", MatrixType::scalar())
+            .with_var("R", MatrixType::new(Dim::sym("a"), Dim::sym("b")))
+    }
+
+    #[test]
+    fn variables_and_constants() {
+        assert_eq!(typecheck(&Expr::var("A"), &schema()).unwrap(), MatrixType::square("a"));
+        assert_eq!(typecheck(&Expr::lit(3.0), &schema()).unwrap(), MatrixType::scalar());
+        assert!(matches!(
+            typecheck(&Expr::var("missing"), &schema()),
+            Err(TypeError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_swaps_symbols() {
+        let ty = typecheck(&Expr::var("R").t(), &schema()).unwrap();
+        assert_eq!(ty, MatrixType::new(Dim::sym("b"), Dim::sym("a")));
+    }
+
+    #[test]
+    fn ones_and_diag() {
+        assert_eq!(
+            typecheck(&Expr::var("R").ones(), &schema()).unwrap(),
+            MatrixType::vector("a")
+        );
+        assert_eq!(
+            typecheck(&Expr::var("u").diag(), &schema()).unwrap(),
+            MatrixType::square("a")
+        );
+        assert!(matches!(
+            typecheck(&Expr::var("A").diag(), &schema()),
+            Err(TypeError::NotAVector { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_checks_inner_symbols() {
+        assert_eq!(
+            typecheck(&Expr::var("A").mm(Expr::var("u")), &schema()).unwrap(),
+            MatrixType::vector("a")
+        );
+        assert_eq!(
+            typecheck(&Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")), &schema()).unwrap(),
+            MatrixType::scalar()
+        );
+        assert!(matches!(
+            typecheck(&Expr::var("u").mm(Expr::var("A")), &schema()),
+            Err(TypeError::ProductMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn addition_requires_equal_types() {
+        assert!(typecheck(&Expr::var("A").add(Expr::var("B")), &schema()).is_ok());
+        assert!(matches!(
+            typecheck(&Expr::var("A").add(Expr::var("u")), &schema()),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_multiplication_requires_scalar_left() {
+        assert!(typecheck(&Expr::var("s").smul(Expr::var("A")), &schema()).is_ok());
+        assert!(matches!(
+            typecheck(&Expr::var("A").smul(Expr::var("B")), &schema()),
+            Err(TypeError::NotAScalar { .. })
+        ));
+    }
+
+    #[test]
+    fn hadamard_requires_equal_types() {
+        assert!(typecheck(&Expr::var("A").had(Expr::var("B")), &schema()).is_ok());
+        assert!(typecheck(&Expr::var("A").had(Expr::var("u")), &schema()).is_err());
+    }
+
+    #[test]
+    fn apply_requires_uniform_argument_types() {
+        let ok = Expr::apply("f", vec![Expr::var("A"), Expr::var("B")]);
+        assert!(typecheck(&ok, &schema()).is_ok());
+        let bad = Expr::apply("f", vec![Expr::var("A"), Expr::var("u")]);
+        assert!(typecheck(&bad, &schema()).is_err());
+        let empty = Expr::apply("f", vec![]);
+        assert!(matches!(
+            typecheck(&empty, &schema()),
+            Err(TypeError::EmptyApplication { .. })
+        ));
+    }
+
+    #[test]
+    fn let_binds_a_type() {
+        let e = Expr::let_in("T", Expr::var("A").mm(Expr::var("B")), Expr::var("T").t());
+        assert_eq!(typecheck(&e, &schema()).unwrap(), MatrixType::square("a"));
+    }
+
+    #[test]
+    fn for_loop_example_3_1_one_vector() {
+        // e₁ := for v, X. X + v — the one-vector (Example 3.1).
+        let e = Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::vector("a"),
+            Expr::var("X").add(Expr::var("v")),
+        );
+        assert_eq!(typecheck(&e, &schema()).unwrap(), MatrixType::vector("a"));
+    }
+
+    #[test]
+    fn for_loop_body_must_match_accumulator_type() {
+        let e = Expr::for_loop("v", "a", "X", MatrixType::square("a"), Expr::var("v"));
+        assert!(matches!(
+            typecheck(&e, &schema()),
+            Err(TypeError::LoopBodyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn for_loop_init_must_match_accumulator_type() {
+        let e = Expr::for_init(
+            "v",
+            "a",
+            "X",
+            MatrixType::square("a"),
+            Expr::var("u"),
+            Expr::var("X"),
+        );
+        assert!(matches!(
+            typecheck(&e, &schema()),
+            Err(TypeError::LoopBodyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_and_hprod_type_as_their_body() {
+        let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t()));
+        assert_eq!(typecheck(&e, &schema()).unwrap(), MatrixType::square("a"));
+        let h = Expr::hprod("v", "a", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")));
+        assert_eq!(typecheck(&h, &schema()).unwrap(), MatrixType::scalar());
+    }
+
+    #[test]
+    fn mprod_requires_square_body() {
+        let ok = Expr::mprod("v", "a", Expr::var("A"));
+        assert_eq!(typecheck(&ok, &schema()).unwrap(), MatrixType::square("a"));
+        let bad = Expr::mprod("v", "a", Expr::var("u"));
+        assert!(matches!(
+            typecheck(&bad, &schema()),
+            Err(TypeError::ProductLoopNotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_variables_shadow_schema_variables() {
+        // `u` is a schema vector; inside the Σ it is re-bound as the loop index
+        // with the same type, and the expression stays well-typed.
+        let e = Expr::sum("u", "a", Expr::var("u").t().mm(Expr::var("u")));
+        assert_eq!(typecheck(&e, &schema()).unwrap(), MatrixType::scalar());
+        // After the loop, the schema type is restored.
+        let e2 = Expr::sum("u", "a", Expr::var("u")).add(Expr::var("u"));
+        assert!(typecheck(&e2, &schema()).is_ok());
+    }
+
+    #[test]
+    fn type_errors_display() {
+        let errs: Vec<TypeError> = vec![
+            TypeError::UnknownVariable { name: "Z".into() },
+            TypeError::Mismatch {
+                op: "matrix addition",
+                left: MatrixType::scalar(),
+                right: MatrixType::square("a"),
+            },
+            TypeError::ProductMismatch {
+                left: MatrixType::square("a"),
+                right: MatrixType::square("b"),
+            },
+            TypeError::NotAVector { found: MatrixType::square("a") },
+            TypeError::NotAScalar { found: MatrixType::square("a") },
+            TypeError::LoopBodyMismatch {
+                acc: "X".into(),
+                expected: MatrixType::square("a"),
+                found: MatrixType::scalar(),
+            },
+            TypeError::ProductLoopNotSquare { found: MatrixType::vector("a") },
+            TypeError::EmptyApplication { name: "f".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

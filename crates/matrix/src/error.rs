@@ -1,0 +1,122 @@
+//! Error type for matrix construction and arithmetic.
+
+use std::fmt;
+
+/// Errors raised by matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The two operands of an elementwise operation have different shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Name of the offending operation.
+        op: &'static str,
+    },
+    /// The inner dimensions of a matrix product disagree.
+    InnerDimensionMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The requested row.
+        row: usize,
+        /// The requested column.
+        col: usize,
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// An operation requiring a vector received a non-vector.
+    NotAVector {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// An operation requiring a square matrix received a non-square one.
+    NotSquare {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// An operation requiring a 1×1 matrix (a scalar) received something else.
+    NotAScalar {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// Construction data did not match the requested shape.
+    BadConstruction {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A numeric operation (division, inversion) was impossible.
+    Singular {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::InnerDimensionMismatch { left, right } => write!(
+                f,
+                "inner dimension mismatch in matrix product: {}x{} times {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            MatrixError::NotAVector { shape } => {
+                write!(f, "expected a column vector, got shape {}x{}", shape.0, shape.1)
+            }
+            MatrixError::NotSquare { shape } => {
+                write!(f, "expected a square matrix, got shape {}x{}", shape.0, shape.1)
+            }
+            MatrixError::NotAScalar { shape } => {
+                write!(f, "expected a 1x1 matrix, got shape {}x{}", shape.0, shape.1)
+            }
+            MatrixError::BadConstruction { message } => write!(f, "bad construction: {message}"),
+            MatrixError::Singular { message } => write!(f, "singular: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let e = MatrixError::ShapeMismatch {
+            left: (2, 3),
+            right: (3, 2),
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+        let e = MatrixError::InnerDimensionMismatch { left: (2, 3), right: (2, 3) };
+        assert!(e.to_string().contains("inner dimension"));
+        let e = MatrixError::IndexOutOfBounds { row: 5, col: 0, shape: (2, 2) };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = MatrixError::NotAVector { shape: (2, 2) };
+        assert!(e.to_string().contains("column vector"));
+        let e = MatrixError::NotSquare { shape: (2, 3) };
+        assert!(e.to_string().contains("square"));
+        let e = MatrixError::NotAScalar { shape: (2, 3) };
+        assert!(e.to_string().contains("1x1"));
+        let e = MatrixError::BadConstruction { message: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        let e = MatrixError::Singular { message: "det is 0".into() };
+        assert!(e.to_string().contains("det is 0"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Dense matrices over arbitrary commutative semirings.
+//!
+//! MATLANG instances assign concrete matrices to matrix variables
+//! (`mat : M ↦ Mat[K]`, Section 2 and Section 6.1 of the paper).  This crate
+//! provides that `Mat[K]`: a dense, row-major matrix generic over the
+//! [`Semiring`](matlang_semiring::Semiring) trait, together with every operation the MATLANG evaluator
+//! and the paper's algorithms need — transpose, matrix product, addition,
+//! Hadamard (pointwise) product, scalar multiplication, canonical vectors,
+//! ones vectors, diagonalization, trace, permutation matrices, and the order
+//! matrices `S≤`/`S<` used in Section 3.2.
+
+pub mod error;
+pub mod matrix;
+pub mod ops;
+pub mod random;
+pub mod special;
+
+pub use error::MatrixError;
+pub use matrix::Matrix;
+pub use random::{random_adjacency, random_invertible, random_matrix, random_vector, RandomMatrixConfig};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,176 @@
+//! Random matrix generation for workloads, tests and benchmarks.
+//!
+//! The paper's experiments (re-created in EXPERIMENTS.md) run over random
+//! graphs, random LU-factorizable matrices and random invertible matrices;
+//! these generators produce them deterministically from a seed so that every
+//! benchmark run is reproducible.
+
+use crate::Matrix;
+use matlang_semiring::Semiring;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random matrix generation.
+#[derive(Debug, Clone)]
+pub struct RandomMatrixConfig {
+    /// RNG seed; the same seed always produces the same matrix.
+    pub seed: u64,
+    /// Inclusive lower bound of generated entries (before semiring injection).
+    pub min_value: f64,
+    /// Inclusive upper bound of generated entries.
+    pub max_value: f64,
+    /// Probability that an entry is zero (sparsity knob; 0.0 means dense).
+    pub zero_probability: f64,
+    /// Round generated values to integers (useful for exact semirings).
+    pub integer_entries: bool,
+}
+
+impl Default for RandomMatrixConfig {
+    fn default() -> Self {
+        RandomMatrixConfig {
+            seed: 0xC0FFEE,
+            min_value: -1.0,
+            max_value: 1.0,
+            zero_probability: 0.0,
+            integer_entries: false,
+        }
+    }
+}
+
+impl RandomMatrixConfig {
+    /// A config with the given seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> Self {
+        RandomMatrixConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn sample<K: Semiring, R: Rng>(&self, rng: &mut R) -> K {
+        if self.zero_probability > 0.0 && rng.gen_bool(self.zero_probability.clamp(0.0, 1.0)) {
+            return K::zero();
+        }
+        let mut v = rng.gen_range(self.min_value..=self.max_value);
+        if self.integer_entries {
+            v = v.round();
+        }
+        K::from_f64(v)
+    }
+}
+
+/// A dense random `rows × cols` matrix.
+pub fn random_matrix<K: Semiring>(rows: usize, cols: usize, config: &RandomMatrixConfig) -> Matrix<K> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let data = (0..rows * cols).map(|_| config.sample(&mut rng)).collect();
+    Matrix::from_vec(rows, cols, data).expect("generated data has the right length")
+}
+
+/// A random `n × 1` column vector.
+pub fn random_vector<K: Semiring>(n: usize, config: &RandomMatrixConfig) -> Matrix<K> {
+    random_matrix(n, 1, config)
+}
+
+/// A random 0/1 adjacency matrix of a directed graph on `n` vertices with the
+/// given edge probability (no self loops).
+pub fn random_adjacency<K: Semiring>(n: usize, edge_probability: f64, seed: u64) -> Matrix<K> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(edge_probability.clamp(0.0, 1.0)) {
+                m.set(i, j, K::one()).expect("in bounds");
+            }
+        }
+    }
+    m
+}
+
+/// A random diagonally dominant (hence invertible and LU-factorizable without
+/// pivoting) `n × n` matrix.  Diagonal dominance guarantees every leading
+/// principal minor is non-zero, which is exactly the paper's
+/// "LU-factorizable" precondition of Proposition 4.1.
+pub fn random_invertible<K: Semiring>(n: usize, seed: u64) -> Matrix<K> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut off_diag_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v: f64 = rng.gen_range(-1.0..=1.0);
+                off_diag_sum += v.abs();
+                m.set(i, j, K::from_f64(v)).expect("in bounds");
+            }
+        }
+        // Strictly dominant diagonal entry with a random sign-free offset.
+        let diag = off_diag_sum + rng.gen_range(1.0..=2.0);
+        m.set(i, i, K::from_f64(diag)).expect("in bounds");
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::{Boolean, Real};
+
+    #[test]
+    fn random_matrix_is_deterministic_per_seed() {
+        let cfg = RandomMatrixConfig::seeded(7);
+        let a: Matrix<Real> = random_matrix(4, 4, &cfg);
+        let b: Matrix<Real> = random_matrix(4, 4, &cfg);
+        assert_eq!(a, b);
+        let other: Matrix<Real> = random_matrix(4, 4, &RandomMatrixConfig::seeded(8));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn random_vector_has_vector_shape() {
+        let v: Matrix<Real> = random_vector(5, &RandomMatrixConfig::default());
+        assert_eq!(v.shape(), (5, 1));
+    }
+
+    #[test]
+    fn zero_probability_one_gives_zero_matrix() {
+        let cfg = RandomMatrixConfig {
+            zero_probability: 1.0,
+            ..Default::default()
+        };
+        let m: Matrix<Real> = random_matrix(3, 3, &cfg);
+        assert!(m.is_zero());
+    }
+
+    #[test]
+    fn integer_entries_are_integers() {
+        let cfg = RandomMatrixConfig {
+            integer_entries: true,
+            min_value: -5.0,
+            max_value: 5.0,
+            ..Default::default()
+        };
+        let m: Matrix<Real> = random_matrix(4, 4, &cfg);
+        assert!(m.entries().iter().all(|v| v.0.fract() == 0.0));
+    }
+
+    #[test]
+    fn random_adjacency_has_no_self_loops_and_is_boolean() {
+        let adj: Matrix<Boolean> = random_adjacency(6, 0.5, 42);
+        for i in 0..6 {
+            assert_eq!(adj.get(i, i).unwrap(), &Boolean(false));
+        }
+        let dense: Matrix<Boolean> = random_adjacency(6, 1.0, 42);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(dense.get(i, j).unwrap(), &Boolean(i != j));
+            }
+        }
+    }
+
+    #[test]
+    fn random_invertible_is_actually_invertible() {
+        for seed in 0..5 {
+            let m: Matrix<Real> = random_invertible(6, seed);
+            let det = m.determinant().unwrap();
+            assert!(det.0.abs() > 1e-9, "determinant too small for seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Special matrices used throughout the paper: the order matrices `S≤`/`S<`
+//! of Section 3.2, the shift matrices `Prev`/`Next` of Appendix B.1, and
+//! permutation matrices used by PLU decomposition (Section 4.1).
+
+use crate::{Matrix, MatrixError, Result};
+use matlang_semiring::Semiring;
+
+impl<K: Semiring> Matrix<K> {
+    /// The `n × n` upper-triangular order matrix `S≤` with
+    /// `bᵢᵀ · S≤ · bⱼ = 1` iff `i ≤ j` (Section 3.2).
+    pub fn order_leq(n: usize) -> Matrix<K> {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, K::one()).expect("in bounds");
+            }
+        }
+        m
+    }
+
+    /// The strict order matrix `S< = S≤ − I` with `bᵢᵀ · S< · bⱼ = 1` iff `i < j`.
+    pub fn order_lt(n: usize) -> Matrix<K> {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, K::one()).expect("in bounds");
+            }
+        }
+        m
+    }
+
+    /// The `Prev` shift matrix of Appendix B.1: `Prev · bᵢ = bᵢ₋₁` for `i > 1`
+    /// and `Prev · b₁ = 0`.
+    pub fn shift_prev(n: usize) -> Matrix<K> {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n.saturating_sub(1) {
+            m.set(i, i + 1, K::one()).expect("in bounds");
+        }
+        m
+    }
+
+    /// The `Next` shift matrix: `Next · bᵢ = bᵢ₊₁` for `i < n` and `Next · bₙ = 0`.
+    pub fn shift_next(n: usize) -> Matrix<K> {
+        Matrix::shift_prev(n).transpose()
+    }
+
+    /// A permutation matrix from a permutation given as an image list:
+    /// `perm[i] = j` means row `i` of the result has a one in column `j`,
+    /// i.e. `P · A` moves row `j` of `A` into row `i`.
+    pub fn permutation(perm: &[usize]) -> Result<Matrix<K>> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in perm {
+            if p >= n {
+                return Err(MatrixError::BadConstruction {
+                    message: format!("permutation image {p} out of range for size {n}"),
+                });
+            }
+            if seen[p] {
+                return Err(MatrixError::BadConstruction {
+                    message: format!("duplicate permutation image {p}"),
+                });
+            }
+            seen[p] = true;
+        }
+        let mut m = Matrix::zeros(n, n);
+        for (i, &j) in perm.iter().enumerate() {
+            m.set(i, j, K::one())?;
+        }
+        Ok(m)
+    }
+
+    /// The row-interchange permutation `P = I − u·uᵀ` with `u = bᵢ − bⱼ`
+    /// (Section 4.1 / Appendix C.2): swaps rows `i` and `j` when multiplied
+    /// from the left.
+    pub fn row_swap(n: usize, i: usize, j: usize) -> Result<Matrix<K>> {
+        if i >= n || j >= n {
+            return Err(MatrixError::IndexOutOfBounds {
+                row: i.max(j),
+                col: 0,
+                shape: (n, n),
+            });
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.swap(i, j);
+        Matrix::permutation(&perm)
+    }
+
+    /// Whether this matrix is lower triangular (all entries strictly above the
+    /// diagonal are zero).
+    pub fn is_lower_triangular(&self) -> bool {
+        self.iter_entries().all(|(i, j, v)| j <= i || v.is_zero())
+    }
+
+    /// Whether this matrix is upper triangular (all entries strictly below the
+    /// diagonal are zero).
+    pub fn is_upper_triangular(&self) -> bool {
+        self.iter_entries().all(|(i, j, v)| j >= i || v.is_zero())
+    }
+
+    /// Whether this matrix is a permutation matrix (square 0/1 matrix with a
+    /// single one per row and per column).
+    pub fn is_permutation(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let n = self.rows();
+        for i in 0..n {
+            let ones = (0..n)
+                .filter(|&j| self.get(i, j).map(|v| v.is_one()).unwrap_or(false))
+                .count();
+            let zeros = (0..n)
+                .filter(|&j| self.get(i, j).map(|v| v.is_zero()).unwrap_or(false))
+                .count();
+            if ones != 1 || zeros != n - 1 {
+                return false;
+            }
+        }
+        for j in 0..n {
+            let ones = (0..n)
+                .filter(|&i| self.get(i, j).map(|v| v.is_one()).unwrap_or(false))
+                .count();
+            if ones != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::Real;
+
+    #[test]
+    fn order_matrices_encode_the_order() {
+        let leq: Matrix<Real> = Matrix::order_leq(4);
+        let lt: Matrix<Real> = Matrix::order_lt(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let bi: Matrix<Real> = Matrix::canonical(4, i).unwrap();
+                let bj: Matrix<Real> = Matrix::canonical(4, j).unwrap();
+                let vleq = bi
+                    .transpose()
+                    .matmul(&leq)
+                    .unwrap()
+                    .matmul(&bj)
+                    .unwrap()
+                    .as_scalar()
+                    .unwrap();
+                let vlt = bi
+                    .transpose()
+                    .matmul(&lt)
+                    .unwrap()
+                    .matmul(&bj)
+                    .unwrap()
+                    .as_scalar()
+                    .unwrap();
+                assert_eq!(vleq.0, if i <= j { 1.0 } else { 0.0 });
+                assert_eq!(vlt.0, if i < j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn shift_matrices_shift_canonical_vectors() {
+        let prev: Matrix<Real> = Matrix::shift_prev(4);
+        let next: Matrix<Real> = Matrix::shift_next(4);
+        for i in 0..4 {
+            let bi: Matrix<Real> = Matrix::canonical(4, i).unwrap();
+            let p = prev.matmul(&bi).unwrap();
+            let n = next.matmul(&bi).unwrap();
+            if i == 0 {
+                assert!(p.is_zero());
+            } else {
+                assert_eq!(p, Matrix::canonical(4, i - 1).unwrap());
+            }
+            if i == 3 {
+                assert!(n.is_zero());
+            } else {
+                assert_eq!(n, Matrix::canonical(4, i + 1).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_construction_and_validation() {
+        let p: Matrix<Real> = Matrix::permutation(&[2, 0, 1]).unwrap();
+        assert!(p.is_permutation());
+        assert!(Matrix::<Real>::permutation(&[0, 0, 1]).is_err());
+        assert!(Matrix::<Real>::permutation(&[0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn row_swap_swaps_rows_from_the_left() {
+        let p: Matrix<Real> = Matrix::row_swap(3, 0, 2).unwrap();
+        let a: Matrix<Real> =
+            Matrix::from_f64_rows(&[&[1.0, 0.0, 0.0], &[0.0, 2.0, 0.0], &[0.0, 0.0, 3.0]]).unwrap();
+        let swapped = p.matmul(&a).unwrap();
+        assert_eq!(swapped.get(0, 2).unwrap().0, 3.0);
+        assert_eq!(swapped.get(2, 0).unwrap().0, 1.0);
+        assert!(Matrix::<Real>::row_swap(2, 0, 5).is_err());
+    }
+
+    #[test]
+    fn triangular_predicates() {
+        let l: Matrix<Real> = Matrix::from_f64_rows(&[&[1.0, 0.0], &[5.0, 2.0]]).unwrap();
+        let u: Matrix<Real> = Matrix::from_f64_rows(&[&[1.0, 5.0], &[0.0, 2.0]]).unwrap();
+        assert!(l.is_lower_triangular());
+        assert!(!l.is_upper_triangular());
+        assert!(u.is_upper_triangular());
+        assert!(!u.is_lower_triangular());
+        let d: Matrix<Real> = Matrix::identity(3);
+        assert!(d.is_lower_triangular() && d.is_upper_triangular());
+    }
+
+    #[test]
+    fn permutation_predicate_rejects_non_permutations() {
+        let m: Matrix<Real> = Matrix::from_f64_rows(&[&[1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        assert!(!m.is_permutation());
+        let nonsq: Matrix<Real> = Matrix::zeros(2, 3);
+        assert!(!nonsq.is_permutation());
+        let scaled: Matrix<Real> = Matrix::from_f64_rows(&[&[2.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert!(!scaled.is_permutation());
+    }
+}

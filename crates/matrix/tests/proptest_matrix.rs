@@ -1,0 +1,150 @@
+//! Property-based tests for the algebraic laws of dense semiring matrices.
+
+use matlang_matrix::{Matrix, RandomMatrixConfig};
+use matlang_semiring::{Boolean, Nat, Real};
+use proptest::prelude::*;
+
+/// Random small natural-number matrix (exact arithmetic, so laws hold exactly).
+fn nat_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Nat>> {
+    proptest::collection::vec(0u64..20, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data.into_iter().map(Nat).collect()).unwrap())
+}
+
+fn bool_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Boolean>> {
+    proptest::collection::vec(any::<bool>(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data.into_iter().map(Boolean).collect()).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution(m in nat_matrix(3, 4)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in nat_matrix(3, 3), b in nat_matrix(3, 3)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative(
+        a in nat_matrix(3, 3),
+        b in nat_matrix(3, 3),
+        c in nat_matrix(3, 3),
+    ) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        prop_assert_eq!(
+            a.add(&b).unwrap().add(&c).unwrap(),
+            a.add(&b.add(&c).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in nat_matrix(2, 3),
+        b in nat_matrix(3, 2),
+        c in nat_matrix(2, 2),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in nat_matrix(3, 3),
+        b in nat_matrix(3, 3),
+        c in nat_matrix(3, 3),
+    ) {
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn identity_is_neutral_for_matmul(a in nat_matrix(4, 4)) {
+        let id = Matrix::<Nat>::identity(4);
+        prop_assert_eq!(a.matmul(&id).unwrap(), a.clone());
+        prop_assert_eq!(id.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn zero_annihilates_matmul(a in nat_matrix(3, 3)) {
+        let zero = Matrix::<Nat>::zeros(3, 3);
+        prop_assert!(a.matmul(&zero).unwrap().is_zero());
+        prop_assert!(zero.matmul(&a).unwrap().is_zero());
+    }
+
+    #[test]
+    fn hadamard_is_commutative(a in nat_matrix(3, 3), b in nat_matrix(3, 3)) {
+        prop_assert_eq!(a.hadamard(&b).unwrap(), b.hadamard(&a).unwrap());
+    }
+
+    #[test]
+    fn diag_of_diagonal_vector_roundtrip(a in nat_matrix(4, 1)) {
+        let d = a.diag().unwrap();
+        prop_assert_eq!(d.diagonal_vector().unwrap(), a);
+    }
+
+    #[test]
+    fn trace_is_invariant_under_transpose(a in nat_matrix(4, 4)) {
+        prop_assert_eq!(a.trace().unwrap(), a.transpose().trace().unwrap());
+    }
+
+    #[test]
+    fn boolean_matmul_matches_reachability_semantics(a in bool_matrix(3, 3), b in bool_matrix(3, 3)) {
+        let prod = a.matmul(&b).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = (0..3).any(|k| a.get(i, k).unwrap().0 && b.get(k, j).unwrap().0);
+                prop_assert_eq!(prod.get(i, j).unwrap().0, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_vectors_select_columns(j in 0usize..4, a in nat_matrix(4, 4)) {
+        let bj = Matrix::<Nat>::canonical(4, j).unwrap();
+        prop_assert_eq!(a.matmul(&bj).unwrap(), a.column(j).unwrap());
+    }
+
+    #[test]
+    fn canonical_vectors_select_entries(i in 0usize..4, j in 0usize..4, a in nat_matrix(4, 4)) {
+        let bi = Matrix::<Nat>::canonical(4, i).unwrap();
+        let bj = Matrix::<Nat>::canonical(4, j).unwrap();
+        let entry = bi.transpose().matmul(&a).unwrap().matmul(&bj).unwrap();
+        prop_assert_eq!(entry.as_scalar().unwrap(), a.get(i, j).unwrap().clone());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gauss_jordan_inverse_is_a_two_sided_inverse(seed in 0u64..500) {
+        let a: Matrix<Real> = matlang_matrix::random_invertible(5, seed);
+        let inv = a.inverse().unwrap();
+        let id = Matrix::<Real>::identity(5);
+        prop_assert!(a.matmul(&inv).unwrap().approx_eq(&id, 1e-6));
+        prop_assert!(inv.matmul(&a).unwrap().approx_eq(&id, 1e-6));
+    }
+
+    #[test]
+    fn determinant_is_multiplicative(seed in 0u64..200) {
+        let a: Matrix<Real> = matlang_matrix::random_invertible(4, seed);
+        let b: Matrix<Real> = matlang_matrix::random_invertible(4, seed + 1000);
+        let det_ab = a.matmul(&b).unwrap().determinant().unwrap().0;
+        let det_a_det_b = a.determinant().unwrap().0 * b.determinant().unwrap().0;
+        let scale = det_ab.abs().max(det_a_det_b.abs()).max(1.0);
+        prop_assert!((det_ab - det_a_det_b).abs() / scale < 1e-6);
+    }
+
+    #[test]
+    fn random_matrix_respects_bounds(seed in 0u64..200) {
+        let cfg = RandomMatrixConfig { seed, min_value: -2.0, max_value: 3.0, ..Default::default() };
+        let m: Matrix<Real> = matlang_matrix::random_matrix(4, 4, &cfg);
+        prop_assert!(m.entries().iter().all(|v| v.0 >= -2.0 && v.0 <= 3.0));
+    }
+}

@@ -1,0 +1,308 @@
+//! Tokenizer for the for-MATLANG surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.` (the loop-body separator)
+    Dot,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `*` (matrix product)
+    Star,
+    /// `.*` (scalar product)
+    DotStar,
+    /// `**` (Hadamard product)
+    StarStar,
+    /// An identifier or keyword.
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Equals => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Star => write!(f, "*"),
+            Token::DotStar => write!(f, ".*"),
+            Token::StarStar => write!(f, "**"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Errors produced by the tokenizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexError {
+    /// An unexpected character was encountered.
+    UnexpectedChar {
+        /// The character.
+        found: char,
+        /// Byte offset in the input.
+        position: usize,
+    },
+    /// A numeric literal could not be parsed.
+    BadNumber {
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { found, position } => {
+                write!(f, "unexpected character `{found}` at byte {position}")
+            }
+            LexError::BadNumber { text } => write!(f, "malformed number `{text}`"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes an input string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                if chars.get(i + 1) == Some(&'*') {
+                    tokens.push(Token::StarStar);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Star);
+                    i += 1;
+                }
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'*') {
+                    tokens.push(Token::DotStar);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '-' => {
+                // Negative numeric literal (only appears after `const`).
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| LexError::BadNumber { text })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // Don't swallow the loop-body dot: a trailing `.` followed
+                    // by whitespace or a non-digit is a separator.
+                    if chars[i] == '.'
+                        && !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| LexError::BadNumber { text })?;
+                tokens.push(Token::Number(value));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(LexError::UnexpectedChar {
+                    found: other,
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_operators_and_identifiers() {
+        let tokens = tokenize("(transpose(A) * B_1) + (const -2.5)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LParen,
+                Token::Ident("transpose".into()),
+                Token::LParen,
+                Token::Ident("A".into()),
+                Token::RParen,
+                Token::Star,
+                Token::Ident("B_1".into()),
+                Token::RParen,
+                Token::Plus,
+                Token::LParen,
+                Token::Ident("const".into()),
+                Token::Number(-2.5),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_star_variants_and_dots() {
+        let tokens = tokenize("a ** b .* c * d . e").unwrap();
+        assert!(tokens.contains(&Token::StarStar));
+        assert!(tokens.contains(&Token::DotStar));
+        assert!(tokens.contains(&Token::Star));
+        assert!(tokens.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn numbers_with_decimals_and_loop_dots() {
+        let tokens = tokenize("(const 1) . 2.5").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LParen,
+                Token::Ident("const".into()),
+                Token::Number(1.0),
+                Token::RParen,
+                Token::Dot,
+                Token::Number(2.5),
+            ]
+        );
+        // The integer before the loop dot keeps the dot as a separator.
+        let tokens = tokenize("1 . v").unwrap();
+        assert_eq!(tokens[0], Token::Number(1.0));
+        assert_eq!(tokens[1], Token::Dot);
+    }
+
+    #[test]
+    fn brackets_colons_commas_equals() {
+        let tokens = tokenize("X:[a,1] = A").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("X".into()),
+                Token::Colon,
+                Token::LBracket,
+                Token::Ident("a".into()),
+                Token::Comma,
+                Token::Number(1.0),
+                Token::RBracket,
+                Token::Equals,
+                Token::Ident("A".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters_and_bad_numbers() {
+        assert!(matches!(
+            tokenize("A ? B"),
+            Err(LexError::UnexpectedChar { found: '?', .. })
+        ));
+        assert!(matches!(tokenize("-"), Err(LexError::BadNumber { .. })));
+        assert!(!LexError::BadNumber { text: "x".into() }.to_string().is_empty());
+        assert!(!LexError::UnexpectedChar { found: '?', position: 0 }.to_string().is_empty());
+    }
+
+    #[test]
+    fn tokens_display() {
+        for t in [
+            Token::LParen,
+            Token::RParen,
+            Token::LBracket,
+            Token::RBracket,
+            Token::Comma,
+            Token::Colon,
+            Token::Dot,
+            Token::Equals,
+            Token::Plus,
+            Token::Star,
+            Token::DotStar,
+            Token::StarStar,
+            Token::Ident("x".into()),
+            Token::Number(1.5),
+        ] {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

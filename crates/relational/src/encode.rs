@@ -1,0 +1,245 @@
+//! The encodings between matrix instances and `K`-databases used by
+//! Propositions 6.3 and 6.4.
+//!
+//! * `Rel(S)` / `Rel(I)` ([`encode_instance`]): a matrix variable `V` of type
+//!   `(α, β)` becomes a binary relation `R_V` over the attributes
+//!   `row_α` / `col_β` holding the (non-zero) entries of `mat(V)`, and every
+//!   size symbol `α` contributes a unary "active domain" relation `adom_α`
+//!   annotating each index `1 … D(α)` with `1`.
+//! * `Mat(R)` / `Mat(J)` ([`decode_matrix_instance`]): a binary `K`-database
+//!   becomes a matrix instance over square matrices indexed by the (sorted)
+//!   active domain of the whole database.
+
+use crate::expr::Database;
+use crate::kr::Relation;
+use matlang_core::{Dim, Instance, Schema};
+use matlang_matrix::Matrix;
+use matlang_semiring::Semiring;
+use std::collections::BTreeSet;
+
+/// Prefix of the unary active-domain relations `adom_α`.
+pub const ACTIVE_DOMAIN_PREFIX: &str = "adom_";
+
+/// The relation name `R_V` encoding the matrix variable `V`.
+pub fn matrix_var_relation(var: &str) -> String {
+    format!("R_{var}")
+}
+
+/// The attribute `row_α`.
+pub fn row_attr(sym: &str) -> String {
+    format!("row_{sym}")
+}
+
+/// The attribute `col_β`.
+pub fn col_attr(sym: &str) -> String {
+    format!("col_{sym}")
+}
+
+/// The attribute carried by the active-domain relation of symbol `α`.
+pub fn domain_attr(sym: &str) -> String {
+    format!("dom_{sym}")
+}
+
+/// The name of the active-domain relation of symbol `α`.
+pub fn domain_relation(sym: &str) -> String {
+    format!("{ACTIVE_DOMAIN_PREFIX}{sym}")
+}
+
+/// `Rel(I)` — encodes a matrix instance (w.r.t. its schema) as a
+/// `K`-database: one binary/unary/nullary relation per matrix variable plus
+/// one unary domain relation per size symbol.  Matrix indices are 1-based in
+/// the relational encoding, matching the paper's data domain `ℕ \ {0}`.
+pub fn encode_instance<K: Semiring>(schema: &Schema, instance: &Instance<K>) -> Result<Database<K>, String> {
+    let mut db = Database::new();
+    let mut symbols: BTreeSet<String> = BTreeSet::new();
+    for (name, ty) in schema.iter() {
+        let matrix = instance
+            .matrix(name)
+            .ok_or_else(|| format!("variable {name} has no matrix in the instance"))?;
+        let mut attrs: Vec<String> = Vec::new();
+        if let Dim::Sym(s) = &ty.rows {
+            attrs.push(row_attr(s));
+            symbols.insert(s.clone());
+        }
+        if let Dim::Sym(s) = &ty.cols {
+            attrs.push(col_attr(s));
+            symbols.insert(s.clone());
+        }
+        let mut rel = Relation::new(attrs.clone());
+        for (i, j, value) in matrix.iter_entries() {
+            if value.is_zero() {
+                continue;
+            }
+            let mut tuple: Vec<(&str, u64)> = Vec::new();
+            let row_name;
+            let col_name;
+            if let Dim::Sym(s) = &ty.rows {
+                row_name = row_attr(s);
+                tuple.push((row_name.as_str(), (i + 1) as u64));
+            }
+            if let Dim::Sym(s) = &ty.cols {
+                col_name = col_attr(s);
+                tuple.push((col_name.as_str(), (j + 1) as u64));
+            }
+            rel.insert(&tuple, value.clone())?;
+        }
+        db.insert(matrix_var_relation(name), rel);
+    }
+    for sym in symbols {
+        let n = instance
+            .dim_value(&Dim::Sym(sym.clone()))
+            .ok_or_else(|| format!("size symbol {sym} has no value in the instance"))?;
+        let attr = domain_attr(&sym);
+        let mut rel = Relation::new([attr.clone()]);
+        for i in 1..=n {
+            rel.insert(&[(attr.as_str(), i as u64)], K::one())?;
+        }
+        db.insert(domain_relation(&sym), rel);
+    }
+    Ok(db)
+}
+
+/// The matrix variable name used by [`decode_matrix_instance`] for a base
+/// relation.
+pub fn relation_matrix_var(relation: &str) -> String {
+    format!("M_{relation}")
+}
+
+/// `Mat(J)` — encodes a binary `K`-database as a matrix instance over square
+/// matrices / vectors indexed by the sorted active domain of the whole
+/// database (Section 6.1).  Returns the instance together with the active
+/// domain, so callers can translate between domain values and indices.
+///
+/// Every relation must have arity ≤ 2; higher arities are rejected.
+pub fn decode_matrix_instance<K: Semiring>(
+    db: &Database<K>,
+    dim_symbol: &str,
+) -> Result<(Instance<K>, Vec<u64>), String> {
+    let mut adom: BTreeSet<u64> = BTreeSet::new();
+    for rel in db.values() {
+        if rel.arity() > 2 {
+            return Err(format!(
+                "relation of arity {} cannot be encoded as a matrix",
+                rel.arity()
+            ));
+        }
+        adom.extend(rel.active_domain());
+    }
+    let adom: Vec<u64> = adom.into_iter().collect();
+    let n = adom.len().max(1);
+    let index_of = |v: u64| adom.iter().position(|&d| d == v).expect("value from active domain");
+
+    let mut instance: Instance<K> = Instance::new().with_dim(dim_symbol, n);
+    for (name, rel) in db {
+        let matrix = match rel.arity() {
+            2 => {
+                let mut m = Matrix::zeros(n, n);
+                for (row, value) in rel.iter() {
+                    m.set(index_of(row[0]), index_of(row[1]), value.clone())
+                        .map_err(|e| e.to_string())?;
+                }
+                m
+            }
+            1 => {
+                let mut m = Matrix::zeros(n, 1);
+                for (row, value) in rel.iter() {
+                    m.set(index_of(row[0]), 0, value.clone()).map_err(|e| e.to_string())?;
+                }
+                m
+            }
+            _ => {
+                let value = rel.iter().next().map(|(_, v)| v.clone()).unwrap_or_else(K::zero);
+                Matrix::scalar(value)
+            }
+        };
+        instance.set_matrix(relation_matrix_var(name), matrix);
+    }
+    Ok((instance, adom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_core::MatrixType;
+    use matlang_semiring::{Nat, Real};
+
+    #[test]
+    fn encode_square_matrix_and_domain() {
+        let schema = Schema::new()
+            .with_var("A", MatrixType::square("n"))
+            .with_var("u", MatrixType::vector("n"))
+            .with_var("s", MatrixType::scalar());
+        let instance: Instance<Real> = Instance::new()
+            .with_dim("n", 2)
+            .with_matrix("A", Matrix::from_f64_rows(&[&[0.0, 2.0], &[3.0, 0.0]]).unwrap())
+            .with_matrix("u", Matrix::from_f64_rows(&[&[5.0], &[0.0]]).unwrap())
+            .with_matrix("s", Matrix::scalar(Real(7.0)));
+        let db = encode_instance(&schema, &instance).unwrap();
+
+        let ra = &db[&matrix_var_relation("A")];
+        assert_eq!(ra.attrs(), &[col_attr("n"), row_attr("n")]);
+        assert_eq!(ra.annotation(&[("row_n", 1), ("col_n", 2)]), Real(2.0));
+        assert_eq!(ra.annotation(&[("row_n", 2), ("col_n", 1)]), Real(3.0));
+        assert_eq!(ra.support_size(), 2);
+
+        let ru = &db[&matrix_var_relation("u")];
+        assert_eq!(ru.attrs(), &[row_attr("n")]);
+        assert_eq!(ru.annotation(&[("row_n", 1)]), Real(5.0));
+
+        let rs = &db[&matrix_var_relation("s")];
+        assert_eq!(rs.arity(), 0);
+        assert_eq!(rs.annotation(&[]), Real(7.0));
+
+        let dom = &db[&domain_relation("n")];
+        assert_eq!(dom.support_size(), 2);
+        assert_eq!(dom.annotation(&[("dom_n", 1)]), Real(1.0));
+        assert_eq!(dom.annotation(&[("dom_n", 2)]), Real(1.0));
+    }
+
+    #[test]
+    fn encode_requires_matrices_and_dimensions() {
+        let schema = Schema::new().with_var("A", MatrixType::square("n"));
+        let missing_matrix: Instance<Real> = Instance::new().with_dim("n", 2);
+        assert!(encode_instance(&schema, &missing_matrix).is_err());
+        let missing_dim: Instance<Real> =
+            Instance::new().with_matrix("A", Matrix::identity(2));
+        assert!(encode_instance(&schema, &missing_dim).is_err());
+    }
+
+    #[test]
+    fn decode_binary_database_as_square_matrices() {
+        let mut edges: Relation<Nat> = Relation::new(["src", "dst"]);
+        edges.insert(&[("src", 10), ("dst", 30)], Nat(2)).unwrap();
+        edges.insert(&[("src", 30), ("dst", 20)], Nat(5)).unwrap();
+        let mut labels: Relation<Nat> = Relation::new(["node"]);
+        labels.insert(&[("node", 20)], Nat(7)).unwrap();
+        let mut db = Database::new();
+        db.insert("E".to_string(), edges);
+        db.insert("L".to_string(), labels);
+
+        let (instance, adom) = decode_matrix_instance(&db, "n").unwrap();
+        assert_eq!(adom, vec![10, 20, 30]);
+        let e = instance.matrix(&relation_matrix_var("E")).unwrap();
+        assert_eq!(e.shape(), (3, 3));
+        // 10 → index 0, 30 → index 2, 20 → index 1; attrs sorted: dst < src,
+        // so the first tuple component is dst.
+        assert_eq!(e.get(2, 0).unwrap(), &Nat(2));
+        assert_eq!(e.get(1, 2).unwrap(), &Nat(5));
+        let l = instance.matrix(&relation_matrix_var("L")).unwrap();
+        assert_eq!(l.shape(), (3, 1));
+        assert_eq!(l.get(1, 0).unwrap(), &Nat(7));
+    }
+
+    #[test]
+    fn decode_rejects_wide_relations_and_handles_empty_databases() {
+        let wide: Relation<Nat> = Relation::new(["a", "b", "c"]);
+        let mut db = Database::new();
+        db.insert("W".to_string(), wide);
+        assert!(decode_matrix_instance(&db, "n").is_err());
+
+        let empty: Database<Nat> = Database::new();
+        let (instance, adom) = decode_matrix_instance(&empty, "n").unwrap();
+        assert!(adom.is_empty());
+        assert_eq!(instance.dim_value(&Dim::sym("n")), Some(1));
+    }
+}

@@ -1,0 +1,284 @@
+//! The `RA⁺_K` expression language and its semantics (Section 6.1, following
+//! Green–Karvounarakis–Tannen).
+
+use crate::kr::Relation;
+use matlang_semiring::Semiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database: a named collection of `K`-relations.
+pub type Database<K> = BTreeMap<String, Relation<K>>;
+
+/// An `RA⁺_K` expression.
+///
+/// `Q := R | Q ∪ Q | π_X(Q) | σ_X(Q) | ρ_f(Q) | Q ⋈ Q`
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaExpr {
+    /// A base relation.
+    Rel(String),
+    /// Union (annotations added with `⊕`).
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Projection onto a set of attributes (annotations summed with `⊕`).
+    Project(Vec<String>, Box<RaExpr>),
+    /// Selection keeping tuples whose listed attributes are all equal.
+    Select(Vec<String>, Box<RaExpr>),
+    /// Renaming given as `old → new` pairs.
+    Rename(Vec<(String, String)>, Box<RaExpr>),
+    /// Natural join (annotations multiplied with `⊙`).
+    Join(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// A base relation.
+    pub fn rel(name: impl Into<String>) -> RaExpr {
+        RaExpr::Rel(name.into())
+    }
+
+    /// Union with another expression.
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Projection onto the given attributes.
+    pub fn project(self, attrs: &[&str]) -> RaExpr {
+        RaExpr::Project(attrs.iter().map(|s| s.to_string()).collect(), Box::new(self))
+    }
+
+    /// Selection on equality of the given attributes.
+    pub fn select(self, attrs: &[&str]) -> RaExpr {
+        RaExpr::Select(attrs.iter().map(|s| s.to_string()).collect(), Box::new(self))
+    }
+
+    /// Renaming `old → new`.
+    pub fn rename(self, mapping: &[(&str, &str)]) -> RaExpr {
+        RaExpr::Rename(
+            mapping
+                .iter()
+                .map(|(o, n)| (o.to_string(), n.to_string()))
+                .collect(),
+            Box::new(self),
+        )
+    }
+
+    /// Natural join with another expression.
+    pub fn join(self, other: RaExpr) -> RaExpr {
+        RaExpr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// The output signature of this expression over the given database,
+    /// or an error if a base relation is missing / attributes are unknown.
+    pub fn signature<K: Semiring>(&self, db: &Database<K>) -> Result<Vec<String>, RaError> {
+        match self {
+            RaExpr::Rel(name) => db
+                .get(name)
+                .map(|r| r.attrs().to_vec())
+                .ok_or_else(|| RaError::UnknownRelation { name: name.clone() }),
+            RaExpr::Union(a, b) => {
+                let sa = a.signature(db)?;
+                let sb = b.signature(db)?;
+                if sa != sb {
+                    return Err(RaError::Incompatible {
+                        message: format!("union of signatures {sa:?} and {sb:?}"),
+                    });
+                }
+                Ok(sa)
+            }
+            RaExpr::Project(attrs, inner) => {
+                let s = inner.signature(db)?;
+                for a in attrs {
+                    if !s.contains(a) {
+                        return Err(RaError::Incompatible {
+                            message: format!("projection attribute {a} not in {s:?}"),
+                        });
+                    }
+                }
+                let mut sorted = attrs.clone();
+                sorted.sort();
+                sorted.dedup();
+                Ok(sorted)
+            }
+            RaExpr::Select(_, inner) => inner.signature(db),
+            RaExpr::Rename(mapping, inner) => {
+                let s = inner.signature(db)?;
+                let mut renamed: Vec<String> = s
+                    .iter()
+                    .map(|a| {
+                        mapping
+                            .iter()
+                            .find(|(old, _)| old == a)
+                            .map(|(_, new)| new.clone())
+                            .unwrap_or_else(|| a.clone())
+                    })
+                    .collect();
+                renamed.sort();
+                Ok(renamed)
+            }
+            RaExpr::Join(a, b) => {
+                let mut s = a.signature(db)?;
+                s.extend(b.signature(db)?);
+                s.sort();
+                s.dedup();
+                Ok(s)
+            }
+        }
+    }
+
+    /// Evaluates the expression over a database, yielding a `K`-relation.
+    pub fn evaluate<K: Semiring>(&self, db: &Database<K>) -> Result<Relation<K>, RaError> {
+        match self {
+            RaExpr::Rel(name) => db
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RaError::UnknownRelation { name: name.clone() }),
+            RaExpr::Union(a, b) => {
+                let ra = a.evaluate(db)?;
+                let rb = b.evaluate(db)?;
+                ra.union(&rb).map_err(|message| RaError::Incompatible { message })
+            }
+            RaExpr::Project(attrs, inner) => {
+                let r = inner.evaluate(db)?;
+                r.project(attrs).map_err(|message| RaError::Incompatible { message })
+            }
+            RaExpr::Select(attrs, inner) => {
+                let r = inner.evaluate(db)?;
+                r.select_equal(attrs)
+                    .map_err(|message| RaError::Incompatible { message })
+            }
+            RaExpr::Rename(mapping, inner) => {
+                let r = inner.evaluate(db)?;
+                r.rename(mapping).map_err(|message| RaError::Incompatible { message })
+            }
+            RaExpr::Join(a, b) => {
+                let ra = a.evaluate(db)?;
+                let rb = b.evaluate(db)?;
+                Ok(ra.join(&rb))
+            }
+        }
+    }
+}
+
+/// Errors raised when evaluating `RA⁺_K` expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaError {
+    /// A base relation is not present in the database.
+    UnknownRelation {
+        /// The missing relation name.
+        name: String,
+    },
+    /// Signatures do not line up for the attempted operation.
+    Incompatible {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for RaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            RaError::Incompatible { message } => write!(f, "incompatible operands: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::Nat;
+
+    fn db() -> Database<Nat> {
+        let mut edges: Relation<Nat> = Relation::new(["src", "dst"]);
+        edges.insert(&[("src", 1), ("dst", 2)], Nat(1)).unwrap();
+        edges.insert(&[("src", 2), ("dst", 3)], Nat(1)).unwrap();
+        edges.insert(&[("src", 1), ("dst", 3)], Nat(1)).unwrap();
+        let mut labels: Relation<Nat> = Relation::new(["node"]);
+        labels.insert(&[("node", 1)], Nat(1)).unwrap();
+        labels.insert(&[("node", 3)], Nat(1)).unwrap();
+        let mut database = Database::new();
+        database.insert("E".to_string(), edges);
+        database.insert("L".to_string(), labels);
+        database
+    }
+
+    #[test]
+    fn base_relations_and_unknown_names() {
+        let db = db();
+        let r = RaExpr::rel("E").evaluate(&db).unwrap();
+        assert_eq!(r.support_size(), 3);
+        assert!(matches!(
+            RaExpr::rel("missing").evaluate(&db),
+            Err(RaError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn two_hop_paths_via_rename_join_project() {
+        // π_{src, tgt}( E ⋈ ρ_{src→dst, dst→tgt}(E) ) counts 2-paths.
+        let db = db();
+        let second_hop = RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "tgt")]);
+        let two_hop = RaExpr::rel("E")
+            .join(second_hop)
+            .project(&["src", "tgt"]);
+        let r = two_hop.evaluate(&db).unwrap();
+        assert_eq!(r.annotation(&[("src", 1), ("tgt", 3)]), Nat(1));
+        assert_eq!(r.annotation(&[("src", 1), ("tgt", 2)]), Nat(0));
+    }
+
+    #[test]
+    fn union_accumulates_multiplicities() {
+        let db = db();
+        let doubled = RaExpr::rel("E").union(RaExpr::rel("E"));
+        let r = doubled.evaluate(&db).unwrap();
+        assert_eq!(r.annotation(&[("src", 1), ("dst", 2)]), Nat(2));
+    }
+
+    #[test]
+    fn selection_filters_on_equality() {
+        let db = db();
+        // Self loops: σ_{src=dst}(E) — none in this graph.
+        let loops = RaExpr::rel("E").select(&["src", "dst"]);
+        assert_eq!(loops.evaluate(&db).unwrap().support_size(), 0);
+    }
+
+    #[test]
+    fn join_with_unary_relation_filters_endpoints() {
+        let db = db();
+        let labelled_targets = RaExpr::rel("E").join(RaExpr::rel("L").rename(&[("node", "dst")]));
+        let r = labelled_targets.evaluate(&db).unwrap();
+        assert_eq!(r.annotation(&[("src", 1), ("dst", 3)]), Nat(1));
+        assert_eq!(r.annotation(&[("src", 1), ("dst", 2)]), Nat(0));
+    }
+
+    #[test]
+    fn signatures_are_computed_and_validated() {
+        let db = db();
+        assert_eq!(
+            RaExpr::rel("E").signature(&db).unwrap(),
+            vec!["dst".to_string(), "src".to_string()]
+        );
+        assert_eq!(
+            RaExpr::rel("E").project(&["src"]).signature(&db).unwrap(),
+            vec!["src".to_string()]
+        );
+        let bad_union = RaExpr::rel("E").union(RaExpr::rel("L"));
+        assert!(bad_union.signature(&db).is_err());
+        assert!(bad_union.evaluate(&db).is_err());
+        let bad_projection = RaExpr::rel("E").project(&["zzz"]);
+        assert!(bad_projection.signature(&db).is_err());
+        let join_sig = RaExpr::rel("E")
+            .join(RaExpr::rel("L"))
+            .signature(&db)
+            .unwrap();
+        assert_eq!(join_sig, vec!["dst".to_string(), "node".to_string(), "src".to_string()]);
+        let renamed_sig = RaExpr::rel("L").rename(&[("node", "x")]).signature(&db).unwrap();
+        assert_eq!(renamed_sig, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!RaError::UnknownRelation { name: "R".into() }.to_string().is_empty());
+        assert!(!RaError::Incompatible { message: "m".into() }.to_string().is_empty());
+    }
+}

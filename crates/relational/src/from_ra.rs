@@ -1,0 +1,438 @@
+//! `Ψ : RA⁺_K → sum-MATLANG` (Proposition 6.4).
+//!
+//! For a *binary* relational schema (every base relation has arity ≤ 2) an
+//! `RA⁺_K` expression `Q` with output attributes `A₁ < ⋯ < A_k` (k ≤ 2) is
+//! translated into a sum-MATLANG expression over the matrix encoding
+//! `Mat(J)` of the database (see [`crate::encode::decode_matrix_instance`]).
+//!
+//! Internally every attribute `A` of an intermediate result corresponds to a
+//! vector variable `v_A` iterating over canonical vectors; the scalar kernel
+//! `e_Q(v_{A₁}, …, v_{A_k})` satisfies the invariant
+//! `⟦e_Q⟧(Mat(J)[v_{A_s} ← b_{i_s}]) = ⟦Q⟧(t)` with `t(A_s) = d_{i_s}`
+//! (Appendix E.2), and the public entry point wraps it with `Σ` quantifiers
+//! to produce the output matrix / vector / scalar.
+
+use crate::encode::relation_matrix_var;
+use crate::expr::{Database, RaExpr, RaError};
+use matlang_core::Expr;
+use matlang_semiring::Semiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The arities of the base relations, needed to translate leaves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaSchema {
+    arities: BTreeMap<String, Vec<String>>,
+}
+
+impl RaSchema {
+    /// An empty schema.
+    pub fn new() -> RaSchema {
+        RaSchema::default()
+    }
+
+    /// Declares a base relation with its attributes.
+    pub fn with_relation(
+        mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> RaSchema {
+        let mut attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        attrs.sort();
+        attrs.dedup();
+        self.arities.insert(name.into(), attrs);
+        self
+    }
+
+    /// Reads the schema off a concrete database.
+    pub fn from_database<K: Semiring>(db: &Database<K>) -> RaSchema {
+        let mut schema = RaSchema::new();
+        for (name, rel) in db {
+            schema
+                .arities
+                .insert(name.clone(), rel.attrs().to_vec());
+        }
+        schema
+    }
+
+    /// The sorted attributes of a base relation.
+    pub fn attrs(&self, name: &str) -> Option<&[String]> {
+        self.arities.get(name).map(Vec::as_slice)
+    }
+}
+
+/// Errors raised by the RA⁺_K → sum-MATLANG translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromRaError {
+    /// A base relation is not declared in the schema.
+    UnknownRelation {
+        /// The missing name.
+        name: String,
+    },
+    /// A base relation has arity greater than two (the translation requires a
+    /// binary schema; intermediate results may still have any arity).
+    NotBinary {
+        /// The offending relation.
+        name: String,
+        /// Its arity.
+        arity: usize,
+    },
+    /// The expression is malformed (attribute mismatch, bad rename, …).
+    Malformed {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for FromRaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromRaError::UnknownRelation { name } => write!(f, "unknown base relation `{name}`"),
+            FromRaError::NotBinary { name, arity } => {
+                write!(f, "base relation `{name}` has arity {arity} > 2")
+            }
+            FromRaError::Malformed { message } => write!(f, "malformed RA expression: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FromRaError {}
+
+impl From<RaError> for FromRaError {
+    fn from(e: RaError) -> Self {
+        FromRaError::Malformed { message: e.to_string() }
+    }
+}
+
+/// The vector variable associated with an attribute.
+pub fn attr_variable(attr: &str) -> String {
+    format!("v_{attr}")
+}
+
+/// Translates an RA⁺_K expression into the scalar kernel
+/// `e_Q(v_{A₁}, …, v_{A_k})` together with the sorted list of output
+/// attributes.
+fn translate(
+    q: &RaExpr,
+    schema: &RaSchema,
+    dim: &str,
+) -> Result<(Expr, Vec<String>), FromRaError> {
+    match q {
+        RaExpr::Rel(name) => {
+            let attrs = schema
+                .attrs(name)
+                .ok_or_else(|| FromRaError::UnknownRelation { name: name.clone() })?;
+            let var = relation_matrix_var(name);
+            let expr = match attrs.len() {
+                0 => Expr::var(var),
+                1 => Expr::var(var).t().mm(Expr::var(attr_variable(&attrs[0]))),
+                2 => Expr::var(attr_variable(&attrs[0]))
+                    .t()
+                    .mm(Expr::var(var))
+                    .mm(Expr::var(attr_variable(&attrs[1]))),
+                arity => {
+                    return Err(FromRaError::NotBinary {
+                        name: name.clone(),
+                        arity,
+                    })
+                }
+            };
+            Ok((expr, attrs.to_vec()))
+        }
+        RaExpr::Union(a, b) => {
+            let (ea, sa) = translate(a, schema, dim)?;
+            let (eb, sb) = translate(b, schema, dim)?;
+            if sa != sb {
+                return Err(FromRaError::Malformed {
+                    message: format!("union of signatures {sa:?} and {sb:?}"),
+                });
+            }
+            Ok((ea.add(eb), sa))
+        }
+        RaExpr::Project(attrs, inner) => {
+            let (e, sig) = translate(inner, schema, dim)?;
+            let mut keep: Vec<String> = attrs.clone();
+            keep.sort();
+            keep.dedup();
+            for a in &keep {
+                if !sig.contains(a) {
+                    return Err(FromRaError::Malformed {
+                        message: format!("projection attribute {a} not in {sig:?}"),
+                    });
+                }
+            }
+            let removed: Vec<String> = sig.iter().filter(|a| !keep.contains(a)).cloned().collect();
+            let mut expr = e;
+            for attr in removed {
+                expr = Expr::sum(attr_variable(&attr), dim, expr);
+            }
+            Ok((expr, keep))
+        }
+        RaExpr::Select(attrs, inner) => {
+            let (e, sig) = translate(inner, schema, dim)?;
+            for a in attrs {
+                if !sig.contains(a) {
+                    return Err(FromRaError::Malformed {
+                        message: format!("selection attribute {a} not in {sig:?}"),
+                    });
+                }
+            }
+            let mut expr = e;
+            for pair in attrs.windows(2) {
+                let eq = Expr::var(attr_variable(&pair[0]))
+                    .t()
+                    .mm(Expr::var(attr_variable(&pair[1])));
+                expr = expr.mm(eq);
+            }
+            Ok((expr, sig))
+        }
+        RaExpr::Rename(mapping, inner) => {
+            let (e, sig) = translate(inner, schema, dim)?;
+            // Simultaneous renaming via temporaries (so swaps work).
+            let mut expr = e;
+            for (old, _) in mapping {
+                if !sig.contains(old) {
+                    return Err(FromRaError::Malformed {
+                        message: format!("renamed attribute {old} not in {sig:?}"),
+                    });
+                }
+                expr = expr.substitute(&attr_variable(old), &Expr::var(format!("__tmp_{old}")));
+            }
+            for (old, new) in mapping {
+                expr = expr.substitute(&format!("__tmp_{old}"), &Expr::var(attr_variable(new)));
+            }
+            let mut new_sig: Vec<String> = sig
+                .iter()
+                .map(|a| {
+                    mapping
+                        .iter()
+                        .find(|(old, _)| old == a)
+                        .map(|(_, new)| new.clone())
+                        .unwrap_or_else(|| a.clone())
+                })
+                .collect();
+            new_sig.sort();
+            new_sig.dedup();
+            if new_sig.len() != sig.len() {
+                return Err(FromRaError::Malformed {
+                    message: "renaming collapses attributes".to_string(),
+                });
+            }
+            Ok((expr, new_sig))
+        }
+        RaExpr::Join(a, b) => {
+            let (ea, sa) = translate(a, schema, dim)?;
+            let (eb, sb) = translate(b, schema, dim)?;
+            let mut sig = sa;
+            for attr in sb {
+                if !sig.contains(&attr) {
+                    sig.push(attr);
+                }
+            }
+            sig.sort();
+            Ok((ea.mm(eb), sig))
+        }
+    }
+}
+
+/// Proposition 6.4 — translates an `RA⁺_K` expression over a binary schema
+/// into a sum-MATLANG expression over the matrix encoding `Mat(J)`:
+///
+/// * output arity 2 → a square-matrix expression `Σv₁ Σv₂. e_Q × v₁·v₂ᵀ`,
+/// * output arity 1 → a vector expression `Σv. e_Q × v`,
+/// * output arity 0 → the scalar kernel itself.
+///
+/// `dim` is the size symbol used for the active-domain dimension.
+pub fn ra_to_matlang(q: &RaExpr, schema: &RaSchema, dim: &str) -> Result<Expr, FromRaError> {
+    let (kernel, sig) = translate(q, schema, dim)?;
+    let expr = match sig.len() {
+        0 => kernel,
+        1 => {
+            let v = attr_variable(&sig[0]);
+            Expr::sum(&v, dim, kernel.smul(Expr::var(&v)))
+        }
+        2 => {
+            let v1 = attr_variable(&sig[0]);
+            let v2 = attr_variable(&sig[1]);
+            Expr::sum(
+                &v1,
+                dim,
+                Expr::sum(
+                    &v2,
+                    dim,
+                    kernel.smul(Expr::var(&v1).mm(Expr::var(&v2).t())),
+                ),
+            )
+        }
+        arity => {
+            return Err(FromRaError::Malformed {
+                message: format!("output arity {arity} > 2 cannot be encoded as a matrix"),
+            })
+        }
+    };
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode_matrix_instance;
+    use crate::kr::Relation;
+    use matlang_core::{evaluate, fragment_of, Fragment, FunctionRegistry};
+    use matlang_semiring::Nat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random binary database with one edge relation and one label relation.
+    fn random_db(seed: u64, domain: u64) -> Database<Nat> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Relation<Nat> = Relation::new(["src", "dst"]);
+        for _ in 0..(domain * 2) {
+            let s = rng.gen_range(1..=domain);
+            let d = rng.gen_range(1..=domain);
+            edges
+                .insert(&[("src", s), ("dst", d)], Nat(rng.gen_range(1..4)))
+                .unwrap();
+        }
+        let mut labels: Relation<Nat> = Relation::new(["node"]);
+        for v in 1..=domain {
+            if rng.gen_bool(0.6) {
+                labels.insert(&[("node", v)], Nat(rng.gen_range(1..3))).unwrap();
+            }
+        }
+        let mut db = Database::new();
+        db.insert("E".to_string(), edges);
+        db.insert("L".to_string(), labels);
+        db
+    }
+
+    /// Checks the Proposition 6.4 invariant on every output tuple.
+    fn assert_equivalent(q: &RaExpr, seed: u64) {
+        let db = random_db(seed, 5);
+        let schema = RaSchema::from_database(&db);
+        let direct = q.evaluate(&db).unwrap();
+        let sig = q.signature(&db).unwrap();
+
+        let (instance, adom) = decode_matrix_instance(&db, "n").unwrap();
+        let expr = ra_to_matlang(q, &schema, "n").unwrap();
+        let registry = FunctionRegistry::<Nat>::new().with_semiring_ops();
+        let matrix = evaluate(&expr, &instance, &registry).unwrap();
+
+        match sig.len() {
+            0 => {
+                assert_eq!(matrix.as_scalar().unwrap(), direct.annotation(&[]), "scalar mismatch");
+            }
+            1 => {
+                for (idx, &d) in adom.iter().enumerate() {
+                    let expected = direct.annotation(&[(sig[0].as_str(), d)]);
+                    assert_eq!(matrix.get(idx, 0).unwrap(), &expected, "vector mismatch at {d}");
+                }
+            }
+            2 => {
+                for (i, &di) in adom.iter().enumerate() {
+                    for (j, &dj) in adom.iter().enumerate() {
+                        let expected =
+                            direct.annotation(&[(sig[0].as_str(), di), (sig[1].as_str(), dj)]);
+                        assert_eq!(
+                            matrix.get(i, j).unwrap(),
+                            &expected,
+                            "matrix mismatch at ({di},{dj}) for seed {seed}"
+                        );
+                    }
+                }
+            }
+            _ => unreachable!("test queries are at most binary"),
+        }
+    }
+
+    #[test]
+    fn base_relations_roundtrip() {
+        for seed in 0..3 {
+            assert_equivalent(&RaExpr::rel("E"), seed);
+            assert_equivalent(&RaExpr::rel("L"), seed);
+        }
+    }
+
+    #[test]
+    fn union_projection_selection() {
+        for seed in 0..3 {
+            assert_equivalent(&RaExpr::rel("E").union(RaExpr::rel("E")), seed);
+            assert_equivalent(&RaExpr::rel("E").project(&["src"]), seed);
+            assert_equivalent(&RaExpr::rel("E").project(&[]), seed);
+            assert_equivalent(&RaExpr::rel("E").select(&["src", "dst"]), seed);
+        }
+    }
+
+    #[test]
+    fn renames_and_joins() {
+        for seed in 0..3 {
+            // Two-hop paths: arity-3 intermediate projected back to binary.
+            let two_hop = RaExpr::rel("E")
+                .join(RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "tgt")]))
+                .project(&["src", "tgt"]);
+            assert_equivalent(&two_hop, seed);
+            // Edges whose target is labelled.
+            let labelled = RaExpr::rel("E").join(RaExpr::rel("L").rename(&[("node", "dst")]));
+            assert_equivalent(&labelled, seed);
+            // Attribute swap.
+            assert_equivalent(&RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "src")]), seed);
+        }
+    }
+
+    #[test]
+    fn triangle_count_query() {
+        // π_∅( E(a,b) ⋈ E(b,c) ⋈ E(c,a) ): a nullary (scalar) query with a
+        // ternary intermediate result — allowed, only the inputs are binary.
+        let e_ab = RaExpr::rel("E").rename(&[("src", "a"), ("dst", "b")]);
+        let e_bc = RaExpr::rel("E").rename(&[("src", "b"), ("dst", "c")]);
+        let e_ca = RaExpr::rel("E").rename(&[("src", "c"), ("dst", "a")]);
+        let triangles = e_ab.join(e_bc).join(e_ca).project(&[]);
+        for seed in 0..3 {
+            assert_equivalent(&triangles, seed);
+        }
+    }
+
+    #[test]
+    fn translated_expressions_are_sum_matlang() {
+        let db = random_db(0, 4);
+        let schema = RaSchema::from_database(&db);
+        let q = RaExpr::rel("E")
+            .join(RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "tgt")]))
+            .project(&["src", "tgt"]);
+        let expr = ra_to_matlang(&q, &schema, "n").unwrap();
+        assert_eq!(fragment_of(&expr), Fragment::SumMatlang);
+    }
+
+    #[test]
+    fn translation_errors() {
+        let schema = RaSchema::new().with_relation("T", ["a", "b", "c"]);
+        assert!(matches!(
+            ra_to_matlang(&RaExpr::rel("T"), &schema, "n"),
+            Err(FromRaError::NotBinary { .. })
+        ));
+        assert!(matches!(
+            ra_to_matlang(&RaExpr::rel("missing"), &RaSchema::new(), "n"),
+            Err(FromRaError::UnknownRelation { .. })
+        ));
+        let schema = RaSchema::new().with_relation("E", ["src", "dst"]);
+        assert!(matches!(
+            ra_to_matlang(&RaExpr::rel("E").project(&["zzz"]), &schema, "n"),
+            Err(FromRaError::Malformed { .. })
+        ));
+        assert!(matches!(
+            ra_to_matlang(&RaExpr::rel("E").rename(&[("src", "dst")]), &schema, "n"),
+            Err(FromRaError::Malformed { .. })
+        ));
+        // Binary join of relations with four distinct attributes: output
+        // arity 4, which has no matrix encoding.
+        let schema = RaSchema::new()
+            .with_relation("E", ["src", "dst"])
+            .with_relation("F", ["x", "y"]);
+        assert!(matches!(
+            ra_to_matlang(&RaExpr::rel("E").join(RaExpr::rel("F")), &schema, "n"),
+            Err(FromRaError::Malformed { .. })
+        ));
+        assert!(!FromRaError::UnknownRelation { name: "R".into() }.to_string().is_empty());
+        assert!(!FromRaError::NotBinary { name: "T".into(), arity: 3 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! Semiring-annotated relations (`K`-relations) in the sense of Green,
+//! Karvounarakis and Tannen, as used in Section 6.1 of the paper.
+//!
+//! A `K`-relation over a signature (a finite set of attributes) assigns an
+//! annotation in `K` to every tuple, with finite support.  Tuples range over
+//! the data domain `D = ℕ \ {0}` (the paper's choice when encoding matrix
+//! indices); we represent domain values as `u64`.
+
+use matlang_semiring::Semiring;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A `K`-relation: a finite-support map from tuples to annotations.
+///
+/// Attributes are kept sorted; each tuple is stored as a vector of values
+/// aligned with the sorted attribute list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation<K> {
+    attrs: Vec<String>,
+    rows: HashMap<Vec<u64>, K>,
+}
+
+impl<K: Semiring> Relation<K> {
+    /// An empty relation with the given signature (attributes are sorted and
+    /// deduplicated).
+    pub fn new(attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let mut attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        attrs.sort();
+        attrs.dedup();
+        Relation {
+            attrs,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// The signature, sorted.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The arity of the signature.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of tuples in the support.
+    pub fn support_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Inserts (accumulating with `⊕`) an annotation for a tuple given as
+    /// `(attribute, value)` pairs; missing/extra attributes are an error.
+    pub fn insert(&mut self, tuple: &[(&str, u64)], value: K) -> Result<(), String> {
+        if value.is_zero() {
+            return Ok(());
+        }
+        if tuple.len() != self.attrs.len() {
+            return Err(format!(
+                "tuple has {} attributes, relation has {}",
+                tuple.len(),
+                self.attrs.len()
+            ));
+        }
+        let lookup: BTreeMap<&str, u64> = tuple.iter().copied().collect();
+        let mut row = Vec::with_capacity(self.attrs.len());
+        for attr in &self.attrs {
+            match lookup.get(attr.as_str()) {
+                Some(&v) => row.push(v),
+                None => return Err(format!("tuple is missing attribute {attr}")),
+            }
+        }
+        self.insert_row(row, value);
+        Ok(())
+    }
+
+    /// Inserts (accumulating with `⊕`) an annotation for a tuple given in
+    /// sorted-attribute order.
+    pub fn insert_row(&mut self, row: Vec<u64>, value: K) {
+        if value.is_zero() {
+            return;
+        }
+        let entry = self.rows.entry(row).or_insert_with(K::zero);
+        *entry = entry.add(&value);
+        if entry.is_zero() {
+            // Keep the support minimal (relevant for rings where x + (−x) = 0).
+            let key: Vec<u64> = self
+                .rows
+                .iter()
+                .find(|(_, v)| v.is_zero())
+                .map(|(k, _)| k.clone())
+                .expect("just inserted");
+            self.rows.remove(&key);
+        }
+    }
+
+    /// The annotation of a tuple given as `(attribute, value)` pairs
+    /// (zero for tuples outside the support).
+    pub fn annotation(&self, tuple: &[(&str, u64)]) -> K {
+        let lookup: BTreeMap<&str, u64> = tuple.iter().copied().collect();
+        let mut row = Vec::with_capacity(self.attrs.len());
+        for attr in &self.attrs {
+            match lookup.get(attr.as_str()) {
+                Some(&v) => row.push(v),
+                None => return K::zero(),
+            }
+        }
+        self.rows.get(&row).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Iterates over the support as `(row-in-sorted-attribute-order, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u64>, &K)> {
+        self.rows.iter()
+    }
+
+    /// The set of domain values appearing in the support (the active domain
+    /// contribution of this relation).
+    pub fn active_domain(&self) -> Vec<u64> {
+        let mut values: Vec<u64> = self.rows.keys().flatten().copied().collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
+    /// Union: pointwise `⊕` of two relations over the same signature.
+    pub fn union(&self, other: &Relation<K>) -> Result<Relation<K>, String> {
+        if self.attrs != other.attrs {
+            return Err(format!(
+                "union of incompatible signatures {:?} and {:?}",
+                self.attrs, other.attrs
+            ));
+        }
+        let mut out = self.clone();
+        for (row, value) in &other.rows {
+            out.insert_row(row.clone(), value.clone());
+        }
+        Ok(out)
+    }
+
+    /// Projection onto `attrs`: tuples agreeing on `attrs` have their
+    /// annotations summed with `⊕`.
+    pub fn project(&self, attrs: &[String]) -> Result<Relation<K>, String> {
+        for a in attrs {
+            if !self.attrs.contains(a) {
+                return Err(format!("cannot project onto unknown attribute {a}"));
+            }
+        }
+        let mut out = Relation::new(attrs.iter().cloned());
+        let positions: Vec<usize> = out
+            .attrs
+            .iter()
+            .map(|a| self.attrs.iter().position(|b| b == a).expect("checked above"))
+            .collect();
+        for (row, value) in &self.rows {
+            let projected: Vec<u64> = positions.iter().map(|&p| row[p]).collect();
+            out.insert_row(projected, value.clone());
+        }
+        Ok(out)
+    }
+
+    /// Selection `σ_X`: multiplies each annotation by `Eq_X(t)` (1 when all
+    /// attributes in `X` hold equal values, 0 otherwise), i.e. keeps only the
+    /// tuples where they are equal.
+    pub fn select_equal(&self, attrs: &[String]) -> Result<Relation<K>, String> {
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                self.attrs
+                    .iter()
+                    .position(|b| b == a)
+                    .ok_or_else(|| format!("cannot select on unknown attribute {a}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut out = Relation::new(self.attrs.iter().cloned());
+        for (row, value) in &self.rows {
+            let equal = positions.windows(2).all(|w| row[w[0]] == row[w[1]]);
+            if equal {
+                out.insert_row(row.clone(), value.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renaming: replaces attribute names according to `mapping`
+    /// (`old → new`); unknown old names are an error, collisions too.
+    pub fn rename(&self, mapping: &[(String, String)]) -> Result<Relation<K>, String> {
+        let mut new_names = Vec::with_capacity(self.attrs.len());
+        for attr in &self.attrs {
+            let new = mapping
+                .iter()
+                .find(|(old, _)| old == attr)
+                .map(|(_, new)| new.clone())
+                .unwrap_or_else(|| attr.clone());
+            new_names.push(new);
+        }
+        let mut sorted = new_names.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != new_names.len() {
+            return Err("renaming would collapse two attributes".to_string());
+        }
+        for (old, _) in mapping {
+            if !self.attrs.contains(old) {
+                return Err(format!("cannot rename unknown attribute {old}"));
+            }
+        }
+        let mut out = Relation::new(new_names.clone());
+        // Position of each output attribute in the original row.
+        let positions: Vec<usize> = out
+            .attrs
+            .iter()
+            .map(|a| new_names.iter().position(|b| b == a).expect("constructed above"))
+            .collect();
+        for (row, value) in &self.rows {
+            let renamed: Vec<u64> = positions.iter().map(|&p| row[p]).collect();
+            out.insert_row(renamed, value.clone());
+        }
+        Ok(out)
+    }
+
+    /// Natural join: tuples agreeing on the shared attributes are combined
+    /// and their annotations multiplied with `⊙`.
+    pub fn join(&self, other: &Relation<K>) -> Relation<K> {
+        let shared: Vec<String> = self
+            .attrs
+            .iter()
+            .filter(|a| other.attrs.contains(a))
+            .cloned()
+            .collect();
+        let out_attrs: Vec<String> = {
+            let mut v = self.attrs.clone();
+            v.extend(other.attrs.iter().cloned());
+            v
+        };
+        let mut out = Relation::new(out_attrs);
+        let self_shared_pos: Vec<usize> = shared
+            .iter()
+            .map(|a| self.attrs.iter().position(|b| b == a).expect("shared"))
+            .collect();
+        let other_shared_pos: Vec<usize> = shared
+            .iter()
+            .map(|a| other.attrs.iter().position(|b| b == a).expect("shared"))
+            .collect();
+        // Index the right side by its shared-attribute values.
+        let mut index: HashMap<Vec<u64>, Vec<(&Vec<u64>, &K)>> = HashMap::new();
+        for (row, value) in &other.rows {
+            let key: Vec<u64> = other_shared_pos.iter().map(|&p| row[p]).collect();
+            index.entry(key).or_default().push((row, value));
+        }
+        for (row, value) in &self.rows {
+            let key: Vec<u64> = self_shared_pos.iter().map(|&p| row[p]).collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for (other_row, other_value) in matches {
+                // Assemble the combined tuple in the output's sorted order.
+                let combined: Vec<u64> = out
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        if let Some(p) = self.attrs.iter().position(|b| b == a) {
+                            row[p]
+                        } else {
+                            let p = other.attrs.iter().position(|b| b == a).expect("attr origin");
+                            other_row[p]
+                        }
+                    })
+                    .collect();
+                out.insert_row(combined, value.mul(other_value));
+            }
+        }
+        out
+    }
+}
+
+impl<K: Semiring> fmt::Display for Relation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.attrs.join(" | "))?;
+        let mut rows: Vec<(&Vec<u64>, &K)> = self.rows.iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        for (row, value) in rows {
+            let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+            writeln!(f, "{}  -> {:?}", cells.join(" | "), value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::{Nat, Real};
+
+    fn edge_relation() -> Relation<Nat> {
+        let mut r = Relation::new(["src", "dst"]);
+        r.insert(&[("src", 1), ("dst", 2)], Nat(1)).unwrap();
+        r.insert(&[("src", 2), ("dst", 3)], Nat(2)).unwrap();
+        r.insert(&[("src", 1), ("dst", 3)], Nat(3)).unwrap();
+        r
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups_attributes() {
+        let r: Relation<Nat> = Relation::new(["b", "a", "b"]);
+        assert_eq!(r.attrs(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.support_size(), 0);
+    }
+
+    #[test]
+    fn insert_accumulates_and_drops_zero() {
+        let mut r: Relation<Nat> = Relation::new(["x"]);
+        r.insert(&[("x", 5)], Nat(2)).unwrap();
+        r.insert(&[("x", 5)], Nat(3)).unwrap();
+        r.insert(&[("x", 6)], Nat(0)).unwrap();
+        assert_eq!(r.annotation(&[("x", 5)]), Nat(5));
+        assert_eq!(r.annotation(&[("x", 6)]), Nat(0));
+        assert_eq!(r.support_size(), 1);
+        assert!(r.insert(&[("y", 1)], Nat(1)).is_err());
+        assert!(r.insert(&[], Nat(1)).is_err());
+    }
+
+    #[test]
+    fn union_adds_annotations() {
+        let r = edge_relation();
+        let u = r.union(&r).unwrap();
+        assert_eq!(u.annotation(&[("src", 2), ("dst", 3)]), Nat(4));
+        let other: Relation<Nat> = Relation::new(["src"]);
+        assert!(r.union(&other).is_err());
+    }
+
+    #[test]
+    fn projection_sums_annotations() {
+        let r = edge_relation();
+        let p = r.project(&["src".to_string()]).unwrap();
+        assert_eq!(p.annotation(&[("src", 1)]), Nat(4));
+        assert_eq!(p.annotation(&[("src", 2)]), Nat(2));
+        assert!(r.project(&["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn selection_keeps_equal_tuples() {
+        let mut r: Relation<Nat> = Relation::new(["a", "b"]);
+        r.insert(&[("a", 1), ("b", 1)], Nat(5)).unwrap();
+        r.insert(&[("a", 1), ("b", 2)], Nat(7)).unwrap();
+        let s = r.select_equal(&["a".to_string(), "b".to_string()]).unwrap();
+        assert_eq!(s.annotation(&[("a", 1), ("b", 1)]), Nat(5));
+        assert_eq!(s.annotation(&[("a", 1), ("b", 2)]), Nat(0));
+        assert!(r.select_equal(&["zzz".to_string()]).is_err());
+    }
+
+    #[test]
+    fn renaming_changes_the_signature() {
+        let r = edge_relation();
+        let renamed = r
+            .rename(&[("src".to_string(), "from".to_string()), ("dst".to_string(), "to".to_string())])
+            .unwrap();
+        assert_eq!(renamed.attrs(), &["from".to_string(), "to".to_string()]);
+        assert_eq!(renamed.annotation(&[("from", 1), ("to", 2)]), Nat(1));
+        assert!(r.rename(&[("src".to_string(), "dst".to_string())]).is_err());
+        assert!(r.rename(&[("nope".to_string(), "x".to_string())]).is_err());
+    }
+
+    #[test]
+    fn natural_join_multiplies_annotations() {
+        let r = edge_relation();
+        let renamed = r
+            .rename(&[("src".to_string(), "dst".to_string()), ("dst".to_string(), "nxt".to_string())])
+            .unwrap();
+        let j = r.join(&renamed);
+        // Path 1 → 2 → 3 has annotation 1·2 = 2.
+        assert_eq!(j.annotation(&[("src", 1), ("dst", 2), ("nxt", 3)]), Nat(2));
+        // No edge leaves 3, so nothing is joined after (1, 3).
+        assert_eq!(j.support_size(), 1);
+    }
+
+    #[test]
+    fn join_on_disjoint_signatures_is_a_cartesian_product() {
+        let mut a: Relation<Nat> = Relation::new(["x"]);
+        a.insert(&[("x", 1)], Nat(2)).unwrap();
+        a.insert(&[("x", 2)], Nat(3)).unwrap();
+        let mut b: Relation<Nat> = Relation::new(["y"]);
+        b.insert(&[("y", 7)], Nat(5)).unwrap();
+        let j = a.join(&b);
+        assert_eq!(j.annotation(&[("x", 1), ("y", 7)]), Nat(10));
+        assert_eq!(j.annotation(&[("x", 2), ("y", 7)]), Nat(15));
+    }
+
+    #[test]
+    fn ring_annotations_can_cancel() {
+        use matlang_semiring::IntRing;
+        let mut r: Relation<IntRing> = Relation::new(["x"]);
+        r.insert(&[("x", 1)], IntRing(4)).unwrap();
+        r.insert(&[("x", 1)], IntRing(-4)).unwrap();
+        assert_eq!(r.support_size(), 0);
+        assert_eq!(r.annotation(&[("x", 1)]), IntRing(0));
+    }
+
+    #[test]
+    fn active_domain_and_display() {
+        let r = edge_relation();
+        assert_eq!(r.active_domain(), vec![1, 2, 3]);
+        let shown = format!("{r}");
+        assert!(shown.contains("dst"));
+        let real: Relation<Real> = Relation::new(["a"]);
+        assert_eq!(real.active_domain(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn annotation_of_malformed_tuple_is_zero() {
+        let r = edge_relation();
+        assert_eq!(r.annotation(&[("src", 1)]), Nat(0));
+    }
+}

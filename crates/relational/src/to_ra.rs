@@ -1,0 +1,547 @@
+//! `Φ : sum-MATLANG → RA⁺_K` (Proposition 6.3).
+//!
+//! The translation is by induction on the expression.  A sub-expression `e`
+//! with free iterator variables `v₁ … v_k` (variables bound by enclosing `Σ`
+//! quantifiers) of type `(α, β)` is mapped to an `RA⁺_K` expression whose
+//! signature is `{row_α, col_β} ∪ {it_{v₁}, …, it_{v_k}}` and whose
+//! annotation at `(i, j, i₁, …, i_k)` equals
+//! `⟦e⟧(I[v₁ ← b_{i₁}, …, v_k ← b_{i_k}])_{i,j}` — exactly the inductive
+//! invariant of the paper's Appendix E.1.
+
+use crate::encode::{col_attr, domain_attr, domain_relation, matrix_var_relation, row_attr};
+use crate::expr::RaExpr;
+use matlang_core::{typecheck, Dim, Expr, MatrixType, Schema, TypeError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors raised by the sum-MATLANG → RA⁺_K translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToRaError {
+    /// The expression uses an operator outside sum-MATLANG
+    /// (`for`, `Π∘`, `Π` or the Hadamard product).
+    NotSumMatlang {
+        /// The offending operator.
+        operator: &'static str,
+    },
+    /// The expression uses a pointwise function other than the multiplicative
+    /// `mul`, which has no RA⁺_K counterpart.
+    UnsupportedFunction {
+        /// The function name.
+        name: String,
+    },
+    /// Literal constants other than in `mul` position cannot be expressed in
+    /// RA⁺_K (which has no constant relations).
+    UnsupportedConstant,
+    /// The expression does not type check.
+    Type(TypeError),
+}
+
+impl fmt::Display for ToRaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToRaError::NotSumMatlang { operator } => {
+                write!(f, "operator {operator} is outside sum-MATLANG")
+            }
+            ToRaError::UnsupportedFunction { name } => {
+                write!(f, "pointwise function `{name}` has no RA+_K counterpart")
+            }
+            ToRaError::UnsupportedConstant => {
+                write!(f, "literal constants have no RA+_K counterpart")
+            }
+            ToRaError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ToRaError {}
+
+impl From<TypeError> for ToRaError {
+    fn from(e: TypeError) -> Self {
+        ToRaError::Type(e)
+    }
+}
+
+/// The attribute carrying the value of the iterator variable `v` in the
+/// translation (the `γ_v` attribute of Appendix E.1).
+pub fn iterator_attr(var: &str) -> String {
+    format!("it_{var}")
+}
+
+struct Translator {
+    /// Iterator variables currently in scope, with the size symbol of their
+    /// canonical-vector dimension.
+    bound: BTreeMap<String, String>,
+    /// Fresh-name counter for intermediate join attributes.
+    counter: usize,
+}
+
+struct Translated {
+    expr: RaExpr,
+    /// Iterator variables whose `it_*` attribute occurs in the signature.
+    iterators: BTreeSet<String>,
+    ty: MatrixType,
+}
+
+impl Translator {
+    fn fresh_attr(&mut self, sym: &str) -> String {
+        self.counter += 1;
+        format!("mid{}_{}", self.counter, sym)
+    }
+
+    /// The translation of the expression "the canonical vector bound to `v`":
+    /// all pairs `(row, it_v)` with equal components, annotated `1`.
+    fn iterator_vector(&self, var: &str, sym: &str) -> RaExpr {
+        let dom = domain_attr(sym);
+        let row = row_attr(sym);
+        let it = iterator_attr(var);
+        let rows = RaExpr::rel(domain_relation(sym)).rename(&[(dom.as_str(), row.as_str())]);
+        let iters = RaExpr::rel(domain_relation(sym)).rename(&[(dom.as_str(), it.as_str())]);
+        rows.join(iters).select(&[row.as_str(), it.as_str()])
+    }
+
+    /// Pads `q` with the `it_v` attribute for every iterator in `missing`
+    /// (joining with the corresponding domain relation), so that signatures
+    /// line up for union / projection.
+    fn pad(&self, q: RaExpr, missing: &BTreeSet<String>) -> RaExpr {
+        let mut out = q;
+        for var in missing {
+            let sym = self.bound.get(var).expect("padded iterators are in scope");
+            let dom = domain_attr(sym);
+            let it = iterator_attr(var);
+            out = out.join(RaExpr::rel(domain_relation(sym)).rename(&[(dom.as_str(), it.as_str())]));
+        }
+        out
+    }
+
+    /// The full list of output attributes for a translated sub-expression.
+    fn signature(&self, ty: &MatrixType, iterators: &BTreeSet<String>) -> Vec<String> {
+        let mut attrs = Vec::new();
+        if let Dim::Sym(s) = &ty.rows {
+            attrs.push(row_attr(s));
+        }
+        if let Dim::Sym(s) = &ty.cols {
+            attrs.push(col_attr(s));
+        }
+        attrs.extend(iterators.iter().map(|v| iterator_attr(v)));
+        attrs
+    }
+
+    fn translate(&mut self, expr: &Expr, schema: &Schema) -> Result<Translated, ToRaError> {
+        match expr {
+            Expr::Var(name) => {
+                let ty = typecheck(expr, schema)?;
+                if let Some(sym) = self.bound.get(name).cloned() {
+                    Ok(Translated {
+                        expr: self.iterator_vector(name, &sym),
+                        iterators: BTreeSet::from([name.clone()]),
+                        ty,
+                    })
+                } else {
+                    Ok(Translated {
+                        expr: RaExpr::rel(matrix_var_relation(name)),
+                        iterators: BTreeSet::new(),
+                        ty,
+                    })
+                }
+            }
+            Expr::Const(_) => Err(ToRaError::UnsupportedConstant),
+            Expr::Transpose(inner) => {
+                let t = self.translate(inner, schema)?;
+                let ty = t.ty.transposed();
+                let mut mapping: Vec<(String, String)> = Vec::new();
+                if let Dim::Sym(s) = &t.ty.rows {
+                    mapping.push((row_attr(s), col_attr(s)));
+                }
+                if let Dim::Sym(s) = &t.ty.cols {
+                    mapping.push((col_attr(s), row_attr(s)));
+                }
+                let expr = if mapping.is_empty() {
+                    t.expr
+                } else {
+                    let mapping_refs: Vec<(&str, &str)> = mapping
+                        .iter()
+                        .map(|(a, b)| (a.as_str(), b.as_str()))
+                        .collect();
+                    t.expr.rename(&mapping_refs)
+                };
+                Ok(Translated { expr, iterators: t.iterators, ty })
+            }
+            Expr::Ones(inner) => {
+                // The result only depends on the row symbol of the argument.
+                let inner_ty = self.typecheck_in_scope(inner, schema)?;
+                let ty = MatrixType::new(inner_ty.rows.clone(), Dim::One);
+                match &inner_ty.rows {
+                    Dim::Sym(s) => {
+                        let dom = domain_attr(s);
+                        let row = row_attr(s);
+                        Ok(Translated {
+                            expr: RaExpr::rel(domain_relation(s))
+                                .rename(&[(dom.as_str(), row.as_str())]),
+                            iterators: BTreeSet::new(),
+                            ty,
+                        })
+                    }
+                    // 1(e) for a 1×… argument is the 1×1 all-ones matrix; RA⁺_K
+                    // has no constant relations, so reuse the argument when it
+                    // is already closed and scalar… there is no such case in
+                    // sum-MATLANG practice, reject for clarity.
+                    Dim::One => Err(ToRaError::UnsupportedConstant),
+                }
+            }
+            Expr::Diag(inner) => {
+                let t = self.translate(inner, schema)?;
+                let ty = MatrixType::new(t.ty.rows.clone(), t.ty.rows.clone());
+                let Dim::Sym(s) = &t.ty.rows else {
+                    return Err(ToRaError::UnsupportedConstant);
+                };
+                let dom = domain_attr(s);
+                let col = col_attr(s);
+                let row = row_attr(s);
+                let columns = RaExpr::rel(domain_relation(s)).rename(&[(dom.as_str(), col.as_str())]);
+                let expr = t
+                    .expr
+                    .join(columns)
+                    .select(&[row.as_str(), col.as_str()]);
+                Ok(Translated { expr, iterators: t.iterators, ty })
+            }
+            Expr::Add(a, b) => {
+                let ta = self.translate(a, schema)?;
+                let tb = self.translate(b, schema)?;
+                let all: BTreeSet<String> = ta.iterators.union(&tb.iterators).cloned().collect();
+                let missing_a: BTreeSet<String> = all.difference(&ta.iterators).cloned().collect();
+                let missing_b: BTreeSet<String> = all.difference(&tb.iterators).cloned().collect();
+                let left = self.pad(ta.expr, &missing_a);
+                let right = self.pad(tb.expr, &missing_b);
+                Ok(Translated {
+                    expr: left.union(right),
+                    iterators: all,
+                    ty: ta.ty,
+                })
+            }
+            Expr::ScalarMul(a, b) | Expr::Hadamard(a, b) => {
+                let ta = self.translate(a, schema)?;
+                let tb = self.translate(b, schema)?;
+                let iterators: BTreeSet<String> = ta.iterators.union(&tb.iterators).cloned().collect();
+                Ok(Translated {
+                    expr: ta.expr.join(tb.expr),
+                    iterators,
+                    ty: tb.ty,
+                })
+            }
+            Expr::Apply(name, args) => {
+                if name != "mul" {
+                    return Err(ToRaError::UnsupportedFunction { name: name.clone() });
+                }
+                let mut translated = Vec::with_capacity(args.len());
+                for arg in args {
+                    translated.push(self.translate(arg, schema)?);
+                }
+                let ty = translated
+                    .first()
+                    .map(|t| t.ty.clone())
+                    .ok_or(ToRaError::UnsupportedFunction { name: name.clone() })?;
+                let mut iterators = BTreeSet::new();
+                let mut expr: Option<RaExpr> = None;
+                for t in translated {
+                    iterators.extend(t.iterators);
+                    expr = Some(match expr {
+                        None => t.expr,
+                        Some(prev) => prev.join(t.expr),
+                    });
+                }
+                Ok(Translated { expr: expr.expect("at least one argument"), iterators, ty })
+            }
+            Expr::MatMul(a, b) => {
+                let ta = self.translate(a, schema)?;
+                let tb = self.translate(b, schema)?;
+                let iterators: BTreeSet<String> = ta.iterators.union(&tb.iterators).cloned().collect();
+                let result_ty = MatrixType::new(ta.ty.rows.clone(), tb.ty.cols.clone());
+                match &ta.ty.cols {
+                    Dim::One => Ok(Translated {
+                        expr: ta.expr.join(tb.expr),
+                        iterators,
+                        ty: result_ty,
+                    }),
+                    Dim::Sym(inner_sym) => {
+                        let mid = self.fresh_attr(inner_sym);
+                        let left_col = col_attr(inner_sym);
+                        let right_row = row_attr(inner_sym);
+                        let left = ta.expr.rename(&[(left_col.as_str(), mid.as_str())]);
+                        let right = tb.expr.rename(&[(right_row.as_str(), mid.as_str())]);
+                        let keep = self.signature(&result_ty, &iterators);
+                        let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+                        Ok(Translated {
+                            expr: left.join(right).project(&keep_refs),
+                            iterators,
+                            ty: result_ty,
+                        })
+                    }
+                }
+            }
+            Expr::Let { var, value, body } => {
+                // `let` is substitution sugar (footnote 1); inline it.
+                let inlined = body.substitute(var, value);
+                self.translate(&inlined, schema)
+            }
+            Expr::Sum { var, var_dim, body } => {
+                let previous = self.bound.insert(var.clone(), var_dim.clone());
+                let mut extended = schema.clone();
+                extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+                let result = self.translate(body, &extended);
+                let translated = match result {
+                    Ok(t) => t,
+                    Err(e) => {
+                        restore(&mut self.bound, var, previous);
+                        return Err(e);
+                    }
+                };
+                // Ensure the iterator attribute is present (so that summing
+                // over it multiplies by the domain size when the body does not
+                // mention the variable), then project it away.
+                let mut with_it = translated.iterators.clone();
+                let padded = if with_it.insert(var.clone()) {
+                    self.pad(translated.expr, &BTreeSet::from([var.clone()]))
+                } else {
+                    translated.expr
+                };
+                restore(&mut self.bound, var, previous);
+                let mut remaining = translated.iterators;
+                remaining.remove(var);
+                let keep = self.signature(&translated.ty, &remaining);
+                let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+                Ok(Translated {
+                    expr: padded.project(&keep_refs),
+                    iterators: remaining,
+                    ty: translated.ty,
+                })
+            }
+            Expr::HProd { .. } => Err(ToRaError::NotSumMatlang { operator: "Π∘" }),
+            Expr::MProd { .. } => Err(ToRaError::NotSumMatlang { operator: "Π" }),
+            Expr::For { .. } => Err(ToRaError::NotSumMatlang { operator: "for" }),
+        }
+    }
+
+    fn typecheck_in_scope(&self, expr: &Expr, schema: &Schema) -> Result<MatrixType, ToRaError> {
+        let mut extended = schema.clone();
+        for (var, sym) in &self.bound {
+            extended.declare(var.clone(), MatrixType::new(Dim::sym(sym.clone()), Dim::One));
+        }
+        Ok(typecheck(expr, &extended)?)
+    }
+}
+
+fn restore(bound: &mut BTreeMap<String, String>, var: &str, previous: Option<String>) {
+    match previous {
+        Some(sym) => {
+            bound.insert(var.to_string(), sym);
+        }
+        None => {
+            bound.remove(var);
+        }
+    }
+}
+
+/// Proposition 6.3 — translates a *closed* sum-MATLANG expression over
+/// `schema` into an equivalent `RA⁺_K` expression over the relational schema
+/// `Rel(schema)` (see [`crate::encode::encode_instance`]).
+pub fn matlang_to_ra(expr: &Expr, schema: &Schema) -> Result<RaExpr, ToRaError> {
+    let mut translator = Translator {
+        bound: BTreeMap::new(),
+        counter: 0,
+    };
+    Ok(translator.translate(expr, schema)?.expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_instance;
+    use matlang_core::{evaluate, FunctionRegistry, Instance};
+    use matlang_matrix::{random_matrix, RandomMatrixConfig};
+    use matlang_semiring::Nat;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_var("A", MatrixType::square("n"))
+            .with_var("B", MatrixType::square("n"))
+            .with_var("u", MatrixType::vector("n"))
+    }
+
+    fn random_instance(n: usize, seed: u64) -> Instance<Nat> {
+        let cfg = |s| RandomMatrixConfig {
+            seed: s,
+            min_value: 0.0,
+            max_value: 4.0,
+            integer_entries: true,
+            zero_probability: 0.3,
+            ..Default::default()
+        };
+        Instance::new()
+            .with_dim("n", n)
+            .with_matrix("A", random_matrix(n, n, &cfg(seed)))
+            .with_matrix("B", random_matrix(n, n, &cfg(seed + 1)))
+            .with_matrix("u", random_matrix(n, 1, &cfg(seed + 2)))
+    }
+
+    /// Checks the Proposition 6.3 invariant: the RA⁺_K translation evaluated
+    /// over Rel(I) agrees entry-wise with the MATLANG evaluation over I.
+    fn assert_equivalent(expr: &Expr, n: usize, seed: u64) {
+        let schema = schema();
+        let instance = random_instance(n, seed);
+        let matrix = evaluate(expr, &instance, &FunctionRegistry::<Nat>::new().with_semiring_ops())
+            .unwrap();
+        let db = encode_instance(&schema, &instance).unwrap();
+        let ra = matlang_to_ra(expr, &schema).unwrap();
+        let relation = ra.evaluate(&db).unwrap();
+
+        let ty = typecheck(expr, &schema).unwrap();
+        for i in 0..matrix.rows() {
+            for j in 0..matrix.cols() {
+                let mut tuple: Vec<(String, u64)> = Vec::new();
+                if let Dim::Sym(s) = &ty.rows {
+                    tuple.push((row_attr(s), (i + 1) as u64));
+                }
+                if let Dim::Sym(s) = &ty.cols {
+                    tuple.push((col_attr(s), (j + 1) as u64));
+                }
+                let tuple_refs: Vec<(&str, u64)> =
+                    tuple.iter().map(|(a, v)| (a.as_str(), *v)).collect();
+                let annotation = relation.annotation(&tuple_refs);
+                assert_eq!(
+                    &annotation,
+                    matrix.get(i, j).unwrap(),
+                    "mismatch at ({i},{j}) for {expr} with n={n}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_variables_and_transpose() {
+        for n in [1, 3] {
+            assert_equivalent(&Expr::var("A"), n, 1);
+            assert_equivalent(&Expr::var("A").t(), n, 2);
+            assert_equivalent(&Expr::var("u"), n, 3);
+            assert_equivalent(&Expr::var("u").t(), n, 4);
+        }
+    }
+
+    #[test]
+    fn addition_and_hadamard() {
+        for n in [2, 4] {
+            assert_equivalent(&Expr::var("A").add(Expr::var("B")), n, 5);
+            assert_equivalent(&Expr::var("A").had(Expr::var("B")), n, 6);
+            assert_equivalent(&Expr::var("A").add(Expr::var("B").t()), n, 7);
+        }
+    }
+
+    #[test]
+    fn matrix_products() {
+        for n in [2, 3] {
+            assert_equivalent(&Expr::var("A").mm(Expr::var("B")), n, 8);
+            assert_equivalent(&Expr::var("A").mm(Expr::var("u")), n, 9);
+            assert_equivalent(&Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")), n, 10);
+            assert_equivalent(&Expr::var("u").mm(Expr::var("u").t()), n, 11);
+        }
+    }
+
+    #[test]
+    fn ones_and_diag() {
+        for n in [2, 3] {
+            assert_equivalent(&Expr::var("A").ones(), n, 12);
+            assert_equivalent(&Expr::var("u").diag(), n, 13);
+            assert_equivalent(&Expr::var("A").ones().diag(), n, 14);
+        }
+    }
+
+    #[test]
+    fn sum_quantifiers() {
+        for n in [2, 3] {
+            // Trace.
+            assert_equivalent(
+                &Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                n,
+                15,
+            );
+            // Identity matrix.
+            assert_equivalent(&Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())), n, 16);
+            // Σ over a variable the body ignores: multiplies by n.
+            assert_equivalent(&Expr::sum("v", "n", Expr::var("A")), n, 17);
+            // Nested sums building a matrix from entries.
+            assert_equivalent(
+                &Expr::sum(
+                    "v",
+                    "n",
+                    Expr::sum(
+                        "w",
+                        "n",
+                        Expr::var("v")
+                            .t()
+                            .mm(Expr::var("A"))
+                            .mm(Expr::var("w"))
+                            .smul(Expr::var("v").mm(Expr::var("w").t())),
+                    ),
+                ),
+                n,
+                18,
+            );
+        }
+    }
+
+    #[test]
+    fn let_bindings_are_inlined() {
+        assert_equivalent(
+            &Expr::let_in("T", Expr::var("A").mm(Expr::var("B")), Expr::var("T").add(Expr::var("T"))),
+            3,
+            19,
+        );
+    }
+
+    #[test]
+    fn rejects_constructs_outside_sum_matlang() {
+        let schema = schema();
+        assert!(matches!(
+            matlang_to_ra(&Expr::lit(1.0), &schema),
+            Err(ToRaError::UnsupportedConstant)
+        ));
+        assert!(matches!(
+            matlang_to_ra(&Expr::hprod("v", "n", Expr::var("A")), &schema),
+            Err(ToRaError::NotSumMatlang { .. })
+        ));
+        assert!(matches!(
+            matlang_to_ra(&Expr::mprod("v", "n", Expr::var("A")), &schema),
+            Err(ToRaError::NotSumMatlang { .. })
+        ));
+        assert!(matches!(
+            matlang_to_ra(
+                &Expr::for_loop("v", "n", "X", MatrixType::square("n"), Expr::var("X")),
+                &schema
+            ),
+            Err(ToRaError::NotSumMatlang { .. })
+        ));
+        assert!(matches!(
+            matlang_to_ra(&Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]), &schema),
+            Err(ToRaError::UnsupportedFunction { .. })
+        ));
+        assert!(matches!(
+            matlang_to_ra(&Expr::var("missing"), &schema),
+            Err(ToRaError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn mul_function_translates_to_joins() {
+        assert_equivalent(
+            &Expr::apply("mul", vec![Expr::var("A"), Expr::var("B"), Expr::var("A")]),
+            3,
+            20,
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!ToRaError::NotSumMatlang { operator: "for" }.to_string().is_empty());
+        assert!(!ToRaError::UnsupportedFunction { name: "f".into() }.to_string().is_empty());
+        assert!(!ToRaError::UnsupportedConstant.to_string().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The boolean semiring `({0,1}, ∨, ∧, 0, 1)`.
+//!
+//! Under this semiring RA⁺_K degenerates to the usual positive relational
+//! algebra and MATLANG matrices become adjacency/reachability matrices; it is
+//! the semiring under which the transitive-closure and 4-clique experiments
+//! have their classical set-based meaning.
+
+use crate::Semiring;
+use std::fmt;
+
+/// A boolean annotation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Boolean(pub bool);
+
+impl Boolean {
+    /// The truth value `true` / `1`.
+    pub fn tt() -> Self {
+        Boolean(true)
+    }
+
+    /// The truth value `false` / `0`.
+    pub fn ff() -> Self {
+        Boolean(false)
+    }
+
+    /// The underlying bool.
+    pub fn value(&self) -> bool {
+        self.0
+    }
+}
+
+impl fmt::Debug for Boolean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.0 { 1 } else { 0 })
+    }
+}
+
+impl fmt::Display for Boolean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.0 { 1 } else { 0 })
+    }
+}
+
+impl From<bool> for Boolean {
+    fn from(value: bool) -> Self {
+        Boolean(value)
+    }
+}
+
+impl Semiring for Boolean {
+    fn zero() -> Self {
+        Boolean(false)
+    }
+
+    fn one() -> Self {
+        Boolean(true)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Boolean(self.0 || other.0)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Boolean(self.0 && other.0)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        Boolean(value != 0.0 && !value.is_nan())
+    }
+
+    fn to_f64(&self) -> f64 {
+        if self.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn boolean_semiring_laws_hold_exhaustively() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert!(laws::all_laws(&Boolean(a), &Boolean(b), &Boolean(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjunction_and_conjunction() {
+        assert_eq!(Semiring::add(&Boolean::tt(), &Boolean::ff()), Boolean::tt());
+        assert_eq!(Semiring::mul(&Boolean::tt(), &Boolean::ff()), Boolean::ff());
+        assert_eq!(Semiring::mul(&Boolean::tt(), &Boolean::tt()), Boolean::tt());
+    }
+
+    #[test]
+    fn idempotent_addition() {
+        // The boolean semiring is idempotent: a ∨ a = a.
+        for a in [Boolean::ff(), Boolean::tt()] {
+            assert_eq!(Semiring::add(&a, &a), a);
+        }
+    }
+
+    #[test]
+    fn from_f64_thresholds_nonzero() {
+        assert_eq!(Boolean::from_f64(0.0), Boolean::ff());
+        assert_eq!(Boolean::from_f64(3.0), Boolean::tt());
+        assert_eq!(Boolean::from_f64(-1.0), Boolean::tt());
+        assert_eq!(Boolean::from_f64(f64::NAN), Boolean::ff());
+    }
+}

@@ -1,0 +1,116 @@
+//! The ring of integers `(ℤ, +, ×, 0, 1)`.
+//!
+//! A commutative ring (so subtraction is available) but not a field; useful
+//! for exercising the ring-but-not-field code paths and for exact arithmetic
+//! in small determinant tests.
+
+use crate::{Ring, Semiring};
+use std::fmt;
+
+/// An integer annotation.  Arithmetic saturates at the `i64` range to keep
+//  adversarial proptest inputs panic-free.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IntRing(pub i64);
+
+impl IntRing {
+    /// Creates an integer annotation.
+    pub fn new(value: i64) -> Self {
+        IntRing(value)
+    }
+
+    /// The underlying integer.
+    pub fn value(&self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for IntRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for IntRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for IntRing {
+    fn from(value: i64) -> Self {
+        IntRing(value)
+    }
+}
+
+impl Semiring for IntRing {
+    fn zero() -> Self {
+        IntRing(0)
+    }
+
+    fn one() -> Self {
+        IntRing(1)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        IntRing(self.0.saturating_add(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        IntRing(self.0.saturating_mul(other.0))
+    }
+
+    fn from_f64(value: f64) -> Self {
+        if value.is_nan() {
+            IntRing(0)
+        } else {
+            IntRing(value.round() as i64)
+        }
+    }
+
+    fn to_f64(&self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Ring for IntRing {
+    fn neg(&self) -> Self {
+        IntRing(self.0.saturating_neg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn integer_ring_laws_hold_on_samples() {
+        let samples = [-5i64, -1, 0, 1, 2, 9];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert!(laws::all_laws(&IntRing(a), &IntRing(b), &IntRing(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_uses_additive_inverse() {
+        assert_eq!(Ring::sub(&IntRing(5), &IntRing(7)), IntRing(-2));
+        assert_eq!(Ring::neg(&IntRing(-3)), IntRing(3));
+    }
+
+    #[test]
+    fn from_f64_rounds() {
+        assert_eq!(IntRing::from_f64(-2.4), IntRing(-2));
+        assert_eq!(IntRing::from_f64(2.6), IntRing(3));
+        assert_eq!(IntRing::from_f64(f64::NAN), IntRing(0));
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Semiring::add(&IntRing(i64::MAX), &IntRing(1)), IntRing(i64::MAX));
+        assert_eq!(Ring::neg(&IntRing(i64::MIN)), IntRing(i64::MAX));
+    }
+}

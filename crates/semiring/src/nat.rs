@@ -1,0 +1,114 @@
+//! The natural-number semiring `(ℕ, +, ×, 0, 1)`.
+//!
+//! Used in Section 6 as one of the "typical examples of semirings"; it is the
+//! provenance semiring counting derivations in RA⁺_K.  Arithmetic saturates at
+//! `u64::MAX` so that the counting semantics never panics on adversarial
+//! property-test inputs (saturation only matters for astronomically large
+//! counts which no experiment in this repository reaches).
+
+use crate::Semiring;
+use std::fmt;
+
+/// A natural number annotation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nat(pub u64);
+
+impl Nat {
+    /// Creates a natural-number annotation.
+    pub fn new(value: u64) -> Self {
+        Nat(value)
+    }
+
+    /// The underlying count.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(value: u64) -> Self {
+        Nat(value)
+    }
+}
+
+impl Semiring for Nat {
+    fn zero() -> Self {
+        Nat(0)
+    }
+
+    fn one() -> Self {
+        Nat(1)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Nat(self.0.saturating_add(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Nat(self.0.saturating_mul(other.0))
+    }
+
+    fn from_f64(value: f64) -> Self {
+        if value <= 0.0 || value.is_nan() {
+            Nat(0)
+        } else {
+            Nat(value.round() as u64)
+        }
+    }
+
+    fn to_f64(&self) -> f64 {
+        self.0 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn nat_semiring_laws_hold_on_samples() {
+        let samples = [0u64, 1, 2, 3, 7, 100];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert!(laws::all_laws(&Nat(a), &Nat(b), &Nat(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_overflows() {
+        let big = Nat(u64::MAX);
+        assert_eq!(Semiring::add(&big, &Nat(1)), big);
+        assert_eq!(Semiring::mul(&big, &Nat(2)), big);
+    }
+
+    #[test]
+    fn from_f64_rounds_and_clamps() {
+        assert_eq!(Nat::from_f64(2.6), Nat(3));
+        assert_eq!(Nat::from_f64(-1.0), Nat(0));
+        assert_eq!(Nat::from_f64(f64::NAN), Nat(0));
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        assert_eq!(Nat::new(5).value(), 5);
+        assert_eq!(format!("{}", Nat(7)), "7");
+        let n: Nat = 4u64.into();
+        assert_eq!(n, Nat(4));
+    }
+}

@@ -1,0 +1,181 @@
+//! The field of real numbers represented by `f64`, the paper's default
+//! annotation domain (Sections 2–5).
+
+use crate::{Field, OrderedField, Ring, Semiring};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A real number.  Thin newtype over `f64` so that the semiring trait family
+/// can be implemented without orphan-rule friction and so that equality used
+/// by the evaluator is explicit.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Real(pub f64);
+
+impl Real {
+    /// Creates a real from a float.
+    pub fn new(value: f64) -> Self {
+        Real(value)
+    }
+
+    /// The underlying float.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Real {
+        Real(self.0.abs())
+    }
+}
+
+impl fmt::Debug for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for Real {
+    fn from(value: f64) -> Self {
+        Real(value)
+    }
+}
+
+impl From<Real> for f64 {
+    fn from(value: Real) -> Self {
+        value.0
+    }
+}
+
+impl Add for Real {
+    type Output = Real;
+    fn add(self, rhs: Real) -> Real {
+        Real(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Real {
+    type Output = Real;
+    fn sub(self, rhs: Real) -> Real {
+        Real(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Real {
+    type Output = Real;
+    fn mul(self, rhs: Real) -> Real {
+        Real(self.0 * rhs.0)
+    }
+}
+
+impl Neg for Real {
+    type Output = Real;
+    fn neg(self) -> Real {
+        Real(-self.0)
+    }
+}
+
+impl Semiring for Real {
+    fn zero() -> Self {
+        Real(0.0)
+    }
+
+    fn one() -> Self {
+        Real(1.0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Real(self.0 + other.0)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Real(self.0 * other.0)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        Real(value)
+    }
+
+    fn to_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Ring for Real {
+    fn neg(&self) -> Self {
+        Real(-self.0)
+    }
+}
+
+impl Field for Real {
+    fn inv(&self) -> Option<Self> {
+        if self.0 == 0.0 {
+            None
+        } else {
+            Some(Real(1.0 / self.0))
+        }
+    }
+}
+
+impl OrderedField for Real {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn real_semiring_laws_hold_on_samples() {
+        let samples = [-3.5, -1.0, 0.0, 0.5, 1.0, 2.0, 7.25];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert!(laws::all_laws(&Real(a), &Real(b), &Real(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_and_inverse() {
+        assert_eq!(Real(6.0).div(&Real(3.0)), Some(Real(2.0)));
+        assert_eq!(Real(1.0).div(&Real(0.0)), None);
+        assert_eq!(Real(4.0).inv(), Some(Real(0.25)));
+        assert_eq!(Real(0.0).inv(), None);
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        assert_eq!(Ring::sub(&Real(5.0), &Real(2.0)), Real(3.0));
+        assert_eq!(Ring::neg(&Real(2.0)), Real(-2.0));
+    }
+
+    #[test]
+    fn gt_zero_thresholds() {
+        assert_eq!(Real(0.5).gt_zero(), Real(1.0));
+        assert_eq!(Real(0.0).gt_zero(), Real(0.0));
+        assert_eq!(Real(-2.0).gt_zero(), Real(0.0));
+    }
+
+    #[test]
+    fn operator_overloads_match_trait_methods() {
+        assert_eq!(Real(1.0) + Real(2.0), Semiring::add(&Real(1.0), &Real(2.0)));
+        assert_eq!(Real(3.0) * Real(2.0), Semiring::mul(&Real(3.0), &Real(2.0)));
+        assert_eq!(-Real(3.0), Ring::neg(&Real(3.0)));
+        assert_eq!(Real(3.0) - Real(2.0), Ring::sub(&Real(3.0), &Real(2.0)));
+    }
+
+    #[test]
+    fn conversions() {
+        let r: Real = 2.5.into();
+        let f: f64 = r.into();
+        assert_eq!(f, 2.5);
+        assert_eq!(Real::new(1.5).value(), 1.5);
+        assert_eq!(Real(-2.0).abs(), Real(2.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Tropical semirings: min-plus and max-plus.
+//!
+//! `MinPlus = (ℝ ∪ {∞}, min, +, ∞, 0)` annotates shortest paths;
+//! `MaxPlus = (ℝ ∪ {−∞}, max, +, −∞, 0)` annotates critical paths.
+//! Both are commutative semirings, so every §6 construction (sum-MATLANG,
+//! RA⁺_K, FO-MATLANG, WL) is exercised over them in the test suites.
+
+use crate::Semiring;
+use std::fmt;
+
+/// Min-plus (shortest-path) annotation.  `∞` is the additive identity.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MinPlus(pub f64);
+
+/// Max-plus (longest-path) annotation.  `−∞` is the additive identity.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MaxPlus(pub f64);
+
+impl MinPlus {
+    /// Creates a min-plus weight.
+    pub fn new(value: f64) -> Self {
+        MinPlus(value)
+    }
+
+    /// The additive identity `∞`.
+    pub fn infinity() -> Self {
+        MinPlus(f64::INFINITY)
+    }
+}
+
+impl MaxPlus {
+    /// Creates a max-plus weight.
+    pub fn new(value: f64) -> Self {
+        MaxPlus(value)
+    }
+
+    /// The additive identity `−∞`.
+    pub fn neg_infinity() -> Self {
+        MaxPlus(f64::NEG_INFINITY)
+    }
+}
+
+impl fmt::Debug for MinPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Semiring for MinPlus {
+    fn zero() -> Self {
+        MinPlus(f64::INFINITY)
+    }
+
+    fn one() -> Self {
+        MinPlus(0.0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        MinPlus(self.0.min(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        MinPlus(self.0 + other.0)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        MinPlus(value)
+    }
+
+    fn to_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for MaxPlus {
+    fn zero() -> Self {
+        MaxPlus(f64::NEG_INFINITY)
+    }
+
+    fn one() -> Self {
+        MaxPlus(0.0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        MaxPlus(self.0.max(other.0))
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        MaxPlus(self.0 + other.0)
+    }
+
+    fn from_f64(value: f64) -> Self {
+        MaxPlus(value)
+    }
+
+    fn to_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn min_plus_semiring_laws_hold_on_samples() {
+        let samples = [f64::INFINITY, 0.0, 1.0, 2.5, 10.0];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert!(laws::all_laws(&MinPlus(a), &MinPlus(b), &MinPlus(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_plus_semiring_laws_hold_on_samples() {
+        let samples = [f64::NEG_INFINITY, -1.0, 0.0, 3.0, 8.0];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert!(laws::all_laws(&MaxPlus(a), &MaxPlus(b), &MaxPlus(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_models_shortest_paths() {
+        // "addition" chooses the cheaper route, "multiplication" concatenates.
+        let via_a = MinPlus(2.0).mul(&MinPlus(3.0)); // cost 5
+        let via_b = MinPlus(1.0).mul(&MinPlus(7.0)); // cost 8
+        assert_eq!(Semiring::add(&via_a, &via_b), MinPlus(5.0));
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(MinPlus::zero(), MinPlus::infinity());
+        assert_eq!(MinPlus::one(), MinPlus(0.0));
+        assert_eq!(MaxPlus::zero(), MaxPlus::neg_infinity());
+        assert_eq!(MaxPlus::one(), MaxPlus(0.0));
+    }
+
+    #[test]
+    fn idempotent_addition() {
+        for v in [0.0, 1.5, 4.0] {
+            assert_eq!(Semiring::add(&MinPlus(v), &MinPlus(v)), MinPlus(v));
+            assert_eq!(Semiring::add(&MaxPlus(v), &MaxPlus(v)), MaxPlus(v));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based verification of the semiring/ring/field laws for every
+//! concrete annotation domain shipped by `matlang-semiring`.
+
+use matlang_semiring::{laws, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, Real, Ring, Semiring};
+use proptest::prelude::*;
+
+/// Small bounded floats keep the `Real` law checks exact: associativity and
+/// distributivity of IEEE-754 floats only hold exactly on values whose
+/// products/sums are exactly representable, so we draw from a modest integer
+/// grid scaled by a power of two.
+fn grid_real() -> impl Strategy<Value = Real> {
+    (-64i32..=64).prop_map(|v| Real(v as f64 * 0.25))
+}
+
+fn grid_minplus() -> impl Strategy<Value = MinPlus> {
+    prop_oneof![
+        Just(MinPlus::infinity()),
+        (-32i32..=32).prop_map(|v| MinPlus(v as f64)),
+    ]
+}
+
+fn grid_maxplus() -> impl Strategy<Value = MaxPlus> {
+    prop_oneof![
+        Just(MaxPlus::neg_infinity()),
+        (-32i32..=32).prop_map(|v| MaxPlus(v as f64)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn real_laws(a in grid_real(), b in grid_real(), c in grid_real()) {
+        prop_assert!(laws::add_associative(&a, &b, &c));
+        prop_assert!(laws::add_commutative(&a, &b));
+        prop_assert!(laws::add_identity(&a));
+        prop_assert!(laws::mul_associative(&a, &b, &c));
+        prop_assert!(laws::mul_commutative(&a, &b));
+        prop_assert!(laws::mul_identity(&a));
+        prop_assert!(laws::distributive(&a, &b, &c));
+        prop_assert!(laws::zero_annihilates(&a));
+    }
+
+    #[test]
+    fn nat_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        prop_assert!(laws::all_laws(&Nat(a), &Nat(b), &Nat(c)));
+    }
+
+    #[test]
+    fn int_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+        prop_assert!(laws::all_laws(&IntRing(a), &IntRing(b), &IntRing(c)));
+    }
+
+    #[test]
+    fn boolean_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        prop_assert!(laws::all_laws(&Boolean(a), &Boolean(b), &Boolean(c)));
+    }
+
+    #[test]
+    fn minplus_laws(a in grid_minplus(), b in grid_minplus(), c in grid_minplus()) {
+        prop_assert!(laws::all_laws(&a, &b, &c));
+    }
+
+    #[test]
+    fn maxplus_laws(a in grid_maxplus(), b in grid_maxplus(), c in grid_maxplus()) {
+        prop_assert!(laws::all_laws(&a, &b, &c));
+    }
+
+    #[test]
+    fn ring_subtraction_inverts_addition(a in -1000i64..1000, b in -1000i64..1000) {
+        let sum = Semiring::add(&IntRing(a), &IntRing(b));
+        prop_assert_eq!(Ring::sub(&sum, &IntRing(b)), IntRing(a));
+    }
+
+    #[test]
+    fn field_division_inverts_multiplication(a in grid_real(), b in grid_real()) {
+        prop_assume!(!b.is_zero());
+        let prod = Semiring::mul(&a, &b);
+        let back = prod.div(&b).unwrap();
+        prop_assert!((back.0 - a.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_from_to_f64_real(v in -1e6f64..1e6) {
+        prop_assert_eq!(Real::from_f64(v).to_f64(), v);
+    }
+}

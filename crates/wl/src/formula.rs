@@ -1,0 +1,363 @@
+//! Weighted first-order logic formulas and their semantics (Section 6.2).
+//!
+//! `φ ::= x = y | R(x̄) | φ ⊕ φ | φ ⊙ φ | Σx.φ | Πx.φ`
+
+use crate::structure::WeightedStructure;
+use matlang_semiring::Semiring;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A weighted-logic formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WlFormula {
+    /// The equality test `x = y` (weight 1 when equal, 0 otherwise).
+    Eq(String, String),
+    /// A relational atom `R(x₁, …, x_k)` whose weight is `Rᴬ(σ(x₁), …)`.
+    Atom(String, Vec<String>),
+    /// Semiring addition `φ₁ ⊕ φ₂`.
+    Plus(Box<WlFormula>, Box<WlFormula>),
+    /// Semiring multiplication `φ₁ ⊙ φ₂`.
+    Times(Box<WlFormula>, Box<WlFormula>),
+    /// The sum quantifier `Σx. φ`.
+    SumQ(String, Box<WlFormula>),
+    /// The product quantifier `Πx. φ`.
+    ProdQ(String, Box<WlFormula>),
+}
+
+/// Errors raised while evaluating a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WlError {
+    /// A variable is neither quantified nor assigned.
+    UnboundVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// An atom refers to a relation symbol that is not in the structure.
+    UnknownRelation {
+        /// The relation symbol.
+        name: String,
+    },
+    /// An atom has the wrong number of arguments for its relation.
+    ArityMismatch {
+        /// The relation symbol.
+        name: String,
+        /// Expected arity.
+        expected: usize,
+        /// Provided arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for WlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WlError::UnboundVariable { name } => write!(f, "unbound first-order variable `{name}`"),
+            WlError::UnknownRelation { name } => write!(f, "unknown relation symbol `{name}`"),
+            WlError::ArityMismatch { name, expected, found } => {
+                write!(f, "relation `{name}` expects {expected} arguments, got {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WlError {}
+
+impl WlFormula {
+    /// The equality atom.
+    pub fn eq(x: impl Into<String>, y: impl Into<String>) -> WlFormula {
+        WlFormula::Eq(x.into(), y.into())
+    }
+
+    /// A relational atom.
+    pub fn atom(rel: impl Into<String>, vars: Vec<&str>) -> WlFormula {
+        WlFormula::Atom(rel.into(), vars.into_iter().map(str::to_string).collect())
+    }
+
+    /// `self ⊕ other`.
+    pub fn plus(self, other: WlFormula) -> WlFormula {
+        WlFormula::Plus(Box::new(self), Box::new(other))
+    }
+
+    /// `self ⊙ other`.
+    pub fn times(self, other: WlFormula) -> WlFormula {
+        WlFormula::Times(Box::new(self), Box::new(other))
+    }
+
+    /// `Σx. self`.
+    pub fn sum(x: impl Into<String>, body: WlFormula) -> WlFormula {
+        WlFormula::SumQ(x.into(), Box::new(body))
+    }
+
+    /// `Πx. self`.
+    pub fn prod(x: impl Into<String>, body: WlFormula) -> WlFormula {
+        WlFormula::ProdQ(x.into(), Box::new(body))
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        match self {
+            WlFormula::Eq(x, y) => {
+                for v in [x, y] {
+                    if !bound.iter().any(|b| b == v) {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            WlFormula::Atom(_, vars) => {
+                for v in vars {
+                    if !bound.iter().any(|b| b == v) {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            WlFormula::Plus(a, b) | WlFormula::Times(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            WlFormula::SumQ(x, body) | WlFormula::ProdQ(x, body) => {
+                bound.push(x.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Renames every *free* occurrence of the variable `old` to `new`
+    /// (binder-aware, used by the FO-MATLANG translation for transposes and
+    /// matrix products).
+    pub fn rename_free(&self, old: &str, new: &str) -> WlFormula {
+        match self {
+            WlFormula::Eq(x, y) => WlFormula::Eq(
+                if x == old { new.to_string() } else { x.clone() },
+                if y == old { new.to_string() } else { y.clone() },
+            ),
+            WlFormula::Atom(rel, vars) => WlFormula::Atom(
+                rel.clone(),
+                vars.iter()
+                    .map(|v| if v == old { new.to_string() } else { v.clone() })
+                    .collect(),
+            ),
+            WlFormula::Plus(a, b) => WlFormula::Plus(
+                Box::new(a.rename_free(old, new)),
+                Box::new(b.rename_free(old, new)),
+            ),
+            WlFormula::Times(a, b) => WlFormula::Times(
+                Box::new(a.rename_free(old, new)),
+                Box::new(b.rename_free(old, new)),
+            ),
+            WlFormula::SumQ(x, body) => {
+                if x == old {
+                    self.clone()
+                } else {
+                    WlFormula::SumQ(x.clone(), Box::new(body.rename_free(old, new)))
+                }
+            }
+            WlFormula::ProdQ(x, body) => {
+                if x == old {
+                    self.clone()
+                } else {
+                    WlFormula::ProdQ(x.clone(), Box::new(body.rename_free(old, new)))
+                }
+            }
+        }
+    }
+
+    /// Evaluates the formula over a structure under an assignment of its free
+    /// variables.  This is `⟦φ⟧ᴬ(σ)`.
+    pub fn evaluate<K: Semiring>(
+        &self,
+        structure: &WeightedStructure<K>,
+        assignment: &HashMap<String, usize>,
+    ) -> Result<K, WlError> {
+        match self {
+            WlFormula::Eq(x, y) => {
+                let vx = lookup(assignment, x)?;
+                let vy = lookup(assignment, y)?;
+                Ok(if vx == vy { K::one() } else { K::zero() })
+            }
+            WlFormula::Atom(rel, vars) => {
+                let relation = structure
+                    .relation(rel)
+                    .ok_or_else(|| WlError::UnknownRelation { name: rel.clone() })?;
+                if relation.arity() != vars.len() {
+                    return Err(WlError::ArityMismatch {
+                        name: rel.clone(),
+                        expected: relation.arity(),
+                        found: vars.len(),
+                    });
+                }
+                let tuple: Vec<usize> = vars
+                    .iter()
+                    .map(|v| lookup(assignment, v))
+                    .collect::<Result<_, _>>()?;
+                Ok(relation.weight(&tuple))
+            }
+            WlFormula::Plus(a, b) => Ok(a
+                .evaluate(structure, assignment)?
+                .add(&b.evaluate(structure, assignment)?)),
+            WlFormula::Times(a, b) => Ok(a
+                .evaluate(structure, assignment)?
+                .mul(&b.evaluate(structure, assignment)?)),
+            WlFormula::SumQ(x, body) => {
+                let mut acc = K::zero();
+                let mut local = assignment.clone();
+                for a in structure.domain() {
+                    local.insert(x.clone(), a);
+                    acc = acc.add(&body.evaluate(structure, &local)?);
+                }
+                Ok(acc)
+            }
+            WlFormula::ProdQ(x, body) => {
+                let mut acc = K::one();
+                let mut local = assignment.clone();
+                for a in structure.domain() {
+                    local.insert(x.clone(), a);
+                    acc = acc.mul(&body.evaluate(structure, &local)?);
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Evaluates a closed formula (no free variables).
+    pub fn evaluate_closed<K: Semiring>(
+        &self,
+        structure: &WeightedStructure<K>,
+    ) -> Result<K, WlError> {
+        self.evaluate(structure, &HashMap::new())
+    }
+}
+
+fn lookup(assignment: &HashMap<String, usize>, var: &str) -> Result<usize, WlError> {
+    assignment
+        .get(var)
+        .copied()
+        .ok_or_else(|| WlError::UnboundVariable { name: var.to_string() })
+}
+
+impl fmt::Display for WlFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WlFormula::Eq(x, y) => write!(f, "({x} = {y})"),
+            WlFormula::Atom(rel, vars) => write!(f, "{rel}({})", vars.join(", ")),
+            WlFormula::Plus(a, b) => write!(f, "({a} ⊕ {b})"),
+            WlFormula::Times(a, b) => write!(f, "({a} ⊙ {b})"),
+            WlFormula::SumQ(x, body) => write!(f, "Σ{x}.{body}"),
+            WlFormula::ProdQ(x, body) => write!(f, "Π{x}.{body}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::WeightedRelation;
+    use matlang_semiring::{Nat, Real};
+
+    fn path_structure() -> WeightedStructure<Nat> {
+        // Edges 0→1 (weight 2) and 1→2 (weight 3).
+        let mut edges: WeightedRelation<Nat> = WeightedRelation::new(2);
+        edges.set(vec![0, 1], Nat(2)).unwrap();
+        edges.set(vec![1, 2], Nat(3)).unwrap();
+        WeightedStructure::new(3).with_relation("E", edges)
+    }
+
+    #[test]
+    fn equality_and_atoms() {
+        let s = path_structure();
+        let mut sigma = HashMap::new();
+        sigma.insert("x".to_string(), 0);
+        sigma.insert("y".to_string(), 1);
+        assert_eq!(WlFormula::eq("x", "x").evaluate(&s, &sigma).unwrap(), Nat(1));
+        assert_eq!(WlFormula::eq("x", "y").evaluate(&s, &sigma).unwrap(), Nat(0));
+        assert_eq!(
+            WlFormula::atom("E", vec!["x", "y"]).evaluate(&s, &sigma).unwrap(),
+            Nat(2)
+        );
+        assert_eq!(
+            WlFormula::atom("E", vec!["y", "x"]).evaluate(&s, &sigma).unwrap(),
+            Nat(0)
+        );
+    }
+
+    #[test]
+    fn quantifiers_sum_and_multiply_over_the_domain() {
+        let s = path_structure();
+        // Σx Σy E(x, y) = total edge weight = 5.
+        let total = WlFormula::sum("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])));
+        assert_eq!(total.evaluate_closed(&s).unwrap(), Nat(5));
+        // Two-hop weighted paths: Σx Σy Σz E(x,y) ⊙ E(y,z) = 2·3 = 6.
+        let two_hop = WlFormula::sum(
+            "x",
+            WlFormula::sum(
+                "y",
+                WlFormula::sum(
+                    "z",
+                    WlFormula::atom("E", vec!["x", "y"]).times(WlFormula::atom("E", vec!["y", "z"])),
+                ),
+            ),
+        );
+        assert_eq!(two_hop.evaluate_closed(&s).unwrap(), Nat(6));
+        // Πx. (x = x) = 1.
+        let ones = WlFormula::prod("x", WlFormula::eq("x", "x"));
+        assert_eq!(ones.evaluate_closed(&s).unwrap(), Nat(1));
+    }
+
+    #[test]
+    fn free_variables_and_renaming() {
+        let phi = WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]));
+        assert_eq!(phi.free_vars().into_iter().collect::<Vec<_>>(), vec!["x".to_string()]);
+        let renamed = phi.rename_free("x", "z");
+        assert!(renamed.free_vars().contains("z"));
+        // Bound variables are untouched.
+        let same = phi.rename_free("y", "w");
+        assert_eq!(same, phi);
+    }
+
+    #[test]
+    fn errors_for_unbound_unknown_and_arity() {
+        let s = path_structure();
+        assert!(matches!(
+            WlFormula::eq("x", "y").evaluate_closed(&s),
+            Err(WlError::UnboundVariable { .. })
+        ));
+        assert!(matches!(
+            WlFormula::sum("x", WlFormula::atom("Z", vec!["x"])).evaluate_closed(&s),
+            Err(WlError::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            WlFormula::sum("x", WlFormula::atom("E", vec!["x"])).evaluate_closed(&s),
+            Err(WlError::ArityMismatch { .. })
+        ));
+        assert!(!WlError::UnboundVariable { name: "x".into() }.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let phi = WlFormula::sum(
+            "x",
+            WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")),
+        );
+        let shown = format!("{phi}");
+        assert!(shown.contains("Σx"));
+        assert!(shown.contains("E(x, y)"));
+    }
+
+    #[test]
+    fn semantics_over_the_reals() {
+        let mut weights: WeightedRelation<Real> = WeightedRelation::new(1);
+        weights.set(vec![0], Real(0.5)).unwrap();
+        weights.set(vec![1], Real(1.5)).unwrap();
+        let s = WeightedStructure::new(2).with_relation("W", weights);
+        let sum = WlFormula::sum("x", WlFormula::atom("W", vec!["x"]));
+        assert_eq!(sum.evaluate_closed(&s).unwrap(), Real(2.0));
+        let prod = WlFormula::prod("x", WlFormula::atom("W", vec!["x"]));
+        assert_eq!(prod.evaluate_closed(&s).unwrap(), Real(0.75));
+    }
+}

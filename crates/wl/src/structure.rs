@@ -1,0 +1,146 @@
+//! `K`-weighted structures (Section 6.2).
+//!
+//! A weighted structure `A = (A, {Rᴬ})` has a finite domain and, for each
+//! relation symbol `R` of arity `k`, a weight function `Rᴬ : Aᵏ → K`.  The
+//! domain is represented as `{0, 1, …, n−1}`.
+
+use matlang_semiring::Semiring;
+use std::collections::{BTreeMap, HashMap};
+
+/// A single weighted relation: a total function from tuples to weights,
+/// stored sparsely (absent tuples have weight `0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedRelation<K> {
+    arity: usize,
+    weights: HashMap<Vec<usize>, K>,
+}
+
+impl<K: Semiring> WeightedRelation<K> {
+    /// A relation of the given arity with all weights zero.
+    pub fn new(arity: usize) -> Self {
+        WeightedRelation {
+            arity,
+            weights: HashMap::new(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Sets the weight of a tuple.
+    pub fn set(&mut self, tuple: Vec<usize>, weight: K) -> Result<(), String> {
+        if tuple.len() != self.arity {
+            return Err(format!(
+                "tuple of length {} for relation of arity {}",
+                tuple.len(),
+                self.arity
+            ));
+        }
+        if weight.is_zero() {
+            self.weights.remove(&tuple);
+        } else {
+            self.weights.insert(tuple, weight);
+        }
+        Ok(())
+    }
+
+    /// The weight of a tuple (zero when unset).
+    pub fn weight(&self, tuple: &[usize]) -> K {
+        self.weights.get(tuple).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Iterate over the non-zero weighted tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<usize>, &K)> {
+        self.weights.iter()
+    }
+}
+
+/// A `K`-weighted structure over a finite domain `{0, …, n−1}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedStructure<K> {
+    domain_size: usize,
+    relations: BTreeMap<String, WeightedRelation<K>>,
+}
+
+impl<K: Semiring> WeightedStructure<K> {
+    /// A structure with the given domain size and no relations.
+    pub fn new(domain_size: usize) -> Self {
+        WeightedStructure {
+            domain_size,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// The domain size `|A|`.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// The domain `0 … n−1`.
+    pub fn domain(&self) -> impl Iterator<Item = usize> {
+        0..self.domain_size
+    }
+
+    /// Adds (or replaces) a relation.
+    pub fn add_relation(&mut self, name: impl Into<String>, relation: WeightedRelation<K>) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Builder-style [`WeightedStructure::add_relation`].
+    pub fn with_relation(mut self, name: impl Into<String>, relation: WeightedRelation<K>) -> Self {
+        self.add_relation(name, relation);
+        self
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Option<&WeightedRelation<K>> {
+        self.relations.get(name)
+    }
+
+    /// Iterates over all relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&String, &WeightedRelation<K>)> {
+        self.relations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::{Nat, Real};
+
+    #[test]
+    fn relation_weights_default_to_zero() {
+        let mut r: WeightedRelation<Real> = WeightedRelation::new(2);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.weight(&[0, 1]), Real(0.0));
+        r.set(vec![0, 1], Real(2.5)).unwrap();
+        assert_eq!(r.weight(&[0, 1]), Real(2.5));
+        r.set(vec![0, 1], Real(0.0)).unwrap();
+        assert_eq!(r.weight(&[0, 1]), Real(0.0));
+        assert_eq!(r.iter().count(), 0);
+        assert!(r.set(vec![0], Real(1.0)).is_err());
+    }
+
+    #[test]
+    fn structure_holds_relations_of_various_arities() {
+        let mut edges: WeightedRelation<Nat> = WeightedRelation::new(2);
+        edges.set(vec![0, 1], Nat(3)).unwrap();
+        let mut labels: WeightedRelation<Nat> = WeightedRelation::new(1);
+        labels.set(vec![2], Nat(1)).unwrap();
+        let mut flag: WeightedRelation<Nat> = WeightedRelation::new(0);
+        flag.set(vec![], Nat(7)).unwrap();
+
+        let s = WeightedStructure::new(3)
+            .with_relation("E", edges)
+            .with_relation("L", labels)
+            .with_relation("F", flag);
+        assert_eq!(s.domain_size(), 3);
+        assert_eq!(s.domain().count(), 3);
+        assert_eq!(s.relation("E").unwrap().weight(&[0, 1]), Nat(3));
+        assert_eq!(s.relation("F").unwrap().weight(&[]), Nat(7));
+        assert!(s.relation("missing").is_none());
+        assert_eq!(s.relations().count(), 3);
+    }
+}

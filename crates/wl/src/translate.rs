@@ -1,0 +1,654 @@
+//! Proposition 6.7: the translations between FO-MATLANG and weighted logics,
+//! together with the instance/structure encodings `WL(I)` and `Mat(A)`.
+
+use crate::formula::WlFormula;
+use crate::structure::{WeightedRelation, WeightedStructure};
+use matlang_core::{typecheck, Dim, Expr, Instance, MatrixType, Schema, TypeError};
+use matlang_matrix::Matrix;
+use matlang_semiring::Semiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The first-order variable standing for the row index of the translated
+/// expression.
+pub const ROW_VAR: &str = "row";
+/// The first-order variable standing for the column index.
+pub const COL_VAR: &str = "col";
+
+/// The relation symbol used by `WL(S)` for a matrix variable.
+pub fn relation_symbol(var: &str) -> String {
+    format!("R_{var}")
+}
+
+/// The matrix variable used by `Mat(Γ)` for a relation symbol.
+pub fn matrix_symbol(rel: &str) -> String {
+    format!("M_{rel}")
+}
+
+/// The FO variable associated with an iterator (vector) variable of the
+/// MATLANG expression.
+pub fn iterator_variable(var: &str) -> String {
+    format!("x_{var}")
+}
+
+/// The vector variable associated with a first-order variable of a WL
+/// formula (the Ψ direction).
+pub fn fo_vector_variable(var: &str) -> String {
+    format!("v_{var}")
+}
+
+/// `WL(I)` — encodes a matrix instance over a square schema (every variable
+/// of type `(α,α)`, `(α,1)`, `(1,α)` or `(1,1)`) as a weighted structure with
+/// domain `{0, …, D(α)−1}`.
+pub fn encode_instance_as_structure<K: Semiring>(
+    schema: &Schema,
+    instance: &Instance<K>,
+) -> Result<WeightedStructure<K>, String> {
+    let mut domain_size = 1;
+    for (_, ty) in schema.iter() {
+        for dim in [&ty.rows, &ty.cols] {
+            if let Dim::Sym(_) = dim {
+                domain_size = instance
+                    .dim_value(dim)
+                    .ok_or_else(|| format!("size symbol {dim} has no value"))?;
+            }
+        }
+    }
+    let mut structure = WeightedStructure::new(domain_size);
+    for (name, ty) in schema.iter() {
+        let matrix = instance
+            .matrix(name)
+            .ok_or_else(|| format!("variable {name} has no matrix"))?;
+        let arity = match (&ty.rows, &ty.cols) {
+            (Dim::Sym(_), Dim::Sym(_)) => 2,
+            (Dim::Sym(_), Dim::One) | (Dim::One, Dim::Sym(_)) => 1,
+            (Dim::One, Dim::One) => 0,
+        };
+        let mut relation = WeightedRelation::new(arity);
+        for (i, j, value) in matrix.iter_entries() {
+            if value.is_zero() {
+                continue;
+            }
+            let tuple = match arity {
+                2 => vec![i, j],
+                1 => vec![i.max(j)],
+                _ => vec![],
+            };
+            relation.set(tuple, value.clone())?;
+        }
+        structure.add_relation(relation_symbol(name), relation);
+    }
+    Ok(structure)
+}
+
+/// `Mat(A)` — encodes a weighted structure whose relations have arity ≤ 2 as
+/// a matrix instance over the size symbol `dim`: binary relations become
+/// `n × n` matrices, unary ones `n × 1` vectors and nullary ones `1 × 1`
+/// scalars (Section 6.2).
+pub fn encode_structure_as_instance<K: Semiring>(
+    structure: &WeightedStructure<K>,
+    dim: &str,
+) -> Result<(Instance<K>, Schema), String> {
+    let n = structure.domain_size().max(1);
+    let mut instance: Instance<K> = Instance::new().with_dim(dim, n);
+    let mut schema = Schema::new();
+    for (name, relation) in structure.relations() {
+        let var = matrix_symbol(name);
+        let (matrix, ty) = match relation.arity() {
+            2 => {
+                let mut m = Matrix::zeros(n, n);
+                for (tuple, weight) in relation.iter() {
+                    m.set(tuple[0], tuple[1], weight.clone()).map_err(|e| e.to_string())?;
+                }
+                (m, MatrixType::square(dim))
+            }
+            1 => {
+                let mut m = Matrix::zeros(n, 1);
+                for (tuple, weight) in relation.iter() {
+                    m.set(tuple[0], 0, weight.clone()).map_err(|e| e.to_string())?;
+                }
+                (m, MatrixType::vector(dim))
+            }
+            0 => {
+                let value = relation.weight(&[]);
+                (Matrix::scalar(value), MatrixType::scalar())
+            }
+            arity => return Err(format!("relation {name} has arity {arity} > 2")),
+        };
+        instance.set_matrix(var.clone(), matrix);
+        schema.declare(var, ty);
+    }
+    Ok((instance, schema))
+}
+
+/// Errors raised by the FO-MATLANG → WL translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWlError {
+    /// The expression uses an operator outside FO-MATLANG (`for` or `Π`).
+    NotFoMatlang {
+        /// The offending operator.
+        operator: &'static str,
+    },
+    /// The expression uses a pointwise function other than `mul`.
+    UnsupportedFunction {
+        /// The function name.
+        name: String,
+    },
+    /// Only the constant 1 has a WL counterpart (as `Πz.(z = z)`).
+    UnsupportedConstant {
+        /// The constant value.
+        value: f64,
+    },
+    /// The expression is not over a square schema or does not type check.
+    Type(TypeError),
+}
+
+impl fmt::Display for ToWlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToWlError::NotFoMatlang { operator } => {
+                write!(f, "operator {operator} is outside FO-MATLANG")
+            }
+            ToWlError::UnsupportedFunction { name } => {
+                write!(f, "pointwise function `{name}` has no weighted-logic counterpart")
+            }
+            ToWlError::UnsupportedConstant { value } => {
+                write!(f, "constant {value} has no weighted-logic counterpart (only 1 does)")
+            }
+            ToWlError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ToWlError {}
+
+impl From<TypeError> for ToWlError {
+    fn from(e: TypeError) -> Self {
+        ToWlError::Type(e)
+    }
+}
+
+struct ToWl {
+    /// Iterator (vector) variables in scope, mapped to their FO variable.
+    bound: BTreeMap<String, String>,
+    counter: usize,
+}
+
+struct TranslatedWl {
+    formula: WlFormula,
+    ty: MatrixType,
+}
+
+impl ToWl {
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("y{}", self.counter)
+    }
+
+    fn translate(&mut self, expr: &Expr, schema: &Schema) -> Result<TranslatedWl, ToWlError> {
+        match expr {
+            Expr::Var(name) => {
+                let ty = self.typecheck(expr, schema)?;
+                if let Some(fo_var) = self.bound.get(name) {
+                    // A canonical-vector variable: bᵢ has a 1 exactly at its
+                    // own index, i.e. `row = x_v`.
+                    return Ok(TranslatedWl {
+                        formula: WlFormula::eq(ROW_VAR, fo_var.clone()),
+                        ty,
+                    });
+                }
+                let rel = relation_symbol(name);
+                let formula = match (&ty.rows, &ty.cols) {
+                    (Dim::Sym(_), Dim::Sym(_)) => WlFormula::atom(rel, vec![ROW_VAR, COL_VAR]),
+                    (Dim::Sym(_), Dim::One) => WlFormula::atom(rel, vec![ROW_VAR]),
+                    (Dim::One, Dim::Sym(_)) => WlFormula::atom(rel, vec![COL_VAR]),
+                    (Dim::One, Dim::One) => WlFormula::Atom(rel, vec![]),
+                };
+                Ok(TranslatedWl { formula, ty })
+            }
+            Expr::Const(value) => {
+                if (*value - 1.0).abs() < f64::EPSILON {
+                    // 1 = Πz.(z = z).
+                    let z = self.fresh();
+                    Ok(TranslatedWl {
+                        formula: WlFormula::prod(z.clone(), WlFormula::eq(z.clone(), z)),
+                        ty: MatrixType::scalar(),
+                    })
+                } else {
+                    Err(ToWlError::UnsupportedConstant { value: *value })
+                }
+            }
+            Expr::Transpose(inner) => {
+                let t = self.translate(inner, schema)?;
+                let tmp = self.fresh();
+                let formula = t
+                    .formula
+                    .rename_free(ROW_VAR, &tmp)
+                    .rename_free(COL_VAR, ROW_VAR)
+                    .rename_free(&tmp, COL_VAR);
+                Ok(TranslatedWl { formula, ty: t.ty.transposed() })
+            }
+            Expr::Ones(inner) => {
+                let inner_ty = self.typecheck(inner, schema)?;
+                // 1(e) has every entry 1 regardless of e: `row = row`.
+                Ok(TranslatedWl {
+                    formula: WlFormula::eq(ROW_VAR, ROW_VAR),
+                    ty: MatrixType::new(inner_ty.rows, Dim::One),
+                })
+            }
+            Expr::Diag(inner) => {
+                let t = self.translate(inner, schema)?;
+                let ty = MatrixType::new(t.ty.rows.clone(), t.ty.rows.clone());
+                Ok(TranslatedWl {
+                    formula: t.formula.times(WlFormula::eq(ROW_VAR, COL_VAR)),
+                    ty,
+                })
+            }
+            Expr::Add(a, b) => {
+                let ta = self.translate(a, schema)?;
+                let tb = self.translate(b, schema)?;
+                Ok(TranslatedWl { formula: ta.formula.plus(tb.formula), ty: ta.ty })
+            }
+            Expr::Hadamard(a, b) | Expr::ScalarMul(a, b) => {
+                let ta = self.translate(a, schema)?;
+                let tb = self.translate(b, schema)?;
+                Ok(TranslatedWl { formula: ta.formula.times(tb.formula), ty: tb.ty })
+            }
+            Expr::Apply(name, args) => {
+                if name != "mul" || args.is_empty() {
+                    return Err(ToWlError::UnsupportedFunction { name: name.clone() });
+                }
+                let mut ty = None;
+                let mut formula: Option<WlFormula> = None;
+                for arg in args {
+                    let t = self.translate(arg, schema)?;
+                    ty.get_or_insert(t.ty);
+                    formula = Some(match formula {
+                        None => t.formula,
+                        Some(prev) => prev.times(t.formula),
+                    });
+                }
+                Ok(TranslatedWl {
+                    formula: formula.expect("non-empty"),
+                    ty: ty.expect("non-empty"),
+                })
+            }
+            Expr::MatMul(a, b) => {
+                let ta = self.translate(a, schema)?;
+                let tb = self.translate(b, schema)?;
+                let result_ty = MatrixType::new(ta.ty.rows.clone(), tb.ty.cols.clone());
+                match &ta.ty.cols {
+                    Dim::One => Ok(TranslatedWl {
+                        formula: ta.formula.times(tb.formula),
+                        ty: result_ty,
+                    }),
+                    Dim::Sym(_) => {
+                        let y = self.fresh();
+                        let left = ta.formula.rename_free(COL_VAR, &y);
+                        let right = tb.formula.rename_free(ROW_VAR, &y);
+                        Ok(TranslatedWl {
+                            formula: WlFormula::sum(y, left.times(right)),
+                            ty: result_ty,
+                        })
+                    }
+                }
+            }
+            Expr::Let { var, value, body } => {
+                let inlined = body.substitute(var, value);
+                self.translate(&inlined, schema)
+            }
+            Expr::Sum { var, var_dim, body } => {
+                self.quantifier(var, var_dim, body, schema, WlFormula::sum)
+            }
+            Expr::HProd { var, var_dim, body } => {
+                self.quantifier(var, var_dim, body, schema, WlFormula::prod)
+            }
+            Expr::MProd { .. } => Err(ToWlError::NotFoMatlang { operator: "Π (matrix product)" }),
+            Expr::For { .. } => Err(ToWlError::NotFoMatlang { operator: "for" }),
+        }
+    }
+
+    fn quantifier(
+        &mut self,
+        var: &str,
+        var_dim: &str,
+        body: &Expr,
+        schema: &Schema,
+        build: impl Fn(String, WlFormula) -> WlFormula,
+    ) -> Result<TranslatedWl, ToWlError> {
+        let fo_var = iterator_variable(var);
+        let previous = self.bound.insert(var.to_string(), fo_var.clone());
+        let mut extended = schema.clone();
+        extended.declare(var, MatrixType::new(Dim::sym(var_dim), Dim::One));
+        let result = self.translate(body, &extended);
+        match previous {
+            Some(p) => {
+                self.bound.insert(var.to_string(), p);
+            }
+            None => {
+                self.bound.remove(var);
+            }
+        }
+        let t = result?;
+        Ok(TranslatedWl {
+            formula: build(fo_var, t.formula),
+            ty: t.ty,
+        })
+    }
+
+    fn typecheck(&self, expr: &Expr, schema: &Schema) -> Result<MatrixType, ToWlError> {
+        let mut extended = schema.clone();
+        for var in self.bound.keys() {
+            // All iterator variables range over the single square dimension.
+            if extended.var_type(var).is_none() {
+                extended.declare(var.clone(), MatrixType::vector("α"));
+            }
+        }
+        Ok(typecheck(expr, &extended)?)
+    }
+}
+
+/// Proposition 6.7 (⇒) — translates a *closed, scalar-typed* FO-MATLANG
+/// expression over a square schema into a closed WL formula such that
+/// `⟦e⟧(I) = ⟦Φ(e)⟧_{WL(I)}`.
+///
+/// Open (matrix-typed) expressions are also supported: the resulting formula
+/// then has the free variables [`ROW_VAR`] / [`COL_VAR`] indexing the output
+/// entry, which is how the round-trip tests check every entry.
+pub fn matlang_to_wl(expr: &Expr, schema: &Schema) -> Result<WlFormula, ToWlError> {
+    let mut translator = ToWl {
+        bound: BTreeMap::new(),
+        counter: 0,
+    };
+    Ok(translator.translate(expr, schema)?.formula)
+}
+
+/// Proposition 6.7 (⇐) — translates a WL formula over a vocabulary of arity
+/// ≤ 2 into an FO-MATLANG expression over the matrix encoding `Mat(A)`
+/// (see [`encode_structure_as_instance`]); free first-order variables become
+/// free vector variables `v_x`.
+pub fn wl_to_matlang(formula: &WlFormula, dim: &str) -> Expr {
+    match formula {
+        WlFormula::Eq(x, y) => Expr::var(fo_vector_variable(x))
+            .t()
+            .mm(Expr::var(fo_vector_variable(y))),
+        WlFormula::Atom(rel, vars) => {
+            let matrix = Expr::var(matrix_symbol(rel));
+            match vars.len() {
+                0 => matrix,
+                1 => matrix.t().mm(Expr::var(fo_vector_variable(&vars[0]))),
+                _ => Expr::var(fo_vector_variable(&vars[0]))
+                    .t()
+                    .mm(matrix)
+                    .mm(Expr::var(fo_vector_variable(&vars[1]))),
+            }
+        }
+        WlFormula::Plus(a, b) => wl_to_matlang(a, dim).add(wl_to_matlang(b, dim)),
+        WlFormula::Times(a, b) => wl_to_matlang(a, dim).mm(wl_to_matlang(b, dim)),
+        WlFormula::SumQ(x, body) => {
+            Expr::sum(fo_vector_variable(x), dim, wl_to_matlang(body, dim))
+        }
+        WlFormula::ProdQ(x, body) => {
+            Expr::hprod(fo_vector_variable(x), dim, wl_to_matlang(body, dim))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_core::{evaluate, evaluate_with_env, fragment_of, Fragment, FunctionRegistry};
+    use matlang_matrix::{random_matrix, RandomMatrixConfig};
+    use matlang_semiring::Nat;
+    use std::collections::HashMap;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_var("A", MatrixType::square("α"))
+            .with_var("B", MatrixType::square("α"))
+            .with_var("u", MatrixType::vector("α"))
+            .with_var("c", MatrixType::scalar())
+    }
+
+    fn instance(n: usize, seed: u64) -> Instance<Nat> {
+        let cfg = |s| RandomMatrixConfig {
+            seed: s,
+            min_value: 0.0,
+            max_value: 3.0,
+            integer_entries: true,
+            zero_probability: 0.25,
+            ..Default::default()
+        };
+        Instance::new()
+            .with_dim("α", n)
+            .with_matrix("A", random_matrix(n, n, &cfg(seed)))
+            .with_matrix("B", random_matrix(n, n, &cfg(seed + 1)))
+            .with_matrix("u", random_matrix(n, 1, &cfg(seed + 2)))
+            .with_matrix("c", Matrix::scalar(Nat(3)))
+    }
+
+    /// Checks the Proposition 6.7 (⇒) invariant entry by entry.
+    fn assert_matlang_to_wl(expr: &Expr, n: usize, seed: u64) {
+        let schema = schema();
+        let inst = instance(n, seed);
+        let registry = FunctionRegistry::<Nat>::new().with_semiring_ops();
+        let matrix = evaluate(expr, &inst, &registry).unwrap();
+        let structure = encode_instance_as_structure(&schema, &inst).unwrap();
+        let formula = matlang_to_wl(expr, &schema).unwrap();
+
+        for i in 0..matrix.rows() {
+            for j in 0..matrix.cols() {
+                // Bind both index variables unconditionally; formulas only
+                // look up the ones they mention.
+                let mut sigma = HashMap::new();
+                sigma.insert(ROW_VAR.to_string(), i);
+                sigma.insert(COL_VAR.to_string(), j);
+                let via_wl = formula.evaluate(&structure, &sigma).unwrap();
+                assert_eq!(
+                    &via_wl,
+                    matrix.get(i, j).unwrap(),
+                    "mismatch at ({i},{j}) for {expr}, n={n}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalars_vectors_and_matrices_translate() {
+        for n in [2, 4] {
+            assert_matlang_to_wl(&Expr::var("A"), n, 1);
+            assert_matlang_to_wl(&Expr::var("A").t(), n, 2);
+            assert_matlang_to_wl(&Expr::var("u"), n, 3);
+            assert_matlang_to_wl(&Expr::var("u").t(), n, 4);
+            assert_matlang_to_wl(&Expr::var("c"), n, 5);
+            assert_matlang_to_wl(&Expr::var("A").add(Expr::var("B")), n, 6);
+            assert_matlang_to_wl(&Expr::var("A").had(Expr::var("B")), n, 7);
+            assert_matlang_to_wl(&Expr::var("A").mm(Expr::var("B")), n, 8);
+            assert_matlang_to_wl(&Expr::var("A").mm(Expr::var("u")), n, 9);
+            assert_matlang_to_wl(&Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")), n, 10);
+            assert_matlang_to_wl(&Expr::var("u").diag(), n, 11);
+            assert_matlang_to_wl(&Expr::var("A").ones(), n, 12);
+            assert_matlang_to_wl(&Expr::var("c").smul(Expr::var("A")), n, 13);
+        }
+    }
+
+    #[test]
+    fn quantified_expressions_translate() {
+        for n in [2, 3] {
+            // Trace.
+            assert_matlang_to_wl(
+                &Expr::sum("v", "α", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                n,
+                14,
+            );
+            // Diagonal product (Example 6.6).
+            assert_matlang_to_wl(
+                &Expr::hprod("v", "α", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                n,
+                15,
+            );
+            // Identity matrix.
+            assert_matlang_to_wl(&Expr::sum("v", "α", Expr::var("v").mm(Expr::var("v").t())), n, 16);
+            // Nested Σ/Π∘ mixing.
+            assert_matlang_to_wl(
+                &Expr::sum(
+                    "v",
+                    "α",
+                    Expr::hprod(
+                        "w",
+                        "α",
+                        Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("w")).add(Expr::lit(1.0)),
+                    ),
+                ),
+                n,
+                17,
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_constructs_outside_fo_matlang() {
+        let schema = schema();
+        assert!(matches!(
+            matlang_to_wl(&Expr::mprod("v", "α", Expr::var("A")), &schema),
+            Err(ToWlError::NotFoMatlang { .. })
+        ));
+        assert!(matches!(
+            matlang_to_wl(
+                &Expr::for_loop("v", "α", "X", MatrixType::square("α"), Expr::var("X")),
+                &schema
+            ),
+            Err(ToWlError::NotFoMatlang { .. })
+        ));
+        assert!(matches!(
+            matlang_to_wl(&Expr::lit(2.0), &schema),
+            Err(ToWlError::UnsupportedConstant { .. })
+        ));
+        assert!(matches!(
+            matlang_to_wl(&Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]), &schema),
+            Err(ToWlError::UnsupportedFunction { .. })
+        ));
+        for e in [
+            ToWlError::NotFoMatlang { operator: "for" }.to_string(),
+            ToWlError::UnsupportedConstant { value: 2.0 }.to_string(),
+        ] {
+            assert!(!e.is_empty());
+        }
+    }
+
+    /// Checks the Proposition 6.7 (⇐) invariant on closed formulas and on
+    /// formulas with free variables (via explicit assignments).
+    fn assert_wl_to_matlang(formula: &WlFormula, structure: &WeightedStructure<Nat>) {
+        let (instance, _) = encode_structure_as_instance(structure, "α").unwrap();
+        let expr = wl_to_matlang(formula, "α");
+        let registry = FunctionRegistry::<Nat>::new();
+        let free: Vec<String> = formula.free_vars().into_iter().collect();
+        let n = structure.domain_size();
+
+        // Enumerate all assignments of the free variables.
+        let mut assignments = vec![HashMap::new()];
+        for var in &free {
+            let mut next = Vec::new();
+            for sigma in &assignments {
+                for value in 0..n {
+                    let mut s = sigma.clone();
+                    s.insert(var.clone(), value);
+                    next.push(s);
+                }
+            }
+            assignments = next;
+        }
+        for sigma in assignments {
+            let direct = formula.evaluate(structure, &sigma).unwrap();
+            let mut env = HashMap::new();
+            for (var, &value) in &sigma {
+                env.insert(
+                    fo_vector_variable(var),
+                    Matrix::<Nat>::canonical(n, value).unwrap(),
+                );
+            }
+            let via_ml = evaluate_with_env(&expr, &instance, &registry, &env)
+                .unwrap()
+                .as_scalar()
+                .unwrap();
+            assert_eq!(via_ml, direct, "mismatch for {formula} under {sigma:?}");
+        }
+    }
+
+    fn example_structure() -> WeightedStructure<Nat> {
+        let mut edges: WeightedRelation<Nat> = WeightedRelation::new(2);
+        edges.set(vec![0, 1], Nat(2)).unwrap();
+        edges.set(vec![1, 2], Nat(3)).unwrap();
+        edges.set(vec![2, 0], Nat(1)).unwrap();
+        let mut labels: WeightedRelation<Nat> = WeightedRelation::new(1);
+        labels.set(vec![1], Nat(4)).unwrap();
+        let mut flag: WeightedRelation<Nat> = WeightedRelation::new(0);
+        flag.set(vec![], Nat(5)).unwrap();
+        WeightedStructure::new(3)
+            .with_relation("E", edges)
+            .with_relation("L", labels)
+            .with_relation("F", flag)
+    }
+
+    #[test]
+    fn wl_formulas_translate_to_fo_matlang() {
+        let s = example_structure();
+        let cases = vec![
+            WlFormula::sum("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]))),
+            WlFormula::sum(
+                "x",
+                WlFormula::atom("L", vec!["x"]).times(WlFormula::sum(
+                    "y",
+                    WlFormula::atom("E", vec!["x", "y"]),
+                )),
+            ),
+            WlFormula::prod("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")))),
+            WlFormula::atom("F", vec![]).times(WlFormula::sum("x", WlFormula::atom("L", vec!["x"]))),
+            // Formula with a free variable.
+            WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])),
+            WlFormula::eq("x", "z"),
+        ];
+        for formula in cases {
+            assert_wl_to_matlang(&formula, &s);
+        }
+    }
+
+    #[test]
+    fn wl_translations_land_in_fo_matlang() {
+        let formula = WlFormula::prod("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])));
+        let expr = wl_to_matlang(&formula, "α");
+        assert_eq!(fragment_of(&expr), Fragment::FoMatlang);
+    }
+
+    #[test]
+    fn structure_instance_encodings_roundtrip() {
+        let s = example_structure();
+        let (instance, schema) = encode_structure_as_instance(&s, "α").unwrap();
+        assert_eq!(instance.dim_value(&Dim::sym("α")), Some(3));
+        assert_eq!(
+            schema.var_type(&matrix_symbol("E")),
+            Some(&MatrixType::square("α"))
+        );
+        let back = encode_instance_as_structure(&schema, &instance).unwrap();
+        // Relation names gain the R_/M_ prefixes but the weights must agree.
+        assert_eq!(
+            back.relation(&relation_symbol(&matrix_symbol("E"))).unwrap().weight(&[0, 1]),
+            Nat(2)
+        );
+        assert_eq!(
+            back.relation(&relation_symbol(&matrix_symbol("L"))).unwrap().weight(&[1]),
+            Nat(4)
+        );
+        assert_eq!(
+            back.relation(&relation_symbol(&matrix_symbol("F"))).unwrap().weight(&[]),
+            Nat(5)
+        );
+    }
+
+    #[test]
+    fn wide_relations_are_rejected_by_the_matrix_encoding() {
+        let wide: WeightedRelation<Nat> = WeightedRelation::new(3);
+        let s = WeightedStructure::new(2).with_relation("T", wide);
+        assert!(encode_structure_as_instance(&s, "α").is_err());
+    }
+}

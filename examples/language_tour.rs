@@ -1,0 +1,112 @@
+//! A tour of Figure 1 of the paper: the fragments of for-MATLANG and their
+//! equivalent formalisms.
+//!
+//! * sum-MATLANG ≡ RA⁺_K (Corollary 6.5) — demonstrated by translating a
+//!   query in both directions and comparing results.
+//! * FO-MATLANG ≡ weighted logics (Proposition 6.7) — same, with a weighted
+//!   structure.
+//! * for-MATLANG ≡ arithmetic circuits (Section 5) — an expression is
+//!   compiled to a circuit family and degrees are inspected.
+//!
+//! Run with `cargo run --example language_tour`.
+
+use matlang::algorithms::graphs;
+use matlang::circuits::{circuit_to_expr, expr_to_circuit};
+use matlang::prelude::*;
+use matlang::ra::{encode_instance, matlang_to_ra, ra_to_matlang, RaExpr, RaSchema};
+use matlang::wl::{encode_instance_as_structure, matlang_to_wl, WlFormula};
+use std::collections::HashMap;
+
+fn main() {
+    // A small weighted digraph shared by all three demonstrations.
+    let n = 4;
+    let adjacency: Matrix<Nat> = Matrix::from_rows(vec![
+        vec![Nat(0), Nat(2), Nat(0), Nat(1)],
+        vec![Nat(0), Nat(0), Nat(3), Nat(0)],
+        vec![Nat(1), Nat(0), Nat(0), Nat(4)],
+        vec![Nat(0), Nat(5), Nat(0), Nat(0)],
+    ])
+    .unwrap();
+    let schema = Schema::new().with_var("G", MatrixType::square("n"));
+    let instance = Instance::new().with_dim("n", n).with_matrix("G", adjacency.clone());
+    let registry: FunctionRegistry<Nat> = FunctionRegistry::new().with_semiring_ops();
+
+    // ------------------------------------------------------------------
+    // Level 1 of Figure 1 — sum-MATLANG ≡ RA⁺_K.
+    // ------------------------------------------------------------------
+    println!("== sum-MATLANG ≡ RA⁺_K (Corollary 6.5) ==");
+    let two_hop_ml = Expr::sum(
+        "v",
+        "n",
+        Expr::sum(
+            "w",
+            "n",
+            Expr::var("v")
+                .t()
+                .mm(Expr::var("G"))
+                .mm(Expr::var("w"))
+                .smul(Expr::var("w").t())
+                .mm(Expr::var("G")),
+        ),
+    );
+    println!("sum-MATLANG query   : {two_hop_ml}");
+    println!("fragment            : {}", fragment_of(&two_hop_ml));
+    let direct = evaluate(&two_hop_ml, &instance, &registry).unwrap();
+
+    let ra_query = matlang_to_ra(&two_hop_ml, &schema).unwrap();
+    let database = encode_instance(&schema, &instance).unwrap();
+    let via_ra = ra_query.evaluate(&database).unwrap();
+    println!("Φ(e) support size   : {}", via_ra.support_size());
+    println!("⟦e⟧(I)[0][1] = {:?}  /  ⟦Φ(e)⟧(Rel(I))(1,2) = {:?}",
+        direct.get(0, 1).unwrap(),
+        via_ra.annotation(&[("col_n", 2), ("row_n", 1)]));
+
+    // And back: an RA⁺_K query over a binary schema into sum-MATLANG.
+    let two_hop_ra = RaExpr::rel("E")
+        .join(RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "tgt")]))
+        .project(&["src", "tgt"]);
+    let ra_schema = RaSchema::new().with_relation("E", ["src", "dst"]);
+    let back = ra_to_matlang(&two_hop_ra, &ra_schema, "n").unwrap();
+    println!("Ψ(two-hop) fragment : {}", fragment_of(&back));
+
+    // ------------------------------------------------------------------
+    // Level 2 of Figure 1 — FO-MATLANG ≡ weighted logics.
+    // ------------------------------------------------------------------
+    println!("\n== FO-MATLANG ≡ weighted logics (Proposition 6.7) ==");
+    let diag_product = graphs::diagonal_product("G", "n");
+    println!("FO-MATLANG query    : {diag_product}");
+    println!("fragment            : {}", fragment_of(&diag_product));
+    let formula: WlFormula = matlang_to_wl(&diag_product, &schema).unwrap();
+    println!("Φ(e) as a WL formula: {formula}");
+    let structure = encode_instance_as_structure(&schema, &instance).unwrap();
+    let via_wl = formula.evaluate(&structure, &HashMap::new()).unwrap();
+    let direct = evaluate(&diag_product, &instance, &registry).unwrap().as_scalar().unwrap();
+    println!("⟦e⟧(I) = {direct:?}  /  ⟦Φ(e)⟧(WL(I)) = {via_wl:?}");
+    assert_eq!(direct, via_wl);
+
+    // ------------------------------------------------------------------
+    // Top of Figure 1 — for-MATLANG ≡ arithmetic circuits.
+    // ------------------------------------------------------------------
+    println!("\n== for-MATLANG ≡ arithmetic circuits (Section 5) ==");
+    let fw = graphs::transitive_closure_fw("G", "n");
+    println!("for-MATLANG query   : Floyd–Warshall transitive closure");
+    println!("fragment            : {}", fragment_of(&fw));
+    for size in [2usize, 3, 4] {
+        let circuit = expr_to_circuit(&fw, &schema, size).unwrap();
+        println!(
+            "  n = {size}: circuit with {:>6} gates, depth {:>3}, max output degree {}",
+            circuit.circuit().num_gates(),
+            circuit.circuit().depth(),
+            circuit.max_output_degree()
+        );
+    }
+    // Circuits translate back into the language (Theorem 5.1, per size).
+    let small_circuit = expr_to_circuit(
+        &graphs::trace("G", "n"),
+        &schema,
+        3,
+    )
+    .unwrap();
+    let back = circuit_to_expr(small_circuit.circuit(), "n");
+    println!("trace circuit decompiled back into for-MATLANG ({} AST nodes)", back.size());
+}

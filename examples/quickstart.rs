@@ -1,0 +1,81 @@
+//! Quickstart: build, type check, classify, print, parse and evaluate
+//! for-MATLANG expressions over several semirings.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use matlang::parser::parse;
+use matlang::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Build an expression: the trace  Σv. vᵀ·A·v  (a sum-MATLANG query).
+    // ------------------------------------------------------------------
+    let trace = Expr::sum(
+        "v",
+        "n",
+        Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+    );
+    println!("expression      : {trace}");
+    println!("fragment        : {}", fragment_of(&trace));
+
+    // ------------------------------------------------------------------
+    // 2. Type check it against a schema: A is a square matrix of type (n, n).
+    // ------------------------------------------------------------------
+    let schema = Schema::new().with_var("A", MatrixType::square("n"));
+    let ty = typecheck(&trace, &schema).expect("the trace is well-typed");
+    println!("type            : {ty}");
+
+    // ------------------------------------------------------------------
+    // 3. Evaluate it over the reals.
+    // ------------------------------------------------------------------
+    let a: Matrix<Real> = Matrix::from_f64_rows(&[
+        &[1.0, 9.0, 9.0],
+        &[9.0, 2.0, 9.0],
+        &[9.0, 9.0, 3.0],
+    ])
+    .unwrap();
+    let instance = Instance::new().with_dim("n", 3).with_matrix("A", a);
+    let registry: FunctionRegistry<Real> = FunctionRegistry::standard_field();
+    let result = evaluate(&trace, &instance, &registry).unwrap();
+    println!("trace over ℝ    : {}", result.as_scalar().unwrap());
+
+    // ------------------------------------------------------------------
+    // 4. The same expression over other semirings (Section 6 of the paper).
+    // ------------------------------------------------------------------
+    let bool_adj: Matrix<Boolean> =
+        Matrix::from_f64_rows(&[&[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+    let bool_instance = Instance::new().with_dim("n", 2).with_matrix("A", bool_adj);
+    let bool_registry: FunctionRegistry<Boolean> = FunctionRegistry::new();
+    let any_self_loop = evaluate(&trace, &bool_instance, &bool_registry).unwrap();
+    println!("trace over 𝔹    : {} (is there a self loop?)", any_self_loop.as_scalar().unwrap());
+
+    let nat_adj: Matrix<Nat> =
+        Matrix::from_rows(vec![vec![Nat(2), Nat(0)], vec![Nat(0), Nat(5)]]).unwrap();
+    let nat_instance = Instance::new().with_dim("n", 2).with_matrix("A", nat_adj);
+    let nat_registry: FunctionRegistry<Nat> = FunctionRegistry::new();
+    let counted = evaluate(&trace, &nat_instance, &nat_registry).unwrap();
+    println!("trace over ℕ    : {}", counted.as_scalar().unwrap());
+
+    // ------------------------------------------------------------------
+    // 5. The textual syntax round-trips through the parser.
+    // ------------------------------------------------------------------
+    let reparsed = parse(&trace.to_string()).unwrap();
+    assert_eq!(reparsed, trace);
+    println!("parser roundtrip: ok");
+
+    // ------------------------------------------------------------------
+    // 6. A genuinely recursive query: the one-vector via a for-loop
+    //    (Example 3.1 of the paper) — inexpressible without iteration.
+    // ------------------------------------------------------------------
+    let ones = Expr::for_loop(
+        "v",
+        "n",
+        "X",
+        MatrixType::vector("n"),
+        Expr::var("X").add(Expr::var("v")),
+    );
+    println!("for-loop        : {ones}");
+    println!("fragment        : {}", fragment_of(&ones));
+    let ones_value = evaluate(&ones, &instance, &registry).unwrap();
+    println!("evaluates to    :\n{ones_value}");
+}

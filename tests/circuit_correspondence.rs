@@ -1,0 +1,179 @@
+//! Experiment E7 — the for-MATLANG ↔ arithmetic-circuit correspondence of
+//! Section 5 (Theorems 5.1 and 5.3, Corollary 5.4), checked empirically:
+//! compiled circuits agree with the interpreter, decompiled circuits agree
+//! with direct circuit evaluation, and a full round trip preserves semantics.
+
+use matlang::algorithms::{graphs, order, standard_registry};
+use matlang::circuits::{circuit_to_expr, expr_to_circuit, Circuit, CircuitFamily};
+use matlang::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> Schema {
+    Schema::new()
+        .with_var("G", MatrixType::square("n"))
+        .with_var("u", MatrixType::vector("n"))
+}
+
+fn random_instance(n: usize, seed: u64) -> Instance<Real> {
+    let cfg = RandomMatrixConfig {
+        seed,
+        integer_entries: true,
+        min_value: -2.0,
+        max_value: 3.0,
+        ..Default::default()
+    };
+    Instance::new()
+        .with_dim("n", n)
+        .with_matrix("G", random_matrix(n, n, &cfg))
+        .with_matrix(
+            "u",
+            random_matrix(n, 1, &RandomMatrixConfig { seed: seed + 7, ..cfg }),
+        )
+}
+
+/// Theorem 5.3: the compiled circuit computes the same function as the
+/// expression, for every size in the sweep.
+#[test]
+fn theorem_5_3_expressions_compile_to_equivalent_circuits() {
+    let suite: Vec<(&str, Expr)> = vec![
+        ("trace", graphs::trace("G", "n")),
+        ("triangles", graphs::triangle_count("G", "n")),
+        ("diag-product", graphs::diagonal_product("G", "n")),
+        ("floyd-warshall", graphs::transitive_closure_fw("G", "n")),
+        ("order-S<", order::s_lt("n")),
+        ("gram", Expr::var("G").t().mm(Expr::var("G")).add(Expr::var("G").ones().diag())),
+        ("quadratic-form", Expr::var("u").t().mm(Expr::var("G")).mm(Expr::var("u"))),
+    ];
+    let schema = schema();
+    let registry = standard_registry::<Real>();
+    for (name, expr) in suite {
+        for n in [2usize, 3, 4] {
+            let circuit = expr_to_circuit(&expr, &schema, n)
+                .unwrap_or_else(|e| panic!("{name} failed to compile at n={n}: {e}"));
+            let instance = random_instance(n, 17 * n as u64);
+            let via_circuit = circuit.evaluate(&instance).unwrap();
+            let via_interpreter = evaluate(&expr, &instance, &registry).unwrap();
+            assert!(
+                via_circuit.approx_eq(&via_interpreter, 1e-6),
+                "{name}: circuit and interpreter disagree at n={n}"
+            );
+        }
+    }
+}
+
+/// Theorem 5.1 (per-size content): reference circuit families decompile to
+/// for-MATLANG expressions computing the same function of the input vector.
+#[test]
+fn theorem_5_1_circuit_families_decompile_to_equivalent_expressions() {
+    let families = [
+        CircuitFamily::sum_of_inputs(),
+        CircuitFamily::product_of_inputs(),
+        CircuitFamily::sum_of_squares(),
+        CircuitFamily::balanced_product(),
+        CircuitFamily::repeated_squaring(),
+    ];
+    let registry = standard_registry::<Real>();
+    let mut rng = StdRng::seed_from_u64(5);
+    for family in &families {
+        for n in [1usize, 3, 5] {
+            let circuit = family.member(n);
+            let inputs: Vec<f64> = (0..circuit.num_inputs().max(1))
+                .map(|_| rng.gen_range(-2..3) as f64)
+                .collect();
+            let reals: Vec<Real> = inputs.iter().map(|&v| Real(v)).collect();
+            let direct = circuit.evaluate(&reals).unwrap()[0];
+
+            let expr = circuit_to_expr(&circuit, "n");
+            let dim = inputs.len();
+            let instance: Instance<Real> = Instance::new()
+                .with_dim("n", dim)
+                .with_matrix("v", Matrix::from_vec(dim, 1, reals).unwrap());
+            let via_expr = evaluate(&expr, &instance, &registry)
+                .unwrap()
+                .as_scalar()
+                .unwrap();
+            assert!(
+                (direct.0 - via_expr.0).abs() < 1e-9,
+                "{}: decompilation diverges at n={n} ({} vs {})",
+                family.name(),
+                direct.0,
+                via_expr.0
+            );
+        }
+    }
+}
+
+/// Corollary 5.4 round trip: expression → circuit → expression preserves the
+/// computed function (over a single vector input, the setting of Thm 5.1).
+#[test]
+fn corollary_5_4_roundtrip_preserves_semantics() {
+    let vector_schema = Schema::new().with_var("v", MatrixType::vector("n"));
+    let suite = vec![
+        Expr::var("v").t().mm(Expr::var("v")),
+        Expr::sum("w", "n", Expr::var("w").t().mm(Expr::var("v"))),
+        Expr::var("v").t().mm(Expr::var("v")).mm(Expr::var("v").t().mm(Expr::var("v"))),
+        Expr::hprod("w", "n", Expr::var("w").t().mm(Expr::var("v")).add(Expr::lit(1.0))),
+    ];
+    let registry = standard_registry::<Real>();
+    for expr in suite {
+        for n in [2usize, 4] {
+            let circuit = expr_to_circuit(&expr, &vector_schema, n).unwrap();
+            let back = circuit_to_expr(circuit.circuit(), "n");
+            let instance = random_instance(n, 23)
+                .with_matrix("v", random_matrix(n, 1, &RandomMatrixConfig::seeded(3)));
+            let original = evaluate(&expr, &instance, &registry).unwrap().as_scalar().unwrap();
+            let roundtripped = evaluate(&back, &instance, &registry).unwrap().as_scalar().unwrap();
+            assert!(
+                (original.0 - roundtripped.0).abs() < 1e-7,
+                "round trip diverged for {expr} at n={n}"
+            );
+        }
+    }
+}
+
+/// The two circuit evaluators (topological and the paper's two-stack
+/// depth-first machine) agree on random circuits.
+#[test]
+fn two_stack_evaluator_agrees_with_topological_evaluation_on_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for _ in 0..25 {
+        let num_inputs = rng.gen_range(1..5);
+        let mut circuit = Circuit::new();
+        let mut gates: Vec<usize> = (0..num_inputs).map(|i| circuit.input(i)).collect();
+        gates.push(circuit.constant(rng.gen_range(0..3) as f64));
+        for _ in 0..rng.gen_range(3..10) {
+            let a = gates[rng.gen_range(0..gates.len())];
+            let b = gates[rng.gen_range(0..gates.len())];
+            let gate = if rng.gen_bool(0.5) {
+                circuit.add(vec![a, b]).unwrap()
+            } else {
+                circuit.mul(vec![a, b]).unwrap()
+            };
+            gates.push(gate);
+        }
+        circuit.mark_output(*gates.last().unwrap()).unwrap();
+        let inputs: Vec<Real> = (0..num_inputs).map(|_| Real(rng.gen_range(-2..3) as f64)).collect();
+        let topological = circuit.evaluate(&inputs).unwrap()[0];
+        let two_stack = circuit.evaluate_two_stack(&inputs).unwrap();
+        assert_eq!(topological, two_stack);
+    }
+}
+
+/// Compiled circuits stay polynomially sized for the polynomial-degree
+/// fragments (a size-side sanity check of Corollary 5.4).
+#[test]
+fn compiled_circuit_sizes_grow_polynomially_for_sum_matlang() {
+    let schema = schema();
+    let trace_sizes: Vec<usize> = (2..=6)
+        .map(|n| expr_to_circuit(&graphs::trace("G", "n"), &schema, n).unwrap().circuit().size())
+        .collect();
+    // Cubic growth at worst: the trace compiles to n inner products of n
+    // entries each, so size(n) ≤ c·n³ for a small constant.
+    for (i, &size) in trace_sizes.iter().enumerate() {
+        let n = i + 2;
+        assert!(size <= 20 * n * n * n, "trace circuit too large at n={n}: {size}");
+    }
+    // And monotone.
+    assert!(trace_sizes.windows(2).all(|w| w[0] < w[1]));
+}

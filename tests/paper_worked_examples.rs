@@ -1,0 +1,258 @@
+//! The paper's worked examples and propositions, end to end:
+//! Examples 3.1–3.5, the design-decision constructions of Section 3.2,
+//! Example 6.6, and Propositions 4.1–4.3 over randomized inputs.
+
+use matlang::algorithms::{baseline, csanky, graphs, lu, order, standard_registry, triangular};
+use matlang::core::desugar::{desugar, is_core};
+use matlang::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new()
+        .with_var("A", MatrixType::square("n"))
+        .with_var("G", MatrixType::square("n"))
+        .with_var("u", MatrixType::vector("n"))
+}
+
+fn registry() -> FunctionRegistry<Real> {
+    standard_registry::<Real>()
+}
+
+fn instance(n: usize, seed: u64) -> Instance<Real> {
+    Instance::new()
+        .with_dim("n", n)
+        .with_matrix("A", random_invertible(n, seed))
+        .with_matrix("G", random_adjacency(n, 0.4, seed))
+        .with_matrix("u", random_vector(n, &RandomMatrixConfig::seeded(seed)))
+}
+
+#[test]
+fn example_3_1_and_3_2_one_vector_and_diag_are_redundant() {
+    // The sugared operators and their for-loop desugarings (Examples 3.1 and
+    // 3.2) evaluate identically, and the desugared forms are core
+    // for-MATLANG.
+    let inst = instance(5, 3);
+    for sugared in [
+        Expr::var("A").ones(),
+        Expr::var("u").diag(),
+        Expr::var("G").ones().diag(),
+        Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())),
+    ] {
+        let core_form = desugar(&sugared, &schema()).unwrap();
+        assert!(is_core(&core_form));
+        let lhs = evaluate(&sugared, &inst, &registry()).unwrap();
+        let rhs = evaluate(&core_form, &inst, &registry()).unwrap();
+        assert_eq!(lhs, rhs, "desugaring changed the semantics of {sugared}");
+    }
+}
+
+#[test]
+fn section_3_2_order_machinery() {
+    // e_min, e_max, S≤, S<, Prev, Next evaluate to their intended matrices
+    // for a range of dimensions (Appendix B.1).
+    for n in 1..=6 {
+        let inst = instance(n, 1);
+        let reg = registry();
+        assert_eq!(
+            evaluate(&order::e_min("n"), &inst, &reg).unwrap(),
+            Matrix::canonical(n, 0).unwrap()
+        );
+        assert_eq!(
+            evaluate(&order::e_max("n"), &inst, &reg).unwrap(),
+            Matrix::canonical(n, n - 1).unwrap()
+        );
+        assert_eq!(evaluate(&order::s_leq("n"), &inst, &reg).unwrap(), Matrix::order_leq(n));
+        assert_eq!(evaluate(&order::s_lt("n"), &inst, &reg).unwrap(), Matrix::order_lt(n));
+        assert_eq!(
+            evaluate(&order::prev_matrix("n"), &inst, &reg).unwrap(),
+            Matrix::shift_prev(n)
+        );
+        assert_eq!(
+            evaluate(&order::next_matrix("n"), &inst, &reg).unwrap(),
+            Matrix::shift_next(n)
+        );
+        assert_eq!(
+            evaluate(&order::identity("n"), &inst, &reg).unwrap(),
+            Matrix::identity(n)
+        );
+    }
+}
+
+#[test]
+fn example_3_3_four_clique_agrees_with_brute_force() {
+    let expr = graphs::four_clique("G", "n");
+    for seed in 0..8 {
+        let n = 7;
+        let adjacency: Matrix<Real> = random_adjacency(n, 0.55, seed);
+        let symmetric = adjacency
+            .add(&adjacency.transpose())
+            .unwrap()
+            .map(|v| if v.0 > 0.0 { Real(1.0) } else { Real(0.0) });
+        let inst = Instance::new().with_dim("n", n).with_matrix("G", symmetric.clone());
+        let value = evaluate(&expr, &inst, &registry()).unwrap().as_scalar().unwrap();
+        assert_eq!(
+            value.0 > 0.0,
+            baseline::has_four_clique(&symmetric),
+            "4-clique disagreement for seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn example_3_5_floyd_warshall_transitive_closure() {
+    let expr = graphs::transitive_closure_fw_bool("G", "n");
+    for seed in 0..8 {
+        let n = 7;
+        let adjacency: Matrix<Real> = random_adjacency(n, 0.25, seed);
+        let inst = Instance::new().with_dim("n", n).with_matrix("G", adjacency.clone());
+        let closure = evaluate(&expr, &inst, &registry()).unwrap();
+        assert_eq!(closure, baseline::transitive_closure(&adjacency, false));
+    }
+}
+
+#[test]
+fn proposition_4_1_lu_decomposition_on_random_factorizable_matrices() {
+    for seed in 0..4 {
+        let n = 5;
+        let a: Matrix<Real> = random_invertible(n, seed);
+        let inst = Instance::new().with_dim("n", n).with_matrix("A", a.clone());
+        let l = evaluate(&lu::lower_factor("A", "n"), &inst, &registry()).unwrap();
+        let u = evaluate(&lu::upper_factor("A", "n"), &inst, &registry()).unwrap();
+        assert!(l.matmul(&u).unwrap().approx_eq(&a, 1e-7), "L·U ≠ A for seed {seed}");
+        let (bl, bu) = baseline::lu_decompose(&a).unwrap();
+        assert!(l.approx_eq(&bl, 1e-7));
+        assert!(u.approx_eq(&bu, 1e-7));
+    }
+}
+
+#[test]
+fn proposition_4_2_plu_decomposition_with_pivoting() {
+    // Matrices engineered to hit zero pivots at various stages.
+    let cases: Vec<Matrix<Real>> = vec![
+        Matrix::from_f64_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(),
+        Matrix::from_f64_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[4.0, 5.0, 0.0]]).unwrap(),
+        Matrix::from_f64_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[2.0, 4.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 5.0],
+            &[1.0, 1.0, 1.0, 1.0],
+        ])
+        .unwrap(),
+        Matrix::from_f64_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap(),
+    ];
+    for (idx, a) in cases.into_iter().enumerate() {
+        let n = a.rows();
+        let inst = Instance::new().with_dim("n", n).with_matrix("A", a.clone());
+        let m = evaluate(&lu::l_inverse_pivoted("A", "n"), &inst, &registry()).unwrap();
+        let u = evaluate(&lu::upper_factor_pivoted("A", "n"), &inst, &registry()).unwrap();
+        assert!(
+            u.iter_entries().all(|(i, j, v)| j >= i || v.0.abs() < 1e-8),
+            "U not upper triangular for case {idx}"
+        );
+        assert!(m.matmul(&a).unwrap().approx_eq(&u, 1e-8), "L⁻¹·P·A ≠ U for case {idx}");
+    }
+}
+
+#[test]
+fn proposition_4_3_determinant_and_inverse_via_csanky() {
+    for seed in 0..3 {
+        let n = 4;
+        let a: Matrix<Real> = random_invertible(n, seed + 40);
+        let inst = Instance::new().with_dim("n", n).with_matrix("A", a.clone());
+
+        let det = evaluate(&csanky::determinant("A", "n"), &inst, &registry())
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        let det_baselines = [
+            a.determinant().unwrap().0,
+            baseline::determinant_via_char_poly(&a).unwrap().0,
+        ];
+        for expected in det_baselines {
+            let scale = det.0.abs().max(expected.abs()).max(1.0);
+            assert!((det.0 - expected).abs() / scale < 1e-6);
+        }
+
+        let inv = evaluate(&csanky::inverse("A", "n"), &inst, &registry()).unwrap();
+        assert!(inv.approx_eq(&a.inverse().unwrap(), 1e-6));
+        assert!(inv.approx_eq(&baseline::inverse_via_char_poly(&a).unwrap(), 1e-6));
+    }
+}
+
+#[test]
+fn lemma_c_1_triangular_inversion() {
+    let u: Matrix<Real> =
+        Matrix::from_f64_rows(&[&[2.0, 5.0, 1.0], &[0.0, 3.0, 7.0], &[0.0, 0.0, 4.0]]).unwrap();
+    let inst = Instance::new().with_dim("n", 3).with_matrix("A", u.clone());
+    let inv = evaluate(
+        &triangular::upper_triangular_inverse(Expr::var("A"), "n"),
+        &inst,
+        &registry(),
+    )
+    .unwrap();
+    assert!(u.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+
+    let l = u.transpose();
+    let inst = Instance::new().with_dim("n", 3).with_matrix("A", l.clone());
+    let inv = evaluate(
+        &triangular::lower_triangular_inverse(Expr::var("A"), "n"),
+        &inst,
+        &registry(),
+    )
+    .unwrap();
+    assert!(l.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+}
+
+#[test]
+fn example_6_6_diagonal_product_and_trace() {
+    let a: Matrix<Real> = Matrix::from_f64_rows(&[
+        &[2.0, 8.0, 8.0],
+        &[8.0, 5.0, 8.0],
+        &[8.0, 8.0, 7.0],
+    ])
+    .unwrap();
+    let inst = Instance::new().with_dim("n", 3).with_matrix("G", a);
+    let dp = evaluate(&graphs::diagonal_product("G", "n"), &inst, &registry())
+        .unwrap()
+        .as_scalar()
+        .unwrap();
+    assert_eq!(dp.0, 70.0);
+    let tr = evaluate(&graphs::trace("G", "n"), &inst, &registry())
+        .unwrap()
+        .as_scalar()
+        .unwrap();
+    assert_eq!(tr.0, 14.0);
+}
+
+#[test]
+fn loop_initialization_sugar_of_section_3_2() {
+    // `for v, X = e₀. e` is expressible from the zero-initialized loop; our
+    // evaluator supports it natively, and the equivalence with the min()-based
+    // rewriting of Section 3.2 is checked here on the Floyd–Warshall body.
+    let inst = instance(5, 9);
+    let with_init = graphs::transitive_closure_fw("G", "n");
+
+    // Rewritten form: zero-initialized loop whose body selects e(v, X/e₀) in
+    // the first iteration and e(v, X) afterwards.
+    let Expr::For { var, var_dim, acc, acc_type, init, body } = with_init.clone() else {
+        panic!("Floyd–Warshall is a for loop");
+    };
+    let init = *init.expect("has an initializer");
+    let min_v = order::min_pred(Expr::var(&var), "n");
+    let body_with_init = body.substitute(&acc, &init);
+    let rewritten_body = min_v
+        .clone()
+        .smul(body_with_init)
+        .add(Expr::lit(1.0).minus(min_v).smul(*body));
+    let rewritten = Expr::For {
+        var,
+        var_dim,
+        acc,
+        acc_type,
+        init: None,
+        body: Box::new(rewritten_body),
+    };
+
+    let lhs = evaluate(&with_init, &inst, &registry()).unwrap();
+    let rhs = evaluate(&rewritten, &inst, &registry()).unwrap();
+    assert_eq!(lhs, rhs);
+}

@@ -1,0 +1,71 @@
+//! The textual syntax round-trips through the parser for every expression in
+//! the paper's algorithm library (and stays semantically identical, since the
+//! parsed AST is structurally equal).
+
+use matlang::algorithms::{csanky, graphs, lu, order, triangular};
+use matlang::parser::parse;
+use matlang::prelude::*;
+
+fn library() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("identity", order::identity("n")),
+        ("e_min", order::e_min("n")),
+        ("e_max", order::e_max("n")),
+        ("S_leq", order::s_leq("n")),
+        ("S_lt", order::s_lt("n")),
+        ("prev", order::prev_matrix("n")),
+        ("next_pow", order::next_matrix_pow(Expr::var("p"), "n")),
+        ("four_clique", graphs::four_clique("G", "n")),
+        ("floyd_warshall", graphs::transitive_closure_fw("G", "n")),
+        ("tc_prod", graphs::transitive_closure_prod("G", "n")),
+        ("trace", graphs::trace("G", "n")),
+        ("diag_product", graphs::diagonal_product("G", "n")),
+        ("triangles", graphs::triangle_count("G", "n")),
+        ("lu_l", lu::lower_factor("A", "n")),
+        ("lu_u", lu::upper_factor("A", "n")),
+        ("plu", lu::l_inverse_pivoted("A", "n")),
+        ("power_sum", triangular::power_sum(Expr::var("A"), "n")),
+        ("upper_inverse", triangular::upper_triangular_inverse(Expr::var("A"), "n")),
+        ("char_poly", csanky::char_poly_coeffs("A", "n")),
+        ("determinant", csanky::determinant("A", "n")),
+        ("inverse", csanky::inverse("A", "n")),
+    ]
+}
+
+#[test]
+fn every_library_expression_roundtrips_through_the_parser() {
+    for (name, expr) in library() {
+        let text = expr.to_string();
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{name}: failed to parse: {e}"));
+        assert_eq!(parsed, expr, "{name}: parsed AST differs from the original");
+    }
+}
+
+#[test]
+fn parsed_expressions_still_typecheck_and_classify_identically() {
+    let schema = Schema::new()
+        .with_var("A", MatrixType::square("n"))
+        .with_var("G", MatrixType::square("n"))
+        .with_var("p", MatrixType::vector("n"));
+    for (name, expr) in library() {
+        let parsed = parse(&expr.to_string()).unwrap();
+        assert_eq!(
+            fragment_of(&parsed),
+            fragment_of(&expr),
+            "{name}: fragment changed after parsing"
+        );
+        let original_type = typecheck(&expr, &schema);
+        let parsed_type = typecheck(&parsed, &schema);
+        assert_eq!(original_type, parsed_type, "{name}: type changed after parsing");
+    }
+}
+
+#[test]
+fn pretty_printed_size_is_stable_under_reparsing() {
+    for (_, expr) in library() {
+        let once = parse(&expr.to_string()).unwrap();
+        let twice = parse(&once.to_string()).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(once.size(), expr.size());
+    }
+}

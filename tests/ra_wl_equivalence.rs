@@ -1,0 +1,298 @@
+//! Experiments E2 and E3 — the fragment/formalism equivalences of Section 6:
+//!
+//! * Corollary 6.5: sum-MATLANG ≡ RA⁺_K over binary schemas, checked by
+//!   translating in both directions and comparing every output entry on
+//!   randomized instances, over several semirings.
+//! * Proposition 6.7: FO-MATLANG ≡ weighted logics, checked the same way.
+
+use matlang::prelude::*;
+use matlang::ra::{
+    decode_matrix_instance, encode_instance, matlang_to_ra, ra_to_matlang, RaExpr, RaSchema,
+    Relation,
+};
+use matlang::wl::{
+    encode_instance_as_structure, matlang_to_wl, wl_to_matlang, WeightedRelation,
+    WeightedStructure, WlFormula, COL_VAR, ROW_VAR,
+};
+use std::collections::HashMap;
+
+fn square_schema() -> Schema {
+    Schema::new()
+        .with_var("A", MatrixType::square("n"))
+        .with_var("B", MatrixType::square("n"))
+        .with_var("u", MatrixType::vector("n"))
+}
+
+fn sum_matlang_suite() -> Vec<Expr> {
+    vec![
+        Expr::var("A"),
+        Expr::var("A").t(),
+        Expr::var("A").add(Expr::var("B")),
+        Expr::var("A").mm(Expr::var("B")),
+        Expr::var("A").mm(Expr::var("u")),
+        Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")),
+        Expr::var("A").ones().diag(),
+        Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+        Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())),
+        Expr::sum(
+            "v",
+            "n",
+            Expr::sum(
+                "w",
+                "n",
+                Expr::var("v")
+                    .t()
+                    .mm(Expr::var("A"))
+                    .mm(Expr::var("w"))
+                    .smul(Expr::var("v").mm(Expr::var("w").t())),
+            ),
+        ),
+        Expr::var("A").mm(Expr::var("B")).add(Expr::var("B").t().mm(Expr::var("A"))),
+    ]
+}
+
+fn nat_instance(n: usize, seed: u64) -> Instance<Nat> {
+    let cfg = |s| RandomMatrixConfig {
+        seed: s,
+        min_value: 0.0,
+        max_value: 3.0,
+        integer_entries: true,
+        zero_probability: 0.3,
+        ..Default::default()
+    };
+    Instance::new()
+        .with_dim("n", n)
+        .with_matrix("A", random_matrix(n, n, &cfg(seed)))
+        .with_matrix("B", random_matrix(n, n, &cfg(seed + 1)))
+        .with_matrix("u", random_matrix(n, 1, &cfg(seed + 2)))
+}
+
+fn boolean_instance(n: usize, seed: u64) -> Instance<Boolean> {
+    Instance::new()
+        .with_dim("n", n)
+        .with_matrix("A", random_adjacency(n, 0.5, seed))
+        .with_matrix("B", random_adjacency(n, 0.5, seed + 1))
+        .with_matrix("u", random_matrix(n, 1, &RandomMatrixConfig {
+            seed: seed + 2,
+            min_value: 0.0,
+            max_value: 1.0,
+            integer_entries: true,
+            ..Default::default()
+        }))
+}
+
+/// Checks `⟦e⟧(I)ᵢⱼ = ⟦Φ(e)⟧(Rel(I))(i+1, j+1)` for every entry.
+fn check_to_ra<K: Semiring>(expr: &Expr, instance: &Instance<K>, schema: &Schema) {
+    let registry = FunctionRegistry::<K>::new().with_semiring_ops();
+    let matrix = evaluate(expr, instance, &registry).unwrap();
+    let database = encode_instance(schema, instance).unwrap();
+    let ra = matlang_to_ra(expr, schema).unwrap();
+    let relation = ra.evaluate(&database).unwrap();
+    let ty = typecheck(expr, schema).unwrap();
+    for i in 0..matrix.rows() {
+        for j in 0..matrix.cols() {
+            let mut tuple: Vec<(String, u64)> = Vec::new();
+            if let Dim::Sym(s) = &ty.rows {
+                tuple.push((format!("row_{s}"), (i + 1) as u64));
+            }
+            if let Dim::Sym(s) = &ty.cols {
+                tuple.push((format!("col_{s}"), (j + 1) as u64));
+            }
+            let refs: Vec<(&str, u64)> = tuple.iter().map(|(a, v)| (a.as_str(), *v)).collect();
+            assert_eq!(
+                &relation.annotation(&refs),
+                matrix.get(i, j).unwrap(),
+                "Φ mismatch at ({i},{j}) for {expr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary_6_5_sum_matlang_to_ra_over_naturals() {
+    let schema = square_schema();
+    for expr in sum_matlang_suite() {
+        for n in [2usize, 4] {
+            check_to_ra(&expr, &nat_instance(n, 11 * n as u64), &schema);
+        }
+    }
+}
+
+#[test]
+fn corollary_6_5_sum_matlang_to_ra_over_booleans() {
+    let schema = square_schema();
+    for expr in sum_matlang_suite() {
+        check_to_ra(&expr, &boolean_instance(4, 5), &schema);
+    }
+}
+
+#[test]
+fn corollary_6_5_ra_to_sum_matlang_roundtrip() {
+    // Random binary database → RA⁺_K queries → sum-MATLANG over Mat(J).
+    let mut edges: Relation<Nat> = Relation::new(["src", "dst"]);
+    let mut labels: Relation<Nat> = Relation::new(["node"]);
+    let values = [(1u64, 2u64, 2u64), (2, 3, 1), (3, 1, 4), (1, 3, 3), (3, 3, 5)];
+    for (s, d, w) in values {
+        edges.insert(&[("src", s), ("dst", d)], Nat(w)).unwrap();
+    }
+    for v in [1u64, 3] {
+        labels.insert(&[("node", v)], Nat(2)).unwrap();
+    }
+    let mut db = matlang::ra::Database::new();
+    db.insert("E".to_string(), edges);
+    db.insert("L".to_string(), labels);
+    let ra_schema = RaSchema::from_database(&db);
+
+    let queries = vec![
+        RaExpr::rel("E"),
+        RaExpr::rel("E").union(RaExpr::rel("E")),
+        RaExpr::rel("E").project(&["dst"]),
+        RaExpr::rel("E").select(&["src", "dst"]),
+        RaExpr::rel("E")
+            .join(RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "tgt")]))
+            .project(&["src", "tgt"]),
+        RaExpr::rel("E").join(RaExpr::rel("L").rename(&[("node", "src")])),
+        RaExpr::rel("E")
+            .rename(&[("src", "a"), ("dst", "b")])
+            .join(RaExpr::rel("E").rename(&[("src", "b"), ("dst", "c")]))
+            .join(RaExpr::rel("E").rename(&[("src", "c"), ("dst", "a")]))
+            .project(&[]),
+    ];
+
+    let (instance, adom) = decode_matrix_instance(&db, "n").unwrap();
+    let registry = FunctionRegistry::<Nat>::new().with_semiring_ops();
+    for query in queries {
+        let direct = query.evaluate(&db).unwrap();
+        let sig = query.signature(&db).unwrap();
+        let expr = ra_to_matlang(&query, &ra_schema, "n").unwrap();
+        assert!(fragment_of(&expr) <= Fragment::SumMatlang);
+        let matrix = evaluate(&expr, &instance, &registry).unwrap();
+        match sig.len() {
+            0 => assert_eq!(matrix.as_scalar().unwrap(), direct.annotation(&[])),
+            1 => {
+                for (idx, &d) in adom.iter().enumerate() {
+                    assert_eq!(
+                        matrix.get(idx, 0).unwrap(),
+                        &direct.annotation(&[(sig[0].as_str(), d)])
+                    );
+                }
+            }
+            _ => {
+                for (i, &di) in adom.iter().enumerate() {
+                    for (j, &dj) in adom.iter().enumerate() {
+                        assert_eq!(
+                            matrix.get(i, j).unwrap(),
+                            &direct.annotation(&[(sig[0].as_str(), di), (sig[1].as_str(), dj)]),
+                            "Ψ mismatch at ({di},{dj})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fo_matlang_suite() -> Vec<Expr> {
+    vec![
+        Expr::var("A").had(Expr::var("B")),
+        Expr::hprod("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+        Expr::sum(
+            "v",
+            "n",
+            Expr::hprod(
+                "w",
+                "n",
+                Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("w")).add(Expr::lit(1.0)),
+            ),
+        ),
+        Expr::var("A").mm(Expr::var("B")).had(Expr::var("B")),
+    ]
+}
+
+#[test]
+fn proposition_6_7_fo_matlang_to_weighted_logic() {
+    let schema = square_schema();
+    for expr in fo_matlang_suite() {
+        for n in [2usize, 3] {
+            let instance = nat_instance(n, 31 * n as u64);
+            let registry = FunctionRegistry::<Nat>::new().with_semiring_ops();
+            let matrix = evaluate(&expr, &instance, &registry).unwrap();
+            let structure = encode_instance_as_structure(&schema, &instance).unwrap();
+            let formula = matlang_to_wl(&expr, &schema).unwrap();
+            for i in 0..matrix.rows() {
+                for j in 0..matrix.cols() {
+                    let mut sigma = HashMap::new();
+                    sigma.insert(ROW_VAR.to_string(), i);
+                    sigma.insert(COL_VAR.to_string(), j);
+                    let via_wl = formula.evaluate(&structure, &sigma).unwrap();
+                    assert_eq!(&via_wl, matrix.get(i, j).unwrap(), "WL mismatch for {expr}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn proposition_6_7_weighted_logic_to_fo_matlang() {
+    // A weighted structure with a binary and a unary relation.
+    let mut edges: WeightedRelation<Nat> = WeightedRelation::new(2);
+    edges.set(vec![0, 1], Nat(2)).unwrap();
+    edges.set(vec![1, 2], Nat(3)).unwrap();
+    edges.set(vec![2, 0], Nat(1)).unwrap();
+    edges.set(vec![2, 2], Nat(4)).unwrap();
+    let mut labels: WeightedRelation<Nat> = WeightedRelation::new(1);
+    labels.set(vec![0], Nat(2)).unwrap();
+    labels.set(vec![2], Nat(5)).unwrap();
+    let structure = WeightedStructure::new(3)
+        .with_relation("E", edges)
+        .with_relation("L", labels);
+
+    let formulas = vec![
+        WlFormula::sum("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]))),
+        WlFormula::prod("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")))),
+        WlFormula::sum(
+            "x",
+            WlFormula::atom("L", vec!["x"]).times(WlFormula::sum(
+                "y",
+                WlFormula::atom("E", vec!["x", "y"]).times(WlFormula::atom("L", vec!["y"])),
+            )),
+        ),
+        WlFormula::sum(
+            "x",
+            WlFormula::prod("y", WlFormula::eq("x", "y").plus(WlFormula::atom("E", vec!["x", "y"]))),
+        ),
+    ];
+    let (instance, _) = matlang::wl::encode_structure_as_instance(&structure, "n").unwrap();
+    let registry = FunctionRegistry::<Nat>::new();
+    for formula in formulas {
+        let direct = formula.evaluate_closed(&structure).unwrap();
+        let expr = wl_to_matlang(&formula, "n");
+        assert!(fragment_of(&expr) <= Fragment::FoMatlang);
+        let via_ml = evaluate(&expr, &instance, &registry).unwrap().as_scalar().unwrap();
+        assert_eq!(via_ml, direct, "Ψ mismatch for {formula}");
+    }
+}
+
+#[test]
+fn equivalences_hold_over_the_tropical_semiring() {
+    // Section 6 is parametric in K; exercise the min-plus semiring end to end
+    // through the RA⁺_K translation of a shortest-two-hop query.
+    let n = 3;
+    let weights: Matrix<MinPlus> = Matrix::from_rows(vec![
+        vec![MinPlus::infinity(), MinPlus(2.0), MinPlus::infinity()],
+        vec![MinPlus::infinity(), MinPlus::infinity(), MinPlus(3.0)],
+        vec![MinPlus(1.0), MinPlus::infinity(), MinPlus::infinity()],
+    ])
+    .unwrap();
+    let schema = Schema::new().with_var("A", MatrixType::square("n"));
+    let instance = Instance::new().with_dim("n", n).with_matrix("A", weights.clone());
+    let two_hop = Expr::var("A").mm(Expr::var("A"));
+    let registry = FunctionRegistry::<MinPlus>::new().with_semiring_ops();
+    let matrix = evaluate(&two_hop, &instance, &registry).unwrap();
+    assert_eq!(matrix.get(0, 2).unwrap(), &MinPlus(5.0));
+
+    let db = encode_instance(&schema, &instance).unwrap();
+    let ra = matlang_to_ra(&two_hop, &schema).unwrap();
+    let relation = ra.evaluate(&db).unwrap();
+    assert_eq!(relation.annotation(&[("row_n", 1), ("col_n", 3)]), MinPlus(5.0));
+}

@@ -29,13 +29,17 @@ pub fn transitive_closure<K: Semiring>(adjacency: &Matrix<K>, reflexive: bool) -
         }
     }
     for k in 0..n {
-        for i in 0..n {
-            if !reach[i][k] {
+        // Row k is read while other rows are written; with boolean closure
+        // the k-th row is a fixed point of its own update, so a snapshot is
+        // equivalent.
+        let row_k = reach[k].clone();
+        for row_i in reach.iter_mut() {
+            if !row_i[k] {
                 continue;
             }
-            for j in 0..n {
-                if reach[k][j] {
-                    reach[i][j] = true;
+            for (j, &via_k) in row_k.iter().enumerate() {
+                if via_k {
+                    row_i[j] = true;
                 }
             }
         }
@@ -84,6 +88,9 @@ pub fn triangle_trace<K: Semiring>(adjacency: &Matrix<K>) -> K {
         .unwrap_or_else(|_| K::zero())
 }
 
+/// The `(P, L, U)` factors returned by [`plu_decompose`].
+pub type PluFactors<K> = (Matrix<K>, Matrix<K>, Matrix<K>);
+
 /// LU decomposition *without* pivoting by plain Gaussian elimination
 /// (Section 4.1's textbook procedure).  Returns `(L, U)` with `A = L·U`,
 /// `L` unit lower triangular and `U` upper triangular; fails when a pivot is
@@ -118,9 +125,7 @@ pub fn lu_decompose<K: Field>(a: &Matrix<K>) -> Result<(Matrix<K>, Matrix<K>), M
 /// LU decomposition *with* partial (row) pivoting: returns `(P, L, U)` with
 /// `P·A = L·U`, `P` a permutation matrix, `L` unit lower triangular and `U`
 /// upper triangular.  Always succeeds on square input.
-pub fn plu_decompose<K: Field>(
-    a: &Matrix<K>,
-) -> Result<(Matrix<K>, Matrix<K>, Matrix<K>), MatrixError> {
+pub fn plu_decompose<K: Field>(a: &Matrix<K>) -> Result<PluFactors<K>, MatrixError> {
     if !a.is_square() {
         return Err(MatrixError::NotSquare { shape: a.shape() });
     }
@@ -192,9 +197,11 @@ pub fn char_poly_coeffs<K: Field>(a: &Matrix<K>) -> Result<Vec<K>, MatrixError> 
         for j in 1..k {
             acc = acc.add(&c[j - 1].mul(&p[k - j - 1]));
         }
-        let k_inv = K::from_f64(k as f64).inv().ok_or_else(|| MatrixError::Singular {
-            message: "characteristic of the field divides k".to_string(),
-        })?;
+        let k_inv = K::from_f64(k as f64)
+            .inv()
+            .ok_or_else(|| MatrixError::Singular {
+                message: "characteristic of the field divides k".to_string(),
+            })?;
         c.push(acc.mul(&k_inv).neg());
     }
     Ok(c)
@@ -240,7 +247,10 @@ mod tests {
     fn transitive_closure_of_a_path() {
         let adj = m(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
         let tc = transitive_closure(&adj, false);
-        assert_eq!(tc, m(&[&[0.0, 1.0, 1.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]));
+        assert_eq!(
+            tc,
+            m(&[&[0.0, 1.0, 1.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 0.0]])
+        );
         let rtc = transitive_closure(&adj, true);
         assert_eq!(rtc.get(0, 0).unwrap().0, 1.0);
         assert_eq!(rtc.get(2, 2).unwrap().0, 1.0);

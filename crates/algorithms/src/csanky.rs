@@ -163,7 +163,11 @@ pub fn inverse(matrix: &str, dim: &str) -> Expr {
     let summand = not_last.smul(coeff.smul(complement_power(Expr::var(matrix), Expr::var(v), dim)));
     let series = power_n_minus_one(Expr::var(matrix), dim).add(Expr::sum(v, dim, summand));
     let scale = Expr::lit(-1.0).smul(Expr::apply("div", vec![Expr::lit(1.0), c_n]));
-    let body = Expr::let_in(COEFFS, char_poly_coeffs_inner(matrix, dim), scale.smul(series));
+    let body = Expr::let_in(
+        COEFFS,
+        char_poly_coeffs_inner(matrix, dim),
+        scale.smul(series),
+    );
     with_context(dim, body)
 }
 

@@ -63,7 +63,13 @@ pub fn transitive_closure_fw(graph: &str, dim: &str) -> Expr {
     let update = vi_x1_vk
         .mm(vk_x1_vj)
         .smul(Expr::var("_fw_vi").mm(Expr::var("_fw_vj").t()));
-    let inner_j = Expr::for_loop("_fw_vj", dim, "_fw_X3", sq.clone(), Expr::var("_fw_X3").add(update));
+    let inner_j = Expr::for_loop(
+        "_fw_vj",
+        dim,
+        "_fw_X3",
+        sq.clone(),
+        Expr::var("_fw_X3").add(update),
+    );
     let inner_i = Expr::for_loop(
         "_fw_vi",
         dim,
@@ -106,7 +112,10 @@ pub fn trace(matrix: &str, dim: &str) -> Expr {
     Expr::sum(
         "_tr_v",
         dim,
-        Expr::var("_tr_v").t().mm(Expr::var(matrix)).mm(Expr::var("_tr_v")),
+        Expr::var("_tr_v")
+            .t()
+            .mm(Expr::var(matrix))
+            .mm(Expr::var("_tr_v")),
     )
 }
 
@@ -117,7 +126,10 @@ pub fn diagonal_product(matrix: &str, dim: &str) -> Expr {
     Expr::hprod(
         "_dp_v",
         dim,
-        Expr::var("_dp_v").t().mm(Expr::var(matrix)).mm(Expr::var("_dp_v")),
+        Expr::var("_dp_v")
+            .t()
+            .mm(Expr::var(matrix))
+            .mm(Expr::var("_dp_v")),
     )
 }
 
@@ -135,7 +147,9 @@ pub fn triangle_count(graph: &str, dim: &str) -> Expr {
             Expr::sum(
                 "_t3_w",
                 dim,
-                edge("_t3_u", "_t3_v").mm(edge("_t3_v", "_t3_w")).mm(edge("_t3_w", "_t3_u")),
+                edge("_t3_u", "_t3_v")
+                    .mm(edge("_t3_v", "_t3_w"))
+                    .mm(edge("_t3_w", "_t3_u")),
             ),
         ),
     )
@@ -209,8 +223,12 @@ mod tests {
         for seed in 0..6 {
             let adj: Matrix<Real> = random_adjacency(6, 0.3, seed);
             let inst = adjacency_instance("G", "n", adj.clone());
-            let out = evaluate(&transitive_closure_fw_bool("G", "n"), &inst, &standard_registry())
-                .unwrap();
+            let out = evaluate(
+                &transitive_closure_fw_bool("G", "n"),
+                &inst,
+                &standard_registry(),
+            )
+            .unwrap();
             let expected = baseline::transitive_closure(&adj, false);
             assert_eq!(out, expected, "TC mismatch for seed {seed}");
         }
@@ -229,8 +247,12 @@ mod tests {
         for seed in 0..6 {
             let adj: Matrix<Real> = random_adjacency(5, 0.3, seed);
             let inst = adjacency_instance("G", "n", adj.clone());
-            let out = evaluate(&transitive_closure_prod("G", "n"), &inst, &standard_registry())
-                .unwrap();
+            let out = evaluate(
+                &transitive_closure_prod("G", "n"),
+                &inst,
+                &standard_registry(),
+            )
+            .unwrap();
             let expected = baseline::transitive_closure(&adj, true);
             assert_eq!(out, expected, "prod TC mismatch for seed {seed}");
         }
@@ -246,16 +268,15 @@ mod tests {
 
     #[test]
     fn trace_and_diagonal_product() {
-        let a: Matrix<Real> = Matrix::from_f64_rows(&[
-            &[2.0, 9.0, 9.0],
-            &[9.0, 3.0, 9.0],
-            &[9.0, 9.0, 4.0],
-        ])
-        .unwrap();
+        let a: Matrix<Real> =
+            Matrix::from_f64_rows(&[&[2.0, 9.0, 9.0], &[9.0, 3.0, 9.0], &[9.0, 9.0, 4.0]]).unwrap();
         assert_eq!(eval_scalar(&trace("G", "n"), &a), 9.0);
         assert_eq!(eval_scalar(&diagonal_product("G", "n"), &a), 24.0);
         assert_eq!(fragment_of(&trace("G", "n")), Fragment::SumMatlang);
-        assert_eq!(fragment_of(&diagonal_product("G", "n")), Fragment::FoMatlang);
+        assert_eq!(
+            fragment_of(&diagonal_product("G", "n")),
+            Fragment::FoMatlang
+        );
     }
 
     #[test]

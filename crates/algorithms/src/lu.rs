@@ -69,7 +69,10 @@ fn column_at_or_below(target: Expr, y: Expr, dim: &str) -> Expr {
 fn reduce(target: Expr, y: Expr, dim: &str) -> Expr {
     let pivot = y.clone().t().mm(target.clone()).mm(y.clone());
     let denominator = Expr::lit(-1.0).smul(pivot).smul(y.clone().ones());
-    let c = Expr::apply("div", vec![column_below(target, y.clone(), dim), denominator]);
+    let c = Expr::apply(
+        "div",
+        vec![column_below(target, y.clone(), dim), denominator],
+    );
     Expr::var(ID).add(c.mm(y.t()))
 }
 
@@ -84,7 +87,10 @@ fn reduce_with_guard(target: Expr, y: Expr, dim: &str) -> Expr {
         .smul(pivot)
         .smul(y.clone().ones())
         .add(guard_off.smul(y.clone().ones()));
-    let c = Expr::apply("div", vec![column_below(target, y.clone(), dim), denominator]);
+    let c = Expr::apply(
+        "div",
+        vec![column_below(target, y.clone(), dim), denominator],
+    );
     Expr::var(ID).add(pivot_nonzero.smul(c.mm(y.t())))
 }
 
@@ -229,8 +235,14 @@ mod tests {
                 "L·U ≠ A for seed {seed}"
             );
             let (bl, bu) = baseline::lu_decompose(&a).unwrap();
-            assert!(l.approx_eq(&bl, 1e-6), "L differs from baseline (seed {seed})");
-            assert!(u.approx_eq(&bu, 1e-6), "U differs from baseline (seed {seed})");
+            assert!(
+                l.approx_eq(&bl, 1e-6),
+                "L differs from baseline (seed {seed})"
+            );
+            assert!(
+                u.approx_eq(&bu, 1e-6),
+                "U differs from baseline (seed {seed})"
+            );
         }
     }
 
@@ -247,12 +259,8 @@ mod tests {
 
     #[test]
     fn pivoted_lu_handles_zero_pivots() {
-        let a: Matrix<Real> = Matrix::from_f64_rows(&[
-            &[0.0, 1.0, 2.0],
-            &[1.0, 0.0, 3.0],
-            &[4.0, 5.0, 0.0],
-        ])
-        .unwrap();
+        let a: Matrix<Real> =
+            Matrix::from_f64_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 3.0], &[4.0, 5.0, 0.0]]).unwrap();
         let m = eval(&l_inverse_pivoted("A", "n"), &a);
         let u = eval(&upper_factor_pivoted("A", "n"), &a);
         assert!(approx_upper(&u), "U not upper triangular: {u:?}");
@@ -273,8 +281,7 @@ mod tests {
 
     #[test]
     fn pivoted_lu_handles_singular_matrices() {
-        let a: Matrix<Real> =
-            Matrix::from_f64_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let a: Matrix<Real> = Matrix::from_f64_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
         let u = eval(&upper_factor_pivoted("A", "n"), &a);
         assert!(approx_upper(&u));
         let m = eval(&l_inverse_pivoted("A", "n"), &a);

@@ -258,8 +258,16 @@ mod tests {
     #[test]
     fn s_leq_and_s_lt_match_the_order_matrices() {
         for n in 1..=6 {
-            assert_eq!(eval(&s_leq("n"), n), Matrix::order_leq(n), "S≤ failed for n={n}");
-            assert_eq!(eval(&s_lt("n"), n), Matrix::order_lt(n), "S< failed for n={n}");
+            assert_eq!(
+                eval(&s_leq("n"), n),
+                Matrix::order_leq(n),
+                "S≤ failed for n={n}"
+            );
+            assert_eq!(
+                eval(&s_lt("n"), n),
+                Matrix::order_lt(n),
+                "S< failed for n={n}"
+            );
         }
     }
 
@@ -273,10 +281,14 @@ mod tests {
                 let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n))
                     .with_matrix("u", Matrix::canonical(n, i).unwrap())
                     .with_matrix("v", Matrix::canonical(n, j).unwrap());
-                let leq = evaluate(&succ(u.clone(), v.clone(), "n"), &inst, &standard_registry())
-                    .unwrap()
-                    .as_scalar()
-                    .unwrap();
+                let leq = evaluate(
+                    &succ(u.clone(), v.clone(), "n"),
+                    &inst,
+                    &standard_registry(),
+                )
+                .unwrap()
+                .as_scalar()
+                .unwrap();
                 let lt = evaluate(&succ_strict(u, v, "n"), &inst, &standard_registry())
                     .unwrap()
                     .as_scalar()
@@ -312,11 +324,24 @@ mod tests {
         for j in 0..n {
             let inst = square_instance("A", "n", Matrix::<Real>::zeros(n, n))
                 .with_matrix("p", Matrix::canonical(n, j).unwrap());
-            let out = evaluate(&next_matrix_pow(Expr::var("p"), "n"), &inst, &standard_registry())
-                .unwrap();
-            assert_eq!(out, Matrix::shift_next(n).pow(j + 1).unwrap(), "Next^{} failed", j + 1);
-            let out_prev =
-                evaluate(&prev_matrix_pow(Expr::var("p"), "n"), &inst, &standard_registry()).unwrap();
+            let out = evaluate(
+                &next_matrix_pow(Expr::var("p"), "n"),
+                &inst,
+                &standard_registry(),
+            )
+            .unwrap();
+            assert_eq!(
+                out,
+                Matrix::shift_next(n).pow(j + 1).unwrap(),
+                "Next^{} failed",
+                j + 1
+            );
+            let out_prev = evaluate(
+                &prev_matrix_pow(Expr::var("p"), "n"),
+                &inst,
+                &standard_registry(),
+            )
+            .unwrap();
             assert_eq!(out_prev, Matrix::shift_prev(n).pow(j + 1).unwrap());
         }
     }
@@ -343,7 +368,10 @@ mod tests {
     fn e_min_plus_enumerates_canonical_vectors() {
         let n = 5;
         for i in 0..n {
-            assert_eq!(eval(&e_min_plus(i, "n"), n), Matrix::canonical(n, i).unwrap());
+            assert_eq!(
+                eval(&e_min_plus(i, "n"), n),
+                Matrix::canonical(n, i).unwrap()
+            );
         }
     }
 }

@@ -131,7 +131,10 @@ mod tests {
     fn upper_triangular_inverse_is_correct() {
         let u = m(&[&[2.0, 1.0, 3.0], &[0.0, 4.0, 5.0], &[0.0, 0.0, 8.0]]);
         let inv = eval(&upper_triangular_inverse(Expr::var("A"), "n"), &u);
-        assert!(u.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(u
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
         assert!(inv.is_upper_triangular());
     }
 
@@ -139,7 +142,10 @@ mod tests {
     fn lower_triangular_inverse_is_correct() {
         let l = m(&[&[1.0, 0.0, 0.0], &[2.0, 1.0, 0.0], &[4.0, 3.0, 1.0]]);
         let inv = eval(&lower_triangular_inverse(Expr::var("A"), "n"), &l);
-        assert!(l.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(l
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
         assert!(inv.is_lower_triangular());
         // Hand-checked inverse of that unit lower triangular matrix.
         let expected = m(&[&[1.0, 0.0, 0.0], &[-2.0, 1.0, 0.0], &[2.0, -3.0, 1.0]]);

@@ -39,12 +39,16 @@ fn bench_compile_and_evaluate(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("evaluate-circuit-trace", n), &n, |b, _| {
             b.iter(|| trace_circuit.evaluate(&instance).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("evaluate-circuit-floyd-warshall", n), &n, |b, _| {
-            b.iter(|| fw_circuit.evaluate(&instance).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("evaluate-interpreter-trace", n), &n, |b, _| {
-            b.iter(|| evaluate(&trace, &instance, &registry).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("evaluate-circuit-floyd-warshall", n),
+            &n,
+            |b, _| b.iter(|| fw_circuit.evaluate(&instance).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("evaluate-interpreter-trace", n),
+            &n,
+            |b, _| b.iter(|| evaluate(&trace, &instance, &registry).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("evaluate-interpreter-floyd-warshall", n),
             &n,

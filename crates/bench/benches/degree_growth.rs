@@ -18,7 +18,10 @@ fn witness_expressions() -> Vec<(&'static str, Expr)> {
     vec![
         ("sum-matlang-trace", graphs::trace("G", "n")),
         ("sum-matlang-triangles", graphs::triangle_count("G", "n")),
-        ("fo-matlang-diag-product", graphs::diagonal_product("G", "n")),
+        (
+            "fo-matlang-diag-product",
+            graphs::diagonal_product("G", "n"),
+        ),
         (
             "for-matlang-repeated-squaring",
             Expr::for_init(
@@ -36,7 +39,10 @@ fn witness_expressions() -> Vec<(&'static str, Expr)> {
 fn print_degree_table() {
     let schema = Schema::new().with_var("G", MatrixType::square("n"));
     println!("\nE8 degree profile (max output degree of the compiled circuit):");
-    println!("{:<34} {:>6} {:>6} {:>6} {:>6}", "expression", "n=2", "n=3", "n=4", "n=5");
+    println!(
+        "{:<34} {:>6} {:>6} {:>6} {:>6}",
+        "expression", "n=2", "n=3", "n=4", "n=5"
+    );
     for (name, expr) in witness_expressions() {
         let degrees: Vec<String> = (2..=5)
             .map(|n| {
@@ -62,9 +68,11 @@ fn bench_degree_analysis(c: &mut Criterion) {
     let schema = Schema::new().with_var("G", MatrixType::square("n"));
     let mut group = c.benchmark_group("E8_degree_analysis");
     for (name, expr) in witness_expressions() {
-        group.bench_with_input(BenchmarkId::new("compile-and-measure", name), &expr, |b, e| {
-            b.iter(|| expr_to_circuit(e, &schema, 4).unwrap().max_output_degree())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile-and-measure", name),
+            &expr,
+            |b, e| b.iter(|| expr_to_circuit(e, &schema, 4).unwrap().max_output_degree()),
+        );
     }
     group.finish();
 }

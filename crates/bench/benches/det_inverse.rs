@@ -27,18 +27,22 @@ fn bench_det_inverse(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("for-matlang-csanky-det", n), &n, |b, _| {
             b.iter(|| evaluate(&det, &instance, &registry).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("for-matlang-csanky-inverse", n), &n, |b, _| {
-            b.iter(|| evaluate(&inv, &instance, &registry).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("for-matlang-csanky-inverse", n),
+            &n,
+            |b, _| b.iter(|| evaluate(&inv, &instance, &registry).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("baseline-newton-det", n), &n, |b, _| {
             b.iter(|| baseline::determinant_via_char_poly(&a).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("baseline-gaussian-det", n), &n, |b, _| {
             b.iter(|| a.determinant().unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("baseline-gauss-jordan-inverse", n), &n, |b, _| {
-            b.iter(|| a.inverse().unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline-gauss-jordan-inverse", n),
+            &n,
+            |b, _| b.iter(|| a.inverse().unwrap()),
+        );
     }
     group.finish();
 }

@@ -17,10 +17,13 @@ use matlang_semiring::Real;
 
 fn symmetric_graph(n: usize, seed: u64) -> Matrix<Real> {
     let adjacency: Matrix<Real> = random_adjacency(n, 0.5, seed);
-    adjacency
-        .add(&adjacency.transpose())
-        .unwrap()
-        .map(|v| if v.0 > 0.0 { Real(1.0) } else { Real(0.0) })
+    adjacency.add(&adjacency.transpose()).unwrap().map(|v| {
+        if v.0 > 0.0 {
+            Real(1.0)
+        } else {
+            Real(0.0)
+        }
+    })
 }
 
 fn bench_four_clique(c: &mut Criterion) {
@@ -29,7 +32,9 @@ fn bench_four_clique(c: &mut Criterion) {
     let expr = graphs::four_clique("G", "n");
     for &n in &[5usize, 7] {
         let graph = symmetric_graph(n, 13 + n as u64);
-        let instance = Instance::new().with_dim("n", n).with_matrix("G", graph.clone());
+        let instance = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", graph.clone());
         group.bench_with_input(BenchmarkId::new("sum-matlang-expression", n), &n, |b, _| {
             b.iter(|| evaluate(&expr, &instance, &registry).unwrap())
         });
@@ -49,11 +54,16 @@ fn bench_fragment_witnesses(c: &mut Criterion) {
     let witnesses = [
         ("matlang-gram", Expr::var("G").t().mm(Expr::var("G"))),
         ("sum-matlang-trace", graphs::trace("G", "n")),
-        ("fo-matlang-diag-product", graphs::diagonal_product("G", "n")),
+        (
+            "fo-matlang-diag-product",
+            graphs::diagonal_product("G", "n"),
+        ),
         ("prod-matlang-power", Expr::mprod("v", "n", Expr::var("G"))),
     ];
     for (name, expr) in witnesses {
-        group.bench_function(name, |b| b.iter(|| evaluate(&expr, &instance, &registry).unwrap()));
+        group.bench_function(name, |b| {
+            b.iter(|| evaluate(&expr, &instance, &registry).unwrap())
+        });
     }
     group.finish();
 }

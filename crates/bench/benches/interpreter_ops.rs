@@ -29,10 +29,17 @@ fn bench_interpreter_ops(c: &mut Criterion) {
             ("matmul", Expr::var("A").mm(Expr::var("B"))),
             ("add", Expr::var("A").add(Expr::var("B"))),
             ("transpose", Expr::var("A").t()),
-            ("pointwise-div", Expr::apply("div", vec![Expr::var("A"), Expr::var("B")])),
+            (
+                "pointwise-div",
+                Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]),
+            ),
             (
                 "sigma-trace",
-                Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                Expr::sum(
+                    "v",
+                    "n",
+                    Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+                ),
             ),
             (
                 "for-ones-vector",

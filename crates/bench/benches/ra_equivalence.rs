@@ -41,7 +41,6 @@ fn bench_ra_equivalence(c: &mut Criterion) {
                 max_value: 3.0,
                 integer_entries: true,
                 zero_probability,
-                ..Default::default()
             };
             let instance: Instance<Nat> = Instance::new()
                 .with_dim("n", n)
@@ -50,9 +49,11 @@ fn bench_ra_equivalence(c: &mut Criterion) {
             let ra_query = matlang_to_ra(&expr, &schema).unwrap();
 
             let label = format!("{density_name}-n{n}");
-            group.bench_with_input(BenchmarkId::new("sum-matlang-interpreter", &label), &n, |b, _| {
-                b.iter(|| evaluate(&expr, &instance, &registry).unwrap())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("sum-matlang-interpreter", &label),
+                &n,
+                |b, _| b.iter(|| evaluate(&expr, &instance, &registry).unwrap()),
+            );
             group.bench_with_input(BenchmarkId::new("ra-plus-k-engine", &label), &n, |b, _| {
                 b.iter(|| ra_query.evaluate(&database).unwrap())
             });

@@ -21,11 +21,15 @@ fn bench_transitive_closure(c: &mut Criterion) {
 
     for &n in SMALL_SIZES {
         let adjacency: Matrix<Real> = random_adjacency(n, 0.3, 7 + n as u64);
-        let instance = Instance::new().with_dim("n", n).with_matrix("G", adjacency.clone());
+        let instance = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", adjacency.clone());
 
-        group.bench_with_input(BenchmarkId::new("for-matlang-floyd-warshall", n), &n, |b, _| {
-            b.iter(|| evaluate(&fw, &instance, &registry).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("for-matlang-floyd-warshall", n),
+            &n,
+            |b, _| b.iter(|| evaluate(&fw, &instance, &registry).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("prod-matlang-power", n), &n, |b, _| {
             b.iter(|| evaluate(&prod, &instance, &registry).unwrap())
         });

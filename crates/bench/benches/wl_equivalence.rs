@@ -40,12 +40,16 @@ fn bench_wl_equivalence(c: &mut Criterion) {
         for (name, expr) in &queries {
             let formula = matlang_to_wl(expr, &schema).unwrap();
             let label = format!("{name}-n{n}");
-            group.bench_with_input(BenchmarkId::new("fo-matlang-interpreter", &label), &n, |b, _| {
-                b.iter(|| evaluate(expr, &instance, &registry).unwrap())
-            });
-            group.bench_with_input(BenchmarkId::new("weighted-logic-evaluator", &label), &n, |b, _| {
-                b.iter(|| formula.evaluate(&structure, &HashMap::new()).unwrap())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("fo-matlang-interpreter", &label),
+                &n,
+                |b, _| b.iter(|| evaluate(expr, &instance, &registry).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("weighted-logic-evaluator", &label),
+                &n,
+                |b, _| b.iter(|| formula.evaluate(&structure, &HashMap::new()).unwrap()),
+            );
         }
     }
     group.finish();

@@ -55,10 +55,16 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::ForwardReference { child, len } => {
-                write!(f, "gate references child {child} but only {len} gates exist")
+                write!(
+                    f,
+                    "gate references child {child} but only {len} gates exist"
+                )
             }
             CircuitError::MissingInput { index, provided } => {
-                write!(f, "circuit reads input x_{index} but only {provided} inputs were provided")
+                write!(
+                    f,
+                    "circuit reads input x_{index} but only {provided} inputs were provided"
+                )
             }
             CircuitError::NoSuchOutput { index } => write!(f, "circuit has no output {index}"),
         }
@@ -105,12 +111,14 @@ impl Circuit {
 
     /// Convenience: push an input gate.
     pub fn input(&mut self, index: usize) -> GateId {
-        self.push(Gate::Input(index)).expect("input gates have no children")
+        self.push(Gate::Input(index))
+            .expect("input gates have no children")
     }
 
     /// Convenience: push a constant gate.
     pub fn constant(&mut self, value: f64) -> GateId {
-        self.push(Gate::Const(value)).expect("constant gates have no children")
+        self.push(Gate::Const(value))
+            .expect("constant gates have no children")
     }
 
     /// Convenience: push a sum gate.
@@ -316,8 +324,17 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(!CircuitError::ForwardReference { child: 3, len: 1 }.to_string().is_empty());
-        assert!(!CircuitError::MissingInput { index: 2, provided: 1 }.to_string().is_empty());
-        assert!(!CircuitError::NoSuchOutput { index: 0 }.to_string().is_empty());
+        assert!(!CircuitError::ForwardReference { child: 3, len: 1 }
+            .to_string()
+            .is_empty());
+        assert!(!CircuitError::MissingInput {
+            index: 2,
+            provided: 1
+        }
+        .to_string()
+        .is_empty());
+        assert!(!CircuitError::NoSuchOutput { index: 0 }
+            .to_string()
+            .is_empty());
     }
 }

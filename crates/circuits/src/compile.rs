@@ -55,10 +55,16 @@ impl fmt::Display for CompileError {
                 write!(f, "variable `{name}` is not declared in the schema")
             }
             CompileError::UnsupportedFunction { name } => {
-                write!(f, "pointwise function `{name}` cannot be compiled to a {{+, ×}} circuit")
+                write!(
+                    f,
+                    "pointwise function `{name}` cannot be compiled to a {{+, ×}} circuit"
+                )
             }
             CompileError::MixedDimensions { symbol } => {
-                write!(f, "size symbol `{symbol}` differs from the circuit dimension symbol")
+                write!(
+                    f,
+                    "size symbol `{symbol}` differs from the circuit dimension symbol"
+                )
             }
             CompileError::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
             CompileError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
@@ -224,7 +230,11 @@ impl Compiler {
         let one = self.one();
         let mut gates = vec![zero; n];
         gates[i] = one;
-        SymMatrix { rows: n, cols: 1, gates }
+        SymMatrix {
+            rows: n,
+            cols: 1,
+            gates,
+        }
     }
 
     fn compile(
@@ -239,7 +249,11 @@ impl Compiler {
                 .ok_or_else(|| CompileError::UnknownVariable { name: name.clone() }),
             Expr::Const(c) => {
                 let g = self.circuit.constant(*c);
-                Ok(SymMatrix { rows: 1, cols: 1, gates: vec![g] })
+                Ok(SymMatrix {
+                    rows: 1,
+                    cols: 1,
+                    gates: vec![g],
+                })
             }
             Expr::Transpose(e) => {
                 let inner = self.compile(e, env)?;
@@ -249,12 +263,20 @@ impl Compiler {
                         gates[j * inner.rows + i] = inner.get(i, j);
                     }
                 }
-                Ok(SymMatrix { rows: inner.cols, cols: inner.rows, gates })
+                Ok(SymMatrix {
+                    rows: inner.cols,
+                    cols: inner.rows,
+                    gates,
+                })
             }
             Expr::Ones(e) => {
                 let inner = self.compile(e, env)?;
                 let one = self.one();
-                Ok(SymMatrix { rows: inner.rows, cols: 1, gates: vec![one; inner.rows] })
+                Ok(SymMatrix {
+                    rows: inner.rows,
+                    cols: 1,
+                    gates: vec![one; inner.rows],
+                })
             }
             Expr::Diag(e) => {
                 let inner = self.compile(e, env)?;
@@ -269,7 +291,11 @@ impl Compiler {
                 for i in 0..n {
                     gates[i * n + i] = inner.get(i, 0);
                 }
-                Ok(SymMatrix { rows: n, cols: n, gates })
+                Ok(SymMatrix {
+                    rows: n,
+                    cols: n,
+                    gates,
+                })
             }
             Expr::MatMul(a, b) => {
                 let left = self.compile(a, env)?;
@@ -292,7 +318,11 @@ impl Compiler {
                         gates.push(self.circuit.add(terms)?);
                     }
                 }
-                Ok(SymMatrix { rows: left.rows, cols: right.cols, gates })
+                Ok(SymMatrix {
+                    rows: left.rows,
+                    cols: right.cols,
+                    gates,
+                })
             }
             Expr::Add(a, b) => {
                 let left = self.compile(a, env)?;
@@ -317,7 +347,11 @@ impl Compiler {
                 for &g in &target.gates {
                     gates.push(self.circuit.mul(vec![s, g])?);
                 }
-                Ok(SymMatrix { rows: target.rows, cols: target.cols, gates })
+                Ok(SymMatrix {
+                    rows: target.rows,
+                    cols: target.cols,
+                    gates,
+                })
             }
             Expr::Apply(name, _) => Err(CompileError::UnsupportedFunction { name: name.clone() }),
             Expr::Let { var, value, body } => {
@@ -334,7 +368,14 @@ impl Compiler {
                 }
                 result
             }
-            Expr::For { var, var_dim, acc, acc_type, init, body } => {
+            Expr::For {
+                var,
+                var_dim,
+                acc,
+                acc_type,
+                init,
+                body,
+            } => {
                 let iterations = self.resolve_dim(&Dim::Sym(var_dim.clone()))?;
                 let (rows, cols) = self.resolve_type(acc_type)?;
                 let mut accumulator = match init {
@@ -362,7 +403,9 @@ impl Compiler {
             Expr::HProd { var, var_dim, body } => {
                 self.fold_loop(var, var_dim, body, env, |c, acc, value| match acc {
                     None => Ok(value),
-                    Some(acc) => c.pointwise(acc, value, "Π∘", |circ, x, y| circ.mul(vec![x, y])),
+                    Some(acc) => {
+                        c.pointwise(acc, value, "Π∘", |circ, x, y| circ.mul(vec![x, y]))
+                    }
                 })
             }
             Expr::MProd { var, var_dim, body } => {
@@ -390,7 +433,11 @@ impl Compiler {
                 gates.push(self.circuit.add(terms)?);
             }
         }
-        Ok(SymMatrix { rows: left.rows, cols: right.cols, gates })
+        Ok(SymMatrix {
+            rows: left.rows,
+            cols: right.cols,
+            gates,
+        })
     }
 
     fn pointwise(
@@ -409,7 +456,11 @@ impl Compiler {
         for (&x, &y) in left.gates.iter().zip(&right.gates) {
             gates.push(combine(&mut self.circuit, x, y)?);
         }
-        Ok(SymMatrix { rows: left.rows, cols: left.cols, gates })
+        Ok(SymMatrix {
+            rows: left.rows,
+            cols: left.cols,
+            gates,
+        })
     }
 
     fn fold_loop(
@@ -451,7 +502,11 @@ fn restore(env: &mut HashMap<String, SymMatrix>, name: &str, saved: Option<SymMa
 /// square-matrix convention of Section 5: every variable of type
 /// `(α,α)`, `(α,1)`, `(1,α)` or `(1,1)` for a single symbol `α`) into an
 /// arithmetic circuit over matrices for the concrete size `n`.
-pub fn expr_to_circuit(expr: &Expr, schema: &Schema, n: usize) -> Result<MatrixCircuit, CompileError> {
+pub fn expr_to_circuit(
+    expr: &Expr,
+    schema: &Schema,
+    n: usize,
+) -> Result<MatrixCircuit, CompileError> {
     let mut compiler = Compiler {
         circuit: Circuit::new(),
         n,
@@ -503,12 +558,38 @@ mod tests {
 
     fn check_against_interpreter(expr: &Expr, n: usize, seed: u64) {
         let circuit = expr_to_circuit(expr, &schema(), n).unwrap();
-        let cfg = RandomMatrixConfig { seed, integer_entries: true, min_value: -3.0, max_value: 3.0, ..Default::default() };
+        let cfg = RandomMatrixConfig {
+            seed,
+            integer_entries: true,
+            min_value: -3.0,
+            max_value: 3.0,
+            ..Default::default()
+        };
         let inst: Instance<Real> = Instance::new()
             .with_dim("n", n)
             .with_matrix("A", random_matrix(n, n, &cfg))
-            .with_matrix("B", random_matrix(n, n, &RandomMatrixConfig { seed: seed + 1, ..cfg.clone() }))
-            .with_matrix("u", random_matrix(n, 1, &RandomMatrixConfig { seed: seed + 2, ..cfg }));
+            .with_matrix(
+                "B",
+                random_matrix(
+                    n,
+                    n,
+                    &RandomMatrixConfig {
+                        seed: seed + 1,
+                        ..cfg.clone()
+                    },
+                ),
+            )
+            .with_matrix(
+                "u",
+                random_matrix(
+                    n,
+                    1,
+                    &RandomMatrixConfig {
+                        seed: seed + 2,
+                        ..cfg
+                    },
+                ),
+            );
         let from_circuit = circuit.evaluate(&inst).unwrap();
         let from_interpreter = evaluate(expr, &inst, &standard_registry()).unwrap();
         assert!(
@@ -540,8 +621,16 @@ mod tests {
     fn loops_compile_by_unrolling() {
         let exprs = vec![
             Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())),
-            Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
-            Expr::hprod("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+            Expr::sum(
+                "v",
+                "n",
+                Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+            ),
+            Expr::hprod(
+                "v",
+                "n",
+                Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+            ),
             Expr::mprod("v", "n", Expr::var("A").add(Expr::var("B"))),
             Expr::for_loop(
                 "v",
@@ -550,7 +639,11 @@ mod tests {
                 MatrixType::vector("n"),
                 Expr::var("X").add(Expr::var("v")),
             ),
-            Expr::let_in("T", Expr::var("A").mm(Expr::var("A")), Expr::var("T").add(Expr::var("T"))),
+            Expr::let_in(
+                "T",
+                Expr::var("A").mm(Expr::var("A")),
+                Expr::var("T").add(Expr::var("T")),
+            ),
         ];
         for e in exprs {
             for n in [2, 3] {
@@ -602,9 +695,15 @@ mod tests {
             Expr::var("X").mm(Expr::var("X")),
         );
         for n in [2usize, 3, 4, 5] {
-            let trace_deg = expr_to_circuit(&trace, &schema, n).unwrap().max_output_degree();
-            let dp_deg = expr_to_circuit(&dp, &schema, n).unwrap().max_output_degree();
-            let exp_deg = expr_to_circuit(&exp, &schema, n).unwrap().max_output_degree();
+            let trace_deg = expr_to_circuit(&trace, &schema, n)
+                .unwrap()
+                .max_output_degree();
+            let dp_deg = expr_to_circuit(&dp, &schema, n)
+                .unwrap()
+                .max_output_degree();
+            let exp_deg = expr_to_circuit(&exp, &schema, n)
+                .unwrap()
+                .max_output_degree();
             assert_eq!(trace_deg, 1);
             assert_eq!(dp_deg, n as u128);
             assert_eq!(exp_deg, 1u128 << n);

@@ -21,13 +21,10 @@ impl Circuit {
         let mut values: Vec<K> = Vec::with_capacity(self.num_gates());
         for gate in self.gates() {
             let value = match gate {
-                Gate::Input(i) => inputs
-                    .get(*i)
-                    .cloned()
-                    .ok_or(CircuitError::MissingInput {
-                        index: *i,
-                        provided: inputs.len(),
-                    })?,
+                Gate::Input(i) => inputs.get(*i).cloned().ok_or(CircuitError::MissingInput {
+                    index: *i,
+                    provided: inputs.len(),
+                })?,
                 Gate::Const(c) => K::from_f64(*c),
                 Gate::Add(children) => K::sum(children.iter().map(|&c| values[c].clone())),
                 Gate::Mul(children) => K::product(children.iter().map(|&c| values[c].clone())),
@@ -247,6 +244,9 @@ mod tests {
         let sq = c.mul(vec![x, x]).unwrap();
         c.mark_output(x).unwrap();
         c.mark_output(sq).unwrap();
-        assert_eq!(c.evaluate(&[Real(3.0)]).unwrap(), vec![Real(3.0), Real(9.0)]);
+        assert_eq!(
+            c.evaluate(&[Real(3.0)]).unwrap(),
+            vec![Real(3.0), Real(9.0)]
+        );
     }
 }

@@ -20,13 +20,18 @@ pub struct CircuitFamily {
 
 impl std::fmt::Debug for CircuitFamily {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CircuitFamily").field("name", &self.name).finish()
+        f.debug_struct("CircuitFamily")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
 impl CircuitFamily {
     /// Creates a family from a generator function.
-    pub fn new(name: impl Into<String>, generator: impl Fn(usize) -> Circuit + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        generator: impl Fn(usize) -> Circuit + Send + Sync + 'static,
+    ) -> Self {
         CircuitFamily {
             name: name.into(),
             generator: Arc::new(generator),
@@ -157,15 +162,27 @@ mod tests {
         let product = CircuitFamily::product_of_inputs();
         let inputs: Vec<Real> = (1..=5).map(|v| Real(v as f64)).collect();
         assert_eq!(sum.member(5).evaluate(&inputs).unwrap(), vec![Real(15.0)]);
-        assert_eq!(product.member(5).evaluate(&inputs).unwrap(), vec![Real(120.0)]);
+        assert_eq!(
+            product.member(5).evaluate(&inputs).unwrap(),
+            vec![Real(120.0)]
+        );
         assert_eq!(sum.name(), "sum-of-inputs");
     }
 
     #[test]
     fn degree_profiles_match_theory() {
-        assert_eq!(CircuitFamily::sum_of_inputs().degree_profile(5), vec![1, 1, 1, 1, 1]);
-        assert_eq!(CircuitFamily::product_of_inputs().degree_profile(5), vec![1, 2, 3, 4, 5]);
-        assert_eq!(CircuitFamily::sum_of_squares().degree_profile(4), vec![2, 2, 2, 2]);
+        assert_eq!(
+            CircuitFamily::sum_of_inputs().degree_profile(5),
+            vec![1, 1, 1, 1, 1]
+        );
+        assert_eq!(
+            CircuitFamily::product_of_inputs().degree_profile(5),
+            vec![1, 2, 3, 4, 5]
+        );
+        assert_eq!(
+            CircuitFamily::sum_of_squares().degree_profile(4),
+            vec![2, 2, 2, 2]
+        );
         assert_eq!(
             CircuitFamily::repeated_squaring().degree_profile(5),
             vec![2, 4, 8, 16, 32]

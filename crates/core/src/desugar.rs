@@ -143,7 +143,10 @@ fn desugar_rec(expr: &Expr, schema: &Schema, fresh: &mut FreshNames) -> Result<E
         Expr::Sum { var, var_dim, body } => {
             // Σv. e = for v, X. X + e (Section 6.1).
             let mut extended = schema.clone();
-            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            extended.declare(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             let body = desugar_rec(body, &extended, fresh)?;
             let body_ty = typecheck(&body, &extended)?;
             let x = fresh.next("X");
@@ -177,7 +180,10 @@ fn desugar_rec(expr: &Expr, schema: &Schema, fresh: &mut FreshNames) -> Result<E
                 None => None,
             };
             let mut extended = schema.clone();
-            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            extended.declare(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             extended.declare(acc.clone(), acc_type.clone());
             let body = desugar_rec(body, &extended, fresh)?;
             Ok(Expr::For {
@@ -191,7 +197,10 @@ fn desugar_rec(expr: &Expr, schema: &Schema, fresh: &mut FreshNames) -> Result<E
         }
         Expr::HProd { var, var_dim, body } => {
             let mut extended = schema.clone();
-            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            extended.declare(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             Ok(Expr::HProd {
                 var: var.clone(),
                 var_dim: var_dim.clone(),
@@ -200,7 +209,10 @@ fn desugar_rec(expr: &Expr, schema: &Schema, fresh: &mut FreshNames) -> Result<E
         }
         Expr::MProd { var, var_dim, body } => {
             let mut extended = schema.clone();
-            extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            extended.declare(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             Ok(Expr::MProd {
                 var: var.clone(),
                 var_dim: var_dim.clone(),
@@ -228,12 +240,15 @@ mod tests {
     fn instance() -> Instance<Real> {
         Instance::new()
             .with_dim("a", 3)
-            .with_matrix("A", Matrix::from_f64_rows(&[
-                &[1.0, 2.0, 0.0],
-                &[0.0, 3.0, 1.0],
-                &[4.0, 0.0, 5.0],
-            ]).unwrap())
-            .with_matrix("u", Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap())
+            .with_matrix(
+                "A",
+                Matrix::from_f64_rows(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 1.0], &[4.0, 0.0, 5.0]])
+                    .unwrap(),
+            )
+            .with_matrix(
+                "u",
+                Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap(),
+            )
     }
 
     fn assert_equivalent(sugared: &Expr) {
@@ -243,7 +258,10 @@ mod tests {
         let inst = instance();
         let lhs = evaluate(sugared, &inst, &reg).unwrap();
         let rhs = evaluate(&core, &inst, &reg).unwrap();
-        assert_eq!(lhs, rhs, "sugared and desugared results differ for {sugared}");
+        assert_eq!(
+            lhs, rhs,
+            "sugared and desugared results differ for {sugared}"
+        );
     }
 
     #[test]
@@ -259,11 +277,7 @@ mod tests {
 
     #[test]
     fn sum_desugars_to_additive_for_loop() {
-        assert_equivalent(&Expr::sum(
-            "v",
-            "a",
-            Expr::var("v").mm(Expr::var("v").t()),
-        ));
+        assert_equivalent(&Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t())));
         assert_equivalent(&Expr::sum(
             "v",
             "a",
@@ -310,7 +324,10 @@ mod tests {
         }
         assert!(!is_core(&d));
         let m = Expr::mprod("v", "a", Expr::var("A"));
-        assert!(matches!(desugar(&m, &schema()).unwrap(), Expr::MProd { .. }));
+        assert!(matches!(
+            desugar(&m, &schema()).unwrap(),
+            Expr::MProd { .. }
+        ));
     }
 
     #[test]

@@ -16,13 +16,7 @@ impl fmt::Display for Expr {
 fn write_expr(expr: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match expr {
         Expr::Var(name) => write!(f, "{name}"),
-        Expr::Const(c) => {
-            if *c < 0.0 {
-                write!(f, "(const {c})")
-            } else {
-                write!(f, "(const {c})")
-            }
-        }
+        Expr::Const(c) => write!(f, "(const {c})"),
         Expr::Transpose(e) => {
             write!(f, "transpose(")?;
             write_expr(e, f)?;
@@ -67,7 +61,11 @@ fn write_expr(expr: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             init,
             body,
         } => {
-            write!(f, "(for {var}:{var_dim}, {acc}:[{},{}]", acc_type.rows, acc_type.cols)?;
+            write!(
+                f,
+                "(for {var}:{var_dim}, {acc}:[{},{}]",
+                acc_type.rows, acc_type.cols
+            )?;
             if let Some(init) = init {
                 write!(f, " = ")?;
                 write_expr(init, f)?;

@@ -64,14 +64,21 @@ impl fmt::Display for EvalError {
                 write!(f, "size symbol `{symbol}` has no assigned dimension")
             }
             EvalError::EmptyIteration { symbol } => {
-                write!(f, "size symbol `{symbol}` is assigned 0; loops require dimension ≥ 1")
+                write!(
+                    f,
+                    "size symbol `{symbol}` is assigned 0; loops require dimension ≥ 1"
+                )
             }
             EvalError::NotAScalar { shape } => write!(
                 f,
                 "scalar multiplication expects a 1x1 left operand, got {}x{}",
                 shape.0, shape.1
             ),
-            EvalError::LoopShapeMismatch { acc, expected, found } => write!(
+            EvalError::LoopShapeMismatch {
+                acc,
+                expected,
+                found,
+            } => write!(
                 f,
                 "loop body produced shape {}x{} but accumulator `{acc}` has shape {}x{}",
                 found.0, found.1, expected.0, expected.1
@@ -174,7 +181,9 @@ fn eval<K: Semiring>(
         Expr::ScalarMul(a, b) => {
             let left = eval(a, instance, registry, env)?;
             if !left.is_scalar() {
-                return Err(EvalError::NotAScalar { shape: left.shape() });
+                return Err(EvalError::NotAScalar {
+                    shape: left.shape(),
+                });
             }
             let scalar = left.as_scalar()?;
             let right = eval(b, instance, registry, env)?;
@@ -213,11 +222,12 @@ fn eval<K: Semiring>(
             body,
         } => {
             let n = dim_of(var_dim, instance)?;
-            let acc_shape = instance
-                .shape_of(acc_type)
-                .ok_or_else(|| EvalError::UnknownDimension {
-                    symbol: acc_type.rows.to_string(),
-                })?;
+            let acc_shape =
+                instance
+                    .shape_of(acc_type)
+                    .ok_or_else(|| EvalError::UnknownDimension {
+                        symbol: acc_type.rows.to_string(),
+                    })?;
             let mut accumulator = match init {
                 Some(init) => {
                     let value = eval(init, instance, registry, env)?;
@@ -446,7 +456,10 @@ mod tests {
         let inst: Instance<Real> = Instance::new().with_dim("a", 1);
         let reg = registry();
         let e = Expr::apply("div", vec![Expr::lit(6.0), Expr::lit(3.0)]);
-        assert_eq!(evaluate(&e, &inst, &reg).unwrap(), Matrix::scalar(Real(2.0)));
+        assert_eq!(
+            evaluate(&e, &inst, &reg).unwrap(),
+            Matrix::scalar(Real(2.0))
+        );
     }
 
     #[test]
@@ -487,8 +500,14 @@ mod tests {
                 .smul(Expr::var("v").mm(Expr::var("v").t())),
         );
         let e = Expr::for_loop("v", "a", "X", MatrixType::square("a"), body);
-        let inst = real_instance(3, mat(&[&[7.0, 0.0, 0.0], &[0.0, 7.0, 0.0], &[0.0, 0.0, 7.0]]));
-        assert_eq!(evaluate(&e, &inst, &registry()).unwrap(), Matrix::identity(3));
+        let inst = real_instance(
+            3,
+            mat(&[&[7.0, 0.0, 0.0], &[0.0, 7.0, 0.0], &[0.0, 0.0, 7.0]]),
+        );
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            Matrix::identity(3)
+        );
     }
 
     #[test]
@@ -517,7 +536,10 @@ mod tests {
         // Σv. v·vᵀ = identity matrix.
         let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t()));
         let inst = real_instance(4, Matrix::zeros(4, 4));
-        assert_eq!(evaluate(&e, &inst, &registry()).unwrap(), Matrix::identity(4));
+        assert_eq!(
+            evaluate(&e, &inst, &registry()).unwrap(),
+            Matrix::identity(4)
+        );
     }
 
     #[test]
@@ -600,9 +622,7 @@ mod tests {
     #[test]
     fn four_clique_example_3_3_over_reals() {
         // Example 3.3: non-zero output iff the graph has a 4-clique.
-        let g = |u: &str, v: &str| {
-            Expr::lit(1.0).minus(Expr::var(u).t().mm(Expr::var(v)))
-        };
+        let g = |u: &str, v: &str| Expr::lit(1.0).minus(Expr::var(u).t().mm(Expr::var(v)));
         let pairwise_distinct = g("u", "v")
             .mm(g("u", "w"))
             .mm(g("u", "x"))
@@ -633,7 +653,10 @@ mod tests {
             }
         }
         let inst = Instance::new().with_dim("a", 4).with_matrix("V", k4);
-        let result = evaluate(&e, &inst, &registry()).unwrap().as_scalar().unwrap();
+        let result = evaluate(&e, &inst, &registry())
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         assert!(result.0 > 0.0);
 
         // A 4-cycle has no 4-clique.
@@ -644,7 +667,10 @@ mod tests {
             &[1.0, 0.0, 1.0, 0.0],
         ]);
         let inst = Instance::new().with_dim("a", 4).with_matrix("V", cycle);
-        let result = evaluate(&e, &inst, &registry()).unwrap().as_scalar().unwrap();
+        let result = evaluate(&e, &inst, &registry())
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         assert_eq!(result.0, 0.0);
     }
 

@@ -126,6 +126,11 @@ impl Expr {
     }
 
     /// Matrix sum `self + rhs`.
+    ///
+    /// Named `add` to match the paper's syntax; it consumes `self`, so it is
+    /// not a candidate for `std::ops::Add` (which the whole builder API would
+    /// otherwise have to move to).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
@@ -240,13 +245,8 @@ impl Expr {
                 }
             }
             Expr::Const(_) => {}
-            Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => {
-                e.collect_free_vars(bound, out)
-            }
-            Expr::MatMul(a, b)
-            | Expr::Add(a, b)
-            | Expr::ScalarMul(a, b)
-            | Expr::Hadamard(a, b) => {
+            Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => e.collect_free_vars(bound, out),
+            Expr::MatMul(a, b) | Expr::Add(a, b) | Expr::ScalarMul(a, b) | Expr::Hadamard(a, b) => {
                 a.collect_free_vars(bound, out);
                 b.collect_free_vars(bound, out);
             }
@@ -316,7 +316,9 @@ impl Expr {
             ),
             Expr::Apply(f, args) => Expr::Apply(
                 f.clone(),
-                args.iter().map(|a| a.substitute(name, replacement)).collect(),
+                args.iter()
+                    .map(|a| a.substitute(name, replacement))
+                    .collect(),
             ),
             Expr::Let { var, value, body } => {
                 let value = Box::new(value.substitute(name, replacement));
@@ -392,10 +394,9 @@ impl Expr {
         match self {
             Expr::Var(_) | Expr::Const(_) => 1,
             Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => 1 + e.size(),
-            Expr::MatMul(a, b)
-            | Expr::Add(a, b)
-            | Expr::ScalarMul(a, b)
-            | Expr::Hadamard(a, b) => 1 + a.size() + b.size(),
+            Expr::MatMul(a, b) | Expr::Add(a, b) | Expr::ScalarMul(a, b) | Expr::Hadamard(a, b) => {
+                1 + a.size() + b.size()
+            }
             Expr::Apply(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
             Expr::Let { value, body, .. } => 1 + value.size() + body.size(),
             Expr::For { init, body, .. } => {
@@ -412,10 +413,9 @@ impl Expr {
         match self {
             Expr::Var(_) | Expr::Const(_) => 0,
             Expr::Transpose(e) | Expr::Ones(e) | Expr::Diag(e) => e.loop_depth(),
-            Expr::MatMul(a, b)
-            | Expr::Add(a, b)
-            | Expr::ScalarMul(a, b)
-            | Expr::Hadamard(a, b) => a.loop_depth().max(b.loop_depth()),
+            Expr::MatMul(a, b) | Expr::Add(a, b) | Expr::ScalarMul(a, b) | Expr::Hadamard(a, b) => {
+                a.loop_depth().max(b.loop_depth())
+            }
             Expr::Apply(_, args) => args.iter().map(Expr::loop_depth).max().unwrap_or(0),
             Expr::Let { value, body, .. } => value.loop_depth().max(body.loop_depth()),
             Expr::For { init, body, .. } => {
@@ -513,7 +513,11 @@ mod tests {
         let four_nested = Expr::sum(
             "u",
             "a",
-            Expr::sum("v", "a", Expr::sum("w", "a", Expr::sum("x", "a", Expr::lit(1.0)))),
+            Expr::sum(
+                "v",
+                "a",
+                Expr::sum("w", "a", Expr::sum("x", "a", Expr::lit(1.0))),
+            ),
         );
         assert_eq!(four_nested.loop_depth(), 4);
         assert_eq!(Expr::var("A").loop_depth(), 0);

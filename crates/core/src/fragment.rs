@@ -171,7 +171,11 @@ mod tests {
 
     #[test]
     fn hadamard_and_hprod_are_fo_matlang() {
-        let dp = Expr::hprod("v", "a", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")));
+        let dp = Expr::hprod(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        );
         assert_eq!(fragment_of(&dp), Fragment::FoMatlang);
         let had = Expr::var("A").had(Expr::var("B"));
         assert_eq!(fragment_of(&had), Fragment::FoMatlang);

@@ -94,6 +94,9 @@ fn map_children(expr: &Expr) -> Expr {
     }
 }
 
+// The `c == 1.0` guard below stays a guard: clippy's suggested float-literal
+// pattern is itself linted (illegal_floating_point_literal_pattern).
+#[allow(clippy::redundant_guards)]
 fn rewrite_node(expr: Expr) -> Expr {
     match expr {
         // (eᵀ)ᵀ → e ; (const c)ᵀ → const c.
@@ -171,7 +174,10 @@ mod tests {
                 Matrix::from_f64_rows(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 1.0], &[4.0, 0.0, 5.0]])
                     .unwrap(),
             )
-            .with_matrix("u", Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap())
+            .with_matrix(
+                "u",
+                Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap(),
+            )
     }
 
     fn assert_equivalent_and_smaller(expr: &Expr) {
@@ -241,7 +247,14 @@ mod tests {
         let e = Expr::sum(
             "v",
             "n",
-            Expr::lit(1.0).smul(Expr::var("v").t().t().t().mm(Expr::var("A")).mm(Expr::var("v"))),
+            Expr::lit(1.0).smul(
+                Expr::var("v")
+                    .t()
+                    .t()
+                    .t()
+                    .mm(Expr::var("A"))
+                    .mm(Expr::var("v")),
+            ),
         );
         let simplified = simplify(&e);
         assert!(simplified.size() < e.size());

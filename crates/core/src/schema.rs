@@ -305,8 +305,7 @@ mod tests {
         let missing_matrix: Instance<Real> = Instance::new().with_dim("a", 2);
         assert!(missing_matrix.conforms_to(&schema).is_err());
 
-        let missing_dim: Instance<Real> =
-            Instance::new().with_matrix("A", Matrix::identity(2));
+        let missing_dim: Instance<Real> = Instance::new().with_matrix("A", Matrix::identity(2));
         assert!(missing_dim.conforms_to(&schema).is_err());
     }
 

@@ -77,15 +77,25 @@ impl fmt::Display for TypeError {
                 write!(f, "type mismatch in {op}: {left} vs {right}")
             }
             TypeError::ProductMismatch { left, right } => {
-                write!(f, "cannot multiply {left} by {right}: inner size symbols differ")
+                write!(
+                    f,
+                    "cannot multiply {left} by {right}: inner size symbols differ"
+                )
             }
             TypeError::NotAVector { found } => {
                 write!(f, "diag expects a column vector, found {found}")
             }
             TypeError::NotAScalar { found } => {
-                write!(f, "scalar multiplication expects a (1, 1) left operand, found {found}")
+                write!(
+                    f,
+                    "scalar multiplication expects a (1, 1) left operand, found {found}"
+                )
             }
-            TypeError::LoopBodyMismatch { acc, expected, found } => write!(
+            TypeError::LoopBodyMismatch {
+                acc,
+                expected,
+                found,
+            } => write!(
                 f,
                 "loop over accumulator `{acc}` expects body/init of type {expected}, found {found}"
             ),
@@ -150,7 +160,10 @@ fn check(expr: &Expr, env: &mut TypeEnv<'_>) -> Result<MatrixType, TypeError> {
             let ta = check(a, env)?;
             let tb = check(b, env)?;
             if ta.cols != tb.rows {
-                return Err(TypeError::ProductMismatch { left: ta, right: tb });
+                return Err(TypeError::ProductMismatch {
+                    left: ta,
+                    right: tb,
+                });
             }
             Ok(MatrixType::new(ta.rows, tb.cols))
         }
@@ -227,9 +240,10 @@ fn check(expr: &Expr, env: &mut TypeEnv<'_>) -> Result<MatrixType, TypeError> {
                     });
                 }
             }
-            let saved_var = env
-                .locals
-                .insert(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let saved_var = env.locals.insert(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             let saved_acc = env.locals.insert(acc.clone(), acc_type.clone());
             let body_ty = check(body, env);
             restore(env, acc, saved_acc);
@@ -245,17 +259,19 @@ fn check(expr: &Expr, env: &mut TypeEnv<'_>) -> Result<MatrixType, TypeError> {
             Ok(acc_type.clone())
         }
         Expr::Sum { var, var_dim, body } | Expr::HProd { var, var_dim, body } => {
-            let saved = env
-                .locals
-                .insert(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let saved = env.locals.insert(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             let body_ty = check(body, env);
             restore(env, var, saved);
             body_ty
         }
         Expr::MProd { var, var_dim, body } => {
-            let saved = env
-                .locals
-                .insert(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+            let saved = env.locals.insert(
+                var.clone(),
+                MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+            );
             let body_ty = check(body, env);
             restore(env, var, saved);
             let body_ty = body_ty?;
@@ -293,8 +309,14 @@ mod tests {
 
     #[test]
     fn variables_and_constants() {
-        assert_eq!(typecheck(&Expr::var("A"), &schema()).unwrap(), MatrixType::square("a"));
-        assert_eq!(typecheck(&Expr::lit(3.0), &schema()).unwrap(), MatrixType::scalar());
+        assert_eq!(
+            typecheck(&Expr::var("A"), &schema()).unwrap(),
+            MatrixType::square("a")
+        );
+        assert_eq!(
+            typecheck(&Expr::lit(3.0), &schema()).unwrap(),
+            MatrixType::scalar()
+        );
         assert!(matches!(
             typecheck(&Expr::var("missing"), &schema()),
             Err(TypeError::UnknownVariable { .. })
@@ -330,7 +352,11 @@ mod tests {
             MatrixType::vector("a")
         );
         assert_eq!(
-            typecheck(&Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")), &schema()).unwrap(),
+            typecheck(
+                &Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")),
+                &schema()
+            )
+            .unwrap(),
             MatrixType::scalar()
         );
         assert!(matches!(
@@ -424,7 +450,11 @@ mod tests {
     fn sum_and_hprod_type_as_their_body() {
         let e = Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t()));
         assert_eq!(typecheck(&e, &schema()).unwrap(), MatrixType::square("a"));
-        let h = Expr::hprod("v", "a", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")));
+        let h = Expr::hprod(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        );
         assert_eq!(typecheck(&h, &schema()).unwrap(), MatrixType::scalar());
     }
 
@@ -463,14 +493,20 @@ mod tests {
                 left: MatrixType::square("a"),
                 right: MatrixType::square("b"),
             },
-            TypeError::NotAVector { found: MatrixType::square("a") },
-            TypeError::NotAScalar { found: MatrixType::square("a") },
+            TypeError::NotAVector {
+                found: MatrixType::square("a"),
+            },
+            TypeError::NotAScalar {
+                found: MatrixType::square("a"),
+            },
             TypeError::LoopBodyMismatch {
                 acc: "X".into(),
                 expected: MatrixType::square("a"),
                 found: MatrixType::scalar(),
             },
-            TypeError::ProductLoopNotSquare { found: MatrixType::vector("a") },
+            TypeError::ProductLoopNotSquare {
+                found: MatrixType::vector("a"),
+            },
             TypeError::EmptyApplication { name: "f".into() },
         ];
         for e in errs {

@@ -76,13 +76,25 @@ impl fmt::Display for MatrixError {
                 shape.0, shape.1
             ),
             MatrixError::NotAVector { shape } => {
-                write!(f, "expected a column vector, got shape {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "expected a column vector, got shape {}x{}",
+                    shape.0, shape.1
+                )
             }
             MatrixError::NotSquare { shape } => {
-                write!(f, "expected a square matrix, got shape {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "expected a square matrix, got shape {}x{}",
+                    shape.0, shape.1
+                )
             }
             MatrixError::NotAScalar { shape } => {
-                write!(f, "expected a 1x1 matrix, got shape {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "expected a 1x1 matrix, got shape {}x{}",
+                    shape.0, shape.1
+                )
             }
             MatrixError::BadConstruction { message } => write!(f, "bad construction: {message}"),
             MatrixError::Singular { message } => write!(f, "singular: {message}"),
@@ -104,9 +116,16 @@ mod tests {
             op: "add",
         };
         assert!(e.to_string().contains("add"));
-        let e = MatrixError::InnerDimensionMismatch { left: (2, 3), right: (2, 3) };
+        let e = MatrixError::InnerDimensionMismatch {
+            left: (2, 3),
+            right: (2, 3),
+        };
         assert!(e.to_string().contains("inner dimension"));
-        let e = MatrixError::IndexOutOfBounds { row: 5, col: 0, shape: (2, 2) };
+        let e = MatrixError::IndexOutOfBounds {
+            row: 5,
+            col: 0,
+            shape: (2, 2),
+        };
         assert!(e.to_string().contains("out of bounds"));
         let e = MatrixError::NotAVector { shape: (2, 2) };
         assert!(e.to_string().contains("column vector"));
@@ -114,9 +133,13 @@ mod tests {
         assert!(e.to_string().contains("square"));
         let e = MatrixError::NotAScalar { shape: (2, 3) };
         assert!(e.to_string().contains("1x1"));
-        let e = MatrixError::BadConstruction { message: "nope".into() };
+        let e = MatrixError::BadConstruction {
+            message: "nope".into(),
+        };
         assert!(e.to_string().contains("nope"));
-        let e = MatrixError::Singular { message: "det is 0".into() };
+        let e = MatrixError::Singular {
+            message: "det is 0".into(),
+        };
         assert!(e.to_string().contains("det is 0"));
     }
 }

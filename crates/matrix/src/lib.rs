@@ -17,7 +17,9 @@ pub mod special;
 
 pub use error::MatrixError;
 pub use matrix::Matrix;
-pub use random::{random_adjacency, random_invertible, random_matrix, random_vector, RandomMatrixConfig};
+pub use random::{
+    random_adjacency, random_invertible, random_matrix, random_vector, RandomMatrixConfig,
+};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -169,7 +169,9 @@ impl<K: Semiring> Matrix<K> {
     /// The value of a `1 × 1` matrix.
     pub fn as_scalar(&self) -> Result<K> {
         if !self.is_scalar() {
-            return Err(MatrixError::NotAScalar { shape: self.shape() });
+            return Err(MatrixError::NotAScalar {
+                shape: self.shape(),
+            });
         }
         Ok(self.data[0].clone())
     }
@@ -228,9 +230,11 @@ impl<K: Semiring> Matrix<K> {
     /// Pointwise combination of `k ≥ 1` same-shaped matrices via `f`, the
     /// semantics of MATLANG's `f(e₁, …, e_k)` operator.
     pub fn zip_with<F: Fn(&[K]) -> K>(matrices: &[&Matrix<K>], f: F) -> Result<Matrix<K>> {
-        let first = matrices.first().ok_or_else(|| MatrixError::BadConstruction {
-            message: "pointwise application requires at least one argument".to_string(),
-        })?;
+        let first = matrices
+            .first()
+            .ok_or_else(|| MatrixError::BadConstruction {
+                message: "pointwise application requires at least one argument".to_string(),
+            })?;
         let shape = first.shape();
         for m in matrices {
             if m.shape() != shape {
@@ -391,7 +395,7 @@ mod tests {
         let sum = Matrix::zip_with(&[&a, &b], |args| Real(args[0].0 + args[1].0)).unwrap();
         assert_eq!(sum.get(0, 1).unwrap().0, 6.0);
         let bad: Matrix<Real> = Matrix::zeros(2, 2);
-        assert!(Matrix::zip_with(&[&a, &bad], |args| args[0].clone()).is_err());
+        assert!(Matrix::zip_with(&[&a, &bad], |args| args[0]).is_err());
         assert!(Matrix::<Real>::zip_with(&[], |_| Real(0.0)).is_err());
     }
 
@@ -415,8 +419,7 @@ mod tests {
 
     #[test]
     fn boolean_matrices_work() {
-        let adj: Matrix<Boolean> =
-            Matrix::from_f64_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let adj: Matrix<Boolean> = Matrix::from_f64_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
         assert_eq!(adj.get(0, 1).unwrap(), &Boolean(true));
         assert_eq!(adj.get(1, 1).unwrap(), &Boolean(false));
     }

@@ -92,7 +92,9 @@ impl<K: Semiring> Matrix<K> {
     /// diagonal matrix with the vector on its main diagonal.
     pub fn diag(&self) -> Result<Matrix<K>> {
         if !self.is_vector() {
-            return Err(MatrixError::NotAVector { shape: self.shape() });
+            return Err(MatrixError::NotAVector {
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         let mut out = Matrix::zeros(n, n);
@@ -105,7 +107,9 @@ impl<K: Semiring> Matrix<K> {
     /// The main diagonal of a square matrix, as an `n × 1` vector.
     pub fn diagonal_vector(&self) -> Result<Matrix<K>> {
         if !self.is_square() {
-            return Err(MatrixError::NotSquare { shape: self.shape() });
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         let mut out = Matrix::zeros(n, 1);
@@ -118,7 +122,9 @@ impl<K: Semiring> Matrix<K> {
     /// The trace `tr(A)` of a square matrix.
     pub fn trace(&self) -> Result<K> {
         if !self.is_square() {
-            return Err(MatrixError::NotSquare { shape: self.shape() });
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut acc = K::zero();
         for i in 0..self.rows() {
@@ -130,7 +136,9 @@ impl<K: Semiring> Matrix<K> {
     /// `Aᵏ` for a square matrix (k = 0 gives the identity).
     pub fn pow(&self, k: usize) -> Result<Matrix<K>> {
         if !self.is_square() {
-            return Err(MatrixError::NotSquare { shape: self.shape() });
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut acc = Matrix::identity(self.rows());
         for _ in 0..k {
@@ -158,7 +166,9 @@ impl<K: Field> Matrix<K> {
     /// inverse of Section 4.2 is validated.
     pub fn inverse(&self) -> Result<Matrix<K>> {
         if !self.is_square() {
-            return Err(MatrixError::NotSquare { shape: self.shape() });
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         let mut a = self.clone();
@@ -214,7 +224,9 @@ impl<K: Field> Matrix<K> {
     /// for the Csanky determinant of Section 4.2.
     pub fn determinant(&self) -> Result<K> {
         if !self.is_square() {
-            return Err(MatrixError::NotSquare { shape: self.shape() });
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         let mut a = self.clone();
@@ -385,7 +397,10 @@ mod tests {
         // Leading principal minor is zero, so a pivot swap is required.
         let a = m(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let inv = a.inverse().unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(2), 1e-9));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-9));
     }
 
     #[test]
@@ -398,7 +413,10 @@ mod tests {
 
     #[test]
     fn determinant_values() {
-        assert_eq!(m(&[&[1.0, 2.0], &[3.0, 4.0]]).determinant().unwrap().0, -2.0);
+        assert_eq!(
+            m(&[&[1.0, 2.0], &[3.0, 4.0]]).determinant().unwrap().0,
+            -2.0
+        );
         assert_eq!(m(&[&[1.0, 2.0], &[2.0, 4.0]]).determinant().unwrap().0, 0.0);
         let a = m(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
         assert!((a.determinant().unwrap().0 - (-1.0)).abs() < 1e-12);
@@ -417,13 +435,12 @@ mod tests {
     #[test]
     fn minplus_matmul_is_shortest_path_step() {
         let inf = f64::INFINITY;
-        let w: Matrix<MinPlus> =
-            Matrix::from_rows(vec![
-                vec![MinPlus(0.0), MinPlus(2.0), MinPlus(inf)],
-                vec![MinPlus(inf), MinPlus(0.0), MinPlus(3.0)],
-                vec![MinPlus(inf), MinPlus(inf), MinPlus(0.0)],
-            ])
-            .unwrap();
+        let w: Matrix<MinPlus> = Matrix::from_rows(vec![
+            vec![MinPlus(0.0), MinPlus(2.0), MinPlus(inf)],
+            vec![MinPlus(inf), MinPlus(0.0), MinPlus(3.0)],
+            vec![MinPlus(inf), MinPlus(inf), MinPlus(0.0)],
+        ])
+        .unwrap();
         let two = w.matmul(&w).unwrap();
         assert_eq!(two.get(0, 2).unwrap(), &MinPlus(5.0));
     }

@@ -59,7 +59,11 @@ impl RandomMatrixConfig {
 }
 
 /// A dense random `rows × cols` matrix.
-pub fn random_matrix<K: Semiring>(rows: usize, cols: usize, config: &RandomMatrixConfig) -> Matrix<K> {
+pub fn random_matrix<K: Semiring>(
+    rows: usize,
+    cols: usize,
+    config: &RandomMatrixConfig,
+) -> Matrix<K> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let data = (0..rows * cols).map(|_| config.sample(&mut rng)).collect();
     Matrix::from_vec(rows, cols, data).expect("generated data has the right length")

@@ -6,13 +6,15 @@ use proptest::prelude::*;
 
 /// Random small natural-number matrix (exact arithmetic, so laws hold exactly).
 fn nat_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Nat>> {
-    proptest::collection::vec(0u64..20, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data.into_iter().map(Nat).collect()).unwrap())
+    proptest::collection::vec(0u64..20, rows * cols).prop_map(move |data| {
+        Matrix::from_vec(rows, cols, data.into_iter().map(Nat).collect()).unwrap()
+    })
 }
 
 fn bool_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Boolean>> {
-    proptest::collection::vec(any::<bool>(), rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data.into_iter().map(Boolean).collect()).unwrap())
+    proptest::collection::vec(any::<bool>(), rows * cols).prop_map(move |data| {
+        Matrix::from_vec(rows, cols, data.into_iter().map(Boolean).collect()).unwrap()
+    })
 }
 
 proptest! {

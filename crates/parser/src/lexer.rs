@@ -161,7 +161,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let value = text.parse::<f64>().map_err(|_| LexError::BadNumber { text })?;
+                let value = text
+                    .parse::<f64>()
+                    .map_err(|_| LexError::BadNumber { text })?;
                 tokens.push(Token::Number(value));
             }
             c if c.is_ascii_digit() => {
@@ -170,14 +172,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     // Don't swallow the loop-body dot: a trailing `.` followed
                     // by whitespace or a non-digit is a separator.
                     if chars[i] == '.'
-                        && !chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                        && !chars
+                            .get(i + 1)
+                            .map(|c| c.is_ascii_digit())
+                            .unwrap_or(false)
                     {
                         break;
                     }
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let value = text.parse::<f64>().map_err(|_| LexError::BadNumber { text })?;
+                let value = text
+                    .parse::<f64>()
+                    .map_err(|_| LexError::BadNumber { text })?;
                 tokens.push(Token::Number(value));
             }
             c if is_ident_start(c) => {
@@ -280,8 +287,15 @@ mod tests {
             Err(LexError::UnexpectedChar { found: '?', .. })
         ));
         assert!(matches!(tokenize("-"), Err(LexError::BadNumber { .. })));
-        assert!(!LexError::BadNumber { text: "x".into() }.to_string().is_empty());
-        assert!(!LexError::UnexpectedChar { found: '?', position: 0 }.to_string().is_empty());
+        assert!(!LexError::BadNumber { text: "x".into() }
+            .to_string()
+            .is_empty());
+        assert!(!LexError::UnexpectedChar {
+            found: '?',
+            position: 0
+        }
+        .to_string()
+        .is_empty());
     }
 
     #[test]

@@ -53,7 +53,11 @@ mod tests {
     #[test]
     fn roundtrips_loops_and_quantifiers() {
         roundtrip(&Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())));
-        roundtrip(&Expr::hprod("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))));
+        roundtrip(&Expr::hprod(
+            "v",
+            "n",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        ));
         roundtrip(&Expr::mprod("v", "n", Expr::var("A")));
         roundtrip(&Expr::for_loop(
             "v",

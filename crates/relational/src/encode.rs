@@ -49,7 +49,10 @@ pub fn domain_relation(sym: &str) -> String {
 /// `K`-database: one binary/unary/nullary relation per matrix variable plus
 /// one unary domain relation per size symbol.  Matrix indices are 1-based in
 /// the relational encoding, matching the paper's data domain `ℕ \ {0}`.
-pub fn encode_instance<K: Semiring>(schema: &Schema, instance: &Instance<K>) -> Result<Database<K>, String> {
+pub fn encode_instance<K: Semiring>(
+    schema: &Schema,
+    instance: &Instance<K>,
+) -> Result<Database<K>, String> {
     let mut db = Database::new();
     let mut symbols: BTreeSet<String> = BTreeSet::new();
     for (name, ty) in schema.iter() {
@@ -127,7 +130,11 @@ pub fn decode_matrix_instance<K: Semiring>(
     }
     let adom: Vec<u64> = adom.into_iter().collect();
     let n = adom.len().max(1);
-    let index_of = |v: u64| adom.iter().position(|&d| d == v).expect("value from active domain");
+    let index_of = |v: u64| {
+        adom.iter()
+            .position(|&d| d == v)
+            .expect("value from active domain")
+    };
 
     let mut instance: Instance<K> = Instance::new().with_dim(dim_symbol, n);
     for (name, rel) in db {
@@ -143,12 +150,17 @@ pub fn decode_matrix_instance<K: Semiring>(
             1 => {
                 let mut m = Matrix::zeros(n, 1);
                 for (row, value) in rel.iter() {
-                    m.set(index_of(row[0]), 0, value.clone()).map_err(|e| e.to_string())?;
+                    m.set(index_of(row[0]), 0, value.clone())
+                        .map_err(|e| e.to_string())?;
                 }
                 m
             }
             _ => {
-                let value = rel.iter().next().map(|(_, v)| v.clone()).unwrap_or_else(K::zero);
+                let value = rel
+                    .iter()
+                    .next()
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(K::zero);
                 Matrix::scalar(value)
             }
         };
@@ -171,7 +183,10 @@ mod tests {
             .with_var("s", MatrixType::scalar());
         let instance: Instance<Real> = Instance::new()
             .with_dim("n", 2)
-            .with_matrix("A", Matrix::from_f64_rows(&[&[0.0, 2.0], &[3.0, 0.0]]).unwrap())
+            .with_matrix(
+                "A",
+                Matrix::from_f64_rows(&[&[0.0, 2.0], &[3.0, 0.0]]).unwrap(),
+            )
             .with_matrix("u", Matrix::from_f64_rows(&[&[5.0], &[0.0]]).unwrap())
             .with_matrix("s", Matrix::scalar(Real(7.0)));
         let db = encode_instance(&schema, &instance).unwrap();
@@ -201,8 +216,7 @@ mod tests {
         let schema = Schema::new().with_var("A", MatrixType::square("n"));
         let missing_matrix: Instance<Real> = Instance::new().with_dim("n", 2);
         assert!(encode_instance(&schema, &missing_matrix).is_err());
-        let missing_dim: Instance<Real> =
-            Instance::new().with_matrix("A", Matrix::identity(2));
+        let missing_dim: Instance<Real> = Instance::new().with_matrix("A", Matrix::identity(2));
         assert!(encode_instance(&schema, &missing_dim).is_err());
     }
 

@@ -41,12 +41,18 @@ impl RaExpr {
 
     /// Projection onto the given attributes.
     pub fn project(self, attrs: &[&str]) -> RaExpr {
-        RaExpr::Project(attrs.iter().map(|s| s.to_string()).collect(), Box::new(self))
+        RaExpr::Project(
+            attrs.iter().map(|s| s.to_string()).collect(),
+            Box::new(self),
+        )
     }
 
     /// Selection on equality of the given attributes.
     pub fn select(self, attrs: &[&str]) -> RaExpr {
-        RaExpr::Select(attrs.iter().map(|s| s.to_string()).collect(), Box::new(self))
+        RaExpr::Select(
+            attrs.iter().map(|s| s.to_string()).collect(),
+            Box::new(self),
+        )
     }
 
     /// Renaming `old → new`.
@@ -133,11 +139,13 @@ impl RaExpr {
             RaExpr::Union(a, b) => {
                 let ra = a.evaluate(db)?;
                 let rb = b.evaluate(db)?;
-                ra.union(&rb).map_err(|message| RaError::Incompatible { message })
+                ra.union(&rb)
+                    .map_err(|message| RaError::Incompatible { message })
             }
             RaExpr::Project(attrs, inner) => {
                 let r = inner.evaluate(db)?;
-                r.project(attrs).map_err(|message| RaError::Incompatible { message })
+                r.project(attrs)
+                    .map_err(|message| RaError::Incompatible { message })
             }
             RaExpr::Select(attrs, inner) => {
                 let r = inner.evaluate(db)?;
@@ -146,7 +154,8 @@ impl RaExpr {
             }
             RaExpr::Rename(mapping, inner) => {
                 let r = inner.evaluate(db)?;
-                r.rename(mapping).map_err(|message| RaError::Incompatible { message })
+                r.rename(mapping)
+                    .map_err(|message| RaError::Incompatible { message })
             }
             RaExpr::Join(a, b) => {
                 let ra = a.evaluate(db)?;
@@ -218,9 +227,7 @@ mod tests {
         // π_{src, tgt}( E ⋈ ρ_{src→dst, dst→tgt}(E) ) counts 2-paths.
         let db = db();
         let second_hop = RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "tgt")]);
-        let two_hop = RaExpr::rel("E")
-            .join(second_hop)
-            .project(&["src", "tgt"]);
+        let two_hop = RaExpr::rel("E").join(second_hop).project(&["src", "tgt"]);
         let r = two_hop.evaluate(&db).unwrap();
         assert_eq!(r.annotation(&[("src", 1), ("tgt", 3)]), Nat(1));
         assert_eq!(r.annotation(&[("src", 1), ("tgt", 2)]), Nat(0));
@@ -271,14 +278,26 @@ mod tests {
             .join(RaExpr::rel("L"))
             .signature(&db)
             .unwrap();
-        assert_eq!(join_sig, vec!["dst".to_string(), "node".to_string(), "src".to_string()]);
-        let renamed_sig = RaExpr::rel("L").rename(&[("node", "x")]).signature(&db).unwrap();
+        assert_eq!(
+            join_sig,
+            vec!["dst".to_string(), "node".to_string(), "src".to_string()]
+        );
+        let renamed_sig = RaExpr::rel("L")
+            .rename(&[("node", "x")])
+            .signature(&db)
+            .unwrap();
         assert_eq!(renamed_sig, vec!["x".to_string()]);
     }
 
     #[test]
     fn errors_display() {
-        assert!(!RaError::UnknownRelation { name: "R".into() }.to_string().is_empty());
-        assert!(!RaError::Incompatible { message: "m".into() }.to_string().is_empty());
+        assert!(!RaError::UnknownRelation { name: "R".into() }
+            .to_string()
+            .is_empty());
+        assert!(!RaError::Incompatible {
+            message: "m".into()
+        }
+        .to_string()
+        .is_empty());
     }
 }

@@ -13,7 +13,7 @@
 //! to produce the output matrix / vector / scalar.
 
 use crate::encode::relation_matrix_var;
-use crate::expr::{Database, RaExpr, RaError};
+use crate::expr::{Database, RaError, RaExpr};
 use matlang_core::Expr;
 use matlang_semiring::Semiring;
 use std::collections::BTreeMap;
@@ -48,9 +48,7 @@ impl RaSchema {
     pub fn from_database<K: Semiring>(db: &Database<K>) -> RaSchema {
         let mut schema = RaSchema::new();
         for (name, rel) in db {
-            schema
-                .arities
-                .insert(name.clone(), rel.attrs().to_vec());
+            schema.arities.insert(name.clone(), rel.attrs().to_vec());
         }
         schema
     }
@@ -100,7 +98,9 @@ impl std::error::Error for FromRaError {}
 
 impl From<RaError> for FromRaError {
     fn from(e: RaError) -> Self {
-        FromRaError::Malformed { message: e.to_string() }
+        FromRaError::Malformed {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -112,11 +112,7 @@ pub fn attr_variable(attr: &str) -> String {
 /// Translates an RA⁺_K expression into the scalar kernel
 /// `e_Q(v_{A₁}, …, v_{A_k})` together with the sorted list of output
 /// attributes.
-fn translate(
-    q: &RaExpr,
-    schema: &RaSchema,
-    dim: &str,
-) -> Result<(Expr, Vec<String>), FromRaError> {
+fn translate(q: &RaExpr, schema: &RaSchema, dim: &str) -> Result<(Expr, Vec<String>), FromRaError> {
     match q {
         RaExpr::Rel(name) => {
             let attrs = schema
@@ -257,11 +253,7 @@ pub fn ra_to_matlang(q: &RaExpr, schema: &RaSchema, dim: &str) -> Result<Expr, F
             Expr::sum(
                 &v1,
                 dim,
-                Expr::sum(
-                    &v2,
-                    dim,
-                    kernel.smul(Expr::var(&v1).mm(Expr::var(&v2).t())),
-                ),
+                Expr::sum(&v2, dim, kernel.smul(Expr::var(&v1).mm(Expr::var(&v2).t()))),
             )
         }
         arity => {
@@ -297,7 +289,9 @@ mod tests {
         let mut labels: Relation<Nat> = Relation::new(["node"]);
         for v in 1..=domain {
             if rng.gen_bool(0.6) {
-                labels.insert(&[("node", v)], Nat(rng.gen_range(1..3))).unwrap();
+                labels
+                    .insert(&[("node", v)], Nat(rng.gen_range(1..3)))
+                    .unwrap();
             }
         }
         let mut db = Database::new();
@@ -320,12 +314,20 @@ mod tests {
 
         match sig.len() {
             0 => {
-                assert_eq!(matrix.as_scalar().unwrap(), direct.annotation(&[]), "scalar mismatch");
+                assert_eq!(
+                    matrix.as_scalar().unwrap(),
+                    direct.annotation(&[]),
+                    "scalar mismatch"
+                );
             }
             1 => {
                 for (idx, &d) in adom.iter().enumerate() {
                     let expected = direct.annotation(&[(sig[0].as_str(), d)]);
-                    assert_eq!(matrix.get(idx, 0).unwrap(), &expected, "vector mismatch at {d}");
+                    assert_eq!(
+                        matrix.get(idx, 0).unwrap(),
+                        &expected,
+                        "vector mismatch at {d}"
+                    );
                 }
             }
             2 => {
@@ -375,7 +377,10 @@ mod tests {
             let labelled = RaExpr::rel("E").join(RaExpr::rel("L").rename(&[("node", "dst")]));
             assert_equivalent(&labelled, seed);
             // Attribute swap.
-            assert_equivalent(&RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "src")]), seed);
+            assert_equivalent(
+                &RaExpr::rel("E").rename(&[("src", "dst"), ("dst", "src")]),
+                seed,
+            );
         }
     }
 
@@ -432,7 +437,14 @@ mod tests {
             ra_to_matlang(&RaExpr::rel("E").join(RaExpr::rel("F")), &schema, "n"),
             Err(FromRaError::Malformed { .. })
         ));
-        assert!(!FromRaError::UnknownRelation { name: "R".into() }.to_string().is_empty());
-        assert!(!FromRaError::NotBinary { name: "T".into(), arity: 3 }.to_string().is_empty());
+        assert!(!FromRaError::UnknownRelation { name: "R".into() }
+            .to_string()
+            .is_empty());
+        assert!(!FromRaError::NotBinary {
+            name: "T".into(),
+            arity: 3
+        }
+        .to_string()
+        .is_empty());
     }
 }

@@ -148,7 +148,12 @@ impl<K: Semiring> Relation<K> {
         let positions: Vec<usize> = out
             .attrs
             .iter()
-            .map(|a| self.attrs.iter().position(|b| b == a).expect("checked above"))
+            .map(|a| {
+                self.attrs
+                    .iter()
+                    .position(|b| b == a)
+                    .expect("checked above")
+            })
             .collect();
         for (row, value) in &self.rows {
             let projected: Vec<u64> = positions.iter().map(|&p| row[p]).collect();
@@ -208,7 +213,12 @@ impl<K: Semiring> Relation<K> {
         let positions: Vec<usize> = out
             .attrs
             .iter()
-            .map(|a| new_names.iter().position(|b| b == a).expect("constructed above"))
+            .map(|a| {
+                new_names
+                    .iter()
+                    .position(|b| b == a)
+                    .expect("constructed above")
+            })
             .collect();
         for (row, value) in &self.rows {
             let renamed: Vec<u64> = positions.iter().map(|&p| row[p]).collect();
@@ -260,7 +270,11 @@ impl<K: Semiring> Relation<K> {
                         if let Some(p) = self.attrs.iter().position(|b| b == a) {
                             row[p]
                         } else {
-                            let p = other.attrs.iter().position(|b| b == a).expect("attr origin");
+                            let p = other
+                                .attrs
+                                .iter()
+                                .position(|b| b == a)
+                                .expect("attr origin");
                             other_row[p]
                         }
                     })
@@ -352,7 +366,10 @@ mod tests {
     fn renaming_changes_the_signature() {
         let r = edge_relation();
         let renamed = r
-            .rename(&[("src".to_string(), "from".to_string()), ("dst".to_string(), "to".to_string())])
+            .rename(&[
+                ("src".to_string(), "from".to_string()),
+                ("dst".to_string(), "to".to_string()),
+            ])
             .unwrap();
         assert_eq!(renamed.attrs(), &["from".to_string(), "to".to_string()]);
         assert_eq!(renamed.annotation(&[("from", 1), ("to", 2)]), Nat(1));
@@ -364,7 +381,10 @@ mod tests {
     fn natural_join_multiplies_annotations() {
         let r = edge_relation();
         let renamed = r
-            .rename(&[("src".to_string(), "dst".to_string()), ("dst".to_string(), "nxt".to_string())])
+            .rename(&[
+                ("src".to_string(), "dst".to_string()),
+                ("dst".to_string(), "nxt".to_string()),
+            ])
             .unwrap();
         let j = r.join(&renamed);
         // Path 1 → 2 → 3 has annotation 1·2 = 2.

@@ -23,7 +23,9 @@ pub mod from_ra;
 pub mod kr;
 pub mod to_ra;
 
-pub use encode::{decode_matrix_instance, encode_instance, matrix_var_relation, ACTIVE_DOMAIN_PREFIX};
+pub use encode::{
+    decode_matrix_instance, encode_instance, matrix_var_relation, ACTIVE_DOMAIN_PREFIX,
+};
 pub use expr::{Database, RaError, RaExpr};
 pub use from_ra::{ra_to_matlang, RaSchema};
 pub use kr::Relation;

@@ -108,7 +108,8 @@ impl Translator {
             let sym = self.bound.get(var).expect("padded iterators are in scope");
             let dom = domain_attr(sym);
             let it = iterator_attr(var);
-            out = out.join(RaExpr::rel(domain_relation(sym)).rename(&[(dom.as_str(), it.as_str())]));
+            out =
+                out.join(RaExpr::rel(domain_relation(sym)).rename(&[(dom.as_str(), it.as_str())]));
         }
         out
     }
@@ -164,7 +165,11 @@ impl Translator {
                         .collect();
                     t.expr.rename(&mapping_refs)
                 };
-                Ok(Translated { expr, iterators: t.iterators, ty })
+                Ok(Translated {
+                    expr,
+                    iterators: t.iterators,
+                    ty,
+                })
             }
             Expr::Ones(inner) => {
                 // The result only depends on the row symbol of the argument.
@@ -197,12 +202,14 @@ impl Translator {
                 let dom = domain_attr(s);
                 let col = col_attr(s);
                 let row = row_attr(s);
-                let columns = RaExpr::rel(domain_relation(s)).rename(&[(dom.as_str(), col.as_str())]);
-                let expr = t
-                    .expr
-                    .join(columns)
-                    .select(&[row.as_str(), col.as_str()]);
-                Ok(Translated { expr, iterators: t.iterators, ty })
+                let columns =
+                    RaExpr::rel(domain_relation(s)).rename(&[(dom.as_str(), col.as_str())]);
+                let expr = t.expr.join(columns).select(&[row.as_str(), col.as_str()]);
+                Ok(Translated {
+                    expr,
+                    iterators: t.iterators,
+                    ty,
+                })
             }
             Expr::Add(a, b) => {
                 let ta = self.translate(a, schema)?;
@@ -221,7 +228,8 @@ impl Translator {
             Expr::ScalarMul(a, b) | Expr::Hadamard(a, b) => {
                 let ta = self.translate(a, schema)?;
                 let tb = self.translate(b, schema)?;
-                let iterators: BTreeSet<String> = ta.iterators.union(&tb.iterators).cloned().collect();
+                let iterators: BTreeSet<String> =
+                    ta.iterators.union(&tb.iterators).cloned().collect();
                 Ok(Translated {
                     expr: ta.expr.join(tb.expr),
                     iterators,
@@ -249,12 +257,17 @@ impl Translator {
                         Some(prev) => prev.join(t.expr),
                     });
                 }
-                Ok(Translated { expr: expr.expect("at least one argument"), iterators, ty })
+                Ok(Translated {
+                    expr: expr.expect("at least one argument"),
+                    iterators,
+                    ty,
+                })
             }
             Expr::MatMul(a, b) => {
                 let ta = self.translate(a, schema)?;
                 let tb = self.translate(b, schema)?;
-                let iterators: BTreeSet<String> = ta.iterators.union(&tb.iterators).cloned().collect();
+                let iterators: BTreeSet<String> =
+                    ta.iterators.union(&tb.iterators).cloned().collect();
                 let result_ty = MatrixType::new(ta.ty.rows.clone(), tb.ty.cols.clone());
                 match &ta.ty.cols {
                     Dim::One => Ok(Translated {
@@ -286,7 +299,10 @@ impl Translator {
             Expr::Sum { var, var_dim, body } => {
                 let previous = self.bound.insert(var.clone(), var_dim.clone());
                 let mut extended = schema.clone();
-                extended.declare(var.clone(), MatrixType::new(Dim::sym(var_dim.clone()), Dim::One));
+                extended.declare(
+                    var.clone(),
+                    MatrixType::new(Dim::sym(var_dim.clone()), Dim::One),
+                );
                 let result = self.translate(body, &extended);
                 let translated = match result {
                     Ok(t) => t,
@@ -324,7 +340,10 @@ impl Translator {
     fn typecheck_in_scope(&self, expr: &Expr, schema: &Schema) -> Result<MatrixType, ToRaError> {
         let mut extended = schema.clone();
         for (var, sym) in &self.bound {
-            extended.declare(var.clone(), MatrixType::new(Dim::sym(sym.clone()), Dim::One));
+            extended.declare(
+                var.clone(),
+                MatrixType::new(Dim::sym(sym.clone()), Dim::One),
+            );
         }
         Ok(typecheck(expr, &extended)?)
     }
@@ -374,7 +393,6 @@ mod tests {
             max_value: 4.0,
             integer_entries: true,
             zero_probability: 0.3,
-            ..Default::default()
         };
         Instance::new()
             .with_dim("n", n)
@@ -388,8 +406,12 @@ mod tests {
     fn assert_equivalent(expr: &Expr, n: usize, seed: u64) {
         let schema = schema();
         let instance = random_instance(n, seed);
-        let matrix = evaluate(expr, &instance, &FunctionRegistry::<Nat>::new().with_semiring_ops())
-            .unwrap();
+        let matrix = evaluate(
+            expr,
+            &instance,
+            &FunctionRegistry::<Nat>::new().with_semiring_ops(),
+        )
+        .unwrap();
         let db = encode_instance(&schema, &instance).unwrap();
         let ra = matlang_to_ra(expr, &schema).unwrap();
         let relation = ra.evaluate(&db).unwrap();
@@ -440,7 +462,11 @@ mod tests {
         for n in [2, 3] {
             assert_equivalent(&Expr::var("A").mm(Expr::var("B")), n, 8);
             assert_equivalent(&Expr::var("A").mm(Expr::var("u")), n, 9);
-            assert_equivalent(&Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")), n, 10);
+            assert_equivalent(
+                &Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")),
+                n,
+                10,
+            );
             assert_equivalent(&Expr::var("u").mm(Expr::var("u").t()), n, 11);
         }
     }
@@ -459,12 +485,20 @@ mod tests {
         for n in [2, 3] {
             // Trace.
             assert_equivalent(
-                &Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                &Expr::sum(
+                    "v",
+                    "n",
+                    Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+                ),
                 n,
                 15,
             );
             // Identity matrix.
-            assert_equivalent(&Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())), n, 16);
+            assert_equivalent(
+                &Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())),
+                n,
+                16,
+            );
             // Σ over a variable the body ignores: multiplies by n.
             assert_equivalent(&Expr::sum("v", "n", Expr::var("A")), n, 17);
             // Nested sums building a matrix from entries.
@@ -491,7 +525,11 @@ mod tests {
     #[test]
     fn let_bindings_are_inlined() {
         assert_equivalent(
-            &Expr::let_in("T", Expr::var("A").mm(Expr::var("B")), Expr::var("T").add(Expr::var("T"))),
+            &Expr::let_in(
+                "T",
+                Expr::var("A").mm(Expr::var("B")),
+                Expr::var("T").add(Expr::var("T")),
+            ),
             3,
             19,
         );
@@ -520,7 +558,10 @@ mod tests {
             Err(ToRaError::NotSumMatlang { .. })
         ));
         assert!(matches!(
-            matlang_to_ra(&Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]), &schema),
+            matlang_to_ra(
+                &Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]),
+                &schema
+            ),
             Err(ToRaError::UnsupportedFunction { .. })
         ));
         assert!(matches!(
@@ -540,8 +581,12 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(!ToRaError::NotSumMatlang { operator: "for" }.to_string().is_empty());
-        assert!(!ToRaError::UnsupportedFunction { name: "f".into() }.to_string().is_empty());
+        assert!(!ToRaError::NotSumMatlang { operator: "for" }
+            .to_string()
+            .is_empty());
+        assert!(!ToRaError::UnsupportedFunction { name: "f".into() }
+            .to_string()
+            .is_empty());
         assert!(!ToRaError::UnsupportedConstant.to_string().is_empty());
     }
 }

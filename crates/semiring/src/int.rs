@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn saturating_arithmetic() {
-        assert_eq!(Semiring::add(&IntRing(i64::MAX), &IntRing(1)), IntRing(i64::MAX));
+        assert_eq!(
+            Semiring::add(&IntRing(i64::MAX), &IntRing(1)),
+            IntRing(i64::MAX)
+        );
         assert_eq!(Ring::neg(&IntRing(i64::MIN)), IntRing(i64::MAX));
     }
 }

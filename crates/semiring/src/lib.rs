@@ -74,14 +74,12 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
 
     /// Sums an iterator of elements (`⊕` over the sequence, `0` if empty).
     fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(Self::zero(), |acc, x| acc.add(&x))
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.add(&x))
     }
 
     /// Multiplies an iterator of elements (`⊙` over the sequence, `1` if empty).
     fn product<I: IntoIterator<Item = Self>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(Self::one(), |acc, x| acc.mul(&x))
+        iter.into_iter().fold(Self::one(), |acc, x| acc.mul(&x))
     }
 }
 
@@ -221,7 +219,11 @@ mod tests {
 
     #[test]
     fn sum_and_product_fold_correctly() {
-        let xs = vec![Real::from_f64(1.0), Real::from_f64(2.0), Real::from_f64(3.0)];
+        let xs = vec![
+            Real::from_f64(1.0),
+            Real::from_f64(2.0),
+            Real::from_f64(3.0),
+        ];
         assert_eq!(Real::sum(xs.clone()), Real::from_f64(6.0));
         assert_eq!(Real::product(xs), Real::from_f64(6.0));
     }

@@ -1,7 +1,9 @@
 //! Property-based verification of the semiring/ring/field laws for every
 //! concrete annotation domain shipped by `matlang-semiring`.
 
-use matlang_semiring::{laws, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, Real, Ring, Semiring};
+use matlang_semiring::{
+    laws, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, Real, Ring, Semiring,
+};
 use proptest::prelude::*;
 
 /// Small bounded floats keep the `Real` law checks exact: associativity and

@@ -53,8 +53,15 @@ impl fmt::Display for WlError {
         match self {
             WlError::UnboundVariable { name } => write!(f, "unbound first-order variable `{name}`"),
             WlError::UnknownRelation { name } => write!(f, "unknown relation symbol `{name}`"),
-            WlError::ArityMismatch { name, expected, found } => {
-                write!(f, "relation `{name}` expects {expected} arguments, got {found}")
+            WlError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation `{name}` expects {expected} arguments, got {found}"
+                )
             }
         }
     }
@@ -238,7 +245,9 @@ fn lookup(assignment: &HashMap<String, usize>, var: &str) -> Result<usize, WlErr
     assignment
         .get(var)
         .copied()
-        .ok_or_else(|| WlError::UnboundVariable { name: var.to_string() })
+        .ok_or_else(|| WlError::UnboundVariable {
+            name: var.to_string(),
+        })
 }
 
 impl fmt::Display for WlFormula {
@@ -274,14 +283,24 @@ mod tests {
         let mut sigma = HashMap::new();
         sigma.insert("x".to_string(), 0);
         sigma.insert("y".to_string(), 1);
-        assert_eq!(WlFormula::eq("x", "x").evaluate(&s, &sigma).unwrap(), Nat(1));
-        assert_eq!(WlFormula::eq("x", "y").evaluate(&s, &sigma).unwrap(), Nat(0));
         assert_eq!(
-            WlFormula::atom("E", vec!["x", "y"]).evaluate(&s, &sigma).unwrap(),
+            WlFormula::eq("x", "x").evaluate(&s, &sigma).unwrap(),
+            Nat(1)
+        );
+        assert_eq!(
+            WlFormula::eq("x", "y").evaluate(&s, &sigma).unwrap(),
+            Nat(0)
+        );
+        assert_eq!(
+            WlFormula::atom("E", vec!["x", "y"])
+                .evaluate(&s, &sigma)
+                .unwrap(),
             Nat(2)
         );
         assert_eq!(
-            WlFormula::atom("E", vec!["y", "x"]).evaluate(&s, &sigma).unwrap(),
+            WlFormula::atom("E", vec!["y", "x"])
+                .evaluate(&s, &sigma)
+                .unwrap(),
             Nat(0)
         );
     }
@@ -290,7 +309,10 @@ mod tests {
     fn quantifiers_sum_and_multiply_over_the_domain() {
         let s = path_structure();
         // Σx Σy E(x, y) = total edge weight = 5.
-        let total = WlFormula::sum("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])));
+        let total = WlFormula::sum(
+            "x",
+            WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])),
+        );
         assert_eq!(total.evaluate_closed(&s).unwrap(), Nat(5));
         // Two-hop weighted paths: Σx Σy Σz E(x,y) ⊙ E(y,z) = 2·3 = 6.
         let two_hop = WlFormula::sum(
@@ -299,7 +321,8 @@ mod tests {
                 "y",
                 WlFormula::sum(
                     "z",
-                    WlFormula::atom("E", vec!["x", "y"]).times(WlFormula::atom("E", vec!["y", "z"])),
+                    WlFormula::atom("E", vec!["x", "y"])
+                        .times(WlFormula::atom("E", vec!["y", "z"])),
                 ),
             ),
         );
@@ -312,7 +335,10 @@ mod tests {
     #[test]
     fn free_variables_and_renaming() {
         let phi = WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]));
-        assert_eq!(phi.free_vars().into_iter().collect::<Vec<_>>(), vec!["x".to_string()]);
+        assert_eq!(
+            phi.free_vars().into_iter().collect::<Vec<_>>(),
+            vec!["x".to_string()]
+        );
         let renamed = phi.rename_free("x", "z");
         assert!(renamed.free_vars().contains("z"));
         // Bound variables are untouched.
@@ -335,7 +361,9 @@ mod tests {
             WlFormula::sum("x", WlFormula::atom("E", vec!["x"])).evaluate_closed(&s),
             Err(WlError::ArityMismatch { .. })
         ));
-        assert!(!WlError::UnboundVariable { name: "x".into() }.to_string().is_empty());
+        assert!(!WlError::UnboundVariable { name: "x".into() }
+            .to_string()
+            .is_empty());
     }
 
     #[test]

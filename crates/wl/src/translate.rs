@@ -98,14 +98,16 @@ pub fn encode_structure_as_instance<K: Semiring>(
             2 => {
                 let mut m = Matrix::zeros(n, n);
                 for (tuple, weight) in relation.iter() {
-                    m.set(tuple[0], tuple[1], weight.clone()).map_err(|e| e.to_string())?;
+                    m.set(tuple[0], tuple[1], weight.clone())
+                        .map_err(|e| e.to_string())?;
                 }
                 (m, MatrixType::square(dim))
             }
             1 => {
                 let mut m = Matrix::zeros(n, 1);
                 for (tuple, weight) in relation.iter() {
-                    m.set(tuple[0], 0, weight.clone()).map_err(|e| e.to_string())?;
+                    m.set(tuple[0], 0, weight.clone())
+                        .map_err(|e| e.to_string())?;
                 }
                 (m, MatrixType::vector(dim))
             }
@@ -150,10 +152,16 @@ impl fmt::Display for ToWlError {
                 write!(f, "operator {operator} is outside FO-MATLANG")
             }
             ToWlError::UnsupportedFunction { name } => {
-                write!(f, "pointwise function `{name}` has no weighted-logic counterpart")
+                write!(
+                    f,
+                    "pointwise function `{name}` has no weighted-logic counterpart"
+                )
             }
             ToWlError::UnsupportedConstant { value } => {
-                write!(f, "constant {value} has no weighted-logic counterpart (only 1 does)")
+                write!(
+                    f,
+                    "constant {value} has no weighted-logic counterpart (only 1 does)"
+                )
             }
             ToWlError::Type(e) => write!(f, "type error: {e}"),
         }
@@ -226,7 +234,10 @@ impl ToWl {
                     .rename_free(ROW_VAR, &tmp)
                     .rename_free(COL_VAR, ROW_VAR)
                     .rename_free(&tmp, COL_VAR);
-                Ok(TranslatedWl { formula, ty: t.ty.transposed() })
+                Ok(TranslatedWl {
+                    formula,
+                    ty: t.ty.transposed(),
+                })
             }
             Expr::Ones(inner) => {
                 let inner_ty = self.typecheck(inner, schema)?;
@@ -247,12 +258,18 @@ impl ToWl {
             Expr::Add(a, b) => {
                 let ta = self.translate(a, schema)?;
                 let tb = self.translate(b, schema)?;
-                Ok(TranslatedWl { formula: ta.formula.plus(tb.formula), ty: ta.ty })
+                Ok(TranslatedWl {
+                    formula: ta.formula.plus(tb.formula),
+                    ty: ta.ty,
+                })
             }
             Expr::Hadamard(a, b) | Expr::ScalarMul(a, b) => {
                 let ta = self.translate(a, schema)?;
                 let tb = self.translate(b, schema)?;
-                Ok(TranslatedWl { formula: ta.formula.times(tb.formula), ty: tb.ty })
+                Ok(TranslatedWl {
+                    formula: ta.formula.times(tb.formula),
+                    ty: tb.ty,
+                })
             }
             Expr::Apply(name, args) => {
                 if name != "mul" || args.is_empty() {
@@ -303,7 +320,9 @@ impl ToWl {
             Expr::HProd { var, var_dim, body } => {
                 self.quantifier(var, var_dim, body, schema, WlFormula::prod)
             }
-            Expr::MProd { .. } => Err(ToWlError::NotFoMatlang { operator: "Π (matrix product)" }),
+            Expr::MProd { .. } => Err(ToWlError::NotFoMatlang {
+                operator: "Π (matrix product)",
+            }),
             Expr::For { .. } => Err(ToWlError::NotFoMatlang { operator: "for" }),
         }
     }
@@ -385,9 +404,7 @@ pub fn wl_to_matlang(formula: &WlFormula, dim: &str) -> Expr {
         }
         WlFormula::Plus(a, b) => wl_to_matlang(a, dim).add(wl_to_matlang(b, dim)),
         WlFormula::Times(a, b) => wl_to_matlang(a, dim).mm(wl_to_matlang(b, dim)),
-        WlFormula::SumQ(x, body) => {
-            Expr::sum(fo_vector_variable(x), dim, wl_to_matlang(body, dim))
-        }
+        WlFormula::SumQ(x, body) => Expr::sum(fo_vector_variable(x), dim, wl_to_matlang(body, dim)),
         WlFormula::ProdQ(x, body) => {
             Expr::hprod(fo_vector_variable(x), dim, wl_to_matlang(body, dim))
         }
@@ -417,7 +434,6 @@ mod tests {
             max_value: 3.0,
             integer_entries: true,
             zero_probability: 0.25,
-            ..Default::default()
         };
         Instance::new()
             .with_dim("α", n)
@@ -465,7 +481,11 @@ mod tests {
             assert_matlang_to_wl(&Expr::var("A").had(Expr::var("B")), n, 7);
             assert_matlang_to_wl(&Expr::var("A").mm(Expr::var("B")), n, 8);
             assert_matlang_to_wl(&Expr::var("A").mm(Expr::var("u")), n, 9);
-            assert_matlang_to_wl(&Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")), n, 10);
+            assert_matlang_to_wl(
+                &Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")),
+                n,
+                10,
+            );
             assert_matlang_to_wl(&Expr::var("u").diag(), n, 11);
             assert_matlang_to_wl(&Expr::var("A").ones(), n, 12);
             assert_matlang_to_wl(&Expr::var("c").smul(Expr::var("A")), n, 13);
@@ -477,18 +497,30 @@ mod tests {
         for n in [2, 3] {
             // Trace.
             assert_matlang_to_wl(
-                &Expr::sum("v", "α", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                &Expr::sum(
+                    "v",
+                    "α",
+                    Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+                ),
                 n,
                 14,
             );
             // Diagonal product (Example 6.6).
             assert_matlang_to_wl(
-                &Expr::hprod("v", "α", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+                &Expr::hprod(
+                    "v",
+                    "α",
+                    Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+                ),
                 n,
                 15,
             );
             // Identity matrix.
-            assert_matlang_to_wl(&Expr::sum("v", "α", Expr::var("v").mm(Expr::var("v").t())), n, 16);
+            assert_matlang_to_wl(
+                &Expr::sum("v", "α", Expr::var("v").mm(Expr::var("v").t())),
+                n,
+                16,
+            );
             // Nested Σ/Π∘ mixing.
             assert_matlang_to_wl(
                 &Expr::sum(
@@ -497,7 +529,11 @@ mod tests {
                     Expr::hprod(
                         "w",
                         "α",
-                        Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("w")).add(Expr::lit(1.0)),
+                        Expr::var("v")
+                            .t()
+                            .mm(Expr::var("A"))
+                            .mm(Expr::var("w"))
+                            .add(Expr::lit(1.0)),
                     ),
                 ),
                 n,
@@ -525,7 +561,10 @@ mod tests {
             Err(ToWlError::UnsupportedConstant { .. })
         ));
         assert!(matches!(
-            matlang_to_wl(&Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]), &schema),
+            matlang_to_wl(
+                &Expr::apply("div", vec![Expr::var("A"), Expr::var("B")]),
+                &schema
+            ),
             Err(ToWlError::UnsupportedFunction { .. })
         ));
         for e in [
@@ -594,16 +633,24 @@ mod tests {
     fn wl_formulas_translate_to_fo_matlang() {
         let s = example_structure();
         let cases = vec![
-            WlFormula::sum("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]))),
             WlFormula::sum(
                 "x",
-                WlFormula::atom("L", vec!["x"]).times(WlFormula::sum(
-                    "y",
-                    WlFormula::atom("E", vec!["x", "y"]),
-                )),
+                WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])),
             ),
-            WlFormula::prod("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")))),
-            WlFormula::atom("F", vec![]).times(WlFormula::sum("x", WlFormula::atom("L", vec!["x"]))),
+            WlFormula::sum(
+                "x",
+                WlFormula::atom("L", vec!["x"])
+                    .times(WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]))),
+            ),
+            WlFormula::prod(
+                "x",
+                WlFormula::sum(
+                    "y",
+                    WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")),
+                ),
+            ),
+            WlFormula::atom("F", vec![])
+                .times(WlFormula::sum("x", WlFormula::atom("L", vec!["x"]))),
             // Formula with a free variable.
             WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])),
             WlFormula::eq("x", "z"),
@@ -615,7 +662,10 @@ mod tests {
 
     #[test]
     fn wl_translations_land_in_fo_matlang() {
-        let formula = WlFormula::prod("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])));
+        let formula = WlFormula::prod(
+            "x",
+            WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])),
+        );
         let expr = wl_to_matlang(&formula, "α");
         assert_eq!(fragment_of(&expr), Fragment::FoMatlang);
     }
@@ -632,15 +682,21 @@ mod tests {
         let back = encode_instance_as_structure(&schema, &instance).unwrap();
         // Relation names gain the R_/M_ prefixes but the weights must agree.
         assert_eq!(
-            back.relation(&relation_symbol(&matrix_symbol("E"))).unwrap().weight(&[0, 1]),
+            back.relation(&relation_symbol(&matrix_symbol("E")))
+                .unwrap()
+                .weight(&[0, 1]),
             Nat(2)
         );
         assert_eq!(
-            back.relation(&relation_symbol(&matrix_symbol("L"))).unwrap().weight(&[1]),
+            back.relation(&relation_symbol(&matrix_symbol("L")))
+                .unwrap()
+                .weight(&[1]),
             Nat(4)
         );
         assert_eq!(
-            back.relation(&relation_symbol(&matrix_symbol("F"))).unwrap().weight(&[]),
+            back.relation(&relation_symbol(&matrix_symbol("F")))
+                .unwrap()
+                .weight(&[]),
             Nat(5)
         );
     }

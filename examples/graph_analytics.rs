@@ -10,7 +10,10 @@ use matlang::prelude::*;
 fn main() {
     let n = 8;
     let adjacency: Matrix<Real> = random_adjacency(n, 0.35, 2024);
-    println!("random digraph on {n} vertices, {} edges", count_edges(&adjacency));
+    println!(
+        "random digraph on {n} vertices, {} edges",
+        count_edges(&adjacency)
+    );
 
     let instance = Instance::new()
         .with_dim("n", n)
@@ -29,8 +32,14 @@ fn main() {
     let tc_baseline = baseline::transitive_closure(&adjacency, false);
     let tc_baseline_reflexive = baseline::transitive_closure(&adjacency, true);
 
-    assert_eq!(tc_fw, tc_baseline, "Floyd–Warshall expression disagrees with the baseline");
-    assert_eq!(tc_prod, tc_baseline_reflexive, "prod-MATLANG closure disagrees with the baseline");
+    assert_eq!(
+        tc_fw, tc_baseline,
+        "Floyd–Warshall expression disagrees with the baseline"
+    );
+    assert_eq!(
+        tc_prod, tc_baseline_reflexive,
+        "prod-MATLANG closure disagrees with the baseline"
+    );
     println!("transitive closure (for-MATLANG Floyd–Warshall) = baseline      : ok");
     println!("reflexive closure  (prod-MATLANG (I+A)^n)       = baseline      : ok");
     println!(
@@ -42,10 +51,13 @@ fn main() {
     // ------------------------------------------------------------------
     // 4-clique detection (Example 3.3) on the symmetrised graph.
     // ------------------------------------------------------------------
-    let symmetric = adjacency
-        .add(&adjacency.transpose())
-        .unwrap()
-        .map(|v| if v.0 > 0.0 { Real(1.0) } else { Real(0.0) });
+    let symmetric = adjacency.add(&adjacency.transpose()).unwrap().map(|v| {
+        if v.0 > 0.0 {
+            Real(1.0)
+        } else {
+            Real(0.0)
+        }
+    });
     let sym_instance = Instance::new()
         .with_dim("n", n)
         .with_matrix("G", symmetric.clone());
@@ -71,7 +83,10 @@ fn main() {
         .unwrap();
     let triangles_baseline = baseline::triangle_trace(&adjacency);
     assert!((triangles.0 - triangles_baseline.0).abs() < 1e-9);
-    println!("closed triangle walks tr(A³)                                     : {}", triangles.0);
+    println!(
+        "closed triangle walks tr(A³)                                     : {}",
+        triangles.0
+    );
 
     // ------------------------------------------------------------------
     // The same reachability query over the boolean semiring: the annotations
@@ -80,15 +95,23 @@ fn main() {
     let bool_adjacency: Matrix<Boolean> = Matrix::from_vec(
         n,
         n,
-        adjacency.entries().iter().map(|v| Boolean(v.0 != 0.0)).collect(),
+        adjacency
+            .entries()
+            .iter()
+            .map(|v| Boolean(v.0 != 0.0))
+            .collect(),
     )
     .unwrap();
     let bool_instance = Instance::new()
         .with_dim("n", n)
         .with_matrix("G", bool_adjacency.clone());
     let bool_registry: FunctionRegistry<Boolean> = FunctionRegistry::new();
-    let reach = evaluate(&graphs::transitive_closure_fw("G", "n"), &bool_instance, &bool_registry)
-        .unwrap();
+    let reach = evaluate(
+        &graphs::transitive_closure_fw("G", "n"),
+        &bool_instance,
+        &bool_registry,
+    )
+    .unwrap();
     assert_eq!(reach, baseline::transitive_closure(&bool_adjacency, false));
     println!("boolean-semiring reachability (no f_>0 needed)                   : ok");
 }

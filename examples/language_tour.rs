@@ -28,7 +28,9 @@ fn main() {
     ])
     .unwrap();
     let schema = Schema::new().with_var("G", MatrixType::square("n"));
-    let instance = Instance::new().with_dim("n", n).with_matrix("G", adjacency.clone());
+    let instance = Instance::new()
+        .with_dim("n", n)
+        .with_matrix("G", adjacency.clone());
     let registry: FunctionRegistry<Nat> = FunctionRegistry::new().with_semiring_ops();
 
     // ------------------------------------------------------------------
@@ -57,9 +59,11 @@ fn main() {
     let database = encode_instance(&schema, &instance).unwrap();
     let via_ra = ra_query.evaluate(&database).unwrap();
     println!("Φ(e) support size   : {}", via_ra.support_size());
-    println!("⟦e⟧(I)[0][1] = {:?}  /  ⟦Φ(e)⟧(Rel(I))(1,2) = {:?}",
+    println!(
+        "⟦e⟧(I)[0][1] = {:?}  /  ⟦Φ(e)⟧(Rel(I))(1,2) = {:?}",
         direct.get(0, 1).unwrap(),
-        via_ra.annotation(&[("col_n", 2), ("row_n", 1)]));
+        via_ra.annotation(&[("col_n", 2), ("row_n", 1)])
+    );
 
     // And back: an RA⁺_K query over a binary schema into sum-MATLANG.
     let two_hop_ra = RaExpr::rel("E")
@@ -80,7 +84,10 @@ fn main() {
     println!("Φ(e) as a WL formula: {formula}");
     let structure = encode_instance_as_structure(&schema, &instance).unwrap();
     let via_wl = formula.evaluate(&structure, &HashMap::new()).unwrap();
-    let direct = evaluate(&diag_product, &instance, &registry).unwrap().as_scalar().unwrap();
+    let direct = evaluate(&diag_product, &instance, &registry)
+        .unwrap()
+        .as_scalar()
+        .unwrap();
     println!("⟦e⟧(I) = {direct:?}  /  ⟦Φ(e)⟧(WL(I)) = {via_wl:?}");
     assert_eq!(direct, via_wl);
 
@@ -101,12 +108,10 @@ fn main() {
         );
     }
     // Circuits translate back into the language (Theorem 5.1, per size).
-    let small_circuit = expr_to_circuit(
-        &graphs::trace("G", "n"),
-        &schema,
-        3,
-    )
-    .unwrap();
+    let small_circuit = expr_to_circuit(&graphs::trace("G", "n"), &schema, 3).unwrap();
     let back = circuit_to_expr(small_circuit.circuit(), "n");
-    println!("trace circuit decompiled back into for-MATLANG ({} AST nodes)", back.size());
+    println!(
+        "trace circuit decompiled back into for-MATLANG ({} AST nodes)",
+        back.size()
+    );
 }

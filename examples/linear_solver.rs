@@ -19,7 +19,10 @@ fn main() {
     // ------------------------------------------------------------------
     let l = evaluate(&lu::lower_factor("A", "n"), &instance, &registry).unwrap();
     let u = evaluate(&lu::upper_factor("A", "n"), &instance, &registry).unwrap();
-    assert!(l.matmul(&u).unwrap().approx_eq(&a, 1e-8), "L·U must reconstruct A");
+    assert!(
+        l.matmul(&u).unwrap().approx_eq(&a, 1e-8),
+        "L·U must reconstruct A"
+    );
     let (l_base, u_base) = baseline::lu_decompose(&a).unwrap();
     assert!(l.approx_eq(&l_base, 1e-8) && u.approx_eq(&u_base, 1e-8));
     println!("LU decomposition (for-MATLANG[f_/])            : L·U = A, matches baseline");
@@ -30,14 +33,19 @@ fn main() {
     // ------------------------------------------------------------------
     let b: Matrix<Real> = random_vector(n, &RandomMatrixConfig::seeded(99));
     let solve = triangular::upper_triangular_inverse(lu::upper_factor("A", "n"), "n")
-        .mm(triangular::lower_triangular_inverse(lu::lower_factor("A", "n"), "n"))
+        .mm(triangular::lower_triangular_inverse(
+            lu::lower_factor("A", "n"),
+            "n",
+        ))
         .mm(Expr::var("b"));
     let instance_with_b = instance.clone().with_matrix("b", b.clone());
     let x = evaluate(&solve, &instance_with_b, &registry).unwrap();
     let residual = a.matmul(&x).unwrap();
     assert!(residual.approx_eq(&b, 1e-6), "A·x should reproduce b");
-    println!("linear system A·x = b via U⁻¹·L⁻¹·b            : max residual {:.2e}",
-        max_abs_diff(&residual, &b));
+    println!(
+        "linear system A·x = b via U⁻¹·L⁻¹·b            : max residual {:.2e}",
+        max_abs_diff(&residual, &b)
+    );
 
     // ------------------------------------------------------------------
     // Determinant and inverse via Csanky's algorithm (Proposition 4.3).
@@ -72,17 +80,18 @@ fn main() {
     // PLU decomposition on a matrix that genuinely needs pivoting
     // (Proposition 4.2).
     // ------------------------------------------------------------------
-    let pivot_needed: Matrix<Real> = Matrix::from_f64_rows(&[
-        &[0.0, 2.0, 1.0],
-        &[1.0, 0.0, 3.0],
-        &[4.0, 5.0, 0.0],
-    ])
-    .unwrap();
+    let pivot_needed: Matrix<Real> =
+        Matrix::from_f64_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[4.0, 5.0, 0.0]]).unwrap();
     let piv_instance = Instance::new()
         .with_dim("n", 3)
         .with_matrix("A", pivot_needed.clone());
     let m = evaluate(&lu::l_inverse_pivoted("A", "n"), &piv_instance, &registry).unwrap();
-    let u_piv = evaluate(&lu::upper_factor_pivoted("A", "n"), &piv_instance, &registry).unwrap();
+    let u_piv = evaluate(
+        &lu::upper_factor_pivoted("A", "n"),
+        &piv_instance,
+        &registry,
+    )
+    .unwrap();
     assert!(m.matmul(&pivot_needed).unwrap().approx_eq(&u_piv, 1e-9));
     println!("PLU decomposition with pivoting                 : L⁻¹·P·A = U (upper triangular)");
     println!("\nall for-MATLANG results agree with the native baselines");

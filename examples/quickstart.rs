@@ -28,12 +28,8 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Evaluate it over the reals.
     // ------------------------------------------------------------------
-    let a: Matrix<Real> = Matrix::from_f64_rows(&[
-        &[1.0, 9.0, 9.0],
-        &[9.0, 2.0, 9.0],
-        &[9.0, 9.0, 3.0],
-    ])
-    .unwrap();
+    let a: Matrix<Real> =
+        Matrix::from_f64_rows(&[&[1.0, 9.0, 9.0], &[9.0, 2.0, 9.0], &[9.0, 9.0, 3.0]]).unwrap();
     let instance = Instance::new().with_dim("n", 3).with_matrix("A", a);
     let registry: FunctionRegistry<Real> = FunctionRegistry::standard_field();
     let result = evaluate(&trace, &instance, &registry).unwrap();
@@ -42,12 +38,14 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. The same expression over other semirings (Section 6 of the paper).
     // ------------------------------------------------------------------
-    let bool_adj: Matrix<Boolean> =
-        Matrix::from_f64_rows(&[&[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+    let bool_adj: Matrix<Boolean> = Matrix::from_f64_rows(&[&[0.0, 1.0], &[1.0, 1.0]]).unwrap();
     let bool_instance = Instance::new().with_dim("n", 2).with_matrix("A", bool_adj);
     let bool_registry: FunctionRegistry<Boolean> = FunctionRegistry::new();
     let any_self_loop = evaluate(&trace, &bool_instance, &bool_registry).unwrap();
-    println!("trace over 𝔹    : {} (is there a self loop?)", any_self_loop.as_scalar().unwrap());
+    println!(
+        "trace over 𝔹    : {} (is there a self loop?)",
+        any_self_loop.as_scalar().unwrap()
+    );
 
     let nat_adj: Matrix<Nat> =
         Matrix::from_rows(vec![vec![Nat(2), Nat(0)], vec![Nat(0), Nat(5)]]).unwrap();

@@ -28,7 +28,14 @@ fn random_instance(n: usize, seed: u64) -> Instance<Real> {
         .with_matrix("G", random_matrix(n, n, &cfg))
         .with_matrix(
             "u",
-            random_matrix(n, 1, &RandomMatrixConfig { seed: seed + 7, ..cfg }),
+            random_matrix(
+                n,
+                1,
+                &RandomMatrixConfig {
+                    seed: seed + 7,
+                    ..cfg
+                },
+            ),
         )
 }
 
@@ -42,8 +49,17 @@ fn theorem_5_3_expressions_compile_to_equivalent_circuits() {
         ("diag-product", graphs::diagonal_product("G", "n")),
         ("floyd-warshall", graphs::transitive_closure_fw("G", "n")),
         ("order-S<", order::s_lt("n")),
-        ("gram", Expr::var("G").t().mm(Expr::var("G")).add(Expr::var("G").ones().diag())),
-        ("quadratic-form", Expr::var("u").t().mm(Expr::var("G")).mm(Expr::var("u"))),
+        (
+            "gram",
+            Expr::var("G")
+                .t()
+                .mm(Expr::var("G"))
+                .add(Expr::var("G").ones().diag()),
+        ),
+        (
+            "quadratic-form",
+            Expr::var("u").t().mm(Expr::var("G")).mm(Expr::var("u")),
+        ),
     ];
     let schema = schema();
     let registry = standard_registry::<Real>();
@@ -112,8 +128,15 @@ fn corollary_5_4_roundtrip_preserves_semantics() {
     let suite = vec![
         Expr::var("v").t().mm(Expr::var("v")),
         Expr::sum("w", "n", Expr::var("w").t().mm(Expr::var("v"))),
-        Expr::var("v").t().mm(Expr::var("v")).mm(Expr::var("v").t().mm(Expr::var("v"))),
-        Expr::hprod("w", "n", Expr::var("w").t().mm(Expr::var("v")).add(Expr::lit(1.0))),
+        Expr::var("v")
+            .t()
+            .mm(Expr::var("v"))
+            .mm(Expr::var("v").t().mm(Expr::var("v"))),
+        Expr::hprod(
+            "w",
+            "n",
+            Expr::var("w").t().mm(Expr::var("v")).add(Expr::lit(1.0)),
+        ),
     ];
     let registry = standard_registry::<Real>();
     for expr in suite {
@@ -122,8 +145,14 @@ fn corollary_5_4_roundtrip_preserves_semantics() {
             let back = circuit_to_expr(circuit.circuit(), "n");
             let instance = random_instance(n, 23)
                 .with_matrix("v", random_matrix(n, 1, &RandomMatrixConfig::seeded(3)));
-            let original = evaluate(&expr, &instance, &registry).unwrap().as_scalar().unwrap();
-            let roundtripped = evaluate(&back, &instance, &registry).unwrap().as_scalar().unwrap();
+            let original = evaluate(&expr, &instance, &registry)
+                .unwrap()
+                .as_scalar()
+                .unwrap();
+            let roundtripped = evaluate(&back, &instance, &registry)
+                .unwrap()
+                .as_scalar()
+                .unwrap();
             assert!(
                 (original.0 - roundtripped.0).abs() < 1e-7,
                 "round trip diverged for {expr} at n={n}"
@@ -153,7 +182,9 @@ fn two_stack_evaluator_agrees_with_topological_evaluation_on_random_circuits() {
             gates.push(gate);
         }
         circuit.mark_output(*gates.last().unwrap()).unwrap();
-        let inputs: Vec<Real> = (0..num_inputs).map(|_| Real(rng.gen_range(-2..3) as f64)).collect();
+        let inputs: Vec<Real> = (0..num_inputs)
+            .map(|_| Real(rng.gen_range(-2..3) as f64))
+            .collect();
         let topological = circuit.evaluate(&inputs).unwrap()[0];
         let two_stack = circuit.evaluate_two_stack(&inputs).unwrap();
         assert_eq!(topological, two_stack);
@@ -166,13 +197,21 @@ fn two_stack_evaluator_agrees_with_topological_evaluation_on_random_circuits() {
 fn compiled_circuit_sizes_grow_polynomially_for_sum_matlang() {
     let schema = schema();
     let trace_sizes: Vec<usize> = (2..=6)
-        .map(|n| expr_to_circuit(&graphs::trace("G", "n"), &schema, n).unwrap().circuit().size())
+        .map(|n| {
+            expr_to_circuit(&graphs::trace("G", "n"), &schema, n)
+                .unwrap()
+                .circuit()
+                .size()
+        })
         .collect();
     // Cubic growth at worst: the trace compiles to n inner products of n
     // entries each, so size(n) ≤ c·n³ for a small constant.
     for (i, &size) in trace_sizes.iter().enumerate() {
         let n = i + 2;
-        assert!(size <= 20 * n * n * n, "trace circuit too large at n={n}: {size}");
+        assert!(
+            size <= 20 * n * n * n,
+            "trace circuit too large at n={n}: {size}"
+        );
     }
     // And monotone.
     assert!(trace_sizes.windows(2).all(|w| w[0] < w[1]));

@@ -19,18 +19,33 @@ fn schema() -> Schema {
 #[test]
 fn witness_queries_live_in_their_figure_1_fragments() {
     // 4-clique is placed in sum-MATLANG in Figure 1.
-    assert_eq!(fragment_of(&graphs::four_clique("G", "n")), Fragment::SumMatlang);
+    assert_eq!(
+        fragment_of(&graphs::four_clique("G", "n")),
+        Fragment::SumMatlang
+    );
     // The diagonal product (DP) is placed in FO-MATLANG.
-    assert_eq!(fragment_of(&graphs::diagonal_product("G", "n")), Fragment::FoMatlang);
+    assert_eq!(
+        fragment_of(&graphs::diagonal_product("G", "n")),
+        Fragment::FoMatlang
+    );
     // The prod-MATLANG transitive closure is placed in prod-MATLANG (+ f_>0).
     assert_eq!(
         fragment_of(&graphs::transitive_closure_prod("G", "n")),
         Fragment::ProdMatlang
     );
     // Inverse, determinant and PLU are placed at the top (for-MATLANG).
-    assert_eq!(fragment_of(&csanky::inverse("G", "n")), Fragment::ForMatlang);
-    assert_eq!(fragment_of(&csanky::determinant("G", "n")), Fragment::ForMatlang);
-    assert_eq!(fragment_of(&lu::l_inverse_pivoted("G", "n")), Fragment::ForMatlang);
+    assert_eq!(
+        fragment_of(&csanky::inverse("G", "n")),
+        Fragment::ForMatlang
+    );
+    assert_eq!(
+        fragment_of(&csanky::determinant("G", "n")),
+        Fragment::ForMatlang
+    );
+    assert_eq!(
+        fragment_of(&lu::l_inverse_pivoted("G", "n")),
+        Fragment::ForMatlang
+    );
     // Plain MATLANG sits strictly below everything.
     let matlang_query = Expr::var("G").t().mm(Expr::var("G")).add(Expr::var("G"));
     assert_eq!(fragment_of(&matlang_query), Fragment::Matlang);
@@ -56,7 +71,9 @@ fn proposition_3_4_for_matlang_strictly_extends_matlang() {
     for i in 0..n - 1 {
         path.set(i, i + 1, Real(1.0)).unwrap();
     }
-    let instance = Instance::new().with_dim("n", n).with_matrix("G", path.clone());
+    let instance = Instance::new()
+        .with_dim("n", n)
+        .with_matrix("G", path.clone());
     let closure = evaluate(
         &graphs::transitive_closure_fw_bool("G", "n"),
         &instance,
@@ -71,7 +88,9 @@ fn proposition_3_4_for_matlang_strictly_extends_matlang() {
         Expr::var("G"),
         Expr::var("G").mm(Expr::var("G")),
         Expr::var("G").add(Expr::var("G").mm(Expr::var("G"))),
-        Expr::var("G").add(Expr::var("G").mm(Expr::var("G"))).mm(Expr::var("G")),
+        Expr::var("G")
+            .add(Expr::var("G").mm(Expr::var("G")))
+            .mm(Expr::var("G")),
     ] {
         let value = evaluate(&bounded, &instance, &registry).unwrap();
         assert!(
@@ -122,10 +141,16 @@ fn example_6_6_diagonal_product_exceeds_sum_matlang_growth() {
             Expr::var("G"),
             Expr::var("X").mm(Expr::var("X")),
         );
-        let exp_deg = expr_to_circuit(&exp_expr, &schema, n).unwrap().max_output_degree();
+        let exp_deg = expr_to_circuit(&exp_expr, &schema, n)
+            .unwrap()
+            .max_output_degree();
         assert_eq!(sum_deg, 1, "sum-MATLANG trace has constant degree");
         assert_eq!(dp_deg, n as u128, "diagonal product has linear degree");
-        assert_eq!(exp_deg, 1u128 << n, "repeated squaring has exponential degree");
+        assert_eq!(
+            exp_deg,
+            1u128 << n,
+            "repeated squaring has exponential degree"
+        );
         assert!(sum_deg < dp_deg || n == 1);
         assert!(dp_deg < exp_deg);
     }
@@ -160,7 +185,10 @@ fn for_matlang_computes_inverse_which_lower_fragments_do_not_reach() {
         let a: Matrix<Real> = random_invertible(4, seed);
         let instance = Instance::new().with_dim("n", 4).with_matrix("G", a.clone());
         let inverse = evaluate(&csanky::inverse("G", "n"), &instance, &registry).unwrap();
-        assert!(a.matmul(&inverse).unwrap().approx_eq(&Matrix::identity(4), 1e-6));
+        assert!(a
+            .matmul(&inverse)
+            .unwrap()
+            .approx_eq(&Matrix::identity(4), 1e-6));
         let det = evaluate(&csanky::determinant("G", "n"), &instance, &registry)
             .unwrap()
             .as_scalar()

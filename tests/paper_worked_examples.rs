@@ -60,8 +60,14 @@ fn section_3_2_order_machinery() {
             evaluate(&order::e_max("n"), &inst, &reg).unwrap(),
             Matrix::canonical(n, n - 1).unwrap()
         );
-        assert_eq!(evaluate(&order::s_leq("n"), &inst, &reg).unwrap(), Matrix::order_leq(n));
-        assert_eq!(evaluate(&order::s_lt("n"), &inst, &reg).unwrap(), Matrix::order_lt(n));
+        assert_eq!(
+            evaluate(&order::s_leq("n"), &inst, &reg).unwrap(),
+            Matrix::order_leq(n)
+        );
+        assert_eq!(
+            evaluate(&order::s_lt("n"), &inst, &reg).unwrap(),
+            Matrix::order_lt(n)
+        );
         assert_eq!(
             evaluate(&order::prev_matrix("n"), &inst, &reg).unwrap(),
             Matrix::shift_prev(n)
@@ -83,12 +89,20 @@ fn example_3_3_four_clique_agrees_with_brute_force() {
     for seed in 0..8 {
         let n = 7;
         let adjacency: Matrix<Real> = random_adjacency(n, 0.55, seed);
-        let symmetric = adjacency
-            .add(&adjacency.transpose())
+        let symmetric = adjacency.add(&adjacency.transpose()).unwrap().map(|v| {
+            if v.0 > 0.0 {
+                Real(1.0)
+            } else {
+                Real(0.0)
+            }
+        });
+        let inst = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", symmetric.clone());
+        let value = evaluate(&expr, &inst, &registry())
             .unwrap()
-            .map(|v| if v.0 > 0.0 { Real(1.0) } else { Real(0.0) });
-        let inst = Instance::new().with_dim("n", n).with_matrix("G", symmetric.clone());
-        let value = evaluate(&expr, &inst, &registry()).unwrap().as_scalar().unwrap();
+            .as_scalar()
+            .unwrap();
         assert_eq!(
             value.0 > 0.0,
             baseline::has_four_clique(&symmetric),
@@ -103,7 +117,9 @@ fn example_3_5_floyd_warshall_transitive_closure() {
     for seed in 0..8 {
         let n = 7;
         let adjacency: Matrix<Real> = random_adjacency(n, 0.25, seed);
-        let inst = Instance::new().with_dim("n", n).with_matrix("G", adjacency.clone());
+        let inst = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", adjacency.clone());
         let closure = evaluate(&expr, &inst, &registry()).unwrap();
         assert_eq!(closure, baseline::transitive_closure(&adjacency, false));
     }
@@ -117,7 +133,10 @@ fn proposition_4_1_lu_decomposition_on_random_factorizable_matrices() {
         let inst = Instance::new().with_dim("n", n).with_matrix("A", a.clone());
         let l = evaluate(&lu::lower_factor("A", "n"), &inst, &registry()).unwrap();
         let u = evaluate(&lu::upper_factor("A", "n"), &inst, &registry()).unwrap();
-        assert!(l.matmul(&u).unwrap().approx_eq(&a, 1e-7), "L·U ≠ A for seed {seed}");
+        assert!(
+            l.matmul(&u).unwrap().approx_eq(&a, 1e-7),
+            "L·U ≠ A for seed {seed}"
+        );
         let (bl, bu) = baseline::lu_decompose(&a).unwrap();
         assert!(l.approx_eq(&bl, 1e-7));
         assert!(u.approx_eq(&bu, 1e-7));
@@ -148,7 +167,10 @@ fn proposition_4_2_plu_decomposition_with_pivoting() {
             u.iter_entries().all(|(i, j, v)| j >= i || v.0.abs() < 1e-8),
             "U not upper triangular for case {idx}"
         );
-        assert!(m.matmul(&a).unwrap().approx_eq(&u, 1e-8), "L⁻¹·P·A ≠ U for case {idx}");
+        assert!(
+            m.matmul(&a).unwrap().approx_eq(&u, 1e-8),
+            "L⁻¹·P·A ≠ U for case {idx}"
+        );
     }
 }
 
@@ -189,7 +211,10 @@ fn lemma_c_1_triangular_inversion() {
         &registry(),
     )
     .unwrap();
-    assert!(u.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+    assert!(u
+        .matmul(&inv)
+        .unwrap()
+        .approx_eq(&Matrix::identity(3), 1e-9));
 
     let l = u.transpose();
     let inst = Instance::new().with_dim("n", 3).with_matrix("A", l.clone());
@@ -199,17 +224,16 @@ fn lemma_c_1_triangular_inversion() {
         &registry(),
     )
     .unwrap();
-    assert!(l.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+    assert!(l
+        .matmul(&inv)
+        .unwrap()
+        .approx_eq(&Matrix::identity(3), 1e-9));
 }
 
 #[test]
 fn example_6_6_diagonal_product_and_trace() {
-    let a: Matrix<Real> = Matrix::from_f64_rows(&[
-        &[2.0, 8.0, 8.0],
-        &[8.0, 5.0, 8.0],
-        &[8.0, 8.0, 7.0],
-    ])
-    .unwrap();
+    let a: Matrix<Real> =
+        Matrix::from_f64_rows(&[&[2.0, 8.0, 8.0], &[8.0, 5.0, 8.0], &[8.0, 8.0, 7.0]]).unwrap();
     let inst = Instance::new().with_dim("n", 3).with_matrix("G", a);
     let dp = evaluate(&graphs::diagonal_product("G", "n"), &inst, &registry())
         .unwrap()
@@ -233,7 +257,15 @@ fn loop_initialization_sugar_of_section_3_2() {
 
     // Rewritten form: zero-initialized loop whose body selects e(v, X/e₀) in
     // the first iteration and e(v, X) afterwards.
-    let Expr::For { var, var_dim, acc, acc_type, init, body } = with_init.clone() else {
+    let Expr::For {
+        var,
+        var_dim,
+        acc,
+        acc_type,
+        init,
+        body,
+    } = with_init.clone()
+    else {
         panic!("Floyd–Warshall is a for loop");
     };
     let init = *init.expect("has an initializer");

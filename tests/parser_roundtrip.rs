@@ -25,7 +25,10 @@ fn library() -> Vec<(&'static str, Expr)> {
         ("lu_u", lu::upper_factor("A", "n")),
         ("plu", lu::l_inverse_pivoted("A", "n")),
         ("power_sum", triangular::power_sum(Expr::var("A"), "n")),
-        ("upper_inverse", triangular::upper_triangular_inverse(Expr::var("A"), "n")),
+        (
+            "upper_inverse",
+            triangular::upper_triangular_inverse(Expr::var("A"), "n"),
+        ),
         ("char_poly", csanky::char_poly_coeffs("A", "n")),
         ("determinant", csanky::determinant("A", "n")),
         ("inverse", csanky::inverse("A", "n")),
@@ -56,7 +59,10 @@ fn parsed_expressions_still_typecheck_and_classify_identically() {
         );
         let original_type = typecheck(&expr, &schema);
         let parsed_type = typecheck(&parsed, &schema);
-        assert_eq!(original_type, parsed_type, "{name}: type changed after parsing");
+        assert_eq!(
+            original_type, parsed_type,
+            "{name}: type changed after parsing"
+        );
     }
 }
 

@@ -81,7 +81,7 @@ proptest! {
         let n = a.rows();
         let mut reversed = Matrix::<Nat>::zeros(n, n);
         for (i, j, v) in a.iter_entries() {
-            reversed.set(n - 1 - i, n - 1 - j, v.clone()).unwrap();
+            reversed.set(n - 1 - i, n - 1 - j, *v).unwrap();
         }
         let reversed_instance = Instance::new().with_dim("n", n).with_matrix("A", reversed);
         let lhs = evaluate(&forward, &instance, &registry).unwrap();

@@ -32,7 +32,11 @@ fn sum_matlang_suite() -> Vec<Expr> {
         Expr::var("A").mm(Expr::var("u")),
         Expr::var("u").t().mm(Expr::var("A")).mm(Expr::var("u")),
         Expr::var("A").ones().diag(),
-        Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+        Expr::sum(
+            "v",
+            "n",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        ),
         Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t())),
         Expr::sum(
             "v",
@@ -47,7 +51,9 @@ fn sum_matlang_suite() -> Vec<Expr> {
                     .smul(Expr::var("v").mm(Expr::var("w").t())),
             ),
         ),
-        Expr::var("A").mm(Expr::var("B")).add(Expr::var("B").t().mm(Expr::var("A"))),
+        Expr::var("A")
+            .mm(Expr::var("B"))
+            .add(Expr::var("B").t().mm(Expr::var("A"))),
     ]
 }
 
@@ -58,7 +64,6 @@ fn nat_instance(n: usize, seed: u64) -> Instance<Nat> {
         max_value: 3.0,
         integer_entries: true,
         zero_probability: 0.3,
-        ..Default::default()
     };
     Instance::new()
         .with_dim("n", n)
@@ -72,13 +77,20 @@ fn boolean_instance(n: usize, seed: u64) -> Instance<Boolean> {
         .with_dim("n", n)
         .with_matrix("A", random_adjacency(n, 0.5, seed))
         .with_matrix("B", random_adjacency(n, 0.5, seed + 1))
-        .with_matrix("u", random_matrix(n, 1, &RandomMatrixConfig {
-            seed: seed + 2,
-            min_value: 0.0,
-            max_value: 1.0,
-            integer_entries: true,
-            ..Default::default()
-        }))
+        .with_matrix(
+            "u",
+            random_matrix(
+                n,
+                1,
+                &RandomMatrixConfig {
+                    seed: seed + 2,
+                    min_value: 0.0,
+                    max_value: 1.0,
+                    integer_entries: true,
+                    ..Default::default()
+                },
+            ),
+        )
 }
 
 /// Checks `⟦e⟧(I)ᵢⱼ = ⟦Φ(e)⟧(Rel(I))(i+1, j+1)` for every entry.
@@ -131,7 +143,13 @@ fn corollary_6_5_ra_to_sum_matlang_roundtrip() {
     // Random binary database → RA⁺_K queries → sum-MATLANG over Mat(J).
     let mut edges: Relation<Nat> = Relation::new(["src", "dst"]);
     let mut labels: Relation<Nat> = Relation::new(["node"]);
-    let values = [(1u64, 2u64, 2u64), (2, 3, 1), (3, 1, 4), (1, 3, 3), (3, 3, 5)];
+    let values = [
+        (1u64, 2u64, 2u64),
+        (2, 3, 1),
+        (3, 1, 4),
+        (1, 3, 3),
+        (3, 3, 5),
+    ];
     for (s, d, w) in values {
         edges.insert(&[("src", s), ("dst", d)], Nat(w)).unwrap();
     }
@@ -195,14 +213,22 @@ fn corollary_6_5_ra_to_sum_matlang_roundtrip() {
 fn fo_matlang_suite() -> Vec<Expr> {
     vec![
         Expr::var("A").had(Expr::var("B")),
-        Expr::hprod("v", "n", Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v"))),
+        Expr::hprod(
+            "v",
+            "n",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        ),
         Expr::sum(
             "v",
             "n",
             Expr::hprod(
                 "w",
                 "n",
-                Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("w")).add(Expr::lit(1.0)),
+                Expr::var("v")
+                    .t()
+                    .mm(Expr::var("A"))
+                    .mm(Expr::var("w"))
+                    .add(Expr::lit(1.0)),
             ),
         ),
         Expr::var("A").mm(Expr::var("B")).had(Expr::var("B")),
@@ -248,8 +274,17 @@ fn proposition_6_7_weighted_logic_to_fo_matlang() {
         .with_relation("L", labels);
 
     let formulas = vec![
-        WlFormula::sum("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]))),
-        WlFormula::prod("x", WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")))),
+        WlFormula::sum(
+            "x",
+            WlFormula::sum("y", WlFormula::atom("E", vec!["x", "y"])),
+        ),
+        WlFormula::prod(
+            "x",
+            WlFormula::sum(
+                "y",
+                WlFormula::atom("E", vec!["x", "y"]).plus(WlFormula::eq("x", "y")),
+            ),
+        ),
         WlFormula::sum(
             "x",
             WlFormula::atom("L", vec!["x"]).times(WlFormula::sum(
@@ -259,7 +294,10 @@ fn proposition_6_7_weighted_logic_to_fo_matlang() {
         ),
         WlFormula::sum(
             "x",
-            WlFormula::prod("y", WlFormula::eq("x", "y").plus(WlFormula::atom("E", vec!["x", "y"]))),
+            WlFormula::prod(
+                "y",
+                WlFormula::eq("x", "y").plus(WlFormula::atom("E", vec!["x", "y"])),
+            ),
         ),
     ];
     let (instance, _) = matlang::wl::encode_structure_as_instance(&structure, "n").unwrap();
@@ -268,7 +306,10 @@ fn proposition_6_7_weighted_logic_to_fo_matlang() {
         let direct = formula.evaluate_closed(&structure).unwrap();
         let expr = wl_to_matlang(&formula, "n");
         assert!(fragment_of(&expr) <= Fragment::FoMatlang);
-        let via_ml = evaluate(&expr, &instance, &registry).unwrap().as_scalar().unwrap();
+        let via_ml = evaluate(&expr, &instance, &registry)
+            .unwrap()
+            .as_scalar()
+            .unwrap();
         assert_eq!(via_ml, direct, "Ψ mismatch for {formula}");
     }
 }
@@ -285,7 +326,9 @@ fn equivalences_hold_over_the_tropical_semiring() {
     ])
     .unwrap();
     let schema = Schema::new().with_var("A", MatrixType::square("n"));
-    let instance = Instance::new().with_dim("n", n).with_matrix("A", weights.clone());
+    let instance = Instance::new()
+        .with_dim("n", n)
+        .with_matrix("A", weights.clone());
     let two_hop = Expr::var("A").mm(Expr::var("A"));
     let registry = FunctionRegistry::<MinPlus>::new().with_semiring_ops();
     let matrix = evaluate(&two_hop, &instance, &registry).unwrap();
@@ -294,5 +337,8 @@ fn equivalences_hold_over_the_tropical_semiring() {
     let db = encode_instance(&schema, &instance).unwrap();
     let ra = matlang_to_ra(&two_hop, &schema).unwrap();
     let relation = ra.evaluate(&db).unwrap();
-    assert_eq!(relation.annotation(&[("row_n", 1), ("col_n", 3)]), MinPlus(5.0));
+    assert_eq!(
+        relation.annotation(&[("row_n", 1), ("col_n", 3)]),
+        MinPlus(5.0)
+    );
 }

@@ -1,0 +1,92 @@
+//! Experiment E10 — the sparse matrix subsystem versus dense storage.
+//!
+//! Three series over random Boolean/Nat adjacency matrices of growing size:
+//!
+//! 1. **SpMM** — squaring an average-degree-8 adjacency matrix: CSR
+//!    Gustavson SpMM (`Θ(n·d²)`) against the dense kernel (`Θ(n³)` worst
+//!    case; the dense kernel's zero-skip makes it `Θ(n²·(1 + d))` on sparse
+//!    inputs, still quadratic).  The 2000-node point is the subsystem's
+//!    acceptance criterion.
+//! 2. **Transitive closure** — per-source BFS on CSR (`O(n·(nnz + n))`)
+//!    against the dense Warshall baseline (`Θ(n³)`).
+//! 3. **WL workload** — the weighted-logic benchmark queries (trace and
+//!    diagonal product, Section 6.2) interpreted over the dense backend
+//!    versus the adaptive sparse backend ([`matlang_core::SparseInstance`]):
+//!    canonical vectors are 1-nnz CSR vectors, so each loop iteration costs
+//!    `O(d)` instead of `O(n²)`.
+//!
+//! Expected shape: sparse wins every series, and the gap widens with `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_algorithms::{baseline, graphs};
+use matlang_bench::{sparse_criterion, CLOSURE_SIZES, EVAL_SIZES, SPARSE_SIZES};
+use matlang_core::{evaluate, FunctionRegistry, Instance, SparseInstance};
+use matlang_matrix::{sparse_erdos_renyi, MatrixRepr, SparseMatrix};
+use matlang_semiring::{Boolean, Nat};
+
+const AVG_DEGREE: f64 = 8.0;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_spmm");
+    for &n in SPARSE_SIZES {
+        let sparse: SparseMatrix<Boolean> = sparse_erdos_renyi(n, AVG_DEGREE, 7 + n as u64);
+        let dense = sparse.to_dense();
+        group.bench_with_input(BenchmarkId::new("sparse-csr-spmm", n), &n, |b, _| {
+            b.iter(|| sparse.matmul(&sparse).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dense-matmul", n), &n, |b, _| {
+            b.iter(|| dense.matmul(&dense).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_transitive_closure");
+    for &n in CLOSURE_SIZES {
+        let sparse: SparseMatrix<Boolean> = sparse_erdos_renyi(n, 4.0, 11 + n as u64);
+        let dense = sparse.to_dense();
+        group.bench_with_input(BenchmarkId::new("sparse-bfs-closure", n), &n, |b, _| {
+            b.iter(|| baseline::sparse_transitive_closure(&sparse, false))
+        });
+        group.bench_with_input(BenchmarkId::new("dense-warshall", n), &n, |b, _| {
+            b.iter(|| baseline::transitive_closure(&dense, false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wl_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_wl_workload");
+    let registry = FunctionRegistry::<Nat>::new();
+    let queries = [
+        ("trace", graphs::trace("G", "n")),
+        ("diag-product", graphs::diagonal_product("G", "n")),
+    ];
+    for &n in EVAL_SIZES {
+        let sparse: SparseMatrix<Nat> = sparse_erdos_renyi(n, 4.0, 17 + n as u64);
+        let dense_inst: Instance<Nat> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", sparse.to_dense());
+        let sparse_inst: SparseInstance<Nat> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("G", MatrixRepr::from_sparse_auto(sparse));
+        for (name, expr) in &queries {
+            let label = format!("{name}-n{n}");
+            group.bench_with_input(BenchmarkId::new("dense-backend", &label), &n, |b, _| {
+                b.iter(|| evaluate(expr, &dense_inst, &registry).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("sparse-backend", &label), &n, |b, _| {
+                b.iter(|| evaluate(expr, &sparse_inst, &registry).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sparse_criterion();
+    targets = bench_spmm, bench_transitive_closure, bench_wl_workload
+}
+criterion_main!(benches);

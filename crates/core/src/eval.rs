@@ -4,7 +4,7 @@
 use crate::expr::Expr;
 use crate::functions::FunctionRegistry;
 use crate::schema::{Dim, Instance};
-use matlang_matrix::{Matrix, MatrixError};
+use matlang_matrix::{MatrixError, MatrixStorage};
 use matlang_semiring::Semiring;
 use std::collections::HashMap;
 use std::fmt;
@@ -98,11 +98,16 @@ impl From<MatrixError> for EvalError {
 
 /// Evaluates `expr` over `instance`, resolving pointwise functions in
 /// `registry`.  This is `⟦expr⟧(instance)`.
-pub fn evaluate<K: Semiring>(
+///
+/// The evaluator is generic over the matrix representation `M`: pass an
+/// `Instance<K>` (dense matrices, the default) to get dense evaluation, or
+/// an `Instance<K, MatrixRepr<K>>` to evaluate with backend-aware adaptive
+/// sparse/dense storage — the semantics are identical.
+pub fn evaluate<K: Semiring, M: MatrixStorage<Elem = K>>(
     expr: &Expr,
-    instance: &Instance<K>,
+    instance: &Instance<K, M>,
     registry: &FunctionRegistry<K>,
-) -> Result<Matrix<K>, EvalError> {
+) -> Result<M, EvalError> {
     evaluate_with_env(expr, instance, registry, &HashMap::new())
 }
 
@@ -110,21 +115,21 @@ pub fn evaluate<K: Semiring>(
 /// shadow the instance's matrices.  Used internally for loop variables and
 /// exposed for callers that want to pre-bind canonical vectors (e.g. the
 /// RA⁺_K and WL translations evaluate open expressions this way).
-pub fn evaluate_with_env<K: Semiring>(
+pub fn evaluate_with_env<K: Semiring, M: MatrixStorage<Elem = K>>(
     expr: &Expr,
-    instance: &Instance<K>,
+    instance: &Instance<K, M>,
     registry: &FunctionRegistry<K>,
-    env: &HashMap<String, Matrix<K>>,
-) -> Result<Matrix<K>, EvalError> {
+    env: &HashMap<String, M>,
+) -> Result<M, EvalError> {
     let mut env = env.clone();
     eval(expr, instance, registry, &mut env)
 }
 
-fn lookup<K: Semiring>(
+fn lookup<K: Semiring, M: MatrixStorage<Elem = K>>(
     name: &str,
-    instance: &Instance<K>,
-    env: &HashMap<String, Matrix<K>>,
-) -> Result<Matrix<K>, EvalError> {
+    instance: &Instance<K, M>,
+    env: &HashMap<String, M>,
+) -> Result<M, EvalError> {
     if let Some(m) = env.get(name) {
         return Ok(m.clone());
     }
@@ -136,7 +141,10 @@ fn lookup<K: Semiring>(
         })
 }
 
-fn dim_of<K: Semiring>(symbol: &str, instance: &Instance<K>) -> Result<usize, EvalError> {
+fn dim_of<K: Semiring, M: MatrixStorage<Elem = K>>(
+    symbol: &str,
+    instance: &Instance<K, M>,
+) -> Result<usize, EvalError> {
     let n = instance
         .dim_value(&Dim::Sym(symbol.to_string()))
         .ok_or_else(|| EvalError::UnknownDimension {
@@ -150,19 +158,19 @@ fn dim_of<K: Semiring>(symbol: &str, instance: &Instance<K>) -> Result<usize, Ev
     Ok(n)
 }
 
-fn eval<K: Semiring>(
+fn eval<K: Semiring, M: MatrixStorage<Elem = K>>(
     expr: &Expr,
-    instance: &Instance<K>,
+    instance: &Instance<K, M>,
     registry: &FunctionRegistry<K>,
-    env: &mut HashMap<String, Matrix<K>>,
-) -> Result<Matrix<K>, EvalError> {
+    env: &mut HashMap<String, M>,
+) -> Result<M, EvalError> {
     match expr {
         Expr::Var(name) => lookup(name, instance, env),
-        Expr::Const(c) => Ok(Matrix::scalar(K::from_f64(*c))),
+        Expr::Const(c) => Ok(M::scalar(K::from_f64(*c))),
         Expr::Transpose(e) => Ok(eval(e, instance, registry, env)?.transpose()),
         Expr::Ones(e) => {
             let value = eval(e, instance, registry, env)?;
-            Ok(Matrix::ones_vector(value.rows()))
+            Ok(M::ones_vector(value.rows()))
         }
         Expr::Diag(e) => {
             let value = eval(e, instance, registry, env)?;
@@ -199,12 +207,12 @@ fn eval<K: Semiring>(
                 .get(name)
                 .ok_or_else(|| EvalError::UnknownFunction { name: name.clone() })?
                 .clone();
-            let values: Vec<Matrix<K>> = args
+            let values: Vec<M> = args
                 .iter()
                 .map(|a| eval(a, instance, registry, env))
                 .collect::<Result<_, _>>()?;
-            let refs: Vec<&Matrix<K>> = values.iter().collect();
-            Ok(Matrix::zip_with(&refs, |entries| f(entries))?)
+            let refs: Vec<&M> = values.iter().collect();
+            Ok(M::zip_with(&refs, |entries| f(entries))?)
         }
         Expr::Let { var, value, body } => {
             let bound = eval(value, instance, registry, env)?;
@@ -240,13 +248,13 @@ fn eval<K: Semiring>(
                     }
                     value
                 }
-                None => Matrix::zeros(acc_shape.0, acc_shape.1),
+                None => M::zeros(acc_shape.0, acc_shape.1),
             };
             let saved_var = env.remove(var);
             let saved_acc = env.remove(acc);
             let mut outcome = Ok(());
             for i in 0..n {
-                let canonical = Matrix::canonical(n, i)?;
+                let canonical = M::canonical(n, i)?;
                 env.insert(var.clone(), canonical);
                 env.insert(acc.clone(), accumulator.clone());
                 match eval(body, instance, registry, env) {
@@ -302,21 +310,21 @@ fn eval<K: Semiring>(
 /// over the canonical vectors and fold the results with `combine`.  Folding
 /// from the first value is equivalent to the paper's initialization with the
 /// neutral element (0, the all-ones matrix and the identity, respectively).
-fn fold_loop<K: Semiring>(
-    instance: &Instance<K>,
+fn fold_loop<K: Semiring, M: MatrixStorage<Elem = K>>(
+    instance: &Instance<K, M>,
     registry: &FunctionRegistry<K>,
-    env: &mut HashMap<String, Matrix<K>>,
+    env: &mut HashMap<String, M>,
     var: &str,
     var_dim: &str,
     body: &Expr,
-    combine: impl Fn(Option<Matrix<K>>, Matrix<K>) -> Result<Matrix<K>, EvalError>,
-) -> Result<Matrix<K>, EvalError> {
+    combine: impl Fn(Option<M>, M) -> Result<M, EvalError>,
+) -> Result<M, EvalError> {
     let n = dim_of(var_dim, instance)?;
     let saved_var = env.remove(var);
-    let mut acc: Option<Matrix<K>> = None;
+    let mut acc: Option<M> = None;
     let mut outcome = Ok(());
     for i in 0..n {
-        let canonical = Matrix::canonical(n, i)?;
+        let canonical = M::canonical(n, i)?;
         env.insert(var.to_string(), canonical);
         match eval(body, instance, registry, env) {
             Ok(value) => match combine(acc.take(), value) {
@@ -339,7 +347,7 @@ fn fold_loop<K: Semiring>(
     })
 }
 
-fn restore<K>(env: &mut HashMap<String, Matrix<K>>, name: &str, saved: Option<Matrix<K>>) {
+fn restore<M>(env: &mut HashMap<String, M>, name: &str, saved: Option<M>) {
     match saved {
         Some(m) => {
             env.insert(name.to_string(), m);
@@ -350,7 +358,7 @@ fn restore<K>(env: &mut HashMap<String, Matrix<K>>, name: &str, saved: Option<Ma
     }
 }
 
-fn restore_opt<K>(env: &mut HashMap<String, Matrix<K>>, name: &str, saved: Option<Matrix<K>>) {
+fn restore_opt<M>(env: &mut HashMap<String, M>, name: &str, saved: Option<M>) {
     restore(env, name, saved);
 }
 
@@ -358,6 +366,7 @@ fn restore_opt<K>(env: &mut HashMap<String, Matrix<K>>, name: &str, saved: Optio
 mod tests {
     use super::*;
     use crate::schema::MatrixType;
+    use matlang_matrix::Matrix;
     use matlang_semiring::{Boolean, Nat, Real};
 
     fn real_instance(n: usize, a: Matrix<Real>) -> Instance<Real> {

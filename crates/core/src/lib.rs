@@ -21,8 +21,11 @@
 //! * the paper's typing rules ([`typecheck()`]),
 //! * syntactic fragment classification ([`fragment`]),
 //! * pointwise-function registries ([`FunctionRegistry`]),
-//! * a semiring-generic evaluator ([`evaluate`]) implementing the semantics
-//!   of Sections 2, 3 and 6, and
+//! * a semiring-generic, **backend-aware** evaluator ([`evaluate`])
+//!   implementing the semantics of Sections 2, 3 and 6 — generic over the
+//!   [`matlang_matrix::MatrixStorage`] representation, so the same
+//!   expression evaluates over dense, CSR-sparse or adaptive
+//!   ([`SparseInstance`]) matrices with identical results, and
 //! * desugarings of the derived operators into core for-MATLANG
 //!   ([`desugar`]), mirroring Examples 3.1 and 3.2.
 
@@ -43,6 +46,12 @@ pub use functions::{FunctionRegistry, PointwiseFn};
 pub use rewrite::simplify;
 pub use schema::{Dim, Instance, MatrixType, Schema};
 pub use typecheck::{typecheck, TypeError};
+
+/// An instance whose matrices use the adaptive sparse/dense representation
+/// ([`matlang_matrix::MatrixRepr`]).  Evaluating with it turns every
+/// operation into a backend-aware one: results are stored sparse or dense
+/// according to their density.
+pub type SparseInstance<K> = Instance<K, matlang_matrix::MatrixRepr<K>>;
 
 /// Result alias for evaluation.
 pub type EvalResult<T> = std::result::Result<T, EvalError>;

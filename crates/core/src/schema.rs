@@ -4,10 +4,11 @@
 //! matrix variable; an instance `I = (D, mat)` assigns a concrete dimension
 //! to every size symbol and a concrete matrix to every variable (Section 2).
 
-use matlang_matrix::Matrix;
+use matlang_matrix::{Matrix, MatrixStorage};
 use matlang_semiring::Semiring;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::marker::PhantomData;
 
 /// A size symbol: either the distinguished symbol `1` or a named symbol such
 /// as `α`, `β`, `γ`.
@@ -144,35 +145,43 @@ impl Schema {
 
 /// A MATLANG instance `I = (D, mat)`: concrete dimensions for size symbols
 /// and concrete matrices for matrix variables.
+///
+/// The instance is generic over the matrix representation `M` (any
+/// [`MatrixStorage`] backend); it defaults to the dense [`Matrix`], so
+/// existing code written against `Instance<K>` keeps its meaning.  Use
+/// `Instance<K, MatrixRepr<K>>` (alias [`crate::SparseInstance`]) to
+/// evaluate over the adaptive sparse/dense backend.
 #[derive(Debug, Clone)]
-pub struct Instance<K: Semiring> {
+pub struct Instance<K: Semiring, M: MatrixStorage<Elem = K> = Matrix<K>> {
     dims: BTreeMap<String, usize>,
-    mats: BTreeMap<String, Matrix<K>>,
+    mats: BTreeMap<String, M>,
+    _semiring: PhantomData<K>,
 }
 
-impl<K: Semiring> Default for Instance<K> {
+impl<K: Semiring, M: MatrixStorage<Elem = K>> Default for Instance<K, M> {
     fn default() -> Self {
         Instance {
             dims: BTreeMap::new(),
             mats: BTreeMap::new(),
+            _semiring: PhantomData,
         }
     }
 }
 
-impl<K: Semiring> Instance<K> {
+impl<K: Semiring, M: MatrixStorage<Elem = K>> Instance<K, M> {
     /// An empty instance.
-    pub fn new() -> Instance<K> {
+    pub fn new() -> Instance<K, M> {
         Instance::default()
     }
 
     /// Builder-style size-symbol assignment `D(sym) = n`.
-    pub fn with_dim(mut self, sym: impl Into<String>, n: usize) -> Instance<K> {
+    pub fn with_dim(mut self, sym: impl Into<String>, n: usize) -> Instance<K, M> {
         self.dims.insert(sym.into(), n);
         self
     }
 
     /// Builder-style matrix assignment `mat(V) = m`.
-    pub fn with_matrix(mut self, var: impl Into<String>, m: Matrix<K>) -> Instance<K> {
+    pub fn with_matrix(mut self, var: impl Into<String>, m: M) -> Instance<K, M> {
         self.mats.insert(var.into(), m);
         self
     }
@@ -183,7 +192,7 @@ impl<K: Semiring> Instance<K> {
     }
 
     /// Assign a matrix to a variable.
-    pub fn set_matrix(&mut self, var: impl Into<String>, m: Matrix<K>) {
+    pub fn set_matrix(&mut self, var: impl Into<String>, m: M) {
         self.mats.insert(var.into(), m);
     }
 
@@ -201,12 +210,12 @@ impl<K: Semiring> Instance<K> {
     }
 
     /// The matrix assigned to a variable.
-    pub fn matrix(&self, var: &str) -> Option<&Matrix<K>> {
+    pub fn matrix(&self, var: &str) -> Option<&M> {
         self.mats.get(var)
     }
 
     /// Iterate over assigned matrices in name order.
-    pub fn matrices(&self) -> impl Iterator<Item = (&String, &Matrix<K>)> {
+    pub fn matrices(&self) -> impl Iterator<Item = (&String, &M)> {
         self.mats.iter()
     }
 

@@ -1,0 +1,224 @@
+//! Evaluator parity: the whole eval test corpus — every operator of the
+//! language, the paper's worked examples, and randomized expressions — must
+//! produce identical results over the dense backend (`Instance<K>`) and the
+//! adaptive sparse backend (`SparseInstance<K>`).
+
+use matlang_core::{
+    evaluate, EvalError, Expr, FunctionRegistry, Instance, MatrixType, SparseInstance,
+};
+use matlang_matrix::{random_adjacency, random_matrix, Matrix, MatrixRepr, RandomMatrixConfig};
+use matlang_semiring::{Boolean, Nat, Real, Semiring};
+
+/// Builds the sparse twin of a dense instance: same dims, same matrices,
+/// adaptive representation.
+fn sparsify<K: Semiring>(dense: &Instance<K>) -> SparseInstance<K> {
+    let mut out: SparseInstance<K> = Instance::new();
+    for (sym, n) in dense.dims() {
+        out.set_dim(sym.clone(), n);
+    }
+    for (var, m) in dense.matrices() {
+        out.set_matrix(var.clone(), MatrixRepr::from_dense_auto(m.clone()));
+    }
+    out
+}
+
+/// Evaluates `expr` over both backends and asserts identical results (or
+/// identical errors).
+fn assert_backend_parity<K: Semiring>(
+    expr: &Expr,
+    instance: &Instance<K>,
+    registry: &FunctionRegistry<K>,
+) {
+    let dense = evaluate(expr, instance, registry);
+    let sparse = evaluate(expr, &sparsify(instance), registry);
+    match (dense, sparse) {
+        (Ok(d), Ok(s)) => assert_eq!(
+            d,
+            s.to_dense(),
+            "dense and sparse evaluation disagree for {expr}"
+        ),
+        (Err(de), Err(se)) => assert_eq!(
+            std::mem::discriminant(&de),
+            std::mem::discriminant(&se),
+            "dense and sparse evaluation fail differently for {expr}: {de} vs {se}"
+        ),
+        (d, s) => panic!("backend mismatch for {expr}: dense {d:?}, sparse {s:?}"),
+    }
+}
+
+fn real_registry() -> FunctionRegistry<Real> {
+    FunctionRegistry::standard_field()
+}
+
+fn mat(rows: &[&[f64]]) -> Matrix<Real> {
+    Matrix::from_f64_rows(rows).unwrap()
+}
+
+fn real_instance(n: usize, a: Matrix<Real>) -> Instance<Real> {
+    Instance::new().with_dim("a", n).with_matrix("A", a)
+}
+
+/// The operator corpus from the `crates/core` eval tests.
+fn operator_corpus() -> Vec<Expr> {
+    vec![
+        Expr::var("A"),
+        Expr::lit(2.5),
+        Expr::var("A").t(),
+        Expr::var("A").add(Expr::var("A")),
+        Expr::var("A").mm(Expr::var("A")),
+        Expr::var("A").ones(),
+        Expr::var("A").ones().diag(),
+        Expr::lit(2.0).smul(Expr::var("A")),
+        Expr::var("A").had(Expr::var("A")),
+        Expr::apply("gt0", vec![Expr::var("A")]),
+        Expr::apply("div", vec![Expr::lit(6.0), Expr::lit(3.0)]),
+        Expr::let_in(
+            "T",
+            Expr::var("A").mm(Expr::var("A")),
+            Expr::var("T").add(Expr::var("T")),
+        ),
+        // Example 3.1: the one-vector via a for loop.
+        Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::vector("a"),
+            Expr::var("X").add(Expr::var("v")),
+        ),
+        // Section 3.2: e_max ends with the last canonical vector.
+        Expr::for_loop("v", "a", "X", MatrixType::vector("a"), Expr::var("v")),
+        // Example 3.2: diag via a for loop.
+        Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::square("a"),
+            Expr::var("X").add(
+                Expr::var("v")
+                    .t()
+                    .mm(Expr::var("A").ones())
+                    .smul(Expr::var("v").mm(Expr::var("v").t())),
+            ),
+        ),
+        // Quantifier corpus: Σ / Π∘ / Π.
+        Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t())),
+        Expr::hprod(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        ),
+        Expr::mprod("v", "a", Expr::var("A")),
+        // Error cases must fail identically.
+        Expr::var("Z"),
+        Expr::var("A").smul(Expr::var("A")),
+        Expr::sum("v", "missing", Expr::var("v")),
+        Expr::apply("nope", vec![Expr::var("A")]),
+    ]
+}
+
+#[test]
+fn operator_corpus_has_backend_parity() {
+    let a = mat(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 4.0], &[5.0, 0.0, 6.0]]);
+    let inst = real_instance(3, a);
+    let reg = real_registry();
+    for expr in operator_corpus() {
+        assert_backend_parity(&expr, &inst, &reg);
+    }
+}
+
+#[test]
+fn four_clique_example_has_backend_parity() {
+    let g = |u: &str, v: &str| Expr::lit(1.0).minus(Expr::var(u).t().mm(Expr::var(v)));
+    let adjacency = |a: &str, b: &str| Expr::var(a).t().mm(Expr::var("A")).mm(Expr::var(b));
+    let body = adjacency("u", "v")
+        .mm(adjacency("v", "w"))
+        .mm(adjacency("w", "x"))
+        .mm(g("u", "v").mm(g("v", "w")).mm(g("w", "x")));
+    let e = Expr::sum(
+        "u",
+        "a",
+        Expr::sum("v", "a", Expr::sum("w", "a", Expr::sum("x", "a", body))),
+    );
+    let mut k4: Matrix<Real> = Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            if i != j {
+                k4.set(i, j, Real(1.0)).unwrap();
+            }
+        }
+    }
+    assert_backend_parity(&e, &real_instance(4, k4), &real_registry());
+}
+
+#[test]
+fn random_boolean_reachability_has_backend_parity() {
+    // The prod-MATLANG transitive closure shape: Πv. (I + A) — evaluated
+    // over 𝔹 no thresholding function is needed.
+    let identity = Expr::sum("w", "a", Expr::var("w").mm(Expr::var("w").t()));
+    let e = Expr::mprod("v", "a", identity.add(Expr::var("A")));
+    let reg: FunctionRegistry<Boolean> = FunctionRegistry::new();
+    for seed in 0..5 {
+        let adj: Matrix<Boolean> = random_adjacency(7, 0.25, seed);
+        let inst: Instance<Boolean> = Instance::new().with_dim("a", 7).with_matrix("A", adj);
+        assert_backend_parity(&e, &inst, &reg);
+    }
+}
+
+#[test]
+fn random_nat_expressions_have_backend_parity() {
+    let cfg = |seed| RandomMatrixConfig {
+        seed,
+        min_value: 0.0,
+        max_value: 4.0,
+        zero_probability: 0.6,
+        integer_entries: true,
+    };
+    let reg: FunctionRegistry<Nat> = FunctionRegistry::new();
+    for seed in 0..5 {
+        let a: Matrix<Nat> = random_matrix(6, 6, &cfg(seed));
+        let b: Matrix<Nat> = random_matrix(6, 6, &cfg(seed + 100));
+        let inst: Instance<Nat> = Instance::new()
+            .with_dim("a", 6)
+            .with_matrix("A", a)
+            .with_matrix("B", b);
+        for expr in [
+            Expr::var("A").mm(Expr::var("B")).add(Expr::var("A")),
+            Expr::var("A").had(Expr::var("B")).t(),
+            Expr::sum(
+                "v",
+                "a",
+                Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+            ),
+            Expr::var("A").ones().diag().mm(Expr::var("B")),
+        ] {
+            assert_backend_parity(&expr, &inst, &reg);
+        }
+    }
+}
+
+#[test]
+fn sparse_results_report_storage_decisions() {
+    // Sanity-check the adaptive backend actually chooses sparse storage for
+    // a sparse workload: diag of the ones vector at n = 32 is the 32×32
+    // identity, density 1/32.
+    let inst: SparseInstance<Real> = Instance::new()
+        .with_dim("a", 32)
+        .with_matrix("A", MatrixRepr::from_dense_auto(Matrix::zeros(32, 32)));
+    let out = evaluate(
+        &Expr::var("A").ones().diag(),
+        &inst,
+        &FunctionRegistry::new(),
+    )
+    .unwrap();
+    assert!(out.is_sparse(), "identity at n=32 should stay CSR");
+    assert_eq!(out.nnz(), 32);
+    assert_eq!(out.to_dense(), Matrix::identity(32));
+}
+
+#[test]
+fn unknown_variable_error_shape_is_shared() {
+    // Both backends surface the same error type through the shared eval code.
+    let inst: SparseInstance<Real> = Instance::new().with_dim("a", 2);
+    let err = evaluate(&Expr::var("Q"), &inst, &FunctionRegistry::new()).unwrap_err();
+    assert!(matches!(err, EvalError::UnknownVariable { .. }));
+}

@@ -1,25 +1,43 @@
-//! Dense matrices over arbitrary commutative semirings.
+//! Dense and sparse matrices over arbitrary commutative semirings.
 //!
 //! MATLANG instances assign concrete matrices to matrix variables
 //! (`mat : M ↦ Mat[K]`, Section 2 and Section 6.1 of the paper).  This crate
-//! provides that `Mat[K]`: a dense, row-major matrix generic over the
-//! [`Semiring`](matlang_semiring::Semiring) trait, together with every operation the MATLANG evaluator
-//! and the paper's algorithms need — transpose, matrix product, addition,
-//! Hadamard (pointwise) product, scalar multiplication, canonical vectors,
-//! ones vectors, diagonalization, trace, permutation matrices, and the order
-//! matrices `S≤`/`S<` used in Section 3.2.
+//! provides that `Mat[K]` in three interchangeable representations:
+//!
+//! * [`Matrix`] — dense, row-major storage with every operation the MATLANG
+//!   evaluator and the paper's algorithms need (transpose, matrix product,
+//!   addition, Hadamard product, scalar multiplication, canonical vectors,
+//!   ones vectors, diagonalization, trace, permutation matrices, and the
+//!   order matrices `S≤`/`S<` of Section 3.2);
+//! * [`SparseMatrix`] — compressed sparse row (CSR) storage whose kernels
+//!   cost `O(nnz)` instead of `O(rows × cols)`, the natural fit for graph
+//!   adjacency matrices;
+//! * [`MatrixRepr`] — the adaptive representation that picks dense or CSR
+//!   per result via a density threshold, used by the backend-aware
+//!   evaluator in `matlang_core`.
+//!
+//! The [`MatrixStorage`] trait is the common interface: anything generic
+//! over it (the evaluator, the graph algorithms, the RA⁺_K and WL
+//! translations) runs on any of the three backends unchanged.
 
 pub mod error;
 pub mod matrix;
 pub mod ops;
 pub mod random;
+pub mod repr;
+pub mod sparse;
 pub mod special;
+pub mod storage;
 
 pub use error::MatrixError;
 pub use matrix::Matrix;
 pub use random::{
-    random_adjacency, random_invertible, random_matrix, random_vector, RandomMatrixConfig,
+    random_adjacency, random_invertible, random_matrix, random_vector, sparse_erdos_renyi,
+    sparse_power_law, RandomMatrixConfig,
 };
+pub use repr::MatrixRepr;
+pub use sparse::{CsrBuilder, SparseMatrix};
+pub use storage::MatrixStorage;
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, MatrixError>;

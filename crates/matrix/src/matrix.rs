@@ -260,6 +260,24 @@ impl<K: Semiring> Matrix<K> {
         self.data.iter().all(|v| v.is_zero())
     }
 
+    /// Number of non-zero entries (counted on demand; dense storage keeps
+    /// zeros materialised).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Fraction of entries that are non-zero (`nnz / (rows·cols)`; 0 for an
+    /// empty shape).  Used by the adaptive representation heuristic in
+    /// [`crate::MatrixRepr`].
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
     /// Approximate equality with tolerance `tol` on every entry.
     pub fn approx_eq(&self, other: &Matrix<K>, tol: f64) -> bool {
         self.shape() == other.shape()
@@ -284,7 +302,14 @@ impl<K: Semiring> Matrix<K> {
 
 impl<K: Semiring> fmt::Debug for Matrix<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        writeln!(
+            f,
+            "Matrix {}x{} (nnz={}, density={:.4}) [",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.density()
+        )?;
         for i in 0..self.rows {
             write!(f, "  ")?;
             for j in 0..self.cols {
@@ -429,6 +454,16 @@ mod tests {
         let m: Matrix<Real> = Matrix::identity(2);
         let _ = format!("{m}");
         let _ = format!("{m:?}");
+    }
+
+    #[test]
+    fn nnz_and_density() {
+        let m: Matrix<Real> = Matrix::identity(4);
+        assert_eq!(m.nnz(), 4);
+        assert!((m.density() - 0.25).abs() < 1e-12);
+        assert_eq!(Matrix::<Real>::zeros(3, 3).nnz(), 0);
+        assert_eq!(Matrix::<Real>::zeros(0, 3).density(), 0.0);
+        assert!(format!("{m:?}").contains("nnz=4"));
     }
 
     #[test]

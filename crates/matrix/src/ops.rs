@@ -35,6 +35,13 @@ impl<K: Semiring> Matrix<K> {
     }
 
     /// Matrix product `e₁ · e₂` (sum of products over the shared dimension).
+    ///
+    /// Implemented as a cache-friendly i-k-j loop over row slices: the inner
+    /// loop walks both the output row and a row of `other` contiguously, and
+    /// zero entries of `self` skip their whole inner loop.  The skip is
+    /// justified by the semiring laws alone (`0 ⊙ b = 0` and `a ⊕ 0 = a`),
+    /// so it is exact for every `K` — including the tropical semirings,
+    /// whose zero is ±∞.
     pub fn matmul(&self, other: &Matrix<K>) -> Result<Matrix<K>> {
         if self.cols() != other.rows() {
             return Err(MatrixError::InnerDimensionMismatch {
@@ -44,19 +51,23 @@ impl<K: Semiring> Matrix<K> {
         }
         let (n, m) = (self.rows(), other.cols());
         let inner = self.cols();
-        let mut out = Matrix::zeros(n, m);
+        let lhs = self.entries();
+        let rhs = other.entries();
+        let mut out = vec![K::zero(); n * m];
         for i in 0..n {
-            for j in 0..m {
-                let mut acc = K::zero();
-                for k in 0..inner {
-                    let a = self.get(i, k).expect("in bounds");
-                    let b = other.get(k, j).expect("in bounds");
-                    acc = acc.add(&a.mul(b));
+            let a_row = &lhs[i * inner..(i + 1) * inner];
+            let out_row = &mut out[i * m..(i + 1) * m];
+            for (k, a) in a_row.iter().enumerate() {
+                if a.is_zero() {
+                    continue;
                 }
-                out.set(i, j, acc).expect("in bounds");
+                let b_row = &rhs[k * m..(k + 1) * m];
+                for (acc, b) in out_row.iter_mut().zip(b_row) {
+                    *acc = acc.add(&a.mul(b));
+                }
             }
         }
-        Ok(out)
+        Matrix::from_vec(n, m, out)
     }
 
     /// Hadamard (pointwise) product `e₁ ∘ e₂` (entrywise `⊙`, Section 6.2).

@@ -5,7 +5,7 @@
 //! these generators produce them deterministically from a seed so that every
 //! benchmark run is reproducible.
 
-use crate::Matrix;
+use crate::{Matrix, SparseMatrix};
 use matlang_semiring::Semiring;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +89,90 @@ pub fn random_adjacency<K: Semiring>(n: usize, edge_probability: f64, seed: u64)
     m
 }
 
+/// A sparse Erdős–Rényi-style random adjacency matrix built directly in CSR
+/// form: a directed graph on `n` vertices where every vertex has out-degree
+/// drawn around `avg_degree` (no self loops, no duplicate edges).
+///
+/// Unlike [`random_adjacency`] this never materialises the `n × n` entry
+/// grid — generation is `O(n · avg_degree)` — so it scales to graphs whose
+/// dense form would not fit in memory.  Edge weights are `K::one()`.
+pub fn sparse_erdos_renyi<K: Semiring>(n: usize, avg_degree: f64, seed: u64) -> SparseMatrix<K> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_degree = n.saturating_sub(1);
+    let mut taken = vec![false; n];
+    let mut triplets = Vec::with_capacity((n as f64 * avg_degree) as usize);
+    for i in 0..n {
+        let degree = sample_degree(&mut rng, avg_degree, max_degree);
+        push_out_edges(&mut rng, &mut triplets, &mut taken, i, n, degree);
+    }
+    SparseMatrix::from_triplets(n, n, triplets).expect("generated edges in bounds")
+}
+
+/// A sparse random adjacency matrix with a power-law out-degree profile:
+/// vertex `i` has expected out-degree `∝ (i + 1)^{-alpha}`, scaled so the
+/// overall average out-degree is `avg_degree`.  Models the heavy-tailed
+/// degree distributions of real-world graphs; `alpha` around `1.0`–`2.5`
+/// is typical.  Generation is `O(n · avg_degree)`; edge weights are
+/// `K::one()`.
+pub fn sparse_power_law<K: Semiring>(
+    n: usize,
+    avg_degree: f64,
+    alpha: f64,
+    seed: u64,
+) -> SparseMatrix<K> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weight_sum: f64 = (1..=n).map(|i| (i as f64).powf(-alpha)).sum();
+    let scale = if weight_sum > 0.0 {
+        avg_degree * n as f64 / weight_sum
+    } else {
+        0.0
+    };
+    let max_degree = n.saturating_sub(1);
+    let mut taken = vec![false; n];
+    let mut triplets = Vec::with_capacity((n as f64 * avg_degree) as usize);
+    for i in 0..n {
+        let expected = scale * ((i + 1) as f64).powf(-alpha);
+        let degree = sample_degree(&mut rng, expected, max_degree);
+        push_out_edges(&mut rng, &mut triplets, &mut taken, i, n, degree);
+    }
+    SparseMatrix::from_triplets(n, n, triplets).expect("generated edges in bounds")
+}
+
+/// Draws an integer degree whose expectation is `expected` (floor plus a
+/// Bernoulli trial on the fractional part), clamped to `[0, max_degree]`.
+fn sample_degree(rng: &mut StdRng, expected: f64, max_degree: usize) -> usize {
+    let expected = expected.max(0.0);
+    let base = expected.floor();
+    let degree = base as usize + usize::from(rng.gen_bool(expected - base));
+    degree.min(max_degree)
+}
+
+/// Samples `degree` distinct out-neighbours of vertex `i` (excluding `i`
+/// itself) by rejection against the reusable `taken` bitmap, and appends the
+/// edges as weight-one triplets.  Duplicate detection is O(1) per draw, so
+/// expected cost is `O(degree)` for `degree ≪ n` and `O(n log n)` even in
+/// the fully-clamped `degree = n − 1` case (power-law head vertices).
+fn push_out_edges<K: Semiring>(
+    rng: &mut StdRng,
+    triplets: &mut Vec<(usize, usize, K)>,
+    taken: &mut [bool],
+    i: usize,
+    n: usize,
+    degree: usize,
+) {
+    let first = triplets.len();
+    while triplets.len() - first < degree {
+        let j = rng.gen_range(0..n);
+        if j != i && !taken[j] {
+            taken[j] = true;
+            triplets.push((i, j, K::one()));
+        }
+    }
+    for (_, j, _) in &triplets[first..] {
+        taken[*j] = false;
+    }
+}
+
 /// A random diagonally dominant (hence invertible and LU-factorizable without
 /// pivoting) `n × n` matrix.  Diagonal dominance guarantees every leading
 /// principal minor is non-zero, which is exactly the paper's
@@ -167,6 +251,59 @@ mod tests {
                 assert_eq!(dense.get(i, j).unwrap(), &Boolean(i != j));
             }
         }
+    }
+
+    #[test]
+    fn sparse_erdos_renyi_has_expected_shape_and_degree() {
+        let n = 200;
+        let adj: crate::SparseMatrix<Boolean> = sparse_erdos_renyi(n, 8.0, 11);
+        assert_eq!(adj.shape(), (n, n));
+        // No self loops.
+        for i in 0..n {
+            assert!(adj.get(i, i).unwrap().is_zero());
+        }
+        // Average degree within a generous tolerance of the target.
+        let avg = adj.nnz() as f64 / n as f64;
+        assert!((6.0..10.0).contains(&avg), "avg degree {avg}");
+        // Deterministic per seed.
+        let again: crate::SparseMatrix<Boolean> = sparse_erdos_renyi(n, 8.0, 11);
+        assert_eq!(adj, again);
+        let other: crate::SparseMatrix<Boolean> = sparse_erdos_renyi(n, 8.0, 12);
+        assert_ne!(adj, other);
+    }
+
+    #[test]
+    fn sparse_power_law_is_heavy_headed() {
+        let n = 300;
+        let adj: crate::SparseMatrix<Boolean> = sparse_power_law(n, 4.0, 1.5, 3);
+        assert_eq!(adj.shape(), (n, n));
+        for i in 0..n {
+            assert!(adj.get(i, i).unwrap().is_zero());
+        }
+        // Early vertices must carry far more out-edges than late ones.
+        let head: usize = (0..10)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| !adj.get(i, j).unwrap().is_zero())
+                    .count()
+            })
+            .sum();
+        let tail: usize = (n - 10..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| !adj.get(i, j).unwrap().is_zero())
+                    .count()
+            })
+            .sum();
+        assert!(head > 5 * tail.max(1), "head {head}, tail {tail}");
+    }
+
+    #[test]
+    fn sparse_generators_handle_degenerate_sizes() {
+        let empty: crate::SparseMatrix<Real> = sparse_erdos_renyi(0, 8.0, 1);
+        assert_eq!(empty.shape(), (0, 0));
+        let single: crate::SparseMatrix<Real> = sparse_power_law(1, 8.0, 2.0, 1);
+        assert_eq!(single.nnz(), 0);
     }
 
     #[test]

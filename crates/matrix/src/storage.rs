@@ -1,0 +1,470 @@
+//! The storage abstraction behind the evaluator: a common interface over
+//! dense, sparse and adaptive matrix representations.
+//!
+//! The MATLANG semantics of Sections 2, 3 and 6 only ever manipulate
+//! matrices through a fixed operation set (transpose, product, addition,
+//! Hadamard product, scalar multiplication, `1(e)`, `diag(e)`, canonical
+//! vectors and pointwise function application).  [`MatrixStorage`] captures
+//! exactly that set, so the evaluator in `matlang_core` — and everything
+//! built on it (graph algorithms, the RA⁺_K and WL translations) — is
+//! generic over the backing representation:
+//!
+//! * [`Matrix`] — dense row-major storage, the seed implementation;
+//! * [`SparseMatrix`] — CSR storage, `O(nnz)` kernels;
+//! * [`MatrixRepr`] — adaptive storage that picks a representation per
+//!   result using a density threshold.
+
+use crate::repr::MatrixRepr;
+use crate::sparse::SparseMatrix;
+use crate::{Matrix, Result};
+use matlang_semiring::Semiring;
+use std::fmt::Debug;
+
+/// A matrix representation the MATLANG evaluator can run on.
+///
+/// Implementations must agree exactly: for any two backends `A` and `B` and
+/// any operation below, converting the operands with
+/// [`from_dense`](MatrixStorage::from_dense), applying the operation, and
+/// converting back with [`to_dense`](MatrixStorage::to_dense) must produce
+/// identical dense matrices (the property suites in `crates/matrix/tests`
+/// and `crates/core/tests` check this).
+pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'static {
+    /// The semiring of entries.
+    type Elem: Semiring;
+
+    /// The `rows × cols` zero matrix.
+    fn zeros(rows: usize, cols: usize) -> Self;
+
+    /// The `n × n` identity matrix.
+    fn identity(n: usize) -> Self;
+
+    /// A `1 × 1` matrix holding a single value.
+    fn scalar(value: Self::Elem) -> Self;
+
+    /// The `n × 1` ones vector (paper notation `1(e)`).
+    fn ones_vector(n: usize) -> Self;
+
+    /// The `i`-th canonical vector `bᵢⁿ` (0-indexed), used by loop semantics.
+    fn canonical(n: usize, i: usize) -> Result<Self>;
+
+    /// Exact conversion from dense storage.
+    fn from_dense(dense: Matrix<Self::Elem>) -> Self;
+
+    /// Exact conversion to dense storage.
+    fn to_dense(&self) -> Matrix<Self::Elem>;
+
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// The shape `(rows, cols)`.
+    fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// Whether this is a `1 × 1` matrix.
+    fn is_scalar(&self) -> bool {
+        self.shape() == (1, 1)
+    }
+
+    /// Whether this is a column vector (`n × 1`).
+    fn is_vector(&self) -> bool {
+        self.cols() == 1
+    }
+
+    /// Whether this matrix is square.
+    fn is_square(&self) -> bool {
+        self.rows() == self.cols()
+    }
+
+    /// The value of a `1 × 1` matrix.
+    fn as_scalar(&self) -> Result<Self::Elem>;
+
+    /// Number of non-zero entries.
+    fn nnz(&self) -> usize;
+
+    /// Fraction of entries that are non-zero (0 for an empty shape).
+    fn density(&self) -> f64 {
+        let total = self.rows() * self.cols();
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// The non-zero entries as owned `(row, col, value)` triples in
+    /// row-major order.
+    fn nonzero_entries(&self) -> Vec<(usize, usize, Self::Elem)>;
+
+    /// Matrix transpose `eᵀ`.
+    fn transpose(&self) -> Self;
+
+    /// Matrix addition `e₁ + e₂` (entrywise `⊕`).
+    fn add(&self, other: &Self) -> Result<Self>;
+
+    /// Matrix product `e₁ · e₂`.
+    fn matmul(&self, other: &Self) -> Result<Self>;
+
+    /// Hadamard (pointwise) product `e₁ ∘ e₂` (entrywise `⊙`).
+    fn hadamard(&self, other: &Self) -> Result<Self>;
+
+    /// Scalar multiplication: every entry multiplied by `scalar`.
+    fn scalar_mul(&self, scalar: &Self::Elem) -> Self;
+
+    /// The paper's `diag(e)`: an `n × 1` vector becomes the `n × n` diagonal
+    /// matrix.
+    fn diag(&self) -> Result<Self>;
+
+    /// The trace of a square matrix.
+    fn trace(&self) -> Result<Self::Elem>;
+
+    /// `Aᵏ` for a square matrix (`k = 0` gives the identity).
+    fn pow(&self, k: usize) -> Result<Self>;
+
+    /// Pointwise combination of `k ≥ 1` same-shaped matrices via `f` — the
+    /// semantics of MATLANG's `f(e₁, …, e_k)` operator.  Because an
+    /// arbitrary `f` need not map zeros to zero, sparse backends evaluate
+    /// this densely and re-compress afterwards.
+    fn zip_with<F: Fn(&[Self::Elem]) -> Self::Elem>(matrices: &[&Self], f: F) -> Result<Self>;
+}
+
+impl<K: Semiring> MatrixStorage for Matrix<K> {
+    type Elem = K;
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix::zeros(rows, cols)
+    }
+
+    fn identity(n: usize) -> Self {
+        Matrix::identity(n)
+    }
+
+    fn scalar(value: K) -> Self {
+        Matrix::scalar(value)
+    }
+
+    fn ones_vector(n: usize) -> Self {
+        Matrix::ones_vector(n)
+    }
+
+    fn canonical(n: usize, i: usize) -> Result<Self> {
+        Matrix::canonical(n, i)
+    }
+
+    fn from_dense(dense: Matrix<K>) -> Self {
+        dense
+    }
+
+    fn to_dense(&self) -> Matrix<K> {
+        self.clone()
+    }
+
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+
+    fn as_scalar(&self) -> Result<K> {
+        Matrix::as_scalar(self)
+    }
+
+    fn nnz(&self) -> usize {
+        Matrix::nnz(self)
+    }
+
+    fn nonzero_entries(&self) -> Vec<(usize, usize, K)> {
+        self.iter_entries()
+            .filter(|(_, _, v)| !v.is_zero())
+            .map(|(i, j, v)| (i, j, v.clone()))
+            .collect()
+    }
+
+    fn transpose(&self) -> Self {
+        Matrix::transpose(self)
+    }
+
+    fn add(&self, other: &Self) -> Result<Self> {
+        Matrix::add(self, other)
+    }
+
+    fn matmul(&self, other: &Self) -> Result<Self> {
+        Matrix::matmul(self, other)
+    }
+
+    fn hadamard(&self, other: &Self) -> Result<Self> {
+        Matrix::hadamard(self, other)
+    }
+
+    fn scalar_mul(&self, scalar: &K) -> Self {
+        Matrix::scalar_mul(self, scalar)
+    }
+
+    fn diag(&self) -> Result<Self> {
+        Matrix::diag(self)
+    }
+
+    fn trace(&self) -> Result<K> {
+        Matrix::trace(self)
+    }
+
+    fn pow(&self, k: usize) -> Result<Self> {
+        Matrix::pow(self, k)
+    }
+
+    fn zip_with<F: Fn(&[K]) -> K>(matrices: &[&Self], f: F) -> Result<Self> {
+        Matrix::zip_with(matrices, f)
+    }
+}
+
+impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
+    type Elem = K;
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        SparseMatrix::zeros(rows, cols)
+    }
+
+    fn identity(n: usize) -> Self {
+        SparseMatrix::identity(n)
+    }
+
+    fn scalar(value: K) -> Self {
+        SparseMatrix::scalar(value)
+    }
+
+    fn ones_vector(n: usize) -> Self {
+        SparseMatrix::ones_vector(n)
+    }
+
+    fn canonical(n: usize, i: usize) -> Result<Self> {
+        SparseMatrix::canonical(n, i)
+    }
+
+    fn from_dense(dense: Matrix<K>) -> Self {
+        SparseMatrix::from_dense(&dense)
+    }
+
+    fn to_dense(&self) -> Matrix<K> {
+        SparseMatrix::to_dense(self)
+    }
+
+    fn rows(&self) -> usize {
+        SparseMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        SparseMatrix::cols(self)
+    }
+
+    fn as_scalar(&self) -> Result<K> {
+        SparseMatrix::as_scalar(self)
+    }
+
+    fn nnz(&self) -> usize {
+        SparseMatrix::nnz(self)
+    }
+
+    fn nonzero_entries(&self) -> Vec<(usize, usize, K)> {
+        self.iter_entries()
+            .map(|(i, j, v)| (i, j, v.clone()))
+            .collect()
+    }
+
+    fn transpose(&self) -> Self {
+        SparseMatrix::transpose(self)
+    }
+
+    fn add(&self, other: &Self) -> Result<Self> {
+        SparseMatrix::add(self, other)
+    }
+
+    fn matmul(&self, other: &Self) -> Result<Self> {
+        SparseMatrix::matmul(self, other)
+    }
+
+    fn hadamard(&self, other: &Self) -> Result<Self> {
+        SparseMatrix::hadamard(self, other)
+    }
+
+    fn scalar_mul(&self, scalar: &K) -> Self {
+        SparseMatrix::scalar_mul(self, scalar)
+    }
+
+    fn diag(&self) -> Result<Self> {
+        SparseMatrix::diag(self)
+    }
+
+    fn trace(&self) -> Result<K> {
+        SparseMatrix::trace(self)
+    }
+
+    fn pow(&self, k: usize) -> Result<Self> {
+        SparseMatrix::pow(self, k)
+    }
+
+    fn zip_with<F: Fn(&[K]) -> K>(matrices: &[&Self], f: F) -> Result<Self> {
+        // An arbitrary pointwise f need not preserve zeros, so evaluate
+        // densely and compress the result back to CSR.
+        let dense: Vec<Matrix<K>> = matrices.iter().map(|m| m.to_dense()).collect();
+        let refs: Vec<&Matrix<K>> = dense.iter().collect();
+        Ok(SparseMatrix::from_dense(&Matrix::zip_with(&refs, f)?))
+    }
+}
+
+impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
+    type Elem = K;
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixRepr::Sparse(SparseMatrix::zeros(rows, cols)).normalized()
+    }
+
+    fn identity(n: usize) -> Self {
+        MatrixRepr::Sparse(SparseMatrix::identity(n)).normalized()
+    }
+
+    fn scalar(value: K) -> Self {
+        MatrixRepr::Dense(Matrix::scalar(value))
+    }
+
+    fn ones_vector(n: usize) -> Self {
+        MatrixRepr::Dense(Matrix::ones_vector(n))
+    }
+
+    fn canonical(n: usize, i: usize) -> Result<Self> {
+        Ok(MatrixRepr::Sparse(SparseMatrix::canonical(n, i)?).normalized())
+    }
+
+    fn from_dense(dense: Matrix<K>) -> Self {
+        MatrixRepr::Dense(dense).normalized()
+    }
+
+    fn to_dense(&self) -> Matrix<K> {
+        MatrixRepr::to_dense(self)
+    }
+
+    fn rows(&self) -> usize {
+        MatrixRepr::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        MatrixRepr::cols(self)
+    }
+
+    fn as_scalar(&self) -> Result<K> {
+        MatrixRepr::as_scalar(self)
+    }
+
+    fn nnz(&self) -> usize {
+        MatrixRepr::nnz(self)
+    }
+
+    fn nonzero_entries(&self) -> Vec<(usize, usize, K)> {
+        match self {
+            MatrixRepr::Dense(d) => MatrixStorage::nonzero_entries(d),
+            MatrixRepr::Sparse(s) => MatrixStorage::nonzero_entries(s),
+        }
+    }
+
+    fn transpose(&self) -> Self {
+        MatrixRepr::transpose(self)
+    }
+
+    fn add(&self, other: &Self) -> Result<Self> {
+        MatrixRepr::add(self, other)
+    }
+
+    fn matmul(&self, other: &Self) -> Result<Self> {
+        MatrixRepr::matmul(self, other)
+    }
+
+    fn hadamard(&self, other: &Self) -> Result<Self> {
+        MatrixRepr::hadamard(self, other)
+    }
+
+    fn scalar_mul(&self, scalar: &K) -> Self {
+        MatrixRepr::scalar_mul(self, scalar)
+    }
+
+    fn diag(&self) -> Result<Self> {
+        MatrixRepr::diag(self)
+    }
+
+    fn trace(&self) -> Result<K> {
+        MatrixRepr::trace(self)
+    }
+
+    fn pow(&self, k: usize) -> Result<Self> {
+        MatrixRepr::pow(self, k)
+    }
+
+    fn zip_with<F: Fn(&[K]) -> K>(matrices: &[&Self], f: F) -> Result<Self> {
+        MatrixRepr::zip_with(matrices, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::Real;
+
+    fn backend_agreement<M: MatrixStorage<Elem = Real>>() {
+        let a = Matrix::from_f64_rows(&[&[1.0, 0.0], &[2.0, 3.0]]).unwrap();
+        let b = Matrix::from_f64_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let ma = M::from_dense(a.clone());
+        let mb = M::from_dense(b.clone());
+        assert_eq!(ma.to_dense(), a);
+        assert_eq!(ma.shape(), (2, 2));
+        assert!(ma.is_square() && !ma.is_vector() && !ma.is_scalar());
+        assert_eq!(ma.add(&mb).unwrap().to_dense(), a.add(&b).unwrap());
+        assert_eq!(ma.matmul(&mb).unwrap().to_dense(), a.matmul(&b).unwrap());
+        assert_eq!(
+            ma.hadamard(&mb).unwrap().to_dense(),
+            a.hadamard(&b).unwrap()
+        );
+        assert_eq!(ma.transpose().to_dense(), a.transpose());
+        assert_eq!(ma.trace().unwrap(), a.trace().unwrap());
+        assert_eq!(ma.pow(2).unwrap().to_dense(), a.pow(2).unwrap());
+        assert_eq!(
+            ma.scalar_mul(&Real(2.0)).to_dense(),
+            a.scalar_mul(&Real(2.0))
+        );
+        assert_eq!(M::identity(2).to_dense(), Matrix::identity(2));
+        assert_eq!(M::zeros(2, 3).to_dense(), Matrix::zeros(2, 3));
+        assert_eq!(M::ones_vector(3).to_dense(), Matrix::ones_vector(3));
+        assert_eq!(
+            M::canonical(3, 1).unwrap().to_dense(),
+            Matrix::canonical(3, 1).unwrap()
+        );
+        assert_eq!(M::scalar(Real(5.0)).as_scalar().unwrap(), Real(5.0));
+        assert_eq!(ma.nnz(), 3);
+        assert!((ma.density() - 0.75).abs() < 1e-12);
+        assert_eq!(ma.nonzero_entries().len(), 3);
+        let doubled = M::zip_with(&[&ma], |vs| Real(vs[0].0 * 2.0)).unwrap();
+        assert_eq!(doubled.to_dense(), a.scalar_mul(&Real(2.0)));
+        let vec = M::from_dense(Matrix::from_f64_rows(&[&[1.0], &[0.0]]).unwrap());
+        assert_eq!(
+            vec.diag().unwrap().to_dense(),
+            Matrix::from_f64_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn dense_backend_agrees_with_itself() {
+        backend_agreement::<Matrix<Real>>();
+    }
+
+    #[test]
+    fn sparse_backend_agrees_with_dense() {
+        backend_agreement::<SparseMatrix<Real>>();
+    }
+
+    #[test]
+    fn adaptive_backend_agrees_with_dense() {
+        backend_agreement::<MatrixRepr<Real>>();
+    }
+}

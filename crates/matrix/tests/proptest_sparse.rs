@@ -1,0 +1,167 @@
+//! Property-based parity tests for the sparse subsystem: the sparse↔dense
+//! roundtrip is the identity, and every sparse kernel agrees with its dense
+//! counterpart over the `Boolean`, `Nat` and `Tropical` (min-plus)
+//! semirings.  The adaptive [`MatrixRepr`] must agree as well, whatever
+//! representation its density heuristic picks.
+
+use matlang_matrix::{Matrix, MatrixRepr, SparseMatrix};
+use matlang_semiring::{Boolean, MinPlus, Nat, Semiring};
+use proptest::prelude::*;
+
+/// Sparse-ish random natural-number matrix: most entries are zero, exercising
+/// the compressed paths; values stay small so arithmetic is exact.
+fn nat_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Nat>> {
+    proptest::collection::vec(0u64..8, rows * cols).prop_map(move |data| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            data.into_iter()
+                .map(|v| if v < 5 { Nat(0) } else { Nat(v) })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn bool_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Boolean>> {
+    proptest::collection::vec(0u64..4, rows * cols).prop_map(move |data| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            data.into_iter().map(|v| Boolean(v == 0)).collect(),
+        )
+        .unwrap()
+    })
+}
+
+/// Tropical matrix where the semiring zero (`+∞`) is the common entry.
+fn tropical_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<MinPlus>> {
+    proptest::collection::vec(0i64..10, rows * cols).prop_map(move |data| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            data.into_iter()
+                .map(|v| {
+                    if v < 6 {
+                        MinPlus::zero()
+                    } else {
+                        MinPlus(v as f64)
+                    }
+                })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+/// Asserts that every kernel agrees between the dense matrix `a` (and `b`)
+/// and their sparse / adaptive conversions.
+fn assert_kernels_agree<K: Semiring>(a: &Matrix<K>, b: &Matrix<K>) {
+    let sa = SparseMatrix::from_dense(a);
+    let sb = SparseMatrix::from_dense(b);
+    let ra = MatrixRepr::from_dense_auto(a.clone());
+    let rb = MatrixRepr::from_dense_auto(b.clone());
+
+    // Roundtrip is the identity.
+    assert_eq!(&sa.to_dense(), a);
+    assert_eq!(&ra.to_dense(), a);
+
+    // nnz / density agree.
+    assert_eq!(sa.nnz(), a.nnz());
+    assert!((sa.density() - a.density()).abs() < 1e-12);
+
+    // Unary kernels.
+    assert_eq!(sa.transpose().to_dense(), a.transpose());
+    assert_eq!(ra.transpose().to_dense(), a.transpose());
+    let k = K::from_f64(2.0);
+    assert_eq!(sa.scalar_mul(&k).to_dense(), a.scalar_mul(&k));
+    assert_eq!(ra.scalar_mul(&k).to_dense(), a.scalar_mul(&k));
+
+    // Binary, same-shape kernels.
+    assert_eq!(sa.add(&sb).unwrap().to_dense(), a.add(b).unwrap());
+    assert_eq!(ra.add(&rb).unwrap().to_dense(), a.add(b).unwrap());
+    assert_eq!(sa.hadamard(&sb).unwrap().to_dense(), a.hadamard(b).unwrap());
+    assert_eq!(ra.hadamard(&rb).unwrap().to_dense(), a.hadamard(b).unwrap());
+
+    // Products (square inputs only, by construction below).
+    if a.cols() == b.rows() {
+        assert_eq!(sa.matmul(&sb).unwrap().to_dense(), a.matmul(b).unwrap());
+        assert_eq!(ra.matmul(&rb).unwrap().to_dense(), a.matmul(b).unwrap());
+    }
+
+    if a.is_square() {
+        assert_eq!(sa.trace().unwrap(), a.trace().unwrap());
+        assert_eq!(ra.trace().unwrap(), a.trace().unwrap());
+        assert_eq!(sa.pow(3).unwrap().to_dense(), a.pow(3).unwrap());
+        assert_eq!(ra.pow(3).unwrap().to_dense(), a.pow(3).unwrap());
+        assert_eq!(
+            sa.diagonal_vector().unwrap().to_dense(),
+            a.diagonal_vector().unwrap()
+        );
+        // Matrix–vector product against the first column of b.
+        let x: Vec<K> = (0..b.rows())
+            .map(|i| b.get(i, 0).unwrap().clone())
+            .collect();
+        let y = sa.matvec(&x).unwrap();
+        let dense_y = a.matmul(&b.column(0).unwrap()).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(v, dense_y.get(i, 0).unwrap());
+        }
+    }
+
+    if a.is_vector() {
+        assert_eq!(sa.diag().unwrap().to_dense(), a.diag().unwrap());
+        assert_eq!(ra.diag().unwrap().to_dense(), a.diag().unwrap());
+    }
+}
+
+proptest! {
+    #[test]
+    fn nat_kernels_agree(a in nat_matrix(5, 5), b in nat_matrix(5, 5)) {
+        assert_kernels_agree(&a, &b);
+    }
+
+    #[test]
+    fn boolean_kernels_agree(a in bool_matrix(6, 6), b in bool_matrix(6, 6)) {
+        assert_kernels_agree(&a, &b);
+    }
+
+    #[test]
+    fn tropical_kernels_agree(a in tropical_matrix(5, 5), b in tropical_matrix(5, 5)) {
+        assert_kernels_agree(&a, &b);
+    }
+
+    #[test]
+    fn rectangular_kernels_agree(a in nat_matrix(3, 7), b in nat_matrix(3, 7)) {
+        assert_kernels_agree(&a, &b);
+    }
+
+    #[test]
+    fn vector_kernels_agree(a in bool_matrix(8, 1), b in bool_matrix(8, 1)) {
+        assert_kernels_agree(&a, &b);
+    }
+
+    #[test]
+    fn rectangular_products_agree(a in nat_matrix(4, 6), b in nat_matrix(6, 3)) {
+        let sa = SparseMatrix::from_dense(&a);
+        let sb = SparseMatrix::from_dense(&b);
+        prop_assert_eq!(sa.matmul(&sb).unwrap().to_dense(), a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn triplet_construction_agrees_with_dense(a in nat_matrix(5, 4)) {
+        let triplets: Vec<(usize, usize, Nat)> = a
+            .iter_entries()
+            .filter(|(_, _, v)| !v.is_zero())
+            .map(|(i, j, v)| (i, j, *v))
+            .collect();
+        let s = SparseMatrix::from_triplets(5, 4, triplets).unwrap();
+        prop_assert_eq!(s.to_dense(), a);
+    }
+
+    #[test]
+    fn sparse_roundtrip_through_repr_is_identity(a in tropical_matrix(6, 6)) {
+        let repr = MatrixRepr::from_sparse_auto(SparseMatrix::from_dense(&a));
+        prop_assert_eq!(repr.to_sparse().to_dense(), a);
+    }
+}

@@ -4,7 +4,7 @@
 use crate::formula::WlFormula;
 use crate::structure::{WeightedRelation, WeightedStructure};
 use matlang_core::{typecheck, Dim, Expr, Instance, MatrixType, Schema, TypeError};
-use matlang_matrix::Matrix;
+use matlang_matrix::{Matrix, MatrixStorage};
 use matlang_semiring::Semiring;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -40,9 +40,14 @@ pub fn fo_vector_variable(var: &str) -> String {
 /// `WL(I)` — encodes a matrix instance over a square schema (every variable
 /// of type `(α,α)`, `(α,1)`, `(1,α)` or `(1,1)`) as a weighted structure with
 /// domain `{0, …, D(α)−1}`.
-pub fn encode_instance_as_structure<K: Semiring>(
+///
+/// Generic over the matrix representation: a dense `Instance<K>` and a
+/// sparse/adaptive `Instance<K, MatrixRepr<K>>` encode to the same weighted
+/// structure (the encoding only ever consumes non-zero entries, which is
+/// exactly what sparse storage enumerates).
+pub fn encode_instance_as_structure<K: Semiring, M: MatrixStorage<Elem = K>>(
     schema: &Schema,
-    instance: &Instance<K>,
+    instance: &Instance<K, M>,
 ) -> Result<WeightedStructure<K>, String> {
     let mut domain_size = 1;
     for (_, ty) in schema.iter() {
@@ -65,16 +70,13 @@ pub fn encode_instance_as_structure<K: Semiring>(
             (Dim::One, Dim::One) => 0,
         };
         let mut relation = WeightedRelation::new(arity);
-        for (i, j, value) in matrix.iter_entries() {
-            if value.is_zero() {
-                continue;
-            }
+        for (i, j, value) in matrix.nonzero_entries() {
             let tuple = match arity {
                 2 => vec![i, j],
                 1 => vec![i.max(j)],
                 _ => vec![],
             };
-            relation.set(tuple, value.clone())?;
+            relation.set(tuple, value)?;
         }
         structure.add_relation(relation_symbol(name), relation);
     }
@@ -441,6 +443,20 @@ mod tests {
             .with_matrix("B", random_matrix(n, n, &cfg(seed + 1)))
             .with_matrix("u", random_matrix(n, 1, &cfg(seed + 2)))
             .with_matrix("c", Matrix::scalar(Nat(3)))
+    }
+
+    #[test]
+    fn sparse_and_dense_instances_encode_to_the_same_structure() {
+        use matlang_matrix::MatrixRepr;
+        let schema = schema();
+        let dense_inst = instance(5, 9);
+        let mut sparse_inst: Instance<Nat, MatrixRepr<Nat>> = Instance::new().with_dim("α", 5);
+        for (name, m) in dense_inst.matrices() {
+            sparse_inst.set_matrix(name.clone(), MatrixRepr::from_dense_auto(m.clone()));
+        }
+        let via_dense = encode_instance_as_structure(&schema, &dense_inst).unwrap();
+        let via_sparse = encode_instance_as_structure(&schema, &sparse_inst).unwrap();
+        assert_eq!(via_dense, via_sparse);
     }
 
     /// Checks the Proposition 6.7 (⇒) invariant entry by entry.

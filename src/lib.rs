@@ -10,7 +10,8 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`semiring`] — annotation domains `K` (ℝ, ℕ, 𝔹, ℤ, tropical semirings).
-//! * [`matrix`] — dense `K`-matrices.
+//! * [`matrix`] — dense, CSR-sparse and adaptive `K`-matrices behind the
+//!   common `MatrixStorage` interface.
 //! * [`core`] — the expression AST, schemas, typing, fragments and the
 //!   evaluator.
 //! * [`algorithms`] — the paper's worked algorithms (order predicates,
@@ -57,11 +58,11 @@ pub use matlang_wl as wl;
 pub mod prelude {
     pub use matlang_core::{
         evaluate, evaluate_with_env, fragment_of, typecheck, Dim, EvalError, Expr, Fragment,
-        FunctionRegistry, Instance, MatrixType, Schema, TypeError,
+        FunctionRegistry, Instance, MatrixType, Schema, SparseInstance, TypeError,
     };
     pub use matlang_matrix::{
-        random_adjacency, random_invertible, random_matrix, random_vector, Matrix,
-        RandomMatrixConfig,
+        random_adjacency, random_invertible, random_matrix, random_vector, sparse_erdos_renyi,
+        sparse_power_law, Matrix, MatrixRepr, MatrixStorage, RandomMatrixConfig, SparseMatrix,
     };
     pub use matlang_semiring::{
         ApproxEq, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, OrderedField, Real, Ring,

@@ -1,0 +1,128 @@
+//! The shared evaluator test corpus.
+//!
+//! Several suites need to run "every operator of the language, the paper's
+//! worked examples, and the usual error cases" through an evaluator and
+//! compare outcomes: the dense↔sparse backend-parity tests in this crate
+//! and the planned-vs-naive parity tests in `matlang_engine`.  Keeping the
+//! corpus here — next to the evaluator whose semantics it pins down —
+//! means every new evaluation path is automatically checked against the
+//! same expressions.
+//!
+//! The corpus assumes an instance with one square matrix variable `A` over
+//! size symbol `a`, and a registry containing the paper's `div` and `gt0`
+//! functions (e.g. [`crate::FunctionRegistry::standard_field`]).
+
+use crate::expr::Expr;
+use crate::schema::MatrixType;
+
+/// Every operator of the language exercised at least once, the worked
+/// examples of Sections 3 and 6, plus [`error_corpus`].  Expressions refer
+/// to the square matrix variable `A` over size symbol `a`.
+pub fn operator_corpus() -> Vec<Expr> {
+    let mut out = vec![
+        Expr::var("A"),
+        Expr::lit(2.5),
+        Expr::var("A").t(),
+        Expr::var("A").add(Expr::var("A")),
+        Expr::var("A").mm(Expr::var("A")),
+        Expr::var("A").ones(),
+        Expr::var("A").ones().diag(),
+        Expr::lit(2.0).smul(Expr::var("A")),
+        Expr::var("A").had(Expr::var("A")),
+        Expr::apply("gt0", vec![Expr::var("A")]),
+        Expr::apply("div", vec![Expr::lit(6.0), Expr::lit(3.0)]),
+        Expr::let_in(
+            "T",
+            Expr::var("A").mm(Expr::var("A")),
+            Expr::var("T").add(Expr::var("T")),
+        ),
+        // Example 3.1: the one-vector via a for loop.
+        Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::vector("a"),
+            Expr::var("X").add(Expr::var("v")),
+        ),
+        // Section 3.2: e_max ends with the last canonical vector.
+        Expr::for_loop("v", "a", "X", MatrixType::vector("a"), Expr::var("v")),
+        // Example 3.2: diag via a for loop.
+        Expr::for_loop(
+            "v",
+            "a",
+            "X",
+            MatrixType::square("a"),
+            Expr::var("X").add(
+                Expr::var("v")
+                    .t()
+                    .mm(Expr::var("A").ones())
+                    .smul(Expr::var("v").mm(Expr::var("v").t())),
+            ),
+        ),
+        // Quantifier corpus: Σ / Π∘ / Π.
+        Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t())),
+        Expr::hprod(
+            "v",
+            "a",
+            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
+        ),
+        Expr::mprod("v", "a", Expr::var("A")),
+    ];
+    out.extend(error_corpus());
+    out
+}
+
+/// Ill-formed expressions that must fail — with the *same* error — on
+/// every evaluation path: unknown variable, non-scalar scalar
+/// multiplication, unknown loop dimension, unregistered function.
+pub fn error_corpus() -> Vec<Expr> {
+    vec![
+        Expr::var("Z"),
+        Expr::var("A").smul(Expr::var("A")),
+        Expr::sum("v", "missing", Expr::var("v")),
+        Expr::apply("nope", vec![Expr::var("A")]),
+    ]
+}
+
+/// The 4-clique query of Example 3.3 (shortened chain): non-zero over ℝ
+/// iff the graph in `A` has a 4-clique.  Heavily nested Σ-loops with
+/// loop-invariant inner products — the stress test for planners.
+pub fn four_clique_corpus_expr() -> Expr {
+    let g = |u: &str, v: &str| Expr::lit(1.0).minus(Expr::var(u).t().mm(Expr::var(v)));
+    let adjacency = |a: &str, b: &str| Expr::var(a).t().mm(Expr::var("A")).mm(Expr::var(b));
+    let body = adjacency("u", "v")
+        .mm(adjacency("v", "w"))
+        .mm(adjacency("w", "x"))
+        .mm(g("u", "v").mm(g("v", "w")).mm(g("w", "x")));
+    Expr::sum(
+        "u",
+        "a",
+        Expr::sum("v", "a", Expr::sum("w", "a", Expr::sum("x", "a", body))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::fragment_of;
+
+    #[test]
+    fn corpus_is_nonempty_and_contains_error_cases() {
+        let all = operator_corpus();
+        let errors = error_corpus();
+        assert!(all.len() > errors.len());
+        for e in &errors {
+            assert!(all.contains(e));
+        }
+    }
+
+    #[test]
+    fn four_clique_expr_is_sum_matlang() {
+        use crate::fragment::Fragment;
+        assert_eq!(
+            fragment_of(&four_clique_corpus_expr()),
+            Fragment::SumMatlang
+        );
+        assert_eq!(four_clique_corpus_expr().loop_depth(), 4);
+    }
+}

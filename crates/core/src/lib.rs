@@ -27,8 +27,12 @@
 //!   expression evaluates over dense, CSR-sparse or adaptive
 //!   ([`SparseInstance`]) matrices with identical results, and
 //! * desugarings of the derived operators into core for-MATLANG
-//!   ([`desugar`]), mirroring Examples 3.1 and 3.2.
+//!   ([`desugar`]), mirroring Examples 3.1 and 3.2, and
+//! * the shared evaluator test corpus ([`corpus`]) that every evaluation
+//!   path — dense, sparse-adaptive, and the `matlang_engine`
+//!   planner/executor — is checked against.
 
+pub mod corpus;
 pub mod desugar;
 pub mod display;
 pub mod eval;

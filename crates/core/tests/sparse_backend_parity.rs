@@ -3,9 +3,8 @@
 //! produce identical results over the dense backend (`Instance<K>`) and the
 //! adaptive sparse backend (`SparseInstance<K>`).
 
-use matlang_core::{
-    evaluate, EvalError, Expr, FunctionRegistry, Instance, MatrixType, SparseInstance,
-};
+use matlang_core::corpus::{four_clique_corpus_expr, operator_corpus};
+use matlang_core::{evaluate, EvalError, Expr, FunctionRegistry, Instance, SparseInstance};
 use matlang_matrix::{random_adjacency, random_matrix, Matrix, MatrixRepr, RandomMatrixConfig};
 use matlang_semiring::{Boolean, Nat, Real, Semiring};
 
@@ -58,63 +57,8 @@ fn real_instance(n: usize, a: Matrix<Real>) -> Instance<Real> {
     Instance::new().with_dim("a", n).with_matrix("A", a)
 }
 
-/// The operator corpus from the `crates/core` eval tests.
-fn operator_corpus() -> Vec<Expr> {
-    vec![
-        Expr::var("A"),
-        Expr::lit(2.5),
-        Expr::var("A").t(),
-        Expr::var("A").add(Expr::var("A")),
-        Expr::var("A").mm(Expr::var("A")),
-        Expr::var("A").ones(),
-        Expr::var("A").ones().diag(),
-        Expr::lit(2.0).smul(Expr::var("A")),
-        Expr::var("A").had(Expr::var("A")),
-        Expr::apply("gt0", vec![Expr::var("A")]),
-        Expr::apply("div", vec![Expr::lit(6.0), Expr::lit(3.0)]),
-        Expr::let_in(
-            "T",
-            Expr::var("A").mm(Expr::var("A")),
-            Expr::var("T").add(Expr::var("T")),
-        ),
-        // Example 3.1: the one-vector via a for loop.
-        Expr::for_loop(
-            "v",
-            "a",
-            "X",
-            MatrixType::vector("a"),
-            Expr::var("X").add(Expr::var("v")),
-        ),
-        // Section 3.2: e_max ends with the last canonical vector.
-        Expr::for_loop("v", "a", "X", MatrixType::vector("a"), Expr::var("v")),
-        // Example 3.2: diag via a for loop.
-        Expr::for_loop(
-            "v",
-            "a",
-            "X",
-            MatrixType::square("a"),
-            Expr::var("X").add(
-                Expr::var("v")
-                    .t()
-                    .mm(Expr::var("A").ones())
-                    .smul(Expr::var("v").mm(Expr::var("v").t())),
-            ),
-        ),
-        // Quantifier corpus: Σ / Π∘ / Π.
-        Expr::sum("v", "a", Expr::var("v").mm(Expr::var("v").t())),
-        Expr::hprod(
-            "v",
-            "a",
-            Expr::var("v").t().mm(Expr::var("A")).mm(Expr::var("v")),
-        ),
-        Expr::mprod("v", "a", Expr::var("A")),
-        // Error cases must fail identically.
-        Expr::var("Z"),
-        Expr::var("A").smul(Expr::var("A")),
-        Expr::sum("v", "missing", Expr::var("v")),
-        Expr::apply("nope", vec![Expr::var("A")]),
-    ]
-}
+// The operator corpus (including error cases) now lives in
+// `matlang_core::corpus`, shared with the `matlang_engine` parity suite.
 
 #[test]
 fn operator_corpus_has_backend_parity() {
@@ -128,17 +72,7 @@ fn operator_corpus_has_backend_parity() {
 
 #[test]
 fn four_clique_example_has_backend_parity() {
-    let g = |u: &str, v: &str| Expr::lit(1.0).minus(Expr::var(u).t().mm(Expr::var(v)));
-    let adjacency = |a: &str, b: &str| Expr::var(a).t().mm(Expr::var("A")).mm(Expr::var(b));
-    let body = adjacency("u", "v")
-        .mm(adjacency("v", "w"))
-        .mm(adjacency("w", "x"))
-        .mm(g("u", "v").mm(g("v", "w")).mm(g("w", "x")));
-    let e = Expr::sum(
-        "u",
-        "a",
-        Expr::sum("v", "a", Expr::sum("w", "a", Expr::sum("x", "a", body))),
-    );
+    let e = four_clique_corpus_expr();
     let mut k4: Matrix<Real> = Matrix::zeros(4, 4);
     for i in 0..4 {
         for j in 0..4 {

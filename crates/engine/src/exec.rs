@@ -1,0 +1,610 @@
+//! The plan executor: memoized, invalidation-scoped DAG evaluation.
+//!
+//! [`Executor`] evaluates a [`Plan`] over an instance exactly as the
+//! tree-walking evaluator in `matlang_core::eval` would — same operation
+//! order, same error cases, bit-identical results — but it keeps one
+//! memoized result per cache-worthy DAG node:
+//!
+//! * a node referenced from several places (CSE sharing) is computed once;
+//! * a node inside a loop body that does not depend on the loop variable
+//!   keeps its cached value across iterations — rebinding a variable drops
+//!   exactly the cache entries of the nodes whose
+//!   [`free_vars`](crate::plan::PlanNode::free_vars) mention it, so
+//!   loop-invariant subterms are computed once, as if hoisted;
+//! * a batch of queries shares one cache, so subterms common to several
+//!   queries (e.g. powers of the same adjacency matrix) are computed once
+//!   for the whole batch.
+//!
+//! Product nodes the planner marked heavy run on the row-partitioned
+//! threaded kernels of [`matlang_matrix::parallel`]; the worker count
+//! honors [`ExecOptions::threads`], which defaults to the `MATLANG_THREADS`
+//! environment variable via [`matlang_matrix::configured_threads`].
+
+use crate::plan::{NodeId, Plan, PlanOp, ReprChoice};
+use matlang_core::{Dim, EvalError, FunctionRegistry, Instance, MatrixType};
+use matlang_matrix::MatrixStorage;
+use matlang_semiring::Semiring;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Above this many entries the executor never *forces* a dense
+/// representation from a cost-model hint: a wrong estimate must not
+/// materialize a huge dense matrix.
+const DENSE_HINT_MAX_ENTRIES: usize = 1 << 20;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Worker threads for products the planner marked parallel (default:
+    /// [`matlang_matrix::configured_threads`], i.e. the `MATLANG_THREADS`
+    /// environment variable or the machine's available parallelism).
+    /// `1` disables threading entirely.
+    pub threads: usize,
+    /// Apply the planner's per-node representation choices to cached
+    /// values (adaptive backend only; other backends ignore the hints).
+    pub apply_repr_hints: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: matlang_matrix::configured_threads(),
+            apply_repr_hints: true,
+        }
+    }
+}
+
+/// Counters the executor maintains while running a plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Node evaluations answered from the memo cache.
+    pub cache_hits: u64,
+    /// Node evaluations that had to compute.
+    pub cache_misses: u64,
+    /// Cache entries dropped because a variable they depend on was rebound.
+    pub invalidations: u64,
+    /// Products executed on the threaded kernels.
+    pub parallel_products: u64,
+}
+
+impl ExecStats {
+    /// The counter deltas accumulated since `earlier` (a snapshot of the
+    /// same executor's stats).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            invalidations: self.invalidations - earlier.invalidations,
+            parallel_products: self.parallel_products - earlier.parallel_products,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} invalidations / {} parallel products",
+            self.cache_hits, self.cache_misses, self.invalidations, self.parallel_products
+        )
+    }
+}
+
+enum FoldKind {
+    Sum,
+    HProd,
+    MProd,
+}
+
+/// Evaluates a [`Plan`] over one instance, memoizing node results.
+///
+/// The executor is generic over the storage backend exactly like
+/// [`matlang_core::evaluate`]; its results are bit-identical to the tree
+/// evaluator's on every backend (the `engine_parity` suite enforces this).
+pub struct Executor<'p, K: Semiring, M: MatrixStorage<Elem = K>> {
+    plan: &'p Plan,
+    instance: &'p Instance<K, M>,
+    registry: &'p FunctionRegistry<K>,
+    options: ExecOptions,
+    /// Memoized node results.  Values are reference-counted so a cache hit
+    /// costs a pointer copy, never a deep matrix clone — with thousands of
+    /// loop iterations hitting a multi-million-entry cached product, deep
+    /// clones would dwarf the evaluation itself.
+    cache: Vec<Option<Rc<M>>>,
+    env: HashMap<String, Rc<M>>,
+    stats: ExecStats,
+}
+
+impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
+    /// An executor for `plan` over `instance`, resolving pointwise
+    /// functions in `registry`.
+    pub fn new(
+        plan: &'p Plan,
+        instance: &'p Instance<K, M>,
+        registry: &'p FunctionRegistry<K>,
+        options: ExecOptions,
+    ) -> Self {
+        Executor {
+            plan,
+            instance,
+            registry,
+            options,
+            cache: vec![None; plan.nodes().len()],
+            env: HashMap::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Evaluates one root of the plan.  The shared cache persists across
+    /// calls, so evaluating several roots in sequence reuses their common
+    /// subterms.
+    pub fn run(&mut self, root: NodeId) -> Result<M, EvalError> {
+        self.eval_node(root)
+            .map(|rc| Rc::try_unwrap(rc).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Evaluates every root in query order, returning per-query results
+    /// and per-query stat deltas.  A failing query does not abort the
+    /// batch — its error is returned in its slot and the remaining queries
+    /// still run against the shared cache.
+    pub fn run_all(&mut self) -> (Vec<Result<M, EvalError>>, Vec<ExecStats>) {
+        let mut results = Vec::with_capacity(self.plan.roots().len());
+        let mut per_query = Vec::with_capacity(self.plan.roots().len());
+        for &root in self.plan.roots() {
+            let before = self.stats;
+            results.push(self.run(root));
+            per_query.push(self.stats.since(&before));
+        }
+        (results, per_query)
+    }
+
+    fn eval_node(&mut self, id: NodeId) -> Result<Rc<M>, EvalError> {
+        if let Some(cached) = &self.cache[id] {
+            self.stats.cache_hits += 1;
+            return Ok(Rc::clone(cached));
+        }
+        self.stats.cache_misses += 1;
+        let mut value = self.compute(id)?;
+        let node = self.plan.node(id);
+        if node.cacheable {
+            if self.options.apply_repr_hints {
+                if let Some(est) = node.est {
+                    // Re-representing needs ownership; values still shared
+                    // with the environment (plain variable loads) keep
+                    // their current representation rather than pay a deep
+                    // clone.
+                    value = match Rc::try_unwrap(value) {
+                        Ok(owned) => {
+                            let adjusted = match est.choice {
+                                ReprChoice::Sparse => owned.prefer_repr(true),
+                                ReprChoice::Dense
+                                    if owned.rows() * owned.cols() <= DENSE_HINT_MAX_ENTRIES =>
+                                {
+                                    owned.prefer_repr(false)
+                                }
+                                ReprChoice::Dense => owned,
+                            };
+                            Rc::new(adjusted)
+                        }
+                        Err(shared) => shared,
+                    };
+                }
+            }
+            self.cache[id] = Some(Rc::clone(&value));
+        }
+        Ok(value)
+    }
+
+    fn compute(&mut self, id: NodeId) -> Result<Rc<M>, EvalError> {
+        let plan = self.plan;
+        match &plan.node(id).op {
+            PlanOp::Var(name) => self.lookup(name),
+            PlanOp::Const(c) => Ok(Rc::new(M::scalar(K::from_f64(c.0)))),
+            PlanOp::Transpose(a) => Ok(Rc::new(self.eval_node(*a)?.transpose())),
+            PlanOp::Ones(a) => {
+                let value = self.eval_node(*a)?;
+                Ok(Rc::new(M::ones_vector(value.rows())))
+            }
+            PlanOp::Diag(a) => Ok(Rc::new(self.eval_node(*a)?.diag()?)),
+            PlanOp::MatMul(a, b) => {
+                let parallel = plan.node(id).est.map(|e| e.parallel).unwrap_or(false);
+                let left = self.eval_node(*a)?;
+                let right = self.eval_node(*b)?;
+                let product = if parallel && self.options.threads > 1 {
+                    self.stats.parallel_products += 1;
+                    left.matmul_threaded(right.as_ref(), self.options.threads)?
+                } else {
+                    left.matmul(right.as_ref())?
+                };
+                Ok(Rc::new(product))
+            }
+            PlanOp::Add(a, b) => {
+                let left = self.eval_node(*a)?;
+                let right = self.eval_node(*b)?;
+                Ok(Rc::new(left.add(right.as_ref())?))
+            }
+            PlanOp::ScalarMul(a, b) => {
+                let left = self.eval_node(*a)?;
+                if !left.is_scalar() {
+                    return Err(EvalError::NotAScalar {
+                        shape: left.shape(),
+                    });
+                }
+                let scalar = left.as_scalar()?;
+                let right = self.eval_node(*b)?;
+                Ok(Rc::new(right.scalar_mul(&scalar)))
+            }
+            PlanOp::Hadamard(a, b) => {
+                let left = self.eval_node(*a)?;
+                let right = self.eval_node(*b)?;
+                Ok(Rc::new(left.hadamard(right.as_ref())?))
+            }
+            PlanOp::Apply(name, args) => {
+                let f = self
+                    .registry
+                    .get(name)
+                    .ok_or_else(|| EvalError::UnknownFunction { name: name.clone() })?
+                    .clone();
+                let values: Vec<Rc<M>> = args
+                    .iter()
+                    .map(|a| self.eval_node(*a))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&M> = values.iter().map(Rc::as_ref).collect();
+                Ok(Rc::new(M::zip_with(&refs, |entries| f(entries))?))
+            }
+            PlanOp::Let { var, value, body } => {
+                let bound = self.eval_node(*value)?;
+                let saved = self.bind(var, bound);
+                let result = self.eval_node(*body);
+                self.unbind(var, saved);
+                result
+            }
+            PlanOp::For {
+                var,
+                var_dim,
+                acc,
+                acc_type,
+                init,
+                body,
+            } => self.run_for(var, var_dim, acc, acc_type, *init, *body),
+            PlanOp::Sum { var, var_dim, body } => {
+                self.fold_loop(var, var_dim, *body, FoldKind::Sum)
+            }
+            PlanOp::HProd { var, var_dim, body } => {
+                self.fold_loop(var, var_dim, *body, FoldKind::HProd)
+            }
+            PlanOp::MProd { var, var_dim, body } => {
+                self.fold_loop(var, var_dim, *body, FoldKind::MProd)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_for(
+        &mut self,
+        var: &str,
+        var_dim: &str,
+        acc: &str,
+        acc_type: &MatrixType,
+        init: Option<NodeId>,
+        body: NodeId,
+    ) -> Result<Rc<M>, EvalError> {
+        let n = self.dim_of(var_dim)?;
+        let acc_shape =
+            self.instance
+                .shape_of(acc_type)
+                .ok_or_else(|| EvalError::UnknownDimension {
+                    symbol: acc_type.rows.to_string(),
+                })?;
+        let mut accumulator = match init {
+            Some(init) => {
+                let value = self.eval_node(init)?;
+                if value.shape() != acc_shape {
+                    return Err(EvalError::LoopShapeMismatch {
+                        acc: acc.to_string(),
+                        expected: acc_shape,
+                        found: value.shape(),
+                    });
+                }
+                value
+            }
+            None => Rc::new(M::zeros(acc_shape.0, acc_shape.1)),
+        };
+        let saved_var = self.take_binding(var);
+        let saved_acc = self.take_binding(acc);
+        let mut outcome = Ok(());
+        for i in 0..n {
+            let canonical = Rc::new(M::canonical(n, i)?);
+            self.bind(var, canonical);
+            self.bind(acc, Rc::clone(&accumulator));
+            match self.eval_node(body) {
+                Ok(value) => {
+                    if value.shape() != acc_shape {
+                        outcome = Err(EvalError::LoopShapeMismatch {
+                            acc: acc.to_string(),
+                            expected: acc_shape,
+                            found: value.shape(),
+                        });
+                        break;
+                    }
+                    accumulator = value;
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.unbind(var, saved_var);
+        self.unbind(acc, saved_acc);
+        outcome.map(|_| accumulator)
+    }
+
+    /// Shared Σ / Π∘ / Π iteration, mirroring `matlang_core::eval`'s
+    /// `fold_loop` operation-for-operation (folding from the first value is
+    /// the paper's neutral-element initialization).
+    fn fold_loop(
+        &mut self,
+        var: &str,
+        var_dim: &str,
+        body: NodeId,
+        kind: FoldKind,
+    ) -> Result<Rc<M>, EvalError> {
+        let n = self.dim_of(var_dim)?;
+        let saved_var = self.take_binding(var);
+        let mut acc: Option<Rc<M>> = None;
+        let mut outcome = Ok(());
+        for i in 0..n {
+            let canonical = Rc::new(M::canonical(n, i)?);
+            self.bind(var, canonical);
+            match self.eval_node(body) {
+                Ok(value) => {
+                    let combined = match acc.take() {
+                        None => Ok(value),
+                        Some(prev) => match kind {
+                            FoldKind::Sum => prev.add(value.as_ref()).map(Rc::new),
+                            FoldKind::HProd => prev.hadamard(value.as_ref()).map(Rc::new),
+                            FoldKind::MProd => prev.matmul(value.as_ref()).map(Rc::new),
+                        }
+                        .map_err(EvalError::from),
+                    };
+                    match combined {
+                        Ok(next) => acc = Some(next),
+                        Err(e) => {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.unbind(var, saved_var);
+        outcome?;
+        acc.ok_or(EvalError::EmptyIteration {
+            symbol: var_dim.to_string(),
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Result<Rc<M>, EvalError> {
+        if let Some(m) = self.env.get(name) {
+            return Ok(Rc::clone(m));
+        }
+        self.instance
+            .matrix(name)
+            .map(|m| Rc::new(m.clone()))
+            .ok_or_else(|| EvalError::UnknownVariable {
+                name: name.to_string(),
+            })
+    }
+
+    fn dim_of(&self, symbol: &str) -> Result<usize, EvalError> {
+        let n = self
+            .instance
+            .dim_value(&Dim::Sym(symbol.to_string()))
+            .ok_or_else(|| EvalError::UnknownDimension {
+                symbol: symbol.to_string(),
+            })?;
+        if n == 0 {
+            return Err(EvalError::EmptyIteration {
+                symbol: symbol.to_string(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Binds `name`, dropping the cache entries that depended on its
+    /// previous binding.  Returns the binding it replaced.
+    fn bind(&mut self, name: &str, value: Rc<M>) -> Option<Rc<M>> {
+        self.invalidate(name);
+        self.env.insert(name.to_string(), value)
+    }
+
+    /// Removes a binding *without* invalidating — callers must follow up
+    /// with [`bind`](Self::bind) (which invalidates) before any dependent
+    /// node is evaluated again.
+    fn take_binding(&mut self, name: &str) -> Option<Rc<M>> {
+        self.env.remove(name)
+    }
+
+    /// Restores the binding saved by [`bind`](Self::bind) /
+    /// [`take_binding`](Self::take_binding), dropping dependent cache
+    /// entries computed under the inner binding.
+    fn unbind(&mut self, name: &str, saved: Option<Rc<M>>) {
+        self.invalidate(name);
+        match saved {
+            Some(value) => {
+                self.env.insert(name.to_string(), value);
+            }
+            None => {
+                self.env.remove(name);
+            }
+        }
+    }
+
+    fn invalidate(&mut self, name: &str) {
+        for &id in self.plan.dependents_of(name) {
+            if self.cache[id].take().is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{InstanceStats, Planner};
+    use matlang_core::{evaluate, Expr};
+    use matlang_matrix::Matrix;
+    use matlang_semiring::Real;
+
+    fn instance() -> Instance<Real> {
+        Instance::new().with_dim("n", 4).with_matrix(
+            "G",
+            Matrix::from_f64_rows(&[
+                &[0.0, 1.0, 0.0, 0.0],
+                &[0.0, 0.0, 2.0, 0.0],
+                &[0.0, 0.0, 0.0, 3.0],
+                &[4.0, 0.0, 0.0, 0.0],
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn run_one(expr: &Expr, inst: &Instance<Real>) -> (Result<Matrix<Real>, EvalError>, ExecStats) {
+        let plan = Planner::new().plan_one(expr, &InstanceStats::from_instance(inst));
+        let registry = FunctionRegistry::standard_field();
+        let mut exec = Executor::new(&plan, inst, &registry, ExecOptions::default());
+        let root = plan.roots()[0];
+        let out = exec.run(root);
+        (out, exec.stats())
+    }
+
+    #[test]
+    fn shared_subterms_hit_the_cache() {
+        let gram = Expr::var("G").t().mm(Expr::var("G"));
+        let e = gram.clone().add(gram);
+        let inst = instance();
+        let (out, stats) = run_one(&e, &inst);
+        let expected = evaluate(&e, &inst, &FunctionRegistry::standard_field()).unwrap();
+        assert_eq!(out.unwrap(), expected);
+        assert!(stats.cache_hits >= 1, "second Gram use must hit: {stats}");
+    }
+
+    #[test]
+    fn loop_invariant_subterms_are_computed_once() {
+        // Σv. vᵀ·(GᵀG)·v — the Gram product must be computed exactly once
+        // across the 4 iterations.
+        let e = Expr::sum(
+            "v",
+            "n",
+            Expr::var("v")
+                .t()
+                .mm(Expr::var("G").t().mm(Expr::var("G")))
+                .mm(Expr::var("v")),
+        );
+        let inst = instance();
+        let (out, stats) = run_one(&e, &inst);
+        let expected = evaluate(&e, &inst, &FunctionRegistry::standard_field()).unwrap();
+        assert_eq!(out.unwrap(), expected);
+        // The Gram node misses once and hits on iterations 2..4.
+        assert!(stats.cache_hits >= 3, "expected hoisting hits: {stats}");
+        // v-dependent entries were dropped on every rebind.
+        assert!(stats.invalidations > 0);
+    }
+
+    #[test]
+    fn invalidation_keeps_loop_iterations_correct() {
+        // Σv. v·vᵀ = I: every iteration depends on v, so each must
+        // recompute — a stale cache would return n copies of b₁·b₁ᵀ.
+        let e = Expr::sum("v", "n", Expr::var("v").mm(Expr::var("v").t()));
+        let inst = instance();
+        let (out, _) = run_one(&e, &inst);
+        assert_eq!(out.unwrap(), Matrix::identity(4));
+    }
+
+    #[test]
+    fn batch_queries_share_the_cache() {
+        let gram = Expr::var("G").t().mm(Expr::var("G"));
+        let q1 = gram.clone();
+        let q2 = gram.clone().t();
+        let inst = instance();
+        let plan = Planner::new().plan(
+            &[q1.clone(), q2.clone()],
+            &InstanceStats::from_instance(&inst),
+        );
+        let registry = FunctionRegistry::standard_field();
+        let mut exec = Executor::new(&plan, &inst, &registry, ExecOptions::default());
+        let (results, per_query) = exec.run_all();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &evaluate(&q1, &inst, &registry).unwrap()
+        );
+        assert_eq!(
+            results[1].as_ref().unwrap(),
+            &evaluate(&q2, &inst, &registry).unwrap()
+        );
+        // Query 2 reuses query 1's Gram result from the shared cache.
+        assert!(per_query[1].cache_hits >= 1);
+        assert_eq!(per_query[1].cache_misses, 1, "only the new transpose node");
+    }
+
+    #[test]
+    fn failing_batch_query_does_not_poison_the_rest() {
+        let inst = instance();
+        let bad = Expr::var("missing");
+        let good = Expr::var("G").t();
+        let plan = Planner::new().plan(&[bad, good.clone()], &InstanceStats::from_instance(&inst));
+        let registry = FunctionRegistry::standard_field();
+        let mut exec = Executor::new(&plan, &inst, &registry, ExecOptions::default());
+        let (results, _) = exec.run_all();
+        assert!(matches!(results[0], Err(EvalError::UnknownVariable { .. })));
+        assert_eq!(
+            results[1].as_ref().unwrap(),
+            &evaluate(&good, &inst, &registry).unwrap()
+        );
+    }
+
+    #[test]
+    fn error_cases_match_the_tree_evaluator() {
+        let inst = instance();
+        let registry = FunctionRegistry::standard_field();
+        for e in [
+            Expr::var("Z"),
+            Expr::var("G").smul(Expr::var("G")),
+            Expr::sum("v", "missing", Expr::var("v")),
+            Expr::apply("nope", vec![Expr::var("G")]),
+        ] {
+            let naive = evaluate(&e, &inst, &registry).unwrap_err();
+            let (planned, _) = run_one(&e, &inst);
+            assert_eq!(
+                std::mem::discriminant(&naive),
+                std::mem::discriminant(&planned.unwrap_err()),
+                "error mismatch for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_display_and_delta() {
+        let a = ExecStats {
+            cache_hits: 5,
+            cache_misses: 3,
+            invalidations: 2,
+            parallel_products: 1,
+        };
+        let b = a.since(&ExecStats::default());
+        assert_eq!(a, b);
+        assert!(a.to_string().contains("5 hits"));
+    }
+}

@@ -1,0 +1,303 @@
+//! The physical plan IR: a hash-consed DAG of MATLANG operations.
+//!
+//! Where the tree-walking evaluator in `matlang_core` re-evaluates every
+//! occurrence of a subexpression, a [`Plan`] assigns each *structurally
+//! distinct* subexpression a single [`NodeId`]: identical subtrees are
+//! interned to the same node (common-subexpression elimination), and the
+//! executor memoizes one result per node.  Loop-invariant hoisting falls
+//! out of the same mechanism — each node records the set of matrix
+//! variables its value depends on ([`PlanNode::free_vars`]), the plan keeps
+//! a reverse index from variable name to dependent nodes, and the executor
+//! drops exactly those cache entries when a loop rebinds its iteration
+//! vector.  A node inside a Σ/Π body that does not mention the loop
+//! variable therefore keeps its cached value across all `n` iterations: it
+//! is computed once, exactly as if it had been hoisted out of the loop.
+//!
+//! Plans are built by the [`crate::Planner`] and evaluated by the
+//! [`crate::Executor`]; [`PlanReport`] summarizes what the planner did
+//! (CSE sharing, hoistable nodes, `rewrite::simplify` savings, per-node
+//! representation choices and parallel-kernel marks).
+
+use matlang_core::MatrixType;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Index of a node in its [`Plan`]; children always have smaller ids than
+/// their parents (the node list is in topological order).
+pub type NodeId = usize;
+
+/// A literal scalar with **bitwise** equality and hashing, so that plan
+/// operations containing constants can be hash-consed.  (Plain `f64` is not
+/// `Eq`/`Hash`; bit equality is stricter than `==` only for `NaN` and
+/// `-0.0`, where treating the values as distinct is the conservative
+/// choice.)
+#[derive(Clone, Copy, Debug)]
+pub struct ConstVal(pub f64);
+
+impl PartialEq for ConstVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for ConstVal {}
+
+impl Hash for ConstVal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.to_bits());
+    }
+}
+
+/// One operation of the physical plan — the same operator set as
+/// [`matlang_core::Expr`], with subexpressions replaced by [`NodeId`]s into
+/// the owning [`Plan`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// A matrix variable (instance matrix or loop/let binding).
+    Var(String),
+    /// A literal scalar constant.
+    Const(ConstVal),
+    /// Transpose `eᵀ`.
+    Transpose(NodeId),
+    /// The ones vector `1(e)`.
+    Ones(NodeId),
+    /// Diagonalization `diag(e)`.
+    Diag(NodeId),
+    /// Matrix product `e₁ · e₂`.
+    MatMul(NodeId, NodeId),
+    /// Matrix addition `e₁ + e₂`.
+    Add(NodeId, NodeId),
+    /// Scalar multiplication `e₁ × e₂`.
+    ScalarMul(NodeId, NodeId),
+    /// Hadamard product `e₁ ∘ e₂`.
+    Hadamard(NodeId, NodeId),
+    /// Pointwise function application `f(e₁, …, e_k)`.
+    Apply(String, Vec<NodeId>),
+    /// `let var = value in body`.
+    Let {
+        /// The bound variable name.
+        var: String,
+        /// The bound value.
+        value: NodeId,
+        /// The body in which the binding is visible.
+        body: NodeId,
+    },
+    /// The canonical for-loop `for var, acc (= init)?. body`.
+    For {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol governing the iteration count.
+        var_dim: String,
+        /// The accumulator variable.
+        acc: String,
+        /// The declared accumulator type.
+        acc_type: MatrixType,
+        /// Optional initializer (defaults to the zero matrix).
+        init: Option<NodeId>,
+        /// The loop body.
+        body: NodeId,
+    },
+    /// The additive-update loop `Σvar. body`.
+    Sum {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol governing the iteration count.
+        var_dim: String,
+        /// The summand.
+        body: NodeId,
+    },
+    /// The Hadamard-product loop `Π∘var. body`.
+    HProd {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol governing the iteration count.
+        var_dim: String,
+        /// The factor.
+        body: NodeId,
+    },
+    /// The matrix-product loop `Πvar. body`.
+    MProd {
+        /// The iteration vector variable.
+        var: String,
+        /// The size symbol governing the iteration count.
+        var_dim: String,
+        /// The factor.
+        body: NodeId,
+    },
+}
+
+impl PlanOp {
+    /// The child node ids of this operation, in evaluation order.
+    pub fn children(&self) -> Vec<NodeId> {
+        match self {
+            PlanOp::Var(_) | PlanOp::Const(_) => Vec::new(),
+            PlanOp::Transpose(a) | PlanOp::Ones(a) | PlanOp::Diag(a) => vec![*a],
+            PlanOp::MatMul(a, b)
+            | PlanOp::Add(a, b)
+            | PlanOp::ScalarMul(a, b)
+            | PlanOp::Hadamard(a, b) => vec![*a, *b],
+            PlanOp::Apply(_, args) => args.clone(),
+            PlanOp::Let { value, body, .. } => vec![*value, *body],
+            PlanOp::For { init, body, .. } => {
+                let mut out = Vec::new();
+                if let Some(init) = init {
+                    out.push(*init);
+                }
+                out.push(*body);
+                out
+            }
+            PlanOp::Sum { body, .. } | PlanOp::HProd { body, .. } | PlanOp::MProd { body, .. } => {
+                vec![*body]
+            }
+        }
+    }
+}
+
+/// The representation the cost model picked for a node's result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReprChoice {
+    /// Dense row-major storage.
+    Dense,
+    /// CSR storage.
+    Sparse,
+}
+
+/// The cost model's advisory estimate for one node: output shape, expected
+/// non-zero count, the work to produce it, and the decisions derived from
+/// those numbers.  Estimates are best-effort — a node whose inputs are
+/// unknown (e.g. a variable absent from the instance) simply carries no
+/// estimate, and nothing downstream depends on one being present.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeEstimate {
+    /// Estimated output rows.
+    pub rows: usize,
+    /// Estimated output columns.
+    pub cols: usize,
+    /// Expected number of non-zero output entries.
+    pub nnz: f64,
+    /// Estimated semiring multiplications to compute the node once.
+    pub work: f64,
+    /// The storage representation chosen for the result.
+    pub choice: ReprChoice,
+    /// Whether a product node is heavy enough for the threaded kernel.
+    pub parallel: bool,
+}
+
+impl NodeEstimate {
+    /// Expected fraction of non-zero entries (0 for an empty shape).
+    pub fn density(&self) -> f64 {
+        let total = (self.rows * self.cols) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.nnz / total
+        }
+    }
+}
+
+/// One node of a [`Plan`]: the operation plus everything the planner
+/// learned about it.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// The operation.
+    pub op: PlanOp,
+    /// The matrix variables this node's *value* depends on: free variables
+    /// of the subexpression the node represents.  Binders subtract their
+    /// bound names, so a loop node does not depend on its own iteration
+    /// vector.
+    pub free_vars: BTreeSet<String>,
+    /// How many parents reference this node (> 1 means CSE found sharing).
+    pub refs: usize,
+    /// Whether some occurrence of this node sits inside a loop body whose
+    /// bound variables it does not mention — the executor's scoped cache
+    /// keeps such a node's value across that loop's iterations, i.e. the
+    /// node is effectively hoisted out of the loop.
+    pub hoistable: bool,
+    /// Whether the executor should memoize this node's result.  Caching a
+    /// node that is referenced once and never survives a loop iteration
+    /// would only pay an extra clone, so the planner marks exactly the
+    /// shared (`refs > 1`) and [`hoistable`](PlanNode::hoistable) nodes.
+    pub cacheable: bool,
+    /// The cost model's estimate, when the instance statistics allowed one.
+    pub est: Option<NodeEstimate>,
+}
+
+/// What the planner did, in numbers — exposed for reports, tests and the
+/// `planner_speedup` benchmark.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanReport {
+    /// Number of planned queries (roots).
+    pub queries: usize,
+    /// Total AST nodes of the (simplified) query trees — what the naive
+    /// evaluator would traverse.
+    pub tree_nodes: usize,
+    /// Distinct DAG nodes after hash-consing.
+    pub dag_nodes: usize,
+    /// Nodes referenced more than once (CSE hits).
+    pub shared_nodes: usize,
+    /// Total AST nodes removed by folding `rewrite::simplify` into
+    /// planning, summed over the queries (`rewrite::savings`).
+    pub simplify_savings: usize,
+    /// Nodes marked loop-invariant with respect to an enclosing loop.
+    pub hoistable_nodes: usize,
+    /// Nodes whose cost-model choice is dense storage.
+    pub dense_nodes: usize,
+    /// Nodes whose cost-model choice is CSR storage.
+    pub sparse_nodes: usize,
+    /// Product nodes marked for the row-partitioned parallel kernel.
+    pub parallel_products: usize,
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} quer{} · {} tree nodes → {} dag nodes ({} shared, {} hoistable) · \
+             simplify saved {} · repr {} dense / {} sparse · {} parallel products",
+            self.queries,
+            if self.queries == 1 { "y" } else { "ies" },
+            self.tree_nodes,
+            self.dag_nodes,
+            self.shared_nodes,
+            self.hoistable_nodes,
+            self.simplify_savings,
+            self.dense_nodes,
+            self.sparse_nodes,
+            self.parallel_products,
+        )
+    }
+}
+
+/// A compiled, DAG-shaped physical plan for one or more queries over a
+/// common instance.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub(crate) nodes: Vec<PlanNode>,
+    pub(crate) roots: Vec<NodeId>,
+    pub(crate) dependents: HashMap<String, Vec<NodeId>>,
+    /// The planner's summary of this plan.
+    pub report: PlanReport,
+}
+
+impl Plan {
+    /// All nodes, in topological (children-first) order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// One root per planned query, in query order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id]
+    }
+
+    /// The nodes whose cached value must be dropped when `var` is rebound.
+    pub fn dependents_of(&self, var: &str) -> &[NodeId] {
+        self.dependents.get(var).map(Vec::as_slice).unwrap_or(&[])
+    }
+}

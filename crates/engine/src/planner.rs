@@ -1,0 +1,852 @@
+//! The query planner: expression → hash-consed DAG plan.
+//!
+//! Planning is four deterministic steps:
+//!
+//! 1. **Simplify** — fold the algebraic rewriter
+//!    ([`matlang_core::rewrite::simplify`]) into planning, recording the
+//!    saved AST nodes ([`matlang_core::rewrite::savings`]) in the
+//!    [`PlanReport`].
+//! 2. **Hash-cons (CSE)** — intern every structurally distinct
+//!    subexpression once; repeated subtrees (within a query *and across
+//!    the queries of a batch*) share a [`NodeId`], so the executor computes
+//!    them once.
+//! 3. **Hoisting analysis** — mark the nodes that sit inside a loop body
+//!    but do not depend on the loop's bound variables; the executor's
+//!    scoped memo keeps exactly those nodes alive across iterations.
+//! 4. **Cost model** — propagate shape / non-zero-count estimates from
+//!    [`InstanceStats`] bottom-up, choose a storage representation per node
+//!    (density against the thresholds of [`matlang_matrix::repr`]), and
+//!    mark products heavy enough for the row-partitioned parallel kernel.
+
+use crate::plan::{ConstVal, NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice};
+use matlang_core::{rewrite, Dim, Expr, Instance, MatrixType};
+use matlang_matrix::repr::{MIN_ADAPTIVE_ENTRIES, SPARSIFY_THRESHOLD};
+use matlang_matrix::MatrixStorage;
+use matlang_semiring::Semiring;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Planner configuration.
+#[derive(Clone, Debug)]
+pub struct PlanOptions {
+    /// Run [`matlang_core::rewrite::simplify`] on every query before
+    /// planning (default `true`).
+    ///
+    /// The rewriter's constant-handling rules interpret literals through
+    /// `f64` arithmetic, which is exact only over semirings that embed ℝ
+    /// faithfully.  [`Planner`] itself is semiring-agnostic and applies
+    /// this flag as given; the typed [`crate::Engine`] front door
+    /// additionally gates it on [`crate::constants_fold_exactly`], so
+    /// engine evaluation never folds constants over a semiring where that
+    /// would change results (tropical min/max-plus, 𝔹/ℕ/ℤ with negative
+    /// or fractional literals).
+    pub simplify: bool,
+    /// Estimated semiring multiplications above which a product node is
+    /// marked for the threaded kernel (default `1e6`): below roughly a
+    /// million multiply-adds, thread spawn/join overhead eats the win.
+    pub parallel_work_threshold: f64,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            simplify: true,
+            parallel_work_threshold: 1e6,
+        }
+    }
+}
+
+/// Per-variable statistics of one instance matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VarStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of non-zero entries.
+    pub nnz: usize,
+}
+
+/// The instance summary the cost model plans against: size-symbol values
+/// and per-matrix shape / non-zero counts.  Collecting it is `O(1)` per
+/// matrix for the CSR and adaptive backends and `O(rows·cols)` for dense.
+#[derive(Clone, Debug, Default)]
+pub struct InstanceStats {
+    /// Size-symbol assignments `D(γ) = n`.
+    pub dims: BTreeMap<String, usize>,
+    /// Per-matrix-variable statistics.
+    pub vars: BTreeMap<String, VarStats>,
+}
+
+impl InstanceStats {
+    /// No statistics at all: every node plans without an estimate.
+    pub fn empty() -> Self {
+        InstanceStats::default()
+    }
+
+    /// Collects statistics from an instance over any storage backend.
+    pub fn from_instance<K: Semiring, M: MatrixStorage<Elem = K>>(
+        instance: &Instance<K, M>,
+    ) -> Self {
+        let mut stats = InstanceStats::default();
+        for (sym, n) in instance.dims() {
+            stats.dims.insert(sym.clone(), n);
+        }
+        for (var, m) in instance.matrices() {
+            stats.vars.insert(
+                var.clone(),
+                VarStats {
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    nnz: m.nnz(),
+                },
+            );
+        }
+        stats
+    }
+
+    fn dim(&self, sym: &str) -> Option<usize> {
+        self.dims.get(sym).copied()
+    }
+
+    fn dim_value(&self, dim: &Dim) -> Option<usize> {
+        match dim {
+            Dim::One => Some(1),
+            Dim::Sym(s) => self.dim(s),
+        }
+    }
+
+    fn shape_of(&self, ty: &MatrixType) -> Option<(usize, usize)> {
+        Some((self.dim_value(&ty.rows)?, self.dim_value(&ty.cols)?))
+    }
+}
+
+/// Compiles type-checked expressions into DAG-shaped [`Plan`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Planner {
+    /// The planning configuration.
+    pub options: PlanOptions,
+}
+
+impl Planner {
+    /// A planner with default options.
+    pub fn new() -> Self {
+        Planner::default()
+    }
+
+    /// A planner with explicit options.
+    pub fn with_options(options: PlanOptions) -> Self {
+        Planner { options }
+    }
+
+    /// Plans a batch of queries against one instance summary.  The
+    /// returned plan has one root per query, in order; structurally
+    /// identical subexpressions are shared across the whole batch.
+    pub fn plan(&self, queries: &[Expr], stats: &InstanceStats) -> Plan {
+        let mut report = PlanReport {
+            queries: queries.len(),
+            ..PlanReport::default()
+        };
+        let mut builder = Builder {
+            stats,
+            options: &self.options,
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+            scope: Vec::new(),
+            loops: Vec::new(),
+        };
+        let mut roots = Vec::with_capacity(queries.len());
+        for query in queries {
+            let planned = if self.options.simplify {
+                report.simplify_savings += rewrite::savings(query);
+                rewrite::simplify(query)
+            } else {
+                query.clone()
+            };
+            report.tree_nodes += planned.size();
+            roots.push(builder.build(&planned));
+        }
+        let mut nodes = builder.nodes;
+        let mut dependents: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for (id, node) in nodes.iter_mut().enumerate() {
+            node.cacheable = node.refs > 1 || node.hoistable;
+            if node.refs > 1 {
+                report.shared_nodes += 1;
+            }
+            if node.hoistable {
+                report.hoistable_nodes += 1;
+            }
+            match node.est.map(|e| e.choice) {
+                Some(ReprChoice::Dense) => report.dense_nodes += 1,
+                Some(ReprChoice::Sparse) => report.sparse_nodes += 1,
+                None => {}
+            }
+            if node.est.map(|e| e.parallel).unwrap_or(false) {
+                report.parallel_products += 1;
+            }
+            for var in &node.free_vars {
+                dependents.entry(var.clone()).or_default().push(id);
+            }
+        }
+        report.dag_nodes = nodes.len();
+        Plan {
+            nodes,
+            roots,
+            dependents,
+            report,
+        }
+    }
+
+    /// Plans a single query; see [`Planner::plan`].
+    pub fn plan_one(&self, query: &Expr, stats: &InstanceStats) -> Plan {
+        self.plan(std::slice::from_ref(query), stats)
+    }
+}
+
+/// The dedup key for hash-consing: the operation plus the advisory
+/// statistics of its scope-bound free variables.  The statistics part
+/// keeps structurally identical subexpressions *distinct* when variable
+/// shadowing gives the same name different shapes in different scopes —
+/// otherwise the first-interned occurrence's cost estimate would silently
+/// misdrive representation and parallelism choices for the others.  When
+/// the scopes agree (the overwhelmingly common case, e.g. the same loop
+/// variable name over the same dimension) the keys collide and the nodes
+/// share, which is exactly what CSE wants.
+type DedupKey = (PlanOp, Vec<(String, Option<VarStats>)>);
+
+struct Builder<'a> {
+    stats: &'a InstanceStats,
+    options: &'a PlanOptions,
+    nodes: Vec<PlanNode>,
+    dedup: HashMap<DedupKey, NodeId>,
+    /// Bound loop/let variables in scope, innermost last, with the advisory
+    /// statistics of their bound value (`None` when unknown — which also
+    /// correctly shadows any instance matrix of the same name).
+    scope: Vec<(String, Option<VarStats>)>,
+    /// The enclosing loops' bound-variable names, innermost last.
+    loops: Vec<Vec<String>>,
+}
+
+impl Builder<'_> {
+    fn build(&mut self, expr: &Expr) -> NodeId {
+        match expr {
+            Expr::Var(name) => self.intern(PlanOp::Var(name.clone())),
+            Expr::Const(c) => self.intern(PlanOp::Const(ConstVal(*c))),
+            Expr::Transpose(e) => {
+                let a = self.build(e);
+                self.intern(PlanOp::Transpose(a))
+            }
+            Expr::Ones(e) => {
+                let a = self.build(e);
+                self.intern(PlanOp::Ones(a))
+            }
+            Expr::Diag(e) => {
+                let a = self.build(e);
+                self.intern(PlanOp::Diag(a))
+            }
+            Expr::MatMul(a, b) => {
+                let (a, b) = (self.build(a), self.build(b));
+                self.intern(PlanOp::MatMul(a, b))
+            }
+            Expr::Add(a, b) => {
+                let (a, b) = (self.build(a), self.build(b));
+                self.intern(PlanOp::Add(a, b))
+            }
+            Expr::ScalarMul(a, b) => {
+                let (a, b) = (self.build(a), self.build(b));
+                self.intern(PlanOp::ScalarMul(a, b))
+            }
+            Expr::Hadamard(a, b) => {
+                let (a, b) = (self.build(a), self.build(b));
+                self.intern(PlanOp::Hadamard(a, b))
+            }
+            Expr::Apply(name, args) => {
+                let args: Vec<NodeId> = args.iter().map(|a| self.build(a)).collect();
+                self.intern(PlanOp::Apply(name.clone(), args))
+            }
+            Expr::Let { var, value, body } => {
+                let value_id = self.build(value);
+                let value_stats = self.nodes[value_id].est.map(|e| VarStats {
+                    rows: e.rows,
+                    cols: e.cols,
+                    nnz: e.nnz.round() as usize,
+                });
+                self.scope.push((var.clone(), value_stats));
+                let body_id = self.build(body);
+                self.scope.pop();
+                self.intern(PlanOp::Let {
+                    var: var.clone(),
+                    value: value_id,
+                    body: body_id,
+                })
+            }
+            Expr::For {
+                var,
+                var_dim,
+                acc,
+                acc_type,
+                init,
+                body,
+            } => {
+                let init_id = init.as_ref().map(|e| self.build(e));
+                let var_stats = self.stats.dim(var_dim).map(|n| VarStats {
+                    rows: n,
+                    cols: 1,
+                    nnz: 1,
+                });
+                let acc_stats = self.stats.shape_of(acc_type).map(|(rows, cols)| VarStats {
+                    rows,
+                    cols,
+                    nnz: rows * cols,
+                });
+                self.scope.push((var.clone(), var_stats));
+                self.scope.push((acc.clone(), acc_stats));
+                self.loops.push(vec![var.clone(), acc.clone()]);
+                let body_id = self.build(body);
+                self.loops.pop();
+                self.scope.pop();
+                self.scope.pop();
+                self.intern(PlanOp::For {
+                    var: var.clone(),
+                    var_dim: var_dim.clone(),
+                    acc: acc.clone(),
+                    acc_type: acc_type.clone(),
+                    init: init_id,
+                    body: body_id,
+                })
+            }
+            Expr::Sum { var, var_dim, body } => {
+                let body_id = self.build_loop_body(var, var_dim, body);
+                self.intern(PlanOp::Sum {
+                    var: var.clone(),
+                    var_dim: var_dim.clone(),
+                    body: body_id,
+                })
+            }
+            Expr::HProd { var, var_dim, body } => {
+                let body_id = self.build_loop_body(var, var_dim, body);
+                self.intern(PlanOp::HProd {
+                    var: var.clone(),
+                    var_dim: var_dim.clone(),
+                    body: body_id,
+                })
+            }
+            Expr::MProd { var, var_dim, body } => {
+                let body_id = self.build_loop_body(var, var_dim, body);
+                self.intern(PlanOp::MProd {
+                    var: var.clone(),
+                    var_dim: var_dim.clone(),
+                    body: body_id,
+                })
+            }
+        }
+    }
+
+    fn build_loop_body(&mut self, var: &str, var_dim: &str, body: &Expr) -> NodeId {
+        let var_stats = self.stats.dim(var_dim).map(|n| VarStats {
+            rows: n,
+            cols: 1,
+            nnz: 1,
+        });
+        self.scope.push((var.to_string(), var_stats));
+        self.loops.push(vec![var.to_string()]);
+        let body_id = self.build(body);
+        self.loops.pop();
+        self.scope.pop();
+        body_id
+    }
+
+    fn intern(&mut self, op: PlanOp) -> NodeId {
+        let free_vars = self.free_vars_of(&op);
+        let scope_sig: Vec<(String, Option<VarStats>)> = free_vars
+            .iter()
+            .filter(|name| self.scope.iter().any(|(bound, _)| bound == *name))
+            .map(|name| (name.clone(), self.lookup_var(name)))
+            .collect();
+        let key = (op, scope_sig);
+        if let Some(&id) = self.dedup.get(&key) {
+            self.nodes[id].refs += 1;
+            self.mark_hoistable(id);
+            return id;
+        }
+        let est = self.estimate(&key.0);
+        let id = self.nodes.len();
+        self.nodes.push(PlanNode {
+            op: key.0.clone(),
+            free_vars,
+            refs: 1,
+            hoistable: false,
+            cacheable: false,
+            est,
+        });
+        self.dedup.insert(key, id);
+        self.mark_hoistable(id);
+        id
+    }
+
+    /// Marks `id` loop-invariant when it occurs inside a loop body and is
+    /// independent of the innermost loop's bound variables.
+    fn mark_hoistable(&mut self, id: NodeId) {
+        if let Some(innermost) = self.loops.last() {
+            let invariant = innermost
+                .iter()
+                .all(|bound| !self.nodes[id].free_vars.contains(bound));
+            if invariant {
+                self.nodes[id].hoistable = true;
+            }
+        }
+    }
+
+    fn free_vars_of(&self, op: &PlanOp) -> BTreeSet<String> {
+        let of = |id: &NodeId| self.nodes[*id].free_vars.clone();
+        match op {
+            PlanOp::Var(name) => BTreeSet::from([name.clone()]),
+            PlanOp::Const(_) => BTreeSet::new(),
+            PlanOp::Transpose(a) | PlanOp::Ones(a) | PlanOp::Diag(a) => of(a),
+            PlanOp::MatMul(a, b)
+            | PlanOp::Add(a, b)
+            | PlanOp::ScalarMul(a, b)
+            | PlanOp::Hadamard(a, b) => {
+                let mut out = of(a);
+                out.extend(of(b));
+                out
+            }
+            PlanOp::Apply(_, args) => {
+                let mut out = BTreeSet::new();
+                for a in args {
+                    out.extend(of(a));
+                }
+                out
+            }
+            PlanOp::Let { var, value, body } => {
+                let mut out = of(body);
+                out.remove(var);
+                out.extend(of(value));
+                out
+            }
+            PlanOp::For {
+                var,
+                acc,
+                init,
+                body,
+                ..
+            } => {
+                let mut out = of(body);
+                out.remove(var);
+                out.remove(acc);
+                if let Some(init) = init {
+                    out.extend(of(init));
+                }
+                out
+            }
+            PlanOp::Sum { var, body, .. }
+            | PlanOp::HProd { var, body, .. }
+            | PlanOp::MProd { var, body, .. } => {
+                let mut out = of(body);
+                out.remove(var);
+                out
+            }
+        }
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<VarStats> {
+        for (bound, stats) in self.scope.iter().rev() {
+            if bound == name {
+                return *stats;
+            }
+        }
+        self.stats.vars.get(name).copied()
+    }
+
+    fn estimate(&self, op: &PlanOp) -> Option<NodeEstimate> {
+        let est = |id: &NodeId| self.nodes[*id].est;
+        match op {
+            PlanOp::Var(name) => {
+                let s = self.lookup_var(name)?;
+                Some(finish(s.rows, s.cols, s.nnz as f64, 0.0, false))
+            }
+            PlanOp::Const(_) => Some(finish(1, 1, 1.0, 0.0, false)),
+            PlanOp::Transpose(a) => {
+                let a = est(a)?;
+                Some(finish(a.cols, a.rows, a.nnz, a.work + a.nnz, false))
+            }
+            PlanOp::Ones(a) => {
+                let a = est(a)?;
+                Some(finish(a.rows, 1, a.rows as f64, a.work, false))
+            }
+            PlanOp::Diag(a) => {
+                let a = est(a)?;
+                Some(finish(a.rows, a.rows, a.nnz, a.work, false))
+            }
+            PlanOp::MatMul(l, r) => {
+                let (l, r) = (est(l)?, est(r)?);
+                if l.cols != r.rows {
+                    return None;
+                }
+                // Gustavson visits, for every stored left entry, the
+                // matching right row; the dense kernel scans `rows × inner
+                // × cols`.  The executor picks whichever fits the operand
+                // representations, so cost with the cheaper of the two.
+                let per_right_row = if r.rows > 0 {
+                    r.nnz / r.rows as f64
+                } else {
+                    0.0
+                };
+                let sparse_work = l.nnz * per_right_row;
+                let dense_work = (l.rows as f64) * (l.cols as f64) * (r.cols as f64);
+                let own_work = sparse_work.min(dense_work);
+                let parallel = own_work >= self.options.parallel_work_threshold;
+                Some(finish(
+                    l.rows,
+                    r.cols,
+                    sparse_work,
+                    l.work + r.work + own_work,
+                    parallel,
+                ))
+            }
+            PlanOp::Add(l, r) => {
+                let (l, r) = (est(l)?, est(r)?);
+                let nnz = l.nnz + r.nnz;
+                Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, false))
+            }
+            PlanOp::ScalarMul(l, r) => {
+                let (l, r) = (est(l)?, est(r)?);
+                Some(finish(
+                    r.rows,
+                    r.cols,
+                    r.nnz,
+                    l.work + r.work + r.nnz,
+                    false,
+                ))
+            }
+            PlanOp::Hadamard(l, r) => {
+                let (l, r) = (est(l)?, est(r)?);
+                let nnz = l.nnz.min(r.nnz);
+                Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, false))
+            }
+            PlanOp::Apply(_, args) => {
+                // Arbitrary pointwise functions need not preserve zeros:
+                // assume a dense result of the first argument's shape.
+                let first = est(args.first()?)?;
+                let mut work = (first.rows * first.cols) as f64;
+                for a in args {
+                    work += est(a)?.work;
+                }
+                Some(finish(
+                    first.rows,
+                    first.cols,
+                    (first.rows * first.cols) as f64,
+                    work,
+                    false,
+                ))
+            }
+            PlanOp::Let { value, body, .. } => {
+                let (v, b) = (est(value)?, est(body)?);
+                Some(finish(b.rows, b.cols, b.nnz, v.work + b.work, false))
+            }
+            PlanOp::For {
+                var_dim,
+                acc_type,
+                init,
+                body,
+                ..
+            } => {
+                let n = self.stats.dim(var_dim)? as f64;
+                let b = est(body)?;
+                let (rows, cols) = self.stats.shape_of(acc_type)?;
+                let init_work = match init {
+                    Some(init) => est(init)?.work,
+                    None => 0.0,
+                };
+                Some(finish(
+                    rows,
+                    cols,
+                    (rows * cols) as f64,
+                    init_work + n * b.work,
+                    false,
+                ))
+            }
+            PlanOp::Sum { var_dim, body, .. } => {
+                let n = self.stats.dim(var_dim)? as f64;
+                let b = est(body)?;
+                Some(finish(
+                    b.rows,
+                    b.cols,
+                    n * b.nnz,
+                    n * (b.work + b.nnz),
+                    false,
+                ))
+            }
+            PlanOp::HProd { var_dim, body, .. } => {
+                let n = self.stats.dim(var_dim)? as f64;
+                let b = est(body)?;
+                Some(finish(b.rows, b.cols, b.nnz, n * (b.work + b.nnz), false))
+            }
+            PlanOp::MProd { var_dim, body, .. } => {
+                let n = self.stats.dim(var_dim)? as f64;
+                let b = est(body)?;
+                let step = b.nnz
+                    * if b.rows > 0 {
+                        b.nnz / b.rows as f64
+                    } else {
+                        0.0
+                    };
+                Some(finish(
+                    b.rows,
+                    b.cols,
+                    (b.rows * b.cols) as f64,
+                    n * (b.work + step),
+                    false,
+                ))
+            }
+        }
+    }
+}
+
+/// Clamps the non-zero estimate to the shape and derives the
+/// representation choice from the density thresholds of
+/// [`matlang_matrix::repr`].
+fn finish(rows: usize, cols: usize, nnz: f64, work: f64, parallel: bool) -> NodeEstimate {
+    let total = (rows * cols) as f64;
+    let nnz = nnz.min(total);
+    let choice = if rows * cols >= MIN_ADAPTIVE_ENTRIES && nnz <= SPARSIFY_THRESHOLD * total {
+        ReprChoice::Sparse
+    } else {
+        ReprChoice::Dense
+    };
+    NodeEstimate {
+        rows,
+        cols,
+        nnz,
+        work,
+        choice,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> InstanceStats {
+        InstanceStats {
+            dims: BTreeMap::from([("n".to_string(), 100)]),
+            vars: BTreeMap::from([(
+                "G".to_string(),
+                VarStats {
+                    rows: 100,
+                    cols: 100,
+                    nnz: 800,
+                },
+            )]),
+        }
+    }
+
+    fn gram() -> Expr {
+        Expr::var("G").t().mm(Expr::var("G"))
+    }
+
+    #[test]
+    fn identical_subexpressions_share_a_node() {
+        // (GᵀG) + (GᵀG): the Gram matrix is interned once.
+        let plan = Planner::new().plan_one(&gram().add(gram()), &stats());
+        assert_eq!(plan.report.queries, 1);
+        assert!(plan.report.shared_nodes >= 1);
+        // Var(G), Transpose, MatMul, Add — four distinct nodes.
+        assert_eq!(plan.report.dag_nodes, 4);
+        let add = plan.node(*plan.roots().first().unwrap());
+        let children = add.op.children();
+        assert_eq!(children[0], children[1]);
+    }
+
+    #[test]
+    fn sharing_extends_across_batch_queries() {
+        let q1 = gram();
+        let q2 = gram().t();
+        let plan = Planner::new().plan(&[q1, q2], &stats());
+        assert_eq!(plan.roots().len(), 2);
+        // q2's Gram subterm is q1's root.
+        assert!(plan.node(plan.roots()[0]).refs >= 2);
+    }
+
+    #[test]
+    fn loop_invariant_nodes_are_marked_hoistable() {
+        // Σv. vᵀ·(GᵀG)·v — the Gram matrix does not mention v.
+        let e = Expr::sum("v", "n", Expr::var("v").t().mm(gram()).mm(Expr::var("v")));
+        let plan = Planner::new().plan_one(&e, &stats());
+        let gram_node = plan
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, PlanOp::MatMul(_, _)) && !n.free_vars.contains("v"))
+            .expect("gram node present");
+        assert!(gram_node.hoistable);
+        assert!(gram_node.cacheable);
+        // vᵀ·(GᵀG) depends on v: not hoistable.
+        let dependent = plan
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, PlanOp::MatMul(_, _)) && n.free_vars.contains("v"))
+            .expect("v-dependent node present");
+        assert!(!dependent.hoistable);
+        assert!(plan.report.hoistable_nodes >= 1);
+    }
+
+    #[test]
+    fn free_vars_subtract_binders() {
+        let e = Expr::sum("v", "n", Expr::var("v").t().mm(Expr::var("G")));
+        let plan = Planner::new().plan_one(&e, &stats());
+        let root = plan.node(plan.roots()[0]);
+        assert!(root.free_vars.contains("G"));
+        assert!(!root.free_vars.contains("v"));
+        // v, vᵀ and vᵀ·G all depend on v; the Σ node itself does not.
+        assert_eq!(plan.dependents_of("v").len(), 3);
+    }
+
+    #[test]
+    fn simplify_savings_are_reported() {
+        let e = Expr::lit(1.0).smul(Expr::var("G").t().t());
+        let expected = rewrite::savings(&e);
+        assert!(expected > 0);
+        let plan = Planner::new().plan_one(&e, &stats());
+        assert_eq!(plan.report.simplify_savings, expected);
+        assert_eq!(plan.report.tree_nodes, 1); // simplified to Var(G)
+        let off = Planner::with_options(PlanOptions {
+            simplify: false,
+            ..PlanOptions::default()
+        })
+        .plan_one(&e, &stats());
+        assert_eq!(off.report.simplify_savings, 0);
+        assert!(off.report.tree_nodes > 1);
+    }
+
+    #[test]
+    fn cost_model_prefers_sparse_for_sparse_products() {
+        // A 1000-node, average-degree-8 graph: G·G is estimated at
+        // 8000·8 = 64 000 of 10⁶ entries ≈ 6.4% < 25% → CSR.
+        let s = InstanceStats {
+            dims: BTreeMap::from([("n".to_string(), 1000)]),
+            vars: BTreeMap::from([(
+                "G".to_string(),
+                VarStats {
+                    rows: 1000,
+                    cols: 1000,
+                    nnz: 8000,
+                },
+            )]),
+        };
+        let plan = Planner::new().plan_one(&Expr::var("G").mm(Expr::var("G")), &s);
+        let root = plan.node(plan.roots()[0]);
+        let est = root.est.expect("estimate present");
+        assert_eq!((est.rows, est.cols), (1000, 1000));
+        assert_eq!(est.choice, ReprChoice::Sparse);
+        assert!(!est.parallel, "64 000 multiplies is below the threshold");
+    }
+
+    #[test]
+    fn cost_model_marks_heavy_products_parallel() {
+        let mut s = stats();
+        s.vars.insert(
+            "D".to_string(),
+            VarStats {
+                rows: 100,
+                cols: 100,
+                nnz: 10_000,
+            },
+        );
+        let planner = Planner::with_options(PlanOptions {
+            parallel_work_threshold: 1e5,
+            ..PlanOptions::default()
+        });
+        let plan = planner.plan_one(&Expr::var("D").mm(Expr::var("D")), &s);
+        let est = plan.node(plan.roots()[0]).est.unwrap();
+        assert_eq!(est.choice, ReprChoice::Dense);
+        assert!(est.parallel);
+        assert_eq!(plan.report.parallel_products, 1);
+    }
+
+    #[test]
+    fn unknown_variables_plan_without_estimates() {
+        let plan = Planner::new().plan_one(&Expr::var("missing").t(), &stats());
+        assert!(plan.nodes().iter().all(|n| n.est.is_none()));
+    }
+
+    #[test]
+    fn let_bound_variables_shadow_instance_stats() {
+        // let G = 1×1 scalar in Gᵀ: the inner transpose must see the
+        // let-bound shape, not the 100×100 instance matrix.
+        let e = Expr::let_in("G", Expr::lit(2.0), Expr::var("G").t());
+        let plan = Planner::new().plan_one(
+            &Expr::Let {
+                var: "G".into(),
+                value: Box::new(Expr::lit(2.0).smul(Expr::lit(3.0).smul(Expr::var("G")))),
+                body: Box::new(Expr::var("G").t().mm(Expr::var("G"))),
+            },
+            &stats(),
+        );
+        let root = plan.node(plan.roots()[0]);
+        assert!(root.est.is_some());
+        let simple = Planner::with_options(PlanOptions {
+            simplify: false,
+            ..PlanOptions::default()
+        })
+        .plan_one(&e, &stats());
+        let root = simple.node(simple.roots()[0]);
+        let est = root.est.expect("estimate");
+        assert_eq!((est.rows, est.cols), (1, 1));
+    }
+
+    #[test]
+    fn shadowed_scopes_do_not_share_estimates() {
+        // (let G = <1×1> in Gᵀ·G) + Gᵀ·G: the inner product is over the
+        // let-bound scalar, the outer one over the 100×100 instance
+        // matrix.  Scope-blind hash-consing would merge them and freeze
+        // the scalar estimate onto the heavy outer product.
+        let inner = Expr::var("G").t().mm(Expr::var("G"));
+        let e = Expr::Let {
+            var: "G".into(),
+            value: Box::new(Expr::lit(2.0).smul(Expr::lit(3.0).smul(Expr::lit(4.0)))),
+            body: Box::new(inner.clone()),
+        }
+        .add(inner);
+        let planner = Planner::with_options(PlanOptions {
+            simplify: false,
+            ..PlanOptions::default()
+        });
+        let plan = planner.plan_one(&e, &stats());
+        let products: Vec<_> = plan
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, PlanOp::MatMul(_, _)))
+            .collect();
+        assert_eq!(products.len(), 2, "shadowed products must stay distinct");
+        let shapes: Vec<_> = products
+            .iter()
+            .map(|n| n.est.map(|e| (e.rows, e.cols)))
+            .collect();
+        assert!(shapes.contains(&Some((1, 1))));
+        assert!(shapes.contains(&Some((100, 100))));
+    }
+
+    #[test]
+    fn identical_scopes_still_share_across_loops() {
+        // Two Σ-loops binding the same name over the same dimension: the
+        // scope signature matches, so the bodies hash-cons to one node.
+        let body = || Expr::var("v").t().mm(Expr::var("G")).mm(Expr::var("v"));
+        let e = Expr::sum("v", "n", body()).add(Expr::sum("v", "n", body()));
+        let plan = Planner::new().plan_one(&e, &stats());
+        let sums: Vec<_> = plan
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, PlanOp::Sum { .. }))
+            .collect();
+        assert_eq!(sums.len(), 1, "identical loops must share one node");
+        assert_eq!(sums[0].refs, 2);
+    }
+
+    #[test]
+    fn report_displays_summary() {
+        let plan = Planner::new().plan_one(&gram(), &stats());
+        let text = plan.report.to_string();
+        assert!(text.contains("dag nodes"));
+        assert!(text.contains("1 query"));
+    }
+}

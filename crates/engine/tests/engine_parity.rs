@@ -1,0 +1,243 @@
+//! Planned/parallel execution must be result-identical to the tree-walking
+//! evaluator: over the shared operator corpus (including error cases), the
+//! paper's 4-clique query, and randomized expressions across the Boolean,
+//! ℕ and tropical (min-plus) semirings — on both the dense and the
+//! adaptive sparse backend, with and without threading.
+
+use matlang_core::corpus::{four_clique_corpus_expr, operator_corpus};
+use matlang_core::{evaluate, Expr, FunctionRegistry, Instance, MatrixType, SparseInstance};
+use matlang_engine::Engine;
+use matlang_matrix::{Matrix, MatrixRepr};
+use matlang_semiring::{Boolean, MinPlus, Nat, Real, Semiring};
+use proptest::prelude::*;
+
+/// Builds the sparse twin of a dense instance: same dims, same matrices,
+/// adaptive representation.
+fn sparsify<K: Semiring>(dense: &Instance<K>) -> SparseInstance<K> {
+    let mut out: SparseInstance<K> = Instance::new();
+    for (sym, n) in dense.dims() {
+        out.set_dim(sym.clone(), n);
+    }
+    for (var, m) in dense.matrices() {
+        out.set_matrix(var.clone(), MatrixRepr::from_dense_auto(m.clone()));
+    }
+    out
+}
+
+/// Evaluates `expr` through the naive evaluator and through the engine (in
+/// several configurations) over both backends, asserting identical values
+/// or identical error discriminants everywhere.
+fn assert_engine_parity<K: Semiring>(
+    expr: &Expr,
+    instance: &Instance<K>,
+    registry: &FunctionRegistry<K>,
+) {
+    let naive = evaluate(expr, instance, registry);
+    let engines = [
+        Engine::new(),
+        Engine::new().with_threads(2),
+        Engine::new().without_simplify(),
+    ];
+    for engine in &engines {
+        let planned = engine.evaluate(expr, instance, registry);
+        match (&naive, &planned) {
+            (Ok(n), Ok(p)) => assert_eq!(n, p, "dense engine result differs for {expr}"),
+            (Err(ne), Err(pe)) => assert_eq!(
+                std::mem::discriminant(ne),
+                std::mem::discriminant(pe),
+                "dense engine error differs for {expr}: {ne} vs {pe}"
+            ),
+            (n, p) => panic!("engine/naive mismatch for {expr}: naive {n:?}, engine {p:?}"),
+        }
+    }
+    let sparse_instance = sparsify(instance);
+    let sparse_naive = evaluate(expr, &sparse_instance, registry);
+    let sparse_planned = Engine::new().evaluate(expr, &sparse_instance, registry);
+    match (&sparse_naive, &sparse_planned) {
+        (Ok(n), Ok(p)) => {
+            assert_eq!(
+                n.to_dense(),
+                p.to_dense(),
+                "sparse engine result differs for {expr}"
+            );
+            if let Ok(dense) = &naive {
+                assert_eq!(&n.to_dense(), dense, "backend mismatch for {expr}");
+            }
+        }
+        (Err(ne), Err(pe)) => assert_eq!(
+            std::mem::discriminant(ne),
+            std::mem::discriminant(pe),
+            "sparse engine error differs for {expr}: {ne} vs {pe}"
+        ),
+        (n, p) => panic!("sparse engine/naive mismatch for {expr}: naive {n:?}, engine {p:?}"),
+    }
+}
+
+#[test]
+fn operator_corpus_has_engine_parity() {
+    let a = Matrix::from_f64_rows(&[&[1.0, 2.0, 0.0], &[0.0, 3.0, 4.0], &[5.0, 0.0, 6.0]]).unwrap();
+    let inst: Instance<Real> = Instance::new().with_dim("a", 3).with_matrix("A", a);
+    let reg = FunctionRegistry::standard_field();
+    for expr in operator_corpus() {
+        assert_engine_parity(&expr, &inst, &reg);
+    }
+}
+
+#[test]
+fn four_clique_has_engine_parity() {
+    let mut k4: Matrix<Real> = Matrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            if i != j {
+                k4.set(i, j, Real(1.0)).unwrap();
+            }
+        }
+    }
+    let inst: Instance<Real> = Instance::new().with_dim("a", 4).with_matrix("A", k4);
+    assert_engine_parity(
+        &four_clique_corpus_expr(),
+        &inst,
+        &FunctionRegistry::standard_field(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Randomized expressions: a deterministic expression generator driven by a
+// proptest-supplied word stream.  All generated expressions are square-typed
+// over the variable `G` / size symbol `a`, are constant-free (so parity
+// holds verbatim over the tropical semirings, where `rewrite`'s constant
+// folding interprets literals through ℝ), and exercise sharing, nested
+// loops, shadowed loop variables and `let` bindings.
+// ---------------------------------------------------------------------------
+
+/// Builds a random square-typed expression, consuming words from `words`.
+fn square_expr(budget: usize, depth: usize, words: &mut impl Iterator<Item = u64>) -> Expr {
+    let word = words.next().unwrap_or(0);
+    if budget == 0 {
+        return Expr::var("G");
+    }
+    // Reuse the name `v` at even depths to exercise binder shadowing.
+    let v = if depth % 2 == 0 {
+        "v".to_string()
+    } else {
+        format!("v{depth}")
+    };
+    let var_v = || Expr::var(v.as_str());
+    match word % 10 {
+        0 => Expr::var("G"),
+        1 => square_expr(budget - 1, depth, words).t(),
+        2 => square_expr(budget - 1, depth, words).add(square_expr(budget / 2, depth, words)),
+        3 => square_expr(budget - 1, depth, words).mm(square_expr(budget / 2, depth, words)),
+        4 => square_expr(budget - 1, depth, words).had(square_expr(budget / 2, depth, words)),
+        5 => square_expr(budget - 1, depth, words).ones().diag(),
+        // Σv. (v·vᵀ)·e — the body mentions both v and the subexpression.
+        6 => Expr::sum(
+            &v,
+            "a",
+            var_v()
+                .mm(var_v().t())
+                .mm(square_expr(budget - 1, depth + 1, words)),
+        ),
+        // Π∘v. e + v·vᵀ.
+        7 => Expr::hprod(
+            &v,
+            "a",
+            square_expr(budget - 1, depth + 1, words).add(var_v().mm(var_v().t())),
+        ),
+        // let T = e in T·T — genuine sharing through a binder.
+        8 => Expr::let_in(
+            "T",
+            square_expr(budget - 1, depth, words),
+            Expr::var("T").mm(Expr::var("T")),
+        ),
+        // for v, X. X + (vᵀ·e·v) × (v·vᵀ): loop with accumulator use and a
+        // loop-invariant candidate inside.
+        _ => Expr::for_loop(
+            &v,
+            "a",
+            "X",
+            MatrixType::square("a"),
+            Expr::var("X").add(
+                var_v()
+                    .t()
+                    .mm(square_expr(budget - 1, depth + 1, words))
+                    .mm(var_v())
+                    .smul(var_v().mm(var_v().t())),
+            ),
+        ),
+    }
+}
+
+fn nat_matrix(n: usize) -> impl Strategy<Value = Matrix<Nat>> {
+    proptest::collection::vec(0u64..8, n * n).prop_map(move |data| {
+        Matrix::from_vec(
+            n,
+            n,
+            data.into_iter()
+                .map(|w| if w < 5 { Nat(0) } else { Nat(w) })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn bool_matrix(n: usize) -> impl Strategy<Value = Matrix<Boolean>> {
+    proptest::collection::vec(0u64..4, n * n).prop_map(move |data| {
+        Matrix::from_vec(n, n, data.into_iter().map(|w| Boolean(w == 0)).collect()).unwrap()
+    })
+}
+
+fn tropical_matrix(n: usize) -> impl Strategy<Value = Matrix<MinPlus>> {
+    proptest::collection::vec(0i64..10, n * n).prop_map(move |data| {
+        Matrix::from_vec(
+            n,
+            n,
+            data.into_iter()
+                .map(|w| {
+                    if w < 6 {
+                        MinPlus::zero()
+                    } else {
+                        MinPlus(w as f64)
+                    }
+                })
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn parity_case<K: Semiring>(matrix: Matrix<K>, words: Vec<u64>) {
+    let n = matrix.rows();
+    let inst: Instance<K> = Instance::new().with_dim("a", n).with_matrix("G", matrix);
+    let reg: FunctionRegistry<K> = FunctionRegistry::new();
+    let expr = square_expr(5, 0, &mut words.into_iter());
+    assert_engine_parity(&expr, &inst, &reg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_nat_expressions_have_engine_parity(
+        m in nat_matrix(4),
+        words in proptest::collection::vec(0u64..1_000_000, 24),
+    ) {
+        parity_case(m, words);
+    }
+
+    #[test]
+    fn random_boolean_expressions_have_engine_parity(
+        m in bool_matrix(5),
+        words in proptest::collection::vec(0u64..1_000_000, 24),
+    ) {
+        parity_case(m, words);
+    }
+
+    #[test]
+    fn random_tropical_expressions_have_engine_parity(
+        m in tropical_matrix(4),
+        words in proptest::collection::vec(0u64..1_000_000, 24),
+    ) {
+        parity_case(m, words);
+    }
+}

@@ -14,7 +14,16 @@
 //!   adjacency matrices;
 //! * [`MatrixRepr`] — the adaptive representation that picks dense or CSR
 //!   per result via a density threshold, used by the backend-aware
-//!   evaluator in `matlang_core`.
+//!   evaluator in `matlang_core`; its matrix product dispatches mixed
+//!   sparse·dense / dense·sparse operand pairs to the `O(nnz)`-aware
+//!   kernels in [`mixed`] instead of promoting the sparse side.
+//!
+//! The heavy kernels also come in row-partitioned parallel variants
+//! ([`parallel`]): scoped `std::thread` workers each run the serial per-row
+//! kernel over a chunk of output rows, so threaded products are
+//! bit-identical to serial ones.  [`configured_threads`] reads the
+//! `MATLANG_THREADS` environment variable (default:
+//! `available_parallelism`).
 //!
 //! The [`MatrixStorage`] trait is the common interface: anything generic
 //! over it (the evaluator, the graph algorithms, the RA⁺_K and WL
@@ -22,7 +31,9 @@
 
 pub mod error;
 pub mod matrix;
+pub mod mixed;
 pub mod ops;
+pub mod parallel;
 pub mod random;
 pub mod repr;
 pub mod sparse;
@@ -31,6 +42,7 @@ pub mod storage;
 
 pub use error::MatrixError;
 pub use matrix::Matrix;
+pub use parallel::{configured_threads, MATLANG_THREADS_ENV};
 pub use random::{
     random_adjacency, random_invertible, random_matrix, random_vector, sparse_erdos_renyi,
     sparse_power_law, RandomMatrixConfig,

@@ -1,0 +1,149 @@
+//! Mixed-representation matrix products: CSR·dense and dense·CSR without
+//! promoting the sparse operand.
+//!
+//! The adaptive [`crate::MatrixRepr`] frequently multiplies a sparse matrix
+//! by a dense one (e.g. a CSR adjacency matrix against a densified power of
+//! itself).  Promoting the sparse side to dense first costs
+//! `Θ(rows × cols)` just to materialize the operand and then pays the dense
+//! kernel's full scan; the kernels here instead walk the stored entries of
+//! the sparse side, so the work is `O(nnz · width)` plus the unavoidable
+//! dense-output writes.
+//!
+//! Both kernels accumulate each output row in the same `i → k → j` order as
+//! the dense [`Matrix::matmul`] and the Gustavson
+//! [`SparseMatrix::matmul`], so results are bit-identical to either
+//! same-representation product — a property the evaluator-parity suites
+//! rely on.
+
+use crate::{Matrix, MatrixError, Result, SparseMatrix};
+use matlang_semiring::Semiring;
+
+impl<K: Semiring> SparseMatrix<K> {
+    /// Sparse·dense product `self · other` with a dense result:
+    /// `O(Σᵢ nnz(selfᵢ) · other.cols())` semiring operations — the zero rows
+    /// and zero entries of `self` cost nothing.
+    pub fn matmul_dense(&self, other: &Matrix<K>) -> Result<Matrix<K>> {
+        if self.cols() != other.rows() {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, m) = (self.rows(), other.cols());
+        let rhs = other.entries();
+        let mut out = vec![K::zero(); n * m];
+        for (i, out_row) in out.chunks_mut(m.max(1)).enumerate().take(n) {
+            let (cols, vals) = self.row_entries(i);
+            for (&k, a) in cols.iter().zip(vals) {
+                let b_row = &rhs[k * m..(k + 1) * m];
+                for (acc, b) in out_row.iter_mut().zip(b_row) {
+                    *acc = acc.add(&a.mul(b));
+                }
+            }
+        }
+        Matrix::from_vec(n, m, out)
+    }
+}
+
+impl<K: Semiring> Matrix<K> {
+    /// Dense·sparse product `self · other` with a dense result: for each
+    /// non-zero `self[i, k]` only row `k` of the CSR operand is visited, so
+    /// the cost is `O(rows · inner + Σ_{(i,k) ≠ 0} nnz(other_k))` instead of
+    /// the dense kernel's full `rows × inner × cols` sweep.
+    pub fn matmul_sparse(&self, other: &SparseMatrix<K>) -> Result<Matrix<K>> {
+        if self.cols() != other.rows() {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, m) = (self.rows(), other.cols());
+        let inner = self.cols();
+        let lhs = self.entries();
+        let mut out = vec![K::zero(); n * m];
+        for (i, out_row) in out.chunks_mut(m.max(1)).enumerate().take(n) {
+            let a_row = &lhs[i * inner..(i + 1) * inner];
+            for (k, a) in a_row.iter().enumerate() {
+                if a.is_zero() {
+                    continue;
+                }
+                let (cols, vals) = other.row_entries(k);
+                for (&j, b) in cols.iter().zip(vals) {
+                    out_row[j] = out_row[j].add(&a.mul(b));
+                }
+            }
+        }
+        Matrix::from_vec(n, m, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_semiring::{Boolean, MinPlus, Nat, Real};
+
+    fn dense(rows: &[&[f64]]) -> Matrix<Real> {
+        Matrix::from_f64_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn mixed_products_agree_with_dense_kernel() {
+        let a = dense(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]]);
+        let b = dense(&[&[0.0, 1.0], &[2.0, 0.0], &[0.0, 5.0]]);
+        let expected = a.matmul(&b).unwrap();
+        let sa = SparseMatrix::from_dense(&a);
+        let sb = SparseMatrix::from_dense(&b);
+        assert_eq!(sa.matmul_dense(&b).unwrap(), expected);
+        assert_eq!(a.matmul_sparse(&sb).unwrap(), expected);
+    }
+
+    #[test]
+    fn mixed_products_check_inner_dimensions() {
+        let a = dense(&[&[1.0, 2.0]]);
+        let sa = SparseMatrix::from_dense(&a);
+        assert!(matches!(
+            sa.matmul_dense(&a),
+            Err(MatrixError::InnerDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.matmul_sparse(&sa),
+            Err(MatrixError::InnerDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_products_are_semiring_generic() {
+        // Boolean reachability step and a tropical shortest-path relaxation:
+        // the kernels must be exact for non-numeric zeros (false, +∞).
+        let adj: Matrix<Boolean> = Matrix::from_rows(vec![
+            vec![Boolean(false), Boolean(true)],
+            vec![Boolean(true), Boolean(false)],
+        ])
+        .unwrap();
+        let s = SparseMatrix::from_dense(&adj);
+        assert_eq!(s.matmul_dense(&adj).unwrap(), adj.matmul(&adj).unwrap());
+
+        let w: Matrix<MinPlus> = Matrix::from_rows(vec![
+            vec![MinPlus(0.0), MinPlus(2.0)],
+            vec![MinPlus(f64::INFINITY), MinPlus(0.0)],
+        ])
+        .unwrap();
+        let sw = SparseMatrix::from_dense(&w);
+        assert_eq!(w.matmul_sparse(&sw).unwrap(), w.matmul(&w).unwrap());
+
+        let c: Matrix<Nat> =
+            Matrix::from_rows(vec![vec![Nat(1), Nat(0)], vec![Nat(3), Nat(2)]]).unwrap();
+        let sc = SparseMatrix::from_dense(&c);
+        assert_eq!(sc.matmul_dense(&c).unwrap(), c.matmul(&c).unwrap());
+    }
+
+    #[test]
+    fn mixed_products_handle_degenerate_shapes() {
+        let a: Matrix<Real> = Matrix::zeros(2, 3);
+        let b: Matrix<Real> = Matrix::zeros(3, 0);
+        let sa = SparseMatrix::from_dense(&a);
+        let sb = SparseMatrix::from_dense(&b);
+        assert_eq!(sa.matmul_dense(&b).unwrap().shape(), (2, 0));
+        assert_eq!(a.matmul_sparse(&sb).unwrap().shape(), (2, 0));
+    }
+}

@@ -50,13 +50,33 @@ impl<K: Semiring> Matrix<K> {
             });
         }
         let (n, m) = (self.rows(), other.cols());
+        let mut out = vec![K::zero(); n * m];
+        self.matmul_into_rows(other, 0..n, &mut out);
+        Matrix::from_vec(n, m, out)
+    }
+
+    /// The i-k-j kernel restricted to the output rows in `rows`, writing
+    /// into `out` (the row-major buffer for exactly those rows).  This is
+    /// the single implementation behind both [`Matrix::matmul`] and the
+    /// row-partitioned [`Matrix::matmul_threaded`] — sharing it is what
+    /// keeps serial and threaded products bit-identical by construction.
+    ///
+    /// Callers must have checked `self.cols() == other.rows()`, that
+    /// `rows` lies within `0..self.rows()`, and that
+    /// `out.len() == rows.len() * other.cols()`.
+    pub(crate) fn matmul_into_rows(
+        &self,
+        other: &Matrix<K>,
+        rows: std::ops::Range<usize>,
+        out: &mut [K],
+    ) {
+        let m = other.cols();
         let inner = self.cols();
         let lhs = self.entries();
         let rhs = other.entries();
-        let mut out = vec![K::zero(); n * m];
-        for i in 0..n {
+        for (r, out_row) in out.chunks_mut(m.max(1)).enumerate().take(rows.len()) {
+            let i = rows.start + r;
             let a_row = &lhs[i * inner..(i + 1) * inner];
-            let out_row = &mut out[i * m..(i + 1) * m];
             for (k, a) in a_row.iter().enumerate() {
                 if a.is_zero() {
                     continue;
@@ -67,7 +87,6 @@ impl<K: Semiring> Matrix<K> {
                 }
             }
         }
-        Matrix::from_vec(n, m, out)
     }
 
     /// Hadamard (pointwise) product `e₁ ∘ e₂` (entrywise `⊙`, Section 6.2).

@@ -1,0 +1,195 @@
+//! Hand-rolled row-partitioned parallel kernels on `std::thread::scope`.
+//!
+//! The build environment is offline (no rayon), so parallelism is plain
+//! scoped threads: the output rows are split into one contiguous chunk per
+//! worker, each worker runs the *identical* serial per-row kernel over its
+//! chunk, and the chunks are reassembled in row order.  Because every output
+//! row is produced by the same code in the same semiring-operation order as
+//! the serial kernel, threaded products are **bit-identical** to their
+//! serial counterparts — parallelism never perturbs results, not even over
+//! floating-point semirings.
+//!
+//! The worker count is a caller decision; [`configured_threads`] provides
+//! the process-wide default, reading the **`MATLANG_THREADS`** environment
+//! variable and falling back to [`std::thread::available_parallelism`].
+//! Passing `threads ≤ 1` (or a matrix too small to split) short-circuits to
+//! the serial kernel, so the threaded entry points are always safe to call.
+
+use crate::{Matrix, MatrixError, Result, SparseMatrix};
+use matlang_semiring::Semiring;
+
+/// Environment variable overriding the default worker count.
+pub const MATLANG_THREADS_ENV: &str = "MATLANG_THREADS";
+
+/// The process-default worker count for the threaded kernels: the value of
+/// the `MATLANG_THREADS` environment variable when it parses to an integer
+/// `≥ 1`, otherwise [`std::thread::available_parallelism`] (1 when even
+/// that is unavailable).
+pub fn configured_threads() -> usize {
+    std::env::var(MATLANG_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Splits `rows` into at most `threads` contiguous, non-empty, near-equal
+/// ranges covering `0..rows`.
+fn row_ranges(rows: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = threads.min(rows).max(1);
+    let chunk = rows.div_ceil(workers);
+    (0..rows)
+        .step_by(chunk.max(1))
+        .map(|start| start..(start + chunk).min(rows))
+        .collect()
+}
+
+impl<K: Semiring> Matrix<K> {
+    /// Matrix product `self · other` computed by up to `threads` scoped
+    /// worker threads, each running the serial i-k-j kernel over a
+    /// contiguous chunk of output rows.  Bit-identical to
+    /// [`Matrix::matmul`].
+    pub fn matmul_threaded(&self, other: &Matrix<K>, threads: usize) -> Result<Matrix<K>> {
+        if self.cols() != other.rows() {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, m) = (self.rows(), other.cols());
+        if threads <= 1 || n <= 1 || m == 0 {
+            return self.matmul(other);
+        }
+        let mut out = vec![K::zero(); n * m];
+        let ranges = row_ranges(n, threads);
+        // Every range has the same length except possibly the last, so the
+        // chunks line up with the ranges one-to-one.
+        let chunk_rows = ranges[0].len();
+        std::thread::scope(|scope| {
+            for (range, out_chunk) in ranges.into_iter().zip(out.chunks_mut(chunk_rows * m)) {
+                scope.spawn(move || self.matmul_into_rows(other, range, out_chunk));
+            }
+        });
+        Matrix::from_vec(n, m, out)
+    }
+}
+
+impl<K: Semiring> SparseMatrix<K> {
+    /// Sparse product `self · other` (SpMM) computed by up to `threads`
+    /// scoped worker threads.  Gustavson's algorithm is embarrassingly
+    /// parallel over output rows: each worker runs the serial row kernel
+    /// over a contiguous row range and the CSR blocks are concatenated with
+    /// [`SparseMatrix::vstack`].  Bit-identical to [`SparseMatrix::matmul`].
+    pub fn matmul_threaded(
+        &self,
+        other: &SparseMatrix<K>,
+        threads: usize,
+    ) -> Result<SparseMatrix<K>> {
+        if self.cols() != other.rows() {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        if threads <= 1 || self.rows() <= 1 {
+            return Ok(self.matmul_rows(other, 0..self.rows()));
+        }
+        let ranges = row_ranges(self.rows(), threads);
+        let blocks: Vec<SparseMatrix<K>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || self.matmul_rows(other, range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SpMM worker panicked"))
+                .collect()
+        });
+        SparseMatrix::vstack(&blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_matrix, sparse_erdos_renyi, RandomMatrixConfig};
+    use matlang_semiring::{Boolean, Real};
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn row_ranges_cover_without_overlap() {
+        for (rows, threads) in [(1, 4), (7, 2), (8, 3), (100, 16), (5, 1), (3, 8)] {
+            let ranges = row_ranges(rows, threads);
+            assert!(ranges.len() <= threads.max(1));
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, rows);
+        }
+    }
+
+    #[test]
+    fn threaded_dense_matmul_is_bit_identical() {
+        let cfg = RandomMatrixConfig {
+            seed: 3,
+            min_value: -2.0,
+            max_value: 2.0,
+            zero_probability: 0.3,
+            integer_entries: false,
+        };
+        let a: Matrix<Real> = random_matrix(33, 17, &cfg);
+        let b: Matrix<Real> = random_matrix(17, 29, &RandomMatrixConfig { seed: 4, ..cfg });
+        let serial = a.matmul(&b).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(a.matmul_threaded(&b, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn threaded_spmm_is_bit_identical() {
+        let a: SparseMatrix<Boolean> = sparse_erdos_renyi(120, 5.0, 9);
+        let b: SparseMatrix<Boolean> = sparse_erdos_renyi(120, 3.0, 10);
+        let serial = a.matmul(&b).unwrap();
+        for threads in [1, 2, 3, 7, 200] {
+            assert_eq!(a.matmul_threaded(&b, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn threaded_kernels_check_shapes() {
+        let a: Matrix<Real> = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul_threaded(&a, 2),
+            Err(MatrixError::InnerDimensionMismatch { .. })
+        ));
+        let s: SparseMatrix<Real> = SparseMatrix::zeros(2, 3);
+        assert!(matches!(
+            s.matmul_threaded(&s, 2),
+            Err(MatrixError::InnerDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn vstack_reassembles_row_blocks() {
+        let m: SparseMatrix<Real> = sparse_erdos_renyi(10, 2.0, 5);
+        let top = m.matmul_rows(&m, 0..4);
+        let bottom = m.matmul_rows(&m, 4..10);
+        let stacked = SparseMatrix::vstack(&[top, bottom]).unwrap();
+        assert_eq!(stacked, m.matmul(&m).unwrap());
+        let empty: Vec<SparseMatrix<Real>> = Vec::new();
+        assert_eq!(SparseMatrix::vstack(&empty).unwrap().shape(), (0, 0));
+        let mismatched = [SparseMatrix::<Real>::zeros(1, 2), SparseMatrix::zeros(1, 3)];
+        assert!(SparseMatrix::vstack(&mismatched).is_err());
+    }
+}

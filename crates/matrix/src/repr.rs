@@ -104,6 +104,22 @@ impl<K: Semiring> MatrixRepr<K> {
         }
     }
 
+    /// Steers the storage towards a caller-chosen representation (the
+    /// query planner's per-node cost-model choice).  `sparse = false`
+    /// always densifies; `sparse = true` compresses to CSR unless the value
+    /// is denser than [`DENSIFY_THRESHOLD`] — an estimate must not force a
+    /// pathological CSR of a near-full matrix.  The stored entries are
+    /// unchanged either way.
+    pub fn prefer(self, sparse: bool) -> Self {
+        match (sparse, self) {
+            (true, MatrixRepr::Dense(d)) if d.density() <= DENSIFY_THRESHOLD => {
+                MatrixRepr::Sparse(SparseMatrix::from_dense(&d))
+            }
+            (false, MatrixRepr::Sparse(s)) => MatrixRepr::Dense(s.to_dense()),
+            (_, other) => other,
+        }
+    }
+
     /// The shape `(rows, cols)`.
     pub fn shape(&self) -> (usize, usize) {
         match self {
@@ -180,12 +196,33 @@ impl<K: Semiring> MatrixRepr<K> {
         Ok(out.normalized())
     }
 
-    /// Matrix product `e₁ · e₂` — SpMM when both operands are sparse.
+    /// Matrix product `e₁ · e₂`, dispatched by operand representation:
+    /// Gustavson SpMM for sparse·sparse, the dense kernel for dense·dense,
+    /// and the `O(nnz)`-aware mixed kernels (see [`crate::mixed`]) for
+    /// sparse·dense / dense·sparse — the sparse operand is never promoted.
     pub fn matmul(&self, other: &Self) -> Result<Self> {
         use MatrixRepr::{Dense, Sparse};
         let out = match (self, other) {
             (Sparse(a), Sparse(b)) => Sparse(a.matmul(b)?),
-            (a, b) => Dense(a.to_dense().matmul(&b.to_dense())?),
+            (Sparse(a), Dense(b)) => Dense(a.matmul_dense(b)?),
+            (Dense(a), Sparse(b)) => Dense(a.matmul_sparse(b)?),
+            (Dense(a), Dense(b)) => Dense(a.matmul(b)?),
+        };
+        Ok(out.normalized())
+    }
+
+    /// [`MatrixRepr::matmul`] with up to `threads` worker threads for the
+    /// same-representation pairs (see [`crate::parallel`]).  The mixed
+    /// pairs run the serial mixed kernels — their cost is already dominated
+    /// by the sparse operand's `nnz`.  Bit-identical to
+    /// [`MatrixRepr::matmul`] for every operand pair.
+    pub fn matmul_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        use MatrixRepr::{Dense, Sparse};
+        let out = match (self, other) {
+            (Sparse(a), Sparse(b)) => Sparse(a.matmul_threaded(b, threads)?),
+            (Sparse(a), Dense(b)) => Dense(a.matmul_dense(b)?),
+            (Dense(a), Sparse(b)) => Dense(a.matmul_sparse(b)?),
+            (Dense(a), Dense(b)) => Dense(a.matmul_threaded(b, threads)?),
         };
         Ok(out.normalized())
     }

@@ -392,14 +392,32 @@ impl<K: Semiring> SparseMatrix<K> {
                 right: other.shape(),
             });
         }
+        Ok(self.matmul_rows(other, 0..self.rows))
+    }
+
+    /// The Gustavson kernel restricted to the output rows in `rows`: computes
+    /// the `rows.len() × other.cols` horizontal slice of `self · other`.
+    /// This is the unit of work of the row-partitioned parallel SpMM in
+    /// [`crate::parallel`]; running it over `0..self.rows()` is exactly
+    /// [`SparseMatrix::matmul`], so serial and parallel products perform the
+    /// identical per-row semiring operations in the identical order.
+    ///
+    /// Callers must have checked `self.cols == other.rows` and that `rows`
+    /// is within `0..self.rows`.
+    pub(crate) fn matmul_rows(
+        &self,
+        other: &SparseMatrix<K>,
+        rows: std::ops::Range<usize>,
+    ) -> SparseMatrix<K> {
         let m = other.cols;
-        let mut out = CsrBuilder::new(self.rows, m, self.nnz());
+        let block_nnz = self.indptr[rows.end] - self.indptr[rows.start];
+        let mut out = CsrBuilder::new(rows.len(), m, block_nnz);
         // Dense accumulator reused across rows; `occupied` tracks the touched
         // columns so clearing costs O(row nnz), not O(m).
         let mut acc: Vec<K> = vec![K::zero(); m];
         let mut present = vec![false; m];
         let mut occupied: Vec<usize> = Vec::new();
-        for i in 0..self.rows {
+        for i in rows {
             let (ac, av) = self.row_slices(i);
             for (&k, a) in ac.iter().zip(av) {
                 let (bc, bv) = other.row_slices(k);
@@ -423,7 +441,40 @@ impl<K: Semiring> SparseMatrix<K> {
             occupied.clear();
             out.finish_row();
         }
-        Ok(out.build())
+        out.build()
+    }
+
+    /// Vertical concatenation of row blocks sharing a column count — the
+    /// reassembly step of the row-partitioned parallel SpMM.  An empty block
+    /// list produces the `0 × 0` matrix.
+    pub fn vstack(blocks: &[SparseMatrix<K>]) -> Result<SparseMatrix<K>> {
+        let cols = blocks.first().map(|b| b.cols).unwrap_or(0);
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for block in blocks {
+            if block.cols != cols {
+                return Err(MatrixError::ShapeMismatch {
+                    left: (rows, cols),
+                    right: block.shape(),
+                    op: "vstack",
+                });
+            }
+            let offset = indices.len();
+            indptr.extend(block.indptr.iter().skip(1).map(|p| p + offset));
+            indices.extend_from_slice(&block.indices);
+            values.extend_from_slice(&block.values);
+        }
+        Ok(SparseMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Sparse matrix–vector product against a dense vector: `A · x` with `x`

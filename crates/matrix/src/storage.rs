@@ -108,6 +108,27 @@ pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'stat
     /// Matrix product `e₁ · e₂`.
     fn matmul(&self, other: &Self) -> Result<Self>;
 
+    /// Matrix product computed with up to `threads` worker threads.
+    /// Implementations must be **bit-identical** to
+    /// [`matmul`](MatrixStorage::matmul) for every operand pair and thread
+    /// count — the row-partitioned kernels in [`crate::parallel`] guarantee
+    /// this by running the serial per-row kernel on every row.  The default
+    /// ignores `threads` and runs the serial product, so backends without a
+    /// parallel kernel stay correct.
+    fn matmul_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        let _ = threads;
+        self.matmul(other)
+    }
+
+    /// Re-selects the storage representation according to a planner hint
+    /// (`sparse = true` prefers CSR, `false` prefers dense).  Entries are
+    /// never changed; single-representation backends ignore the hint, the
+    /// adaptive [`MatrixRepr`] honors it via [`MatrixRepr::prefer`].
+    fn prefer_repr(self, sparse: bool) -> Self {
+        let _ = sparse;
+        self
+    }
+
     /// Hadamard (pointwise) product `e₁ ∘ e₂` (entrywise `⊙`).
     fn hadamard(&self, other: &Self) -> Result<Self>;
 
@@ -195,6 +216,10 @@ impl<K: Semiring> MatrixStorage for Matrix<K> {
 
     fn matmul(&self, other: &Self) -> Result<Self> {
         Matrix::matmul(self, other)
+    }
+
+    fn matmul_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        Matrix::matmul_threaded(self, other, threads)
     }
 
     fn hadamard(&self, other: &Self) -> Result<Self> {
@@ -285,6 +310,10 @@ impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
 
     fn matmul(&self, other: &Self) -> Result<Self> {
         SparseMatrix::matmul(self, other)
+    }
+
+    fn matmul_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        SparseMatrix::matmul_threaded(self, other, threads)
     }
 
     fn hadamard(&self, other: &Self) -> Result<Self> {
@@ -380,6 +409,14 @@ impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
 
     fn matmul(&self, other: &Self) -> Result<Self> {
         MatrixRepr::matmul(self, other)
+    }
+
+    fn matmul_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        MatrixRepr::matmul_threaded(self, other, threads)
+    }
+
+    fn prefer_repr(self, sparse: bool) -> Self {
+        MatrixRepr::prefer(self, sparse)
     }
 
     fn hadamard(&self, other: &Self) -> Result<Self> {

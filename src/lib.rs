@@ -14,6 +14,10 @@
 //!   common `MatrixStorage` interface.
 //! * [`core`] — the expression AST, schemas, typing, fragments and the
 //!   evaluator.
+//! * [`engine`] — the query planner (CSE, loop-invariant hoisting,
+//!   cost-based representation choice) and the parallel memoizing
+//!   executor, including batched evaluation of many queries over one
+//!   instance.
 //! * [`algorithms`] — the paper's worked algorithms (order predicates,
 //!   4-clique, transitive closure, LU/PLU, Csanky determinant & inverse) and
 //!   their numeric baselines.
@@ -48,6 +52,7 @@
 pub use matlang_algorithms as algorithms;
 pub use matlang_circuits as circuits;
 pub use matlang_core as core;
+pub use matlang_engine as engine;
 pub use matlang_matrix as matrix;
 pub use matlang_parser as parser;
 pub use matlang_ra as ra;
@@ -60,9 +65,11 @@ pub mod prelude {
         evaluate, evaluate_with_env, fragment_of, typecheck, Dim, EvalError, Expr, Fragment,
         FunctionRegistry, Instance, MatrixType, Schema, SparseInstance, TypeError,
     };
+    pub use matlang_engine::{Engine, ExecStats, Plan, PlanReport, Planner};
     pub use matlang_matrix::{
-        random_adjacency, random_invertible, random_matrix, random_vector, sparse_erdos_renyi,
-        sparse_power_law, Matrix, MatrixRepr, MatrixStorage, RandomMatrixConfig, SparseMatrix,
+        configured_threads, random_adjacency, random_invertible, random_matrix, random_vector,
+        sparse_erdos_renyi, sparse_power_law, Matrix, MatrixRepr, MatrixStorage,
+        RandomMatrixConfig, SparseMatrix,
     };
     pub use matlang_semiring::{
         ApproxEq, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, OrderedField, Real, Ring,

@@ -1,0 +1,90 @@
+//! Server throughput: prepared `EXEC` versus per-request parse+plan+eval.
+//!
+//! An in-process server holds a 1 000-node average-degree-8 random graph
+//! and a repeated-query workload runs against it over real TCP
+//! connections:
+//!
+//! 1. **prepared-exec** — the query is `PREPARE`d once; each request is an
+//!    `EXEC` answered through the instance's persistent memo cache (a
+//!    single root cache hit once warm).
+//! 2. **oneshot-query** — each request is a `QUERY` carrying the full
+//!    query text: parse, typecheck, plan and evaluate per request, no
+//!    cross-request cache.
+//! 3. **exec-after-update** — each request is one incremental `UPDATE` of
+//!    a `G` edge followed by an `EXEC`: the dependent plan subgraph
+//!    recomputes, everything else stays warm — the steady state of a
+//!    standing query over a mutating graph.
+//!
+//! The acceptance bar for the subsystem is prepared-exec beating
+//! oneshot-query by ≥3× on this repeated-query workload; the integration
+//! suite (`crates/server/tests/server_integration.rs`) enforces the same
+//! bound as a hard test, so regressions fail `cargo test`, not just the
+//! bench report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matlang_bench::sparse_criterion;
+use matlang_server::{Client, Server, ServerConfig};
+
+const N: usize = 1_000;
+const QUERY: &str = "(transpose(ones(G)) * (((G * G) * (G * G)) * ones(G)))";
+
+fn with_server(run: impl FnOnce(&mut Client)) {
+    let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.create_instance("g", true).unwrap();
+    client.set_dim("g", "n", N).unwrap();
+    client.gen_erdos_renyi("g", "G", "n", 8.0, 42).unwrap();
+    run(&mut client);
+    handle.shutdown();
+}
+
+fn bench_prepared_vs_oneshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    with_server(|client| {
+        let qid = client.prepare("g", QUERY).unwrap();
+        let warm = client.exec("g", qid).unwrap();
+        let oneshot = client.query("g", QUERY).unwrap();
+        assert_eq!(warm.entries, oneshot.entries, "paths must agree");
+
+        group.bench_function("prepared-exec", |b| {
+            b.iter(|| {
+                let result = client.exec("g", qid).unwrap();
+                assert_eq!(result.stats.cache_misses, 0, "must stay warm");
+                result.entries.len()
+            })
+        });
+        group.bench_function("oneshot-query", |b| {
+            b.iter(|| client.query("g", QUERY).unwrap().entries.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_exec_after_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_incremental_update");
+    with_server(|client| {
+        let qid = client.prepare("g", QUERY).unwrap();
+        client.exec("g", qid).unwrap();
+        let mut round = 0usize;
+        group.bench_function("update-then-exec", |b| {
+            b.iter(|| {
+                round += 1;
+                let node = round % N;
+                client
+                    .update("g", "G", &[(node, (node * 13 + 1) % N, 1.0)])
+                    .unwrap();
+                let result = client.exec("g", qid).unwrap();
+                assert!(result.stats.cache_misses > 0, "G subgraph recomputes");
+                result.entries.len()
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sparse_criterion();
+    targets = bench_prepared_vs_oneshot, bench_exec_after_update
+}
+criterion_main!(benches);

@@ -214,6 +214,15 @@ impl<K: Semiring, M: MatrixStorage<Elem = K>> Instance<K, M> {
         self.mats.get(var)
     }
 
+    /// Mutable access to the matrix assigned to a variable — the hook for
+    /// **in-place incremental updates** (point mutations via
+    /// [`MatrixStorage::set_entry`]) as opposed to re-assigning a whole
+    /// matrix with [`Instance::set_matrix`].  Callers holding derived state
+    /// (plan caches, statistics) are responsible for invalidating it.
+    pub fn matrix_mut(&mut self, var: &str) -> Option<&mut M> {
+        self.mats.get_mut(var)
+    }
+
     /// Iterate over assigned matrices in name order.
     pub fn matrices(&self) -> impl Iterator<Item = (&String, &M)> {
         self.mats.iter()

@@ -25,7 +25,7 @@ use matlang_core::{Dim, EvalError, FunctionRegistry, Instance, MatrixType};
 use matlang_matrix::MatrixStorage;
 use matlang_semiring::Semiring;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Above this many entries the executor never *forces* a dense
 /// representation from a cost-model hint: a wrong estimate must not
@@ -65,6 +65,9 @@ pub struct ExecStats {
     pub invalidations: u64,
     /// Products executed on the threaded kernels.
     pub parallel_products: u64,
+    /// Elementwise operations (add/Hadamard) executed on the threaded
+    /// kernels.
+    pub parallel_elementwise: u64,
 }
 
 impl ExecStats {
@@ -76,6 +79,7 @@ impl ExecStats {
             cache_misses: self.cache_misses - earlier.cache_misses,
             invalidations: self.invalidations - earlier.invalidations,
             parallel_products: self.parallel_products - earlier.parallel_products,
+            parallel_elementwise: self.parallel_elementwise - earlier.parallel_elementwise,
         }
     }
 }
@@ -84,11 +88,26 @@ impl std::fmt::Display for ExecStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses / {} invalidations / {} parallel products",
-            self.cache_hits, self.cache_misses, self.invalidations, self.parallel_products
+            "{} hits / {} misses / {} invalidations / {} parallel products / {} parallel elementwise",
+            self.cache_hits,
+            self.cache_misses,
+            self.invalidations,
+            self.parallel_products,
+            self.parallel_elementwise
         )
     }
 }
+
+/// The executor's memo store: one optional shared value per plan node.
+///
+/// The cells are `Arc`s, so extracting the cache from one executor
+/// ([`Executor::into_cache`]) and seeding the next one with it
+/// ([`Executor::with_cache`]) is how long-lived services keep results warm
+/// across requests over the *same* plan and instance; cross-thread sharing
+/// is safe because `MatrixStorage` values are `Send + Sync`.  Invalidate
+/// entries after an instance mutation with
+/// [`Plan::invalidate_dependents_in`](crate::plan::Plan::invalidate_dependents_in).
+pub type NodeCache<M> = Vec<Option<Arc<M>>>;
 
 enum FoldKind {
     Sum,
@@ -106,12 +125,13 @@ pub struct Executor<'p, K: Semiring, M: MatrixStorage<Elem = K>> {
     instance: &'p Instance<K, M>,
     registry: &'p FunctionRegistry<K>,
     options: ExecOptions,
-    /// Memoized node results.  Values are reference-counted so a cache hit
-    /// costs a pointer copy, never a deep matrix clone — with thousands of
-    /// loop iterations hitting a multi-million-entry cached product, deep
-    /// clones would dwarf the evaluation itself.
-    cache: Vec<Option<Rc<M>>>,
-    env: HashMap<String, Rc<M>>,
+    /// Memoized node results.  Values are reference-counted (atomically,
+    /// so caches can be handed between server worker threads) and a cache
+    /// hit costs a pointer copy, never a deep matrix clone — with thousands
+    /// of loop iterations hitting a multi-million-entry cached product,
+    /// deep clones would dwarf the evaluation itself.
+    cache: NodeCache<M>,
+    env: HashMap<String, Arc<M>>,
     stats: ExecStats,
 }
 
@@ -135,6 +155,34 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
         }
     }
 
+    /// An executor seeded with a [`NodeCache`] extracted from an earlier
+    /// executor over the *same plan and instance* (see
+    /// [`Executor::into_cache`]) — the persistence hook behind prepared
+    /// queries in a long-lived service.  A cache of the wrong length (from
+    /// a different plan) is discarded and replaced by an empty one.
+    pub fn with_cache(
+        plan: &'p Plan,
+        instance: &'p Instance<K, M>,
+        registry: &'p FunctionRegistry<K>,
+        options: ExecOptions,
+        cache: NodeCache<M>,
+    ) -> Self {
+        let mut exec = Executor::new(plan, instance, registry, options);
+        if cache.len() == plan.nodes().len() {
+            exec.cache = cache;
+        }
+        exec
+    }
+
+    /// Consumes the executor, returning its memo cache for reuse by a later
+    /// [`Executor::with_cache`].  Entries computed under temporary loop/let
+    /// bindings were already dropped by the executor's invalidation
+    /// discipline, so everything returned is valid for the instance as the
+    /// executor last saw it.
+    pub fn into_cache(self) -> NodeCache<M> {
+        self.cache
+    }
+
     /// The counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
@@ -144,8 +192,18 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
     /// calls, so evaluating several roots in sequence reuses their common
     /// subterms.
     pub fn run(&mut self, root: NodeId) -> Result<M, EvalError> {
+        self.run_shared(root)
+            .map(|rc| Arc::try_unwrap(rc).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Evaluates one root, returning the result **shared** rather than
+    /// detached: when the root is cached (a warm prepared query), this is
+    /// a reference-count bump where [`run`](Executor::run) would pay a
+    /// deep clone of a value the cache still holds.  The zero-copy path
+    /// for callers that only read the result — e.g. serializing it to a
+    /// wire format.
+    pub fn run_shared(&mut self, root: NodeId) -> Result<Arc<M>, EvalError> {
         self.eval_node(root)
-            .map(|rc| Rc::try_unwrap(rc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Evaluates every root in query order, returning per-query results
@@ -163,10 +221,10 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
         (results, per_query)
     }
 
-    fn eval_node(&mut self, id: NodeId) -> Result<Rc<M>, EvalError> {
+    fn eval_node(&mut self, id: NodeId) -> Result<Arc<M>, EvalError> {
         if let Some(cached) = &self.cache[id] {
             self.stats.cache_hits += 1;
-            return Ok(Rc::clone(cached));
+            return Ok(Arc::clone(cached));
         }
         self.stats.cache_misses += 1;
         let mut value = self.compute(id)?;
@@ -178,7 +236,7 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                     // with the environment (plain variable loads) keep
                     // their current representation rather than pay a deep
                     // clone.
-                    value = match Rc::try_unwrap(value) {
+                    value = match Arc::try_unwrap(value) {
                         Ok(owned) => {
                             let adjusted = match est.choice {
                                 ReprChoice::Sparse => owned.prefer_repr(true),
@@ -189,28 +247,28 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                                 }
                                 ReprChoice::Dense => owned,
                             };
-                            Rc::new(adjusted)
+                            Arc::new(adjusted)
                         }
                         Err(shared) => shared,
                     };
                 }
             }
-            self.cache[id] = Some(Rc::clone(&value));
+            self.cache[id] = Some(Arc::clone(&value));
         }
         Ok(value)
     }
 
-    fn compute(&mut self, id: NodeId) -> Result<Rc<M>, EvalError> {
+    fn compute(&mut self, id: NodeId) -> Result<Arc<M>, EvalError> {
         let plan = self.plan;
         match &plan.node(id).op {
             PlanOp::Var(name) => self.lookup(name),
-            PlanOp::Const(c) => Ok(Rc::new(M::scalar(K::from_f64(c.0)))),
-            PlanOp::Transpose(a) => Ok(Rc::new(self.eval_node(*a)?.transpose())),
+            PlanOp::Const(c) => Ok(Arc::new(M::scalar(K::from_f64(c.0)))),
+            PlanOp::Transpose(a) => Ok(Arc::new(self.eval_node(*a)?.transpose())),
             PlanOp::Ones(a) => {
                 let value = self.eval_node(*a)?;
-                Ok(Rc::new(M::ones_vector(value.rows())))
+                Ok(Arc::new(M::ones_vector(value.rows())))
             }
-            PlanOp::Diag(a) => Ok(Rc::new(self.eval_node(*a)?.diag()?)),
+            PlanOp::Diag(a) => Ok(Arc::new(self.eval_node(*a)?.diag()?)),
             PlanOp::MatMul(a, b) => {
                 let parallel = plan.node(id).est.map(|e| e.parallel).unwrap_or(false);
                 let left = self.eval_node(*a)?;
@@ -221,12 +279,19 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                 } else {
                     left.matmul(right.as_ref())?
                 };
-                Ok(Rc::new(product))
+                Ok(Arc::new(product))
             }
             PlanOp::Add(a, b) => {
+                let parallel = plan.node(id).est.map(|e| e.parallel).unwrap_or(false);
                 let left = self.eval_node(*a)?;
                 let right = self.eval_node(*b)?;
-                Ok(Rc::new(left.add(right.as_ref())?))
+                let sum = if parallel && self.options.threads > 1 {
+                    self.stats.parallel_elementwise += 1;
+                    left.add_threaded(right.as_ref(), self.options.threads)?
+                } else {
+                    left.add(right.as_ref())?
+                };
+                Ok(Arc::new(sum))
             }
             PlanOp::ScalarMul(a, b) => {
                 let left = self.eval_node(*a)?;
@@ -237,12 +302,19 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                 }
                 let scalar = left.as_scalar()?;
                 let right = self.eval_node(*b)?;
-                Ok(Rc::new(right.scalar_mul(&scalar)))
+                Ok(Arc::new(right.scalar_mul(&scalar)))
             }
             PlanOp::Hadamard(a, b) => {
+                let parallel = plan.node(id).est.map(|e| e.parallel).unwrap_or(false);
                 let left = self.eval_node(*a)?;
                 let right = self.eval_node(*b)?;
-                Ok(Rc::new(left.hadamard(right.as_ref())?))
+                let product = if parallel && self.options.threads > 1 {
+                    self.stats.parallel_elementwise += 1;
+                    left.hadamard_threaded(right.as_ref(), self.options.threads)?
+                } else {
+                    left.hadamard(right.as_ref())?
+                };
+                Ok(Arc::new(product))
             }
             PlanOp::Apply(name, args) => {
                 let f = self
@@ -250,12 +322,12 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                     .get(name)
                     .ok_or_else(|| EvalError::UnknownFunction { name: name.clone() })?
                     .clone();
-                let values: Vec<Rc<M>> = args
+                let values: Vec<Arc<M>> = args
                     .iter()
                     .map(|a| self.eval_node(*a))
                     .collect::<Result<_, _>>()?;
-                let refs: Vec<&M> = values.iter().map(Rc::as_ref).collect();
-                Ok(Rc::new(M::zip_with(&refs, |entries| f(entries))?))
+                let refs: Vec<&M> = values.iter().map(Arc::as_ref).collect();
+                Ok(Arc::new(M::zip_with(&refs, |entries| f(entries))?))
             }
             PlanOp::Let { var, value, body } => {
                 let bound = self.eval_node(*value)?;
@@ -293,7 +365,7 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
         acc_type: &MatrixType,
         init: Option<NodeId>,
         body: NodeId,
-    ) -> Result<Rc<M>, EvalError> {
+    ) -> Result<Arc<M>, EvalError> {
         let n = self.dim_of(var_dim)?;
         let acc_shape =
             self.instance
@@ -313,15 +385,15 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                 }
                 value
             }
-            None => Rc::new(M::zeros(acc_shape.0, acc_shape.1)),
+            None => Arc::new(M::zeros(acc_shape.0, acc_shape.1)),
         };
         let saved_var = self.take_binding(var);
         let saved_acc = self.take_binding(acc);
         let mut outcome = Ok(());
         for i in 0..n {
-            let canonical = Rc::new(M::canonical(n, i)?);
+            let canonical = Arc::new(M::canonical(n, i)?);
             self.bind(var, canonical);
-            self.bind(acc, Rc::clone(&accumulator));
+            self.bind(acc, Arc::clone(&accumulator));
             match self.eval_node(body) {
                 Ok(value) => {
                     if value.shape() != acc_shape {
@@ -354,22 +426,22 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
         var_dim: &str,
         body: NodeId,
         kind: FoldKind,
-    ) -> Result<Rc<M>, EvalError> {
+    ) -> Result<Arc<M>, EvalError> {
         let n = self.dim_of(var_dim)?;
         let saved_var = self.take_binding(var);
-        let mut acc: Option<Rc<M>> = None;
+        let mut acc: Option<Arc<M>> = None;
         let mut outcome = Ok(());
         for i in 0..n {
-            let canonical = Rc::new(M::canonical(n, i)?);
+            let canonical = Arc::new(M::canonical(n, i)?);
             self.bind(var, canonical);
             match self.eval_node(body) {
                 Ok(value) => {
                     let combined = match acc.take() {
                         None => Ok(value),
                         Some(prev) => match kind {
-                            FoldKind::Sum => prev.add(value.as_ref()).map(Rc::new),
-                            FoldKind::HProd => prev.hadamard(value.as_ref()).map(Rc::new),
-                            FoldKind::MProd => prev.matmul(value.as_ref()).map(Rc::new),
+                            FoldKind::Sum => prev.add(value.as_ref()).map(Arc::new),
+                            FoldKind::HProd => prev.hadamard(value.as_ref()).map(Arc::new),
+                            FoldKind::MProd => prev.matmul(value.as_ref()).map(Arc::new),
                         }
                         .map_err(EvalError::from),
                     };
@@ -394,13 +466,13 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
         })
     }
 
-    fn lookup(&self, name: &str) -> Result<Rc<M>, EvalError> {
+    fn lookup(&self, name: &str) -> Result<Arc<M>, EvalError> {
         if let Some(m) = self.env.get(name) {
-            return Ok(Rc::clone(m));
+            return Ok(Arc::clone(m));
         }
         self.instance
             .matrix(name)
-            .map(|m| Rc::new(m.clone()))
+            .map(|m| Arc::new(m.clone()))
             .ok_or_else(|| EvalError::UnknownVariable {
                 name: name.to_string(),
             })
@@ -423,7 +495,7 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
 
     /// Binds `name`, dropping the cache entries that depended on its
     /// previous binding.  Returns the binding it replaced.
-    fn bind(&mut self, name: &str, value: Rc<M>) -> Option<Rc<M>> {
+    fn bind(&mut self, name: &str, value: Arc<M>) -> Option<Arc<M>> {
         self.invalidate(name);
         self.env.insert(name.to_string(), value)
     }
@@ -431,14 +503,14 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
     /// Removes a binding *without* invalidating — callers must follow up
     /// with [`bind`](Self::bind) (which invalidates) before any dependent
     /// node is evaluated again.
-    fn take_binding(&mut self, name: &str) -> Option<Rc<M>> {
+    fn take_binding(&mut self, name: &str) -> Option<Arc<M>> {
         self.env.remove(name)
     }
 
     /// Restores the binding saved by [`bind`](Self::bind) /
     /// [`take_binding`](Self::take_binding), dropping dependent cache
     /// entries computed under the inner binding.
-    fn unbind(&mut self, name: &str, saved: Option<Rc<M>>) {
+    fn unbind(&mut self, name: &str, saved: Option<Arc<M>>) {
         self.invalidate(name);
         match saved {
             Some(value) => {
@@ -596,12 +668,67 @@ mod tests {
     }
 
     #[test]
+    fn persistent_cache_survives_across_executors_and_invalidates_externally() {
+        let inst = instance();
+        let registry = FunctionRegistry::standard_field();
+        let e = Expr::var("G").t().mm(Expr::var("G")).add(Expr::var("H"));
+        let mut inst = inst.with_matrix("H", Matrix::identity(4));
+        let mut plan = Planner::new().plan_one(&e, &InstanceStats::from_instance(&inst));
+        plan.mark_all_cacheable();
+        let root = plan.roots()[0];
+
+        // First execution: all misses; extract the warm cache.
+        let mut exec = Executor::new(&plan, &inst, &registry, ExecOptions::default());
+        let first = exec.run(root).unwrap();
+        assert_eq!(exec.stats().cache_hits, 1, "only the shared Var(G) hits");
+        let cache = exec.into_cache();
+
+        // Second execution with the seeded cache: the root itself hits.
+        let mut exec = Executor::with_cache(&plan, &inst, &registry, ExecOptions::default(), cache);
+        assert_eq!(exec.run(root).unwrap(), first);
+        assert_eq!(exec.stats().cache_misses, 0);
+        assert_eq!(exec.stats().cache_hits, 1);
+        let mut cache = exec.into_cache();
+
+        // Mutate H and invalidate exactly its dependents: the Gram product
+        // (independent of H) keeps its entry, the Add and Var(H) drop.
+        let dropped = plan.invalidate_dependents_in(&mut cache, "H");
+        assert!(dropped >= 2, "Var(H), Add and the root depend on H");
+        inst.matrix_mut("H").unwrap().set(0, 0, Real(5.0)).unwrap();
+        let mut exec = Executor::with_cache(&plan, &inst, &registry, ExecOptions::default(), cache);
+        let updated = exec.run(root).unwrap();
+        assert_eq!(
+            updated,
+            evaluate(&e, &inst, &registry).unwrap(),
+            "post-update execution must see the new H"
+        );
+        let stats = exec.stats();
+        assert!(
+            stats.cache_hits >= 1,
+            "the H-independent Gram product must still be warm: {stats}"
+        );
+
+        // A cache of the wrong length is discarded, not misused.
+        let other_plan =
+            Planner::new().plan_one(&Expr::var("G").t(), &InstanceStats::from_instance(&inst));
+        let exec = Executor::with_cache(
+            &other_plan,
+            &inst,
+            &registry,
+            ExecOptions::default(),
+            vec![None; 99],
+        );
+        assert_eq!(exec.cache.len(), other_plan.nodes().len());
+    }
+
+    #[test]
     fn stats_display_and_delta() {
         let a = ExecStats {
             cache_hits: 5,
             cache_misses: 3,
             invalidations: 2,
             parallel_products: 1,
+            parallel_elementwise: 1,
         };
         let b = a.since(&ExecStats::default());
         assert_eq!(a, b);

@@ -53,13 +53,29 @@ pub mod exec;
 pub mod plan;
 pub mod planner;
 
-pub use exec::{ExecOptions, ExecStats, Executor};
+pub use exec::{ExecOptions, ExecStats, Executor, NodeCache};
 pub use plan::{NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice};
 pub use planner::{InstanceStats, PlanOptions, Planner, VarStats};
 
 use matlang_core::{EvalError, Expr, FunctionRegistry, Instance};
 use matlang_matrix::MatrixStorage;
 use matlang_semiring::Semiring;
+
+/// A stable fingerprint of an expression's structure, suitable as the
+/// query half of a plan-cache key (the instance half is
+/// [`InstanceStats::schema_fingerprint`]).
+///
+/// The fingerprint hashes the expression's canonical textual form, which
+/// `matlang_parser` guarantees round-trips (`parse(e.to_string()) == e`),
+/// so two expressions collide exactly when they are structurally equal —
+/// modulo ordinary 64-bit hash collisions — independently of how they were
+/// built.
+pub fn expr_fingerprint(expr: &Expr) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    expr.to_string().hash(&mut hasher);
+    hasher.finish()
+}
 
 /// Whether `K` interprets literal constants compatibly with `f64`
 /// arithmetic — the soundness condition for folding the
@@ -235,6 +251,33 @@ mod tests {
         let engine = Engine::new().with_threads(1).without_simplify();
         assert_eq!(engine.exec_options.threads, 1);
         assert!(!engine.plan_options.simplify);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let a = Expr::var("G").t().mm(Expr::var("G"));
+        let b = Expr::var("G").t().mm(Expr::var("G"));
+        let c = Expr::var("G").mm(Expr::var("G").t());
+        assert_eq!(expr_fingerprint(&a), expr_fingerprint(&b));
+        assert_ne!(expr_fingerprint(&a), expr_fingerprint(&c));
+
+        let inst: Instance<Real> = Instance::new()
+            .with_dim("n", 3)
+            .with_matrix("G", Matrix::identity(3));
+        let stats = InstanceStats::from_instance(&inst);
+        let same = InstanceStats::from_instance(
+            &Instance::<Real>::new()
+                .with_dim("n", 3)
+                // Different nnz, same shapes: same schema fingerprint.
+                .with_matrix("G", Matrix::zeros(3, 3)),
+        );
+        let different = InstanceStats::from_instance(
+            &Instance::<Real>::new()
+                .with_dim("n", 4)
+                .with_matrix("G", Matrix::identity(4)),
+        );
+        assert_eq!(stats.schema_fingerprint(), same.schema_fingerprint());
+        assert_ne!(stats.schema_fingerprint(), different.schema_fingerprint());
     }
 
     #[test]

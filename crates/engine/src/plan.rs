@@ -247,6 +247,9 @@ pub struct PlanReport {
     pub sparse_nodes: usize,
     /// Product nodes marked for the row-partitioned parallel kernel.
     pub parallel_products: usize,
+    /// Elementwise (add/Hadamard) nodes marked for the row-partitioned
+    /// parallel kernel.
+    pub parallel_elementwise: usize,
 }
 
 impl fmt::Display for PlanReport {
@@ -254,7 +257,8 @@ impl fmt::Display for PlanReport {
         write!(
             f,
             "{} quer{} · {} tree nodes → {} dag nodes ({} shared, {} hoistable) · \
-             simplify saved {} · repr {} dense / {} sparse · {} parallel products",
+             simplify saved {} · repr {} dense / {} sparse · {} parallel products · \
+             {} parallel elementwise",
             self.queries,
             if self.queries == 1 { "y" } else { "ies" },
             self.tree_nodes,
@@ -265,6 +269,7 @@ impl fmt::Display for PlanReport {
             self.dense_nodes,
             self.sparse_nodes,
             self.parallel_products,
+            self.parallel_elementwise,
         )
     }
 }
@@ -299,5 +304,43 @@ impl Plan {
     /// The nodes whose cached value must be dropped when `var` is rebound.
     pub fn dependents_of(&self, var: &str) -> &[NodeId] {
         self.dependents.get(var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Marks **every** node cacheable, not just the shared and hoistable
+    /// ones the planner selects for one-shot evaluation.
+    ///
+    /// For a plan executed once, caching single-reference nodes only costs
+    /// an extra `Arc` per node; for a *prepared* plan executed repeatedly
+    /// over a persistent [`crate::exec::NodeCache`], it is what makes a
+    /// re-execution O(1): the root itself is served from the cache until an
+    /// update invalidates it.  Correctness is unaffected — the executor's
+    /// invalidation discipline (and
+    /// [`Plan::invalidate_dependents_in`] for external updates) drops
+    /// entries exactly when a variable they depend on changes.
+    pub fn mark_all_cacheable(&mut self) {
+        for node in &mut self.nodes {
+            node.cacheable = true;
+        }
+    }
+
+    /// Drops from `cache` the entries of every node whose value depends on
+    /// `var`, returning how many entries were actually dropped.
+    ///
+    /// This is the **external** counterpart of the executor's internal
+    /// rebinding invalidation, driven by the same dependency index: after a
+    /// caller mutates the instance matrix bound to `var` (an incremental
+    /// update), exactly the dependent subgraph of the plan DAG loses its
+    /// memoized results — standing queries untouched by the update keep
+    /// their warm cache.
+    pub fn invalidate_dependents_in<T>(&self, cache: &mut [Option<T>], var: &str) -> u64 {
+        let mut dropped = 0;
+        for &id in self.dependents_of(var) {
+            if let Some(slot) = cache.get_mut(id) {
+                if slot.take().is_some() {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
     }
 }

@@ -104,6 +104,30 @@ impl InstanceStats {
         stats
     }
 
+    /// A fingerprint of the instance's **schema-level** shape: size-symbol
+    /// assignments plus per-variable dimensions, deliberately excluding
+    /// non-zero counts.  Two instances with the same fingerprint produce
+    /// structurally interchangeable plans (node set, roots and dependency
+    /// index are functions of the queries and shapes alone; nnz only tunes
+    /// the advisory representation/parallelism hints), so a plan cache —
+    /// e.g. the query server's prepared-statement cache — can key on
+    /// `(query fingerprint, schema fingerprint)` and keep serving a cached
+    /// plan across incremental instance updates.
+    pub fn schema_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for (sym, n) in &self.dims {
+            sym.hash(&mut hasher);
+            n.hash(&mut hasher);
+        }
+        for (var, stats) in &self.vars {
+            var.hash(&mut hasher);
+            stats.rows.hash(&mut hasher);
+            stats.cols.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
     fn dim(&self, sym: &str) -> Option<usize> {
         self.dims.get(sym).copied()
     }
@@ -181,7 +205,10 @@ impl Planner {
                 None => {}
             }
             if node.est.map(|e| e.parallel).unwrap_or(false) {
-                report.parallel_products += 1;
+                match node.op {
+                    PlanOp::MatMul(_, _) => report.parallel_products += 1,
+                    _ => report.parallel_elementwise += 1,
+                }
             }
             for var in &node.free_vars {
                 dependents.entry(var.clone()).or_default().push(id);
@@ -506,7 +533,13 @@ impl Builder<'_> {
             PlanOp::Add(l, r) => {
                 let (l, r) = (est(l)?, est(r)?);
                 let nnz = l.nnz + r.nnz;
-                Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, false))
+                // The dense elementwise kernel touches every output entry
+                // once; that entry count is what the parallel threshold is
+                // compared against (a sparse result falls back to the
+                // serial O(nnz) merge at execution time, where the mark is
+                // simply ignored).
+                let parallel = (l.rows * l.cols) as f64 >= self.options.parallel_work_threshold;
+                Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, parallel))
             }
             PlanOp::ScalarMul(l, r) => {
                 let (l, r) = (est(l)?, est(r)?);
@@ -521,7 +554,8 @@ impl Builder<'_> {
             PlanOp::Hadamard(l, r) => {
                 let (l, r) = (est(l)?, est(r)?);
                 let nnz = l.nnz.min(r.nnz);
-                Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, false))
+                let parallel = (l.rows * l.cols) as f64 >= self.options.parallel_work_threshold;
+                Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, parallel))
             }
             PlanOp::Apply(_, args) => {
                 // Arbitrary pointwise functions need not preserve zeros:

@@ -19,11 +19,12 @@
 //!   kernels in [`mixed`] instead of promoting the sparse side.
 //!
 //! The heavy kernels also come in row-partitioned parallel variants
-//! ([`parallel`]): scoped `std::thread` workers each run the serial per-row
-//! kernel over a chunk of output rows, so threaded products are
-//! bit-identical to serial ones.  [`configured_threads`] reads the
-//! `MATLANG_THREADS` environment variable (default:
-//! `available_parallelism`).
+//! ([`parallel`]): workers of the reusable process-wide [`pool::WorkerPool`]
+//! each run the serial per-row kernel over a chunk of output rows, so
+//! threaded operations (both matmuls plus dense elementwise add/Hadamard)
+//! are bit-identical to serial ones while paying no per-operation thread
+//! spawn.  [`configured_threads`] reads the `MATLANG_THREADS` environment
+//! variable (default: `available_parallelism`).
 //!
 //! The [`MatrixStorage`] trait is the common interface: anything generic
 //! over it (the evaluator, the graph algorithms, the RA⁺_K and WL
@@ -34,6 +35,7 @@ pub mod matrix;
 pub mod mixed;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod random;
 pub mod repr;
 pub mod sparse;
@@ -43,6 +45,7 @@ pub mod storage;
 pub use error::MatrixError;
 pub use matrix::Matrix;
 pub use parallel::{configured_threads, MATLANG_THREADS_ENV};
+pub use pool::WorkerPool;
 pub use random::{
     random_adjacency, random_invertible, random_matrix, random_vector, sparse_erdos_renyi,
     sparse_power_law, RandomMatrixConfig,

@@ -1,20 +1,34 @@
-//! Hand-rolled row-partitioned parallel kernels on `std::thread::scope`.
+//! Hand-rolled row-partitioned parallel kernels on a reusable worker pool.
 //!
 //! The build environment is offline (no rayon), so parallelism is plain
-//! scoped threads: the output rows are split into one contiguous chunk per
-//! worker, each worker runs the *identical* serial per-row kernel over its
-//! chunk, and the chunks are reassembled in row order.  Because every output
-//! row is produced by the same code in the same semiring-operation order as
-//! the serial kernel, threaded products are **bit-identical** to their
-//! serial counterparts — parallelism never perturbs results, not even over
+//! threads: the output rows are split into one contiguous chunk per worker,
+//! each worker runs the *identical* serial per-row kernel over its chunk,
+//! and the chunks are reassembled in row order.  Because every output row is
+//! produced by the same code in the same semiring-operation order as the
+//! serial kernel, threaded operations are **bit-identical** to their serial
+//! counterparts — parallelism never perturbs results, not even over
 //! floating-point semirings.
+//!
+//! Chunks execute on the process-wide [`crate::pool::WorkerPool`] rather
+//! than freshly spawned `std::thread::scope` threads: the workers are
+//! created once and parked between calls, so a server executing thousands
+//! of small products per second does not pay thread spawn/teardown per
+//! product.  The pool only changes *where* a chunk runs — chunking itself
+//! is still a pure function of `(rows, threads)`, so results are
+//! unaffected.
 //!
 //! The worker count is a caller decision; [`configured_threads`] provides
 //! the process-wide default, reading the **`MATLANG_THREADS`** environment
 //! variable and falling back to [`std::thread::available_parallelism`].
 //! Passing `threads ≤ 1` (or a matrix too small to split) short-circuits to
 //! the serial kernel, so the threaded entry points are always safe to call.
+//!
+//! Threaded kernels: dense matrix product, Gustavson SpMM, and the dense
+//! elementwise `add` / `hadamard` (row-partitioned exactly like the
+//! products; elementwise kernels are memory-bound, so the win appears later
+//! than for products, but large Σ-loop bodies benefit).
 
+use crate::pool::WorkerPool;
 use crate::{Matrix, MatrixError, Result, SparseMatrix};
 use matlang_semiring::Semiring;
 
@@ -49,10 +63,9 @@ fn row_ranges(rows: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
 }
 
 impl<K: Semiring> Matrix<K> {
-    /// Matrix product `self · other` computed by up to `threads` scoped
-    /// worker threads, each running the serial i-k-j kernel over a
-    /// contiguous chunk of output rows.  Bit-identical to
-    /// [`Matrix::matmul`].
+    /// Matrix product `self · other` computed by up to `threads` pooled
+    /// workers, each running the serial i-k-j kernel over a contiguous
+    /// chunk of output rows.  Bit-identical to [`Matrix::matmul`].
     pub fn matmul_threaded(&self, other: &Matrix<K>, threads: usize) -> Result<Matrix<K>> {
         if self.cols() != other.rows() {
             return Err(MatrixError::InnerDimensionMismatch {
@@ -69,20 +82,89 @@ impl<K: Semiring> Matrix<K> {
         // Every range has the same length except possibly the last, so the
         // chunks line up with the ranges one-to-one.
         let chunk_rows = ranges[0].len();
-        std::thread::scope(|scope| {
-            for (range, out_chunk) in ranges.into_iter().zip(out.chunks_mut(chunk_rows * m)) {
-                scope.spawn(move || self.matmul_into_rows(other, range, out_chunk));
-            }
-        });
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .zip(out.chunks_mut(chunk_rows * m))
+            .map(|(range, out_chunk)| {
+                Box::new(move || self.matmul_into_rows(other, range, out_chunk))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        WorkerPool::global().scoped(tasks);
         Matrix::from_vec(n, m, out)
+    }
+
+    /// Row-partitioned dense elementwise kernel shared by
+    /// [`Matrix::add_threaded`] and [`Matrix::hadamard_threaded`]: each
+    /// pooled worker applies `combine` entrywise over a contiguous chunk of
+    /// rows.  Per-entry order and arithmetic are identical to the serial
+    /// kernels, so results are bit-identical.
+    fn zip_threaded<F>(
+        &self,
+        other: &Matrix<K>,
+        threads: usize,
+        op: &'static str,
+        combine: F,
+    ) -> Result<Matrix<K>>
+    where
+        F: Fn(&K, &K) -> K + Send + Sync + Copy,
+    {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op,
+            });
+        }
+        let (n, m) = self.shape();
+        let mut out = vec![K::zero(); n * m];
+        let ranges = row_ranges(n, threads);
+        let chunk_rows = ranges[0].len();
+        let lhs = self.entries();
+        let rhs = other.entries();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .zip(out.chunks_mut(chunk_rows * m))
+            .map(|(range, out_chunk)| {
+                let span = range.start * m..range.start * m + out_chunk.len();
+                let (lhs, rhs) = (&lhs[span.clone()], &rhs[span]);
+                Box::new(move || {
+                    for ((slot, a), b) in out_chunk.iter_mut().zip(lhs).zip(rhs) {
+                        *slot = combine(a, b);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        WorkerPool::global().scoped(tasks);
+        Matrix::from_vec(n, m, out)
+    }
+
+    /// Matrix addition `self + other` computed by up to `threads` pooled
+    /// workers over contiguous row chunks.  Bit-identical to
+    /// [`Matrix::add`].
+    pub fn add_threaded(&self, other: &Matrix<K>, threads: usize) -> Result<Matrix<K>> {
+        if threads <= 1 || self.rows() <= 1 || self.cols() == 0 || self.shape() != other.shape() {
+            return self.add(other);
+        }
+        self.zip_threaded(other, threads, "add", |a, b| a.add(b))
+    }
+
+    /// Hadamard product `self ∘ other` computed by up to `threads` pooled
+    /// workers over contiguous row chunks.  Bit-identical to
+    /// [`Matrix::hadamard`].
+    pub fn hadamard_threaded(&self, other: &Matrix<K>, threads: usize) -> Result<Matrix<K>> {
+        if threads <= 1 || self.rows() <= 1 || self.cols() == 0 || self.shape() != other.shape() {
+            return self.hadamard(other);
+        }
+        self.zip_threaded(other, threads, "hadamard", |a, b| a.mul(b))
     }
 }
 
 impl<K: Semiring> SparseMatrix<K> {
     /// Sparse product `self · other` (SpMM) computed by up to `threads`
-    /// scoped worker threads.  Gustavson's algorithm is embarrassingly
-    /// parallel over output rows: each worker runs the serial row kernel
-    /// over a contiguous row range and the CSR blocks are concatenated with
+    /// pooled workers.  Gustavson's algorithm is embarrassingly parallel
+    /// over output rows: each worker runs the serial row kernel over a
+    /// contiguous row range and the CSR blocks are concatenated with
     /// [`SparseMatrix::vstack`].  Bit-identical to [`SparseMatrix::matmul`].
     pub fn matmul_threaded(
         &self,
@@ -99,16 +181,21 @@ impl<K: Semiring> SparseMatrix<K> {
             return Ok(self.matmul_rows(other, 0..self.rows()));
         }
         let ranges = row_ranges(self.rows(), threads);
-        let blocks: Vec<SparseMatrix<K>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(move || self.matmul_rows(other, range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("SpMM worker panicked"))
-                .collect()
-        });
+        let mut blocks: Vec<Option<SparseMatrix<K>>> = vec![None; ranges.len()];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .zip(blocks.iter_mut())
+            .map(|(range, slot)| {
+                Box::new(move || {
+                    *slot = Some(self.matmul_rows(other, range));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        WorkerPool::global().scoped(tasks);
+        let blocks: Vec<SparseMatrix<K>> = blocks
+            .into_iter()
+            .map(|b| b.expect("SpMM worker completed"))
+            .collect();
         SparseMatrix::vstack(&blocks)
     }
 }
@@ -167,6 +254,25 @@ mod tests {
     }
 
     #[test]
+    fn threaded_elementwise_is_bit_identical() {
+        let cfg = RandomMatrixConfig {
+            seed: 11,
+            min_value: -3.0,
+            max_value: 3.0,
+            zero_probability: 0.4,
+            integer_entries: false,
+        };
+        let a: Matrix<Real> = random_matrix(37, 19, &cfg);
+        let b: Matrix<Real> = random_matrix(37, 19, &RandomMatrixConfig { seed: 12, ..cfg });
+        let sum = a.add(&b).unwrap();
+        let had = a.hadamard(&b).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(a.add_threaded(&b, threads).unwrap(), sum);
+            assert_eq!(a.hadamard_threaded(&b, threads).unwrap(), had);
+        }
+    }
+
+    #[test]
     fn threaded_kernels_check_shapes() {
         let a: Matrix<Real> = Matrix::zeros(2, 3);
         assert!(matches!(
@@ -177,6 +283,15 @@ mod tests {
         assert!(matches!(
             s.matmul_threaded(&s, 2),
             Err(MatrixError::InnerDimensionMismatch { .. })
+        ));
+        let b: Matrix<Real> = Matrix::zeros(3, 2);
+        assert!(matches!(
+            a.add_threaded(&b, 2),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            a.hadamard_threaded(&b, 2),
+            Err(MatrixError::ShapeMismatch { .. })
         ));
     }
 

@@ -178,6 +178,17 @@ impl<K: Semiring> MatrixRepr<K> {
         }
     }
 
+    /// Sets one entry **in place**, keeping the current representation —
+    /// a stream of point updates must not trigger a dense↔CSR conversion
+    /// per call.  Callers applying large update batches can re-run the
+    /// density heuristic afterwards via [`MatrixRepr::normalized`].
+    pub fn set_entry(&mut self, row: usize, col: usize, value: K) -> Result<()> {
+        match self {
+            MatrixRepr::Dense(d) => d.set(row, col, value),
+            MatrixRepr::Sparse(s) => s.set_entry(row, col, value),
+        }
+    }
+
     /// Matrix transpose `eᵀ` (keeps the current representation).
     pub fn transpose(&self) -> Self {
         match self {
@@ -237,6 +248,32 @@ impl<K: Semiring> MatrixRepr<K> {
             (a, b) => Sparse(a.to_sparse().hadamard(&b.to_sparse())?),
         };
         Ok(out.normalized())
+    }
+
+    /// [`MatrixRepr::add`] with up to `threads` pooled workers for the
+    /// dense·dense pair (the sparse kernels are `O(nnz)` merges, already
+    /// cheap).  Bit-identical to [`MatrixRepr::add`] — the dispatch mirrors
+    /// the serial one exactly.
+    pub fn add_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        use MatrixRepr::{Dense, Sparse};
+        let out = match (self, other) {
+            (Sparse(a), Sparse(b)) => Sparse(a.add(b)?),
+            (Dense(a), Dense(b)) => Dense(a.add_threaded(b, threads)?),
+            (a, b) => Dense(a.to_dense().add(&b.to_dense())?),
+        };
+        Ok(out.normalized())
+    }
+
+    /// [`MatrixRepr::hadamard`] with up to `threads` pooled workers for the
+    /// dense·dense pair.  Bit-identical to [`MatrixRepr::hadamard`].
+    pub fn hadamard_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        use MatrixRepr::Dense;
+        match (self, other) {
+            (Dense(a), Dense(b)) => {
+                Ok(MatrixRepr::Dense(a.hadamard_threaded(b, threads)?).normalized())
+            }
+            (a, b) => a.hadamard(b),
+        }
     }
 
     /// Scalar multiplication: every entry multiplied by `scalar`.
@@ -453,6 +490,32 @@ mod tests {
         let a = MatrixRepr::Dense(Matrix::from_rows(vec![vec![IntRing(3), IntRing(1)]]).unwrap());
         let diff = a.sub(&a).unwrap();
         assert!(diff.is_zero());
+    }
+
+    #[test]
+    fn set_entry_keeps_representation_and_threaded_elementwise_agree() {
+        let mut d = MatrixRepr::Dense(dense(&[&[1.0, 0.0], &[0.0, 2.0]]));
+        d.set_entry(0, 1, Real(3.0)).unwrap();
+        assert!(!d.is_sparse(), "point updates must not flip representation");
+        assert_eq!(d.get(0, 1).unwrap(), Real(3.0));
+        let mut s = MatrixRepr::<Real>::Sparse(SparseMatrix::identity(16));
+        s.set_entry(3, 4, Real(5.0)).unwrap();
+        assert!(s.is_sparse());
+        assert_eq!(s.nnz(), 17);
+
+        let a = MatrixRepr::Dense(Matrix::<Real>::all_ones(12, 12));
+        let b = MatrixRepr::Dense(
+            Matrix::from_rows((0..12).map(|i| vec![Real(i as f64 + 1.0); 12]).collect()).unwrap(),
+        );
+        assert_eq!(a.add_threaded(&b, 4).unwrap(), a.add(&b).unwrap());
+        assert_eq!(a.hadamard_threaded(&b, 4).unwrap(), a.hadamard(&b).unwrap());
+        // Mixed pairs fall back to the serial dispatch.
+        let sp = MatrixRepr::<Real>::Sparse(SparseMatrix::identity(12));
+        assert_eq!(a.add_threaded(&sp, 4).unwrap(), a.add(&sp).unwrap());
+        assert_eq!(
+            a.hadamard_threaded(&sp, 4).unwrap(),
+            a.hadamard(&sp).unwrap()
+        );
     }
 
     #[test]

@@ -259,6 +259,47 @@ impl<K: Semiring> SparseMatrix<K> {
         self.get(0, 0)
     }
 
+    /// Sets the entry at `(row, col)` **in place**, maintaining the CSR
+    /// invariants: a zero value removes any stored entry, a non-zero value
+    /// overwrites in place when the coordinate is already stored and is
+    /// otherwise inserted at its sorted position.  Overwrites cost `O(log
+    /// nnz(row))`; structural inserts/removes shift the tail of the entry
+    /// arrays, `O(nnz)` worst case — the incremental-update hook behind the
+    /// query server's `UPDATE`, where point mutations must not rebuild the
+    /// whole matrix.
+    pub fn set_entry(&mut self, row: usize, col: usize, value: K) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                shape: self.shape(),
+            });
+        }
+        let (start, end) = (self.indptr[row], self.indptr[row + 1]);
+        match (
+            self.indices[start..end].binary_search(&col),
+            value.is_zero(),
+        ) {
+            (Ok(pos), false) => self.values[start + pos] = value,
+            (Ok(pos), true) => {
+                self.indices.remove(start + pos);
+                self.values.remove(start + pos);
+                for p in self.indptr.iter_mut().skip(row + 1) {
+                    *p -= 1;
+                }
+            }
+            (Err(_), true) => {}
+            (Err(pos), false) => {
+                self.indices.insert(start + pos, col);
+                self.values.insert(start + pos, value);
+                for p in self.indptr.iter_mut().skip(row + 1) {
+                    *p += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Iterate over the stored `(row, col, value)` triples in row-major
     /// order.  Zero entries are not visited.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, &K)> + '_ {
@@ -952,5 +993,36 @@ mod tests {
         let s = sparse(&[&[0.0, 1.0], &[2.0, 0.0]]);
         let triples: Vec<_> = s.iter_entries().map(|(i, j, v)| (i, j, v.0)).collect();
         assert_eq!(triples, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+    }
+
+    #[test]
+    fn set_entry_updates_in_place_and_keeps_invariants() {
+        let mut s = sparse(&[&[0.0, 1.0, 0.0], &[2.0, 0.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let mut d = s.to_dense();
+        // Overwrite an existing entry, insert before/after stored columns,
+        // insert into an empty row, clear an entry, clear an absent entry.
+        for (i, j, v) in [
+            (0, 1, 5.0),
+            (1, 1, 7.0),
+            (0, 0, 4.0),
+            (2, 2, 9.0),
+            (1, 0, 0.0),
+            (2, 0, 0.0),
+        ] {
+            s.set_entry(i, j, Real(v)).unwrap();
+            d.set(i, j, Real(v)).unwrap();
+            assert_eq!(s, SparseMatrix::from_dense(&d), "after set ({i},{j})={v}");
+        }
+        assert_eq!(s.nnz(), 5);
+        // Mutated matrices still multiply correctly.
+        assert_eq!(s.matmul(&s).unwrap().to_dense(), d.matmul(&d).unwrap());
+        assert!(matches!(
+            s.set_entry(3, 0, Real(1.0)),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.set_entry(0, 9, Real(1.0)),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
     }
 }

@@ -132,6 +132,31 @@ pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'stat
     /// Hadamard (pointwise) product `e₁ ∘ e₂` (entrywise `⊙`).
     fn hadamard(&self, other: &Self) -> Result<Self>;
 
+    /// Matrix addition computed with up to `threads` worker threads.
+    /// Implementations must be **bit-identical** to
+    /// [`add`](MatrixStorage::add); the default ignores `threads` and runs
+    /// the serial kernel.
+    fn add_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        let _ = threads;
+        self.add(other)
+    }
+
+    /// Hadamard product computed with up to `threads` worker threads.
+    /// Implementations must be **bit-identical** to
+    /// [`hadamard`](MatrixStorage::hadamard); the default ignores `threads`
+    /// and runs the serial kernel.
+    fn hadamard_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        let _ = threads;
+        self.hadamard(other)
+    }
+
+    /// Sets one entry **in place** — the incremental-update hook used by
+    /// streaming/mutating workloads (e.g. the query server's `UPDATE`).
+    /// Setting a zero clears the entry; backends must keep their structural
+    /// invariants (CSR stores no explicit zeros) without rebuilding the
+    /// matrix.
+    fn set_entry(&mut self, row: usize, col: usize, value: Self::Elem) -> Result<()>;
+
     /// Scalar multiplication: every entry multiplied by `scalar`.
     fn scalar_mul(&self, scalar: &Self::Elem) -> Self;
 
@@ -226,6 +251,18 @@ impl<K: Semiring> MatrixStorage for Matrix<K> {
         Matrix::hadamard(self, other)
     }
 
+    fn add_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        Matrix::add_threaded(self, other, threads)
+    }
+
+    fn hadamard_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        Matrix::hadamard_threaded(self, other, threads)
+    }
+
+    fn set_entry(&mut self, row: usize, col: usize, value: K) -> Result<()> {
+        Matrix::set(self, row, col, value)
+    }
+
     fn scalar_mul(&self, scalar: &K) -> Self {
         Matrix::scalar_mul(self, scalar)
     }
@@ -318,6 +355,10 @@ impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
 
     fn hadamard(&self, other: &Self) -> Result<Self> {
         SparseMatrix::hadamard(self, other)
+    }
+
+    fn set_entry(&mut self, row: usize, col: usize, value: K) -> Result<()> {
+        SparseMatrix::set_entry(self, row, col, value)
     }
 
     fn scalar_mul(&self, scalar: &K) -> Self {
@@ -421,6 +462,18 @@ impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
 
     fn hadamard(&self, other: &Self) -> Result<Self> {
         MatrixRepr::hadamard(self, other)
+    }
+
+    fn add_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        MatrixRepr::add_threaded(self, other, threads)
+    }
+
+    fn hadamard_threaded(&self, other: &Self, threads: usize) -> Result<Self> {
+        MatrixRepr::hadamard_threaded(self, other, threads)
+    }
+
+    fn set_entry(&mut self, row: usize, col: usize, value: K) -> Result<()> {
+        MatrixRepr::set_entry(self, row, col, value)
     }
 
     fn scalar_mul(&self, scalar: &K) -> Self {

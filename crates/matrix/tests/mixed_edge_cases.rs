@@ -1,0 +1,123 @@
+//! Edge-case coverage for the mixed sparse·dense / dense·sparse product
+//! kernels (`crates/matrix/src/mixed.rs`): degenerate and extreme shapes,
+//! all-zero CSR operands, checked against dense-kernel parity over the
+//! Boolean, ℕ and min-plus semirings.
+//!
+//! The mixed kernels walk only the stored entries of the sparse operand, so
+//! the shapes most likely to expose an indexing or bounds bug are exactly
+//! the ones a random graph never produces: zero-row/zero-column matrices,
+//! `1×n` / `n×1` strips, and operands with no stored entries at all.
+
+use matlang_matrix::{Matrix, SparseMatrix};
+use matlang_semiring::{Boolean, MinPlus, Nat, Semiring};
+
+/// Asserts both mixed kernels agree with the dense product for `a · b`.
+fn assert_mixed_parity<K: Semiring>(a: &Matrix<K>, b: &Matrix<K>) {
+    let expected = a.matmul(b).expect("dense product");
+    let sa = SparseMatrix::from_dense(a);
+    let sb = SparseMatrix::from_dense(b);
+    assert_eq!(
+        sa.matmul_dense(b).expect("sparse·dense"),
+        expected,
+        "sparse·dense diverged for {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    assert_eq!(
+        a.matmul_sparse(&sb).expect("dense·sparse"),
+        expected,
+        "dense·sparse diverged for {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+}
+
+/// A deterministic dense matrix with a mix of zero and non-zero entries,
+/// built through `from_f64` so the same pattern works over any semiring.
+fn patterned<K: Semiring>(rows: usize, cols: usize, stride: usize) -> Matrix<K> {
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            if (i * cols + j) % stride.max(1) == 0 {
+                m.set(i, j, K::from_f64(((i + 2 * j) % 5 + 1) as f64))
+                    .expect("in bounds");
+            }
+        }
+    }
+    m
+}
+
+fn edge_shapes<K: Semiring>() -> Vec<(Matrix<K>, Matrix<K>)> {
+    vec![
+        // Empty inner dimension: (2×0)·(0×3) is the 2×3 zero matrix.
+        (Matrix::zeros(2, 0), Matrix::zeros(0, 3)),
+        // Empty outer dimensions.
+        (Matrix::zeros(0, 4), patterned(4, 3, 2)),
+        (patterned(3, 4, 2), Matrix::zeros(4, 0)),
+        // Fully empty.
+        (Matrix::zeros(0, 0), Matrix::zeros(0, 0)),
+        // 1×n row strip times n×1 column strip (and the outer product).
+        (patterned(1, 7, 2), patterned(7, 1, 3)),
+        (patterned(7, 1, 3), patterned(1, 7, 2)),
+        // n×1 and 1×n against square operands.
+        (patterned(1, 5, 1), patterned(5, 5, 3)),
+        (patterned(5, 5, 3), patterned(5, 1, 2)),
+        // Scalar-ish 1×1 products.
+        (patterned(1, 1, 1), patterned(1, 7, 2)),
+        // All-zero CSR operand on either side.
+        (Matrix::zeros(4, 6), patterned(6, 3, 2)),
+        (patterned(3, 4, 2), Matrix::zeros(4, 5)),
+        (Matrix::zeros(3, 3), Matrix::zeros(3, 3)),
+    ]
+}
+
+fn run_edge_shapes<K: Semiring>() {
+    for (a, b) in edge_shapes::<K>() {
+        assert_mixed_parity(&a, &b);
+    }
+}
+
+#[test]
+fn mixed_edge_shapes_boolean() {
+    run_edge_shapes::<Boolean>();
+}
+
+#[test]
+fn mixed_edge_shapes_nat() {
+    run_edge_shapes::<Nat>();
+}
+
+#[test]
+fn mixed_edge_shapes_minplus() {
+    // Min-plus is the adversarial semiring here: its zero is +∞, so any
+    // kernel that confuses "absent entry" with the number 0 diverges.
+    run_edge_shapes::<MinPlus>();
+}
+
+#[test]
+fn all_zero_csr_times_all_zero_csr_is_zero() {
+    let a: Matrix<MinPlus> = Matrix::zeros(5, 4);
+    let b: Matrix<MinPlus> = Matrix::zeros(4, 5);
+    let sa = SparseMatrix::from_dense(&a);
+    let product = sa.matmul_dense(&b).unwrap();
+    assert_eq!(product.shape(), (5, 5));
+    // Every entry is the min-plus zero (+∞), not the number 0.
+    assert_eq!(product.nnz(), 0);
+    assert_eq!(product, a.matmul(&b).unwrap());
+}
+
+#[test]
+fn single_entry_strips_hit_every_position() {
+    // A 1×n sparse row with its single non-zero at each position in turn,
+    // against a patterned dense operand: exercises the column-offset
+    // arithmetic of the mixed kernels entry by entry.
+    let b = patterned::<Nat>(6, 4, 2);
+    for k in 0..6 {
+        let mut a: Matrix<Nat> = Matrix::zeros(1, 6);
+        a.set(0, k, Nat(3)).unwrap();
+        assert_mixed_parity(&a, &b);
+        let mut col: Matrix<Nat> = Matrix::zeros(6, 1);
+        col.set(k, 0, Nat(2)).unwrap();
+        assert_mixed_parity(&b.transpose(), &col);
+    }
+}

@@ -1,0 +1,225 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! Used by the integration tests, the `server_throughput` bench and the
+//! `server_demo` example; handy for embedding too.  Every method maps
+//! one-to-one onto a protocol command and returns `Err(message)` for `ERR`
+//! replies.
+
+use crate::protocol::{read_result, WireResult};
+use matlang_matrix::{Matrix, MatrixStorage};
+use matlang_semiring::Real;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<String, String> {
+        let mut reply = String::new();
+        if self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            return Err("connection closed".to_string());
+        }
+        let reply = reply.trim_end().to_string();
+        match reply.strip_prefix("ERR ") {
+            Some(message) => Err(message.to_string()),
+            None => Ok(reply),
+        }
+    }
+
+    /// `INSTANCE <name> <backend>`.
+    pub fn create_instance(&mut self, name: &str, adaptive: bool) -> Result<(), String> {
+        let backend = if adaptive { "adaptive" } else { "dense" };
+        self.send(&format!("INSTANCE {name} {backend}")).map(|_| ())
+    }
+
+    /// `DIM <instance> <sym> <n>`.
+    pub fn set_dim(&mut self, instance: &str, sym: &str, value: usize) -> Result<(), String> {
+        self.send(&format!("DIM {instance} {sym} {value}"))
+            .map(|_| ())
+    }
+
+    /// `LOAD` from explicit entries.
+    pub fn load(
+        &mut self,
+        instance: &str,
+        var: &str,
+        rows: usize,
+        cols: usize,
+        entries: &[(usize, usize, f64)],
+    ) -> Result<(), String> {
+        writeln!(
+            self.writer,
+            "LOAD {instance} {var} {rows} {cols} {}",
+            entries.len()
+        )
+        .map_err(|e| e.to_string())?;
+        for (i, j, v) in entries {
+            writeln!(self.writer, "{i} {j} {v}").map_err(|e| e.to_string())?;
+        }
+        self.writer.flush().map_err(|e| e.to_string())?;
+        self.read_reply().map(|_| ())
+    }
+
+    /// `LOAD` from a dense matrix (ships its non-zero entries).
+    pub fn load_matrix(
+        &mut self,
+        instance: &str,
+        var: &str,
+        matrix: &Matrix<Real>,
+    ) -> Result<(), String> {
+        let entries: Vec<(usize, usize, f64)> = matrix
+            .nonzero_entries()
+            .into_iter()
+            .map(|(i, j, v)| (i, j, v.0))
+            .collect();
+        self.load(instance, var, matrix.rows(), matrix.cols(), &entries)
+    }
+
+    /// `GEN … er …`; returns the generated non-zero count.
+    pub fn gen_erdos_renyi(
+        &mut self,
+        instance: &str,
+        var: &str,
+        sym: &str,
+        avg_degree: f64,
+        seed: u64,
+    ) -> Result<usize, String> {
+        let reply = self.send(&format!(
+            "GEN {instance} {var} {sym} er {avg_degree} {seed}"
+        ))?;
+        parse_kv(&reply, "nnz")
+    }
+
+    /// `PREPARE`; returns the query id.
+    pub fn prepare(&mut self, instance: &str, text: &str) -> Result<usize, String> {
+        let reply = self.send(&format!("PREPARE {instance} {text}"))?;
+        reply
+            .split_whitespace()
+            .nth(2)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("malformed PREPARE reply `{reply}`"))
+    }
+
+    /// `EXEC`; returns the result block.
+    pub fn exec(&mut self, instance: &str, qid: usize) -> Result<WireResult, String> {
+        let header = self.send(&format!("EXEC {instance} {qid}"))?;
+        read_result(&header, &mut self.reader)
+    }
+
+    /// `EXECBATCH`; returns one result block per query id.
+    pub fn exec_batch(
+        &mut self,
+        instance: &str,
+        qids: &[usize],
+    ) -> Result<Vec<WireResult>, String> {
+        let qid_list = qids
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let header = self.send(&format!("EXECBATCH {instance} {qid_list}"))?;
+        let count: usize = header
+            .strip_prefix("BATCH ")
+            .and_then(|t| t.trim().parse().ok())
+            .ok_or_else(|| format!("malformed EXECBATCH reply `{header}`"))?;
+        let mut results = Vec::with_capacity(count);
+        for _ in 0..count {
+            let header = self.read_reply()?;
+            results.push(read_result(&header, &mut self.reader)?);
+        }
+        Ok(results)
+    }
+
+    /// `QUERY` (one-shot, unprepared); returns the result block.
+    pub fn query(&mut self, instance: &str, text: &str) -> Result<WireResult, String> {
+        let header = self.send(&format!("QUERY {instance} {text}"))?;
+        read_result(&header, &mut self.reader)
+    }
+
+    /// `UPDATE`; returns `(entries applied, cache entries invalidated)`.
+    pub fn update(
+        &mut self,
+        instance: &str,
+        var: &str,
+        entries: &[(usize, usize, f64)],
+    ) -> Result<(usize, u64), String> {
+        let triples = entries
+            .iter()
+            .map(|(i, j, v)| format!("{i} {j} {v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let reply = self.send(&format!("UPDATE {instance} {var} {triples}"))?;
+        Ok((
+            parse_kv(&reply, "entries")?,
+            parse_kv(&reply, "invalidated")?,
+        ))
+    }
+
+    /// `LIST`; returns the instance names.
+    pub fn list(&mut self) -> Result<Vec<String>, String> {
+        let reply = self.send("LIST")?;
+        Ok(reply
+            .split_whitespace()
+            .skip(2)
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// `DROP <instance>`.
+    pub fn drop_instance(&mut self, instance: &str) -> Result<(), String> {
+        self.send(&format!("DROP {instance}")).map(|_| ())
+    }
+
+    /// `PING`.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send("PING").map(|_| ())
+    }
+
+    /// `QUIT` (the server closes the connection after acknowledging).
+    pub fn quit(mut self) -> Result<(), String> {
+        self.send("QUIT").map(|_| ())
+    }
+}
+
+fn parse_kv<T: std::str::FromStr>(reply: &str, key: &str) -> Result<T, String> {
+    reply
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("missing {key}= in reply `{reply}`"))
+}
+
+impl WireResult {
+    /// Rebuilds the dense matrix this result denotes.
+    pub fn to_dense(&self) -> Matrix<Real> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for &(i, j, v) in &self.entries {
+            out.set(i, j, Real(v)).expect("wire entry in bounds");
+        }
+        out
+    }
+}

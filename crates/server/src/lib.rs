@@ -1,0 +1,293 @@
+//! `matlang_server` — a concurrent MATLANG query service with incremental
+//! instance updates.
+//!
+//! The paper frames MATLANG as a *query language* over matrix instances;
+//! everything below `matlang_engine` evaluates one expression in one
+//! process.  This crate is the missing service layer: a long-lived,
+//! in-memory server that holds **named instances**, lets clients
+//! **prepare** queries once and execute them many times against a
+//! **persistent memo cache**, and accepts **incremental updates** that
+//! invalidate exactly the cached plan nodes depending on the touched
+//! variable — so standing analytics queries over a mutating graph only
+//! recompute the dirty subgraph of their plan DAG.
+//!
+//! Built entirely on `std` (the environment is offline): a hand-rolled
+//! line-delimited text protocol over [`std::net::TcpListener`]
+//! ([`protocol`]), an accept loop feeding a bounded connection queue with
+//! backpressure ([`worker`]), and `MATLANG_THREADS`-aware worker threads
+//! each serving one session at a time ([`session`]).  Heavy kernels inside
+//! a query additionally fan out on the reusable
+//! [`matlang_matrix::WorkerPool`].
+//!
+//! Results over the wire are **bit-identical** to [`matlang_core::evaluate`]
+//! on both storage backends — values use shortest-round-trip `f64`
+//! formatting, and the engine executing the plans is already pinned
+//! bit-identical to the tree evaluator.  The `server_integration` suite
+//! enforces this over the shared evaluator corpus.
+//!
+//! ```
+//! use matlang_server::{Client, Server, ServerConfig};
+//!
+//! let handle = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.create_instance("g", true).unwrap();
+//! client.set_dim("g", "n", 3).unwrap();
+//! client.load("g", "G", 3, 3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+//! let qid = client.prepare("g", "(G * G)").unwrap();
+//! let two_hop = client.exec("g", qid).unwrap();
+//! assert_eq!(two_hop.entries, vec![(0, 2, 1.0)]);
+//! // Add the edge 2→0 and re-run: only G-dependent cache entries recompute.
+//! client.update("g", "G", &[(2, 0, 1.0)]).unwrap();
+//! assert_eq!(client.exec("g", qid).unwrap().entries.len(), 3);
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod session;
+pub mod store;
+pub mod worker;
+
+pub use client::Client;
+pub use protocol::{GenKind, Request, WireResult};
+pub use store::{PrepareOutcome, Store};
+pub use worker::ConnQueue;
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Clones of the sockets of live sessions, so shutdown can force-close
+/// them: a worker parked in a blocking `read` on an idle client would
+/// otherwise never observe the stop signal and the join would hang.
+#[derive(Default)]
+struct SessionRegistry {
+    next_id: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl SessionRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("registry poisoned")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn unregister(&self, id: u64) {
+        self.streams.lock().expect("registry poisoned").remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for stream in self.streams.lock().expect("registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; the default requests an ephemeral localhost port.
+    pub addr: String,
+    /// Session worker threads; `0` means [`matlang_matrix::configured_threads`]
+    /// (the `MATLANG_THREADS` environment variable or the machine's
+    /// available parallelism).
+    pub workers: usize,
+    /// Capacity of the accepted-connection queue; a full queue blocks the
+    /// accept loop (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// The server entry point; see [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loop and the worker pool, and returns a
+    /// handle owning them.  The server runs until
+    /// [`ServerHandle::shutdown`] (or drop).
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            matlang_matrix::configured_threads()
+        } else {
+            config.workers
+        };
+        let store = Arc::new(Store::new());
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(SessionRegistry::default());
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let store = Arc::clone(&store);
+            let queue = Arc::clone(&queue);
+            let sessions = Arc::clone(&sessions);
+            let stop = Arc::clone(&stop);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name("matlang-server-worker".into())
+                    .spawn(move || {
+                        while let Some(connection) = queue.pop() {
+                            // Registering makes the socket reachable by
+                            // `shutdown_all`; a connection that cannot be
+                            // registered (fd exhaustion) is dropped rather
+                            // than served beyond shutdown's reach, and the
+                            // stop flag is re-checked so a connection
+                            // popped during shutdown is not served past
+                            // the stop signal.
+                            let Some(id) = sessions.register(&connection) else {
+                                continue;
+                            };
+                            if !stop.load(Ordering::Acquire) {
+                                // A session I/O failure or panic only ends
+                                // that session, never the worker.
+                                let _ =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        session::serve_connection(&store, connection)
+                                    }));
+                            }
+                            sessions.unregister(id);
+                        }
+                    })?,
+            );
+        }
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("matlang-server-accept".into())
+                .spawn(move || {
+                    for connection in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match connection {
+                            Ok(connection) => {
+                                if !queue.push(connection) {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            store,
+            queue,
+            stop,
+            sessions,
+            accept: Some(accept_handle),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Owns a running server's threads; shuts the server down on
+/// [`ServerHandle::shutdown`] or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    store: Arc<Store>,
+    queue: Arc<ConnQueue>,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<SessionRegistry>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the concrete ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the shared store — handy for in-process embedding
+    /// alongside network clients.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Stops accepting, drops not-yet-served queued connections,
+    /// force-closes live session sockets, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock a blocking `accept` by poking one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.close();
+        self.sessions.shutdown_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_serve_shutdown() {
+        let handle = Server::spawn(ServerConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        assert_eq!(client.list().unwrap(), Vec::<String>::new());
+        client.create_instance("t", false).unwrap();
+        assert_eq!(client.list().unwrap(), vec!["t".to_string()]);
+        client.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_commands_get_err_without_closing_the_session() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert!(client.exec("nope", 0).is_err());
+        // The session is still alive afterwards.
+        client.ping().unwrap();
+        handle.shutdown();
+    }
+}

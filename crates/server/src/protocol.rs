@@ -1,0 +1,433 @@
+//! The wire protocol: line-delimited text over TCP.
+//!
+//! Every request is one line of whitespace-separated tokens (`LOAD` is
+//! followed by its entry lines); every response is either a single line or
+//! a `RESULT … END` block.  The protocol is deliberately hand-rollable
+//! from `netcat`:
+//!
+//! ```text
+//! →  INSTANCE g adaptive            ←  OK instance g adaptive
+//! →  DIM g n 4                      ←  OK dim n 4
+//! →  LOAD g G 4 4 3                 ←  (reads 3 entry lines) OK load G nnz=3
+//! →  0 1 1
+//! →  1 2 1
+//! →  2 0 1
+//! →  PREPARE g (G * G)             ←  OK prepared 0 plan=built statement=new nodes=2
+//! →  EXEC g 0                       ←  RESULT 4 4 2 hits=0 misses=2 … nodes=2
+//! ←  0 2 1                              (nnz entry lines)
+//! ←  END
+//! →  UPDATE g G 3 3 2.5             ←  OK update G entries=1 invalidated=2
+//! ```
+//!
+//! Numbers use Rust's shortest-round-trip `f64` formatting, so values
+//! survive a wire round trip **bit-identically** — the property the
+//! integration suite pins against `matlang_core::evaluate`.  Error replies
+//! are a single `ERR <message>` line; the error `Display` impls across the
+//! workspace are guaranteed newline-free (pinned by
+//! `tests/single_line_errors.rs`), so messages ship verbatim.
+
+use matlang_engine::ExecStats;
+use std::io::{BufRead, Write};
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `INSTANCE <name> dense|adaptive` — create a named instance.
+    Instance { name: String, adaptive: bool },
+    /// `DIM <instance> <sym> <n>` — assign a size symbol.
+    Dim {
+        instance: String,
+        sym: String,
+        value: usize,
+    },
+    /// `LOAD <instance> <var> <rows> <cols> <nnz>` — followed by `nnz`
+    /// entry lines `i j value`.
+    Load {
+        instance: String,
+        var: String,
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+    },
+    /// `GEN <instance> <var> <sym> er <avg_degree> <seed>` or
+    /// `GEN <instance> <var> <sym> pl <avg_degree> <alpha> <seed>` —
+    /// generate a random sparse graph over the dimension named by `sym`.
+    Gen {
+        instance: String,
+        var: String,
+        sym: String,
+        kind: GenKind,
+    },
+    /// `PREPARE <instance> <query text…>` — parse, typecheck, plan.
+    Prepare { instance: String, text: String },
+    /// `EXEC <instance> <qid>` — run one prepared query.
+    Exec { instance: String, qid: usize },
+    /// `EXECBATCH <instance> <qid>…` — run several prepared queries.
+    ExecBatch { instance: String, qids: Vec<usize> },
+    /// `QUERY <instance> <query text…>` — one-shot parse + plan + eval
+    /// (no prepared statement, no persistent cache); the baseline the
+    /// `server_throughput` bench compares `EXEC` against.
+    Query { instance: String, text: String },
+    /// `UPDATE <instance> <var> (<i> <j> <value>)+` — in-place point
+    /// updates plus dependency-scoped cache invalidation.
+    Update {
+        instance: String,
+        var: String,
+        entries: Vec<(usize, usize, f64)>,
+    },
+    /// `LIST` — instance names.
+    List,
+    /// `DROP <instance>` — remove an instance.
+    Drop { instance: String },
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close this connection.
+    Quit,
+}
+
+/// Random-graph generator selection for [`Request::Gen`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GenKind {
+    /// Erdős–Rényi with the given average degree.
+    ErdosRenyi { avg_degree: f64, seed: u64 },
+    /// Power-law with the given average degree and exponent.
+    PowerLaw {
+        avg_degree: f64,
+        alpha: f64,
+        seed: u64,
+    },
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+    tok.ok_or_else(|| format!("missing {what}"))?
+        .parse::<T>()
+        .map_err(|_| format!("malformed {what}"))
+}
+
+impl Request {
+    /// Parses one request line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut tokens = line.split_whitespace();
+        let command = tokens.next().ok_or_else(|| "empty command".to_string())?;
+        match command.to_ascii_uppercase().as_str() {
+            "INSTANCE" => {
+                let name = parse_num::<String>(tokens.next(), "instance name")?;
+                let backend = tokens.next().unwrap_or("adaptive");
+                let adaptive = match backend {
+                    "dense" => false,
+                    "adaptive" => true,
+                    other => return Err(format!("unknown backend `{other}` (dense|adaptive)")),
+                };
+                Ok(Request::Instance { name, adaptive })
+            }
+            "DIM" => Ok(Request::Dim {
+                instance: parse_num(tokens.next(), "instance name")?,
+                sym: parse_num(tokens.next(), "size symbol")?,
+                value: parse_num(tokens.next(), "dimension value")?,
+            }),
+            "LOAD" => Ok(Request::Load {
+                instance: parse_num(tokens.next(), "instance name")?,
+                var: parse_num(tokens.next(), "variable name")?,
+                rows: parse_num(tokens.next(), "row count")?,
+                cols: parse_num(tokens.next(), "column count")?,
+                nnz: parse_num(tokens.next(), "entry count")?,
+            }),
+            "GEN" => {
+                let instance = parse_num(tokens.next(), "instance name")?;
+                let var = parse_num(tokens.next(), "variable name")?;
+                let sym = parse_num(tokens.next(), "size symbol")?;
+                let kind = match tokens.next() {
+                    Some("er") => GenKind::ErdosRenyi {
+                        avg_degree: parse_num(tokens.next(), "average degree")?,
+                        seed: parse_num(tokens.next(), "seed")?,
+                    },
+                    Some("pl") => GenKind::PowerLaw {
+                        avg_degree: parse_num(tokens.next(), "average degree")?,
+                        alpha: parse_num(tokens.next(), "exponent")?,
+                        seed: parse_num(tokens.next(), "seed")?,
+                    },
+                    other => {
+                        return Err(format!(
+                            "unknown generator `{}` (er|pl)",
+                            other.unwrap_or("<none>")
+                        ))
+                    }
+                };
+                Ok(Request::Gen {
+                    instance,
+                    var,
+                    sym,
+                    kind,
+                })
+            }
+            "PREPARE" | "QUERY" => {
+                let instance: String = parse_num(tokens.next(), "instance name")?;
+                let text = tokens.collect::<Vec<_>>().join(" ");
+                if text.is_empty() {
+                    return Err("missing query text".to_string());
+                }
+                if command.eq_ignore_ascii_case("PREPARE") {
+                    Ok(Request::Prepare { instance, text })
+                } else {
+                    Ok(Request::Query { instance, text })
+                }
+            }
+            "EXEC" => Ok(Request::Exec {
+                instance: parse_num(tokens.next(), "instance name")?,
+                qid: parse_num(tokens.next(), "query id")?,
+            }),
+            "EXECBATCH" => {
+                let instance: String = parse_num(tokens.next(), "instance name")?;
+                let qids: Vec<usize> = tokens
+                    .map(|t| {
+                        t.parse::<usize>()
+                            .map_err(|_| "malformed query id".to_string())
+                    })
+                    .collect::<Result<_, _>>()?;
+                if qids.is_empty() {
+                    return Err("EXECBATCH needs at least one query id".to_string());
+                }
+                Ok(Request::ExecBatch { instance, qids })
+            }
+            "UPDATE" => {
+                let instance: String = parse_num(tokens.next(), "instance name")?;
+                let var: String = parse_num(tokens.next(), "variable name")?;
+                let rest: Vec<&str> = tokens.collect();
+                if rest.is_empty() || rest.len() % 3 != 0 {
+                    return Err("UPDATE needs (row col value) triples".to_string());
+                }
+                let entries = rest
+                    .chunks(3)
+                    .map(|t| -> Result<_, String> {
+                        Ok((
+                            parse_num::<usize>(Some(t[0]), "row")?,
+                            parse_num::<usize>(Some(t[1]), "column")?,
+                            parse_num::<f64>(Some(t[2]), "value")?,
+                        ))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(Request::Update {
+                    instance,
+                    var,
+                    entries,
+                })
+            }
+            "LIST" => Ok(Request::List),
+            "DROP" => Ok(Request::Drop {
+                instance: parse_num(tokens.next(), "instance name")?,
+            }),
+            "PING" => Ok(Request::Ping),
+            "QUIT" => Ok(Request::Quit),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// The result of executing one query, as shipped over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireResult {
+    /// Result row count.
+    pub rows: usize,
+    /// Result column count.
+    pub cols: usize,
+    /// The non-zero entries `(row, col, value)` in row-major order.
+    pub entries: Vec<(usize, usize, f64)>,
+    /// Executor counters for this request.
+    pub stats: ExecStats,
+    /// DAG node count of the plan the query ran against — the denominator
+    /// for cache-hit-ratio assertions.
+    pub plan_nodes: usize,
+}
+
+/// Collapses a message to a single protocol-safe line.  The workspace
+/// error types are already newline-free (pinned by the
+/// `single_line_errors` test); this is defense in depth for foreign text
+/// such as I/O error strings.
+pub fn single_line(message: &str) -> String {
+    message
+        .chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect()
+}
+
+/// Writes an `ERR` reply.
+pub fn write_err(out: &mut impl Write, message: &str) -> std::io::Result<()> {
+    writeln!(out, "ERR {}", single_line(message))
+}
+
+/// Writes a `RESULT … END` block.
+pub fn write_result(out: &mut impl Write, result: &WireResult) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "RESULT {} {} {} hits={} misses={} invalidations={} parallel={} elementwise={} nodes={}",
+        result.rows,
+        result.cols,
+        result.entries.len(),
+        result.stats.cache_hits,
+        result.stats.cache_misses,
+        result.stats.invalidations,
+        result.stats.parallel_products,
+        result.stats.parallel_elementwise,
+        result.plan_nodes,
+    )?;
+    for (i, j, v) in &result.entries {
+        writeln!(out, "{i} {j} {v}")?;
+    }
+    writeln!(out, "END")
+}
+
+/// Reads a `RESULT … END` block (the client side of [`write_result`]).
+/// `header` is the already-consumed `RESULT` line.
+pub fn read_result(header: &str, input: &mut impl BufRead) -> Result<WireResult, String> {
+    let mut tokens = header.split_whitespace();
+    if tokens.next() != Some("RESULT") {
+        return Err(format!("expected RESULT, got `{header}`"));
+    }
+    let rows: usize = parse_num(tokens.next(), "row count")?;
+    let cols: usize = parse_num(tokens.next(), "column count")?;
+    let nnz: usize = parse_num(tokens.next(), "entry count")?;
+    let mut stats = ExecStats::default();
+    let mut plan_nodes = 0usize;
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("malformed stat token `{token}`"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("malformed stat `{token}`"))?;
+        match key {
+            "hits" => stats.cache_hits = value,
+            "misses" => stats.cache_misses = value,
+            "invalidations" => stats.invalidations = value,
+            "parallel" => stats.parallel_products = value,
+            "elementwise" => stats.parallel_elementwise = value,
+            "nodes" => plan_nodes = value as usize,
+            other => return Err(format!("unknown stat `{other}`")),
+        }
+    }
+    // `nnz` comes off the wire: clamp the pre-allocation (the vector
+    // still grows to the real entry count).
+    let mut entries = Vec::with_capacity(nnz.min(1 << 16));
+    let mut line = String::new();
+    for _ in 0..nnz {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("connection closed mid-result".to_string());
+        }
+        let mut t = line.split_whitespace();
+        entries.push((
+            parse_num::<usize>(t.next(), "entry row")?,
+            parse_num::<usize>(t.next(), "entry column")?,
+            parse_num::<f64>(t.next(), "entry value")?,
+        ));
+    }
+    line.clear();
+    input.read_line(&mut line).map_err(|e| e.to_string())?;
+    if line.trim() != "END" {
+        return Err(format!("expected END, got `{}`", line.trim()));
+    }
+    Ok(WireResult {
+        rows,
+        cols,
+        entries,
+        stats,
+        plan_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_core_commands() {
+        assert_eq!(
+            Request::parse("INSTANCE g dense").unwrap(),
+            Request::Instance {
+                name: "g".into(),
+                adaptive: false
+            }
+        );
+        assert_eq!(
+            Request::parse("instance g").unwrap(),
+            Request::Instance {
+                name: "g".into(),
+                adaptive: true
+            }
+        );
+        assert_eq!(
+            Request::parse("DIM g n 10").unwrap(),
+            Request::Dim {
+                instance: "g".into(),
+                sym: "n".into(),
+                value: 10
+            }
+        );
+        assert_eq!(
+            Request::parse("PREPARE g (G * G)").unwrap(),
+            Request::Prepare {
+                instance: "g".into(),
+                text: "(G * G)".into()
+            }
+        );
+        assert_eq!(
+            Request::parse("EXECBATCH g 0 1 2").unwrap(),
+            Request::ExecBatch {
+                instance: "g".into(),
+                qids: vec![0, 1, 2]
+            }
+        );
+        assert_eq!(
+            Request::parse("UPDATE g G 0 1 2.5 3 4 0").unwrap(),
+            Request::Update {
+                instance: "g".into(),
+                var: "G".into(),
+                entries: vec![(0, 1, 2.5), (3, 4, 0.0)],
+            }
+        );
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("FROB g").is_err());
+        assert!(Request::parse("INSTANCE g columnar").is_err());
+        assert!(Request::parse("EXEC g notanumber").is_err());
+        assert!(Request::parse("EXECBATCH g").is_err());
+        assert!(Request::parse("UPDATE g G 0 1").is_err());
+        assert!(Request::parse("PREPARE g").is_err());
+        assert!(Request::parse("GEN g G n frob 1 2").is_err());
+    }
+
+    #[test]
+    fn result_blocks_round_trip() {
+        let result = WireResult {
+            rows: 2,
+            cols: 3,
+            entries: vec![(0, 1, 1.5), (1, 2, -0.25), (1, 0, 3e300)],
+            stats: ExecStats {
+                cache_hits: 7,
+                cache_misses: 2,
+                invalidations: 1,
+                parallel_products: 1,
+                parallel_elementwise: 0,
+            },
+            plan_nodes: 9,
+        };
+        let mut wire = Vec::new();
+        write_result(&mut wire, &result).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        let rest = lines.collect::<Vec<_>>().join("\n") + "\n";
+        let parsed = read_result(header, &mut rest.as_bytes()).unwrap();
+        assert_eq!(parsed, result);
+    }
+
+    #[test]
+    fn single_line_strips_control_characters() {
+        assert_eq!(single_line("a\nb\tc"), "a b c");
+        assert_eq!(single_line("plain"), "plain");
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-connection command loop.
+//!
+//! One worker thread runs one connection's entire session: read a request
+//! line, execute it against the shared [`Store`], write the reply, flush.
+//! Protocol errors (`ERR …`) never tear the connection down — only `QUIT`,
+//! EOF or an I/O failure do.
+
+use crate::protocol::{write_err, write_result, Request};
+use crate::store::Store;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// Serves one connection until `QUIT`, EOF or an I/O error.
+pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Request::parse(trimmed) {
+            Err(message) => write_err(&mut writer, &message)?,
+            Ok(Request::Quit) => {
+                writeln!(writer, "OK bye")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(request) => dispatch(store, request, &mut reader, &mut writer)?,
+        }
+        writer.flush()?;
+    }
+}
+
+fn dispatch(
+    store: &Store,
+    request: Request,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    match request {
+        Request::Instance { name, adaptive } => match store.create_instance(&name, adaptive) {
+            Ok(()) => writeln!(
+                writer,
+                "OK instance {name} {}",
+                if adaptive { "adaptive" } else { "dense" }
+            ),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Dim {
+            instance,
+            sym,
+            value,
+        } => match store.set_dim(&instance, &sym, value) {
+            Ok(()) => writeln!(writer, "OK dim {sym} {value}"),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Load {
+            instance,
+            var,
+            rows,
+            cols,
+            nnz,
+        } => {
+            // The entry lines belong to this request even if it fails
+            // late: consume all of them first so the protocol stays in
+            // sync, then apply.
+            // `nnz` is an untrusted wire value: clamp the pre-allocation
+            // so a hostile header cannot force a huge up-front allocation
+            // (the vector still grows to the real entry count).
+            let mut entries = Vec::with_capacity(nnz.min(1 << 16));
+            let mut parse_error = None;
+            let mut line = String::new();
+            for _ in 0..nnz {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    return write_err(writer, "connection closed mid-LOAD");
+                }
+                let mut tokens = line.split_whitespace();
+                let entry = (|| {
+                    Some((
+                        tokens.next()?.parse::<usize>().ok()?,
+                        tokens.next()?.parse::<usize>().ok()?,
+                        tokens.next()?.parse::<f64>().ok()?,
+                    ))
+                })();
+                match entry {
+                    Some(e) => entries.push(e),
+                    None => {
+                        parse_error
+                            .get_or_insert_with(|| format!("malformed entry `{}`", line.trim()));
+                    }
+                }
+            }
+            if let Some(message) = parse_error {
+                return write_err(writer, &message);
+            }
+            match store.load_matrix(&instance, &var, rows, cols, entries) {
+                Ok(stored) => writeln!(writer, "OK load {var} nnz={stored}"),
+                Err(e) => write_err(writer, &e),
+            }
+        }
+        Request::Gen {
+            instance,
+            var,
+            sym,
+            kind,
+        } => match store.generate_matrix(&instance, &var, &sym, kind) {
+            Ok(nnz) => writeln!(writer, "OK gen {var} nnz={nnz}"),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Prepare { instance, text } => match store.prepare(&instance, &text) {
+            Ok(outcome) => writeln!(
+                writer,
+                "OK prepared {} plan={} statement={} nodes={}",
+                outcome.qid,
+                if outcome.reused_plan {
+                    "cached"
+                } else {
+                    "built"
+                },
+                if outcome.reused_statement {
+                    "reused"
+                } else {
+                    "new"
+                },
+                outcome.plan_nodes,
+            ),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Exec { instance, qid } => match store.exec(&instance, &[qid]) {
+            Ok(results) => write_result(writer, &results[0]),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::ExecBatch { instance, qids } => match store.exec(&instance, &qids) {
+            Ok(results) => {
+                writeln!(writer, "BATCH {}", results.len())?;
+                for result in &results {
+                    write_result(writer, result)?;
+                }
+                Ok(())
+            }
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Query { instance, text } => match store.query(&instance, &text) {
+            Ok(result) => write_result(writer, &result),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Update {
+            instance,
+            var,
+            entries,
+        } => match store.update(&instance, &var, &entries) {
+            Ok((applied, invalidated)) => writeln!(
+                writer,
+                "OK update {var} entries={applied} invalidated={invalidated}"
+            ),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::List => writeln!(writer, "OK instances {}", store.list_instances().join(" ")),
+        Request::Drop { instance } => match store.drop_instance(&instance) {
+            Ok(()) => writeln!(writer, "OK dropped {instance}"),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Ping => writeln!(writer, "OK pong"),
+        Request::Quit => unreachable!("handled by the session loop"),
+    }
+}

@@ -1,0 +1,731 @@
+//! The named instance store and the prepared-query machinery.
+//!
+//! A [`Store`] owns:
+//!
+//! * a `RwLock`-guarded map from instance name to [`ServerInstance`] — the
+//!   read lock is enough to *find* an instance, per-instance `Mutex`es
+//!   serialize work on one instance while different instances proceed in
+//!   parallel on different worker threads;
+//! * a process-wide **plan cache** keyed by `(queries fingerprint, schema
+//!   fingerprint)` ([`matlang_engine::expr_fingerprint`] /
+//!   [`InstanceStats::schema_fingerprint`]): two instances with the same
+//!   shape preparing the same queries share one hash-consed [`Plan`].
+//!
+//! Each instance carries its prepared statements plus **one shared
+//! [`NodeCache`]** over a single plan DAG covering *all* its prepared
+//! queries (they are planned as a batch, so common subterms are one node):
+//! an `EXEC` seeds an [`Executor`] with the cache, runs one root, and puts
+//! the cache back, which makes a repeated `EXEC` of an unchanged query a
+//! single cache hit.  An `UPDATE` mutates matrix entries in place
+//! ([`MatrixStorage::set_entry`]) and then drops **exactly** the cached
+//! nodes depending on the touched variable
+//! ([`Plan::invalidate_dependents_in`]) — standing queries over other
+//! variables keep their warm results.
+
+use crate::protocol::{GenKind, WireResult};
+use matlang_core::{typecheck, Dim, Expr, FunctionRegistry, Instance, MatrixType, Schema};
+use matlang_engine::{expr_fingerprint, Engine, Executor, InstanceStats, NodeCache, Plan};
+use matlang_matrix::{
+    sparse_erdos_renyi, sparse_power_law, Matrix, MatrixRepr, MatrixStorage, SparseMatrix,
+};
+use matlang_parser::parse;
+use matlang_semiring::{Real, Semiring};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One prepared statement: the query text, its parsed form and its
+/// fingerprint (the dedup key — re-preparing the same text returns the
+/// existing id without disturbing the warm cache).
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    /// The query text as received.
+    pub text: String,
+    /// The parsed, type-checked expression.
+    pub expr: Expr,
+    /// [`expr_fingerprint`] of `expr`.
+    pub fingerprint: u64,
+}
+
+/// Per-backend instance state: the MATLANG instance plus the prepared-query
+/// plan and its persistent memo cache.
+pub struct BackendState<M: MatrixStorage<Elem = Real>> {
+    /// The MATLANG instance (dims + matrices).
+    pub instance: Instance<Real, M>,
+    /// Prepared statements, indexed by query id.
+    pub prepared: Vec<PreparedQuery>,
+    /// One plan covering every prepared statement (root *i* ↔ query id
+    /// *i*), shared through the store-wide plan cache.
+    pub plan: Option<Arc<Plan>>,
+    /// The persistent memo cache over `plan`'s nodes.
+    pub cache: NodeCache<M>,
+}
+
+impl<M: MatrixStorage<Elem = Real>> Default for BackendState<M> {
+    fn default() -> Self {
+        BackendState {
+            instance: Instance::new(),
+            prepared: Vec::new(),
+            plan: None,
+            cache: Vec::new(),
+        }
+    }
+}
+
+/// A named instance: the same state machine over either the dense or the
+/// adaptive sparse/dense storage backend.
+pub enum ServerInstance {
+    /// Dense row-major storage.
+    Dense(BackendState<Matrix<Real>>),
+    /// Adaptive (density-thresholded dense/CSR) storage.
+    Adaptive(BackendState<MatrixRepr<Real>>),
+}
+
+impl ServerInstance {
+    /// The backend name as used by the protocol.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ServerInstance::Dense(_) => "dense",
+            ServerInstance::Adaptive(_) => "adaptive",
+        }
+    }
+}
+
+/// Runs a closure against the backend-generic state of a
+/// [`ServerInstance`].
+macro_rules! with_state {
+    ($instance:expr, |$state:ident| $body:expr) => {
+        match $instance {
+            ServerInstance::Dense($state) => $body,
+            ServerInstance::Adaptive($state) => $body,
+        }
+    };
+}
+
+/// The outcome of a `PREPARE`.
+#[derive(Clone, Copy, Debug)]
+pub struct PrepareOutcome {
+    /// The query id to pass to `EXEC`.
+    pub qid: usize,
+    /// Whether this exact statement was already prepared on the instance.
+    pub reused_statement: bool,
+    /// Whether the plan came from the store-wide plan cache.
+    pub reused_plan: bool,
+    /// DAG node count of the (batch) plan.
+    pub plan_nodes: usize,
+}
+
+/// The shared server state; see the module docs.
+pub struct Store {
+    instances: RwLock<HashMap<String, Arc<Mutex<ServerInstance>>>>,
+    plan_cache: Mutex<HashMap<(u64, u64), Arc<Plan>>>,
+    registry: FunctionRegistry<Real>,
+    engine: Engine,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// An empty store with the paper's standard pointwise functions
+    /// (`div`, `gt0`, …) registered.
+    pub fn new() -> Store {
+        Store {
+            instances: RwLock::new(HashMap::new()),
+            plan_cache: Mutex::new(HashMap::new()),
+            registry: FunctionRegistry::standard_field(),
+            engine: Engine::new(),
+        }
+    }
+
+    /// Creates a named instance.  Fails if the name is taken.
+    pub fn create_instance(&self, name: &str, adaptive: bool) -> Result<(), String> {
+        let mut instances = self.instances.write().expect("store poisoned");
+        if instances.contains_key(name) {
+            return Err(format!("instance `{name}` already exists"));
+        }
+        let instance = if adaptive {
+            ServerInstance::Adaptive(BackendState::default())
+        } else {
+            ServerInstance::Dense(BackendState::default())
+        };
+        instances.insert(name.to_string(), Arc::new(Mutex::new(instance)));
+        Ok(())
+    }
+
+    /// Removes a named instance, with its prepared statements and cache.
+    pub fn drop_instance(&self, name: &str) -> Result<(), String> {
+        self.instances
+            .write()
+            .expect("store poisoned")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| format!("unknown instance `{name}`"))
+    }
+
+    /// Instance names in sorted order.
+    pub fn list_instances(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .instances
+            .read()
+            .expect("store poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    fn instance(&self, name: &str) -> Result<Arc<Mutex<ServerInstance>>, String> {
+        self.instances
+            .read()
+            .expect("store poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unknown instance `{name}`"))
+    }
+
+    /// Assigns a size symbol on an instance.
+    pub fn set_dim(&self, name: &str, sym: &str, value: usize) -> Result<(), String> {
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        with_state!(&mut *guard, |state| {
+            state.instance.set_dim(sym, value);
+            // Dimension symbols are not matrix variables, so they are
+            // invisible to the plan's dependency index — a dim change
+            // conservatively clears the whole memo cache (loop iteration
+            // counts and canonical-vector sizes may all have changed).
+            state.cache.iter_mut().for_each(|slot| *slot = None);
+            Ok(())
+        })
+    }
+
+    /// Assigns a matrix from explicit `(row, col, value)` entries.
+    /// Returns the stored non-zero count.
+    pub fn load_matrix(
+        &self,
+        name: &str,
+        var: &str,
+        rows: usize,
+        cols: usize,
+        entries: Vec<(usize, usize, f64)>,
+    ) -> Result<usize, String> {
+        let triplets: Vec<(usize, usize, Real)> = entries
+            .into_iter()
+            .map(|(i, j, v)| (i, j, Real(v)))
+            .collect();
+        let sparse =
+            SparseMatrix::from_triplets(rows, cols, triplets).map_err(|e| e.to_string())?;
+        self.assign_matrix(name, var, sparse)
+    }
+
+    /// Generates a random graph matrix over the dimension named `sym`.
+    /// Returns the stored non-zero count.
+    pub fn generate_matrix(
+        &self,
+        name: &str,
+        var: &str,
+        sym: &str,
+        kind: GenKind,
+    ) -> Result<usize, String> {
+        let instance = self.instance(name)?;
+        let n = {
+            let guard = instance.lock().expect("instance poisoned");
+            with_state!(&*guard, |state| state
+                .instance
+                .dim_value(&Dim::Sym(sym.to_string())))
+        }
+        .ok_or_else(|| format!("size symbol `{sym}` has no assigned dimension"))?;
+        let sparse: SparseMatrix<Real> = match kind {
+            GenKind::ErdosRenyi { avg_degree, seed } => sparse_erdos_renyi(n, avg_degree, seed),
+            GenKind::PowerLaw {
+                avg_degree,
+                alpha,
+                seed,
+            } => sparse_power_law(n, avg_degree, alpha, seed),
+        };
+        self.assign_matrix(name, var, sparse)
+    }
+
+    /// Stores `matrix` under `var`, converting to the instance's backend.
+    /// Any (re)assignment resets the prepared plan's memo cache — unlike a
+    /// point `UPDATE`, a wholesale rebind invalidates everything that
+    /// mentions the variable, and conservatively clearing is cheapest.
+    fn assign_matrix(
+        &self,
+        name: &str,
+        var: &str,
+        sparse: SparseMatrix<Real>,
+    ) -> Result<usize, String> {
+        let nnz = sparse.nnz();
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        match &mut *guard {
+            ServerInstance::Dense(state) => {
+                state.instance.set_matrix(var, sparse.to_dense());
+                state.cache.iter_mut().for_each(|slot| *slot = None);
+            }
+            ServerInstance::Adaptive(state) => {
+                state
+                    .instance
+                    .set_matrix(var, MatrixRepr::from_sparse_auto(sparse));
+                state.cache.iter_mut().for_each(|slot| *slot = None);
+            }
+        }
+        Ok(nnz)
+    }
+
+    /// Parses, type-checks and plans a query against an instance,
+    /// registering it as a prepared statement.  All of the instance's
+    /// prepared statements are planned **as one batch** so they share a
+    /// memo cache; the batch plan itself is shared through the store-wide
+    /// `(queries, schema)`-keyed plan cache.
+    pub fn prepare(&self, name: &str, text: &str) -> Result<PrepareOutcome, String> {
+        let expr = parse(text).map_err(|e| format!("parse error: {e}"))?;
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        with_state!(&mut *guard, |state| self.prepare_in(state, text, expr))
+    }
+
+    fn prepare_in<M: MatrixStorage<Elem = Real>>(
+        &self,
+        state: &mut BackendState<M>,
+        text: &str,
+        expr: Expr,
+    ) -> Result<PrepareOutcome, String> {
+        let schema = derive_schema(&state.instance)?;
+        typecheck(&expr, &schema).map_err(|e| format!("type error: {e}"))?;
+        let fingerprint = expr_fingerprint(&expr);
+        if let Some(qid) = state
+            .prepared
+            .iter()
+            .position(|p| p.fingerprint == fingerprint)
+        {
+            return Ok(PrepareOutcome {
+                qid,
+                reused_statement: true,
+                reused_plan: true,
+                plan_nodes: state.plan.as_ref().map(|p| p.nodes().len()).unwrap_or(0),
+            });
+        }
+        state.prepared.push(PreparedQuery {
+            text: text.to_string(),
+            expr,
+            fingerprint,
+        });
+        let stats = InstanceStats::from_instance(&state.instance);
+        let mut key_hasher = std::collections::hash_map::DefaultHasher::new();
+        for p in &state.prepared {
+            p.fingerprint.hash(&mut key_hasher);
+        }
+        let key = (key_hasher.finish(), stats.schema_fingerprint());
+        let mut reused_plan = true;
+        let plan = {
+            let mut plan_cache = self.plan_cache.lock().expect("plan cache poisoned");
+            if let Some(plan) = plan_cache.get(&key) {
+                Arc::clone(plan)
+            } else {
+                reused_plan = false;
+                let queries: Vec<Expr> = state.prepared.iter().map(|p| p.expr.clone()).collect();
+                let mut plan = self.engine.plan(&queries, &state.instance);
+                // Every node is memoized: a prepared query re-executed on
+                // an unchanged instance is answered by one root-cache hit.
+                plan.mark_all_cacheable();
+                let plan = Arc::new(plan);
+                plan_cache.insert(key, Arc::clone(&plan));
+                Arc::clone(&plan)
+            }
+        };
+        // The plan's node ids changed; start the shared cache cold.
+        state.cache = vec![None; plan.nodes().len()];
+        state.plan = Some(Arc::clone(&plan));
+        Ok(PrepareOutcome {
+            qid: state.prepared.len() - 1,
+            reused_statement: false,
+            reused_plan,
+            plan_nodes: plan.nodes().len(),
+        })
+    }
+
+    /// Executes prepared queries through the instance's persistent memo
+    /// cache, returning one wire result per query id.
+    pub fn exec(&self, name: &str, qids: &[usize]) -> Result<Vec<WireResult>, String> {
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        with_state!(&mut *guard, |state| self.exec_in(state, qids))
+    }
+
+    fn exec_in<M: MatrixStorage<Elem = Real>>(
+        &self,
+        state: &mut BackendState<M>,
+        qids: &[usize],
+    ) -> Result<Vec<WireResult>, String> {
+        let plan = state
+            .plan
+            .as_ref()
+            .ok_or_else(|| "no prepared queries on this instance".to_string())?;
+        for &qid in qids {
+            if qid >= state.prepared.len() {
+                return Err(format!("unknown query id {qid}"));
+            }
+        }
+        let cache = std::mem::take(&mut state.cache);
+        let mut exec = Executor::with_cache(
+            plan,
+            &state.instance,
+            &self.registry,
+            self.engine.exec_options,
+            cache,
+        );
+        let mut results = Vec::with_capacity(qids.len());
+        let mut outcome = Ok(());
+        for &qid in qids {
+            let before = exec.stats();
+            match exec.run_shared(plan.roots()[qid]) {
+                Ok(value) => results.push(wire_result(
+                    value.as_ref(),
+                    exec.stats().since(&before),
+                    plan.nodes().len(),
+                )),
+                Err(e) => {
+                    outcome = Err(format!("eval error: {e}"));
+                    break;
+                }
+            }
+        }
+        state.cache = exec.into_cache();
+        outcome.map(|_| results)
+    }
+
+    /// One-shot query: parse + typecheck + plan + evaluate, bypassing the
+    /// prepared-statement machinery and its persistent cache entirely.
+    /// This is the per-request-cost baseline `EXEC` is measured against.
+    pub fn query(&self, name: &str, text: &str) -> Result<WireResult, String> {
+        let expr = parse(text).map_err(|e| format!("parse error: {e}"))?;
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        with_state!(&mut *guard, |state| {
+            let schema = derive_schema(&state.instance)?;
+            typecheck(&expr, &schema).map_err(|e| format!("type error: {e}"))?;
+            let plan = self
+                .engine
+                .plan(std::slice::from_ref(&expr), &state.instance);
+            let mut exec = Executor::new(
+                &plan,
+                &state.instance,
+                &self.registry,
+                self.engine.exec_options,
+            );
+            let value = exec
+                .run_shared(plan.roots()[0])
+                .map_err(|e| format!("eval error: {e}"))?;
+            Ok(wire_result(
+                value.as_ref(),
+                exec.stats(),
+                plan.nodes().len(),
+            ))
+        })
+    }
+
+    /// Applies in-place point updates to a matrix variable, then drops
+    /// exactly the cached plan nodes whose value depends on it.  Returns
+    /// `(entries applied, cache entries invalidated)`.
+    pub fn update(
+        &self,
+        name: &str,
+        var: &str,
+        entries: &[(usize, usize, f64)],
+    ) -> Result<(usize, u64), String> {
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        with_state!(&mut *guard, |state| {
+            let matrix = state
+                .instance
+                .matrix_mut(var)
+                .ok_or_else(|| format!("unknown variable `{var}`"))?;
+            let mut applied = 0usize;
+            let mut outcome = Ok(());
+            for &(i, j, v) in entries {
+                if let Err(e) = matrix.set_entry(i, j, Real(v)) {
+                    outcome = Err(e.to_string());
+                    break;
+                }
+                applied += 1;
+            }
+            // Invalidate even when a later entry of the batch failed: the
+            // entries before it *did* mutate the matrix, and a cache that
+            // outlives them would serve stale results.
+            let invalidated = if applied > 0 {
+                state
+                    .plan
+                    .as_ref()
+                    .map(|plan| plan.invalidate_dependents_in(&mut state.cache, var))
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            outcome.map(|_| (applied, invalidated))
+        })
+    }
+}
+
+/// Derives the typing schema of an instance: every matrix variable is
+/// typed by matching its concrete shape against the instance's size-symbol
+/// assignments (dimension 1 is the distinguished symbol `1`; other values
+/// resolve to the first size symbol carrying them, in name order).
+fn derive_schema<M: MatrixStorage<Elem = Real>>(
+    instance: &Instance<Real, M>,
+) -> Result<Schema, String> {
+    let dim_for = |value: usize| -> Result<Dim, String> {
+        if value == 1 {
+            return Ok(Dim::One);
+        }
+        instance
+            .dims()
+            .find(|&(_, n)| n == value)
+            .map(|(sym, _)| Dim::sym(sym.clone()))
+            .ok_or_else(|| format!("no size symbol assigned the value {value} (use DIM)"))
+    };
+    let mut schema = Schema::new();
+    for (var, matrix) in instance.matrices() {
+        let (rows, cols) = matrix.shape();
+        schema.declare(var.clone(), MatrixType::new(dim_for(rows)?, dim_for(cols)?));
+    }
+    Ok(schema)
+}
+
+fn wire_result<M: MatrixStorage<Elem = Real>>(
+    value: &M,
+    stats: matlang_engine::ExecStats,
+    plan_nodes: usize,
+) -> WireResult {
+    WireResult {
+        rows: value.rows(),
+        cols: value.cols(),
+        entries: value
+            .nonzero_entries()
+            .into_iter()
+            .map(|(i, j, v)| (i, j, v.to_f64()))
+            .collect(),
+        stats,
+        plan_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matlang_core::evaluate;
+
+    fn seeded_store() -> Store {
+        let store = Store::new();
+        store.create_instance("g", true).unwrap();
+        store.set_dim("g", "n", 4).unwrap();
+        store
+            .load_matrix(
+                "g",
+                "G",
+                4,
+                4,
+                vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)],
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn instance_lifecycle() {
+        let store = seeded_store();
+        assert_eq!(store.list_instances(), vec!["g".to_string()]);
+        assert!(store.create_instance("g", false).is_err());
+        store.create_instance("h", false).unwrap();
+        assert_eq!(store.list_instances().len(), 2);
+        store.drop_instance("h").unwrap();
+        assert!(store.drop_instance("h").is_err());
+        assert!(store.prepare("missing", "G").is_err());
+    }
+
+    #[test]
+    fn prepare_exec_matches_local_evaluation() {
+        let store = seeded_store();
+        let expr = Expr::var("G").t().mm(Expr::var("G"));
+        let out = store.prepare("g", &expr.to_string()).unwrap();
+        assert!(!out.reused_statement);
+        let results = store.exec("g", &[out.qid]).unwrap();
+        let local: Instance<Real> = Instance::new().with_dim("n", 4).with_matrix(
+            "G",
+            Matrix::from_f64_rows(&[
+                &[0.0, 1.0, 0.0, 0.0],
+                &[0.0, 0.0, 2.0, 0.0],
+                &[0.0, 0.0, 0.0, 3.0],
+                &[4.0, 0.0, 0.0, 0.0],
+            ])
+            .unwrap(),
+        );
+        let expected = evaluate(&expr, &local, &FunctionRegistry::standard_field()).unwrap();
+        let got = dense_of(&results[0]);
+        assert_eq!(got, expected);
+        // Re-executing is answered by the warm cache: one root hit.
+        let again = store.exec("g", &[out.qid]).unwrap();
+        assert_eq!(again[0].stats.cache_misses, 0);
+        assert_eq!(again[0].stats.cache_hits, 1);
+        // Re-preparing the same text reuses the statement and the cache.
+        let re = store.prepare("g", &expr.to_string()).unwrap();
+        assert!(re.reused_statement);
+        assert_eq!(re.qid, out.qid);
+        let third = store.exec("g", &[out.qid]).unwrap();
+        assert_eq!(third[0].stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn update_invalidates_only_dependents() {
+        let store = seeded_store();
+        store
+            .load_matrix("g", "H", 4, 4, vec![(0, 0, 1.0), (1, 1, 1.0)])
+            .unwrap();
+        let over_g = store.prepare("g", "(transpose(G) * G)").unwrap();
+        let over_h = store.prepare("g", "(H + H)").unwrap();
+        // Warm both caches.
+        store.exec("g", &[over_g.qid, over_h.qid]).unwrap();
+        let (applied, invalidated) = store.update("g", "H", &[(2, 2, 5.0)]).unwrap();
+        assert_eq!(applied, 1);
+        assert!(invalidated >= 2, "Var(H) and H+H must drop");
+        // The G query is untouched: answered fully from cache.
+        let g_again = store.exec("g", &[over_g.qid]).unwrap();
+        assert_eq!(g_again[0].stats.cache_misses, 0);
+        // The H query recomputes and sees the new entry.
+        let h_again = store.exec("g", &[over_h.qid]).unwrap();
+        assert!(h_again[0].stats.cache_misses > 0);
+        assert!(h_again[0]
+            .entries
+            .iter()
+            .any(|&(i, j, v)| (i, j, v) == (2, 2, 10.0)));
+        // Updating an unknown variable or out-of-bounds entry fails.
+        assert!(store.update("g", "missing", &[(0, 0, 1.0)]).is_err());
+        assert!(store.update("g", "H", &[(9, 9, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn failed_update_batch_still_invalidates_applied_entries() {
+        let store = seeded_store();
+        store
+            .load_matrix("g", "H", 4, 4, vec![(0, 0, 1.0)])
+            .unwrap();
+        let qid = store.prepare("g", "(H + H)").unwrap().qid;
+        store.exec("g", &[qid]).unwrap(); // warm
+                                          // First entry applies, second is out of bounds: the batch errors,
+                                          // but the applied mutation must not leave a stale cache behind.
+        assert!(store.update("g", "H", &[(0, 0, 7.0), (9, 9, 1.0)]).is_err());
+        let result = store.exec("g", &[qid]).unwrap();
+        assert!(
+            result[0].stats.cache_misses > 0,
+            "cache must drop after a partially-applied UPDATE"
+        );
+        assert!(result[0]
+            .entries
+            .iter()
+            .any(|&(i, j, v)| (i, j, v) == (0, 0, 14.0)));
+    }
+
+    #[test]
+    fn dim_changes_clear_the_memo_cache() {
+        let store = seeded_store();
+        // Σv:n. vᵀ·v counts the iterations — its value IS the dimension.
+        let qid = store
+            .prepare("g", "(sum v:n . (transpose(v) * v))")
+            .unwrap()
+            .qid;
+        let four = store.exec("g", &[qid]).unwrap();
+        assert_eq!(four[0].entries, vec![(0, 0, 4.0)]);
+        store.set_dim("g", "n", 8).unwrap();
+        let eight = store.exec("g", &[qid]).unwrap();
+        assert_eq!(
+            eight[0].entries,
+            vec![(0, 0, 8.0)],
+            "a DIM change must not serve results cached under the old value"
+        );
+    }
+
+    #[test]
+    fn plans_are_shared_across_same_shape_instances() {
+        let store = seeded_store();
+        store.create_instance("h", true).unwrap();
+        store.set_dim("h", "n", 4).unwrap();
+        store
+            .load_matrix("h", "G", 4, 4, vec![(0, 0, 7.0)])
+            .unwrap();
+        let first = store.prepare("g", "(G * G)").unwrap();
+        assert!(!first.reused_plan);
+        let second = store.prepare("h", "(G * G)").unwrap();
+        assert!(second.reused_plan, "same queries + same schema → same plan");
+        // Different shape → different plan cache key.
+        store.create_instance("k", true).unwrap();
+        store.set_dim("k", "n", 5).unwrap();
+        store
+            .load_matrix("k", "G", 5, 5, vec![(0, 0, 7.0)])
+            .unwrap();
+        let third = store.prepare("k", "(G * G)").unwrap();
+        assert!(!third.reused_plan);
+    }
+
+    #[test]
+    fn query_is_stateless_and_prepare_rejects_bad_queries() {
+        let store = seeded_store();
+        let result = store.query("g", "(G + G)").unwrap();
+        assert_eq!(result.rows, 4);
+        assert!(store.prepare("g", "(G +").is_err(), "parse error");
+        assert!(store.prepare("g", "missingvar").is_err(), "type error");
+        assert!(
+            store.prepare("g", "(G . G)").is_err(),
+            "lexical garbage is rejected"
+        );
+        assert!(store.query("g", "(const 1) )").is_err());
+    }
+
+    #[test]
+    fn generated_matrices_are_usable() {
+        let store = Store::new();
+        store.create_instance("r", false).unwrap();
+        store.set_dim("r", "n", 32).unwrap();
+        let nnz = store
+            .generate_matrix(
+                "r",
+                "G",
+                "n",
+                GenKind::ErdosRenyi {
+                    avg_degree: 3.0,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+        assert!(nnz > 0);
+        let out = store
+            .prepare("r", "(transpose(ones(G)) * (G * ones(G)))")
+            .unwrap();
+        let results = store.exec("r", &[out.qid]).unwrap();
+        assert_eq!((results[0].rows, results[0].cols), (1, 1));
+        assert!(store
+            .generate_matrix(
+                "r",
+                "G",
+                "m",
+                GenKind::ErdosRenyi {
+                    avg_degree: 1.0,
+                    seed: 1
+                }
+            )
+            .is_err());
+    }
+
+    /// Rebuilds the dense matrix a [`WireResult`] denotes.
+    pub fn dense_of(result: &WireResult) -> Matrix<Real> {
+        let mut m = Matrix::zeros(result.rows, result.cols);
+        for &(i, j, v) in &result.entries {
+            m.set(i, j, Real(v)).unwrap();
+        }
+        m
+    }
+}

@@ -1,0 +1,139 @@
+//! Connection dispatch: a bounded hand-off queue and a worker pool.
+//!
+//! The accept loop pushes accepted connections into a [`ConnQueue`] with a
+//! fixed capacity; `N` worker threads pop connections and run their entire
+//! session (the protocol is session-oriented — one connection, one
+//! client).  When every worker is busy and the queue is full, **the accept
+//! loop itself blocks** on the `not_full` condition: backpressure
+//! propagates to the OS accept backlog instead of the server buffering
+//! unbounded work.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState {
+    connections: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// A blocking, bounded, closeable MPMC hand-off queue for accepted
+/// connections.
+pub struct ConnQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    /// A queue admitting at most `capacity` waiting connections.
+    pub fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                connections: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a connection, blocking while the queue is full
+    /// (backpressure).  Returns `false` — dropping the connection — once
+    /// the queue is closed.
+    pub fn push(&self, connection: TcpStream) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.connections.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        state.connections.push_back(connection);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues a connection, blocking while the queue is empty.  Returns
+    /// `None` once the queue is closed — the workers' shutdown signal.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(connection) = state.connections.pop_front() {
+                self.not_full.notify_one();
+                return Some(connection);
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: not-yet-served connections are dropped (their
+    /// sockets close), new pushes are refused, and blocked workers wake up
+    /// to exit.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        state.connections.clear();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of connections currently waiting (for tests/monitoring).
+    pub fn waiting(&self) -> usize {
+        self.state.lock().expect("queue poisoned").connections.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    fn connection_pair(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _ = listener.accept().unwrap();
+        client
+    }
+
+    #[test]
+    fn queue_hands_off_and_closes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let queue = ConnQueue::new(2);
+        assert!(queue.push(connection_pair(&listener)));
+        assert_eq!(queue.waiting(), 1);
+        assert!(queue.pop().is_some());
+        assert_eq!(queue.waiting(), 0);
+        queue.close();
+        assert!(!queue.push(connection_pair(&listener)));
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn full_queue_blocks_until_a_worker_drains() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let queue = Arc::new(ConnQueue::new(1));
+        assert!(queue.push(connection_pair(&listener)));
+        // The second push must block (backpressure) until a pop happens on
+        // another thread.
+        let queue2 = Arc::clone(&queue);
+        let popper = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            queue2.pop()
+        });
+        let started = std::time::Instant::now();
+        assert!(queue.push(connection_pair(&listener)));
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(25),
+            "push returned before the queue had room"
+        );
+        assert!(popper.join().unwrap().is_some());
+        queue.close();
+    }
+}

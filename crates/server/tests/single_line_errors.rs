@@ -1,0 +1,151 @@
+//! Pins the protocol-shippability of every workspace error type: the
+//! line-delimited protocol sends `ERR <Display>` verbatim, so the
+//! `Display` output of `ParseError`, `TypeError`, `EvalError` and
+//! `MatrixError` must be a single line (no embedded newlines, no control
+//! characters), and the messages clients may match on must stay stable.
+
+use matlang_core::{evaluate, typecheck, EvalError, Expr, FunctionRegistry, Instance, Schema};
+use matlang_core::{MatrixType, TypeError};
+use matlang_matrix::{Matrix, MatrixError};
+use matlang_parser::{parse, ParseError};
+use matlang_semiring::Real;
+
+fn assert_single_line(error: &impl std::fmt::Display) {
+    let message = error.to_string();
+    assert!(!message.is_empty(), "error messages must not be empty");
+    assert!(
+        !message.chars().any(|c| c.is_control()),
+        "error message contains a newline or control character: {message:?}"
+    );
+}
+
+#[test]
+fn parse_errors_are_single_line() {
+    let cases: Vec<ParseError> = vec![
+        parse("").unwrap_err(),                 // unexpected end
+        parse("(A + B").unwrap_err(),           // unexpected end mid-expr
+        parse("(A § B)").unwrap_err(),          // lexical error
+        parse("(A + B) trailing").unwrap_err(), // trailing input
+        parse("(A ? B)").unwrap_err(),          // unexpected token
+    ];
+    for error in &cases {
+        assert_single_line(error);
+    }
+}
+
+#[test]
+fn type_errors_are_single_line() {
+    let schema = Schema::new()
+        .with_var("A", MatrixType::square("a"))
+        .with_var("v", MatrixType::vector("a"));
+    let cases: Vec<TypeError> = vec![
+        typecheck(&Expr::var("Z"), &schema).unwrap_err(),
+        typecheck(&Expr::var("A").add(Expr::var("v")), &schema).unwrap_err(),
+        typecheck(&Expr::var("v").mm(Expr::var("A")), &schema).unwrap_err(),
+        typecheck(&Expr::var("A").diag(), &schema).unwrap_err(),
+        typecheck(&Expr::var("A").smul(Expr::var("A")), &schema).unwrap_err(),
+        typecheck(&Expr::apply("f", vec![]), &schema).unwrap_err(),
+        typecheck(&Expr::mprod("w", "a", Expr::var("v")), &schema).unwrap_err(),
+    ];
+    for error in &cases {
+        assert_single_line(error);
+    }
+}
+
+#[test]
+fn eval_errors_are_single_line() {
+    let registry = FunctionRegistry::<Real>::standard_field();
+    let instance: Instance<Real> = Instance::new()
+        .with_dim("a", 2)
+        .with_matrix("A", Matrix::identity(2));
+    let cases: Vec<EvalError> = vec![
+        evaluate(&Expr::var("Z"), &instance, &registry).unwrap_err(),
+        evaluate(
+            &Expr::apply("nope", vec![Expr::var("A")]),
+            &instance,
+            &registry,
+        )
+        .unwrap_err(),
+        evaluate(
+            &Expr::sum("v", "missing", Expr::var("v")),
+            &instance,
+            &registry,
+        )
+        .unwrap_err(),
+        evaluate(&Expr::var("A").smul(Expr::var("A")), &instance, &registry).unwrap_err(),
+        evaluate(
+            &Expr::var("A").mm(Expr::var("A").ones()).add(Expr::var("A")),
+            &instance,
+            &registry,
+        )
+        .unwrap_err(),
+    ];
+    for error in &cases {
+        assert_single_line(error);
+    }
+}
+
+#[test]
+fn matrix_errors_are_single_line() {
+    let cases: Vec<MatrixError> = vec![
+        MatrixError::ShapeMismatch {
+            left: (2, 3),
+            right: (3, 2),
+            op: "add",
+        },
+        MatrixError::InnerDimensionMismatch {
+            left: (2, 3),
+            right: (2, 3),
+        },
+        MatrixError::IndexOutOfBounds {
+            row: 9,
+            col: 9,
+            shape: (2, 2),
+        },
+        MatrixError::NotAVector { shape: (2, 2) },
+        MatrixError::NotSquare { shape: (2, 3) },
+        MatrixError::NotAScalar { shape: (2, 3) },
+        MatrixError::BadConstruction {
+            message: "row 1 has 3 entries, expected 2".into(),
+        },
+        MatrixError::Singular {
+            message: "no pivot in column 0".into(),
+        },
+    ];
+    for error in &cases {
+        assert_single_line(error);
+    }
+}
+
+/// The stable message prefixes the protocol documentation promises; a
+/// reworded error is an API break for protocol clients matching on them.
+#[test]
+fn canonical_messages_are_pinned() {
+    assert_eq!(
+        parse("").unwrap_err().to_string(),
+        "unexpected end of input"
+    );
+    let schema = Schema::new().with_var("A", MatrixType::square("a"));
+    assert_eq!(
+        typecheck(&Expr::var("Z"), &schema).unwrap_err().to_string(),
+        "variable `Z` is not declared in the schema"
+    );
+    let registry = FunctionRegistry::<Real>::standard_field();
+    let instance: Instance<Real> = Instance::new()
+        .with_dim("a", 2)
+        .with_matrix("A", Matrix::identity(2));
+    assert_eq!(
+        evaluate(&Expr::var("Z"), &instance, &registry)
+            .unwrap_err()
+            .to_string(),
+        "unbound matrix variable `Z`"
+    );
+    assert_eq!(
+        MatrixError::InnerDimensionMismatch {
+            left: (2, 3),
+            right: (2, 3)
+        }
+        .to_string(),
+        "inner dimension mismatch in matrix product: 2x3 times 2x3"
+    );
+}

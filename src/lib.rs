@@ -18,6 +18,10 @@
 //!   cost-based representation choice) and the parallel memoizing
 //!   executor, including batched evaluation of many queries over one
 //!   instance.
+//! * [`server`] — a concurrent query service over a line-delimited TCP
+//!   protocol: named instances, prepared queries with a persistent memo
+//!   cache, and incremental `UPDATE`s that invalidate exactly the
+//!   dependent plan nodes.
 //! * [`algorithms`] — the paper's worked algorithms (order predicates,
 //!   4-clique, transitive closure, LU/PLU, Csanky determinant & inverse) and
 //!   their numeric baselines.
@@ -57,6 +61,7 @@ pub use matlang_matrix as matrix;
 pub use matlang_parser as parser;
 pub use matlang_ra as ra;
 pub use matlang_semiring as semiring;
+pub use matlang_server as server;
 pub use matlang_wl as wl;
 
 /// Commonly used items, re-exported for `use matlang::prelude::*`.
@@ -69,10 +74,11 @@ pub mod prelude {
     pub use matlang_matrix::{
         configured_threads, random_adjacency, random_invertible, random_matrix, random_vector,
         sparse_erdos_renyi, sparse_power_law, Matrix, MatrixRepr, MatrixStorage,
-        RandomMatrixConfig, SparseMatrix,
+        RandomMatrixConfig, SparseMatrix, WorkerPool,
     };
     pub use matlang_semiring::{
         ApproxEq, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, OrderedField, Real, Ring,
         Semiring,
     };
+    pub use matlang_server::{Client, Server, ServerConfig};
 }

@@ -1,0 +1,112 @@
+//! Experiment E12 — the cost-based rewrite layer versus plain planning.
+//!
+//! Three series, each comparing `Engine::new()` (rewrites on) against
+//! `Engine::without_cost_rewrites()` (the PR-3 planner: CSE, hoisting and
+//! representation choice, but no reordering/fusion):
+//!
+//! 1. **Matrix-chain reordering** — the skewed 4-factor chain
+//!    `G·G·G·1(G)` over sparse average-degree-8 graphs up to n = 2000.
+//!    Left-associated this materializes G² and G³; the DP right-associates
+//!    it into three O(nnz) matvecs.  Acceptance: ≥2× at n = 2000 (the
+//!    margin is enforced by `timing_guard_chain_reorder_speedup`).
+//! 2. **Diag pushdown** — `A · diag(v)` over the dense backend.  The
+//!    unfused dense kernel pays O(n³) because only zero *left* entries
+//!    short-circuit; the fused column scaling is O(n²).  Acceptance: ≥2×
+//!    (enforced by `timing_guard_diag_pushdown_speedup`).
+//! 3. **Ones pushdown** — `1(G·G·G)`: the rewritten plan never computes
+//!    the product at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matlang_bench::sparse_criterion;
+use matlang_core::{Expr, FunctionRegistry, Instance, SparseInstance};
+use matlang_engine::Engine;
+use matlang_matrix::{sparse_erdos_renyi, Matrix, MatrixRepr};
+use matlang_semiring::{Boolean, Real};
+
+const AVG_DEGREE: f64 = 8.0;
+
+fn sparse_instance(n: usize, seed: u64) -> SparseInstance<Boolean> {
+    Instance::new().with_dim("n", n).with_matrix(
+        "G",
+        MatrixRepr::from_sparse_auto(sparse_erdos_renyi::<Boolean>(n, AVG_DEGREE, seed)),
+    )
+}
+
+fn bench_chain_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_chain_reorder");
+    let registry = FunctionRegistry::<Boolean>::new();
+    let g = || Expr::var("G");
+    let chain = g().mm(g()).mm(g()).mm(g().ones());
+    let rewriting = Engine::new();
+    let baseline = Engine::new().without_cost_rewrites();
+    for &n in &[500usize, 1000, 2000] {
+        let inst = sparse_instance(n, 31 + n as u64);
+        group.bench_with_input(BenchmarkId::new("reordered", n), &n, |b, _| {
+            b.iter(|| rewriting.evaluate(&chain, &inst, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("left-assoc", n), &n, |b, _| {
+            b.iter(|| baseline.evaluate(&chain, &inst, &registry).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_diag_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_diag_pushdown");
+    let registry = FunctionRegistry::standard_field();
+    let expr = Expr::var("A").mm(Expr::var("v").diag());
+    let rewriting = Engine::new();
+    let baseline = Engine::new().without_cost_rewrites();
+    for &n in &[160usize, 320, 640] {
+        let dense: Matrix<Real> = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|k| Real(((k % 7) + 1) as f64)).collect(),
+        )
+        .unwrap();
+        let v: Matrix<Real> =
+            Matrix::from_vec(n, 1, (0..n).map(|i| Real(((i % 5) + 1) as f64)).collect()).unwrap();
+        let inst: Instance<Real> = Instance::new()
+            .with_dim("n", n)
+            .with_matrix("A", dense)
+            .with_matrix("v", v);
+        group.bench_with_input(BenchmarkId::new("fused-scaling", n), &n, |b, _| {
+            b.iter(|| rewriting.evaluate(&expr, &inst, &registry).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("materialized-diag", n), &n, |b, _| {
+            b.iter(|| baseline.evaluate(&expr, &inst, &registry).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ones_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_ones_pushdown");
+    let registry = FunctionRegistry::<Boolean>::new();
+    let g = || Expr::var("G");
+    let expr = g().mm(g()).mm(g()).ones();
+    let rewriting = Engine::new();
+    let baseline = Engine::new().without_cost_rewrites();
+    let n = 2000;
+    let inst = sparse_instance(n, 77);
+    group.bench_with_input(BenchmarkId::new("row-source", n), &n, |b, _| {
+        b.iter(|| rewriting.evaluate(&expr, &inst, &registry).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("full-product", n), &n, |b, _| {
+        b.iter(|| baseline.evaluate(&expr, &inst, &registry).unwrap())
+    });
+    group.finish();
+}
+
+fn run(c: &mut Criterion) {
+    bench_chain_reorder(c);
+    bench_diag_pushdown(c);
+    bench_ones_pushdown(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = sparse_criterion();
+    targets = run
+}
+criterion_main!(benches);

@@ -67,7 +67,7 @@ mod tests {
     }
 
     #[test]
-    fn sparse_spmm_beats_dense_matmul_on_sparse_graphs() {
+    fn timing_guard_sparse_spmm_beats_dense_matmul() {
         // A coarse wall-clock guard for the sparse subsystem's acceptance
         // point: squaring a 2000-node, average-degree-8 Boolean adjacency
         // matrix must be faster in CSR than dense.  The release-mode margin

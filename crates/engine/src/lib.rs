@@ -8,11 +8,16 @@
 //!
 //! * [`Planner`] compiles a type-checked [`matlang_core::Expr`] into a
 //!   DAG-shaped physical [`Plan`]: the algebraic rewriter
-//!   (`matlang_core::rewrite`) runs first, structurally identical
-//!   subexpressions are hash-consed to a single node (CSE), loop-invariant
-//!   nodes are identified, and a simple nnz/density cost model built from
-//!   [`InstanceStats`] chooses a storage representation per node and marks
-//!   heavy products for the threaded kernels.
+//!   (`matlang_core::rewrite`) runs first, then the **cost-based rewrite
+//!   layer** ([`rewrite`]) reorders matrix chains by the classic DP,
+//!   pushes transposes into products and `1(e)` onto its row source, and
+//!   products against a diagonalized vector are fused into scaling
+//!   kernels; structurally identical subexpressions are hash-consed to a
+//!   single node (CSE), loop-invariant nodes are identified, and a simple
+//!   nnz/density cost model built from [`InstanceStats`] chooses a
+//!   storage representation per node and marks heavy products for the
+//!   threaded kernels.  Every cost-based rewrite is recorded in the
+//!   [`PlanReport`].
 //! * [`Executor`] evaluates the DAG with one memoized result per shared or
 //!   loop-invariant node, dropping cache entries precisely when a loop
 //!   rebinds a variable they depend on — so hoisting falls out of cache
@@ -22,14 +27,20 @@
 //!   many queries over one instance with a shared node cache
 //!   ([`Engine::evaluate_batch`]).
 //!
-//! Results are bit-identical to [`matlang_core::evaluate`] on every
-//! storage backend — same values, same error cases, same floating-point
-//! operation order (the threaded kernels partition rows without changing
-//! per-row arithmetic; the `rewrite::simplify` pre-pass is gated by
-//! [`constants_fold_exactly`] so its ℝ-based constant folding never runs
-//! over a semiring where it would change results).  The `engine_parity`
-//! test suite enforces this over the full evaluator corpus and randomized
-//! expressions across the Boolean, ℕ and tropical semirings.
+//! Results agree with [`matlang_core::evaluate`] on every storage backend
+//! — same values, same error cases (the threaded kernels partition rows
+//! without changing per-row arithmetic; the `rewrite::simplify` pre-pass
+//! is gated by [`constants_fold_exactly`] so its ℝ-based constant folding
+//! never runs over a semiring where it would change results; the
+//! cost-based rules are semiring identities whose reordering/dropping is
+//! additionally gated on provable totality, so error discriminants and
+//! their order are preserved too).  Chain reordering does change the
+//! *association* of products, so over ℝ floating point the low-order bits
+//! can differ when intermediates round — disable with
+//! [`Engine::without_cost_rewrites`] for strict operation-order parity.
+//! The `engine_parity` test suite enforces agreement over the full
+//! evaluator corpus and randomized expressions across the Boolean, ℕ and
+//! tropical semirings.
 //!
 //! ```
 //! use matlang_core::{Expr, FunctionRegistry, Instance};
@@ -52,10 +63,14 @@
 pub mod exec;
 pub mod plan;
 pub mod planner;
+pub mod rewrite;
 
 pub use exec::{ExecOptions, ExecStats, Executor, NodeCache};
-pub use plan::{NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice};
+pub use plan::{
+    AppliedRewrite, NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice,
+};
 pub use planner::{InstanceStats, PlanOptions, Planner, VarStats};
+pub use rewrite::{rewrite_with_stats, RewriteOutcome};
 
 use matlang_core::{EvalError, Expr, FunctionRegistry, Instance};
 use matlang_matrix::MatrixStorage;
@@ -156,6 +171,16 @@ impl Engine {
     /// [`PlanOptions::simplify`] for when that matters).
     pub fn without_simplify(mut self) -> Self {
         self.plan_options.simplify = false;
+        self
+    }
+
+    /// Disables the cost-based rewrite layer — chain reordering,
+    /// transpose/ones pushdown and diag-product fusion (see
+    /// [`PlanOptions::cost_rewrites`]).  Useful for strict
+    /// operation-order parity with the tree evaluator and as the
+    /// baseline in the `rewrite_speedup` benchmark.
+    pub fn without_cost_rewrites(mut self) -> Self {
+        self.plan_options.cost_rewrites = false;
         self
     }
 

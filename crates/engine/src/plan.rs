@@ -72,6 +72,25 @@ pub enum PlanOp {
     ScalarMul(NodeId, NodeId),
     /// Hadamard product `e₁ ∘ e₂`.
     Hadamard(NodeId, NodeId),
+    /// Fused `diag(vec) · mat` — the planner's diag-pushdown rewrite of a
+    /// product with a diagonalized left operand.  Evaluates `vec` first and
+    /// `mat` second, exactly as the unfused `MatMul(Diag(vec), mat)` would,
+    /// and runs [`matlang_matrix::MatrixStorage::scale_rows`] instead of
+    /// materializing the diagonal.
+    ScaleRows {
+        /// The scaling vector (the operand of the fused `diag`).
+        vec: NodeId,
+        /// The matrix whose rows are scaled.
+        mat: NodeId,
+    },
+    /// Fused `mat · diag(vec)`; the column-scaling mirror of
+    /// [`PlanOp::ScaleRows`], evaluating `mat` first.
+    ScaleCols {
+        /// The matrix whose columns are scaled.
+        mat: NodeId,
+        /// The scaling vector (the operand of the fused `diag`).
+        vec: NodeId,
+    },
     /// Pointwise function application `f(e₁, …, e_k)`.
     Apply(String, Vec<NodeId>),
     /// `let var = value in body`.
@@ -137,6 +156,8 @@ impl PlanOp {
             | PlanOp::Add(a, b)
             | PlanOp::ScalarMul(a, b)
             | PlanOp::Hadamard(a, b) => vec![*a, *b],
+            PlanOp::ScaleRows { vec, mat } => vec![*vec, *mat],
+            PlanOp::ScaleCols { mat, vec } => vec![*mat, *vec],
             PlanOp::Apply(_, args) => args.clone(),
             PlanOp::Let { value, body, .. } => vec![*value, *body],
             PlanOp::For { init, body, .. } => {
@@ -223,6 +244,22 @@ pub struct PlanNode {
     pub est: Option<NodeEstimate>,
 }
 
+/// One application of a cost-based rewrite rule, recorded in the
+/// [`PlanReport`] so that tests, the query server and the
+/// `rewrite_speedup` benchmark can see exactly what the planner changed
+/// and what it expects to gain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppliedRewrite {
+    /// The rule identifier: `"matrix-chain-reorder"`,
+    /// `"transpose-pushdown"`, `"ones-pushdown"` or `"diag-pushdown"`.
+    pub rule: &'static str,
+    /// A human-readable summary of the rewritten site.
+    pub detail: String,
+    /// Estimated semiring operations saved per evaluation (from the same
+    /// nnz/density cost model the planner's representation choices use).
+    pub saving: f64,
+}
+
 /// What the planner did, in numbers — exposed for reports, tests and the
 /// `planner_speedup` benchmark.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -250,6 +287,20 @@ pub struct PlanReport {
     /// Elementwise (add/Hadamard) nodes marked for the row-partitioned
     /// parallel kernel.
     pub parallel_elementwise: usize,
+    /// Every cost-based rewrite the planner applied (chain reordering,
+    /// transpose/ones pushdown, diag fusion), in application order.
+    pub rewrites: Vec<AppliedRewrite>,
+    /// Product nodes fused into [`PlanOp::ScaleRows`] /
+    /// [`PlanOp::ScaleCols`] kernels.
+    pub fused_products: usize,
+}
+
+impl PlanReport {
+    /// Total estimated semiring operations saved per evaluation by the
+    /// cost-based rewrites, summed over [`PlanReport::rewrites`].
+    pub fn rewrite_savings(&self) -> f64 {
+        self.rewrites.iter().map(|r| r.saving).sum()
+    }
 }
 
 impl fmt::Display for PlanReport {
@@ -258,7 +309,8 @@ impl fmt::Display for PlanReport {
             f,
             "{} quer{} · {} tree nodes → {} dag nodes ({} shared, {} hoistable) · \
              simplify saved {} · repr {} dense / {} sparse · {} parallel products · \
-             {} parallel elementwise",
+             {} parallel elementwise · {} cost rewrites (≈{:.0} ops saved) · \
+             {} fused products",
             self.queries,
             if self.queries == 1 { "y" } else { "ies" },
             self.tree_nodes,
@@ -270,6 +322,9 @@ impl fmt::Display for PlanReport {
             self.sparse_nodes,
             self.parallel_products,
             self.parallel_elementwise,
+            self.rewrites.len(),
+            self.rewrite_savings(),
+            self.fused_products,
         )
     }
 }
@@ -304,6 +359,23 @@ impl Plan {
     /// The nodes whose cached value must be dropped when `var` is rebound.
     pub fn dependents_of(&self, var: &str) -> &[NodeId] {
         self.dependents.get(var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A fingerprint of the plan's **physical structure**: the interned
+    /// operation of every node plus the root list.  Because the cost-based
+    /// rewrite layer can produce different DAGs for the same query texts
+    /// (chain association and kernel fusion depend on instance
+    /// statistics), this is the value that identifies *which* rewritten
+    /// DAG a prepared statement actually executes — the query server
+    /// reports it on every `PREPARE` so clients can tell plan variants
+    /// apart.
+    pub fn structure_fingerprint(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for node in &self.nodes {
+            node.op.hash(&mut hasher);
+        }
+        self.roots.hash(&mut hasher);
+        hasher.finish()
     }
 
     /// Marks **every** node cacheable, not just the shared and hoistable

@@ -18,7 +18,9 @@
 //!    (density against the thresholds of [`matlang_matrix::repr`]), and
 //!    mark products heavy enough for the row-partitioned parallel kernel.
 
-use crate::plan::{ConstVal, NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice};
+use crate::plan::{
+    AppliedRewrite, ConstVal, NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice,
+};
 use matlang_core::{rewrite, Dim, Expr, Instance, MatrixType};
 use matlang_matrix::repr::{MIN_ADAPTIVE_ENTRIES, SPARSIFY_THRESHOLD};
 use matlang_matrix::MatrixStorage;
@@ -40,6 +42,18 @@ pub struct PlanOptions {
     /// would change results (tropical min/max-plus, 𝔹/ℕ/ℤ with negative
     /// or fractional literals).
     pub simplify: bool,
+    /// Run the cost-based rewrite layer ([`crate::rewrite`]) on every
+    /// query before building the DAG, and fuse `diag(v) · A` / `A ·
+    /// diag(v)` products into the scaling kernels (default `true`).
+    ///
+    /// Unlike [`simplify`](PlanOptions::simplify), these rules are
+    /// identities in every commutative semiring (no constants are
+    /// interpreted), so no per-semiring gating is needed.  They do change
+    /// the association of products, so over ℝ floating point the result
+    /// can differ from the tree evaluator's in the low-order bits when
+    /// intermediate values round; disable for strict operation-order
+    /// parity.
+    pub cost_rewrites: bool,
     /// Estimated semiring multiplications above which a product node is
     /// marked for the threaded kernel (default `1e6`): below roughly a
     /// million multiply-adds, thread spawn/join overhead eats the win.
@@ -50,6 +64,7 @@ impl Default for PlanOptions {
     fn default() -> Self {
         PlanOptions {
             simplify: true,
+            cost_rewrites: true,
             parallel_work_threshold: 1e6,
         }
     }
@@ -107,12 +122,17 @@ impl InstanceStats {
     /// A fingerprint of the instance's **schema-level** shape: size-symbol
     /// assignments plus per-variable dimensions, deliberately excluding
     /// non-zero counts.  Two instances with the same fingerprint produce
-    /// structurally interchangeable plans (node set, roots and dependency
-    /// index are functions of the queries and shapes alone; nnz only tunes
-    /// the advisory representation/parallelism hints), so a plan cache —
-    /// e.g. the query server's prepared-statement cache — can key on
-    /// `(query fingerprint, schema fingerprint)` and keep serving a cached
-    /// plan across incremental instance updates.
+    /// mutually *valid* plans: the node set, roots and dependency index
+    /// are functions of the queries and shapes alone, while nnz tunes the
+    /// advisory representation/parallelism hints **and**, with the
+    /// cost-based rewrite layer, the chosen chain association and kernel
+    /// fusions — every such variant evaluates identically over any
+    /// same-schema instance, it is merely cost-tuned for the nnz profile
+    /// it was planned against ([`crate::Plan::structure_fingerprint`]
+    /// identifies the variant).  A plan cache — e.g. the query server's
+    /// prepared-statement cache — can therefore key on `(query
+    /// fingerprint, schema fingerprint)` and keep serving a cached plan
+    /// across incremental instance updates.
     pub fn schema_fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
@@ -128,7 +148,7 @@ impl InstanceStats {
         hasher.finish()
     }
 
-    fn dim(&self, sym: &str) -> Option<usize> {
+    pub(crate) fn dim(&self, sym: &str) -> Option<usize> {
         self.dims.get(sym).copied()
     }
 
@@ -139,7 +159,7 @@ impl InstanceStats {
         }
     }
 
-    fn shape_of(&self, ty: &MatrixType) -> Option<(usize, usize)> {
+    pub(crate) fn shape_of(&self, ty: &MatrixType) -> Option<(usize, usize)> {
         Some((self.dim_value(&ty.rows)?, self.dim_value(&ty.cols)?))
     }
 }
@@ -177,18 +197,25 @@ impl Planner {
             dedup: HashMap::new(),
             scope: Vec::new(),
             loops: Vec::new(),
+            fused: Vec::new(),
         };
         let mut roots = Vec::with_capacity(queries.len());
         for query in queries {
-            let planned = if self.options.simplify {
+            let mut planned = if self.options.simplify {
                 report.simplify_savings += rewrite::savings(query);
                 rewrite::simplify(query)
             } else {
                 query.clone()
             };
+            if self.options.cost_rewrites {
+                let outcome = crate::rewrite::rewrite_with_stats(&planned, stats);
+                report.rewrites.extend(outcome.applied);
+                planned = outcome.expr;
+            }
             report.tree_nodes += planned.size();
             roots.push(builder.build(&planned));
         }
+        report.rewrites.append(&mut builder.fused);
         let mut nodes = builder.nodes;
         let mut dependents: HashMap<String, Vec<NodeId>> = HashMap::new();
         for (id, node) in nodes.iter_mut().enumerate() {
@@ -209,6 +236,9 @@ impl Planner {
                     PlanOp::MatMul(_, _) => report.parallel_products += 1,
                     _ => report.parallel_elementwise += 1,
                 }
+            }
+            if matches!(node.op, PlanOp::ScaleRows { .. } | PlanOp::ScaleCols { .. }) {
+                report.fused_products += 1;
             }
             for var in &node.free_vars {
                 dependents.entry(var.clone()).or_default().push(id);
@@ -251,6 +281,9 @@ struct Builder<'a> {
     scope: Vec<(String, Option<VarStats>)>,
     /// The enclosing loops' bound-variable names, innermost last.
     loops: Vec<Vec<String>>,
+    /// Diag-pushdown fusions performed while building, merged into
+    /// [`PlanReport::rewrites`] afterwards.
+    fused: Vec<AppliedRewrite>,
 }
 
 impl Builder<'_> {
@@ -271,6 +304,31 @@ impl Builder<'_> {
                 self.intern(PlanOp::Diag(a))
             }
             Expr::MatMul(a, b) => {
+                // Diag pushdown: fuse `diag(v) · B` / `A · diag(v)` into
+                // the scaling kernels when the statistics certify the
+                // shapes (so the fused kernel cannot hit an error case the
+                // unfused product would not).  Child build order matches
+                // the unfused product's evaluation order exactly.
+                if self.options.cost_rewrites {
+                    if let Expr::Diag(v) = a.as_ref() {
+                        let vec = self.build(v);
+                        let mat = self.build(b);
+                        if let Some(op) = self.try_fuse_diag(vec, mat, true) {
+                            return op;
+                        }
+                        let diag = self.intern(PlanOp::Diag(vec));
+                        return self.intern(PlanOp::MatMul(diag, mat));
+                    }
+                    if let Expr::Diag(v) = b.as_ref() {
+                        let mat = self.build(a);
+                        let vec = self.build(v);
+                        if let Some(op) = self.try_fuse_diag(vec, mat, false) {
+                            return op;
+                        }
+                        let diag = self.intern(PlanOp::Diag(vec));
+                        return self.intern(PlanOp::MatMul(mat, diag));
+                    }
+                }
                 let (a, b) = (self.build(a), self.build(b));
                 self.intern(PlanOp::MatMul(a, b))
             }
@@ -382,6 +440,60 @@ impl Builder<'_> {
         body_id
     }
 
+    /// Interns the fused scaling node for `diag(vec) · mat` (`row_side`)
+    /// or `mat · diag(vec)` when the estimates certify that `vec` is a
+    /// vector of the matching dimension — the condition under which the
+    /// fused kernel is value- and error-equivalent to the unfused
+    /// product.  Returns `None` (caller falls back to `Diag` + `MatMul`)
+    /// when the statistics cannot certify the shapes.
+    fn try_fuse_diag(&mut self, vec: NodeId, mat: NodeId, row_side: bool) -> Option<NodeId> {
+        let (ve, me) = (self.nodes[vec].est?, self.nodes[mat].est?);
+        if ve.cols != 1 {
+            return None;
+        }
+        let matched = if row_side {
+            ve.rows == me.rows
+        } else {
+            me.cols == ve.rows
+        };
+        if !matched {
+            return None;
+        }
+        // Unfused: the cheaper product kernel against the materialized
+        // diagonal; fused: one pass over the matrix's stored entries.
+        let diag_est = NodeEstimate {
+            rows: ve.rows,
+            cols: ve.rows,
+            ..ve
+        };
+        let (l, r) = if row_side {
+            (diag_est, me)
+        } else {
+            (me, diag_est)
+        };
+        let (_, own_work) = product_cost((l.rows, l.cols, l.nnz), (r.rows, r.cols, r.nnz));
+        let unfused = own_work + ve.nnz;
+        let saving = (unfused - me.nnz).max(0.0);
+        self.fused.push(AppliedRewrite {
+            rule: "diag-pushdown",
+            detail: if row_side {
+                format!("diag(v) · [{}×{}] fused into row scaling", me.rows, me.cols)
+            } else {
+                format!(
+                    "[{}×{}] · diag(v) fused into column scaling",
+                    me.rows, me.cols
+                )
+            },
+            saving,
+        });
+        let op = if row_side {
+            PlanOp::ScaleRows { vec, mat }
+        } else {
+            PlanOp::ScaleCols { mat, vec }
+        };
+        Some(self.intern(op))
+    }
+
     fn intern(&mut self, op: PlanOp) -> NodeId {
         let free_vars = self.free_vars_of(&op);
         let scope_sig: Vec<(String, Option<VarStats>)> = free_vars
@@ -432,7 +544,9 @@ impl Builder<'_> {
             PlanOp::MatMul(a, b)
             | PlanOp::Add(a, b)
             | PlanOp::ScalarMul(a, b)
-            | PlanOp::Hadamard(a, b) => {
+            | PlanOp::Hadamard(a, b)
+            | PlanOp::ScaleRows { vec: a, mat: b }
+            | PlanOp::ScaleCols { mat: a, vec: b } => {
                 let mut out = of(a);
                 out.extend(of(b));
                 out
@@ -509,23 +623,13 @@ impl Builder<'_> {
                 if l.cols != r.rows {
                     return None;
                 }
-                // Gustavson visits, for every stored left entry, the
-                // matching right row; the dense kernel scans `rows × inner
-                // × cols`.  The executor picks whichever fits the operand
-                // representations, so cost with the cheaper of the two.
-                let per_right_row = if r.rows > 0 {
-                    r.nnz / r.rows as f64
-                } else {
-                    0.0
-                };
-                let sparse_work = l.nnz * per_right_row;
-                let dense_work = (l.rows as f64) * (l.cols as f64) * (r.cols as f64);
-                let own_work = sparse_work.min(dense_work);
+                let (nnz, own_work) =
+                    product_cost((l.rows, l.cols, l.nnz), (r.rows, r.cols, r.nnz));
                 let parallel = own_work >= self.options.parallel_work_threshold;
                 Some(finish(
                     l.rows,
                     r.cols,
-                    sparse_work,
+                    nnz,
                     l.work + r.work + own_work,
                     parallel,
                 ))
@@ -556,6 +660,23 @@ impl Builder<'_> {
                 let nnz = l.nnz.min(r.nnz);
                 let parallel = (l.rows * l.cols) as f64 >= self.options.parallel_work_threshold;
                 Some(finish(l.rows, l.cols, nnz, l.work + r.work + nnz, parallel))
+            }
+            PlanOp::ScaleRows { vec, mat } | PlanOp::ScaleCols { mat, vec } => {
+                let (v, m) = (est(vec)?, est(mat)?);
+                // One pass over the matrix's stored entries; rows whose
+                // scale entry is absent drop out of the result.
+                let scale_frac = if v.rows > 0 {
+                    (v.nnz / v.rows as f64).min(1.0)
+                } else {
+                    0.0
+                };
+                Some(finish(
+                    m.rows,
+                    m.cols,
+                    m.nnz * scale_frac,
+                    v.work + m.work + m.nnz,
+                    false,
+                ))
             }
             PlanOp::Apply(_, args) => {
                 // Arbitrary pointwise functions need not preserve zeros:
@@ -636,6 +757,30 @@ impl Builder<'_> {
     }
 }
 
+/// Estimated `(result nnz, own work)` of one matrix product from the
+/// operands' `(rows, cols, nnz)` — **the** product-cost formula, shared
+/// by the planner's node estimates, the diag-fusion gate and the
+/// cost-based rewriter's chain DP so all of them price products against
+/// the same model.  Gustavson visits, for every stored left entry, the
+/// matching right row; the dense kernel scans `rows × inner × cols`; the
+/// executor picks whichever fits the operand representations, so cost
+/// with the cheaper of the two.  The nnz estimate is capped at the
+/// output shape.
+pub(crate) fn product_cost(
+    (l_rows, l_cols, l_nnz): (usize, usize, f64),
+    (r_rows, r_cols, r_nnz): (usize, usize, f64),
+) -> (f64, f64) {
+    let per_right_row = if r_rows > 0 {
+        r_nnz / r_rows as f64
+    } else {
+        0.0
+    };
+    let sparse_work = l_nnz * per_right_row;
+    let dense_work = (l_rows as f64) * (l_cols as f64) * (r_cols as f64);
+    let nnz = sparse_work.min((l_rows * r_cols) as f64);
+    (nnz, sparse_work.min(dense_work))
+}
+
 /// Clamps the non-zero estimate to the shape and derives the
 /// representation choice from the density thresholds of
 /// [`matlang_matrix::repr`].
@@ -704,9 +849,16 @@ mod tests {
 
     #[test]
     fn loop_invariant_nodes_are_marked_hoistable() {
-        // Σv. vᵀ·(GᵀG)·v — the Gram matrix does not mention v.
+        // Σv. vᵀ·(GᵀG)·v — the Gram matrix does not mention v.  Planned
+        // with cost rewrites off: this test pins the hoisting *analysis*,
+        // and the chain reorderer would (correctly) trade the hoisted
+        // Gram product for per-iteration vector chains here.
         let e = Expr::sum("v", "n", Expr::var("v").t().mm(gram()).mm(Expr::var("v")));
-        let plan = Planner::new().plan_one(&e, &stats());
+        let plan = Planner::with_options(PlanOptions {
+            cost_rewrites: false,
+            ..PlanOptions::default()
+        })
+        .plan_one(&e, &stats());
         let gram_node = plan
             .nodes()
             .iter()

@@ -69,7 +69,7 @@ fn four_clique_plan_shares_and_hoists() {
 /// loop-invariant Gram product on all `n` iterations while the engine
 /// computes it once.
 #[test]
-fn engine_beats_naive_evaluation_on_hoisting_heavy_query() {
+fn timing_guard_engine_beats_naive_evaluation_on_hoisting_heavy_query() {
     let n = 300;
     let graph = sparse_erdos_renyi::<Nat>(n, 8.0, 21);
     let inst: SparseInstance<Nat> = Instance::new()

@@ -89,6 +89,78 @@ impl<K: Semiring> Matrix<K> {
         }
     }
 
+    /// Fused `diag(scale) · self` for an `n × 1` vector `scale`: row `i` of
+    /// the result is row `i` of `self` scaled by `scale[i]`.  Semantically
+    /// identical to materializing the diagonal matrix and multiplying, but
+    /// `O(rows × cols)` instead of the product's inner loop — and without
+    /// the `O(rows²)` intermediate.  The accumulation replays exactly what
+    /// [`Matrix::matmul`] would do for a diagonal left operand (zero rows
+    /// skip, every output entry is `0 ⊕ (s ⊙ a)`), so the result is
+    /// bit-identical to the unfused product.
+    pub fn scale_rows(&self, scale: &Matrix<K>) -> Result<Matrix<K>> {
+        if !scale.is_vector() {
+            return Err(MatrixError::NotAVector {
+                shape: scale.shape(),
+            });
+        }
+        if scale.rows() != self.rows() {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: (scale.rows(), scale.rows()),
+                right: self.shape(),
+            });
+        }
+        let (n, m) = self.shape();
+        let lhs = self.entries();
+        let mut out = vec![K::zero(); n * m];
+        for i in 0..n {
+            let s = scale.get(i, 0)?;
+            if s.is_zero() {
+                continue;
+            }
+            let src = &lhs[i * m..(i + 1) * m];
+            for (acc, a) in out[i * m..(i + 1) * m].iter_mut().zip(src) {
+                *acc = acc.add(&s.mul(a));
+            }
+        }
+        Matrix::from_vec(n, m, out)
+    }
+
+    /// Fused `self · diag(scale)` for an `m × 1` vector `scale`: column `j`
+    /// of the result is column `j` of `self` scaled by `scale[j]`.  The
+    /// fused counterpart of [`Matrix::scale_rows`] on the right — the
+    /// unfused dense product costs `O(rows × cols²)` because the kernel
+    /// only skips zero *left* entries; this is `O(rows × cols)`.
+    pub fn scale_cols(&self, scale: &Matrix<K>) -> Result<Matrix<K>> {
+        if !scale.is_vector() {
+            return Err(MatrixError::NotAVector {
+                shape: scale.shape(),
+            });
+        }
+        if self.cols() != scale.rows() {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: (scale.rows(), scale.rows()),
+            });
+        }
+        let (n, m) = self.shape();
+        let lhs = self.entries();
+        let mut out = vec![K::zero(); n * m];
+        for i in 0..n {
+            for j in 0..m {
+                let a = &lhs[i * m + j];
+                if a.is_zero() {
+                    continue;
+                }
+                let s = scale.get(j, 0)?;
+                if s.is_zero() {
+                    continue;
+                }
+                out[i * m + j] = out[i * m + j].add(&a.mul(s));
+            }
+        }
+        Matrix::from_vec(n, m, out)
+    }
+
     /// Hadamard (pointwise) product `e₁ ∘ e₂` (entrywise `⊙`, Section 6.2).
     pub fn hadamard(&self, other: &Matrix<K>) -> Result<Matrix<K>> {
         if self.shape() != other.shape() {

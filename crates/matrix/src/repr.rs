@@ -292,6 +292,34 @@ impl<K: Semiring> MatrixRepr<K> {
         Ok(MatrixRepr::Sparse(self.to_sparse().diag()?).normalized())
     }
 
+    /// Fused `diag(scale) · self`, dispatched to the matching
+    /// representation's fused kernel; the `n × 1` scale vector is converted
+    /// (an `O(n)` copy) when its representation differs from the matrix's.
+    /// Values agree exactly with `scale.diag()?.matmul(self)` — both
+    /// kernels compute the lawful `s ⊙ a` per entry.
+    pub fn scale_rows(&self, scale: &Self) -> Result<Self> {
+        use MatrixRepr::{Dense, Sparse};
+        let out = match (self, scale) {
+            (Dense(m), Dense(v)) => Dense(m.scale_rows(v)?),
+            (Dense(m), Sparse(v)) => Dense(m.scale_rows(&v.to_dense())?),
+            (Sparse(m), Sparse(v)) => Sparse(m.scale_rows(v)?),
+            (Sparse(m), Dense(v)) => Sparse(m.scale_rows(&SparseMatrix::from_dense(v))?),
+        };
+        Ok(out.normalized())
+    }
+
+    /// Fused `self · diag(scale)`; see [`MatrixRepr::scale_rows`].
+    pub fn scale_cols(&self, scale: &Self) -> Result<Self> {
+        use MatrixRepr::{Dense, Sparse};
+        let out = match (self, scale) {
+            (Dense(m), Dense(v)) => Dense(m.scale_cols(v)?),
+            (Dense(m), Sparse(v)) => Dense(m.scale_cols(&v.to_dense())?),
+            (Sparse(m), Sparse(v)) => Sparse(m.scale_cols(v)?),
+            (Sparse(m), Dense(v)) => Sparse(m.scale_cols(&SparseMatrix::from_dense(v))?),
+        };
+        Ok(out.normalized())
+    }
+
     /// The trace of a square matrix.
     pub fn trace(&self) -> Result<K> {
         match self {

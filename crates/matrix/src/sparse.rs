@@ -580,6 +580,71 @@ impl<K: Semiring> SparseMatrix<K> {
         Ok(out.build())
     }
 
+    /// Fused `diag(scale) · self` for an `n × 1` vector `scale`: row `i` of
+    /// the result is row `i` of `self` scaled by `scale[i]`.  Replays the
+    /// Gustavson kernel's per-row operations for a diagonal left operand
+    /// (an absent `scale[i]` empties the row, each surviving entry is the
+    /// single term `s ⊙ a`, zero products are dropped by the builder), so
+    /// the result is bit-identical to `scale.diag()?.matmul(self)` without
+    /// materializing the diagonal.
+    pub fn scale_rows(&self, scale: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        if !scale.is_vector() {
+            return Err(MatrixError::NotAVector {
+                shape: scale.shape(),
+            });
+        }
+        if scale.rows != self.rows {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: (scale.rows, scale.rows),
+                right: self.shape(),
+            });
+        }
+        let mut out = CsrBuilder::new(self.rows, self.cols, self.nnz());
+        for i in 0..self.rows {
+            let (_, svals) = scale.row_slices(i);
+            if let Some(s) = svals.first() {
+                let (cols, vals) = self.row_slices(i);
+                for (&j, a) in cols.iter().zip(vals) {
+                    out.push(j, s.mul(a));
+                }
+            }
+            out.finish_row();
+        }
+        Ok(out.build())
+    }
+
+    /// Fused `self · diag(scale)` for an `m × 1` vector `scale`: column `j`
+    /// of the result is column `j` of `self` scaled by `scale[j]`.
+    /// Bit-identical to `self.matmul(&scale.diag()?)` — the Gustavson
+    /// kernel visits the stored entries of each row in ascending column
+    /// order and a diagonal right row contributes at most one term, which
+    /// is exactly this loop.
+    pub fn scale_cols(&self, scale: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        if !scale.is_vector() {
+            return Err(MatrixError::NotAVector {
+                shape: scale.shape(),
+            });
+        }
+        if self.cols != scale.rows {
+            return Err(MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: (scale.rows, scale.rows),
+            });
+        }
+        let mut out = CsrBuilder::new(self.rows, self.cols, self.nnz());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row_slices(i);
+            for (&j, a) in cols.iter().zip(vals) {
+                let (_, svals) = scale.row_slices(j);
+                if let Some(s) = svals.first() {
+                    out.push(j, a.mul(s));
+                }
+            }
+            out.finish_row();
+        }
+        Ok(out.build())
+    }
+
     /// The main diagonal of a square matrix, as an `n × 1` vector.
     pub fn diagonal_vector(&self) -> Result<SparseMatrix<K>> {
         if !self.is_square() {

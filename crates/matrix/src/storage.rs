@@ -164,6 +164,25 @@ pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'stat
     /// matrix.
     fn diag(&self) -> Result<Self>;
 
+    /// Fused `diag(scale) · self` for an `n × 1` vector `scale` — the
+    /// kernel behind the planner's diag-pushdown rewrite, which turns
+    /// `diag(v) · A` into a row scaling instead of materializing the
+    /// `n × n` diagonal and multiplying.  Implementations must agree
+    /// exactly with the default (diagonalize, then multiply), including
+    /// the error cases and their order: a non-vector `scale` fails like
+    /// [`diag`](MatrixStorage::diag), a row-count mismatch fails like the
+    /// product would.
+    fn scale_rows(&self, scale: &Self) -> Result<Self> {
+        scale.diag()?.matmul(self)
+    }
+
+    /// Fused `self · diag(scale)` for an `m × 1` vector `scale`: the
+    /// column-scaling mirror of [`scale_rows`](MatrixStorage::scale_rows),
+    /// with the same agreement requirements.
+    fn scale_cols(&self, scale: &Self) -> Result<Self> {
+        self.matmul(&scale.diag()?)
+    }
+
     /// The trace of a square matrix.
     fn trace(&self) -> Result<Self::Elem>;
 
@@ -271,6 +290,14 @@ impl<K: Semiring> MatrixStorage for Matrix<K> {
         Matrix::diag(self)
     }
 
+    fn scale_rows(&self, scale: &Self) -> Result<Self> {
+        Matrix::scale_rows(self, scale)
+    }
+
+    fn scale_cols(&self, scale: &Self) -> Result<Self> {
+        Matrix::scale_cols(self, scale)
+    }
+
     fn trace(&self) -> Result<K> {
         Matrix::trace(self)
     }
@@ -367,6 +394,14 @@ impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
 
     fn diag(&self) -> Result<Self> {
         SparseMatrix::diag(self)
+    }
+
+    fn scale_rows(&self, scale: &Self) -> Result<Self> {
+        SparseMatrix::scale_rows(self, scale)
+    }
+
+    fn scale_cols(&self, scale: &Self) -> Result<Self> {
+        SparseMatrix::scale_cols(self, scale)
     }
 
     fn trace(&self) -> Result<K> {
@@ -484,6 +519,14 @@ impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
         MatrixRepr::diag(self)
     }
 
+    fn scale_rows(&self, scale: &Self) -> Result<Self> {
+        MatrixRepr::scale_rows(self, scale)
+    }
+
+    fn scale_cols(&self, scale: &Self) -> Result<Self> {
+        MatrixRepr::scale_cols(self, scale)
+    }
+
     fn trace(&self) -> Result<K> {
         MatrixRepr::trace(self)
     }
@@ -541,6 +584,23 @@ mod tests {
             vec.diag().unwrap().to_dense(),
             Matrix::from_f64_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap()
         );
+        // The fused diagonal-product kernels must agree exactly with
+        // materializing the diagonal and multiplying.
+        let scale = M::from_dense(Matrix::from_f64_rows(&[&[3.0], &[0.0]]).unwrap());
+        assert_eq!(
+            ma.scale_rows(&scale).unwrap().to_dense(),
+            scale.diag().unwrap().matmul(&ma).unwrap().to_dense()
+        );
+        assert_eq!(
+            ma.scale_cols(&scale).unwrap().to_dense(),
+            ma.matmul(&scale.diag().unwrap()).unwrap().to_dense()
+        );
+        // Error cases mirror the unfused path: non-vector scale, mismatch.
+        assert!(ma.scale_rows(&mb).is_err());
+        assert!(ma.scale_cols(&mb).is_err());
+        let long = M::from_dense(Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap());
+        assert!(ma.scale_rows(&long).is_err());
+        assert!(ma.scale_cols(&long).is_err());
     }
 
     #[test]

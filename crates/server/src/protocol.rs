@@ -259,7 +259,8 @@ pub fn write_err(out: &mut impl Write, message: &str) -> std::io::Result<()> {
 pub fn write_result(out: &mut impl Write, result: &WireResult) -> std::io::Result<()> {
     writeln!(
         out,
-        "RESULT {} {} {} hits={} misses={} invalidations={} parallel={} elementwise={} nodes={}",
+        "RESULT {} {} {} hits={} misses={} invalidations={} parallel={} elementwise={} \
+         fused={} nodes={}",
         result.rows,
         result.cols,
         result.entries.len(),
@@ -268,6 +269,7 @@ pub fn write_result(out: &mut impl Write, result: &WireResult) -> std::io::Resul
         result.stats.invalidations,
         result.stats.parallel_products,
         result.stats.parallel_elementwise,
+        result.stats.fused_products,
         result.plan_nodes,
     )?;
     for (i, j, v) in &result.entries {
@@ -301,6 +303,7 @@ pub fn read_result(header: &str, input: &mut impl BufRead) -> Result<WireResult,
             "invalidations" => stats.invalidations = value,
             "parallel" => stats.parallel_products = value,
             "elementwise" => stats.parallel_elementwise = value,
+            "fused" => stats.fused_products = value,
             "nodes" => plan_nodes = value as usize,
             other => return Err(format!("unknown stat `{other}`")),
         }
@@ -412,6 +415,7 @@ mod tests {
                 invalidations: 1,
                 parallel_products: 1,
                 parallel_elementwise: 0,
+                fused_products: 3,
             },
             plan_nodes: 9,
         };

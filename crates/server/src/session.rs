@@ -117,7 +117,7 @@ fn dispatch(
         Request::Prepare { instance, text } => match store.prepare(&instance, &text) {
             Ok(outcome) => writeln!(
                 writer,
-                "OK prepared {} plan={} statement={} nodes={}",
+                "OK prepared {} plan={} statement={} nodes={} fp={:016x}",
                 outcome.qid,
                 if outcome.reused_plan {
                     "cached"
@@ -130,6 +130,7 @@ fn dispatch(
                     "new"
                 },
                 outcome.plan_nodes,
+                outcome.plan_fingerprint,
             ),
             Err(e) => write_err(writer, &e),
         },

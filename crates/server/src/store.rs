@@ -10,6 +10,17 @@
 //!   fingerprint)` ([`matlang_engine::expr_fingerprint`] /
 //!   [`InstanceStats::schema_fingerprint`]): two instances with the same
 //!   shape preparing the same queries share one hash-consed [`Plan`].
+//!   The cache is bounded at [`PLAN_CACHE_CAPACITY`] with
+//!   least-recently-used eviction, so a long-lived server preparing ever
+//!   new query batches cannot grow it without bound.  With the engine's
+//!   cost-based rewrite layer, the cached plan is the *rewritten* DAG —
+//!   its chain association and fused kernels were chosen from the
+//!   statistics of the instance that first planned it.  Any such variant
+//!   is semantically valid for every same-schema instance (the rules are
+//!   semiring identities over the shapes the schema fixes), merely tuned
+//!   for the first planner's nnz profile; [`Plan::structure_fingerprint`]
+//!   is reported on every `PREPARE` (wire token `fp=`) so clients can
+//!   tell which variant they got.
 //!
 //! Each instance carries its prepared statements plus **one shared
 //! [`NodeCache`]** over a single plan DAG covering *all* its prepared
@@ -113,12 +124,77 @@ pub struct PrepareOutcome {
     pub reused_plan: bool,
     /// DAG node count of the (batch) plan.
     pub plan_nodes: usize,
+    /// [`Plan::structure_fingerprint`] of the plan the statement will
+    /// execute.  The cost-based rewrite layer means the *rewritten* DAG —
+    /// not the query text — is what runs, and its shape depends on the
+    /// instance statistics at planning time; this fingerprint identifies
+    /// the variant (echoed on the wire as `fp=` so clients can tell two
+    /// plan variants of the same text apart).
+    pub plan_fingerprint: u64,
+}
+
+/// How many `(queries, schema)` plan variants the process-wide plan cache
+/// retains before evicting the least-recently-used one.  Plans are small
+/// next to instance data, but an unbounded cache would grow with every
+/// distinct prepared batch a long-lived server ever sees (ROADMAP item).
+pub const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// A minimal LRU map for shared plans: a `HashMap` plus a monotonically
+/// increasing use-stamp per entry; inserting at capacity evicts the entry
+/// with the smallest stamp.  Eviction scans the map — `O(capacity)` on
+/// insert — which is the right trade at this size (64 entries) versus
+/// carrying a linked order structure.
+struct LruPlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<(u64, u64), (Arc<Plan>, u64)>,
+}
+
+impl LruPlanCache {
+    fn new(capacity: usize) -> Self {
+        LruPlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up a plan, refreshing its recency on a hit.
+    fn get(&mut self, key: &(u64, u64)) -> Option<Arc<Plan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(plan, stamp)| {
+            *stamp = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry when the
+    /// cache is full and the key is new.
+    fn insert(&mut self, key: (u64, u64), plan: Arc<Plan>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(key, _)| key)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (plan, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// The shared server state; see the module docs.
 pub struct Store {
     instances: RwLock<HashMap<String, Arc<Mutex<ServerInstance>>>>,
-    plan_cache: Mutex<HashMap<(u64, u64), Arc<Plan>>>,
+    plan_cache: Mutex<LruPlanCache>,
     registry: FunctionRegistry<Real>,
     engine: Engine,
 }
@@ -131,14 +207,26 @@ impl Default for Store {
 
 impl Store {
     /// An empty store with the paper's standard pointwise functions
-    /// (`div`, `gt0`, …) registered.
+    /// (`div`, `gt0`, …) registered and the plan cache bounded at
+    /// [`PLAN_CACHE_CAPACITY`].
     pub fn new() -> Store {
+        Store::with_plan_cache_capacity(PLAN_CACHE_CAPACITY)
+    }
+
+    /// A store with an explicit plan-cache bound (used by the eviction
+    /// tests; servers want [`Store::new`]).
+    pub fn with_plan_cache_capacity(capacity: usize) -> Store {
         Store {
             instances: RwLock::new(HashMap::new()),
-            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache: Mutex::new(LruPlanCache::new(capacity)),
             registry: FunctionRegistry::standard_field(),
             engine: Engine::new(),
         }
+    }
+
+    /// Number of plans currently retained by the process-wide plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().expect("plan cache poisoned").len()
     }
 
     /// Creates a named instance.  Fails if the name is taken.
@@ -309,6 +397,11 @@ impl Store {
                 reused_statement: true,
                 reused_plan: true,
                 plan_nodes: state.plan.as_ref().map(|p| p.nodes().len()).unwrap_or(0),
+                plan_fingerprint: state
+                    .plan
+                    .as_ref()
+                    .map(|p| p.structure_fingerprint())
+                    .unwrap_or(0),
             });
         }
         state.prepared.push(PreparedQuery {
@@ -326,7 +419,7 @@ impl Store {
         let plan = {
             let mut plan_cache = self.plan_cache.lock().expect("plan cache poisoned");
             if let Some(plan) = plan_cache.get(&key) {
-                Arc::clone(plan)
+                plan
             } else {
                 reused_plan = false;
                 let queries: Vec<Expr> = state.prepared.iter().map(|p| p.expr.clone()).collect();
@@ -336,7 +429,7 @@ impl Store {
                 plan.mark_all_cacheable();
                 let plan = Arc::new(plan);
                 plan_cache.insert(key, Arc::clone(&plan));
-                Arc::clone(&plan)
+                plan
             }
         };
         // The plan's node ids changed; start the shared cache cold.
@@ -347,6 +440,7 @@ impl Store {
             reused_statement: false,
             reused_plan,
             plan_nodes: plan.nodes().len(),
+            plan_fingerprint: plan.structure_fingerprint(),
         })
     }
 
@@ -669,6 +763,68 @@ mod tests {
             .unwrap();
         let third = store.prepare("k", "(G * G)").unwrap();
         assert!(!third.reused_plan);
+    }
+
+    #[test]
+    fn plan_cache_evicts_in_lru_order() {
+        // Capacity 2, three distinct plan keys; a `get` must refresh
+        // recency so the *untouched* entry is the one evicted.
+        let store = Store::with_plan_cache_capacity(2);
+        let seed = |name: &str| {
+            store.create_instance(name, true).unwrap();
+            store.set_dim(name, "n", 4).unwrap();
+            store
+                .load_matrix(name, "G", 4, 4, vec![(0, 1, 1.0), (2, 3, 2.0)])
+                .unwrap();
+        };
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            seed(name);
+        }
+        assert!(!store.prepare("a", "(G * G)").unwrap().reused_plan); // insert k1
+        assert!(!store.prepare("b", "(G + G)").unwrap().reused_plan); // insert k2
+        assert_eq!(store.plan_cache_len(), 2);
+        assert!(store.prepare("c", "(G * G)").unwrap().reused_plan); // touch k1
+        assert!(!store.prepare("d", "transpose(G)").unwrap().reused_plan); // k3 evicts k2
+        assert_eq!(store.plan_cache_len(), 2);
+        assert!(
+            store.prepare("f", "(G * G)").unwrap().reused_plan,
+            "k1 was refreshed by the earlier hit and must have survived the eviction"
+        );
+        assert!(
+            !store.prepare("e", "(G + G)").unwrap().reused_plan,
+            "k2 was least recently used and must have been evicted"
+        );
+    }
+
+    #[test]
+    fn prepare_reports_the_rewritten_plan_fingerprint() {
+        let store = seeded_store();
+        let out = store.prepare("g", "(transpose(G) * G)").unwrap();
+        assert_ne!(out.plan_fingerprint, 0);
+        // Re-preparing the same text reports the same plan variant.
+        let again = store.prepare("g", "(transpose(G) * G)").unwrap();
+        assert!(again.reused_statement);
+        assert_eq!(again.plan_fingerprint, out.plan_fingerprint);
+        // Preparing another statement replaces the batch plan: new DAG,
+        // new fingerprint.
+        let extended = store.prepare("g", "(G + G)").unwrap();
+        assert_ne!(extended.plan_fingerprint, out.plan_fingerprint);
+    }
+
+    #[test]
+    fn diag_products_run_on_the_fused_kernels() {
+        let store = seeded_store();
+        store
+            .load_matrix("g", "u", 4, 1, vec![(0, 0, 2.0), (2, 0, 3.0)])
+            .unwrap();
+        let qid = store.prepare("g", "(diag(u) * G)").unwrap().qid;
+        let results = store.exec("g", &[qid]).unwrap();
+        assert_eq!(results[0].stats.fused_products, 1);
+        // diag([2,0,3,0]) · G scales row 0 by 2 and row 2 by 3 of the
+        // 4-cycle matrix (0→1 weight 1, 2→3 weight 3).
+        assert!(results[0].entries.contains(&(0, 1, 2.0)));
+        assert!(results[0].entries.contains(&(2, 3, 9.0)));
+        assert_eq!(results[0].entries.len(), 2);
     }
 
     #[test]

@@ -173,7 +173,7 @@ fn update_invalidates_only_dependent_cache_entries() {
 }
 
 #[test]
-fn prepared_exec_beats_per_request_parse_plan_eval() {
+fn timing_guard_prepared_exec_beats_per_request_parse_plan_eval() {
     let handle = spawn();
     let mut client = Client::connect(handle.addr()).unwrap();
     client.create_instance("g", true).unwrap();

@@ -9,8 +9,17 @@
 //! measurement budget is spent, and reports the mean time per iteration on
 //! stdout. There is no statistics engine, no HTML report and no
 //! `target/criterion` history; the numbers are indicative, not rigorous.
+//!
+//! For machine consumption (the CI perf-smoke artifact), setting the
+//! `CRITERION_JSON` environment variable to a file path makes every
+//! benchmark append one JSON line `{"bench": …, "median_ns": …,
+//! "mean_ns": …, "iterations": …}` with the per-sample **median** — more
+//! robust than the mean against a single preempted sample on shared CI
+//! runners.
 
 use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -85,6 +94,7 @@ impl Criterion {
             measurement_time: self.measurement_time,
             sample_size: self.sample_size,
             mean_ns: 0.0,
+            median_ns: 0.0,
             iterations: 0,
         };
         f(&mut bencher);
@@ -94,6 +104,27 @@ impl Criterion {
             format_ns(bencher.mean_ns),
             bencher.iterations
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                // Append as JSON lines; a writer failure must not fail the
+                // benchmark run itself.
+                let line = format!(
+                    "{{\"bench\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"iterations\": {}}}",
+                    label.replace('\\', "\\\\").replace('"', "\\\""),
+                    bencher.median_ns,
+                    bencher.mean_ns,
+                    bencher.iterations
+                );
+                let appended = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut file| writeln!(file, "{line}"));
+                if let Err(e) = appended {
+                    eprintln!("criterion: could not append to {path}: {e}");
+                }
+            }
+        }
     }
 }
 
@@ -156,6 +187,7 @@ pub struct Bencher {
     measurement_time: Duration,
     sample_size: usize,
     mean_ns: f64,
+    median_ns: f64,
     iterations: u64,
 }
 
@@ -179,21 +211,40 @@ impl Bencher {
 
         let mut total_ns = 0.0;
         let mut total_iters: u64 = 0;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         let deadline = Instant::now() + self.measurement_time;
         for _ in 0..self.sample_size {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            total_ns += start.elapsed().as_nanos() as f64;
+            let elapsed = start.elapsed().as_nanos() as f64;
+            total_ns += elapsed;
             total_iters += batch;
+            samples.push(elapsed / batch as f64);
             if Instant::now() >= deadline {
                 break;
             }
         }
 
         self.mean_ns = total_ns / total_iters.max(1) as f64;
+        self.median_ns = median(&mut samples);
         self.iterations = total_iters;
+    }
+}
+
+/// The median of per-iteration sample times (0 when no samples ran).
+/// Sorts in place; even sample counts average the middle pair.
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
     }
 }
 
@@ -264,6 +315,45 @@ mod tests {
         });
         group.bench_function("direct", |b| b.iter(|| black_box(2 * 2)));
         group.finish();
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 8.0]), 3.0);
+        // A single preempted outlier must not move the median.
+        assert_eq!(median(&mut [1.0, 1.0, 1.0, 1.0, 1e9]), 1.0);
+    }
+
+    #[test]
+    fn json_sink_appends_one_line_per_bench() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_json_sink_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Env vars are process-global; this is the only test that sets
+        // this one, and it unsets it before finishing.
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = fast_criterion();
+        c.bench_function("json_sink_test\"quoted\"", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("json_sink_test_plain", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The env var is process-global and the test harness may run other
+        // bench-invoking tests concurrently, so filter to this test's
+        // uniquely-labelled lines instead of asserting on the whole file.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("json_sink_test"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\": \"json_sink_test\\\"quoted\\\"\""));
+        assert!(lines[0].contains("\"median_ns\":"));
+        assert!(lines[1].contains("\"bench\": \"json_sink_test_plain\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Experiment E13 — delta-driven view maintenance versus
+//! invalidate-and-recompute on an UPDATE+EXEC loop.
+//!
+//! The workload is the acceptance point of ISSUE 6: a standing two-hop
+//! aggregate `1ᵀ·((G·G)·1)` over an n = 10 000, average-degree-24 Boolean
+//! adjacency matrix, updated one inserted edge at a time.  Two series:
+//!
+//! 1. **engine-level** — the raw `engine::delta` machinery: apply the
+//!    edge, `propagate` through the plan DAG (or invalidate the
+//!    dependents), re-execute through the persistent cache.  The delta
+//!    side patches the cached G·G instead of re-running the SpGEMM; the
+//!    release-mode gap is pinned ≥100× by the `timing_guard` test in
+//!    `crates/engine/tests/delta_quality.rs`.
+//! 2. **store-level** — the same loop through the server's `Store`
+//!    (UPDATE + EXEC as the wire handlers run them, without socket I/O),
+//!    on a Boolean instance versus a Real one.  Boolean takes the delta
+//!    path; ℝ's non-idempotent ⊕ forces the invalidation fallback, so the
+//!    pair shows what the exactness gate is worth end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matlang_bench::sparse_criterion;
+use matlang_core::{Expr, FunctionRegistry, Instance, SparseInstance};
+use matlang_engine::delta::{propagate, DeltaOverlay};
+use matlang_engine::{Engine, Executor, NodeCache, Plan};
+use matlang_matrix::{sparse_erdos_renyi, MatrixRepr, SparseMatrix};
+use matlang_semiring::{Boolean, Semiring};
+use matlang_server::{SemiringKind, Store};
+
+const N: usize = 10_000;
+const AVG_DEGREE: f64 = 24.0;
+
+fn standing_query() -> Expr {
+    let g = || Expr::var("G");
+    g().ones().t().mm(g().mm(g()).mm(g().ones()))
+}
+
+fn build() -> (SparseInstance<Boolean>, Plan) {
+    let inst: SparseInstance<Boolean> = Instance::new().with_dim("n", N).with_matrix(
+        "G",
+        MatrixRepr::from_sparse_auto(sparse_erdos_renyi(N, AVG_DEGREE, 4242)),
+    );
+    let engine = Engine::builder().cost_rewrites(false).build();
+    let query = standing_query();
+    let mut plan = engine.plan(std::slice::from_ref(&query), &inst);
+    plan.mark_all_cacheable();
+    (inst, plan)
+}
+
+fn exec_root(
+    plan: &Plan,
+    inst: &SparseInstance<Boolean>,
+    registry: &FunctionRegistry<Boolean>,
+    cache: NodeCache<MatrixRepr<Boolean>>,
+) -> NodeCache<MatrixRepr<Boolean>> {
+    let mut exec = Executor::with_cache(plan, inst, registry, Default::default(), cache);
+    exec.run_shared(plan.roots()[0]).expect("exec");
+    exec.into_cache()
+}
+
+fn fresh_edge(round: usize) -> (usize, usize) {
+    ((round * 13 + 1) % N, (round * 29 + 7) % N)
+}
+
+fn bench_engine_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_delta_vs_invalidate");
+    let registry = FunctionRegistry::<Boolean>::new();
+
+    {
+        let (mut inst, plan) = build();
+        let mut cache: NodeCache<MatrixRepr<Boolean>> = vec![None; plan.nodes().len()];
+        let mut overlay: DeltaOverlay<Boolean> = DeltaOverlay::new(plan.nodes().len());
+        cache = exec_root(&plan, &inst, &registry, cache);
+        let mut round = 0usize;
+        group.bench_function("delta-propagate", |b| {
+            b.iter(|| {
+                let (i, j) = fresh_edge(round);
+                round += 1;
+                inst.matrix_mut("G")
+                    .unwrap()
+                    .set_entry(i, j, Boolean::one())
+                    .unwrap();
+                let update =
+                    SparseMatrix::from_triplets(N, N, vec![(i, j, Boolean::one())]).unwrap();
+                propagate(&plan, &mut cache, &mut overlay, "G", &update);
+                overlay.flush_for_roots(&mut cache, plan.roots());
+                cache = exec_root(&plan, &inst, &registry, std::mem::take(&mut cache));
+            })
+        });
+    }
+
+    {
+        let (mut inst, plan) = build();
+        let mut cache: NodeCache<MatrixRepr<Boolean>> = vec![None; plan.nodes().len()];
+        cache = exec_root(&plan, &inst, &registry, cache);
+        let mut round = 0usize;
+        group.bench_function("invalidate-recompute", |b| {
+            b.iter(|| {
+                let (i, j) = fresh_edge(round);
+                round += 1;
+                inst.matrix_mut("G")
+                    .unwrap()
+                    .set_entry(i, j, Boolean::one())
+                    .unwrap();
+                plan.invalidate_dependents_in(&mut cache, "G");
+                cache = exec_root(&plan, &inst, &registry, std::mem::take(&mut cache));
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_store_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_store_update_exec");
+    for (label, kind) in [
+        ("boolean-delta", SemiringKind::Boolean),
+        ("real-fallback", SemiringKind::Real),
+    ] {
+        let store = Store::new();
+        store.create_instance_with("g", true, kind).unwrap();
+        store.set_dim("g", "n", N).unwrap();
+        let edges: Vec<(usize, usize, f64)> = sparse_erdos_renyi::<Boolean>(N, AVG_DEGREE, 4242)
+            .iter_entries()
+            .map(|(i, j, _)| (i, j, 1.0))
+            .collect();
+        store.load_matrix("g", "G", N, N, edges).unwrap();
+        let qid = store
+            .prepare("g", "(transpose(ones(G)) * ((G * G) * ones(G)))")
+            .unwrap()
+            .qid;
+        store.exec("g", &[qid]).unwrap();
+        let mut round = 0usize;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (i, j) = fresh_edge(round);
+                round += 1;
+                store.update("g", "G", &[(i, j, 1.0)]).unwrap();
+                store.exec("g", &[qid]).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sparse_criterion();
+    targets = bench_engine_delta, bench_store_delta
+}
+criterion_main!(benches);

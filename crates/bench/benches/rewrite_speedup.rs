@@ -1,7 +1,7 @@
 //! Experiment E12 — the cost-based rewrite layer versus plain planning.
 //!
 //! Three series, each comparing `Engine::new()` (rewrites on) against
-//! `Engine::without_cost_rewrites()` (the PR-3 planner: CSE, hoisting and
+//! `Engine::builder().cost_rewrites(false)` (the PR-3 planner: CSE, hoisting and
 //! representation choice, but no reordering/fusion):
 //!
 //! 1. **Matrix-chain reordering** — the skewed 4-factor chain
@@ -38,7 +38,7 @@ fn bench_chain_reorder(c: &mut Criterion) {
     let g = || Expr::var("G");
     let chain = g().mm(g()).mm(g()).mm(g().ones());
     let rewriting = Engine::new();
-    let baseline = Engine::new().without_cost_rewrites();
+    let baseline = Engine::builder().cost_rewrites(false).build();
     for &n in &[500usize, 1000, 2000] {
         let inst = sparse_instance(n, 31 + n as u64);
         group.bench_with_input(BenchmarkId::new("reordered", n), &n, |b, _| {
@@ -56,7 +56,7 @@ fn bench_diag_pushdown(c: &mut Criterion) {
     let registry = FunctionRegistry::standard_field();
     let expr = Expr::var("A").mm(Expr::var("v").diag());
     let rewriting = Engine::new();
-    let baseline = Engine::new().without_cost_rewrites();
+    let baseline = Engine::builder().cost_rewrites(false).build();
     for &n in &[160usize, 320, 640] {
         let dense: Matrix<Real> = Matrix::from_vec(
             n,
@@ -86,7 +86,7 @@ fn bench_ones_pushdown(c: &mut Criterion) {
     let g = || Expr::var("G");
     let expr = g().mm(g()).mm(g()).ones();
     let rewriting = Engine::new();
-    let baseline = Engine::new().without_cost_rewrites();
+    let baseline = Engine::builder().cost_rewrites(false).build();
     let n = 2000;
     let inst = sparse_instance(n, 77);
     group.bench_with_input(BenchmarkId::new("row-source", n), &n, |b, _| {

@@ -71,6 +71,11 @@ pub struct ExecStats {
     /// Products executed on the fused diag-scaling kernels
     /// (`scale_rows`/`scale_cols`) instead of materializing a diagonal.
     pub fused_products: u64,
+    /// Cached node values patched in place by delta propagation
+    /// ([`crate::delta`]) instead of being invalidated and recomputed.
+    /// The executor itself never increments this; services running the
+    /// delta path (the query server's `UPDATE`) fill it in when reporting.
+    pub delta_patches: u64,
 }
 
 impl ExecStats {
@@ -84,6 +89,7 @@ impl ExecStats {
             parallel_products: self.parallel_products - earlier.parallel_products,
             parallel_elementwise: self.parallel_elementwise - earlier.parallel_elementwise,
             fused_products: self.fused_products - earlier.fused_products,
+            delta_patches: self.delta_patches - earlier.delta_patches,
         }
     }
 }
@@ -93,13 +99,14 @@ impl std::fmt::Display for ExecStats {
         write!(
             f,
             "{} hits / {} misses / {} invalidations / {} parallel products / \
-             {} parallel elementwise / {} fused products",
+             {} parallel elementwise / {} fused products / {} delta patches",
             self.cache_hits,
             self.cache_misses,
             self.invalidations,
             self.parallel_products,
             self.parallel_elementwise,
-            self.fused_products
+            self.fused_products,
+            self.delta_patches
         )
     }
 }
@@ -751,9 +758,11 @@ mod tests {
             parallel_products: 1,
             parallel_elementwise: 1,
             fused_products: 1,
+            delta_patches: 4,
         };
         let b = a.since(&ExecStats::default());
         assert_eq!(a, b);
         assert!(a.to_string().contains("5 hits"));
+        assert!(a.to_string().contains("4 delta patches"));
     }
 }

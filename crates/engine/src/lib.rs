@@ -37,7 +37,8 @@
 //! their order are preserved too).  Chain reordering does change the
 //! *association* of products, so over ℝ floating point the low-order bits
 //! can differ when intermediates round — disable with
-//! [`Engine::without_cost_rewrites`] for strict operation-order parity.
+//! `Engine::builder().cost_rewrites(false)` for strict operation-order
+//! parity.
 //! The `engine_parity` test suite enforces agreement over the full
 //! evaluator corpus and randomized expressions across the Boolean, ℕ and
 //! tropical semirings.
@@ -60,11 +61,13 @@
 //! assert_eq!(out.as_scalar().unwrap(), Real(6.0));
 //! ```
 
+pub mod delta;
 pub mod exec;
 pub mod plan;
 pub mod planner;
 pub mod rewrite;
 
+pub use delta::{DeltaFallback, DeltaOverlay, DeltaReport};
 pub use exec::{ExecOptions, ExecStats, Executor, NodeCache};
 pub use plan::{
     AppliedRewrite, NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice,
@@ -161,7 +164,24 @@ impl Engine {
         Engine::default()
     }
 
+    /// A typed builder over every engine option — cost rewrites,
+    /// simplification, delta maintenance, thread override — replacing the
+    /// accumulated one-off constructors:
+    ///
+    /// ```
+    /// use matlang_engine::Engine;
+    /// let engine = Engine::builder()
+    ///     .cost_rewrites(false)
+    ///     .threads(1)
+    ///     .build();
+    /// assert!(!engine.plan_options.cost_rewrites);
+    /// ```
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
     /// Overrides the worker-thread count (`1` forces serial kernels).
+    #[deprecated(since = "0.6.0", note = "use `Engine::builder().threads(n)`")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.exec_options.threads = threads.max(1);
         self
@@ -169,6 +189,7 @@ impl Engine {
 
     /// Disables the `rewrite::simplify` pre-pass (see
     /// [`PlanOptions::simplify`] for when that matters).
+    #[deprecated(since = "0.6.0", note = "use `Engine::builder().simplify(false)`")]
     pub fn without_simplify(mut self) -> Self {
         self.plan_options.simplify = false;
         self
@@ -179,6 +200,7 @@ impl Engine {
     /// [`PlanOptions::cost_rewrites`]).  Useful for strict
     /// operation-order parity with the tree evaluator and as the
     /// baseline in the `rewrite_speedup` benchmark.
+    #[deprecated(since = "0.6.0", note = "use `Engine::builder().cost_rewrites(false)`")]
     pub fn without_cost_rewrites(mut self) -> Self {
         self.plan_options.cost_rewrites = false;
         self
@@ -238,6 +260,63 @@ impl Engine {
     }
 }
 
+/// Builds an [`Engine`] from named options — the typed replacement for the
+/// deprecated `with_threads` / `without_simplify` /
+/// `without_cost_rewrites` one-off constructors.  Every setter has the
+/// default-on semantics of [`PlanOptions`] / [`ExecOptions`]; unset fields
+/// keep their defaults.
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    plan_options: PlanOptions,
+    exec_options: ExecOptions,
+}
+
+impl EngineBuilder {
+    /// Enables/disables the cost-based rewrite layer
+    /// ([`PlanOptions::cost_rewrites`], default `true`).
+    pub fn cost_rewrites(mut self, enabled: bool) -> Self {
+        self.plan_options.cost_rewrites = enabled;
+        self
+    }
+
+    /// Enables/disables the `rewrite::simplify` pre-pass
+    /// ([`PlanOptions::simplify`], default `true`).
+    pub fn simplify(mut self, enabled: bool) -> Self {
+        self.plan_options.simplify = enabled;
+        self
+    }
+
+    /// Enables/disables delta-maintenance policy for services running
+    /// incremental updates ([`PlanOptions::delta_maintenance`], default
+    /// `true`; see [`delta`]).
+    pub fn delta_maintenance(mut self, enabled: bool) -> Self {
+        self.plan_options.delta_maintenance = enabled;
+        self
+    }
+
+    /// Overrides the worker-thread count (`1` forces serial kernels; the
+    /// default follows `MATLANG_THREADS` / available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.exec_options.threads = threads.max(1);
+        self
+    }
+
+    /// Estimated multiplications above which a product runs threaded
+    /// ([`PlanOptions::parallel_work_threshold`]).
+    pub fn parallel_work_threshold(mut self, threshold: f64) -> Self {
+        self.plan_options.parallel_work_threshold = threshold;
+        self
+    }
+
+    /// The configured engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            plan_options: self.plan_options,
+            exec_options: self.exec_options,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,10 +351,34 @@ mod tests {
     }
 
     #[test]
-    fn builder_style_options() {
+    fn builder_covers_every_option() {
+        let engine = Engine::builder()
+            .threads(1)
+            .simplify(false)
+            .cost_rewrites(false)
+            .delta_maintenance(false)
+            .parallel_work_threshold(1e5)
+            .build();
+        assert_eq!(engine.exec_options.threads, 1);
+        assert!(!engine.plan_options.simplify);
+        assert!(!engine.plan_options.cost_rewrites);
+        assert!(!engine.plan_options.delta_maintenance);
+        assert_eq!(engine.plan_options.parallel_work_threshold, 1e5);
+        // Defaults stay on when unset.
+        let default = Engine::builder().build();
+        assert!(default.plan_options.delta_maintenance);
+        assert!(default.plan_options.simplify);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_configure() {
+        // One-release shims: same effect as the builder equivalents.
         let engine = Engine::new().with_threads(1).without_simplify();
         assert_eq!(engine.exec_options.threads, 1);
         assert!(!engine.plan_options.simplify);
+        let engine = Engine::new().without_cost_rewrites();
+        assert!(!engine.plan_options.cost_rewrites);
     }
 
     #[test]

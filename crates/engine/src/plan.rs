@@ -173,6 +173,23 @@ impl PlanOp {
             }
         }
     }
+
+    /// Whether [`crate::delta`] has a propagation rule for this operation.
+    /// Nodes without one fall back to invalidation when an update reaches
+    /// them: pointwise function application is not linear over the
+    /// semiring, and the loop constructs rebind variables per iteration,
+    /// so their deltas are not expressible from the child deltas alone.
+    pub fn supports_delta(&self) -> bool {
+        !matches!(
+            self,
+            PlanOp::Apply(_, _)
+                | PlanOp::Let { .. }
+                | PlanOp::For { .. }
+                | PlanOp::Sum { .. }
+                | PlanOp::HProd { .. }
+                | PlanOp::MProd { .. }
+        )
+    }
 }
 
 /// The representation the cost model picked for a node's result.
@@ -293,6 +310,9 @@ pub struct PlanReport {
     /// Product nodes fused into [`PlanOp::ScaleRows`] /
     /// [`PlanOp::ScaleCols`] kernels.
     pub fused_products: usize,
+    /// Nodes with a delta-propagation rule ([`PlanOp::supports_delta`]);
+    /// updates reaching the remaining nodes invalidate instead of patch.
+    pub delta_supported_nodes: usize,
 }
 
 impl PlanReport {
@@ -310,7 +330,7 @@ impl fmt::Display for PlanReport {
             "{} quer{} · {} tree nodes → {} dag nodes ({} shared, {} hoistable) · \
              simplify saved {} · repr {} dense / {} sparse · {} parallel products · \
              {} parallel elementwise · {} cost rewrites (≈{:.0} ops saved) · \
-             {} fused products",
+             {} fused products · {} delta-supported nodes",
             self.queries,
             if self.queries == 1 { "y" } else { "ies" },
             self.tree_nodes,
@@ -325,6 +345,7 @@ impl fmt::Display for PlanReport {
             self.rewrites.len(),
             self.rewrite_savings(),
             self.fused_products,
+            self.delta_supported_nodes,
         )
     }
 }

@@ -58,6 +58,15 @@ pub struct PlanOptions {
     /// marked for the threaded kernel (default `1e6`): below roughly a
     /// million multiply-adds, thread spawn/join overhead eats the win.
     pub parallel_work_threshold: f64,
+    /// Let services maintain cached plan-node values through delta
+    /// propagation ([`crate::delta`]) on incremental updates instead of
+    /// invalidating and recomputing (default `true`).  The planner itself
+    /// only reports coverage ([`crate::PlanReport::delta_supported_nodes`]);
+    /// the flag is policy for update paths like the query server's
+    /// `UPDATE`, which additionally gate on
+    /// [`crate::delta::join_is_idempotent`] and the update being
+    /// insert-only so patched values stay bit-identical to recomputation.
+    pub delta_maintenance: bool,
 }
 
 impl Default for PlanOptions {
@@ -66,6 +75,7 @@ impl Default for PlanOptions {
             simplify: true,
             cost_rewrites: true,
             parallel_work_threshold: 1e6,
+            delta_maintenance: true,
         }
     }
 }
@@ -239,6 +249,9 @@ impl Planner {
             }
             if matches!(node.op, PlanOp::ScaleRows { .. } | PlanOp::ScaleCols { .. }) {
                 report.fused_products += 1;
+            }
+            if node.op.supports_delta() {
+                report.delta_supported_nodes += 1;
             }
             for var in &node.free_vars {
                 dependents.entry(var.clone()).or_default().push(id);

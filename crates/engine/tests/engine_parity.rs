@@ -35,8 +35,8 @@ fn assert_engine_parity<K: Semiring>(
     let naive = evaluate(expr, instance, registry);
     let engines = [
         Engine::new(),
-        Engine::new().with_threads(2),
-        Engine::new().without_simplify(),
+        Engine::builder().threads(2).build(),
+        Engine::builder().simplify(false).build(),
     ];
     for engine in &engines {
         let planned = engine.evaluate(expr, instance, registry);

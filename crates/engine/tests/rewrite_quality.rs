@@ -39,7 +39,7 @@ fn timing_guard_chain_reorder_speedup() {
     let chain = g().mm(g()).mm(g()).mm(g().ones());
 
     let rewriting = Engine::new();
-    let baseline = Engine::new().without_cost_rewrites();
+    let baseline = Engine::builder().cost_rewrites(false).build();
 
     // The report must show the reorder before we time anything.
     let plan = rewriting.plan(std::slice::from_ref(&chain), &inst);
@@ -93,7 +93,7 @@ fn timing_guard_diag_pushdown_speedup() {
     let expr = Expr::var("A").mm(Expr::var("v").diag());
 
     let fusing = Engine::new();
-    let baseline = Engine::new().without_cost_rewrites();
+    let baseline = Engine::builder().cost_rewrites(false).build();
 
     let plan = fusing.plan(std::slice::from_ref(&expr), &inst);
     assert_eq!(plan.report.fused_products, 1, "report: {}", plan.report);

@@ -96,7 +96,7 @@ fn assert_rewrite_parity<K: Semiring>(expr: &Expr, instance: &Instance<K>) {
     }
 
     // (2) End-to-end dense: engine (rewrites + fusion on) vs. naive.
-    for engine in [Engine::new(), Engine::new().with_threads(2)] {
+    for engine in [Engine::new(), Engine::builder().threads(2).build()] {
         let planned = engine.evaluate(expr, instance, &registry);
         match (&naive, &planned) {
             (Ok(a), Ok(b)) => assert_eq!(a, b, "dense engine result differs for {expr}"),

@@ -53,6 +53,15 @@ pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'stat
     /// Exact conversion to dense storage.
     fn to_dense(&self) -> Matrix<Self::Elem>;
 
+    /// Exact conversion from sparse (COO) storage.  Backends that can hold
+    /// sparse data directly override this to avoid densifying.
+    fn from_sparse(sparse: SparseMatrix<Self::Elem>) -> Self
+    where
+        Self: Sized,
+    {
+        Self::from_dense(sparse.to_dense())
+    }
+
     /// Number of rows.
     fn rows(&self) -> usize;
 
@@ -194,6 +203,60 @@ pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'stat
     /// arbitrary `f` need not map zeros to zero, sparse backends evaluate
     /// this densely and re-compress afterwards.
     fn zip_with<F: Fn(&[Self::Elem]) -> Self::Elem>(matrices: &[&Self], f: F) -> Result<Self>;
+
+    /// Reads one entry (zero if structurally absent) — the random-access
+    /// hook behind delta propagation's entrywise rules (Hadamard, row/col
+    /// scaling need `other`-side values only at the delta's support).
+    fn get_entry(&self, row: usize, col: usize) -> Result<Self::Elem>;
+
+    /// Masked merge: a new matrix equal to `self` except that every entry
+    /// in `delta`'s support becomes `self[i,j] ⊕ delta[i,j]`.  This is the
+    /// kernel that folds an accumulated delta overlay back into a cached
+    /// value; under an idempotent `⊕` and an insert-only update it equals
+    /// full recomputation.  The default goes entry by entry through
+    /// [`get_entry`](MatrixStorage::get_entry)/[`set_entry`](MatrixStorage::set_entry)
+    /// (right for dense storage); CSR overrides with one `O(nnz + Δ)`
+    /// two-pointer merge.
+    fn apply_delta(&self, delta: &SparseMatrix<Self::Elem>) -> Result<Self> {
+        if self.shape() != delta.shape() {
+            return Err(crate::MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: delta.shape(),
+                op: "apply_delta",
+            });
+        }
+        let mut out = self.clone();
+        for (i, j, v) in delta.iter_entries() {
+            let merged = out.get_entry(i, j)?.add(v);
+            out.set_entry(i, j, merged)?;
+        }
+        Ok(out)
+    }
+
+    /// Sparse-delta × matrix product `delta · self`, returned sparse.
+    /// For a point update this is the `Δ(A·B) = ΔA·B` rule: only the
+    /// delta's few rows of the product are recomputed, costing
+    /// `O(Δnnz · row-degree)` instead of a full product.  Backends override
+    /// the (correct but densifying) default.
+    fn matmul_delta_pre(
+        &self,
+        delta: &SparseMatrix<Self::Elem>,
+    ) -> Result<SparseMatrix<Self::Elem>> {
+        delta.matmul(&SparseMatrix::from_dense(&self.to_dense()))
+    }
+
+    /// Matrix × sparse-delta product `self · delta`, returned sparse —
+    /// the mirror rule `Δ(A·B) = A·ΔB`.  The CSR override binary-searches
+    /// each stored row of `self` for the delta's row indices, costing
+    /// `O(rows · Δnnz · log degree)` — independent of `self`'s total `nnz`
+    /// per delta entry — which is what makes point-update propagation
+    /// through a big product cheap.
+    fn matmul_delta_post(
+        &self,
+        delta: &SparseMatrix<Self::Elem>,
+    ) -> Result<SparseMatrix<Self::Elem>> {
+        SparseMatrix::from_dense(&self.to_dense()).matmul(delta)
+    }
 }
 
 impl<K: Semiring> MatrixStorage for Matrix<K> {
@@ -309,6 +372,79 @@ impl<K: Semiring> MatrixStorage for Matrix<K> {
     fn zip_with<F: Fn(&[K]) -> K>(matrices: &[&Self], f: F) -> Result<Self> {
         Matrix::zip_with(matrices, f)
     }
+
+    fn get_entry(&self, row: usize, col: usize) -> Result<K> {
+        Matrix::get(self, row, col).cloned()
+    }
+
+    fn matmul_delta_pre(&self, delta: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        let (rows, cols) = self.shape();
+        if delta.cols() != rows {
+            return Err(crate::MatrixError::InnerDimensionMismatch {
+                left: delta.shape(),
+                right: self.shape(),
+            });
+        }
+        let mut out = crate::CsrBuilder::new(delta.rows(), cols, delta.nnz());
+        let mut acc: Vec<K> = vec![K::zero(); cols];
+        for i in 0..delta.rows() {
+            let (ks, vs) = delta.row_entries(i);
+            if !ks.is_empty() {
+                for slot in acc.iter_mut() {
+                    *slot = K::zero();
+                }
+                for (k, v) in ks.iter().zip(vs) {
+                    let row = &self.entries()[k * cols..(k + 1) * cols];
+                    for (j, m) in row.iter().enumerate() {
+                        if !m.is_zero() {
+                            acc[j] = acc[j].add(&v.mul(m));
+                        }
+                    }
+                }
+                for (j, v) in acc.iter().enumerate() {
+                    if !v.is_zero() {
+                        out.push(j, v.clone());
+                    }
+                }
+            }
+            out.finish_row();
+        }
+        Ok(out.build())
+    }
+
+    fn matmul_delta_post(&self, delta: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        let (rows, cols) = self.shape();
+        if cols != delta.rows() {
+            return Err(crate::MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: delta.shape(),
+            });
+        }
+        let entries: Vec<(usize, usize, &K)> = delta.iter_entries().collect();
+        let mut out = crate::CsrBuilder::new(rows, delta.cols(), entries.len().max(1));
+        let mut acc: Vec<(usize, K)> = Vec::new();
+        for i in 0..rows {
+            let row = &self.entries()[i * cols..(i + 1) * cols];
+            acc.clear();
+            for &(k, j, dv) in &entries {
+                let m = &row[k];
+                if m.is_zero() {
+                    continue;
+                }
+                let term = m.mul(dv);
+                match acc.iter_mut().find(|(jj, _)| *jj == j) {
+                    Some((_, a)) => *a = a.add(&term),
+                    None => acc.push((j, term)),
+                }
+            }
+            acc.sort_by_key(|&(j, _)| j);
+            for (j, v) in acc.drain(..) {
+                out.push(j, v);
+            }
+            out.finish_row();
+        }
+        Ok(out.build())
+    }
 }
 
 impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
@@ -336,6 +472,10 @@ impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
 
     fn from_dense(dense: Matrix<K>) -> Self {
         SparseMatrix::from_dense(&dense)
+    }
+
+    fn from_sparse(sparse: SparseMatrix<K>) -> Self {
+        sparse
     }
 
     fn to_dense(&self) -> Matrix<K> {
@@ -419,6 +559,51 @@ impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
         let refs: Vec<&Matrix<K>> = dense.iter().collect();
         Ok(SparseMatrix::from_dense(&Matrix::zip_with(&refs, f)?))
     }
+
+    fn get_entry(&self, row: usize, col: usize) -> Result<K> {
+        SparseMatrix::get(self, row, col)
+    }
+
+    fn apply_delta(&self, delta: &SparseMatrix<K>) -> Result<Self> {
+        // One two-pointer row merge; `CsrBuilder::push` drops zero sums, so
+        // the no-explicit-zeros CSR invariant is preserved.
+        SparseMatrix::add(self, delta)
+    }
+
+    fn matmul_delta_pre(&self, delta: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        delta.matmul(self)
+    }
+
+    fn matmul_delta_post(&self, delta: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        if self.cols() != delta.rows() {
+            return Err(crate::MatrixError::InnerDimensionMismatch {
+                left: self.shape(),
+                right: delta.shape(),
+            });
+        }
+        let entries: Vec<(usize, usize, &K)> = delta.iter_entries().collect();
+        let mut out = crate::CsrBuilder::new(self.rows(), delta.cols(), entries.len().max(1));
+        let mut acc: Vec<(usize, K)> = Vec::new();
+        for i in 0..self.rows() {
+            let (cols_i, vals_i) = self.row_entries(i);
+            acc.clear();
+            for &(k, j, dv) in &entries {
+                if let Ok(pos) = cols_i.binary_search(&k) {
+                    let term = vals_i[pos].mul(dv);
+                    match acc.iter_mut().find(|(jj, _)| *jj == j) {
+                        Some((_, a)) => *a = a.add(&term),
+                        None => acc.push((j, term)),
+                    }
+                }
+            }
+            acc.sort_by_key(|&(j, _)| j);
+            for (j, v) in acc.drain(..) {
+                out.push(j, v);
+            }
+            out.finish_row();
+        }
+        Ok(out.build())
+    }
 }
 
 impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
@@ -446,6 +631,10 @@ impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
 
     fn from_dense(dense: Matrix<K>) -> Self {
         MatrixRepr::Dense(dense).normalized()
+    }
+
+    fn from_sparse(sparse: SparseMatrix<K>) -> Self {
+        MatrixRepr::from_sparse_auto(sparse)
     }
 
     fn to_dense(&self) -> Matrix<K> {
@@ -538,6 +727,33 @@ impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
     fn zip_with<F: Fn(&[K]) -> K>(matrices: &[&Self], f: F) -> Result<Self> {
         MatrixRepr::zip_with(matrices, f)
     }
+
+    fn get_entry(&self, row: usize, col: usize) -> Result<K> {
+        MatrixRepr::get(self, row, col)
+    }
+
+    fn apply_delta(&self, delta: &SparseMatrix<K>) -> Result<Self> {
+        // Keep the current representation: a patched cache entry stays in
+        // whatever form the executor's repr hints chose for it.
+        match self {
+            MatrixRepr::Dense(d) => Ok(MatrixRepr::Dense(MatrixStorage::apply_delta(d, delta)?)),
+            MatrixRepr::Sparse(s) => Ok(MatrixRepr::Sparse(s.add(delta)?)),
+        }
+    }
+
+    fn matmul_delta_pre(&self, delta: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        match self {
+            MatrixRepr::Dense(d) => MatrixStorage::matmul_delta_pre(d, delta),
+            MatrixRepr::Sparse(s) => MatrixStorage::matmul_delta_pre(s, delta),
+        }
+    }
+
+    fn matmul_delta_post(&self, delta: &SparseMatrix<K>) -> Result<SparseMatrix<K>> {
+        match self {
+            MatrixRepr::Dense(d) => MatrixStorage::matmul_delta_post(d, delta),
+            MatrixRepr::Sparse(s) => MatrixStorage::matmul_delta_post(s, delta),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -601,6 +817,76 @@ mod tests {
         let long = M::from_dense(Matrix::from_f64_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap());
         assert!(ma.scale_rows(&long).is_err());
         assert!(ma.scale_cols(&long).is_err());
+    }
+
+    /// The delta kernels must agree exactly with the unfused reference:
+    /// `apply_delta` with an entrywise `⊕` merge, and the one-sided delta
+    /// products with full products against the densified delta.
+    fn delta_kernel_agreement<M: MatrixStorage<Elem = Real>>() {
+        let a =
+            Matrix::from_f64_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]).unwrap();
+        let ma = M::from_dense(a.clone());
+        assert_eq!(ma.get_entry(0, 2).unwrap(), Real(2.0));
+        assert_eq!(ma.get_entry(1, 0).unwrap(), Real(0.0));
+        assert!(ma.get_entry(3, 0).is_err());
+
+        let delta = SparseMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 1, Real(7.0)), (2, 2, Real(1.0)), (1, 0, Real(2.0))],
+        )
+        .unwrap();
+        let patched = ma.apply_delta(&delta).unwrap();
+        let expected = a.add(&delta.to_dense()).unwrap();
+        assert_eq!(patched.to_dense(), expected);
+
+        let pre = ma.matmul_delta_pre(&delta).unwrap();
+        assert_eq!(
+            pre.to_dense(),
+            delta.to_dense().matmul(&a).unwrap(),
+            "delta·self diverged"
+        );
+        let post = ma.matmul_delta_post(&delta).unwrap();
+        assert_eq!(
+            post.to_dense(),
+            a.matmul(&delta.to_dense()).unwrap(),
+            "self·delta diverged"
+        );
+
+        // A rectangular case exercises the shape plumbing: 3×2 delta·self
+        // needs delta cols = self rows.
+        let rect = Matrix::from_f64_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[3.0, 0.0]]).unwrap();
+        let mrect = M::from_dense(rect.clone());
+        let dvec = SparseMatrix::from_triplets(1, 3, vec![(0, 1, Real(5.0))]).unwrap();
+        assert_eq!(
+            mrect.matmul_delta_pre(&dvec).unwrap().to_dense(),
+            dvec.to_dense().matmul(&rect).unwrap()
+        );
+        let dpost = SparseMatrix::from_triplets(2, 4, vec![(1, 3, Real(2.0))]).unwrap();
+        assert_eq!(
+            mrect.matmul_delta_post(&dpost).unwrap().to_dense(),
+            rect.matmul(&dpost.to_dense()).unwrap()
+        );
+
+        // Shape errors mirror the unfused path.
+        assert!(ma.apply_delta(&dpost).is_err());
+        assert!(ma.matmul_delta_pre(&dpost).is_err());
+        assert!(mrect.matmul_delta_post(&dvec).is_err());
+    }
+
+    #[test]
+    fn dense_delta_kernels_agree() {
+        delta_kernel_agreement::<Matrix<Real>>();
+    }
+
+    #[test]
+    fn sparse_delta_kernels_agree() {
+        delta_kernel_agreement::<SparseMatrix<Real>>();
+    }
+
+    #[test]
+    fn adaptive_delta_kernels_agree() {
+        delta_kernel_agreement::<MatrixRepr<Real>>();
     }
 
     #[test]

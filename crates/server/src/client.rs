@@ -2,14 +2,146 @@
 //!
 //! Used by the integration tests, the `server_throughput` bench and the
 //! `server_demo` example; handy for embedding too.  Every method maps
-//! one-to-one onto a protocol command and returns `Err(message)` for `ERR`
-//! replies.
+//! one-to-one onto a protocol command and returns a typed [`ClientError`]
+//! for `ERR` replies, so callers can branch on [`ErrorCode`] instead of
+//! string-matching messages.
 
-use crate::protocol::{read_result, WireResult};
+use crate::protocol::{read_result, SemiringKind, WireResult};
 use matlang_matrix::{Matrix, MatrixStorage};
 use matlang_semiring::Real;
+use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// The stable error category of a failed request — the client-side twin of
+/// [`crate::ServerError::code`], plus the client-local failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// `EEXISTS` — the instance name is already taken.
+    InstanceExists,
+    /// `ENOINST` — no such instance.
+    UnknownInstance,
+    /// `ENOVAR` — no such matrix variable.
+    UnknownVariable,
+    /// `ENOQUERY` — no such prepared query id.
+    UnknownQueryId,
+    /// `ENOPREP` — `EXEC` before any `PREPARE`.
+    NoPreparedQueries,
+    /// `EPARSE` — the query text failed to parse.
+    Parse,
+    /// `ETYPE` — the query text failed to type-check.
+    Type,
+    /// `EEVAL` — evaluation failed at runtime.
+    Eval,
+    /// `ESTORE` — a storage-layer operation failed.
+    Storage,
+    /// `EPROTO` — the request was malformed or out of protocol.
+    Protocol,
+    /// A local I/O failure — the socket, not the server, failed.
+    Io,
+    /// The server's reply did not match the protocol grammar.
+    Malformed,
+    /// An `ERR` code this client version does not know (a newer server).
+    Unknown,
+}
+
+impl ErrorCode {
+    /// Maps a wire code token to its category, if this client knows it.
+    pub fn from_wire(code: &str) -> Option<ErrorCode> {
+        match code {
+            "EEXISTS" => Some(ErrorCode::InstanceExists),
+            "ENOINST" => Some(ErrorCode::UnknownInstance),
+            "ENOVAR" => Some(ErrorCode::UnknownVariable),
+            "ENOQUERY" => Some(ErrorCode::UnknownQueryId),
+            "ENOPREP" => Some(ErrorCode::NoPreparedQueries),
+            "EPARSE" => Some(ErrorCode::Parse),
+            "ETYPE" => Some(ErrorCode::Type),
+            "EEVAL" => Some(ErrorCode::Eval),
+            "ESTORE" => Some(ErrorCode::Storage),
+            "EPROTO" => Some(ErrorCode::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// A failed request: the stable category plus the server's (or the local
+/// I/O layer's) human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientError {
+    /// The stable error category to branch on.
+    pub code: ErrorCode,
+    /// The human-readable message (free to be reworded server-side).
+    pub message: String,
+}
+
+impl ClientError {
+    fn io(e: impl fmt::Display) -> ClientError {
+        ClientError {
+            code: ErrorCode::Io,
+            message: e.to_string(),
+        }
+    }
+
+    fn malformed(message: impl Into<String>) -> ClientError {
+        ClientError {
+            code: ErrorCode::Malformed,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The server's `HELLO` banner: protocol revision and capability tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The protocol revision the server speaks.
+    pub proto: u32,
+    /// The announced capability tokens (`delta`, `errcodes`, …).
+    pub caps: Vec<String>,
+}
+
+impl ServerHello {
+    /// Whether the server announced a capability token.
+    pub fn has_capability(&self, cap: &str) -> bool {
+        self.caps.iter().any(|c| c == cap)
+    }
+}
+
+/// How the server maintained its memo cache on an `UPDATE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaWire {
+    /// The update was propagated exactly, patching `patched` cached nodes.
+    Applied {
+        /// Cached nodes patched.
+        patched: u64,
+    },
+    /// The update fell back to invalidation; `reason` is the stable
+    /// fallback code (`non-idempotent-semiring`, `not-insert-only`, …).
+    Fallback {
+        /// The stable fallback-reason code.
+        reason: String,
+    },
+    /// The server predates the delta tokens (proto 1).
+    Unreported,
+}
+
+/// The parsed reply to an `UPDATE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateReply {
+    /// Entries applied to the instance matrix.
+    pub applied: usize,
+    /// Cached plan nodes dropped (0 on a fully patched delta pass).
+    pub invalidated: u64,
+    /// How the cache was maintained.
+    pub delta: DeltaWire,
+}
 
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
@@ -27,37 +159,71 @@ impl Client {
         })
     }
 
-    fn send(&mut self, line: &str) -> Result<String, String> {
-        writeln!(self.writer, "{line}").map_err(|e| e.to_string())?;
-        self.writer.flush().map_err(|e| e.to_string())?;
+    fn send(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}").map_err(ClientError::io)?;
+        self.writer.flush().map_err(ClientError::io)?;
         self.read_reply()
     }
 
-    fn read_reply(&mut self) -> Result<String, String> {
+    fn read_reply(&mut self) -> Result<String, ClientError> {
         let mut reply = String::new();
-        if self
-            .reader
-            .read_line(&mut reply)
-            .map_err(|e| e.to_string())?
-            == 0
-        {
-            return Err("connection closed".to_string());
+        if self.reader.read_line(&mut reply).map_err(ClientError::io)? == 0 {
+            return Err(ClientError::io("connection closed"));
         }
         let reply = reply.trim_end().to_string();
         match reply.strip_prefix("ERR ") {
-            Some(message) => Err(message.to_string()),
+            Some(rest) => {
+                // `ERR <CODE> <message>`; a code this client version does
+                // not know (or a pre-errcodes server) degrades to
+                // `Unknown` with the full text preserved.
+                let mut parts = rest.splitn(2, ' ');
+                let first = parts.next().unwrap_or("");
+                Err(match (ErrorCode::from_wire(first), parts.next()) {
+                    (Some(code), Some(message)) => ClientError {
+                        code,
+                        message: message.to_string(),
+                    },
+                    _ => ClientError {
+                        code: ErrorCode::Unknown,
+                        message: rest.to_string(),
+                    },
+                })
+            }
             None => Ok(reply),
         }
     }
 
-    /// `INSTANCE <name> <backend>`.
-    pub fn create_instance(&mut self, name: &str, adaptive: bool) -> Result<(), String> {
+    /// `HELLO`; returns the server's protocol banner.
+    pub fn hello(&mut self) -> Result<ServerHello, ClientError> {
+        let reply = self.send("HELLO")?;
+        let proto = parse_kv(&reply, "proto")?;
+        let caps = reply
+            .split_whitespace()
+            .find_map(|token| token.strip_prefix("caps="))
+            .map(|list| list.split(',').map(str::to_string).collect())
+            .unwrap_or_default();
+        Ok(ServerHello { proto, caps })
+    }
+
+    /// `INSTANCE <name> <backend>` over the default semiring (ℝ).
+    pub fn create_instance(&mut self, name: &str, adaptive: bool) -> Result<(), ClientError> {
+        self.create_instance_with(name, adaptive, SemiringKind::Real)
+    }
+
+    /// `INSTANCE <name> <backend> <semiring>`.
+    pub fn create_instance_with(
+        &mut self,
+        name: &str,
+        adaptive: bool,
+        semiring: SemiringKind,
+    ) -> Result<(), ClientError> {
         let backend = if adaptive { "adaptive" } else { "dense" };
-        self.send(&format!("INSTANCE {name} {backend}")).map(|_| ())
+        self.send(&format!("INSTANCE {name} {backend} {}", semiring.name()))
+            .map(|_| ())
     }
 
     /// `DIM <instance> <sym> <n>`.
-    pub fn set_dim(&mut self, instance: &str, sym: &str, value: usize) -> Result<(), String> {
+    pub fn set_dim(&mut self, instance: &str, sym: &str, value: usize) -> Result<(), ClientError> {
         self.send(&format!("DIM {instance} {sym} {value}"))
             .map(|_| ())
     }
@@ -70,17 +236,17 @@ impl Client {
         rows: usize,
         cols: usize,
         entries: &[(usize, usize, f64)],
-    ) -> Result<(), String> {
+    ) -> Result<(), ClientError> {
         writeln!(
             self.writer,
             "LOAD {instance} {var} {rows} {cols} {}",
             entries.len()
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(ClientError::io)?;
         for (i, j, v) in entries {
-            writeln!(self.writer, "{i} {j} {v}").map_err(|e| e.to_string())?;
+            writeln!(self.writer, "{i} {j} {v}").map_err(ClientError::io)?;
         }
-        self.writer.flush().map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(ClientError::io)?;
         self.read_reply().map(|_| ())
     }
 
@@ -90,7 +256,7 @@ impl Client {
         instance: &str,
         var: &str,
         matrix: &Matrix<Real>,
-    ) -> Result<(), String> {
+    ) -> Result<(), ClientError> {
         let entries: Vec<(usize, usize, f64)> = matrix
             .nonzero_entries()
             .into_iter()
@@ -107,7 +273,7 @@ impl Client {
         sym: &str,
         avg_degree: f64,
         seed: u64,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, ClientError> {
         let reply = self.send(&format!(
             "GEN {instance} {var} {sym} er {avg_degree} {seed}"
         ))?;
@@ -115,19 +281,19 @@ impl Client {
     }
 
     /// `PREPARE`; returns the query id.
-    pub fn prepare(&mut self, instance: &str, text: &str) -> Result<usize, String> {
+    pub fn prepare(&mut self, instance: &str, text: &str) -> Result<usize, ClientError> {
         let reply = self.send(&format!("PREPARE {instance} {text}"))?;
         reply
             .split_whitespace()
             .nth(2)
             .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("malformed PREPARE reply `{reply}`"))
+            .ok_or_else(|| ClientError::malformed(format!("malformed PREPARE reply `{reply}`")))
     }
 
     /// `EXEC`; returns the result block.
-    pub fn exec(&mut self, instance: &str, qid: usize) -> Result<WireResult, String> {
+    pub fn exec(&mut self, instance: &str, qid: usize) -> Result<WireResult, ClientError> {
         let header = self.send(&format!("EXEC {instance} {qid}"))?;
-        read_result(&header, &mut self.reader)
+        read_result(&header, &mut self.reader).map_err(ClientError::malformed)
     }
 
     /// `EXECBATCH`; returns one result block per query id.
@@ -135,7 +301,7 @@ impl Client {
         &mut self,
         instance: &str,
         qids: &[usize],
-    ) -> Result<Vec<WireResult>, String> {
+    ) -> Result<Vec<WireResult>, ClientError> {
         let qid_list = qids
             .iter()
             .map(|q| q.to_string())
@@ -145,42 +311,57 @@ impl Client {
         let count: usize = header
             .strip_prefix("BATCH ")
             .and_then(|t| t.trim().parse().ok())
-            .ok_or_else(|| format!("malformed EXECBATCH reply `{header}`"))?;
+            .ok_or_else(|| {
+                ClientError::malformed(format!("malformed EXECBATCH reply `{header}`"))
+            })?;
         let mut results = Vec::with_capacity(count);
         for _ in 0..count {
             let header = self.read_reply()?;
-            results.push(read_result(&header, &mut self.reader)?);
+            results.push(read_result(&header, &mut self.reader).map_err(ClientError::malformed)?);
         }
         Ok(results)
     }
 
     /// `QUERY` (one-shot, unprepared); returns the result block.
-    pub fn query(&mut self, instance: &str, text: &str) -> Result<WireResult, String> {
+    pub fn query(&mut self, instance: &str, text: &str) -> Result<WireResult, ClientError> {
         let header = self.send(&format!("QUERY {instance} {text}"))?;
-        read_result(&header, &mut self.reader)
+        read_result(&header, &mut self.reader).map_err(ClientError::malformed)
     }
 
-    /// `UPDATE`; returns `(entries applied, cache entries invalidated)`.
+    /// `UPDATE`; returns how many entries applied and how the server
+    /// maintained its memo cache (delta propagation or invalidation).
     pub fn update(
         &mut self,
         instance: &str,
         var: &str,
         entries: &[(usize, usize, f64)],
-    ) -> Result<(usize, u64), String> {
+    ) -> Result<UpdateReply, ClientError> {
         let triples = entries
             .iter()
             .map(|(i, j, v)| format!("{i} {j} {v}"))
             .collect::<Vec<_>>()
             .join(" ");
         let reply = self.send(&format!("UPDATE {instance} {var} {triples}"))?;
-        Ok((
-            parse_kv(&reply, "entries")?,
-            parse_kv(&reply, "invalidated")?,
-        ))
+        let delta = if reply.split_whitespace().any(|t| t == "delta=applied") {
+            DeltaWire::Applied {
+                patched: parse_kv(&reply, "patched")?,
+            }
+        } else if reply.split_whitespace().any(|t| t == "delta=fallback") {
+            DeltaWire::Fallback {
+                reason: parse_kv(&reply, "reason")?,
+            }
+        } else {
+            DeltaWire::Unreported
+        };
+        Ok(UpdateReply {
+            applied: parse_kv(&reply, "entries")?,
+            invalidated: parse_kv(&reply, "invalidated")?,
+            delta,
+        })
     }
 
     /// `LIST`; returns the instance names.
-    pub fn list(&mut self) -> Result<Vec<String>, String> {
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
         let reply = self.send("LIST")?;
         Ok(reply
             .split_whitespace()
@@ -190,27 +371,27 @@ impl Client {
     }
 
     /// `DROP <instance>`.
-    pub fn drop_instance(&mut self, instance: &str) -> Result<(), String> {
+    pub fn drop_instance(&mut self, instance: &str) -> Result<(), ClientError> {
         self.send(&format!("DROP {instance}")).map(|_| ())
     }
 
     /// `PING`.
-    pub fn ping(&mut self) -> Result<(), String> {
+    pub fn ping(&mut self) -> Result<(), ClientError> {
         self.send("PING").map(|_| ())
     }
 
     /// `QUIT` (the server closes the connection after acknowledging).
-    pub fn quit(mut self) -> Result<(), String> {
+    pub fn quit(mut self) -> Result<(), ClientError> {
         self.send("QUIT").map(|_| ())
     }
 }
 
-fn parse_kv<T: std::str::FromStr>(reply: &str, key: &str) -> Result<T, String> {
+fn parse_kv<T: std::str::FromStr>(reply: &str, key: &str) -> Result<T, ClientError> {
     reply
         .split_whitespace()
         .find_map(|token| token.strip_prefix(&format!("{key}=")))
         .and_then(|v| v.parse().ok())
-        .ok_or_else(|| format!("missing {key}= in reply `{reply}`"))
+        .ok_or_else(|| ClientError::malformed(format!("missing {key}= in reply `{reply}`")))
 }
 
 impl WireResult {

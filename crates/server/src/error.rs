@@ -1,0 +1,160 @@
+//! Typed server errors with stable wire codes.
+//!
+//! Every failing request is answered with one `ERR <CODE> <message>` line.
+//! The code is a **stable contract**: clients branch on it (see
+//! [`crate::client::ErrorCode`]), while the human-readable message may be
+//! reworded freely.  Like every error type in the workspace, the `Display`
+//! form is guaranteed newline-free (pinned by `tests/single_line_errors.rs`)
+//! so messages ship verbatim as one protocol line.
+
+use std::fmt;
+
+/// A request-level failure, categorised for the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// `INSTANCE` with a name that is already taken (`EEXISTS`).
+    InstanceExists {
+        /// The requested instance name.
+        name: String,
+    },
+    /// A request named an instance the store does not hold (`ENOINST`).
+    UnknownInstance {
+        /// The requested instance name.
+        name: String,
+    },
+    /// `UPDATE` named a matrix variable the instance does not bind
+    /// (`ENOVAR`).
+    UnknownVariable {
+        /// The requested variable name.
+        var: String,
+    },
+    /// `EXEC` with a query id that was never returned by `PREPARE`
+    /// (`ENOQUERY`).
+    UnknownQueryId {
+        /// The out-of-range query id.
+        qid: usize,
+    },
+    /// `EXEC` before any `PREPARE` on the instance (`ENOPREP`).
+    NoPreparedQueries,
+    /// The query text failed to parse (`EPARSE`).
+    Parse {
+        /// The parser's message.
+        message: String,
+    },
+    /// The query text failed to type-check (`ETYPE`).
+    Type {
+        /// The type checker's message.
+        message: String,
+    },
+    /// Evaluation failed at runtime (`EEVAL`).
+    Eval {
+        /// The evaluator's message.
+        message: String,
+    },
+    /// A storage-layer operation failed — bad shapes, out-of-bounds
+    /// entries, unassigned size symbols (`ESTORE`).
+    Storage {
+        /// The storage layer's message.
+        message: String,
+    },
+    /// The request line itself was malformed or arrived out of protocol
+    /// (`EPROTO`).
+    Protocol {
+        /// What was wrong with the request.
+        message: String,
+    },
+}
+
+impl ServerError {
+    /// The stable, whitespace-free wire code for this error category.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServerError::InstanceExists { .. } => "EEXISTS",
+            ServerError::UnknownInstance { .. } => "ENOINST",
+            ServerError::UnknownVariable { .. } => "ENOVAR",
+            ServerError::UnknownQueryId { .. } => "ENOQUERY",
+            ServerError::NoPreparedQueries => "ENOPREP",
+            ServerError::Parse { .. } => "EPARSE",
+            ServerError::Type { .. } => "ETYPE",
+            ServerError::Eval { .. } => "EEVAL",
+            ServerError::Storage { .. } => "ESTORE",
+            ServerError::Protocol { .. } => "EPROTO",
+        }
+    }
+
+    /// Shorthand for a protocol-level error.
+    pub fn protocol(message: impl Into<String>) -> ServerError {
+        ServerError::Protocol {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a storage-level error.
+    pub fn storage(message: impl Into<String>) -> ServerError {
+        ServerError::Storage {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::InstanceExists { name } => {
+                write!(f, "instance `{name}` already exists")
+            }
+            ServerError::UnknownInstance { name } => write!(f, "unknown instance `{name}`"),
+            ServerError::UnknownVariable { var } => write!(f, "unknown variable `{var}`"),
+            ServerError::UnknownQueryId { qid } => write!(f, "unknown query id {qid}"),
+            ServerError::NoPreparedQueries => {
+                write!(f, "no prepared queries on this instance")
+            }
+            ServerError::Parse { message } => write!(f, "parse error: {message}"),
+            ServerError::Type { message } => write!(f, "type error: {message}"),
+            ServerError::Eval { message } => write!(f, "eval error: {message}"),
+            ServerError::Storage { message } => write!(f, "{message}"),
+            ServerError::Protocol { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_single_tokens() {
+        let all = [
+            ServerError::InstanceExists { name: "g".into() },
+            ServerError::UnknownInstance { name: "g".into() },
+            ServerError::UnknownVariable { var: "G".into() },
+            ServerError::UnknownQueryId { qid: 9 },
+            ServerError::NoPreparedQueries,
+            ServerError::Parse {
+                message: "x".into(),
+            },
+            ServerError::Type {
+                message: "x".into(),
+            },
+            ServerError::Eval {
+                message: "x".into(),
+            },
+            ServerError::storage("x"),
+            ServerError::protocol("x"),
+        ];
+        let codes: Vec<&str> = all.iter().map(ServerError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "EEXISTS", "ENOINST", "ENOVAR", "ENOQUERY", "ENOPREP", "EPARSE", "ETYPE", "EEVAL",
+                "ESTORE", "EPROTO",
+            ]
+        );
+        for (e, code) in all.iter().zip(&codes) {
+            assert!(!code.contains(char::is_whitespace));
+            assert!(!e.to_string().contains('\n'), "single-line Display");
+        }
+    }
+}

@@ -25,32 +25,49 @@
 //! bit-identical to the tree evaluator.  The `server_integration` suite
 //! enforces this over the shared evaluator corpus.
 //!
+//! Instances over an **idempotent semiring** (`bool`, `minplus`) get exact
+//! **delta-driven view maintenance**: an insert-only `UPDATE` is propagated
+//! through the prepared plan DAG ([`matlang_engine::delta`]) instead of
+//! invalidating it, so standing queries stay warm across updates.  Every
+//! `UPDATE` reply says which path ran (`delta=applied patched=…` or
+//! `delta=fallback reason=…`).
+//!
 //! ```
-//! use matlang_server::{Client, Server, ServerConfig};
+//! use matlang_server::{Client, DeltaWire, SemiringKind, Server, ServerConfig};
 //!
 //! let handle = Server::spawn(ServerConfig::default()).unwrap();
 //! let mut client = Client::connect(handle.addr()).unwrap();
-//! client.create_instance("g", true).unwrap();
+//! assert!(client.hello().unwrap().has_capability("delta"));
+//! client.create_instance_with("g", true, SemiringKind::Boolean).unwrap();
 //! client.set_dim("g", "n", 3).unwrap();
 //! client.load("g", "G", 3, 3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
 //! let qid = client.prepare("g", "(G * G)").unwrap();
 //! let two_hop = client.exec("g", qid).unwrap();
 //! assert_eq!(two_hop.entries, vec![(0, 2, 1.0)]);
-//! // Add the edge 2→0 and re-run: only G-dependent cache entries recompute.
-//! client.update("g", "G", &[(2, 0, 1.0)]).unwrap();
+//! // Add the edge 2→0 and re-run: the Boolean insert is delta-propagated,
+//! // so the standing query answers from the patched cache.
+//! let reply = client.update("g", "G", &[(2, 0, 1.0)]).unwrap();
+//! assert!(matches!(reply.delta, DeltaWire::Applied { .. }));
 //! assert_eq!(client.exec("g", qid).unwrap().entries.len(), 3);
 //! handle.shutdown();
 //! ```
 
 pub mod client;
+pub mod error;
 pub mod protocol;
 pub mod session;
 pub mod store;
 pub mod worker;
 
-pub use client::Client;
-pub use protocol::{GenKind, Request, WireResult};
-pub use store::{PrepareOutcome, Store};
+pub use client::{Client, ClientError, DeltaWire, ErrorCode, ServerHello, UpdateReply};
+pub use error::ServerError;
+pub use protocol::{
+    ExecStatsWire, GenKind, Request, ResponseHeader, SemiringKind, WireResult, CAPABILITIES,
+    PROTOCOL_VERSION,
+};
+pub use store::{
+    DeltaDisposition, PrepareOutcome, ServerSemiring, Store, UpdateOutcome, PLAN_CACHE_CAPACITY,
+};
 pub use worker::ConnQueue;
 
 use std::collections::HashMap;

@@ -6,34 +6,100 @@
 //! from `netcat`:
 //!
 //! ```text
-//! →  INSTANCE g adaptive            ←  OK instance g adaptive
-//! →  DIM g n 4                      ←  OK dim n 4
-//! →  LOAD g G 4 4 3                 ←  (reads 3 entry lines) OK load G nnz=3
+//! →  HELLO                           ←  OK matlangd proto=2 caps=delta,errcodes,semirings,execbatch
+//! →  INSTANCE g adaptive bool        ←  OK instance g adaptive bool
+//! →  DIM g n 4                       ←  OK dim n 4
+//! →  LOAD g G 4 4 3                  ←  (reads 3 entry lines) OK load G nnz=3
 //! →  0 1 1
 //! →  1 2 1
 //! →  2 0 1
-//! →  PREPARE g (G * G)             ←  OK prepared 0 plan=built statement=new nodes=2
-//! →  EXEC g 0                       ←  RESULT 4 4 2 hits=0 misses=2 … nodes=2
-//! ←  0 2 1                              (nnz entry lines)
+//! →  PREPARE g (G * G)              ←  OK prepared 0 plan=built statement=new nodes=2 fp=…
+//! →  EXEC g 0                        ←  RESULT 4 4 2 hits=0 misses=2 … delta=0 fallbacks=0 nodes=2 fp=…
+//! ←  0 2 1                               (nnz entry lines)
 //! ←  END
-//! →  UPDATE g G 3 3 2.5             ←  OK update G entries=1 invalidated=2
+//! →  UPDATE g G 3 3 1                ←  OK update G entries=1 invalidated=0 delta=applied patched=2
 //! ```
+//!
+//! # Versioning
+//!
+//! `HELLO` answers with a capability banner (`proto=2
+//! caps=delta,errcodes,semirings,execbatch`) so clients can discover what
+//! the server speaks before relying on it.  Proto 2 extends proto 1
+//! *additively*: every proto-1 token keeps its position and meaning, new
+//! information rides in appended `key=value` tokens (`delta=`,
+//! `fallbacks=`, `fp=` in `RESULT` headers; `delta=`/`patched=`/`reason=`
+//! in `UPDATE` replies), and the typed [`ResponseHeader`] parser **ignores
+//! unknown keys** so the same tolerance carries forward.  Error replies
+//! are `ERR <CODE> <message>` with a stable code per category
+//! ([`crate::ServerError::code`]); the message is guaranteed newline-free
+//! (pinned by `tests/single_line_errors.rs`), so it ships verbatim.
 //!
 //! Numbers use Rust's shortest-round-trip `f64` formatting, so values
 //! survive a wire round trip **bit-identically** — the property the
-//! integration suite pins against `matlang_core::evaluate`.  Error replies
-//! are a single `ERR <message>` line; the error `Display` impls across the
-//! workspace are guaranteed newline-free (pinned by
-//! `tests/single_line_errors.rs`), so messages ship verbatim.
+//! integration suite pins against `matlang_core::evaluate`.
 
+use crate::error::ServerError;
 use matlang_engine::ExecStats;
 use std::io::{BufRead, Write};
+
+/// The protocol revision announced by `HELLO`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The capability tokens announced by `HELLO`, comma-joined on the wire.
+pub const CAPABILITIES: &[&str] = &["delta", "errcodes", "semirings", "execbatch"];
+
+/// The semiring an instance computes over, as named on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SemiringKind {
+    /// `real` — the field ℝ over `f64` (the default).
+    #[default]
+    Real,
+    /// `bool` — the Boolean semiring (∨, ∧); idempotent, so insert-only
+    /// updates take the exact delta path.
+    Boolean,
+    /// `nat` — the natural numbers (+, ×).
+    Nat,
+    /// `minplus` — the tropical min-plus semiring (min, +); idempotent,
+    /// so weight-lowering updates take the exact delta path.
+    MinPlus,
+}
+
+impl SemiringKind {
+    /// Parses a wire token (`real`, `bool`, `nat`, `minplus`).
+    pub fn parse(token: &str) -> Option<SemiringKind> {
+        match token {
+            "real" => Some(SemiringKind::Real),
+            "bool" => Some(SemiringKind::Boolean),
+            "nat" => Some(SemiringKind::Nat),
+            "minplus" => Some(SemiringKind::MinPlus),
+            _ => None,
+        }
+    }
+
+    /// The wire token for this semiring.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SemiringKind::Real => "real",
+            SemiringKind::Boolean => "bool",
+            SemiringKind::Nat => "nat",
+            SemiringKind::MinPlus => "minplus",
+        }
+    }
+}
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// `INSTANCE <name> dense|adaptive` — create a named instance.
-    Instance { name: String, adaptive: bool },
+    /// `HELLO` — protocol version and capability discovery.
+    Hello,
+    /// `INSTANCE <name> [dense|adaptive] [real|bool|nat|minplus]` —
+    /// create a named instance (backend defaults to `adaptive`, semiring
+    /// to `real`).
+    Instance {
+        name: String,
+        adaptive: bool,
+        semiring: SemiringKind,
+    },
     /// `DIM <instance> <sym> <n>` — assign a size symbol.
     Dim {
         instance: String,
@@ -68,8 +134,8 @@ pub enum Request {
     /// (no prepared statement, no persistent cache); the baseline the
     /// `server_throughput` bench compares `EXEC` against.
     Query { instance: String, text: String },
-    /// `UPDATE <instance> <var> (<i> <j> <value>)+` — in-place point
-    /// updates plus dependency-scoped cache invalidation.
+    /// `UPDATE <instance> <var> (<i> <j> <value>)+` — point updates routed
+    /// through delta maintenance when exact, cache invalidation otherwise.
     Update {
         instance: String,
         var: String,
@@ -110,6 +176,7 @@ impl Request {
         let mut tokens = line.split_whitespace();
         let command = tokens.next().ok_or_else(|| "empty command".to_string())?;
         match command.to_ascii_uppercase().as_str() {
+            "HELLO" => Ok(Request::Hello),
             "INSTANCE" => {
                 let name = parse_num::<String>(tokens.next(), "instance name")?;
                 let backend = tokens.next().unwrap_or("adaptive");
@@ -118,7 +185,17 @@ impl Request {
                     "adaptive" => true,
                     other => return Err(format!("unknown backend `{other}` (dense|adaptive)")),
                 };
-                Ok(Request::Instance { name, adaptive })
+                let semiring = match tokens.next() {
+                    None => SemiringKind::default(),
+                    Some(token) => SemiringKind::parse(token).ok_or_else(|| {
+                        format!("unknown semiring `{token}` (real|bool|nat|minplus)")
+                    })?,
+                };
+                Ok(Request::Instance {
+                    name,
+                    adaptive,
+                    semiring,
+                })
             }
             "DIM" => Ok(Request::Dim {
                 instance: parse_num(tokens.next(), "instance name")?,
@@ -223,6 +300,133 @@ impl Request {
     }
 }
 
+/// Executor counters as echoed in a `RESULT` header — the typed wire twin
+/// of [`matlang_engine::ExecStats`], plus the server-side delta
+/// maintenance counters that the executor itself never sees.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStatsWire {
+    /// Plan nodes answered from the persistent memo cache (`hits=`).
+    pub cache_hits: u64,
+    /// Plan nodes computed by a kernel (`misses=`).
+    pub cache_misses: u64,
+    /// Cache entries dropped by invalidation (`invalidations=`).
+    pub invalidations: u64,
+    /// Products that ran on the parallel kernel (`parallel=`).
+    pub parallel_products: u64,
+    /// Elementwise ops that ran on the parallel kernel (`elementwise=`).
+    pub parallel_elementwise: u64,
+    /// Products that ran on a fused diagonal-scaling kernel (`fused=`).
+    pub fused_products: u64,
+    /// Cumulative cached nodes patched by delta propagation on this
+    /// instance (`delta=`).
+    pub delta_patches: u64,
+    /// Cumulative `UPDATE`s that fell back to invalidation on this
+    /// instance (`fallbacks=`).
+    pub delta_fallbacks: u64,
+}
+
+impl From<ExecStats> for ExecStatsWire {
+    fn from(stats: ExecStats) -> ExecStatsWire {
+        ExecStatsWire {
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            invalidations: stats.invalidations,
+            parallel_products: stats.parallel_products,
+            parallel_elementwise: stats.parallel_elementwise,
+            fused_products: stats.fused_products,
+            delta_patches: stats.delta_patches,
+            delta_fallbacks: 0,
+        }
+    }
+}
+
+/// A parsed `RESULT` header line — the typed replacement for the stringly
+/// `key=value` scan.  [`ResponseHeader::parse`] **ignores unknown keys**
+/// and defaults missing ones to zero, so a proto-2 client keeps working
+/// against both older and newer servers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResponseHeader {
+    /// Result row count.
+    pub rows: usize,
+    /// Result column count.
+    pub cols: usize,
+    /// Number of entry lines that follow the header.
+    pub nnz: usize,
+    /// The typed stat counters.
+    pub stats: ExecStatsWire,
+    /// DAG node count of the plan the query ran against (`nodes=`).
+    pub plan_nodes: usize,
+    /// [`matlang_engine::Plan::structure_fingerprint`] of that plan
+    /// (`fp=`, hex), identifying the rewrite variant that produced the
+    /// result.
+    pub fingerprint: u64,
+}
+
+impl ResponseHeader {
+    /// Parses a `RESULT` header line.  Unknown `key=value` tokens are
+    /// ignored; known keys with malformed values are an error.
+    pub fn parse(header: &str) -> Result<ResponseHeader, String> {
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some("RESULT") {
+            return Err(format!("expected RESULT, got `{header}`"));
+        }
+        let mut out = ResponseHeader {
+            rows: parse_num(tokens.next(), "row count")?,
+            cols: parse_num(tokens.next(), "column count")?,
+            nnz: parse_num(tokens.next(), "entry count")?,
+            ..ResponseHeader::default()
+        };
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(format!("malformed stat token `{token}`"));
+            };
+            let num = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("malformed {what} `{token}`"))
+            };
+            match key {
+                "hits" => out.stats.cache_hits = num("hits")?,
+                "misses" => out.stats.cache_misses = num("misses")?,
+                "invalidations" => out.stats.invalidations = num("invalidations")?,
+                "parallel" => out.stats.parallel_products = num("parallel")?,
+                "elementwise" => out.stats.parallel_elementwise = num("elementwise")?,
+                "fused" => out.stats.fused_products = num("fused")?,
+                "delta" => out.stats.delta_patches = num("delta")?,
+                "fallbacks" => out.stats.delta_fallbacks = num("fallbacks")?,
+                "nodes" => out.plan_nodes = num("nodes")? as usize,
+                "fp" => {
+                    out.fingerprint = u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("malformed fingerprint `{token}`"))?;
+                }
+                _ => {} // future keys: tolerated by design
+            }
+        }
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut impl Write) -> std::io::Result<()> {
+        writeln!(
+            out,
+            "RESULT {} {} {} hits={} misses={} invalidations={} parallel={} elementwise={} \
+             fused={} delta={} fallbacks={} nodes={} fp={:016x}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.stats.cache_hits,
+            self.stats.cache_misses,
+            self.stats.invalidations,
+            self.stats.parallel_products,
+            self.stats.parallel_elementwise,
+            self.stats.fused_products,
+            self.stats.delta_patches,
+            self.stats.delta_fallbacks,
+            self.plan_nodes,
+            self.fingerprint,
+        )
+    }
+}
+
 /// The result of executing one query, as shipped over the wire.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WireResult {
@@ -232,11 +436,27 @@ pub struct WireResult {
     pub cols: usize,
     /// The non-zero entries `(row, col, value)` in row-major order.
     pub entries: Vec<(usize, usize, f64)>,
-    /// Executor counters for this request.
-    pub stats: ExecStats,
+    /// Typed stat counters for this request.
+    pub stats: ExecStatsWire,
     /// DAG node count of the plan the query ran against — the denominator
     /// for cache-hit-ratio assertions.
     pub plan_nodes: usize,
+    /// Structure fingerprint of that plan (0 when unreported).
+    pub fingerprint: u64,
+}
+
+impl WireResult {
+    /// The header line this result serializes under.
+    pub fn header(&self) -> ResponseHeader {
+        ResponseHeader {
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.entries.len(),
+            stats: self.stats,
+            plan_nodes: self.plan_nodes,
+            fingerprint: self.fingerprint,
+        }
+    }
 }
 
 /// Collapses a message to a single protocol-safe line.  The workspace
@@ -250,28 +470,19 @@ pub fn single_line(message: &str) -> String {
         .collect()
 }
 
-/// Writes an `ERR` reply.
-pub fn write_err(out: &mut impl Write, message: &str) -> std::io::Result<()> {
-    writeln!(out, "ERR {}", single_line(message))
+/// Writes an `ERR <CODE> <message>` reply.
+pub fn write_err(out: &mut impl Write, error: &ServerError) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "ERR {} {}",
+        error.code(),
+        single_line(&error.to_string())
+    )
 }
 
 /// Writes a `RESULT … END` block.
 pub fn write_result(out: &mut impl Write, result: &WireResult) -> std::io::Result<()> {
-    writeln!(
-        out,
-        "RESULT {} {} {} hits={} misses={} invalidations={} parallel={} elementwise={} \
-         fused={} nodes={}",
-        result.rows,
-        result.cols,
-        result.entries.len(),
-        result.stats.cache_hits,
-        result.stats.cache_misses,
-        result.stats.invalidations,
-        result.stats.parallel_products,
-        result.stats.parallel_elementwise,
-        result.stats.fused_products,
-        result.plan_nodes,
-    )?;
+    result.header().write(out)?;
     for (i, j, v) in &result.entries {
         writeln!(out, "{i} {j} {v}")?;
     }
@@ -281,38 +492,12 @@ pub fn write_result(out: &mut impl Write, result: &WireResult) -> std::io::Resul
 /// Reads a `RESULT … END` block (the client side of [`write_result`]).
 /// `header` is the already-consumed `RESULT` line.
 pub fn read_result(header: &str, input: &mut impl BufRead) -> Result<WireResult, String> {
-    let mut tokens = header.split_whitespace();
-    if tokens.next() != Some("RESULT") {
-        return Err(format!("expected RESULT, got `{header}`"));
-    }
-    let rows: usize = parse_num(tokens.next(), "row count")?;
-    let cols: usize = parse_num(tokens.next(), "column count")?;
-    let nnz: usize = parse_num(tokens.next(), "entry count")?;
-    let mut stats = ExecStats::default();
-    let mut plan_nodes = 0usize;
-    for token in tokens {
-        let (key, value) = token
-            .split_once('=')
-            .ok_or_else(|| format!("malformed stat token `{token}`"))?;
-        let value: u64 = value
-            .parse()
-            .map_err(|_| format!("malformed stat `{token}`"))?;
-        match key {
-            "hits" => stats.cache_hits = value,
-            "misses" => stats.cache_misses = value,
-            "invalidations" => stats.invalidations = value,
-            "parallel" => stats.parallel_products = value,
-            "elementwise" => stats.parallel_elementwise = value,
-            "fused" => stats.fused_products = value,
-            "nodes" => plan_nodes = value as usize,
-            other => return Err(format!("unknown stat `{other}`")),
-        }
-    }
+    let header = ResponseHeader::parse(header)?;
     // `nnz` comes off the wire: clamp the pre-allocation (the vector
     // still grows to the real entry count).
-    let mut entries = Vec::with_capacity(nnz.min(1 << 16));
+    let mut entries = Vec::with_capacity(header.nnz.min(1 << 16));
     let mut line = String::new();
-    for _ in 0..nnz {
+    for _ in 0..header.nnz {
         line.clear();
         if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
             return Err("connection closed mid-result".to_string());
@@ -330,11 +515,12 @@ pub fn read_result(header: &str, input: &mut impl BufRead) -> Result<WireResult,
         return Err(format!("expected END, got `{}`", line.trim()));
     }
     Ok(WireResult {
-        rows,
-        cols,
+        rows: header.rows,
+        cols: header.cols,
         entries,
-        stats,
-        plan_nodes,
+        stats: header.stats,
+        plan_nodes: header.plan_nodes,
+        fingerprint: header.fingerprint,
     })
 }
 
@@ -344,18 +530,37 @@ mod tests {
 
     #[test]
     fn parses_core_commands() {
+        assert_eq!(Request::parse("HELLO").unwrap(), Request::Hello);
         assert_eq!(
             Request::parse("INSTANCE g dense").unwrap(),
             Request::Instance {
                 name: "g".into(),
-                adaptive: false
+                adaptive: false,
+                semiring: SemiringKind::Real,
             }
         );
         assert_eq!(
             Request::parse("instance g").unwrap(),
             Request::Instance {
                 name: "g".into(),
-                adaptive: true
+                adaptive: true,
+                semiring: SemiringKind::Real,
+            }
+        );
+        assert_eq!(
+            Request::parse("INSTANCE g adaptive bool").unwrap(),
+            Request::Instance {
+                name: "g".into(),
+                adaptive: true,
+                semiring: SemiringKind::Boolean,
+            }
+        );
+        assert_eq!(
+            Request::parse("INSTANCE g dense minplus").unwrap(),
+            Request::Instance {
+                name: "g".into(),
+                adaptive: false,
+                semiring: SemiringKind::MinPlus,
             }
         );
         assert_eq!(
@@ -396,6 +601,7 @@ mod tests {
         assert!(Request::parse("").is_err());
         assert!(Request::parse("FROB g").is_err());
         assert!(Request::parse("INSTANCE g columnar").is_err());
+        assert!(Request::parse("INSTANCE g dense complex").is_err());
         assert!(Request::parse("EXEC g notanumber").is_err());
         assert!(Request::parse("EXECBATCH g").is_err());
         assert!(Request::parse("UPDATE g G 0 1").is_err());
@@ -409,15 +615,18 @@ mod tests {
             rows: 2,
             cols: 3,
             entries: vec![(0, 1, 1.5), (1, 2, -0.25), (1, 0, 3e300)],
-            stats: ExecStats {
+            stats: ExecStatsWire {
                 cache_hits: 7,
                 cache_misses: 2,
                 invalidations: 1,
                 parallel_products: 1,
                 parallel_elementwise: 0,
                 fused_products: 3,
+                delta_patches: 11,
+                delta_fallbacks: 4,
             },
             plan_nodes: 9,
+            fingerprint: 0xdead_beef_cafe_f00d,
         };
         let mut wire = Vec::new();
         write_result(&mut wire, &result).unwrap();
@@ -427,6 +636,41 @@ mod tests {
         let rest = lines.collect::<Vec<_>>().join("\n") + "\n";
         let parsed = read_result(header, &mut rest.as_bytes()).unwrap();
         assert_eq!(parsed, result);
+    }
+
+    #[test]
+    fn header_parsing_tolerates_unknown_and_missing_keys() {
+        // A proto-1 header (no delta=, fallbacks= or fp=) still parses,
+        // with the unreported fields defaulting to zero …
+        let legacy = "RESULT 4 4 2 hits=1 misses=2 invalidations=0 parallel=0 elementwise=0 \
+                      fused=0 nodes=7";
+        let parsed = ResponseHeader::parse(legacy).unwrap();
+        assert_eq!((parsed.rows, parsed.cols, parsed.nnz), (4, 4, 2));
+        assert_eq!(parsed.stats.cache_misses, 2);
+        assert_eq!(parsed.stats.delta_patches, 0);
+        assert_eq!(parsed.fingerprint, 0);
+        // … and keys from a *future* protocol revision are skipped.
+        let future = "RESULT 1 1 0 hits=1 shards=9 fp=00000000000000ff";
+        let parsed = ResponseHeader::parse(future).unwrap();
+        assert_eq!(parsed.stats.cache_hits, 1);
+        assert_eq!(parsed.fingerprint, 0xff);
+        // Known keys with garbage values are still rejected.
+        assert!(ResponseHeader::parse("RESULT 1 1 0 hits=lots").is_err());
+        assert!(ResponseHeader::parse("RESULT 1 1 0 fp=zz").is_err());
+    }
+
+    #[test]
+    fn err_replies_carry_the_stable_code() {
+        let mut wire = Vec::new();
+        write_err(
+            &mut wire,
+            &ServerError::UnknownInstance { name: "g".into() },
+        )
+        .unwrap();
+        assert_eq!(
+            String::from_utf8(wire).unwrap(),
+            "ERR ENOINST unknown instance `g`\n"
+        );
     }
 
     #[test]

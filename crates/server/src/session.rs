@@ -2,11 +2,12 @@
 //!
 //! One worker thread runs one connection's entire session: read a request
 //! line, execute it against the shared [`Store`], write the reply, flush.
-//! Protocol errors (`ERR …`) never tear the connection down — only `QUIT`,
-//! EOF or an I/O failure do.
+//! Protocol errors (`ERR <CODE> …`) never tear the connection down — only
+//! `QUIT`, EOF or an I/O failure do.
 
-use crate::protocol::{write_err, write_result, Request};
-use crate::store::Store;
+use crate::error::ServerError;
+use crate::protocol::{write_err, write_result, Request, CAPABILITIES, PROTOCOL_VERSION};
+use crate::store::{DeltaDisposition, Store};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
@@ -25,7 +26,7 @@ pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()>
             continue;
         }
         match Request::parse(trimmed) {
-            Err(message) => write_err(&mut writer, &message)?,
+            Err(message) => write_err(&mut writer, &ServerError::protocol(message))?,
             Ok(Request::Quit) => {
                 writeln!(writer, "OK bye")?;
                 writer.flush()?;
@@ -44,11 +45,21 @@ fn dispatch(
     writer: &mut BufWriter<TcpStream>,
 ) -> std::io::Result<()> {
     match request {
-        Request::Instance { name, adaptive } => match store.create_instance(&name, adaptive) {
+        Request::Hello => writeln!(
+            writer,
+            "OK matlangd proto={PROTOCOL_VERSION} caps={}",
+            CAPABILITIES.join(",")
+        ),
+        Request::Instance {
+            name,
+            adaptive,
+            semiring,
+        } => match store.create_instance_with(&name, adaptive, semiring) {
             Ok(()) => writeln!(
                 writer,
-                "OK instance {name} {}",
-                if adaptive { "adaptive" } else { "dense" }
+                "OK instance {name} {} {}",
+                if adaptive { "adaptive" } else { "dense" },
+                semiring.name()
             ),
             Err(e) => write_err(writer, &e),
         },
@@ -79,7 +90,7 @@ fn dispatch(
             for _ in 0..nnz {
                 line.clear();
                 if reader.read_line(&mut line)? == 0 {
-                    return write_err(writer, "connection closed mid-LOAD");
+                    return write_err(writer, &ServerError::protocol("connection closed mid-LOAD"));
                 }
                 let mut tokens = line.split_whitespace();
                 let entry = (|| {
@@ -92,13 +103,14 @@ fn dispatch(
                 match entry {
                     Some(e) => entries.push(e),
                     None => {
-                        parse_error
-                            .get_or_insert_with(|| format!("malformed entry `{}`", line.trim()));
+                        parse_error.get_or_insert_with(|| {
+                            ServerError::protocol(format!("malformed entry `{}`", line.trim()))
+                        });
                     }
                 }
             }
-            if let Some(message) = parse_error {
-                return write_err(writer, &message);
+            if let Some(error) = parse_error {
+                return write_err(writer, &error);
             }
             match store.load_matrix(&instance, &var, rows, cols, entries) {
                 Ok(stored) => writeln!(writer, "OK load {var} nnz={stored}"),
@@ -157,10 +169,23 @@ fn dispatch(
             var,
             entries,
         } => match store.update(&instance, &var, &entries) {
-            Ok((applied, invalidated)) => writeln!(
-                writer,
-                "OK update {var} entries={applied} invalidated={invalidated}"
-            ),
+            Ok(outcome) => {
+                // Proto-2 appends how the cache was maintained; the
+                // proto-1 prefix is unchanged.
+                write!(
+                    writer,
+                    "OK update {var} entries={} invalidated={}",
+                    outcome.applied, outcome.invalidated
+                )?;
+                match outcome.delta {
+                    DeltaDisposition::Applied { patched } => {
+                        writeln!(writer, " delta=applied patched={patched}")
+                    }
+                    DeltaDisposition::Fallback { reason } => {
+                        writeln!(writer, " delta=fallback reason={}", reason.code())
+                    }
+                }
+            }
             Err(e) => write_err(writer, &e),
         },
         Request::List => writeln!(writer, "OK instances {}", store.list_instances().join(" ")),

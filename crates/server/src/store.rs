@@ -22,25 +22,40 @@
 //!   is reported on every `PREPARE` (wire token `fp=`) so clients can
 //!   tell which variant they got.
 //!
-//! Each instance carries its prepared statements plus **one shared
-//! [`NodeCache`]** over a single plan DAG covering *all* its prepared
-//! queries (they are planned as a batch, so common subterms are one node):
-//! an `EXEC` seeds an [`Executor`] with the cache, runs one root, and puts
-//! the cache back, which makes a repeated `EXEC` of an unchanged query a
-//! single cache hit.  An `UPDATE` mutates matrix entries in place
-//! ([`MatrixStorage::set_entry`]) and then drops **exactly** the cached
-//! nodes depending on the touched variable
-//! ([`Plan::invalidate_dependents_in`]) — standing queries over other
-//! variables keep their warm results.
+//! Each instance computes over one of the wire-selectable semirings
+//! ([`SemiringKind`], see [`ServerSemiring`]) on either the dense or the
+//! adaptive sparse/dense storage backend, and carries its prepared
+//! statements plus **one shared [`matlang_engine::NodeCache`]** over a
+//! single plan DAG covering *all* its prepared queries (they are planned
+//! as a batch, so common subterms are one node): an `EXEC` seeds an
+//! [`Executor`] with the cache, runs one root, and puts the cache back,
+//! which makes a repeated `EXEC` of an unchanged query a single cache hit.
+//!
+//! # `UPDATE`: delta propagation first, invalidation as the fallback
+//!
+//! A point `UPDATE` mutates matrix entries in place
+//! ([`MatrixStorage::set_entry`]) and then maintains the memo cache one of
+//! two ways.  When the instance's semiring has an idempotent `⊕`
+//! ([`join_is_idempotent`]) and every touched entry is insert-only
+//! (`old ⊕ new = new`, see [`absorbs`]), the update is **propagated**: its
+//! sparse delta flows through the plan DAG patching cached values via lazy
+//! overlays ([`matlang_engine::delta`]), so standing queries stay warm and
+//! the next `EXEC` answers from cache.  Otherwise the server falls back to
+//! dropping exactly the cached nodes depending on the touched variable
+//! ([`Plan::invalidate_dependents_in`]) and records *why* in the
+//! [`UpdateOutcome`] — standing queries over other variables keep their
+//! warm results either way.
 
-use crate::protocol::{GenKind, WireResult};
+use crate::error::ServerError;
+use crate::protocol::{ExecStatsWire, GenKind, SemiringKind, WireResult};
 use matlang_core::{typecheck, Dim, Expr, FunctionRegistry, Instance, MatrixType, Schema};
-use matlang_engine::{expr_fingerprint, Engine, Executor, InstanceStats, NodeCache, Plan};
+use matlang_engine::delta::{absorbs, join_is_idempotent, propagate, DeltaFallback, DeltaOverlay};
+use matlang_engine::{expr_fingerprint, Engine, Executor, InstanceStats, Plan};
 use matlang_matrix::{
     sparse_erdos_renyi, sparse_power_law, Matrix, MatrixRepr, MatrixStorage, SparseMatrix,
 };
 use matlang_parser::parse;
-use matlang_semiring::{Real, Semiring};
+use matlang_semiring::{Boolean, MinPlus, Nat, Real, Semiring};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, RwLock};
@@ -58,57 +73,172 @@ pub struct PreparedQuery {
     pub fingerprint: u64,
 }
 
+/// A semiring the server can host instances over: the [`Semiring`] algebra
+/// plus its wire name and the pointwise-function registry its instances
+/// resolve `apply` against.
+pub trait ServerSemiring: Semiring {
+    /// The wire token ([`SemiringKind::name`]) for this semiring.
+    const NAME: &'static str;
+
+    /// The function registry instances of this semiring carry.
+    fn registry() -> FunctionRegistry<Self>;
+}
+
+impl ServerSemiring for Real {
+    const NAME: &'static str = "real";
+
+    /// The paper's standard pointwise functions (`div`, `gt0`, …).
+    fn registry() -> FunctionRegistry<Real> {
+        FunctionRegistry::standard_field()
+    }
+}
+
+impl ServerSemiring for Boolean {
+    const NAME: &'static str = "bool";
+
+    fn registry() -> FunctionRegistry<Boolean> {
+        FunctionRegistry::new()
+    }
+}
+
+impl ServerSemiring for Nat {
+    const NAME: &'static str = "nat";
+
+    fn registry() -> FunctionRegistry<Nat> {
+        FunctionRegistry::new()
+    }
+}
+
+impl ServerSemiring for MinPlus {
+    const NAME: &'static str = "minplus";
+
+    fn registry() -> FunctionRegistry<MinPlus> {
+        FunctionRegistry::new()
+    }
+}
+
 /// Per-backend instance state: the MATLANG instance plus the prepared-query
-/// plan and its persistent memo cache.
-pub struct BackendState<M: MatrixStorage<Elem = Real>> {
+/// plan, its persistent memo cache and the delta-maintenance bookkeeping.
+pub struct BackendState<K: ServerSemiring, M: MatrixStorage<Elem = K>> {
     /// The MATLANG instance (dims + matrices).
-    pub instance: Instance<Real, M>,
+    pub instance: Instance<K, M>,
     /// Prepared statements, indexed by query id.
     pub prepared: Vec<PreparedQuery>,
     /// One plan covering every prepared statement (root *i* ↔ query id
     /// *i*), shared through the store-wide plan cache.
     pub plan: Option<Arc<Plan>>,
     /// The persistent memo cache over `plan`'s nodes.
-    pub cache: NodeCache<M>,
+    pub cache: matlang_engine::NodeCache<M>,
+    /// This semiring's pointwise-function registry.
+    pub registry: FunctionRegistry<K>,
+    /// Pending sparse delta overlays on top of `cache` (lazy patches from
+    /// delta-maintained `UPDATE`s, folded into the bases before execution).
+    pub overlay: DeltaOverlay<K>,
+    /// Cumulative cached nodes patched by delta propagation.
+    pub delta_patches: u64,
+    /// Cumulative `UPDATE`s that fell back to invalidation.
+    pub delta_fallbacks: u64,
 }
 
-impl<M: MatrixStorage<Elem = Real>> Default for BackendState<M> {
+impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, M> {
     fn default() -> Self {
         BackendState {
             instance: Instance::new(),
             prepared: Vec::new(),
             plan: None,
             cache: Vec::new(),
+            registry: K::registry(),
+            overlay: DeltaOverlay::new(0),
+            delta_patches: 0,
+            delta_fallbacks: 0,
         }
     }
 }
 
-/// A named instance: the same state machine over either the dense or the
-/// adaptive sparse/dense storage backend.
+impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> BackendState<K, M> {
+    /// Drops every cached node value and pending overlay (wholesale
+    /// invalidation: rebinds, dimension changes).
+    fn clear_cache(&mut self) {
+        self.cache.iter_mut().for_each(|slot| *slot = None);
+        self.overlay.reset(self.cache.len());
+    }
+}
+
+/// A named instance: the same state machine over every supported
+/// semiring × storage-backend combination.
 pub enum ServerInstance {
-    /// Dense row-major storage.
-    Dense(BackendState<Matrix<Real>>),
-    /// Adaptive (density-thresholded dense/CSR) storage.
-    Adaptive(BackendState<MatrixRepr<Real>>),
+    /// Dense row-major storage over ℝ.
+    DenseReal(BackendState<Real, Matrix<Real>>),
+    /// Adaptive (density-thresholded dense/CSR) storage over ℝ.
+    AdaptiveReal(BackendState<Real, MatrixRepr<Real>>),
+    /// Dense storage over the Boolean semiring.
+    DenseBool(BackendState<Boolean, Matrix<Boolean>>),
+    /// Adaptive storage over the Boolean semiring.
+    AdaptiveBool(BackendState<Boolean, MatrixRepr<Boolean>>),
+    /// Dense storage over ℕ.
+    DenseNat(BackendState<Nat, Matrix<Nat>>),
+    /// Adaptive storage over ℕ.
+    AdaptiveNat(BackendState<Nat, MatrixRepr<Nat>>),
+    /// Dense storage over the tropical min-plus semiring.
+    DenseMinPlus(BackendState<MinPlus, Matrix<MinPlus>>),
+    /// Adaptive storage over the tropical min-plus semiring.
+    AdaptiveMinPlus(BackendState<MinPlus, MatrixRepr<MinPlus>>),
 }
 
 impl ServerInstance {
+    fn create(adaptive: bool, semiring: SemiringKind) -> ServerInstance {
+        match (adaptive, semiring) {
+            (false, SemiringKind::Real) => ServerInstance::DenseReal(BackendState::default()),
+            (true, SemiringKind::Real) => ServerInstance::AdaptiveReal(BackendState::default()),
+            (false, SemiringKind::Boolean) => ServerInstance::DenseBool(BackendState::default()),
+            (true, SemiringKind::Boolean) => ServerInstance::AdaptiveBool(BackendState::default()),
+            (false, SemiringKind::Nat) => ServerInstance::DenseNat(BackendState::default()),
+            (true, SemiringKind::Nat) => ServerInstance::AdaptiveNat(BackendState::default()),
+            (false, SemiringKind::MinPlus) => ServerInstance::DenseMinPlus(BackendState::default()),
+            (true, SemiringKind::MinPlus) => {
+                ServerInstance::AdaptiveMinPlus(BackendState::default())
+            }
+        }
+    }
+
     /// The backend name as used by the protocol.
     pub fn backend_name(&self) -> &'static str {
         match self {
-            ServerInstance::Dense(_) => "dense",
-            ServerInstance::Adaptive(_) => "adaptive",
+            ServerInstance::DenseReal(_)
+            | ServerInstance::DenseBool(_)
+            | ServerInstance::DenseNat(_)
+            | ServerInstance::DenseMinPlus(_) => "dense",
+            ServerInstance::AdaptiveReal(_)
+            | ServerInstance::AdaptiveBool(_)
+            | ServerInstance::AdaptiveNat(_)
+            | ServerInstance::AdaptiveMinPlus(_) => "adaptive",
+        }
+    }
+
+    /// The semiring name as used by the protocol.
+    pub fn semiring_name(&self) -> &'static str {
+        match self {
+            ServerInstance::DenseReal(_) | ServerInstance::AdaptiveReal(_) => Real::NAME,
+            ServerInstance::DenseBool(_) | ServerInstance::AdaptiveBool(_) => Boolean::NAME,
+            ServerInstance::DenseNat(_) | ServerInstance::AdaptiveNat(_) => Nat::NAME,
+            ServerInstance::DenseMinPlus(_) | ServerInstance::AdaptiveMinPlus(_) => MinPlus::NAME,
         }
     }
 }
 
-/// Runs a closure against the backend-generic state of a
+/// Runs a closure against the semiring- and backend-generic state of a
 /// [`ServerInstance`].
 macro_rules! with_state {
     ($instance:expr, |$state:ident| $body:expr) => {
         match $instance {
-            ServerInstance::Dense($state) => $body,
-            ServerInstance::Adaptive($state) => $body,
+            ServerInstance::DenseReal($state) => $body,
+            ServerInstance::AdaptiveReal($state) => $body,
+            ServerInstance::DenseBool($state) => $body,
+            ServerInstance::AdaptiveBool($state) => $body,
+            ServerInstance::DenseNat($state) => $body,
+            ServerInstance::AdaptiveNat($state) => $body,
+            ServerInstance::DenseMinPlus($state) => $body,
+            ServerInstance::AdaptiveMinPlus($state) => $body,
         }
     };
 }
@@ -131,6 +261,34 @@ pub struct PrepareOutcome {
     /// the variant (echoed on the wire as `fp=` so clients can tell two
     /// plan variants of the same text apart).
     pub plan_fingerprint: u64,
+}
+
+/// How an `UPDATE` maintained the prepared-plan memo cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaDisposition {
+    /// The update was exact under the delta rules and was propagated
+    /// through the DAG.
+    Applied {
+        /// Cached nodes whose overlay absorbed a non-empty delta.
+        patched: u64,
+    },
+    /// The update could not be propagated exactly; dependent cache
+    /// entries were invalidated instead.
+    Fallback {
+        /// Why the delta path was refused.
+        reason: DeltaFallback,
+    },
+}
+
+/// The outcome of an `UPDATE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Entries applied to the instance matrix.
+    pub applied: usize,
+    /// Cached plan nodes dropped (0 on a fully patched delta pass).
+    pub invalidated: u64,
+    /// Whether the cache was patched or invalidated, and why.
+    pub delta: DeltaDisposition,
 }
 
 /// How many `(queries, schema)` plan variants the process-wide plan cache
@@ -195,7 +353,6 @@ impl LruPlanCache {
 pub struct Store {
     instances: RwLock<HashMap<String, Arc<Mutex<ServerInstance>>>>,
     plan_cache: Mutex<LruPlanCache>,
-    registry: FunctionRegistry<Real>,
     engine: Engine,
 }
 
@@ -206,9 +363,8 @@ impl Default for Store {
 }
 
 impl Store {
-    /// An empty store with the paper's standard pointwise functions
-    /// (`div`, `gt0`, …) registered and the plan cache bounded at
-    /// [`PLAN_CACHE_CAPACITY`].
+    /// An empty store with default engine options and the plan cache
+    /// bounded at [`PLAN_CACHE_CAPACITY`].
     pub fn new() -> Store {
         Store::with_plan_cache_capacity(PLAN_CACHE_CAPACITY)
     }
@@ -219,7 +375,6 @@ impl Store {
         Store {
             instances: RwLock::new(HashMap::new()),
             plan_cache: Mutex::new(LruPlanCache::new(capacity)),
-            registry: FunctionRegistry::standard_field(),
             engine: Engine::new(),
         }
     }
@@ -229,29 +384,42 @@ impl Store {
         self.plan_cache.lock().expect("plan cache poisoned").len()
     }
 
-    /// Creates a named instance.  Fails if the name is taken.
-    pub fn create_instance(&self, name: &str, adaptive: bool) -> Result<(), String> {
+    /// Creates a named instance over ℝ.  Fails if the name is taken.
+    pub fn create_instance(&self, name: &str, adaptive: bool) -> Result<(), ServerError> {
+        self.create_instance_with(name, adaptive, SemiringKind::Real)
+    }
+
+    /// Creates a named instance over an explicit semiring.  Fails if the
+    /// name is taken.
+    pub fn create_instance_with(
+        &self,
+        name: &str,
+        adaptive: bool,
+        semiring: SemiringKind,
+    ) -> Result<(), ServerError> {
         let mut instances = self.instances.write().expect("store poisoned");
         if instances.contains_key(name) {
-            return Err(format!("instance `{name}` already exists"));
+            return Err(ServerError::InstanceExists {
+                name: name.to_string(),
+            });
         }
-        let instance = if adaptive {
-            ServerInstance::Adaptive(BackendState::default())
-        } else {
-            ServerInstance::Dense(BackendState::default())
-        };
-        instances.insert(name.to_string(), Arc::new(Mutex::new(instance)));
+        instances.insert(
+            name.to_string(),
+            Arc::new(Mutex::new(ServerInstance::create(adaptive, semiring))),
+        );
         Ok(())
     }
 
     /// Removes a named instance, with its prepared statements and cache.
-    pub fn drop_instance(&self, name: &str) -> Result<(), String> {
+    pub fn drop_instance(&self, name: &str) -> Result<(), ServerError> {
         self.instances
             .write()
             .expect("store poisoned")
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| format!("unknown instance `{name}`"))
+            .ok_or_else(|| ServerError::UnknownInstance {
+                name: name.to_string(),
+            })
     }
 
     /// Instance names in sorted order.
@@ -267,17 +435,29 @@ impl Store {
         names
     }
 
-    fn instance(&self, name: &str) -> Result<Arc<Mutex<ServerInstance>>, String> {
+    fn instance(&self, name: &str) -> Result<Arc<Mutex<ServerInstance>>, ServerError> {
         self.instances
             .read()
             .expect("store poisoned")
             .get(name)
             .cloned()
-            .ok_or_else(|| format!("unknown instance `{name}`"))
+            .ok_or_else(|| ServerError::UnknownInstance {
+                name: name.to_string(),
+            })
+    }
+
+    /// The `(backend, semiring)` names of a named instance.
+    pub fn describe_instance(
+        &self,
+        name: &str,
+    ) -> Result<(&'static str, &'static str), ServerError> {
+        let instance = self.instance(name)?;
+        let guard = instance.lock().expect("instance poisoned");
+        Ok((guard.backend_name(), guard.semiring_name()))
     }
 
     /// Assigns a size symbol on an instance.
-    pub fn set_dim(&self, name: &str, sym: &str, value: usize) -> Result<(), String> {
+    pub fn set_dim(&self, name: &str, sym: &str, value: usize) -> Result<(), ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
         with_state!(&mut *guard, |state| {
@@ -286,12 +466,13 @@ impl Store {
             // invisible to the plan's dependency index — a dim change
             // conservatively clears the whole memo cache (loop iteration
             // counts and canonical-vector sizes may all have changed).
-            state.cache.iter_mut().for_each(|slot| *slot = None);
+            state.clear_cache();
             Ok(())
         })
     }
 
-    /// Assigns a matrix from explicit `(row, col, value)` entries.
+    /// Assigns a matrix from explicit `(row, col, value)` entries, with
+    /// values injected through the instance semiring's `from_f64`.
     /// Returns the stored non-zero count.
     pub fn load_matrix(
         &self,
@@ -300,13 +481,13 @@ impl Store {
         rows: usize,
         cols: usize,
         entries: Vec<(usize, usize, f64)>,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, ServerError> {
         let triplets: Vec<(usize, usize, Real)> = entries
             .into_iter()
             .map(|(i, j, v)| (i, j, Real(v)))
             .collect();
-        let sparse =
-            SparseMatrix::from_triplets(rows, cols, triplets).map_err(|e| e.to_string())?;
+        let sparse = SparseMatrix::from_triplets(rows, cols, triplets)
+            .map_err(|e| ServerError::storage(e.to_string()))?;
         self.assign_matrix(name, var, sparse)
     }
 
@@ -318,7 +499,7 @@ impl Store {
         var: &str,
         sym: &str,
         kind: GenKind,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, ServerError> {
         let instance = self.instance(name)?;
         let n = {
             let guard = instance.lock().expect("instance poisoned");
@@ -326,7 +507,9 @@ impl Store {
                 .instance
                 .dim_value(&Dim::Sym(sym.to_string())))
         }
-        .ok_or_else(|| format!("size symbol `{sym}` has no assigned dimension"))?;
+        .ok_or_else(|| {
+            ServerError::storage(format!("size symbol `{sym}` has no assigned dimension"))
+        })?;
         let sparse: SparseMatrix<Real> = match kind {
             GenKind::ErdosRenyi { avg_degree, seed } => sparse_erdos_renyi(n, avg_degree, seed),
             GenKind::PowerLaw {
@@ -338,32 +521,20 @@ impl Store {
         self.assign_matrix(name, var, sparse)
     }
 
-    /// Stores `matrix` under `var`, converting to the instance's backend.
-    /// Any (re)assignment resets the prepared plan's memo cache — unlike a
-    /// point `UPDATE`, a wholesale rebind invalidates everything that
-    /// mentions the variable, and conservatively clearing is cheapest.
+    /// Stores `matrix` under `var`, converting to the instance's semiring
+    /// and backend.  Any (re)assignment resets the prepared plan's memo
+    /// cache — unlike a point `UPDATE`, a wholesale rebind invalidates
+    /// everything that mentions the variable, and conservatively clearing
+    /// is cheapest.
     fn assign_matrix(
         &self,
         name: &str,
         var: &str,
         sparse: SparseMatrix<Real>,
-    ) -> Result<usize, String> {
-        let nnz = sparse.nnz();
+    ) -> Result<usize, ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        match &mut *guard {
-            ServerInstance::Dense(state) => {
-                state.instance.set_matrix(var, sparse.to_dense());
-                state.cache.iter_mut().for_each(|slot| *slot = None);
-            }
-            ServerInstance::Adaptive(state) => {
-                state
-                    .instance
-                    .set_matrix(var, MatrixRepr::from_sparse_auto(sparse));
-                state.cache.iter_mut().for_each(|slot| *slot = None);
-            }
-        }
-        Ok(nnz)
+        with_state!(&mut *guard, |state| assign_in(state, var, &sparse))
     }
 
     /// Parses, type-checks and plans a query against an instance,
@@ -371,21 +542,25 @@ impl Store {
     /// prepared statements are planned **as one batch** so they share a
     /// memo cache; the batch plan itself is shared through the store-wide
     /// `(queries, schema)`-keyed plan cache.
-    pub fn prepare(&self, name: &str, text: &str) -> Result<PrepareOutcome, String> {
-        let expr = parse(text).map_err(|e| format!("parse error: {e}"))?;
+    pub fn prepare(&self, name: &str, text: &str) -> Result<PrepareOutcome, ServerError> {
+        let expr = parse(text).map_err(|e| ServerError::Parse {
+            message: e.to_string(),
+        })?;
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
         with_state!(&mut *guard, |state| self.prepare_in(state, text, expr))
     }
 
-    fn prepare_in<M: MatrixStorage<Elem = Real>>(
+    fn prepare_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
         &self,
-        state: &mut BackendState<M>,
+        state: &mut BackendState<K, M>,
         text: &str,
         expr: Expr,
-    ) -> Result<PrepareOutcome, String> {
+    ) -> Result<PrepareOutcome, ServerError> {
         let schema = derive_schema(&state.instance)?;
-        typecheck(&expr, &schema).map_err(|e| format!("type error: {e}"))?;
+        typecheck(&expr, &schema).map_err(|e| ServerError::Type {
+            message: e.to_string(),
+        })?;
         let fingerprint = expr_fingerprint(&expr);
         if let Some(qid) = state
             .prepared
@@ -432,8 +607,10 @@ impl Store {
                 plan
             }
         };
-        // The plan's node ids changed; start the shared cache cold.
+        // The plan's node ids changed; start the shared cache (and its
+        // delta overlay) cold.
         state.cache = vec![None; plan.nodes().len()];
+        state.overlay.reset(plan.nodes().len());
         state.plan = Some(Arc::clone(&plan));
         Ok(PrepareOutcome {
             qid: state.prepared.len() - 1,
@@ -446,31 +623,32 @@ impl Store {
 
     /// Executes prepared queries through the instance's persistent memo
     /// cache, returning one wire result per query id.
-    pub fn exec(&self, name: &str, qids: &[usize]) -> Result<Vec<WireResult>, String> {
+    pub fn exec(&self, name: &str, qids: &[usize]) -> Result<Vec<WireResult>, ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
         with_state!(&mut *guard, |state| self.exec_in(state, qids))
     }
 
-    fn exec_in<M: MatrixStorage<Elem = Real>>(
+    fn exec_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
         &self,
-        state: &mut BackendState<M>,
+        state: &mut BackendState<K, M>,
         qids: &[usize],
-    ) -> Result<Vec<WireResult>, String> {
-        let plan = state
-            .plan
-            .as_ref()
-            .ok_or_else(|| "no prepared queries on this instance".to_string())?;
+    ) -> Result<Vec<WireResult>, ServerError> {
+        let plan = state.plan.as_ref().ok_or(ServerError::NoPreparedQueries)?;
         for &qid in qids {
             if qid >= state.prepared.len() {
-                return Err(format!("unknown query id {qid}"));
+                return Err(ServerError::UnknownQueryId { qid });
             }
         }
+        // Fold pending delta overlays into the cached bases the executor
+        // will read (just the requested roots when they are all warm).
+        let roots: Vec<usize> = qids.iter().map(|&qid| plan.roots()[qid]).collect();
+        state.overlay.flush_for_roots(&mut state.cache, &roots);
         let cache = std::mem::take(&mut state.cache);
         let mut exec = Executor::with_cache(
             plan,
             &state.instance,
-            &self.registry,
+            &state.registry,
             self.engine.exec_options,
             cache,
         );
@@ -483,9 +661,14 @@ impl Store {
                     value.as_ref(),
                     exec.stats().since(&before),
                     plan.nodes().len(),
+                    plan.structure_fingerprint(),
+                    state.delta_patches,
+                    state.delta_fallbacks,
                 )),
                 Err(e) => {
-                    outcome = Err(format!("eval error: {e}"));
+                    outcome = Err(ServerError::Eval {
+                        message: e.to_string(),
+                    });
                     break;
                 }
             }
@@ -497,83 +680,210 @@ impl Store {
     /// One-shot query: parse + typecheck + plan + evaluate, bypassing the
     /// prepared-statement machinery and its persistent cache entirely.
     /// This is the per-request-cost baseline `EXEC` is measured against.
-    pub fn query(&self, name: &str, text: &str) -> Result<WireResult, String> {
-        let expr = parse(text).map_err(|e| format!("parse error: {e}"))?;
+    pub fn query(&self, name: &str, text: &str) -> Result<WireResult, ServerError> {
+        let expr = parse(text).map_err(|e| ServerError::Parse {
+            message: e.to_string(),
+        })?;
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| {
-            let schema = derive_schema(&state.instance)?;
-            typecheck(&expr, &schema).map_err(|e| format!("type error: {e}"))?;
-            let plan = self
-                .engine
-                .plan(std::slice::from_ref(&expr), &state.instance);
-            let mut exec = Executor::new(
-                &plan,
-                &state.instance,
-                &self.registry,
-                self.engine.exec_options,
-            );
-            let value = exec
-                .run_shared(plan.roots()[0])
-                .map_err(|e| format!("eval error: {e}"))?;
-            Ok(wire_result(
-                value.as_ref(),
-                exec.stats(),
-                plan.nodes().len(),
-            ))
-        })
+        with_state!(&mut *guard, |state| self.query_in(state, &expr))
     }
 
-    /// Applies in-place point updates to a matrix variable, then drops
-    /// exactly the cached plan nodes whose value depends on it.  Returns
-    /// `(entries applied, cache entries invalidated)`.
+    fn query_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
+        &self,
+        state: &mut BackendState<K, M>,
+        expr: &Expr,
+    ) -> Result<WireResult, ServerError> {
+        let schema = derive_schema(&state.instance)?;
+        typecheck(expr, &schema).map_err(|e| ServerError::Type {
+            message: e.to_string(),
+        })?;
+        let plan = self
+            .engine
+            .plan(std::slice::from_ref(expr), &state.instance);
+        let mut exec = Executor::new(
+            &plan,
+            &state.instance,
+            &state.registry,
+            self.engine.exec_options,
+        );
+        let value = exec
+            .run_shared(plan.roots()[0])
+            .map_err(|e| ServerError::Eval {
+                message: e.to_string(),
+            })?;
+        Ok(wire_result(
+            value.as_ref(),
+            exec.stats(),
+            plan.nodes().len(),
+            plan.structure_fingerprint(),
+            0,
+            0,
+        ))
+    }
+
+    /// Applies in-place point updates to a matrix variable, then maintains
+    /// the prepared-plan memo cache: exact **delta propagation** when the
+    /// semiring and the batch allow it, dependency-scoped invalidation
+    /// otherwise (see the module docs).  The [`UpdateOutcome`] reports
+    /// which path ran and why.
     pub fn update(
         &self,
         name: &str,
         var: &str,
         entries: &[(usize, usize, f64)],
-    ) -> Result<(usize, u64), String> {
+    ) -> Result<UpdateOutcome, ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| {
-            let matrix = state
+        with_state!(&mut *guard, |state| self.update_in(state, var, entries))
+    }
+
+    fn update_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
+        &self,
+        state: &mut BackendState<K, M>,
+        var: &str,
+        entries: &[(usize, usize, f64)],
+    ) -> Result<UpdateOutcome, ServerError> {
+        let has_plan = state.plan.is_some();
+        let matrix =
+            state
                 .instance
                 .matrix_mut(var)
-                .ok_or_else(|| format!("unknown variable `{var}`"))?;
-            let mut applied = 0usize;
-            let mut outcome = Ok(());
+                .ok_or_else(|| ServerError::UnknownVariable {
+                    var: var.to_string(),
+                })?;
+        let (rows, cols) = matrix.shape();
+        // Decide the path *before* mutating anything: the delta rules are
+        // only exact for idempotent ⊕ and insert-only batches.
+        let mut fallback = if !self.engine.plan_options.delta_maintenance {
+            Some(DeltaFallback::Disabled)
+        } else if !has_plan {
+            Some(DeltaFallback::NoPlan)
+        } else if !join_is_idempotent::<K>() {
+            Some(DeltaFallback::NonIdempotentSemiring)
+        } else {
+            None
+        };
+        // The per-entry insert-only check, with in-batch duplicates
+        // tracked through `staged` so `old` is always the value the entry
+        // actually overwrites.
+        let mut staged: HashMap<(usize, usize), K> = HashMap::new();
+        if fallback.is_none() {
             for &(i, j, v) in entries {
-                if let Err(e) = matrix.set_entry(i, j, Real(v)) {
-                    outcome = Err(e.to_string());
+                let new = K::from_f64(v);
+                let old = match staged.get(&(i, j)) {
+                    Some(prev) => prev.clone(),
+                    None => match matrix.get_entry(i, j) {
+                        Ok(old) => old,
+                        // Out of bounds: the apply loop below fails at
+                        // this same entry and the batch falls back.
+                        Err(_) => break,
+                    },
+                };
+                if !absorbs(&old, &new) {
+                    fallback = Some(DeltaFallback::NotInsertOnly);
                     break;
                 }
-                applied += 1;
+                staged.insert((i, j), new);
             }
-            // Invalidate even when a later entry of the batch failed: the
-            // entries before it *did* mutate the matrix, and a cache that
-            // outlives them would serve stale results.
-            let invalidated = if applied > 0 {
-                state
-                    .plan
-                    .as_ref()
-                    .map(|plan| plan.invalidate_dependents_in(&mut state.cache, var))
-                    .unwrap_or(0)
-            } else {
-                0
-            };
-            outcome.map(|_| (applied, invalidated))
-        })
+        }
+        let mut applied = 0usize;
+        let mut failure = None;
+        for &(i, j, v) in entries {
+            if let Err(e) = matrix.set_entry(i, j, K::from_f64(v)) {
+                failure = Some(ServerError::storage(e.to_string()));
+                break;
+            }
+            applied += 1;
+        }
+        if failure.is_some() {
+            // The prefix before the failing entry *did* mutate the
+            // matrix; a half-applied batch never takes the delta path.
+            fallback = Some(DeltaFallback::PartialBatch);
+        }
+        let (invalidated, disposition) = match fallback {
+            None => {
+                // Every entry applied and absorbs: propagate the final
+                // staged values (zero-valued entries are no-ops — an
+                // absorbing write over a zero was itself zero — and are
+                // stripped from the delta).
+                let plan = state.plan.as_ref().expect("delta path implies a plan");
+                let triplets: Vec<(usize, usize, K)> = staged
+                    .into_iter()
+                    .filter(|(_, v)| !v.is_zero())
+                    .map(|((i, j), v)| (i, j, v))
+                    .collect();
+                let update = SparseMatrix::from_triplets(rows, cols, triplets)
+                    .expect("update entries were bounds-checked by set_entry");
+                let report = propagate(plan, &mut state.cache, &mut state.overlay, var, &update);
+                state.delta_patches += report.patched;
+                (
+                    report.invalidated,
+                    DeltaDisposition::Applied {
+                        patched: report.patched,
+                    },
+                )
+            }
+            Some(reason) => {
+                // Invalidate even when a later entry of the batch failed:
+                // the entries before it *did* mutate the matrix, and a
+                // cache that outlives them would serve stale results.
+                state.delta_fallbacks += 1;
+                let invalidated = if applied > 0 {
+                    match state.plan.as_ref() {
+                        Some(plan) => {
+                            for &id in plan.dependents_of(var) {
+                                state.overlay.clear_node(id);
+                            }
+                            plan.invalidate_dependents_in(&mut state.cache, var)
+                        }
+                        None => 0,
+                    }
+                } else {
+                    0
+                };
+                (invalidated, DeltaDisposition::Fallback { reason })
+            }
+        };
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(UpdateOutcome {
+                applied,
+                invalidated,
+                delta: disposition,
+            }),
+        }
     }
+}
+
+/// Converts loaded/generated ℝ triplet data into the instance's semiring
+/// and backend and stores it, clearing the memo cache.  Returns the stored
+/// non-zero count.
+fn assign_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
+    state: &mut BackendState<K, M>,
+    var: &str,
+    sparse: &SparseMatrix<Real>,
+) -> Result<usize, ServerError> {
+    let triplets: Vec<(usize, usize, K)> = sparse
+        .iter_entries()
+        .map(|(i, j, v)| (i, j, K::from_f64(v.0)))
+        .collect();
+    let converted = SparseMatrix::from_triplets(sparse.rows(), sparse.cols(), triplets)
+        .map_err(|e| ServerError::storage(e.to_string()))?;
+    let nnz = converted.nnz();
+    state.instance.set_matrix(var, M::from_sparse(converted));
+    state.clear_cache();
+    Ok(nnz)
 }
 
 /// Derives the typing schema of an instance: every matrix variable is
 /// typed by matching its concrete shape against the instance's size-symbol
 /// assignments (dimension 1 is the distinguished symbol `1`; other values
 /// resolve to the first size symbol carrying them, in name order).
-fn derive_schema<M: MatrixStorage<Elem = Real>>(
-    instance: &Instance<Real, M>,
-) -> Result<Schema, String> {
-    let dim_for = |value: usize| -> Result<Dim, String> {
+fn derive_schema<K: Semiring, M: MatrixStorage<Elem = K>>(
+    instance: &Instance<K, M>,
+) -> Result<Schema, ServerError> {
+    let dim_for = |value: usize| -> Result<Dim, ServerError> {
         if value == 1 {
             return Ok(Dim::One);
         }
@@ -581,7 +891,11 @@ fn derive_schema<M: MatrixStorage<Elem = Real>>(
             .dims()
             .find(|&(_, n)| n == value)
             .map(|(sym, _)| Dim::sym(sym.clone()))
-            .ok_or_else(|| format!("no size symbol assigned the value {value} (use DIM)"))
+            .ok_or_else(|| {
+                ServerError::storage(format!(
+                    "no size symbol assigned the value {value} (use DIM)"
+                ))
+            })
     };
     let mut schema = Schema::new();
     for (var, matrix) in instance.matrices() {
@@ -591,11 +905,17 @@ fn derive_schema<M: MatrixStorage<Elem = Real>>(
     Ok(schema)
 }
 
-fn wire_result<M: MatrixStorage<Elem = Real>>(
+fn wire_result<M: MatrixStorage>(
     value: &M,
     stats: matlang_engine::ExecStats,
     plan_nodes: usize,
+    fingerprint: u64,
+    delta_patches: u64,
+    delta_fallbacks: u64,
 ) -> WireResult {
+    let mut wire_stats = ExecStatsWire::from(stats);
+    wire_stats.delta_patches = delta_patches;
+    wire_stats.delta_fallbacks = delta_fallbacks;
     WireResult {
         rows: value.rows(),
         cols: value.cols(),
@@ -604,8 +924,9 @@ fn wire_result<M: MatrixStorage<Elem = Real>>(
             .into_iter()
             .map(|(i, j, v)| (i, j, v.to_f64()))
             .collect(),
-        stats,
+        stats: wire_stats,
         plan_nodes,
+        fingerprint,
     }
 }
 
@@ -634,12 +955,29 @@ mod tests {
     fn instance_lifecycle() {
         let store = seeded_store();
         assert_eq!(store.list_instances(), vec!["g".to_string()]);
-        assert!(store.create_instance("g", false).is_err());
+        assert!(matches!(
+            store.create_instance("g", false),
+            Err(ServerError::InstanceExists { .. })
+        ));
         store.create_instance("h", false).unwrap();
         assert_eq!(store.list_instances().len(), 2);
+        assert_eq!(store.describe_instance("h").unwrap(), ("dense", "real"));
         store.drop_instance("h").unwrap();
-        assert!(store.drop_instance("h").is_err());
-        assert!(store.prepare("missing", "G").is_err());
+        assert!(matches!(
+            store.drop_instance("h"),
+            Err(ServerError::UnknownInstance { .. })
+        ));
+        assert!(matches!(
+            store.prepare("missing", "G"),
+            Err(ServerError::UnknownInstance { .. })
+        ));
+        store
+            .create_instance_with("w", true, SemiringKind::MinPlus)
+            .unwrap();
+        assert_eq!(
+            store.describe_instance("w").unwrap(),
+            ("adaptive", "minplus")
+        );
     }
 
     #[test]
@@ -684,9 +1022,16 @@ mod tests {
         let over_h = store.prepare("g", "(H + H)").unwrap();
         // Warm both caches.
         store.exec("g", &[over_g.qid, over_h.qid]).unwrap();
-        let (applied, invalidated) = store.update("g", "H", &[(2, 2, 5.0)]).unwrap();
-        assert_eq!(applied, 1);
-        assert!(invalidated >= 2, "Var(H) and H+H must drop");
+        let outcome = store.update("g", "H", &[(2, 2, 5.0)]).unwrap();
+        assert_eq!(outcome.applied, 1);
+        assert!(outcome.invalidated >= 2, "Var(H) and H+H must drop");
+        // ℝ has no idempotent ⊕: the delta path must refuse and say why.
+        assert_eq!(
+            outcome.delta,
+            DeltaDisposition::Fallback {
+                reason: DeltaFallback::NonIdempotentSemiring
+            }
+        );
         // The G query is untouched: answered fully from cache.
         let g_again = store.exec("g", &[over_g.qid]).unwrap();
         assert_eq!(g_again[0].stats.cache_misses, 0);
@@ -697,9 +1042,97 @@ mod tests {
             .entries
             .iter()
             .any(|&(i, j, v)| (i, j, v) == (2, 2, 10.0)));
+        assert_eq!(h_again[0].stats.delta_fallbacks, 1, "fallback is counted");
         // Updating an unknown variable or out-of-bounds entry fails.
-        assert!(store.update("g", "missing", &[(0, 0, 1.0)]).is_err());
+        assert!(matches!(
+            store.update("g", "missing", &[(0, 0, 1.0)]),
+            Err(ServerError::UnknownVariable { .. })
+        ));
         assert!(store.update("g", "H", &[(9, 9, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn boolean_inserts_take_the_delta_path() {
+        let store = Store::new();
+        store
+            .create_instance_with("b", true, SemiringKind::Boolean)
+            .unwrap();
+        store.set_dim("b", "n", 6).unwrap();
+        store
+            .load_matrix("b", "G", 6, 6, vec![(0, 1, 1.0), (1, 2, 1.0)])
+            .unwrap();
+        let qid = store.prepare("b", "(G * G)").unwrap().qid;
+        store.exec("b", &[qid]).unwrap(); // warm
+        let outcome = store.update("b", "G", &[(2, 3, 1.0)]).unwrap();
+        assert!(
+            matches!(outcome.delta, DeltaDisposition::Applied { patched } if patched > 0),
+            "Boolean edge insert must be patched, got {:?}",
+            outcome.delta
+        );
+        assert_eq!(outcome.invalidated, 0);
+        let warm = store.exec("b", &[qid]).unwrap();
+        assert_eq!(
+            warm[0].stats.cache_misses, 0,
+            "delta-maintained root must answer from cache"
+        );
+        assert!(warm[0].stats.delta_patches > 0);
+        // Bit-identical to a cold recompute over the updated matrix.
+        store
+            .create_instance_with("cold", true, SemiringKind::Boolean)
+            .unwrap();
+        store.set_dim("cold", "n", 6).unwrap();
+        store
+            .load_matrix(
+                "cold",
+                "G",
+                6,
+                6,
+                vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+            )
+            .unwrap();
+        let cold = store.query("cold", "(G * G)").unwrap();
+        assert_eq!(warm[0].entries, cold.entries, "delta path diverged");
+        // Deleting an edge has no semiring inverse: fallback.
+        let outcome = store.update("b", "G", &[(0, 1, 0.0)]).unwrap();
+        assert_eq!(
+            outcome.delta,
+            DeltaDisposition::Fallback {
+                reason: DeltaFallback::NotInsertOnly
+            }
+        );
+        assert!(outcome.invalidated > 0);
+    }
+
+    #[test]
+    fn minplus_lowering_patches_and_raising_falls_back() {
+        let store = Store::new();
+        store
+            .create_instance_with("w", false, SemiringKind::MinPlus)
+            .unwrap();
+        store.set_dim("w", "n", 4).unwrap();
+        store
+            .load_matrix("w", "G", 4, 4, vec![(0, 1, 5.0), (1, 2, 7.0)])
+            .unwrap();
+        let qid = store.prepare("w", "(G * G)").unwrap().qid;
+        store.exec("w", &[qid]).unwrap(); // warm
+                                          // Lowering a weight absorbs under min — patched.
+        let lowered = store.update("w", "G", &[(0, 1, 2.0)]).unwrap();
+        assert!(matches!(lowered.delta, DeltaDisposition::Applied { .. }));
+        let warm = store.exec("w", &[qid]).unwrap();
+        assert_eq!(warm[0].stats.cache_misses, 0);
+        // The shortest 0→2 two-hop path now costs 2 + 7 = 9.
+        assert!(warm[0].entries.contains(&(0, 2, 9.0)));
+        // Raising it back does not absorb — fallback.
+        let raised = store.update("w", "G", &[(0, 1, 6.0)]).unwrap();
+        assert_eq!(
+            raised.delta,
+            DeltaDisposition::Fallback {
+                reason: DeltaFallback::NotInsertOnly
+            }
+        );
+        let recomputed = store.exec("w", &[qid]).unwrap();
+        assert!(recomputed[0].stats.cache_misses > 0);
+        assert!(recomputed[0].entries.contains(&(0, 2, 13.0)));
     }
 
     #[test]
@@ -809,6 +1242,9 @@ mod tests {
         // new fingerprint.
         let extended = store.prepare("g", "(G + G)").unwrap();
         assert_ne!(extended.plan_fingerprint, out.plan_fingerprint);
+        // EXEC echoes the fingerprint of the plan that served the result.
+        let served = store.exec("g", &[extended.qid]).unwrap();
+        assert_eq!(served[0].fingerprint, extended.plan_fingerprint);
     }
 
     #[test]
@@ -832,8 +1268,14 @@ mod tests {
         let store = seeded_store();
         let result = store.query("g", "(G + G)").unwrap();
         assert_eq!(result.rows, 4);
-        assert!(store.prepare("g", "(G +").is_err(), "parse error");
-        assert!(store.prepare("g", "missingvar").is_err(), "type error");
+        assert!(matches!(
+            store.prepare("g", "(G +"),
+            Err(ServerError::Parse { .. })
+        ));
+        assert!(matches!(
+            store.prepare("g", "missingvar"),
+            Err(ServerError::Type { .. })
+        ));
         assert!(
             store.prepare("g", "(G . G)").is_err(),
             "lexical garbage is rejected"

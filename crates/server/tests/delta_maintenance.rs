@@ -1,0 +1,261 @@
+//! Wire-level tests for delta-driven view maintenance: the protocol-2
+//! `HELLO` banner, `UPDATE` replies carrying `delta=applied`/`delta=fallback`
+//! tokens, cumulative delta counters in `RESULT` headers, and — the
+//! load-bearing contract — results served from a patched cache staying
+//! **bit-identical** to a cold recompute on a fresh instance holding the
+//! same final matrices.
+
+use matlang_server::{Client, DeltaWire, SemiringKind, Server, ServerConfig, ServerHandle};
+
+fn spawn() -> (ServerHandle, Client) {
+    let handle = Server::spawn(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+#[test]
+fn hello_announces_proto_2_and_the_delta_capability() {
+    let (handle, mut client) = spawn();
+    let hello = client.hello().unwrap();
+    assert_eq!(hello.proto, 2);
+    assert!(hello.has_capability("delta"));
+    assert!(hello.has_capability("errcodes"));
+    assert!(hello.has_capability("semirings"));
+    assert!(!hello.has_capability("timetravel"));
+    handle.shutdown();
+}
+
+#[test]
+fn boolean_inserts_patch_the_standing_query_over_the_wire() {
+    let (handle, mut client) = spawn();
+    client
+        .create_instance_with("g", true, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("g", "n", 4).unwrap();
+    let base = [(0usize, 1usize, 1.0), (1, 2, 1.0), (2, 3, 1.0)];
+    client.load("g", "G", 4, 4, &base).unwrap();
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap(); // warm the cache
+
+    // Insert-only update on an idempotent semiring: exact delta.
+    let inserted = [(3usize, 0usize, 1.0), (0, 2, 1.0)];
+    let reply = client.update("g", "G", &inserted).unwrap();
+    assert_eq!(reply.applied, 2);
+    assert_eq!(reply.invalidated, 0, "a delta pass drops nothing");
+    assert!(
+        matches!(reply.delta, DeltaWire::Applied { patched } if patched > 0),
+        "expected delta=applied, got {:?}",
+        reply.delta
+    );
+
+    // The warm execution answers entirely from the patched cache …
+    let warm = client.exec("g", qid).unwrap();
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert!(
+        warm.stats.delta_patches > 0,
+        "header carries delta counters"
+    );
+    assert_eq!(warm.stats.delta_fallbacks, 0);
+
+    // … and is bit-identical to a cold recompute over the final matrix.
+    let mut final_g: Vec<(usize, usize, f64)> = base.to_vec();
+    final_g.extend_from_slice(&inserted);
+    client
+        .create_instance_with("cold", true, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("cold", "n", 4).unwrap();
+    client.load("cold", "G", 4, 4, &final_g).unwrap();
+    let cold = client.query("cold", "(G * G)").unwrap();
+    assert_eq!(warm.entries, cold.entries);
+    assert_eq!((warm.rows, warm.cols), (cold.rows, cold.cols));
+
+    handle.shutdown();
+}
+
+#[test]
+fn deletes_fall_back_with_the_stable_reason_code() {
+    let (handle, mut client) = spawn();
+    client
+        .create_instance_with("g", false, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("g", "n", 3).unwrap();
+    client
+        .load("g", "G", 3, 3, &[(0, 1, 1.0), (1, 2, 1.0)])
+        .unwrap();
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap();
+
+    // Zeroing a present entry is not absorbed by ⊕: fallback.
+    let reply = client.update("g", "G", &[(0, 1, 0.0)]).unwrap();
+    assert_eq!(
+        reply.delta,
+        DeltaWire::Fallback {
+            reason: "not-insert-only".to_string()
+        }
+    );
+    assert!(reply.invalidated > 0, "dependents are dropped on fallback");
+
+    // The recompute reflects the delete and the header counts the fallback.
+    let after = client.exec("g", qid).unwrap();
+    assert!(after.entries.is_empty(), "the only two-hop path is gone");
+    assert!(after.stats.delta_fallbacks >= 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn non_idempotent_semirings_report_why_they_cannot_delta() {
+    let (handle, mut client) = spawn();
+    for (name, kind) in [("r", SemiringKind::Real), ("nat", SemiringKind::Nat)] {
+        client.create_instance_with(name, true, kind).unwrap();
+        client.set_dim(name, "n", 3).unwrap();
+        client
+            .load(name, "G", 3, 3, &[(0, 1, 1.0), (1, 2, 1.0)])
+            .unwrap();
+        let qid = client.prepare(name, "(G * G)").unwrap();
+        client.exec(name, qid).unwrap();
+        let reply = client.update(name, "G", &[(2, 0, 1.0)]).unwrap();
+        assert_eq!(
+            reply.delta,
+            DeltaWire::Fallback {
+                reason: "non-idempotent-semiring".to_string()
+            },
+            "{name}: ⊕ is not idempotent, so inserts may double-count"
+        );
+        // Correctness is preserved by recomputation either way.
+        let after = client.exec(name, qid).unwrap();
+        assert!(after.entries.contains(&(0, 2, 1.0)));
+        assert!(after.entries.contains(&(1, 0, 1.0)));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn minplus_lowering_patches_and_raising_falls_back_over_the_wire() {
+    let (handle, mut client) = spawn();
+    client
+        .create_instance_with("sp", true, SemiringKind::MinPlus)
+        .unwrap();
+    client.set_dim("sp", "n", 3).unwrap();
+    client
+        .load("sp", "G", 3, 3, &[(0, 1, 4.0), (1, 2, 5.0)])
+        .unwrap();
+    let qid = client.prepare("sp", "(G * G)").unwrap();
+    let cold = client.exec("sp", qid).unwrap();
+    assert_eq!(cold.entries, vec![(0, 2, 9.0)]);
+
+    // Lowering an edge weight is absorbed by min: exact delta.
+    let reply = client.update("sp", "G", &[(0, 1, 2.0)]).unwrap();
+    assert!(matches!(reply.delta, DeltaWire::Applied { .. }));
+    let warm = client.exec("sp", qid).unwrap();
+    assert_eq!(warm.entries, vec![(0, 2, 7.0)]);
+    assert_eq!(warm.stats.cache_misses, 0);
+
+    // Raising it back up is not: fallback, then a correct recompute.
+    let reply = client.update("sp", "G", &[(0, 1, 8.0)]).unwrap();
+    assert_eq!(
+        reply.delta,
+        DeltaWire::Fallback {
+            reason: "not-insert-only".to_string()
+        }
+    );
+    let after = client.exec("sp", qid).unwrap();
+    assert_eq!(after.entries, vec![(0, 2, 13.0)]);
+
+    handle.shutdown();
+}
+
+/// A batch touching several variables in sequence, where some updates take
+/// the delta path and others force invalidation, must keep every standing
+/// query bit-identical to a cold recompute of the final state.
+#[test]
+fn mixed_delta_and_fallback_updates_stay_bit_identical_to_cold() {
+    let (handle, mut client) = spawn();
+    client
+        .create_instance_with("g", true, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("g", "n", 5).unwrap();
+    let g0 = [(0usize, 1usize, 1.0), (1, 2, 1.0), (2, 3, 1.0)];
+    let h0 = [(1usize, 4usize, 1.0), (2, 0, 1.0), (3, 1, 1.0)];
+    client.load("g", "G", 5, 5, &g0).unwrap();
+    client.load("g", "H", 5, 5, &h0).unwrap();
+    let q_gh = client.prepare("g", "(G * H)").unwrap();
+    let q_gg = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", q_gh).unwrap();
+    client.exec("g", q_gg).unwrap();
+
+    // G takes the delta path (pure inserts, some redundant) …
+    let g_up = [(3usize, 4usize, 1.0), (0, 1, 1.0)];
+    let reply = client.update("g", "G", &g_up).unwrap();
+    assert!(
+        matches!(reply.delta, DeltaWire::Applied { .. }),
+        "redundant re-inserts are absorbed, the batch stays insert-only"
+    );
+
+    // … while H mixes an insert with a delete in one batch: fallback.
+    let h_up = [(0usize, 3usize, 1.0), (1, 4, 0.0)];
+    let reply = client.update("g", "H", &h_up).unwrap();
+    assert_eq!(
+        reply.delta,
+        DeltaWire::Fallback {
+            reason: "not-insert-only".to_string()
+        }
+    );
+
+    // Replay the final state cold and compare both standing queries.
+    let mut g_final = g0.to_vec();
+    g_final.extend_from_slice(&g_up);
+    let h_final = vec![(2usize, 0usize, 1.0), (3, 1, 1.0), (0, 3, 1.0)];
+    client
+        .create_instance_with("cold", true, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("cold", "n", 5).unwrap();
+    client.load("cold", "G", 5, 5, &g_final).unwrap();
+    client.load("cold", "H", 5, 5, &h_final).unwrap();
+    for (qid, text) in [(q_gh, "(G * H)"), (q_gg, "(G * G)")] {
+        let warm = client.exec("g", qid).unwrap();
+        let cold = client.query("cold", text).unwrap();
+        assert_eq!(warm.entries, cold.entries, "{text} diverged from cold");
+    }
+
+    // The header counters saw both paths on this instance.
+    let last = client.exec("g", q_gg).unwrap();
+    assert!(last.stats.delta_patches > 0);
+    assert!(last.stats.delta_fallbacks > 0);
+
+    handle.shutdown();
+}
+
+/// Delta counters in `RESULT` headers are cumulative per instance and
+/// only ever grow.
+#[test]
+fn header_delta_counters_accumulate_across_updates() {
+    let (handle, mut client) = spawn();
+    client
+        .create_instance_with("g", true, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("g", "n", 4).unwrap();
+    client.load("g", "G", 4, 4, &[(0, 1, 1.0)]).unwrap();
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap();
+
+    let mut last_patches = 0;
+    for step in 0..3u64 {
+        let s = step as usize;
+        let edge = (1 + s, (2 + s) % 4, 1.0);
+        let reply = client.update("g", "G", &[edge]).unwrap();
+        assert!(matches!(reply.delta, DeltaWire::Applied { .. }));
+        let result = client.exec("g", qid).unwrap();
+        assert!(
+            result.stats.delta_patches > last_patches,
+            "step {step}: counter must strictly grow on an applied delta"
+        );
+        last_patches = result.stats.delta_patches;
+    }
+
+    handle.shutdown();
+}

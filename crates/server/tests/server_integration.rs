@@ -9,7 +9,7 @@
 use matlang_core::{corpus, evaluate, Expr, FunctionRegistry, Instance, SparseInstance};
 use matlang_matrix::{Matrix, MatrixRepr, MatrixStorage};
 use matlang_semiring::Real;
-use matlang_server::{Client, Server, ServerConfig, ServerHandle};
+use matlang_server::{Client, DeltaWire, ErrorCode, Server, ServerConfig, ServerHandle};
 
 fn spawn() -> ServerHandle {
     Server::spawn(ServerConfig {
@@ -125,11 +125,19 @@ fn update_invalidates_only_dependent_cache_entries() {
 
     // Update H only: dependent entries drop, and the RESULT stats prove
     // the G queries never recompute a single node.
-    let (applied, invalidated) = client
+    let reply = client
         .update("g", "H", &[(0, 1, 2.0), (1, 0, 3.0)])
         .unwrap();
-    assert_eq!(applied, 2);
-    assert!(invalidated >= 2, "H's dependent plan nodes must drop");
+    assert_eq!(reply.applied, 2);
+    assert!(reply.invalidated >= 2, "H's dependent plan nodes must drop");
+    // ℝ instances have no idempotent ⊕, so the UPDATE reply must report
+    // the invalidation fallback with its stable reason code.
+    assert_eq!(
+        reply.delta,
+        DeltaWire::Fallback {
+            reason: "non-idempotent-semiring".to_string()
+        }
+    );
     for qid in [over_g1, over_g2] {
         let result = client.exec("g", qid).unwrap();
         assert_eq!(
@@ -250,17 +258,50 @@ fn protocol_errors_are_single_line_and_recoverable() {
     client.create_instance("g", false).unwrap();
     client.set_dim("g", "n", 3).unwrap();
     client.load("g", "G", 3, 3, &[(0, 1, 1.0)]).unwrap();
-    // Parse, type, eval and protocol errors all arrive as one ERR line and
-    // leave the session usable.
-    assert!(client.prepare("g", "(G +").is_err());
-    assert!(client.prepare("g", "unknownvar").is_err());
-    assert!(client.prepare("g", "(G ** (const 2))").is_err()); // Hadamard shape mismatch
-    assert!(client.exec("g", 999).is_err());
-    assert!(client.update("g", "G", &[(9, 9, 1.0)]).is_err());
-    assert!(client.query("missing", "(const 1)").is_err());
+    // Parse, type, eval and protocol errors all arrive as one
+    // `ERR <CODE> <message>` line — typed on the client — and leave the
+    // session usable.
+    assert_eq!(
+        client.prepare("g", "(G +").unwrap_err().code,
+        ErrorCode::Parse
+    );
+    assert_eq!(
+        client.prepare("g", "unknownvar").unwrap_err().code,
+        ErrorCode::Type
+    );
+    // Hadamard shape mismatch is a type error too.
+    assert_eq!(
+        client.prepare("g", "(G ** (const 2))").unwrap_err().code,
+        ErrorCode::Type
+    );
+    // No statement has been prepared yet, so EXEC reports ENOPREP …
+    assert_eq!(
+        client.exec("g", 999).unwrap_err().code,
+        ErrorCode::NoPreparedQueries
+    );
+    assert_eq!(
+        client.update("g", "G", &[(9, 9, 1.0)]).unwrap_err().code,
+        ErrorCode::Storage
+    );
+    assert_eq!(
+        client.query("missing", "(const 1)").unwrap_err().code,
+        ErrorCode::UnknownInstance
+    );
+    assert_eq!(
+        client
+            .update("g", "missing", &[(0, 0, 1.0)])
+            .unwrap_err()
+            .code,
+        ErrorCode::UnknownVariable
+    );
     client.ping().unwrap();
     // A well-formed request still works afterwards.
     let qid = client.prepare("g", "(G + G)").unwrap();
     assert_eq!(client.exec("g", qid).unwrap().entries, vec![(0, 1, 2.0)]);
+    // … and once a statement exists, a bad id is ENOQUERY.
+    assert_eq!(
+        client.exec("g", qid + 1).unwrap_err().code,
+        ErrorCode::UnknownQueryId
+    );
     handle.shutdown();
 }

@@ -9,6 +9,7 @@ use matlang_core::{MatrixType, TypeError};
 use matlang_matrix::{Matrix, MatrixError};
 use matlang_parser::{parse, ParseError};
 use matlang_semiring::Real;
+use matlang_server::ServerError;
 
 fn assert_single_line(error: &impl std::fmt::Display) {
     let message = error.to_string();
@@ -114,6 +115,45 @@ fn matrix_errors_are_single_line() {
     ];
     for error in &cases {
         assert_single_line(error);
+    }
+}
+
+#[test]
+fn server_errors_are_single_line_with_stable_codes() {
+    let cases: Vec<(ServerError, &str)> = vec![
+        (ServerError::InstanceExists { name: "g".into() }, "EEXISTS"),
+        (ServerError::UnknownInstance { name: "g".into() }, "ENOINST"),
+        (ServerError::UnknownVariable { var: "G".into() }, "ENOVAR"),
+        (ServerError::UnknownQueryId { qid: 7 }, "ENOQUERY"),
+        (ServerError::NoPreparedQueries, "ENOPREP"),
+        (
+            ServerError::Parse {
+                message: "unexpected end of input".into(),
+            },
+            "EPARSE",
+        ),
+        (
+            ServerError::Type {
+                message: "shape mismatch".into(),
+            },
+            "ETYPE",
+        ),
+        (
+            ServerError::Eval {
+                message: "unbound matrix variable `Z`".into(),
+            },
+            "EEVAL",
+        ),
+        (ServerError::storage("entry (9, 9) out of bounds"), "ESTORE"),
+        (ServerError::protocol("unknown command `NOPE`"), "EPROTO"),
+    ];
+    for (error, code) in &cases {
+        assert_single_line(error);
+        assert_eq!(error.code(), *code, "wire codes are a stable contract");
+        assert!(
+            !error.code().contains(char::is_whitespace),
+            "codes must be single tokens"
+        );
     }
 }
 

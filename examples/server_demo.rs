@@ -78,11 +78,14 @@ fn main() {
         }
     }
     let started = Instant::now();
-    let (applied, invalidated) = client.update("g", "G", &edges).unwrap();
+    let reply = client.update("g", "G", &edges).unwrap();
     println!(
-        "\nUPDATE G: {applied} edges applied, {invalidated} dependent cache entries \
-         invalidated in {:?} — W-dependent entries untouched\n",
-        started.elapsed()
+        "\nUPDATE G: {} edges applied, {} dependent cache entries \
+         invalidated in {:?} ({:?}) — W-dependent entries untouched\n",
+        reply.applied,
+        reply.invalidated,
+        started.elapsed(),
+        reply.delta,
     );
     exec_round(
         "after UPDATE G: G-queries recompute, the W-query stays warm",
@@ -107,6 +110,31 @@ fn main() {
          ({:.0} requests/s)",
         qids.len(),
         (rounds * (1 + qids.len())) as f64 / elapsed.as_secs_f64()
+    );
+
+    // Delta maintenance: the same standing-query idea over a Boolean
+    // instance, where an edge insert is an exact delta — the prepared
+    // query is *patched*, never recomputed.
+    client
+        .create_instance_with("reach", true, SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim("reach", "n", n).unwrap();
+    client
+        .gen_erdos_renyi("reach", "G", "n", 8.0, 2023)
+        .unwrap();
+    let two_hop = client.prepare("reach", "(G * G)").unwrap();
+    client.exec("reach", two_hop).unwrap(); // warm
+    let started = Instant::now();
+    let reply = client
+        .update("reach", "G", &[(0, 1, 1.0), (1, 2, 1.0)])
+        .unwrap();
+    let warm = client.exec("reach", two_hop).unwrap();
+    println!(
+        "\nBoolean instance: UPDATE+EXEC in {:?} ({:?}), {} cache misses — \
+         the insert was delta-propagated, the standing query never recomputed",
+        started.elapsed(),
+        reply.delta,
+        warm.stats.cache_misses
     );
 
     client.quit().unwrap();

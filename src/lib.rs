@@ -80,5 +80,8 @@ pub mod prelude {
         ApproxEq, Boolean, Field, IntRing, MaxPlus, MinPlus, Nat, OrderedField, Real, Ring,
         Semiring,
     };
-    pub use matlang_server::{Client, Server, ServerConfig};
+    pub use matlang_server::{
+        Client, ClientError, DeltaWire, ErrorCode, SemiringKind, Server, ServerConfig, ServerError,
+        ServerHello, UpdateReply,
+    };
 }

@@ -1,0 +1,67 @@
+//! Observability overhead on the server's hot path.
+//!
+//! Three views of the cost of the `matlang_obs` layer:
+//!
+//! 1. **warm-exec-obs-on / warm-exec-obs-off** — the load-bearing pair: a
+//!    warm prepared `EXEC` over real TCP with the obs layer enabled versus
+//!    disabled ([`matlang_obs::set_enabled`]).  The release guard test
+//!    (`crates/server/tests/obs_overhead_guard.rs`) pins the ratio of
+//!    these at ≤5 %; the bench records the absolute numbers over time.
+//! 2. **trace-begin-drop** — one full per-request trace cycle in
+//!    isolation: id allocation, inline-label copy, clock reads, ring
+//!    bookkeeping.
+//! 3. **counter-inc / histogram-observe** — the registry primitives the
+//!    instrumented kernels and verbs lean on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matlang_bench::quick_criterion;
+use matlang_server::{Client, Server, ServerConfig};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.create_instance("g", true).unwrap();
+    client.set_dim("g", "n", 64).unwrap();
+    client.gen_erdos_renyi("g", "G", "n", 4.0, 7).unwrap();
+    let qid = client
+        .prepare("g", "(transpose(ones(G)) * (G * ones(G)))")
+        .unwrap();
+    client.exec("g", qid).unwrap(); // warm the root
+
+    matlang_obs::set_enabled(true);
+    group.bench_function("warm-exec-obs-on", |b| {
+        b.iter(|| client.exec("g", qid).unwrap().entries.len())
+    });
+    matlang_obs::set_enabled(false);
+    group.bench_function("warm-exec-obs-off", |b| {
+        b.iter(|| client.exec("g", qid).unwrap().entries.len())
+    });
+    matlang_obs::set_enabled(true);
+    handle.shutdown();
+
+    group.bench_function("trace-begin-drop", |b| {
+        b.iter(|| {
+            let _t = matlang_obs::trace::begin(matlang_obs::trace::next_id(), "EXEC g 0");
+        })
+    });
+    group.bench_function("counter-inc", |b| {
+        b.iter(|| matlang_obs::counter!("bench_obs_counter").inc())
+    });
+    group.bench_function("histogram-observe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(97);
+            matlang_obs::histogram!("bench_obs_histogram_us").observe(v & 0xffff)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -299,6 +299,7 @@ where
     if update.nnz() == 0 {
         return report;
     }
+    let _span = matlang_obs::trace::span("delta-propagate");
     let mut deltas: Vec<NodeDelta<K>> = Vec::with_capacity(n);
     // Topological (children-first) node order: every rule sees its
     // children already patched, so "current value" below always means the

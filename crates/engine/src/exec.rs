@@ -43,6 +43,11 @@ pub struct ExecOptions {
     /// Apply the planner's per-node representation choices to cached
     /// values (adaptive backend only; other backends ignore the hints).
     pub apply_repr_hints: bool,
+    /// Collect a per-node [`NodeSample`] breakdown (wall time, output
+    /// shape/nnz, cache hits) while executing — the engine side of the
+    /// server's `PROFILE` verb.  Off by default: sampling times every node
+    /// computation and scans outputs for their nnz.
+    pub profile: bool,
 }
 
 impl Default for ExecOptions {
@@ -50,8 +55,30 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: matlang_matrix::configured_threads(),
             apply_repr_hints: true,
+            profile: false,
         }
     }
+}
+
+/// Per-node profile sample collected when [`ExecOptions::profile`] is set.
+///
+/// Wall time is *inclusive*: a node's `total_ns` contains the evaluation of
+/// its children on the same cache-miss path, exactly like the span tree the
+/// tracer records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeSample {
+    /// Times this node was computed (cache misses).
+    pub computed: u64,
+    /// Times this node was answered from the memo cache.
+    pub hits: u64,
+    /// Total inclusive wall time of the computations, in nanoseconds.
+    pub total_ns: u64,
+    /// Output shape as last computed.
+    pub rows: usize,
+    /// Output shape as last computed.
+    pub cols: usize,
+    /// Output nonzero count as last computed.
+    pub nnz: u64,
 }
 
 /// Counters the executor maintains while running a plan.
@@ -76,6 +103,11 @@ pub struct ExecStats {
     /// The executor itself never increments this; services running the
     /// delta path (the query server's `UPDATE`) fill it in when reporting.
     pub delta_patches: u64,
+    /// The observability trace id ([`matlang_obs::trace`]) active when the
+    /// executor was created; 0 when none.  Carried, not accumulated:
+    /// [`ExecStats::since`] propagates the latest value instead of
+    /// subtracting.
+    pub trace_id: u64,
 }
 
 impl ExecStats {
@@ -90,6 +122,7 @@ impl ExecStats {
             parallel_elementwise: self.parallel_elementwise - earlier.parallel_elementwise,
             fused_products: self.fused_products - earlier.fused_products,
             delta_patches: self.delta_patches - earlier.delta_patches,
+            trace_id: self.trace_id,
         }
     }
 }
@@ -146,6 +179,8 @@ pub struct Executor<'p, K: Semiring, M: MatrixStorage<Elem = K>> {
     cache: NodeCache<M>,
     env: HashMap<String, Arc<M>>,
     stats: ExecStats,
+    /// Per-node samples, allocated only under [`ExecOptions::profile`].
+    profile: Option<Vec<NodeSample>>,
 }
 
 impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
@@ -164,7 +199,13 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
             options,
             cache: vec![None; plan.nodes().len()],
             env: HashMap::new(),
-            stats: ExecStats::default(),
+            stats: ExecStats {
+                trace_id: matlang_obs::trace::current_id(),
+                ..ExecStats::default()
+            },
+            profile: options
+                .profile
+                .then(|| vec![NodeSample::default(); plan.nodes().len()]),
         }
     }
 
@@ -199,6 +240,12 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
     /// The counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// The per-node profile samples, indexed by [`NodeId`].  `None` unless
+    /// the executor was created with [`ExecOptions::profile`] set.
+    pub fn profile_samples(&self) -> Option<&[NodeSample]> {
+        self.profile.as_deref()
     }
 
     /// Evaluates one root of the plan.  The shared cache persists across
@@ -237,10 +284,29 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
     fn eval_node(&mut self, id: NodeId) -> Result<Arc<M>, EvalError> {
         if let Some(cached) = &self.cache[id] {
             self.stats.cache_hits += 1;
+            if let Some(samples) = self.profile.as_mut() {
+                samples[id].hits += 1;
+            }
             return Ok(Arc::clone(cached));
         }
         self.stats.cache_misses += 1;
+        // On the warm path (cache hit above) neither branch below runs, so
+        // tracing costs nothing per node once a prepared query's roots are
+        // cached; with an active trace, each computed node becomes a child
+        // span (nested via guard scoping, inclusive of its children).
+        let _span = matlang_obs::trace::active().then(|| {
+            matlang_obs::trace::span(&format!("execute:{}", self.plan.node(id).op.label()))
+        });
+        let timer = self.profile.is_some().then(std::time::Instant::now);
         let mut value = self.compute(id)?;
+        if let (Some(start), Some(samples)) = (timer, self.profile.as_mut()) {
+            let sample = &mut samples[id];
+            sample.computed += 1;
+            sample.total_ns += start.elapsed().as_nanos() as u64;
+            sample.rows = value.rows();
+            sample.cols = value.cols();
+            sample.nnz = value.nnz() as u64;
+        }
         let node = self.plan.node(id);
         if node.cacheable {
             if self.options.apply_repr_hints {
@@ -759,10 +825,56 @@ mod tests {
             parallel_elementwise: 1,
             fused_products: 1,
             delta_patches: 4,
+            trace_id: 7,
         };
         let b = a.since(&ExecStats::default());
-        assert_eq!(a, b);
+        assert_eq!(a, b, "since() must carry the trace id, not subtract it");
         assert!(a.to_string().contains("5 hits"));
         assert!(a.to_string().contains("4 delta patches"));
+    }
+
+    #[test]
+    fn executor_carries_the_active_trace_id() {
+        let id = matlang_obs::trace::next_id();
+        let inst = instance();
+        let e = Expr::var("G").t();
+        let stats = {
+            let _t = matlang_obs::trace::begin(id, "engine test");
+            let (out, stats) = run_one(&e, &inst);
+            out.unwrap();
+            stats
+        };
+        assert_eq!(stats.trace_id, id);
+        // Outside a trace the id is the wire's "no trace" marker.
+        let (_, stats) = run_one(&e, &inst);
+        assert_eq!(stats.trace_id, 0);
+    }
+
+    #[test]
+    fn profiling_records_per_node_samples() {
+        let gram = Expr::var("G").t().mm(Expr::var("G"));
+        let e = gram.clone().add(gram);
+        let inst = instance();
+        let plan = Planner::new().plan_one(&e, &InstanceStats::from_instance(&inst));
+        let registry = FunctionRegistry::standard_field();
+        let options = ExecOptions {
+            profile: true,
+            ..ExecOptions::default()
+        };
+        let mut exec = Executor::new(&plan, &inst, &registry, options);
+        let root = plan.roots()[0];
+        exec.run(root).unwrap();
+        let samples = exec.profile_samples().expect("profiling was requested");
+        assert_eq!(samples.len(), plan.nodes().len());
+        let root_sample = samples[root];
+        assert_eq!(root_sample.computed, 1);
+        assert_eq!((root_sample.rows, root_sample.cols), (4, 4));
+        assert!(root_sample.nnz > 0);
+        // The shared Gram subterm is evaluated twice: one miss, one hit.
+        assert!(samples.iter().any(|s| s.hits >= 1), "CSE reuse must show");
+        // Inclusive timing: the root's wall time dominates its children's.
+        assert!(samples
+            .iter()
+            .all(|s| s.computed == 0 || s.total_ns <= root_sample.total_ns));
     }
 }

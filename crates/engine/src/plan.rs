@@ -174,6 +174,70 @@ impl PlanOp {
         }
     }
 
+    /// A short static name for this operation kind — used for tracing span
+    /// labels (`execute:matmul`) and the `EXPLAIN`/`PROFILE` renderings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanOp::Var(_) => "var",
+            PlanOp::Const(_) => "const",
+            PlanOp::Transpose(_) => "transpose",
+            PlanOp::Ones(_) => "ones",
+            PlanOp::Diag(_) => "diag",
+            PlanOp::MatMul(_, _) => "matmul",
+            PlanOp::Add(_, _) => "add",
+            PlanOp::ScalarMul(_, _) => "scalar-mul",
+            PlanOp::Hadamard(_, _) => "hadamard",
+            PlanOp::ScaleRows { .. } => "scale-rows",
+            PlanOp::ScaleCols { .. } => "scale-cols",
+            PlanOp::Apply(_, _) => "apply",
+            PlanOp::Let { .. } => "let",
+            PlanOp::For { .. } => "for",
+            PlanOp::Sum { .. } => "sum",
+            PlanOp::HProd { .. } => "hprod",
+            PlanOp::MProd { .. } => "mprod",
+        }
+    }
+
+    /// A one-line rendering of the operation with `#id` child references,
+    /// e.g. `matmul #1 #2` or `sum v:n #4` — the node column of
+    /// [`Plan::explain`].
+    pub fn describe(&self) -> String {
+        let kids = |ids: &[NodeId]| {
+            ids.iter()
+                .map(|i| format!("#{i}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        match self {
+            PlanOp::Var(name) => format!("var {name}"),
+            PlanOp::Const(c) => format!("const {}", c.0),
+            PlanOp::Apply(name, args) => format!("apply {name} {}", kids(args)),
+            PlanOp::Let { var, value, body } => format!("let {var} = #{value} in #{body}"),
+            PlanOp::For {
+                var,
+                var_dim,
+                acc,
+                init,
+                body,
+                ..
+            } => match init {
+                Some(init) => format!("for {var}:{var_dim} acc {acc} init #{init} body #{body}"),
+                None => format!("for {var}:{var_dim} acc {acc} body #{body}"),
+            },
+            PlanOp::Sum { var, var_dim, body } => format!("sum {var}:{var_dim} #{body}"),
+            PlanOp::HProd { var, var_dim, body } => format!("hprod {var}:{var_dim} #{body}"),
+            PlanOp::MProd { var, var_dim, body } => format!("mprod {var}:{var_dim} #{body}"),
+            other => {
+                let children = other.children();
+                if children.is_empty() {
+                    other.label().to_string()
+                } else {
+                    format!("{} {}", other.label(), kids(&children))
+                }
+            }
+        }
+    }
+
     /// Whether [`crate::delta`] has a propagation rule for this operation.
     /// Nodes without one fall back to invalidation when an update reaches
     /// them: pointwise function application is not linear over the
@@ -313,6 +377,9 @@ pub struct PlanReport {
     /// Nodes with a delta-propagation rule ([`PlanOp::supports_delta`]);
     /// updates reaching the remaining nodes invalidate instead of patch.
     pub delta_supported_nodes: usize,
+    /// The observability trace id ([`matlang_obs::trace`]) that was active
+    /// while this plan was built; 0 when planning ran outside a trace.
+    pub trace_id: u64,
 }
 
 impl PlanReport {
@@ -397,6 +464,58 @@ impl Plan {
         }
         self.roots.hash(&mut hasher);
         hasher.finish()
+    }
+
+    /// Renders the rewritten DAG as one line per node — operation, child
+    /// references, the cost model's estimate (shape, nnz, work,
+    /// representation, parallel mark), cache and delta eligibility —
+    /// followed by the root list and the applied cost-based rewrites.
+    /// This is the payload of the query server's `EXPLAIN` verb.
+    pub fn explain(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.nodes.len() + self.roots.len() + 2);
+        lines.push(format!(
+            "plan nodes={} roots={} fingerprint={:016x}",
+            self.nodes.len(),
+            self.roots.len(),
+            self.structure_fingerprint()
+        ));
+        for (id, node) in self.nodes.iter().enumerate() {
+            let est = match node.est {
+                Some(est) => format!(
+                    "est {}x{} nnz~{:.0} work~{:.0} {}{}",
+                    est.rows,
+                    est.cols,
+                    est.nnz,
+                    est.work,
+                    match est.choice {
+                        ReprChoice::Dense => "dense",
+                        ReprChoice::Sparse => "sparse",
+                    },
+                    if est.parallel { " parallel" } else { "" },
+                ),
+                None => "est ?".to_string(),
+            };
+            lines.push(format!(
+                "#{id} {} | {est} | cache={} delta={}",
+                node.op.describe(),
+                if node.cacheable { "yes" } else { "no" },
+                if node.op.supports_delta() {
+                    "yes"
+                } else {
+                    "no"
+                },
+            ));
+        }
+        for (q, root) in self.roots.iter().enumerate() {
+            lines.push(format!("root q{q} = #{root}"));
+        }
+        for rewrite in &self.report.rewrites {
+            lines.push(format!(
+                "rewrite {} (~{:.0} ops saved): {}",
+                rewrite.rule, rewrite.saving, rewrite.detail
+            ));
+        }
+        lines
     }
 
     /// Marks **every** node cacheable, not just the shared and hoistable

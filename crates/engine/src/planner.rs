@@ -196,8 +196,11 @@ impl Planner {
     /// returned plan has one root per query, in order; structurally
     /// identical subexpressions are shared across the whole batch.
     pub fn plan(&self, queries: &[Expr], stats: &InstanceStats) -> Plan {
+        let _plan_span = matlang_obs::trace::span("plan");
+        let plan_timer = matlang_obs::enabled().then(std::time::Instant::now);
         let mut report = PlanReport {
             queries: queries.len(),
+            trace_id: matlang_obs::trace::current_id(),
             ..PlanReport::default()
         };
         let mut builder = Builder {
@@ -218,7 +221,12 @@ impl Planner {
                 query.clone()
             };
             if self.options.cost_rewrites {
+                let rewrite_span = matlang_obs::trace::span("rewrite");
                 let outcome = crate::rewrite::rewrite_with_stats(&planned, stats);
+                for applied in &outcome.applied {
+                    matlang_obs::trace::event(&format!("rewrite:{}", applied.rule));
+                }
+                drop(rewrite_span);
                 report.rewrites.extend(outcome.applied);
                 planned = outcome.expr;
             }
@@ -258,6 +266,10 @@ impl Planner {
             }
         }
         report.dag_nodes = nodes.len();
+        if let Some(t) = plan_timer {
+            matlang_obs::counter!("plan_total").inc();
+            matlang_obs::histogram!("plan_latency_us").observe(t.elapsed().as_micros() as u64);
+        }
         Plan {
             nodes,
             roots,

@@ -50,8 +50,13 @@ impl<K: Semiring> Matrix<K> {
             });
         }
         let (n, m) = (self.rows(), other.cols());
+        let timer = matlang_obs::enabled().then(std::time::Instant::now);
         let mut out = vec![K::zero(); n * m];
         self.matmul_into_rows(other, 0..n, &mut out);
+        if let Some(t) = timer {
+            matlang_obs::histogram!("kernel_dense_matmul_us")
+                .observe(t.elapsed().as_micros() as u64);
+        }
         Matrix::from_vec(n, m, out)
     }
 

@@ -433,7 +433,13 @@ impl<K: Semiring> SparseMatrix<K> {
                 right: other.shape(),
             });
         }
-        Ok(self.matmul_rows(other, 0..self.rows))
+        let timer = matlang_obs::enabled().then(std::time::Instant::now);
+        let out = self.matmul_rows(other, 0..self.rows);
+        if let Some(t) = timer {
+            matlang_obs::histogram!("kernel_sparse_matmul_us")
+                .observe(t.elapsed().as_micros() as u64);
+        }
+        Ok(out)
     }
 
     /// The Gustavson kernel restricted to the output rows in `rows`: computes

@@ -1,0 +1,465 @@
+//! Lock-free metrics: counters, gauges, log₂-bucketed histograms, and a
+//! process-wide registry with Prometheus-style text exposition.
+//!
+//! The registry map is behind an `RwLock`, but that lock is only taken when a
+//! metric is first registered (and when [`render`] walks the map).  Handles
+//! are `&'static` — leaked once per metric name — so hot paths cache them in
+//! `OnceLock` statics (see the [`counter!`](crate::counter) family of macros)
+//! and every update is a relaxed atomic operation with no lock in sight.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Number of histogram buckets: one for zero plus one per power of two up to
+/// `2⁶³..=u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonic counter.  `inc`/`add` are relaxed atomic adds gated on the
+/// global enable flag.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter (registered ones come from
+    /// [`Registry::counter`]).
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (current value of something, e.g. live sessions).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in microseconds by
+/// convention, but unit-agnostic).
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i − 1]`, so bucket boundaries are the powers of two and the
+/// last bucket (`i = 64`) covers `[2⁶³, u64::MAX]`.  Every update is two
+/// relaxed `fetch_add`s plus one for the running sum — no locks, no
+/// allocation — and quantiles are recovered by linear interpolation inside
+/// the bucket where the requested rank falls.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array from a const item.
+        // The const is a repeat seed, never a shared value, so the
+        // interior-mutability lint does not apply.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a sample: 0 for 0, otherwise the bit length of
+    /// `v` (so 1 → 1, 2..=3 → 2, 4..=7 → 3, …, `u64::MAX` → 64).
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `[lower, upper]` range of values that land in bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if crate::enabled() {
+            self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps on overflow; latencies in µs would need
+    /// ~585 000 years of accumulated time to wrap).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by finding the bucket that
+    /// contains the rank `q·count` and interpolating linearly between the
+    /// bucket's bounds.  Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cum = next;
+        }
+        // Rank beyond the last non-empty bucket (q == 1.0 rounding): the max
+        // representable value of the highest occupied bucket.
+        let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        Self::bucket_bounds(last).1 as f64
+    }
+}
+
+// A metric handle bundle; copying it out of the map under the read lock is
+// what lets callers keep using the handle lock-free afterwards.
+#[derive(Clone, Copy)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The process-wide metric registry: a name → metric map.  Registration
+/// (cold) takes the write lock once per name; lookups for already-registered
+/// names take the read lock, and callers are expected to cache the returned
+/// `&'static` handle so steady-state updates touch no lock at all.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Get or register the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        match self.get_or_insert(name, || Metric::Counter(Box::leak(Box::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Box::leak(Box::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Box::leak(Box::default()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            return *m;
+        }
+        let mut map = self.metrics.write().unwrap();
+        *map.entry(name.to_string()).or_insert_with(make)
+    }
+
+    /// Render every registered metric as Prometheus-style text exposition,
+    /// one line per element, in name order.  Histograms are rendered as
+    /// summaries with interpolated p50/p95/p99 quantiles plus `_sum` and
+    /// `_count` series.
+    pub fn render_lines(&self) -> Vec<String> {
+        let map = self.metrics.read().unwrap();
+        let mut lines = Vec::with_capacity(map.len() * 2);
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    lines.push(format!("# TYPE {name} counter"));
+                    lines.push(format!("{name} {}", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    lines.push(format!("# TYPE {name} gauge"));
+                    lines.push(format!("{name} {}", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    lines.push(format!("# TYPE {name} summary"));
+                    for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                        lines.push(format!(
+                            "{name}{{quantile=\"{label}\"}} {:.1}",
+                            h.quantile(q)
+                        ));
+                    }
+                    lines.push(format!("{name}_sum {}", h.sum()));
+                    lines.push(format!("{name}_count {}", h.count()));
+                }
+            }
+        }
+        lines
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Render the global registry as one newline-terminated exposition string.
+pub fn render() -> String {
+    let mut out = String::new();
+    for line in registry().render_lines() {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn bucket_boundaries_cover_the_edges() {
+        // Satellite: explicit coverage of 0, 1, u64::MAX and bucket edges.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, 1u64 << (i - 1));
+            assert_eq!(hi, (1u64 << i) - 1);
+            // The bounds round-trip: both edges map back to bucket i, and
+            // the neighbours of the edges fall in the adjacent buckets.
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            assert_eq!(Histogram::bucket_index(hi + 1), i + 1);
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+    }
+
+    #[test]
+    fn histogram_observe_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reads 0");
+        h.observe(0);
+        h.observe(1);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(1)); // documented wrap
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[64], 1);
+
+        // A cluster of identical samples pins the median inside one bucket.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(100); // bucket 7: [64, 127]
+        }
+        let p50 = h.quantile(0.5);
+        assert!((64.0..=127.0).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.99) <= 127.0);
+        assert_eq!(h.quantile(1.0), 127.0);
+        assert_eq!(h.quantile(0.0), 64.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_across_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(8); // bucket 4: [8, 15]
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket 10: [512, 1023]
+        }
+        assert!(h.quantile(0.5) <= 15.0);
+        let p99 = h.quantile(0.99);
+        assert!((512.0..=1023.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn concurrent_counter_and_histogram_updates_are_exact() {
+        // Satellite: concurrent updates under both MATLANG_THREADS settings.
+        // The env var steers the matrix kernels, not this crate, so here we
+        // spawn the equivalent worker counts directly: the CI matrix runs
+        // this test under both MATLANG_THREADS=1 and =4 process environments.
+        let threads: usize = match std::env::var("MATLANG_THREADS") {
+            Ok(v) => v.trim().parse().unwrap_or(4).max(1),
+            Err(_) => 4,
+        };
+        let per_thread: u64 = 100_000;
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let c = Arc::clone(&c);
+            let h = Arc::clone(&h);
+            handles.push(thread::spawn(move || {
+                for i in 0..per_thread {
+                    c.inc();
+                    h.observe(t as u64 * per_thread + i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let n = threads as u64 * per_thread;
+        assert_eq!(c.get(), n, "relaxed adds must not lose increments");
+        assert_eq!(h.count(), n);
+        assert_eq!(h.buckets().iter().sum::<u64>(), n);
+        // Sum of 0..n is exact under relaxed accumulation too.
+        assert_eq!(h.sum(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let r = Registry::default();
+        r.counter("test_exec_total").add(3);
+        r.gauge("test_sessions").set(2);
+        r.histogram("test_latency_us").observe(10);
+        let text = r.render_lines().join("\n");
+        assert!(text.contains("# TYPE test_exec_total counter"));
+        assert!(text.contains("test_exec_total 3"));
+        assert!(text.contains("# TYPE test_sessions gauge"));
+        assert!(text.contains("test_sessions 2"));
+        assert!(text.contains("# TYPE test_latency_us summary"));
+        assert!(text.contains("test_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("test_latency_us_sum 10"));
+        assert!(text.contains("test_latency_us_count 1"));
+    }
+
+    #[test]
+    fn registry_handles_are_stable_and_kind_checked() {
+        let r = Registry::default();
+        let a = r.counter("stable");
+        let b = r.counter("stable");
+        assert!(std::ptr::eq(a, b));
+        let err = std::panic::catch_unwind(|| r.histogram("stable"));
+        assert!(err.is_err(), "kind mismatch must panic");
+    }
+}

@@ -1,0 +1,443 @@
+//! Span-based tracing with per-query trace IDs, a bounded ring buffer of
+//! finished traces, and a slow-query log.
+//!
+//! The model is deliberately small: a *trace* is begun once per request at
+//! the session layer ([`begin`] with an id from [`next_id`]) and is owned by
+//! the current thread; nested code opens child *spans* ([`span`]) or drops
+//! zero-duration *events* ([`event`]) into it.  When the root guard drops,
+//! the finished [`TraceRecord`] — parent plus children, with microsecond
+//! offsets relative to the trace start — is pushed into a bounded global
+//! ring buffer, and traces that took longer than the `MATLANG_SLOW_MS`
+//! threshold (default 100 ms, overridable at runtime with [`set_slow_ms`])
+//! are additionally recorded in the slow-query log and counted in the
+//! `slow_queries_total` counter.  Fast traces with **no spans at all** —
+//! warm cache-hit requests, which never enter instrumented engine code —
+//! are dropped at the root instead of pushed, keeping the hot path free of
+//! the ring lock and the ring full of traces with structure.
+//!
+//! When no trace is active on the current thread — the common case for
+//! engine code driven outside a server session — [`span`] and [`event`] are
+//! a thread-local read and nothing else, so instrumented library code pays
+//! near-zero cost.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How many finished traces (and slow queries) the ring buffers retain.
+pub const RING_CAPACITY: usize = 256;
+
+/// One span inside a finished trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"plan"`, `"rewrite"`, `"execute:matmul"`.
+    pub name: String,
+    /// Index into [`TraceRecord::spans`] of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Start offset relative to the trace start, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for [`event`]s and sub-µs spans).
+    pub dur_us: u64,
+}
+
+/// A finished trace: the parent span for one request plus its children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The per-query trace id handed to [`begin`].
+    pub id: u64,
+    /// The label handed to [`begin`] (by convention the request line).
+    pub label: String,
+    /// Total wall time of the trace in microseconds.
+    pub total_us: u64,
+    /// Child spans in creation order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// One slow-query log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Trace id of the offending request.
+    pub trace_id: u64,
+    /// The trace label (request line).
+    pub label: String,
+    /// Total wall time in microseconds.
+    pub total_us: u64,
+}
+
+/// How much of a label [`begin`] retains (truncated at a char boundary).
+/// Labels are by convention request lines; a `LOAD`-sized line must not
+/// drag megabytes into the ring, and an inline buffer keeps the hot
+/// begin/drop cycle free of heap allocation entirely.
+pub const LABEL_CAPACITY: usize = 96;
+
+struct ActiveTrace {
+    id: u64,
+    label_len: u8,
+    label_buf: [u8; LABEL_CAPACITY],
+    started: Instant,
+    spans: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+impl ActiveTrace {
+    fn label(&self) -> &str {
+        // The buffer was copied from a `&str` prefix cut at a char
+        // boundary, so it is valid UTF-8 by construction.
+        std::str::from_utf8(&self.label_buf[..self.label_len as usize]).unwrap_or_default()
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Sentinel meaning "no runtime override, read `MATLANG_SLOW_MS`".
+const SLOW_MS_UNSET: u64 = u64::MAX;
+static SLOW_MS_OVERRIDE: AtomicU64 = AtomicU64::new(SLOW_MS_UNSET);
+
+fn ring() -> &'static Mutex<VecDeque<TraceRecord>> {
+    static RING: OnceLock<Mutex<VecDeque<TraceRecord>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
+}
+
+fn slow_ring() -> &'static Mutex<VecDeque<SlowQuery>> {
+    static RING: OnceLock<Mutex<VecDeque<SlowQuery>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
+}
+
+/// A fresh, process-unique trace id (nonzero; 0 means "no trace" on the
+/// wire).
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The id of the trace active on this thread, or 0 if none.
+#[inline]
+pub fn current_id() -> u64 {
+    ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |t| t.id))
+}
+
+/// Is a trace active on this thread?  A cheap pre-check for call sites that
+/// would otherwise allocate a span name.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// The slow-query threshold in milliseconds: a [`set_slow_ms`] override if
+/// one was made, else `MATLANG_SLOW_MS`, else 100.
+pub fn slow_ms() -> u64 {
+    let o = SLOW_MS_OVERRIDE.load(Ordering::Relaxed);
+    if o != SLOW_MS_UNSET {
+        return o;
+    }
+    static ENV: OnceLock<u64> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MATLANG_SLOW_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(100)
+    })
+}
+
+/// Override the slow-query threshold at runtime (tests, admin tooling).
+pub fn set_slow_ms(ms: u64) {
+    SLOW_MS_OVERRIDE.store(ms, Ordering::Relaxed);
+}
+
+/// Guard returned by [`begin`]; dropping it finishes the trace and records
+/// it into the ring buffer (and the slow-query log when over threshold).
+#[must_use = "dropping the guard is what finishes and records the trace"]
+pub struct TraceGuard {
+    armed: bool,
+    // Traces are thread-local; keep the guard on the thread that began it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Begin a trace on this thread.  The label (by convention the request
+/// line) is retained up to [`LABEL_CAPACITY`] bytes, cut at a char
+/// boundary; the copy is into an inline buffer, so beginning and dropping
+/// a trace never touches the heap.
+///
+/// Returns an inert guard (and records nothing) when observability is
+/// disabled or another trace is already active on the thread — an inner
+/// `begin` never clobbers the outer request's trace.
+pub fn begin(id: u64, label: &str) -> TraceGuard {
+    let inert = TraceGuard {
+        armed: false,
+        _not_send: std::marker::PhantomData,
+    };
+    if !crate::enabled() {
+        return inert;
+    }
+    let mut cut = label.len().min(LABEL_CAPACITY);
+    while !label.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        if slot.is_some() {
+            return inert;
+        }
+        let mut label_buf = [0u8; LABEL_CAPACITY];
+        label_buf[..cut].copy_from_slice(&label.as_bytes()[..cut]);
+        *slot = Some(ActiveTrace {
+            id,
+            label_len: cut as u8,
+            label_buf,
+            started: Instant::now(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+        });
+        TraceGuard {
+            armed: true,
+            _not_send: std::marker::PhantomData,
+        }
+    })
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let Some(t) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+            return;
+        };
+        let total_us = t.started.elapsed().as_micros() as u64;
+        let slow = total_us >= slow_ms().saturating_mul(1000);
+        if slow {
+            crate::counter!("slow_queries_total").inc();
+            if let Ok(mut log) = slow_ring().lock() {
+                if log.len() == RING_CAPACITY {
+                    log.pop_front();
+                }
+                log.push_back(SlowQuery {
+                    trace_id: t.id,
+                    label: t.label().to_string(),
+                    total_us,
+                });
+            }
+        }
+        // Span-less fast traces are dropped at the root: a warm cache-hit
+        // request opens no child spans and there is nothing in it to
+        // inspect, so skipping the ring keeps the hot path at a
+        // thread-local take plus one clock read (the id still went out on
+        // the wire), and keeps the bounded ring full of traces with
+        // structure.
+        if slow || !t.spans.is_empty() {
+            let record = TraceRecord {
+                id: t.id,
+                label: t.label().to_string(),
+                total_us,
+                spans: t.spans,
+            };
+            if let Ok(mut traces) = ring().lock() {
+                if traces.len() == RING_CAPACITY {
+                    traces.pop_front();
+                }
+                traces.push_back(record);
+            }
+        }
+    }
+}
+
+/// Guard returned by [`span`]; dropping it closes the span.
+#[must_use = "dropping the guard is what closes the span"]
+pub struct SpanGuard {
+    idx: Option<usize>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a child span of the trace active on this thread.  A no-op guard when
+/// no trace is active.
+pub fn span(name: &str) -> SpanGuard {
+    let idx = ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let t = slot.as_mut()?;
+        let start_us = t.started.elapsed().as_micros() as u64;
+        let parent = t.stack.last().copied();
+        let idx = t.spans.len();
+        t.spans.push(SpanRecord {
+            name: name.to_string(),
+            parent,
+            start_us,
+            dur_us: 0,
+        });
+        t.stack.push(idx);
+        Some(idx)
+    });
+    SpanGuard {
+        idx,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            if let Some(t) = slot.as_mut() {
+                let now_us = t.started.elapsed().as_micros() as u64;
+                if let Some(s) = t.spans.get_mut(idx) {
+                    s.dur_us = now_us.saturating_sub(s.start_us);
+                }
+                // Guards normally drop LIFO; tolerate stragglers anyway.
+                if t.stack.last() == Some(&idx) {
+                    t.stack.pop();
+                } else {
+                    t.stack.retain(|&i| i != idx);
+                }
+            }
+        });
+    }
+}
+
+/// Record a zero-duration event (e.g. one applied rewrite rule) under the
+/// current span of the active trace.  A no-op when no trace is active.
+pub fn event(name: &str) {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        if let Some(t) = slot.as_mut() {
+            let start_us = t.started.elapsed().as_micros() as u64;
+            let parent = t.stack.last().copied();
+            t.spans.push(SpanRecord {
+                name: name.to_string(),
+                parent,
+                start_us,
+                dur_us: 0,
+            });
+        }
+    });
+}
+
+/// The most recent `n` finished traces, oldest first.
+pub fn recent(n: usize) -> Vec<TraceRecord> {
+    match ring().lock() {
+        Ok(traces) => traces.iter().rev().take(n).rev().cloned().collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// The most recent `n` slow-query entries, oldest first.
+pub fn slow_queries(n: usize) -> Vec<SlowQuery> {
+    match slow_ring().lock() {
+        Ok(log) => log.iter().rev().take(n).rev().cloned().collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find_trace(id: u64) -> Option<TraceRecord> {
+        recent(RING_CAPACITY).into_iter().find(|t| t.id == id)
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let id = next_id();
+        {
+            let _t = begin(id, "EXEC g 0");
+            assert_eq!(current_id(), id);
+            assert!(active());
+            {
+                let _plan = span("plan");
+                let _inner = span("rewrite");
+                event("rewrite:fuse-mprod");
+            }
+            let _exec = span("execute:matmul");
+        }
+        assert_eq!(current_id(), 0, "trace must close when the guard drops");
+        let t = find_trace(id).expect("trace must land in the ring buffer");
+        assert_eq!(t.label, "EXEC g 0");
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["plan", "rewrite", "rewrite:fuse-mprod", "execute:matmul"]
+        );
+        assert_eq!(t.spans[0].parent, None);
+        assert_eq!(t.spans[1].parent, Some(0), "rewrite nests under plan");
+        assert_eq!(t.spans[2].parent, Some(1), "event nests under rewrite");
+        assert_eq!(t.spans[3].parent, None, "sibling span is a root child");
+    }
+
+    #[test]
+    fn span_without_active_trace_is_inert() {
+        assert!(!active());
+        let g = span("orphan");
+        drop(g);
+        event("orphan-event");
+        assert_eq!(current_id(), 0);
+    }
+
+    #[test]
+    fn inner_begin_does_not_clobber_outer_trace() {
+        let outer = next_id();
+        let inner = next_id();
+        {
+            let _t = begin(outer, "outer");
+            let _s = span("work");
+            {
+                let _nested = begin(inner, "inner");
+                assert_eq!(current_id(), outer, "outer trace stays active");
+            }
+            assert_eq!(current_id(), outer, "inner guard must not finish it");
+        }
+        assert!(find_trace(outer).is_some());
+        assert!(find_trace(inner).is_none());
+    }
+
+    #[test]
+    fn span_less_fast_traces_skip_the_ring() {
+        let id = next_id();
+        {
+            let _t = begin(id, "EXEC warm 0");
+            // No spans: a warm cache-hit request.
+        }
+        assert!(
+            find_trace(id).is_none(),
+            "span-less fast traces must not occupy the bounded ring"
+        );
+    }
+
+    #[test]
+    fn slow_queries_are_logged_when_over_threshold() {
+        let id = next_id();
+        set_slow_ms(0); // every trace counts as slow
+        {
+            let _t = begin(id, "EXEC slow 0");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_slow_ms(SLOW_MS_UNSET); // restore env/default behaviour
+        let slow = slow_queries(RING_CAPACITY);
+        let entry = slow.iter().find(|s| s.trace_id == id);
+        let entry = entry.expect("slow query must be logged");
+        assert_eq!(entry.label, "EXEC slow 0");
+        assert!(entry.total_us >= 1000);
+        assert!(crate::counter!("slow_queries_total").get() >= 1);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        for _ in 0..RING_CAPACITY + 8 {
+            let _t = begin(next_id(), "filler");
+            let _s = span("fill");
+        }
+        assert!(recent(usize::MAX).len() <= RING_CAPACITY);
+    }
+}

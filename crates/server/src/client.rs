@@ -6,7 +6,7 @@
 //! for `ERR` replies, so callers can branch on [`ErrorCode`] instead of
 //! string-matching messages.
 
-use crate::protocol::{read_result, SemiringKind, WireResult};
+use crate::protocol::{read_lines_block, read_result, SemiringKind, WireResult};
 use matlang_matrix::{Matrix, MatrixStorage};
 use matlang_semiring::Real;
 use std::fmt;
@@ -141,6 +141,22 @@ pub struct UpdateReply {
     pub invalidated: u64,
     /// How the cache was maintained.
     pub delta: DeltaWire,
+}
+
+/// One instance row of a detailed `LIST` reply (proto 2 `obs`):
+/// `name:backend:semiring:delta_patches:delta_fallbacks`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceEntry {
+    /// The instance name.
+    pub name: String,
+    /// Storage backend (`dense` / `adaptive`).
+    pub backend: String,
+    /// Semiring wire name (`real` / `bool` / `nat` / `minplus`).
+    pub semiring: String,
+    /// Cumulative cached nodes patched by delta propagation.
+    pub delta_patches: u64,
+    /// Cumulative `UPDATE`s that fell back to invalidation.
+    pub delta_fallbacks: u64,
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -362,12 +378,65 @@ impl Client {
 
     /// `LIST`; returns the instance names.
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        Ok(self
+            .list_detailed()?
+            .into_iter()
+            .map(|entry| entry.name)
+            .collect())
+    }
+
+    /// `LIST`; returns one [`InstanceEntry`] per instance with its
+    /// backend, semiring and cumulative delta-maintenance counters.
+    pub fn list_detailed(&mut self) -> Result<Vec<InstanceEntry>, ClientError> {
         let reply = self.send("LIST")?;
-        Ok(reply
+        reply
             .split_whitespace()
             .skip(2)
-            .map(str::to_string)
-            .collect())
+            .map(|field| {
+                // Parse the colon-separated fields from the right, so an
+                // instance name containing `:` survives intact.
+                let mut parts = field.rsplitn(5, ':');
+                let parsed = (|| {
+                    let delta_fallbacks = parts.next()?.parse().ok()?;
+                    let delta_patches = parts.next()?.parse().ok()?;
+                    let semiring = parts.next()?.to_string();
+                    let backend = parts.next()?.to_string();
+                    let name = parts.next()?.to_string();
+                    Some(InstanceEntry {
+                        name,
+                        backend,
+                        semiring,
+                        delta_patches,
+                        delta_fallbacks,
+                    })
+                })();
+                parsed.ok_or_else(|| {
+                    ClientError::malformed(format!("malformed LIST field `{field}`"))
+                })
+            })
+            .collect()
+    }
+
+    /// `METRICS`; returns the server's Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let header = self.send("METRICS")?;
+        read_lines_block(&header, "METRICS", &mut self.reader)
+            .map(|lines| lines.join("\n"))
+            .map_err(ClientError::malformed)
+    }
+
+    /// `EXPLAIN <instance> <query>`; returns the rewritten-plan rendering
+    /// (one line per DAG node with cost estimates) without executing.
+    pub fn explain(&mut self, instance: &str, text: &str) -> Result<Vec<String>, ClientError> {
+        let header = self.send(&format!("EXPLAIN {instance} {text}"))?;
+        read_lines_block(&header, "EXPLAIN", &mut self.reader).map_err(ClientError::malformed)
+    }
+
+    /// `PROFILE <instance> <query>`; executes once and returns the
+    /// per-node wall-time/shape/nnz rendering.
+    pub fn profile(&mut self, instance: &str, text: &str) -> Result<Vec<String>, ClientError> {
+        let header = self.send(&format!("PROFILE {instance} {text}"))?;
+        read_lines_block(&header, "PROFILE", &mut self.reader).map_err(ClientError::malformed)
     }
 
     /// `DROP <instance>`.

@@ -59,14 +59,17 @@ pub mod session;
 pub mod store;
 pub mod worker;
 
-pub use client::{Client, ClientError, DeltaWire, ErrorCode, ServerHello, UpdateReply};
+pub use client::{
+    Client, ClientError, DeltaWire, ErrorCode, InstanceEntry, ServerHello, UpdateReply,
+};
 pub use error::ServerError;
 pub use protocol::{
     ExecStatsWire, GenKind, Request, ResponseHeader, SemiringKind, WireResult, CAPABILITIES,
     PROTOCOL_VERSION,
 };
 pub use store::{
-    DeltaDisposition, PrepareOutcome, ServerSemiring, Store, UpdateOutcome, PLAN_CACHE_CAPACITY,
+    DeltaDisposition, InstanceInfo, PrepareOutcome, ServerSemiring, Store, UpdateOutcome,
+    PLAN_CACHE_CAPACITY,
 };
 pub use worker::ConnQueue;
 

@@ -6,7 +6,7 @@
 //! from `netcat`:
 //!
 //! ```text
-//! →  HELLO                           ←  OK matlangd proto=2 caps=delta,errcodes,semirings,execbatch
+//! →  HELLO                           ←  OK matlangd proto=2 caps=delta,errcodes,semirings,execbatch,obs
 //! →  INSTANCE g adaptive bool        ←  OK instance g adaptive bool
 //! →  DIM g n 4                       ←  OK dim n 4
 //! →  LOAD g G 4 4 3                  ←  (reads 3 entry lines) OK load G nnz=3
@@ -23,13 +23,26 @@
 //! # Versioning
 //!
 //! `HELLO` answers with a capability banner (`proto=2
-//! caps=delta,errcodes,semirings,execbatch`) so clients can discover what
-//! the server speaks before relying on it.  Proto 2 extends proto 1
+//! caps=delta,errcodes,semirings,execbatch,obs`) so clients can discover
+//! what the server speaks before relying on it.  Proto 2 extends proto 1
 //! *additively*: every proto-1 token keeps its position and meaning, new
 //! information rides in appended `key=value` tokens (`delta=`,
-//! `fallbacks=`, `fp=` in `RESULT` headers; `delta=`/`patched=`/`reason=`
-//! in `UPDATE` replies), and the typed [`ResponseHeader`] parser **ignores
-//! unknown keys** so the same tolerance carries forward.  Error replies
+//! `fallbacks=`, `fp=`, `trace=` in `RESULT` headers;
+//! `delta=`/`patched=`/`reason=` in `UPDATE` replies), and the typed
+//! [`ResponseHeader`] parser **ignores unknown keys** so the same
+//! tolerance carries forward.
+//!
+//! The `obs` capability adds three introspection verbs, each answered with
+//! a line-counted block (`<TAG> <n>`, then `n` payload lines, then `END`):
+//!
+//! ```text
+//! →  METRICS                          ←  METRICS <n> … END   (Prometheus text exposition)
+//! →  EXPLAIN g (G * G)                ←  EXPLAIN <n> … END   (rewritten DAG, estimates, eligibility)
+//! →  PROFILE g (G * G)                ←  PROFILE <n> … END   (executes once; per-node time/nnz/hits)
+//! ```
+//!
+//! and a `trace=<id>` (hex) token on `RESULT` headers carrying the
+//! session-assigned observability trace id of the request.  Error replies
 //! are `ERR <CODE> <message>` with a stable code per category
 //! ([`crate::ServerError::code`]); the message is guaranteed newline-free
 //! (pinned by `tests/single_line_errors.rs`), so it ships verbatim.
@@ -46,7 +59,7 @@ use std::io::{BufRead, Write};
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The capability tokens announced by `HELLO`, comma-joined on the wire.
-pub const CAPABILITIES: &[&str] = &["delta", "errcodes", "semirings", "execbatch"];
+pub const CAPABILITIES: &[&str] = &["delta", "errcodes", "semirings", "execbatch", "obs"];
 
 /// The semiring an instance computes over, as named on the wire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -141,8 +154,20 @@ pub enum Request {
         var: String,
         entries: Vec<(usize, usize, f64)>,
     },
-    /// `LIST` — instance names.
+    /// `LIST` — instance inventory (name, backend, semiring, cumulative
+    /// delta/fallback counters).
     List,
+    /// `METRICS` — Prometheus-style text exposition of the process-wide
+    /// metrics registry.
+    Metrics,
+    /// `EXPLAIN <instance> <query text…>` — parse, typecheck and plan the
+    /// query (without registering a prepared statement) and render the
+    /// rewritten DAG with per-node cost estimates and cache/delta
+    /// eligibility.
+    Explain { instance: String, text: String },
+    /// `PROFILE <instance> <query text…>` — execute the query once and
+    /// return a per-node wall-time / nnz / cache-hit breakdown.
+    Profile { instance: String, text: String },
     /// `DROP <instance>` — remove an instance.
     Drop { instance: String },
     /// `PING` — liveness check.
@@ -237,16 +262,17 @@ impl Request {
                     kind,
                 })
             }
-            "PREPARE" | "QUERY" => {
+            "PREPARE" | "QUERY" | "EXPLAIN" | "PROFILE" => {
                 let instance: String = parse_num(tokens.next(), "instance name")?;
                 let text = tokens.collect::<Vec<_>>().join(" ");
                 if text.is_empty() {
                     return Err("missing query text".to_string());
                 }
-                if command.eq_ignore_ascii_case("PREPARE") {
-                    Ok(Request::Prepare { instance, text })
-                } else {
-                    Ok(Request::Query { instance, text })
+                match command.to_ascii_uppercase().as_str() {
+                    "PREPARE" => Ok(Request::Prepare { instance, text }),
+                    "QUERY" => Ok(Request::Query { instance, text }),
+                    "EXPLAIN" => Ok(Request::Explain { instance, text }),
+                    _ => Ok(Request::Profile { instance, text }),
                 }
             }
             "EXEC" => Ok(Request::Exec {
@@ -270,7 +296,9 @@ impl Request {
                 let instance: String = parse_num(tokens.next(), "instance name")?;
                 let var: String = parse_num(tokens.next(), "variable name")?;
                 let rest: Vec<&str> = tokens.collect();
-                if rest.is_empty() || rest.len() % 3 != 0 {
+                // An empty batch is legal (a no-op the store short-circuits);
+                // only a *partial* triple is malformed.
+                if rest.len() % 3 != 0 {
                     return Err("UPDATE needs (row col value) triples".to_string());
                 }
                 let entries = rest
@@ -290,6 +318,7 @@ impl Request {
                 })
             }
             "LIST" => Ok(Request::List),
+            "METRICS" => Ok(Request::Metrics),
             "DROP" => Ok(Request::Drop {
                 instance: parse_num(tokens.next(), "instance name")?,
             }),
@@ -360,6 +389,9 @@ pub struct ResponseHeader {
     /// (`fp=`, hex), identifying the rewrite variant that produced the
     /// result.
     pub fingerprint: u64,
+    /// The session-assigned observability trace id for this request
+    /// (`trace=`, hex; 0 when tracing was inactive).
+    pub trace: u64,
 }
 
 impl ResponseHeader {
@@ -399,6 +431,10 @@ impl ResponseHeader {
                     out.fingerprint = u64::from_str_radix(value, 16)
                         .map_err(|_| format!("malformed fingerprint `{token}`"))?;
                 }
+                "trace" => {
+                    out.trace = u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("malformed trace id `{token}`"))?;
+                }
                 _ => {} // future keys: tolerated by design
             }
         }
@@ -409,7 +445,7 @@ impl ResponseHeader {
         writeln!(
             out,
             "RESULT {} {} {} hits={} misses={} invalidations={} parallel={} elementwise={} \
-             fused={} delta={} fallbacks={} nodes={} fp={:016x}",
+             fused={} delta={} fallbacks={} nodes={} fp={:016x} trace={:016x}",
             self.rows,
             self.cols,
             self.nnz,
@@ -423,6 +459,7 @@ impl ResponseHeader {
             self.stats.delta_fallbacks,
             self.plan_nodes,
             self.fingerprint,
+            self.trace,
         )
     }
 }
@@ -443,6 +480,9 @@ pub struct WireResult {
     pub plan_nodes: usize,
     /// Structure fingerprint of that plan (0 when unreported).
     pub fingerprint: u64,
+    /// Observability trace id of the request that produced this result
+    /// (0 when tracing was inactive).
+    pub trace: u64,
 }
 
 impl WireResult {
@@ -455,6 +495,7 @@ impl WireResult {
             stats: self.stats,
             plan_nodes: self.plan_nodes,
             fingerprint: self.fingerprint,
+            trace: self.trace,
         }
     }
 }
@@ -521,7 +562,49 @@ pub fn read_result(header: &str, input: &mut impl BufRead) -> Result<WireResult,
         stats: header.stats,
         plan_nodes: header.plan_nodes,
         fingerprint: header.fingerprint,
+        trace: header.trace,
     })
+}
+
+/// Writes a line-counted block reply: `<TAG> <n>`, then the `n` payload
+/// lines, then `END` — the framing shared by `METRICS`, `EXPLAIN` and
+/// `PROFILE` replies.
+pub fn write_lines_block(out: &mut impl Write, tag: &str, lines: &[String]) -> std::io::Result<()> {
+    writeln!(out, "{tag} {}", lines.len())?;
+    for line in lines {
+        writeln!(out, "{}", single_line(line))?;
+    }
+    writeln!(out, "END")
+}
+
+/// Reads the body of a line-counted block reply (the client side of
+/// [`write_lines_block`]).  `header` is the already-consumed `<TAG> <n>`
+/// line; the expected tag is checked against it.
+pub fn read_lines_block(
+    header: &str,
+    tag: &str,
+    input: &mut impl BufRead,
+) -> Result<Vec<String>, String> {
+    let mut tokens = header.split_whitespace();
+    if tokens.next() != Some(tag) {
+        return Err(format!("expected {tag}, got `{header}`"));
+    }
+    let count: usize = parse_num(tokens.next(), "line count")?;
+    let mut lines = Vec::with_capacity(count.min(1 << 16));
+    let mut line = String::new();
+    for _ in 0..count {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("connection closed mid-block".to_string());
+        }
+        lines.push(line.trim_end_matches(['\r', '\n']).to_string());
+    }
+    line.clear();
+    input.read_line(&mut line).map_err(|e| e.to_string())?;
+    if line.trim() != "END" {
+        return Err(format!("expected END, got `{}`", line.trim()));
+    }
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -594,6 +677,30 @@ mod tests {
             }
         );
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            Request::parse("EXPLAIN g (G * G)").unwrap(),
+            Request::Explain {
+                instance: "g".into(),
+                text: "(G * G)".into()
+            }
+        );
+        assert_eq!(
+            Request::parse("PROFILE g (G * G)").unwrap(),
+            Request::Profile {
+                instance: "g".into(),
+                text: "(G * G)".into()
+            }
+        );
+        // An empty UPDATE batch parses (the store answers it as a no-op).
+        assert_eq!(
+            Request::parse("UPDATE g G").unwrap(),
+            Request::Update {
+                instance: "g".into(),
+                var: "G".into(),
+                entries: vec![],
+            }
+        );
     }
 
     #[test]
@@ -606,7 +713,48 @@ mod tests {
         assert!(Request::parse("EXECBATCH g").is_err());
         assert!(Request::parse("UPDATE g G 0 1").is_err());
         assert!(Request::parse("PREPARE g").is_err());
+        assert!(Request::parse("EXPLAIN g").is_err());
+        assert!(Request::parse("PROFILE g").is_err());
         assert!(Request::parse("GEN g G n frob 1 2").is_err());
+    }
+
+    #[test]
+    fn lines_blocks_round_trip() {
+        let lines = vec![
+            "# TYPE exec_total counter".to_string(),
+            "exec_total 3".into(),
+        ];
+        let mut wire = Vec::new();
+        write_lines_block(&mut wire, "METRICS", &lines).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("METRICS 2\n"));
+        assert!(text.ends_with("END\n"));
+        let mut lines_iter = text.lines();
+        let header = lines_iter.next().unwrap();
+        let rest = lines_iter.collect::<Vec<_>>().join("\n") + "\n";
+        let parsed = read_lines_block(header, "METRICS", &mut rest.as_bytes()).unwrap();
+        assert_eq!(parsed, lines);
+        assert!(read_lines_block(header, "EXPLAIN", &mut rest.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn headers_carry_the_trace_token() {
+        let header = ResponseHeader {
+            rows: 1,
+            cols: 1,
+            trace: 0xabc,
+            ..ResponseHeader::default()
+        };
+        let mut wire = Vec::new();
+        header.write(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("trace=0000000000000abc"), "{text}");
+        let parsed = ResponseHeader::parse(text.trim()).unwrap();
+        assert_eq!(parsed.trace, 0xabc);
+        // Pre-obs headers without the token default to "no trace".
+        let legacy = ResponseHeader::parse("RESULT 1 1 0 hits=1").unwrap();
+        assert_eq!(legacy.trace, 0);
+        assert!(ResponseHeader::parse("RESULT 1 1 0 trace=zz").is_err());
     }
 
     #[test]
@@ -627,6 +775,7 @@ mod tests {
             },
             plan_nodes: 9,
             fingerprint: 0xdead_beef_cafe_f00d,
+            trace: 0x1234_5678_9abc_def0,
         };
         let mut wire = Vec::new();
         write_result(&mut wire, &result).unwrap();

@@ -6,13 +6,30 @@
 //! `QUIT`, EOF or an I/O failure do.
 
 use crate::error::ServerError;
-use crate::protocol::{write_err, write_result, Request, CAPABILITIES, PROTOCOL_VERSION};
+use crate::protocol::{
+    write_err, write_lines_block, write_result, Request, CAPABILITIES, PROTOCOL_VERSION,
+};
 use crate::store::{DeltaDisposition, Store};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
+/// Whether a request kind gets a per-query trace: the verbs that parse,
+/// plan or execute (the spans the engine emits hang off this root).
+fn traced(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Prepare { .. }
+            | Request::Exec { .. }
+            | Request::ExecBatch { .. }
+            | Request::Query { .. }
+            | Request::Update { .. }
+            | Request::Profile { .. }
+    )
+}
+
 /// Serves one connection until `QUIT`, EOF or an I/O error.
 pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()> {
+    matlang_obs::counter!("connections_total").inc();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
@@ -25,6 +42,7 @@ pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()>
         if trimmed.is_empty() {
             continue;
         }
+        matlang_obs::counter!("requests_total").inc();
         match Request::parse(trimmed) {
             Err(message) => write_err(&mut writer, &ServerError::protocol(message))?,
             Ok(Request::Quit) => {
@@ -32,7 +50,15 @@ pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()>
                 writer.flush()?;
                 return Ok(());
             }
-            Ok(request) => dispatch(store, request, &mut reader, &mut writer)?,
+            Ok(request) => {
+                // One trace per query-ish request, labeled with the wire
+                // line; the guard stays alive across the dispatch so the
+                // parse/plan/execute spans attach to it, and its id is
+                // echoed on RESULT headers as `trace=`.
+                let _trace = (traced(&request) && matlang_obs::enabled())
+                    .then(|| matlang_obs::trace::begin(matlang_obs::trace::next_id(), trimmed));
+                dispatch(store, request, &mut reader, &mut writer)?
+            }
         }
         writer.flush()?;
     }
@@ -188,7 +214,37 @@ fn dispatch(
             }
             Err(e) => write_err(writer, &e),
         },
-        Request::List => writeln!(writer, "OK instances {}", store.list_instances().join(" ")),
+        Request::List => {
+            // Proto 2 describes each instance as colon-separated fields;
+            // clients parse from the right so names survive unchanged.
+            let fields: Vec<String> = store
+                .list_detailed()
+                .iter()
+                .map(|info| {
+                    format!(
+                        "{}:{}:{}:{}:{}",
+                        info.name,
+                        info.backend,
+                        info.semiring,
+                        info.delta_patches,
+                        info.delta_fallbacks
+                    )
+                })
+                .collect();
+            writeln!(writer, "OK instances {}", fields.join(" "))
+        }
+        Request::Metrics => {
+            let lines = matlang_obs::registry().render_lines();
+            write_lines_block(writer, "METRICS", &lines)
+        }
+        Request::Explain { instance, text } => match store.explain(&instance, &text) {
+            Ok(lines) => write_lines_block(writer, "EXPLAIN", &lines),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Profile { instance, text } => match store.profile(&instance, &text) {
+            Ok(lines) => write_lines_block(writer, "PROFILE", &lines),
+            Err(e) => write_err(writer, &e),
+        },
         Request::Drop { instance } => match store.drop_instance(&instance) {
             Ok(()) => writeln!(writer, "OK dropped {instance}"),
             Err(e) => write_err(writer, &e),

@@ -291,6 +291,22 @@ pub struct UpdateOutcome {
     pub delta: DeltaDisposition,
 }
 
+/// One row of a detailed `LIST` reply: the instance name, its backend and
+/// semiring, and the cumulative delta-maintenance counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// The instance name.
+    pub name: String,
+    /// Storage backend (`dense` / `adaptive`).
+    pub backend: &'static str,
+    /// Semiring wire name (`real` / `bool` / `nat` / `minplus`).
+    pub semiring: &'static str,
+    /// Cumulative cached nodes patched by delta propagation.
+    pub delta_patches: u64,
+    /// Cumulative `UPDATE`s that fell back to invalidation.
+    pub delta_fallbacks: u64,
+}
+
 /// How many `(queries, schema)` plan variants the process-wide plan cache
 /// retains before evicting the least-recently-used one.  Plans are small
 /// next to instance data, but an unbounded cache would grow with every
@@ -435,6 +451,36 @@ impl Store {
         names
     }
 
+    /// Per-instance descriptions in name order: backend, semiring and the
+    /// cumulative delta-maintenance counters (the `LIST` wire reply).
+    pub fn list_detailed(&self) -> Vec<InstanceInfo> {
+        let handles: Vec<(String, Arc<Mutex<ServerInstance>>)> = {
+            let map = self.instances.read().expect("store poisoned");
+            map.iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect()
+        };
+        let mut infos: Vec<InstanceInfo> = handles
+            .into_iter()
+            .map(|(name, handle)| {
+                let guard = handle.lock().expect("instance poisoned");
+                let (delta_patches, delta_fallbacks) = with_state!(&*guard, |state| (
+                    state.delta_patches,
+                    state.delta_fallbacks
+                ));
+                InstanceInfo {
+                    name,
+                    backend: guard.backend_name(),
+                    semiring: guard.semiring_name(),
+                    delta_patches,
+                    delta_fallbacks,
+                }
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
     fn instance(&self, name: &str) -> Result<Arc<Mutex<ServerInstance>>, ServerError> {
         self.instances
             .read()
@@ -543,9 +589,8 @@ impl Store {
     /// memo cache; the batch plan itself is shared through the store-wide
     /// `(queries, schema)`-keyed plan cache.
     pub fn prepare(&self, name: &str, text: &str) -> Result<PrepareOutcome, ServerError> {
-        let expr = parse(text).map_err(|e| ServerError::Parse {
-            message: e.to_string(),
-        })?;
+        matlang_obs::counter!("prepare_total").inc();
+        let expr = parse_traced(text)?;
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
         with_state!(&mut *guard, |state| self.prepare_in(state, text, expr))
@@ -567,6 +612,7 @@ impl Store {
             .iter()
             .position(|p| p.fingerprint == fingerprint)
         {
+            matlang_obs::counter!("plan_cache_hits_total").inc();
             return Ok(PrepareOutcome {
                 qid,
                 reused_statement: true,
@@ -594,9 +640,11 @@ impl Store {
         let plan = {
             let mut plan_cache = self.plan_cache.lock().expect("plan cache poisoned");
             if let Some(plan) = plan_cache.get(&key) {
+                matlang_obs::counter!("plan_cache_hits_total").inc();
                 plan
             } else {
                 reused_plan = false;
+                matlang_obs::counter!("plan_cache_misses_total").inc();
                 let queries: Vec<Expr> = state.prepared.iter().map(|p| p.expr.clone()).collect();
                 let mut plan = self.engine.plan(&queries, &state.instance);
                 // Every node is memoized: a prepared query re-executed on
@@ -656,7 +704,13 @@ impl Store {
         let mut outcome = Ok(());
         for &qid in qids {
             let before = exec.stats();
-            match exec.run_shared(plan.roots()[qid]) {
+            matlang_obs::counter!("exec_total").inc();
+            let timer = matlang_obs::enabled().then(std::time::Instant::now);
+            let run = exec.run_shared(plan.roots()[qid]);
+            if let Some(t) = timer {
+                matlang_obs::histogram!("exec_latency_us").observe(t.elapsed().as_micros() as u64);
+            }
+            match run {
                 Ok(value) => results.push(wire_result(
                     value.as_ref(),
                     exec.stats().since(&before),
@@ -681,9 +735,8 @@ impl Store {
     /// prepared-statement machinery and its persistent cache entirely.
     /// This is the per-request-cost baseline `EXEC` is measured against.
     pub fn query(&self, name: &str, text: &str) -> Result<WireResult, ServerError> {
-        let expr = parse(text).map_err(|e| ServerError::Parse {
-            message: e.to_string(),
-        })?;
+        matlang_obs::counter!("query_total").inc();
+        let expr = parse_traced(text)?;
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
         with_state!(&mut *guard, |state| self.query_in(state, &expr))
@@ -733,9 +786,15 @@ impl Store {
         var: &str,
         entries: &[(usize, usize, f64)],
     ) -> Result<UpdateOutcome, ServerError> {
+        matlang_obs::counter!("update_total").inc();
+        let timer = matlang_obs::enabled().then(std::time::Instant::now);
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| self.update_in(state, var, entries))
+        let outcome = with_state!(&mut *guard, |state| self.update_in(state, var, entries));
+        if let Some(t) = timer {
+            matlang_obs::histogram!("update_latency_us").observe(t.elapsed().as_micros() as u64);
+        }
+        outcome
     }
 
     fn update_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
@@ -752,6 +811,16 @@ impl Store {
                 .ok_or_else(|| ServerError::UnknownVariable {
                     var: var.to_string(),
                 })?;
+        // An empty batch mutates nothing and invalidates nothing: it is a
+        // (trivially exact) delta application of the empty update, not a
+        // fallback — and must not disturb the warm cache either way.
+        if entries.is_empty() {
+            return Ok(UpdateOutcome {
+                applied: 0,
+                invalidated: 0,
+                delta: DeltaDisposition::Applied { patched: 0 },
+            });
+        }
         let (rows, cols) = matrix.shape();
         // Decide the path *before* mutating anything: the delta rules are
         // only exact for idempotent ⊕ and insert-only batches.
@@ -817,6 +886,7 @@ impl Store {
                     .expect("update entries were bounds-checked by set_entry");
                 let report = propagate(plan, &mut state.cache, &mut state.overlay, var, &update);
                 state.delta_patches += report.patched;
+                matlang_obs::counter!("delta_applied_total").inc();
                 (
                     report.invalidated,
                     DeltaDisposition::Applied {
@@ -829,6 +899,7 @@ impl Store {
                 // the entries before it *did* mutate the matrix, and a
                 // cache that outlives them would serve stale results.
                 state.delta_fallbacks += 1;
+                matlang_obs::counter!("delta_fallback_total").inc();
                 let invalidated = if applied > 0 {
                     match state.plan.as_ref() {
                         Some(plan) => {
@@ -854,6 +925,99 @@ impl Store {
             }),
         }
     }
+
+    /// Plans a query against an instance **without executing it** and
+    /// renders the rewritten DAG: one line per plan node with the cost
+    /// model's size/work estimates and the cache/delta eligibility, plus
+    /// the applied rewrites (the `EXPLAIN` wire block).
+    pub fn explain(&self, name: &str, text: &str) -> Result<Vec<String>, ServerError> {
+        let expr = parse_traced(text)?;
+        let instance = self.instance(name)?;
+        let guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
+        let semiring = guard.semiring_name();
+        with_state!(&*guard, |state| {
+            let schema = derive_schema(&state.instance)?;
+            typecheck(&expr, &schema).map_err(|e| ServerError::Type {
+                message: e.to_string(),
+            })?;
+            let plan = self
+                .engine
+                .plan(std::slice::from_ref(&expr), &state.instance);
+            let mut lines = vec![format!(
+                "instance {name} backend={backend} semiring={semiring}"
+            )];
+            lines.extend(plan.explain());
+            Ok(lines)
+        })
+    }
+
+    /// Plans **and executes** a query once with per-node profiling, then
+    /// renders one line per plan node with its inclusive wall time, output
+    /// shape/nnz and compute/hit counts (the `PROFILE` wire block).  Like
+    /// `QUERY`, this bypasses the prepared-statement cache entirely.
+    pub fn profile(&self, name: &str, text: &str) -> Result<Vec<String>, ServerError> {
+        let expr = parse_traced(text)?;
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
+        let semiring = guard.semiring_name();
+        with_state!(&mut *guard, |state| {
+            let schema = derive_schema(&state.instance)?;
+            typecheck(&expr, &schema).map_err(|e| ServerError::Type {
+                message: e.to_string(),
+            })?;
+            let plan = self
+                .engine
+                .plan(std::slice::from_ref(&expr), &state.instance);
+            let mut options = self.engine.exec_options;
+            options.profile = true;
+            let timer = std::time::Instant::now();
+            let mut exec = Executor::new(&plan, &state.instance, &state.registry, options);
+            exec.run_shared(plan.roots()[0])
+                .map_err(|e| ServerError::Eval {
+                    message: e.to_string(),
+                })?;
+            let total_us = timer.elapsed().as_micros() as u64;
+            let samples = exec
+                .profile_samples()
+                .expect("profiling was requested")
+                .to_vec();
+            let stats = exec.stats();
+            let mut lines = vec![format!(
+                "instance {name} backend={backend} semiring={semiring} total_us={total_us}"
+            )];
+            for (id, sample) in samples.iter().enumerate() {
+                lines.push(format!(
+                    "#{id} {desc} | {us}us computed={computed} hits={hits} out={rows}x{cols} nnz={nnz}",
+                    desc = plan.node(id).op.describe(),
+                    us = sample.total_ns / 1_000,
+                    computed = sample.computed,
+                    hits = sample.hits,
+                    rows = sample.rows,
+                    cols = sample.cols,
+                    nnz = sample.nnz,
+                ));
+            }
+            lines.push(format!(
+                "totals nodes={} computed={} hits={} fused={}",
+                plan.nodes().len(),
+                stats.cache_misses,
+                stats.cache_hits,
+                stats.fused_products,
+            ));
+            Ok(lines)
+        })
+    }
+}
+
+/// Parses query text under a `parse` trace span, mapping errors to the
+/// wire error kind.
+fn parse_traced(text: &str) -> Result<Expr, ServerError> {
+    let _span = matlang_obs::trace::active().then(|| matlang_obs::trace::span("parse"));
+    parse(text).map_err(|e| ServerError::Parse {
+        message: e.to_string(),
+    })
 }
 
 /// Converts loaded/generated ℝ triplet data into the instance's semiring
@@ -927,6 +1091,7 @@ fn wire_result<M: MatrixStorage>(
         stats: wire_stats,
         plan_nodes,
         fingerprint,
+        trace: matlang_obs::trace::current_id(),
     }
 }
 

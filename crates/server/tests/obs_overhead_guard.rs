@@ -1,0 +1,93 @@
+//! Release-mode guard: observability must be ~free on the hot path.
+//!
+//! A warm prepared `EXEC` — root cache hit, no recompute — is the
+//! latency-sensitive request; with obs enabled it additionally opens a
+//! trace, stamps span/trace ids, bumps counters and records latency
+//! histograms.  This guard runs the same warm `EXEC` loop with the obs
+//! layer enabled and disabled ([`matlang_obs::set_enabled`]) in
+//! interleaved rounds and pins the overhead at ≤5 % in release mode.
+//! Interleaving plus best-of-rounds makes this a same-machine ratio
+//! comparison, so shared-runner noise cannot bias one side.
+//!
+//! This file holds exactly one test: it toggles the process-wide enable
+//! flag, which must not race sibling tests in the same binary.
+
+use matlang_server::{Client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn timing_guard_obs_overhead_on_warm_exec_is_within_five_percent() {
+    // Debug builds measure the unoptimized instrumentation (every
+    // `Instant::now` is a real call, allocations are slow): keep the
+    // guard meaningful but only pin the hard 5 % bound in release.
+    let (rounds, iters, margin) = if cfg!(debug_assertions) {
+        (8, 150, 1.5)
+    } else {
+        (24, 500, 1.05)
+    };
+
+    let handle = Server::spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.create_instance("g", true).unwrap();
+    client.set_dim("g", "n", 64).unwrap();
+    client.gen_erdos_renyi("g", "G", "n", 4.0, 7).unwrap();
+    // A scalar result keeps serialization out of the measurement; the
+    // warm root hit keeps computation out of it.  What remains is the
+    // wire round trip plus the per-request session/dispatch work the
+    // instrumentation rides on.
+    let qid = client
+        .prepare("g", "(transpose(ones(G)) * (G * ones(G)))")
+        .unwrap();
+    client.exec("g", qid).unwrap(); // warm the cache
+
+    let mut run_round = |enabled: bool| -> Duration {
+        matlang_obs::set_enabled(enabled);
+        let started = Instant::now();
+        for _ in 0..iters {
+            let result = client.exec("g", qid).unwrap();
+            debug_assert_eq!(result.stats.cache_misses, 0, "EXEC must stay warm");
+        }
+        started.elapsed()
+    };
+
+    // Warm-up round on each side (socket buffers, branch predictors).
+    run_round(true);
+    run_round(false);
+    // Machine load on a shared runner drifts at second scale, so a
+    // min-over-all-rounds comparison can pit a lucky round on one side
+    // against an unlucky one on the other.  Instead compare *adjacent*
+    // rounds — which see near-identical load — as one ratio per pair,
+    // alternating which side runs first to cancel intra-pair drift, and
+    // take the median pair ratio.
+    let mut ratios = Vec::with_capacity(rounds);
+    for pair in 0..rounds {
+        let (on, off) = if pair % 2 == 0 {
+            let on = run_round(true);
+            (on, run_round(false))
+        } else {
+            let off = run_round(false);
+            (run_round(true), off)
+        };
+        ratios.push(on.as_secs_f64() / off.as_secs_f64());
+    }
+    matlang_obs::set_enabled(true);
+
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[rounds / 2];
+    eprintln!(
+        "warm EXEC ×{iters}, {rounds} pairs: median on/off ratio {ratio:.4} \
+         (min {:.4}, max {:.4})",
+        ratios[0],
+        ratios[rounds - 1]
+    );
+    assert!(
+        ratio <= margin,
+        "obs instrumentation costs {:.1}% on warm EXEC (budget {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (margin - 1.0) * 100.0,
+    );
+}

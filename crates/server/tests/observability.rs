@@ -1,0 +1,219 @@
+//! Wire-level tests for the proto-2 `obs` surface: the `METRICS` /
+//! `EXPLAIN` / `PROFILE` verbs, the `trace=` token on `RESULT` headers,
+//! the detailed `LIST` reply and the empty-`UPDATE` short-circuit.
+//!
+//! The metrics registry is process-wide, so counter assertions here are
+//! monotone (nonzero / increased-by) rather than exact — other tests in
+//! the same process may be incrementing them concurrently.
+
+use matlang_server::{Client, DeltaWire, Server, ServerConfig, ServerHandle};
+
+fn spawn() -> ServerHandle {
+    Server::spawn(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns on an ephemeral port")
+}
+
+/// Seeds one adaptive Boolean instance `g` with a 4-cycle.
+fn seed(client: &mut Client, name: &str) {
+    client
+        .create_instance_with(name, true, matlang_server::SemiringKind::Boolean)
+        .unwrap();
+    client.set_dim(name, "n", 4).unwrap();
+    client
+        .load(
+            name,
+            "G",
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+        )
+        .unwrap();
+}
+
+/// Reads the value of a counter from a Prometheus text exposition.
+fn scrape(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|line| line.split_whitespace().next() == Some(name))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn hello_announces_the_obs_capability() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let hello = client.hello().unwrap();
+    assert_eq!(hello.proto, 2);
+    assert!(hello.has_capability("obs"), "caps: {:?}", hello.caps);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_scrape_exposes_the_request_counters() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap();
+    client.update("g", "G", &[(0, 2, 1.0)]).unwrap();
+
+    let text = client.metrics().unwrap();
+    assert!(
+        text.contains("# TYPE exec_total counter"),
+        "missing TYPE comment in:\n{text}"
+    );
+    for name in [
+        "exec_total",
+        "prepare_total",
+        "update_total",
+        "requests_total",
+        "connections_total",
+        "delta_applied_total",
+    ] {
+        let value = scrape(&text, name)
+            .unwrap_or_else(|| panic!("metric {name} missing from scrape:\n{text}"));
+        assert!(value >= 1.0, "{name} should be nonzero, got {value}");
+    }
+    // Latency histograms render as summaries with quantile lines.
+    assert!(text.contains("# TYPE exec_latency_us summary"));
+    assert!(text.contains("exec_latency_us{quantile=\"0.99\"}"));
+    assert!(scrape(&text, "exec_latency_us_count").unwrap_or(0.0) >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn explain_renders_the_rewritten_plan_without_executing() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let lines = client.explain("g", "(transpose(G) * (G + G))").unwrap();
+    assert!(
+        lines[0].starts_with("instance g backend=adaptive semiring=bool"),
+        "header line: {}",
+        lines[0]
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("plan nodes=")),
+        "missing plan summary in {lines:?}"
+    );
+    // Per-node lines carry the cost estimates and eligibility flags.
+    let node = lines
+        .iter()
+        .find(|l| l.contains("matmul"))
+        .unwrap_or_else(|| panic!("no matmul node in {lines:?}"));
+    assert!(node.contains("est "), "no estimate on `{node}`");
+    assert!(node.contains("cache="), "no cache flag on `{node}`");
+    assert!(node.contains("delta="), "no delta flag on `{node}`");
+    assert!(
+        lines.iter().any(|l| l.starts_with("root q0 = #")),
+        "missing root line in {lines:?}"
+    );
+    // EXPLAIN on garbage is an ERR, not a block.
+    assert!(client.explain("g", "(G +").is_err());
+    assert!(client.explain("missing", "G").is_err());
+    handle.shutdown();
+}
+
+#[test]
+fn profile_reports_per_node_wall_time_and_sizes() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let lines = client.profile("g", "(transpose(G) * (G + G))").unwrap();
+    assert!(
+        lines[0].starts_with("instance g backend=adaptive semiring=bool total_us="),
+        "header line: {}",
+        lines[0]
+    );
+    let nodes: Vec<&String> = lines.iter().filter(|l| l.starts_with('#')).collect();
+    assert!(nodes.len() >= 3, "expected per-node lines, got {lines:?}");
+    for node in &nodes {
+        assert!(node.contains("computed="), "no computed count on `{node}`");
+        assert!(node.contains("nnz="), "no nnz on `{node}`");
+    }
+    // Every node of a one-shot profile run computes exactly once (CSE
+    // means `G` appears once in the DAG even though the text uses it
+    // three times).
+    assert!(
+        nodes.iter().all(|l| l.contains("computed=1")),
+        "one-shot profile should compute each node once: {lines:?}"
+    );
+    assert!(
+        lines.last().unwrap().starts_with("totals nodes="),
+        "missing totals line in {lines:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn result_headers_carry_a_per_query_trace_id() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    let first = client.exec("g", qid).unwrap();
+    let second = client.exec("g", qid).unwrap();
+    assert_ne!(first.trace, 0, "EXEC must run under a trace");
+    assert_ne!(second.trace, 0);
+    assert_ne!(first.trace, second.trace, "each EXEC gets a fresh trace id");
+    let one_shot = client.query("g", "(G + G)").unwrap();
+    assert_ne!(one_shot.trace, 0, "QUERY must run under a trace");
+    handle.shutdown();
+}
+
+#[test]
+fn list_reports_backend_semiring_and_delta_counters() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    client.create_instance("plain", false).unwrap();
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap(); // warm: the insert below patches
+    let reply = client.update("g", "G", &[(0, 2, 1.0)]).unwrap();
+    assert!(matches!(reply.delta, DeltaWire::Applied { patched } if patched > 0));
+
+    let names = client.list().unwrap();
+    assert_eq!(names, vec!["g".to_string(), "plain".to_string()]);
+    let entries = client.list_detailed().unwrap();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].name, "g");
+    assert_eq!(entries[0].backend, "adaptive");
+    assert_eq!(entries[0].semiring, "bool");
+    assert!(
+        entries[0].delta_patches > 0,
+        "the applied delta must show up in LIST: {entries:?}"
+    );
+    assert_eq!(entries[0].delta_fallbacks, 0);
+    assert_eq!(entries[1].name, "plain");
+    assert_eq!(entries[1].backend, "dense");
+    assert_eq!(entries[1].semiring, "real");
+    handle.shutdown();
+}
+
+#[test]
+fn empty_update_batches_short_circuit_without_touching_the_cache() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap(); // warm the cache
+
+    let reply = client.update("g", "G", &[]).unwrap();
+    assert_eq!(reply.applied, 0);
+    assert_eq!(reply.invalidated, 0);
+    assert_eq!(
+        reply.delta,
+        DeltaWire::Applied { patched: 0 },
+        "an empty batch is a trivially exact delta application"
+    );
+    // The warm cache survived: the next EXEC is a single root hit.
+    let warm = client.exec("g", qid).unwrap();
+    assert_eq!(warm.stats.cache_misses, 0, "empty UPDATE dropped the cache");
+    assert_eq!(warm.stats.cache_hits, 1);
+    // An empty batch against an unknown variable still errors.
+    assert!(client.update("g", "missing", &[]).is_err());
+    handle.shutdown();
+}

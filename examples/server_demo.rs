@@ -137,6 +137,51 @@ fn main() {
         warm.stats.cache_misses
     );
 
+    // Introspection: EXPLAIN renders the rewritten plan without running
+    // it, and METRICS scrapes the process-wide registry (the same text a
+    // Prometheus agent would pull).  Re-preparing a standing query first
+    // gives the plan cache a guaranteed hit to show off.
+    client.prepare("g", queries[0].1).unwrap();
+    let explain = client.explain("g", "(transpose(G) * (G + G))").unwrap();
+    println!("\nEXPLAIN (transpose(G) * (G + G)):");
+    for line in explain.iter().take(8) {
+        println!("   {line}");
+    }
+
+    let metrics = client.metrics().unwrap();
+    let scrape = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing from METRICS scrape"))
+    };
+    let exec_total = scrape("exec_total");
+    let delta_applied = scrape("delta_applied_total");
+    let plan_hits = scrape("plan_cache_hits_total");
+    assert!(
+        exec_total > 0.0,
+        "exec_total must be nonzero after the demo"
+    );
+    assert!(
+        delta_applied > 0.0,
+        "the Boolean insert must count as an applied delta"
+    );
+    assert!(
+        plan_hits > 0.0,
+        "the re-prepare must count as a plan cache hit"
+    );
+    println!(
+        "\nMETRICS: exec_total={exec_total} delta_applied_total={delta_applied} \
+         plan_cache_hits_total={plan_hits} exec p99={}us",
+        metrics
+            .lines()
+            .find(|l| l.starts_with("exec_latency_us{quantile=\"0.99\"}"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or("?")
+    );
+
     client.quit().unwrap();
     handle.shutdown();
     println!("server shut down cleanly");

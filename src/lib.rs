@@ -58,6 +58,7 @@ pub use matlang_circuits as circuits;
 pub use matlang_core as core;
 pub use matlang_engine as engine;
 pub use matlang_matrix as matrix;
+pub use matlang_obs as obs;
 pub use matlang_parser as parser;
 pub use matlang_ra as ra;
 pub use matlang_semiring as semiring;

@@ -43,10 +43,12 @@ pub struct ExecOptions {
     /// Apply the planner's per-node representation choices to cached
     /// values (adaptive backend only; other backends ignore the hints).
     pub apply_repr_hints: bool,
-    /// Collect a per-node [`NodeSample`] breakdown (wall time, output
-    /// shape/nnz, cache hits) while executing — the engine side of the
-    /// server's `PROFILE` verb.  Off by default: sampling times every node
-    /// computation and scans outputs for their nnz.
+    /// Time every node computation in the per-node [`NodeSample`]s — the
+    /// engine side of the server's `PROFILE` verb.  Off by default: the
+    /// executor always records output shape/nnz and hit/computed counts on
+    /// the cache-miss path (cheap — the compute it rides on dwarfs it, and
+    /// warm hits never reach it), but the per-node `Instant` reads stay
+    /// opt-in.
     pub profile: bool,
 }
 
@@ -60,7 +62,10 @@ impl Default for ExecOptions {
     }
 }
 
-/// Per-node profile sample collected when [`ExecOptions::profile`] is set.
+/// Per-node observation sample.  Shape, nnz and hit/computed counts are
+/// recorded on every execution ([`Executor::observed_samples`]) — they feed
+/// the server's observed-statistics planner feedback; `total_ns` is filled
+/// only under [`ExecOptions::profile`].
 ///
 /// Wall time is *inclusive*: a node's `total_ns` contains the evaluation of
 /// its children on the same cache-miss path, exactly like the span tree the
@@ -179,8 +184,9 @@ pub struct Executor<'p, K: Semiring, M: MatrixStorage<Elem = K>> {
     cache: NodeCache<M>,
     env: HashMap<String, Arc<M>>,
     stats: ExecStats,
-    /// Per-node samples, allocated only under [`ExecOptions::profile`].
-    profile: Option<Vec<NodeSample>>,
+    /// Per-node samples: shape/nnz/hit counts always, wall time only under
+    /// [`ExecOptions::profile`].
+    samples: Vec<NodeSample>,
 }
 
 impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
@@ -203,9 +209,7 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
                 trace_id: matlang_obs::trace::current_id(),
                 ..ExecStats::default()
             },
-            profile: options
-                .profile
-                .then(|| vec![NodeSample::default(); plan.nodes().len()]),
+            samples: vec![NodeSample::default(); plan.nodes().len()],
         }
     }
 
@@ -243,9 +247,20 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
     }
 
     /// The per-node profile samples, indexed by [`NodeId`].  `None` unless
-    /// the executor was created with [`ExecOptions::profile`] set.
+    /// the executor was created with [`ExecOptions::profile`] set (without
+    /// it the samples exist but their `total_ns` is always 0; use
+    /// [`Executor::observed_samples`] for those).
     pub fn profile_samples(&self) -> Option<&[NodeSample]> {
-        self.profile.as_deref()
+        self.options.profile.then_some(self.samples.as_slice())
+    }
+
+    /// The always-on per-node observation samples, indexed by [`NodeId`]:
+    /// output shape/nnz as last computed plus hit/computed counts.  Wall
+    /// times are 0 unless [`ExecOptions::profile`] was set.  This is what
+    /// the server harvests into its per-instance observed statistics after
+    /// every execution.
+    pub fn observed_samples(&self) -> &[NodeSample] {
+        &self.samples
     }
 
     /// Evaluates one root of the plan.  The shared cache persists across
@@ -284,9 +299,7 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
     fn eval_node(&mut self, id: NodeId) -> Result<Arc<M>, EvalError> {
         if let Some(cached) = &self.cache[id] {
             self.stats.cache_hits += 1;
-            if let Some(samples) = self.profile.as_mut() {
-                samples[id].hits += 1;
-            }
+            self.samples[id].hits += 1;
             return Ok(Arc::clone(cached));
         }
         self.stats.cache_misses += 1;
@@ -297,12 +310,17 @@ impl<'p, K: Semiring, M: MatrixStorage<Elem = K>> Executor<'p, K, M> {
         let _span = matlang_obs::trace::active().then(|| {
             matlang_obs::trace::span(&format!("execute:{}", self.plan.node(id).op.label()))
         });
-        let timer = self.profile.is_some().then(std::time::Instant::now);
+        let timer = self.options.profile.then(std::time::Instant::now);
         let mut value = self.compute(id)?;
-        if let (Some(start), Some(samples)) = (timer, self.profile.as_mut()) {
-            let sample = &mut samples[id];
+        {
+            // Always-on observation: shape/nnz ride the miss path, where
+            // the compute they describe dwarfs them; only the per-node
+            // clock reads stay behind the `profile` flag.
+            let sample = &mut self.samples[id];
             sample.computed += 1;
-            sample.total_ns += start.elapsed().as_nanos() as u64;
+            if let Some(start) = timer {
+                sample.total_ns += start.elapsed().as_nanos() as u64;
+            }
             sample.rows = value.rows();
             sample.cols = value.cols();
             sample.nnz = value.nnz() as u64;
@@ -848,6 +866,30 @@ mod tests {
         // Outside a trace the id is the wire's "no trace" marker.
         let (_, stats) = run_one(&e, &inst);
         assert_eq!(stats.trace_id, 0);
+    }
+
+    #[test]
+    fn observation_is_always_on_without_timing() {
+        let gram = Expr::var("G").t().mm(Expr::var("G"));
+        let e = gram.clone().add(gram);
+        let inst = instance();
+        let plan = Planner::new().plan_one(&e, &InstanceStats::from_instance(&inst));
+        let registry = FunctionRegistry::standard_field();
+        let mut exec = Executor::new(&plan, &inst, &registry, ExecOptions::default());
+        let root = plan.roots()[0];
+        exec.run(root).unwrap();
+        assert!(
+            exec.profile_samples().is_none(),
+            "per-node timing stays opt-in"
+        );
+        let samples = exec.observed_samples();
+        assert_eq!(samples.len(), plan.nodes().len());
+        let root_sample = samples[root];
+        assert_eq!(root_sample.computed, 1);
+        assert_eq!((root_sample.rows, root_sample.cols), (4, 4));
+        assert!(root_sample.nnz > 0, "observed output nnz must be recorded");
+        assert_eq!(root_sample.total_ns, 0, "no clock reads without profile");
+        assert!(samples.iter().any(|s| s.hits >= 1), "CSE reuse observed");
     }
 
     #[test]

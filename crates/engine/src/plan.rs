@@ -466,6 +466,24 @@ impl Plan {
         hasher.finish()
     }
 
+    /// Per-node **structural** fingerprints, in node order: each node's
+    /// fingerprint hashes its operation kind, its salient payload
+    /// (variable/function names, constants, loop headers) and its
+    /// children's fingerprints — but *not* the raw [`NodeId`]s, which
+    /// depend on interning order.  The fingerprint of a node therefore
+    /// identifies the subexpression it computes independently of which
+    /// plan it sits in, so observed statistics harvested from one
+    /// executed plan ([`crate::ObservedStats`]) can be matched against
+    /// the nodes of a *re-planned* DAG for the same queries.
+    pub fn node_fingerprints(&self) -> Vec<u64> {
+        let mut fps = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let fp = op_fingerprint(&node.op, &fps);
+            fps.push(fp);
+        }
+        fps
+    }
+
     /// Renders the rewritten DAG as one line per node — operation, child
     /// references, the cost model's estimate (shape, nnz, work,
     /// representation, parallel mark), cache and delta eligibility —
@@ -555,4 +573,43 @@ impl Plan {
         }
         dropped
     }
+}
+
+/// The structural fingerprint of one operation, given the fingerprints of
+/// its (lower-id) children — the bottom-up step behind
+/// [`Plan::node_fingerprints`], shared with the planner so it can
+/// fingerprint nodes *while interning them* and consult observed
+/// statistics for the subtree being built.
+pub(crate) fn op_fingerprint(op: &PlanOp, fingerprints: &[u64]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    op.label().hash(&mut h);
+    match op {
+        PlanOp::Var(name) => name.hash(&mut h),
+        PlanOp::Const(c) => c.hash(&mut h),
+        PlanOp::Apply(name, _) => name.hash(&mut h),
+        PlanOp::Let { var, .. } => var.hash(&mut h),
+        PlanOp::For {
+            var,
+            var_dim,
+            acc,
+            acc_type,
+            ..
+        } => {
+            var.hash(&mut h);
+            var_dim.hash(&mut h);
+            acc.hash(&mut h);
+            acc_type.hash(&mut h);
+        }
+        PlanOp::Sum { var, var_dim, .. }
+        | PlanOp::HProd { var, var_dim, .. }
+        | PlanOp::MProd { var, var_dim, .. } => {
+            var.hash(&mut h);
+            var_dim.hash(&mut h);
+        }
+        _ => {}
+    }
+    for child in op.children() {
+        fingerprints[child].hash(&mut h);
+    }
+    h.finish()
 }

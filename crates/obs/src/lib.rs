@@ -36,7 +36,9 @@ use std::sync::OnceLock;
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
 
 /// Global on/off switch for metric recording and trace capture.
 static ENABLED: AtomicBool = AtomicBool::new(true);

@@ -7,10 +7,11 @@
 //! `OnceLock` statics (see the [`counter!`](crate::counter) family of macros)
 //! and every update is a relaxed atomic operation with no lock in sight.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 /// Number of histogram buckets: one for zero plus one per power of two up to
 /// `2⁶³..=u64::MAX`.
@@ -186,30 +187,104 @@ impl Histogram {
     /// contains the rank `q·count` and interpolating linearly between the
     /// bucket's bounds.  Returns 0.0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
-        let buckets = self.buckets();
-        let total: u64 = buckets.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = q.clamp(0.0, 1.0) * total as f64;
-        let mut cum = 0u64;
-        for (i, &c) in buckets.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            let next = cum + c;
-            if (next as f64) >= rank {
-                let (lo, hi) = Self::bucket_bounds(i);
-                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
-                return lo as f64 + frac * (hi - lo) as f64;
-            }
-            cum = next;
-        }
-        // Rank beyond the last non-empty bucket (q == 1.0 rounding): the max
-        // representable value of the highest occupied bucket.
-        let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
-        Self::bucket_bounds(last).1 as f64
+        quantile_of(&self.buckets(), q)
     }
+}
+
+/// The quantile estimator shared by [`Histogram::quantile`] and windowed
+/// [`HistogramSnapshot`] diffs: find the bucket containing the rank
+/// `q·count` and interpolate linearly inside its bounds.
+fn quantile_of(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c;
+        if (next as f64) >= rank {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+            return lo as f64 + frac * (hi - lo) as f64;
+        }
+        cum = next;
+    }
+    // Rank beyond the last non-empty bucket (q == 1.0 rounding): the max
+    // representable value of the highest occupied bucket.
+    let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+    Histogram::bucket_bounds(last).1 as f64
+}
+
+/// A point-in-time copy of one histogram's state, diffable against a later
+/// copy to recover per-window quantiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (same bucketing as [`Histogram`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all samples at snapshot time.
+    pub sum: u64,
+    /// Number of samples at snapshot time.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Interpolated `q`-quantile of the samples in this snapshot.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_of(&self.buckets, q)
+    }
+
+    /// The samples recorded *between* `earlier` and this snapshot — the
+    /// windowed histogram.  Counters are monotone, so per-bucket saturating
+    /// subtraction is exact.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, (now, old)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *out = now.saturating_sub(*old);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+}
+
+/// A timestamped copy of every registered metric — the unit the windowed
+/// ring stores and [`render_window_lines`] diffs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Microseconds since the process's snapshot clock started.
+    pub at_us: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Microseconds on the process-wide monotonic snapshot clock (0 at the
+/// first read).
+pub fn clock_us() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
 // A metric handle bundle; copying it out of the map under the read lock is
@@ -282,6 +357,36 @@ impl Registry {
         *map.entry(name.to_string()).or_insert_with(make)
     }
 
+    /// A timestamped copy of every registered metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().unwrap();
+        let mut snap = MetricsSnapshot {
+            at_us: clock_us(),
+            ..MetricsSnapshot::default()
+        };
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(
+                        name.clone(),
+                        HistogramSnapshot {
+                            buckets: h.buckets(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+
     /// Render every registered metric as Prometheus-style text exposition,
     /// one line per element, in name order.  Histograms are rendered as
     /// summaries with interpolated p50/p95/p99 quantiles plus `_sum` and
@@ -329,6 +434,95 @@ pub fn render() -> String {
         let _ = writeln!(out, "{line}");
     }
     out
+}
+
+/// How many periodic snapshots the windowed ring retains.  At one snapshot
+/// per `METRICS`/`METRICS WINDOW` request this bounds both memory and the
+/// lookback horizon; older snapshots fall off the front.
+pub const WINDOW_RING_CAPACITY: usize = 128;
+
+fn window_ring() -> &'static Mutex<VecDeque<MetricsSnapshot>> {
+    static RING: OnceLock<Mutex<VecDeque<MetricsSnapshot>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(WINDOW_RING_CAPACITY)))
+}
+
+/// Take a snapshot of the global registry and push it into the bounded
+/// window ring.  Returns the snapshot timestamp ([`clock_us`]).  The server
+/// records one on every `METRICS` request, so the ring accrues baselines
+/// without any background thread.
+pub fn record_snapshot() -> u64 {
+    let snap = registry().snapshot();
+    let at = snap.at_us;
+    let mut ring = window_ring().lock().expect("window ring poisoned");
+    if ring.len() == WINDOW_RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(snap);
+    at
+}
+
+/// Render the **windowed** view of the global registry over (roughly) the
+/// last `secs` seconds, one line per element.
+///
+/// The baseline is the most recent ring snapshot at least `secs` old —
+/// falling back to the oldest retained snapshot when the ring is younger
+/// than the request, and to an empty baseline (process lifetime) when the
+/// ring is empty.  Counters render as windowed deltas plus per-second
+/// rates, gauges as their current value, histograms as windowed
+/// p50/p95/p99 with `_sum`/`_count` deltas.  The current snapshot is
+/// recorded into the ring afterwards, so consecutive calls see each other
+/// as baselines.
+pub fn render_window_lines(secs: u64) -> Vec<String> {
+    let now = registry().snapshot();
+    let horizon_us = secs.saturating_mul(1_000_000);
+    let baseline = {
+        let ring = window_ring().lock().expect("window ring poisoned");
+        ring.iter()
+            .rev()
+            .find(|s| now.at_us.saturating_sub(s.at_us) >= horizon_us)
+            .or_else(|| ring.front())
+            .cloned()
+            .unwrap_or_default()
+    };
+    let span_us = now.at_us.saturating_sub(baseline.at_us);
+    let span_s = span_us as f64 / 1e6;
+    let rate_div = span_s.max(1e-6);
+
+    let mut lines = Vec::with_capacity(now.counters.len() * 2 + 8);
+    lines.push(format!(
+        "# window requested_s={secs} actual_s={span_s:.3} baseline_at_us={}",
+        baseline.at_us
+    ));
+    for (name, &value) in &now.counters {
+        let delta = value.saturating_sub(baseline.counters.get(name).copied().unwrap_or(0));
+        lines.push(format!("# TYPE {name}_delta gauge"));
+        lines.push(format!("{name}_delta {delta}"));
+        lines.push(format!("# TYPE {name}_rate gauge"));
+        lines.push(format!("{name}_rate {:.3}", delta as f64 / rate_div));
+    }
+    for (name, &value) in &now.gauges {
+        lines.push(format!("# TYPE {name} gauge"));
+        lines.push(format!("{name} {value}"));
+    }
+    for (name, hist) in &now.histograms {
+        let window = hist.since(baseline.histograms.get(name).unwrap_or(&Default::default()));
+        lines.push(format!("# TYPE {name} summary"));
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            lines.push(format!(
+                "{name}{{quantile=\"{label}\"}} {:.1}",
+                window.quantile(q)
+            ));
+        }
+        lines.push(format!("{name}_sum {}", window.sum));
+        lines.push(format!("{name}_count {}", window.count));
+    }
+
+    let mut ring = window_ring().lock().expect("window ring poisoned");
+    if ring.len() == WINDOW_RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(now);
+    lines
 }
 
 #[cfg(test)]
@@ -451,6 +645,84 @@ mod tests {
         assert!(text.contains("test_latency_us{quantile=\"0.5\"}"));
         assert!(text.contains("test_latency_us_sum 10"));
         assert!(text.contains("test_latency_us_count 1"));
+    }
+
+    #[test]
+    fn snapshots_copy_every_metric_kind() {
+        let r = Registry::default();
+        r.counter("snap_total").add(7);
+        r.gauge("snap_gauge").set(-2);
+        r.histogram("snap_us").observe(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("snap_total"), Some(&7));
+        assert_eq!(snap.gauges.get("snap_gauge"), Some(&-2));
+        let h = snap.histograms.get("snap_us").expect("histogram snapshot");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100);
+        assert_eq!(h.buckets[Histogram::bucket_index(100)], 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_diffs_recover_windowed_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.observe(8); // bucket 4: [8, 15]
+        }
+        let before = HistogramSnapshot {
+            buckets: h.buckets(),
+            sum: h.sum(),
+            count: h.count(),
+        };
+        for _ in 0..50 {
+            h.observe(1000); // bucket 10: [512, 1023]
+        }
+        let after = HistogramSnapshot {
+            buckets: h.buckets(),
+            sum: h.sum(),
+            count: h.count(),
+        };
+        let window = after.since(&before);
+        assert_eq!(window.count, 50);
+        assert_eq!(window.sum, 50 * 1000);
+        // The window contains only the late cluster, so even the median is
+        // in the high bucket — the lifetime histogram's median is not.
+        let p50 = window.quantile(0.5);
+        assert!((512.0..=1023.0).contains(&p50), "windowed p50 = {p50}");
+        assert!(after.quantile(0.5) <= 15.0, "lifetime p50 stays low");
+    }
+
+    #[test]
+    fn windowed_rendering_diffs_against_ring_baselines() {
+        // The window ring and registry are process-global; unique metric
+        // names keep this monotone under parallel tests.
+        registry().counter("win_render_total").add(5);
+        record_snapshot();
+        registry().counter("win_render_total").add(10);
+        registry().histogram("win_render_us").observe(100);
+        // secs=0: the baseline is the most recent snapshot (age ≥ 0).
+        let lines = render_window_lines(0);
+        let text = lines.join("\n");
+        assert!(
+            lines[0].starts_with("# window requested_s=0 actual_s="),
+            "header: {}",
+            lines[0]
+        );
+        assert!(
+            text.contains("win_render_total_delta 10"),
+            "windowed counter delta missing:\n{text}"
+        );
+        assert!(
+            text.contains("win_render_total_rate "),
+            "windowed counter rate missing:\n{text}"
+        );
+        assert!(
+            text.contains("win_render_us{quantile=\"0.5\"}"),
+            "windowed histogram quantiles missing:\n{text}"
+        );
+        assert!(
+            text.contains("win_render_us_count 1"),
+            "windowed histogram count missing:\n{text}"
+        );
     }
 
     #[test]

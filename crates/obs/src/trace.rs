@@ -64,6 +64,10 @@ pub struct SlowQuery {
     pub label: String,
     /// Total wall time in microseconds.
     pub total_us: u64,
+    /// Forensic detail attached mid-request via [`attach_slow_detail`] —
+    /// by convention the rewritten-DAG explain plus the per-node observed
+    /// profile of the offending execution.  Empty when nothing attached.
+    pub detail: Vec<String>,
 }
 
 /// How much of a label [`begin`] retains (truncated at a char boundary).
@@ -95,9 +99,14 @@ thread_local! {
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Sentinel meaning "no runtime override, read `MATLANG_SLOW_MS`".
-const SLOW_MS_UNSET: u64 = u64::MAX;
+/// Sentinel meaning "no runtime override, read `MATLANG_SLOW_MS`" — pass
+/// it to [`set_slow_ms`] to clear a previous override.
+pub const SLOW_MS_UNSET: u64 = u64::MAX;
 static SLOW_MS_OVERRIDE: AtomicU64 = AtomicU64::new(SLOW_MS_UNSET);
+
+/// How many traces' pending forensic detail the side channel retains while
+/// their root guards are still open.
+const PENDING_DETAIL_CAPACITY: usize = 64;
 
 fn ring() -> &'static Mutex<VecDeque<TraceRecord>> {
     static RING: OnceLock<Mutex<VecDeque<TraceRecord>>> = OnceLock::new();
@@ -107,6 +116,55 @@ fn ring() -> &'static Mutex<VecDeque<TraceRecord>> {
 fn slow_ring() -> &'static Mutex<VecDeque<SlowQuery>> {
     static RING: OnceLock<Mutex<VecDeque<SlowQuery>>> = OnceLock::new();
     RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
+}
+
+fn pending_detail() -> &'static Mutex<VecDeque<(u64, Vec<String>)>> {
+    static PENDING: OnceLock<Mutex<VecDeque<(u64, Vec<String>)>>> = OnceLock::new();
+    PENDING.get_or_init(|| Mutex::new(VecDeque::with_capacity(PENDING_DETAIL_CAPACITY)))
+}
+
+/// Entries currently parked in [`pending_detail`].  Letting the trace-drop
+/// hot path skip the parking-lot mutex entirely when nothing is parked —
+/// the overwhelmingly common case — keeps warm requests lock-free.
+static PENDING_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Attach forensic detail lines to the trace `trace_id` **before** its root
+/// guard drops.  The request's root trace guard lives at the session layer
+/// and only finishes — and decides slowness — after the store returns, so
+/// code deeper in the stack that can render an explain/profile cheaply
+/// parks the lines here; [`TraceGuard::drop`] folds them into the
+/// [`SlowQuery`] entry when the trace turns out slow and discards them
+/// otherwise.  The parking lot is bounded; unclaimed entries (a trace that
+/// never finishes) age out oldest-first.
+pub fn attach_slow_detail(trace_id: u64, lines: Vec<String>) {
+    if trace_id == 0 || !crate::enabled() {
+        return;
+    }
+    if let Ok(mut pending) = pending_detail().lock() {
+        if let Some(slot) = pending.iter_mut().find(|(id, _)| *id == trace_id) {
+            slot.1 = lines;
+            return;
+        }
+        if pending.len() == PENDING_DETAIL_CAPACITY {
+            pending.pop_front();
+        } else {
+            PENDING_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        pending.push_back((trace_id, lines));
+    }
+}
+
+/// Remove and return the pending detail for `trace_id`, if any.  Checks the
+/// lock-free emptiness hint first so traces with nothing parked never take
+/// the mutex.
+fn take_slow_detail(trace_id: u64) -> Option<Vec<String>> {
+    if PENDING_COUNT.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let mut pending = pending_detail().lock().ok()?;
+    let idx = pending.iter().position(|(id, _)| *id == trace_id)?;
+    PENDING_COUNT.fetch_sub(1, Ordering::Relaxed);
+    pending.remove(idx).map(|(_, lines)| lines)
 }
 
 /// A fresh, process-unique trace id (nonzero; 0 means "no trace" on the
@@ -210,6 +268,9 @@ impl Drop for TraceGuard {
         };
         let total_us = t.started.elapsed().as_micros() as u64;
         let slow = total_us >= slow_ms().saturating_mul(1000);
+        // Claim any parked forensic detail either way, so an abandoned
+        // attachment for a fast trace cannot linger in the parking lot.
+        let detail = take_slow_detail(t.id);
         if slow {
             crate::counter!("slow_queries_total").inc();
             if let Ok(mut log) = slow_ring().lock() {
@@ -220,6 +281,7 @@ impl Drop for TraceGuard {
                     trace_id: t.id,
                     label: t.label().to_string(),
                     total_us,
+                    detail: detail.unwrap_or_default(),
                 });
             }
         }
@@ -430,6 +492,57 @@ mod tests {
         assert_eq!(entry.label, "EXEC slow 0");
         assert!(entry.total_us >= 1000);
         assert!(crate::counter!("slow_queries_total").get() >= 1);
+    }
+
+    #[test]
+    fn slow_detail_attaches_through_the_side_channel() {
+        let id = next_id();
+        set_slow_ms(0); // every trace counts as slow
+        {
+            let _t = begin(id, "EXEC forensic 0");
+            attach_slow_detail(current_id(), vec!["plan nodes=3".into(), "#0 var G".into()]);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_slow_ms(SLOW_MS_UNSET);
+        let entry = slow_queries(RING_CAPACITY)
+            .into_iter()
+            .find(|s| s.trace_id == id)
+            .expect("slow query must be logged");
+        assert_eq!(
+            entry.detail,
+            vec!["plan nodes=3".to_string(), "#0 var G".to_string()],
+            "parked detail must fold into the slow-log entry"
+        );
+    }
+
+    #[test]
+    fn fast_traces_discard_parked_detail() {
+        let id = next_id();
+        {
+            let _t = begin(id, "EXEC fast 0");
+            attach_slow_detail(id, vec!["unused".into()]);
+            // No sleep: with the default 100 ms threshold this is fast.
+        }
+        assert!(
+            slow_queries(RING_CAPACITY).iter().all(|s| s.trace_id != id),
+            "a fast trace must not reach the slow log"
+        );
+        // The parked entry was claimed and dropped, not leaked: attaching
+        // again for the dead id and asking for it via a new slow trace
+        // cannot resurrect it.
+        let id2 = next_id();
+        set_slow_ms(0);
+        {
+            let _t = begin(id2, "EXEC forensic 1");
+            attach_slow_detail(id2, vec!["second".into()]);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_slow_ms(SLOW_MS_UNSET);
+        let entry = slow_queries(RING_CAPACITY)
+            .into_iter()
+            .find(|s| s.trace_id == id2)
+            .expect("slow query must be logged");
+        assert_eq!(entry.detail, vec!["second".to_string()]);
     }
 
     #[test]

@@ -159,6 +159,23 @@ pub struct InstanceEntry {
     pub delta_fallbacks: u64,
 }
 
+/// One slow-query record from a `SLOWLOG` reply: the trace id, label and
+/// wall time of the offending request, plus the forensic detail lines
+/// (rewritten plan + per-node observations) captured when it crossed the
+/// slow threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowlogEntry {
+    /// The observability trace id of the slow request.
+    pub trace_id: u64,
+    /// The request line, as labeled in the trace ring.
+    pub label: String,
+    /// Total wall time of the request, microseconds.
+    pub total_us: u64,
+    /// Captured forensics: the rewritten-DAG explain plus per-node
+    /// observed shapes/nnz/hits (empty if the detail ring had evicted it).
+    pub detail: Vec<String>,
+}
+
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -423,6 +440,96 @@ impl Client {
         read_lines_block(&header, "METRICS", &mut self.reader)
             .map(|lines| lines.join("\n"))
             .map_err(ClientError::malformed)
+    }
+
+    /// `METRICS`, parsed: every un-labeled counter/gauge sample
+    /// (`name value` lines without `{…}` labels) as a name → value map,
+    /// so callers assert on typed numbers instead of string-grepping the
+    /// exposition text.  Histogram quantile lines (labeled) are skipped.
+    pub fn metrics_map(&mut self) -> Result<std::collections::BTreeMap<String, f64>, ClientError> {
+        let text = self.metrics()?;
+        let mut map = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            if let (Some(name), Some(value)) = (tokens.next(), tokens.next()) {
+                if name.contains('{') {
+                    continue; // labeled sample (histogram quantile)
+                }
+                if let Ok(value) = value.parse::<f64>() {
+                    map.insert(name.to_string(), value);
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// `METRICS WINDOW <secs>`; returns the windowed exposition (counter
+    /// deltas and rates, histogram quantiles over roughly the last `secs`
+    /// seconds of scrape-to-scrape snapshots).
+    pub fn metrics_window(&mut self, secs: u64) -> Result<String, ClientError> {
+        let header = self.send(&format!("METRICS WINDOW {secs}"))?;
+        read_lines_block(&header, "METRICS", &mut self.reader)
+            .map(|lines| lines.join("\n"))
+            .map_err(ClientError::malformed)
+    }
+
+    /// `STATS <instance>`; returns the per-instance observed-vs-estimated
+    /// report (per-variable planned/current/observed nnz, drift against
+    /// the plan-time snapshot, re-plan counter).
+    pub fn stats(&mut self, instance: &str) -> Result<Vec<String>, ClientError> {
+        let header = self.send(&format!("STATS {instance}"))?;
+        read_lines_block(&header, "STATS", &mut self.reader).map_err(ClientError::malformed)
+    }
+
+    /// `SLOWLOG [n]`; returns the most recent slow queries (newest first)
+    /// with their captured forensics.
+    pub fn slowlog(&mut self, n: Option<usize>) -> Result<Vec<SlowlogEntry>, ClientError> {
+        let request = match n {
+            Some(n) => format!("SLOWLOG {n}"),
+            None => "SLOWLOG".to_string(),
+        };
+        let header = self.send(&request)?;
+        let lines =
+            read_lines_block(&header, "SLOWLOG", &mut self.reader).map_err(ClientError::malformed)?;
+        let mut entries = Vec::new();
+        let mut iter = lines.into_iter();
+        while let Some(line) = iter.next() {
+            let Some(rest) = line.strip_prefix("ENTRY ") else {
+                return Err(ClientError::malformed(format!(
+                    "expected ENTRY line, got `{line}`"
+                )));
+            };
+            let trace_id = rest
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("trace="))
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                .ok_or_else(|| ClientError::malformed(format!("missing trace= in `{line}`")))?;
+            let total_us = parse_kv(rest, "total_us")?;
+            let detail_count: usize = parse_kv(rest, "detail")?;
+            // The label is everything after the detail= token.
+            let label = rest
+                .split_once("detail=")
+                .map(|(_, tail)| {
+                    tail.split_once(' ')
+                        .map(|(_, label)| label.to_string())
+                        .unwrap_or_default()
+                })
+                .unwrap_or_default();
+            let detail: Vec<String> = iter.by_ref().take(detail_count).collect();
+            if detail.len() != detail_count {
+                return Err(ClientError::malformed("truncated SLOWLOG entry detail"));
+            }
+            entries.push(SlowlogEntry {
+                trace_id,
+                label,
+                total_us,
+                detail,
+            });
+        }
+        Ok(entries)
     }
 
     /// `EXPLAIN <instance> <query>`; returns the rewritten-plan rendering

@@ -60,7 +60,8 @@ pub mod store;
 pub mod worker;
 
 pub use client::{
-    Client, ClientError, DeltaWire, ErrorCode, InstanceEntry, ServerHello, UpdateReply,
+    Client, ClientError, DeltaWire, ErrorCode, InstanceEntry, ServerHello, SlowlogEntry,
+    UpdateReply,
 };
 pub use error::ServerError;
 pub use protocol::{
@@ -68,8 +69,8 @@ pub use protocol::{
     PROTOCOL_VERSION,
 };
 pub use store::{
-    DeltaDisposition, InstanceInfo, PrepareOutcome, ServerSemiring, Store, UpdateOutcome,
-    PLAN_CACHE_CAPACITY,
+    replan_drift, set_replan_drift, DeltaDisposition, InstanceInfo, PrepareOutcome, ServerSemiring,
+    Store, UpdateOutcome, DEFAULT_REPLAN_DRIFT, PLAN_CACHE_CAPACITY,
 };
 pub use worker::ConnQueue;
 

@@ -32,13 +32,17 @@
 //! [`ResponseHeader`] parser **ignores unknown keys** so the same
 //! tolerance carries forward.
 //!
-//! The `obs` capability adds three introspection verbs, each answered with
-//! a line-counted block (`<TAG> <n>`, then `n` payload lines, then `END`):
+//! The `obs` capability adds a family of introspection verbs, each
+//! answered with a line-counted block (`<TAG> <n>`, then `n` payload
+//! lines, then `END`):
 //!
 //! ```text
 //! →  METRICS                          ←  METRICS <n> … END   (Prometheus text exposition)
+//! →  METRICS WINDOW 60                ←  METRICS <n> … END   (windowed deltas/rates/quantiles)
 //! →  EXPLAIN g (G * G)                ←  EXPLAIN <n> … END   (rewritten DAG, estimates, eligibility)
 //! →  PROFILE g (G * G)                ←  PROFILE <n> … END   (executes once; per-node time/nnz/hits)
+//! →  STATS g                          ←  STATS <n> … END     (observed vs. estimated, drift, re-plans)
+//! →  SLOWLOG 10                       ←  SLOWLOG <n> … END   (recent slow queries + captured forensics)
 //! ```
 //!
 //! and a `trace=<id>` (hex) token on `RESULT` headers carrying the
@@ -157,9 +161,19 @@ pub enum Request {
     /// `LIST` — instance inventory (name, backend, semiring, cumulative
     /// delta/fallback counters).
     List,
-    /// `METRICS` — Prometheus-style text exposition of the process-wide
-    /// metrics registry.
-    Metrics,
+    /// `METRICS [WINDOW <secs>]` — Prometheus-style text exposition of
+    /// the process-wide metrics registry; with `WINDOW <secs>`, windowed
+    /// counter deltas/rates and histogram quantiles over roughly the last
+    /// `secs` seconds instead.
+    Metrics { window: Option<u64> },
+    /// `STATS <instance>` — per-instance observed vs. estimated
+    /// statistics: per-variable planned/current/observed nnz, drift
+    /// against the plan-time snapshot, and the re-plan counter.
+    Stats { instance: String },
+    /// `SLOWLOG [n]` — the most recent (up to `n`, default 16) queries
+    /// that crossed the slow threshold (`MATLANG_SLOW_MS`), each with its
+    /// captured plan/profile forensics.
+    Slowlog { n: Option<usize> },
     /// `EXPLAIN <instance> <query text…>` — parse, typecheck and plan the
     /// query (without registering a prepared statement) and render the
     /// rewritten DAG with per-node cost estimates and cache/delta
@@ -318,7 +332,22 @@ impl Request {
                 })
             }
             "LIST" => Ok(Request::List),
-            "METRICS" => Ok(Request::Metrics),
+            "METRICS" => match tokens.next() {
+                None => Ok(Request::Metrics { window: None }),
+                Some(token) if token.eq_ignore_ascii_case("WINDOW") => Ok(Request::Metrics {
+                    window: Some(parse_num(tokens.next(), "window seconds")?),
+                }),
+                Some(other) => Err(format!("unknown METRICS argument `{other}` (WINDOW <secs>)")),
+            },
+            "STATS" => Ok(Request::Stats {
+                instance: parse_num(tokens.next(), "instance name")?,
+            }),
+            "SLOWLOG" => Ok(Request::Slowlog {
+                n: match tokens.next() {
+                    None => None,
+                    tok => Some(parse_num(tok, "entry count")?),
+                },
+            }),
             "DROP" => Ok(Request::Drop {
                 instance: parse_num(tokens.next(), "instance name")?,
             }),
@@ -677,7 +706,25 @@ mod tests {
             }
         );
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
-        assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            Request::parse("METRICS").unwrap(),
+            Request::Metrics { window: None }
+        );
+        assert_eq!(
+            Request::parse("METRICS WINDOW 60").unwrap(),
+            Request::Metrics { window: Some(60) }
+        );
+        assert_eq!(
+            Request::parse("STATS g").unwrap(),
+            Request::Stats {
+                instance: "g".into()
+            }
+        );
+        assert_eq!(Request::parse("SLOWLOG").unwrap(), Request::Slowlog { n: None });
+        assert_eq!(
+            Request::parse("SLOWLOG 5").unwrap(),
+            Request::Slowlog { n: Some(5) }
+        );
         assert_eq!(
             Request::parse("EXPLAIN g (G * G)").unwrap(),
             Request::Explain {
@@ -716,6 +763,10 @@ mod tests {
         assert!(Request::parse("EXPLAIN g").is_err());
         assert!(Request::parse("PROFILE g").is_err());
         assert!(Request::parse("GEN g G n frob 1 2").is_err());
+        assert!(Request::parse("METRICS FROB").is_err());
+        assert!(Request::parse("METRICS WINDOW abc").is_err());
+        assert!(Request::parse("STATS").is_err());
+        assert!(Request::parse("SLOWLOG many").is_err());
     }
 
     #[test]

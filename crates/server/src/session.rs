@@ -233,9 +233,37 @@ fn dispatch(
                 .collect();
             writeln!(writer, "OK instances {}", fields.join(" "))
         }
-        Request::Metrics => {
-            let lines = matlang_obs::registry().render_lines();
+        Request::Metrics { window } => {
+            // Every METRICS request also records a registry snapshot into
+            // the window ring, so windowed baselines accrue from scrape
+            // traffic alone — no background thread.
+            let lines = match window {
+                None => {
+                    matlang_obs::metrics::record_snapshot();
+                    matlang_obs::registry().render_lines()
+                }
+                Some(secs) => matlang_obs::metrics::render_window_lines(secs),
+            };
             write_lines_block(writer, "METRICS", &lines)
+        }
+        Request::Stats { instance } => match store.stats(&instance) {
+            Ok(lines) => write_lines_block(writer, "STATS", &lines),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Slowlog { n } => {
+            let entries = matlang_obs::trace::slow_queries(n.unwrap_or(16));
+            let mut lines = Vec::new();
+            for slow in &entries {
+                lines.push(format!(
+                    "ENTRY trace={:016x} total_us={} detail={} {}",
+                    slow.trace_id,
+                    slow.total_us,
+                    slow.detail.len(),
+                    slow.label
+                ));
+                lines.extend(slow.detail.iter().cloned());
+            }
+            write_lines_block(writer, "SLOWLOG", &lines)
         }
         Request::Explain { instance, text } => match store.explain(&instance, &text) {
             Ok(lines) => write_lines_block(writer, "EXPLAIN", &lines),

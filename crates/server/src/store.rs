@@ -7,9 +7,10 @@
 //!   serialize work on one instance while different instances proceed in
 //!   parallel on different worker threads;
 //! * a process-wide **plan cache** keyed by `(queries fingerprint, schema
-//!   fingerprint)` ([`matlang_engine::expr_fingerprint`] /
-//!   [`InstanceStats::schema_fingerprint`]): two instances with the same
-//!   shape preparing the same queries share one hash-consed [`Plan`].
+//!   fingerprint, stats generation)` ([`matlang_engine::expr_fingerprint`]
+//!   / [`InstanceStats::schema_fingerprint`] / the instance's adaptive
+//!   re-plan counter): two instances with the same shape preparing the
+//!   same queries share one hash-consed [`Plan`].
 //!   The cache is bounded at [`PLAN_CACHE_CAPACITY`] with
 //!   least-recently-used eviction, so a long-lived server preparing ever
 //!   new query batches cannot grow it without bound.  With the engine's
@@ -21,6 +22,25 @@
 //!   for the first planner's nnz profile; [`Plan::structure_fingerprint`]
 //!   is reported on every `PREPARE` (wire token `fp=`) so clients can
 //!   tell which variant they got.
+//!
+//! # Observed-statistics feedback and adaptive re-planning
+//!
+//! Every `EXEC` cheaply harvests the executor's always-on per-node
+//! observations (actual output shape/nnz of every computed node,
+//! [`matlang_engine::Executor::observed_samples`]) into the instance's
+//! [`ObservedStats`] store.  Before executing, the store compares the
+//! instance's **current** per-variable nnz against the snapshot the
+//! active plan was built from: when any plan-referenced variable has
+//! drifted past the configurable ratio (`MATLANG_REPLAN_DRIFT`, default
+//! 4×, runtime-overridable with [`set_replan_drift`]), the plan is
+//! transparently rebuilt from fresh statistics *plus* the observed store
+//! — chain association and dense/CSR representation choices re-derive
+//! from executed reality instead of stale estimates.  Each re-plan bumps
+//! the instance's stats generation, which is part of the plan-cache key,
+//! so stale plan variants cannot be resurrected by a later `PREPARE`.
+//! Re-planning never changes results — plans differ only in cost hints
+//! and association, which the engine's parity gates cover — it only
+//! changes how fast the next `EXEC` runs.
 //!
 //! Each instance computes over one of the wire-selectable semirings
 //! ([`SemiringKind`], see [`ServerSemiring`]) on either the dense or the
@@ -50,7 +70,7 @@ use crate::error::ServerError;
 use crate::protocol::{ExecStatsWire, GenKind, SemiringKind, WireResult};
 use matlang_core::{typecheck, Dim, Expr, FunctionRegistry, Instance, MatrixType, Schema};
 use matlang_engine::delta::{absorbs, join_is_idempotent, propagate, DeltaFallback, DeltaOverlay};
-use matlang_engine::{expr_fingerprint, Engine, Executor, InstanceStats, Plan};
+use matlang_engine::{expr_fingerprint, Engine, Executor, InstanceStats, ObservedStats, Plan};
 use matlang_matrix::{
     sparse_erdos_renyi, sparse_power_law, Matrix, MatrixRepr, MatrixStorage, SparseMatrix,
 };
@@ -58,7 +78,53 @@ use matlang_parser::parse;
 use matlang_semiring::{Boolean, MinPlus, Nat, Real, Semiring};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Default observed-density drift ratio past which the next `EXEC`
+/// re-plans (see [`replan_drift`]).
+pub const DEFAULT_REPLAN_DRIFT: f64 = 4.0;
+
+/// Runtime override for the drift threshold, stored as `f64` bits; NaN
+/// bits are the "unset" sentinel (NaN can never be a meaningful ratio).
+static REPLAN_DRIFT_OVERRIDE: AtomicU64 = AtomicU64::new(f64::NAN.to_bits());
+
+/// One-time latch for the `MATLANG_REPLAN_DRIFT` environment variable.
+static REPLAN_DRIFT_ENV: OnceLock<Option<f64>> = OnceLock::new();
+
+/// The observed-density ratio past which an instance's next `EXEC`
+/// transparently re-plans: runtime override ([`set_replan_drift`]) if
+/// set, else the `MATLANG_REPLAN_DRIFT` environment variable, else
+/// [`DEFAULT_REPLAN_DRIFT`].  A variable drifts when
+/// `(max(nnz)+1)/(min(nnz)+1)` between the planned-against snapshot and
+/// the current instance exceeds this ratio (the `+1` keeps the ratio
+/// finite through the empty↔dense flip that matters most).
+pub fn replan_drift() -> f64 {
+    let bits = REPLAN_DRIFT_OVERRIDE.load(Ordering::Relaxed);
+    let overridden = f64::from_bits(bits);
+    if !overridden.is_nan() {
+        return overridden;
+    }
+    REPLAN_DRIFT_ENV
+        .get_or_init(|| {
+            std::env::var("MATLANG_REPLAN_DRIFT")
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .filter(|v| *v >= 1.0)
+        })
+        .unwrap_or(DEFAULT_REPLAN_DRIFT)
+}
+
+/// Overrides the drift threshold process-wide (`None` restores the
+/// environment/default resolution).  In-process mutation beats env
+/// fiddling for tests: `std::env::set_var` is racy across threads.
+pub fn set_replan_drift(ratio: Option<f64>) {
+    let bits = match ratio {
+        Some(r) if r >= 1.0 => r.to_bits(),
+        _ => f64::NAN.to_bits(),
+    };
+    REPLAN_DRIFT_OVERRIDE.store(bits, Ordering::Relaxed);
+}
 
 /// One prepared statement: the query text, its parsed form and its
 /// fingerprint (the dedup key — re-preparing the same text returns the
@@ -138,6 +204,18 @@ pub struct BackendState<K: ServerSemiring, M: MatrixStorage<Elem = K>> {
     pub delta_patches: u64,
     /// Cumulative `UPDATE`s that fell back to invalidation.
     pub delta_fallbacks: u64,
+    /// Execution truth harvested from every `EXEC` that computed
+    /// something: actual per-node output shapes/nnz, consulted over the
+    /// cost model's estimates at (re-)planning time.
+    pub observed: ObservedStats,
+    /// The statistics the active plan was built against — the baseline
+    /// the drift check compares the current instance to.
+    pub planned_stats: Option<InstanceStats>,
+    /// Bumped on every drift-triggered re-plan; part of the plan-cache
+    /// key, so stale pre-drift plan variants cannot be served again.
+    pub stats_generation: u64,
+    /// Cumulative drift-triggered re-plans (the `STATS` wire counter).
+    pub replans: u64,
 }
 
 impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, M> {
@@ -151,6 +229,10 @@ impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, 
             overlay: DeltaOverlay::new(0),
             delta_patches: 0,
             delta_fallbacks: 0,
+            observed: ObservedStats::default(),
+            planned_stats: None,
+            stats_generation: 0,
+            replans: 0,
         }
     }
 }
@@ -313,6 +395,22 @@ pub struct InstanceInfo {
 /// distinct prepared batch a long-lived server ever sees (ROADMAP item).
 pub const PLAN_CACHE_CAPACITY: usize = 64;
 
+/// The plan-cache key: `(queries fingerprint, schema fingerprint, stats
+/// generation)`.  The generation is 0 until the owning instance's drift
+/// check re-plans, so same-schema instances still share plans; after a
+/// re-plan the bumped generation retires every earlier variant for that
+/// instance.
+type PlanKey = (u64, u64, u64);
+
+/// The fingerprint half of a [`PlanKey`] for one prepared batch.
+fn plan_key(prepared: &[PreparedQuery], stats: &InstanceStats, generation: u64) -> PlanKey {
+    let mut key_hasher = std::collections::hash_map::DefaultHasher::new();
+    for p in prepared {
+        p.fingerprint.hash(&mut key_hasher);
+    }
+    (key_hasher.finish(), stats.schema_fingerprint(), generation)
+}
+
 /// A minimal LRU map for shared plans: a `HashMap` plus a monotonically
 /// increasing use-stamp per entry; inserting at capacity evicts the entry
 /// with the smallest stamp.  Eviction scans the map — `O(capacity)` on
@@ -321,7 +419,7 @@ pub const PLAN_CACHE_CAPACITY: usize = 64;
 struct LruPlanCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<(u64, u64), (Arc<Plan>, u64)>,
+    entries: HashMap<PlanKey, (Arc<Plan>, u64)>,
 }
 
 impl LruPlanCache {
@@ -334,7 +432,7 @@ impl LruPlanCache {
     }
 
     /// Looks up a plan, refreshing its recency on a hit.
-    fn get(&mut self, key: &(u64, u64)) -> Option<Arc<Plan>> {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(key).map(|(plan, stamp)| {
@@ -345,7 +443,7 @@ impl LruPlanCache {
 
     /// Inserts a plan, evicting the least-recently-used entry when the
     /// cache is full and the key is new.
-    fn insert(&mut self, key: (u64, u64), plan: Arc<Plan>) {
+    fn insert(&mut self, key: PlanKey, plan: Arc<Plan>) {
         self.tick += 1;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             if let Some(&oldest) = self
@@ -631,11 +729,7 @@ impl Store {
             fingerprint,
         });
         let stats = InstanceStats::from_instance(&state.instance);
-        let mut key_hasher = std::collections::hash_map::DefaultHasher::new();
-        for p in &state.prepared {
-            p.fingerprint.hash(&mut key_hasher);
-        }
-        let key = (key_hasher.finish(), stats.schema_fingerprint());
+        let key = plan_key(&state.prepared, &stats, state.stats_generation);
         let mut reused_plan = true;
         let plan = {
             let mut plan_cache = self.plan_cache.lock().expect("plan cache poisoned");
@@ -646,7 +740,9 @@ impl Store {
                 reused_plan = false;
                 matlang_obs::counter!("plan_cache_misses_total").inc();
                 let queries: Vec<Expr> = state.prepared.iter().map(|p| p.expr.clone()).collect();
-                let mut plan = self.engine.plan(&queries, &state.instance);
+                let mut plan =
+                    self.engine
+                        .plan_with_stats::<K>(&queries, &stats, &state.observed);
                 // Every node is memoized: a prepared query re-executed on
                 // an unchanged instance is answered by one root-cache hit.
                 plan.mark_all_cacheable();
@@ -660,6 +756,7 @@ impl Store {
         state.cache = vec![None; plan.nodes().len()];
         state.overlay.reset(plan.nodes().len());
         state.plan = Some(Arc::clone(&plan));
+        state.planned_stats = Some(stats);
         Ok(PrepareOutcome {
             qid: state.prepared.len() - 1,
             reused_statement: false,
@@ -677,17 +774,77 @@ impl Store {
         with_state!(&mut *guard, |state| self.exec_in(state, qids))
     }
 
+    /// Re-plans the instance's prepared batch when the current
+    /// per-variable statistics have drifted past [`replan_drift`] from
+    /// the snapshot the active plan was built against.  The new plan is
+    /// built from fresh statistics plus the harvested [`ObservedStats`],
+    /// cached under the bumped stats generation, and starts with a cold
+    /// memo cache (node ids changed).
+    fn maybe_replan<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
+        &self,
+        state: &mut BackendState<K, M>,
+    ) {
+        let (Some(plan), Some(planned)) = (state.plan.as_ref(), state.planned_stats.as_ref())
+        else {
+            return;
+        };
+        let current = InstanceStats::from_instance(&state.instance);
+        let mut worst = 1.0f64;
+        for (var, cur) in &current.vars {
+            // Only variables the plan actually reads can invalidate it.
+            if plan.dependents_of(var).is_empty() {
+                continue;
+            }
+            let old = planned.vars.get(var).map(|s| s.nnz).unwrap_or(0);
+            let (hi, lo) = if cur.nnz >= old {
+                (cur.nnz, old)
+            } else {
+                (old, cur.nnz)
+            };
+            worst = worst.max((hi as f64 + 1.0) / (lo as f64 + 1.0));
+        }
+        if worst <= replan_drift() {
+            return;
+        }
+        matlang_obs::counter!("replan_total").inc();
+        matlang_obs::trace::event("replan:drift");
+        state.stats_generation += 1;
+        state.replans += 1;
+        let queries: Vec<Expr> = state.prepared.iter().map(|p| p.expr.clone()).collect();
+        let mut plan = self
+            .engine
+            .plan_with_stats::<K>(&queries, &current, &state.observed);
+        plan.mark_all_cacheable();
+        let plan = Arc::new(plan);
+        let key = plan_key(&state.prepared, &current, state.stats_generation);
+        self.plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, Arc::clone(&plan));
+        state.cache = vec![None; plan.nodes().len()];
+        state.overlay.reset(plan.nodes().len());
+        state.plan = Some(plan);
+        state.planned_stats = Some(current);
+    }
+
     fn exec_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
         &self,
         state: &mut BackendState<K, M>,
         qids: &[usize],
     ) -> Result<Vec<WireResult>, ServerError> {
-        let plan = state.plan.as_ref().ok_or(ServerError::NoPreparedQueries)?;
+        if state.plan.is_none() {
+            return Err(ServerError::NoPreparedQueries);
+        }
         for &qid in qids {
             if qid >= state.prepared.len() {
                 return Err(ServerError::UnknownQueryId { qid });
             }
         }
+        // Feedback loop, closing half: when accumulated updates have
+        // drifted the instance's density past the threshold, rebuild the
+        // plan from current + observed statistics before executing.
+        self.maybe_replan(state);
+        let plan = state.plan.as_ref().expect("checked above");
         // Fold pending delta overlays into the cached bases the executor
         // will read (just the requested roots when they are all warm).
         let roots: Vec<usize> = qids.iter().map(|&qid| plan.roots()[qid]).collect();
@@ -700,6 +857,7 @@ impl Store {
             self.engine.exec_options,
             cache,
         );
+        let request_timer = matlang_obs::enabled().then(std::time::Instant::now);
         let mut results = Vec::with_capacity(qids.len());
         let mut outcome = Ok(());
         for &qid in qids {
@@ -725,6 +883,32 @@ impl Store {
                     });
                     break;
                 }
+            }
+        }
+        // Feedback loop, harvesting half: absorb what execution actually
+        // produced.  A fully warm request computed nothing, so the absorb
+        // (and its per-node fingerprinting) is skipped on the hot path.
+        if exec.stats().cache_misses > 0 {
+            state.observed.absorb(plan, exec.observed_samples());
+        }
+        // Slow-query forensics: when this request crossed the slow
+        // threshold, park the rewritten-DAG explain plus the per-node
+        // observations for the session's trace guard to fold into the
+        // slowlog entry when it drops.
+        if let Some(t) = request_timer {
+            let elapsed_us = t.elapsed().as_micros() as u64;
+            if elapsed_us >= matlang_obs::trace::slow_ms().saturating_mul(1_000) {
+                let mut detail = plan.explain();
+                for (id, sample) in exec.observed_samples().iter().enumerate() {
+                    if sample.computed == 0 && sample.hits == 0 {
+                        continue;
+                    }
+                    detail.push(format!(
+                        "observed #{id} computed={} hits={} out={}x{} nnz={}",
+                        sample.computed, sample.hits, sample.rows, sample.cols, sample.nnz
+                    ));
+                }
+                matlang_obs::trace::attach_slow_detail(matlang_obs::trace::current_id(), detail);
             }
         }
         state.cache = exec.into_cache();
@@ -1006,6 +1190,72 @@ impl Store {
                 stats.cache_hits,
                 stats.fused_products,
             ));
+            Ok(lines)
+        })
+    }
+
+    /// Reports an instance's observed-vs-planned statistics — the `STATS`
+    /// wire block.  One header line with the re-plan counters and the
+    /// worst current drift, then one line per instance variable comparing
+    /// the nnz the active plan was built against (`planned_nnz`), the
+    /// instance's current nnz, and the last *executed* observation
+    /// (`observed_nnz`, `-` before the variable is first computed), and a
+    /// final line counting interior-node observations.
+    pub fn stats(&self, name: &str) -> Result<Vec<String>, ServerError> {
+        let instance = self.instance(name)?;
+        let guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
+        let semiring = guard.semiring_name();
+        with_state!(&*guard, |state| {
+            let current = InstanceStats::from_instance(&state.instance);
+            let referenced = |var: &str| {
+                state
+                    .plan
+                    .as_ref()
+                    .is_some_and(|p| !p.dependents_of(var).is_empty())
+            };
+            let mut worst = 1.0f64;
+            let mut var_lines = Vec::with_capacity(current.vars.len());
+            for (var, cur) in &current.vars {
+                let planned = state
+                    .planned_stats
+                    .as_ref()
+                    .and_then(|s| s.vars.get(var))
+                    .map(|s| s.nnz);
+                let old = planned.unwrap_or(0);
+                let (hi, lo) = if cur.nnz >= old {
+                    (cur.nnz, old)
+                } else {
+                    (old, cur.nnz)
+                };
+                let drift = (hi as f64 + 1.0) / (lo as f64 + 1.0);
+                let is_referenced = referenced(var);
+                if is_referenced {
+                    worst = worst.max(drift);
+                }
+                var_lines.push(format!(
+                    "var {var} shape={}x{} planned_nnz={} current_nnz={} observed_nnz={} drift={drift:.2} referenced={}",
+                    cur.rows,
+                    cur.cols,
+                    planned.map_or_else(|| "-".to_string(), |n| n.to_string()),
+                    cur.nnz,
+                    state
+                        .observed
+                        .vars
+                        .get(var)
+                        .map_or_else(|| "-".to_string(), |s| s.nnz.to_string()),
+                    if is_referenced { "yes" } else { "no" },
+                ));
+            }
+            let mut lines = vec![format!(
+                "instance {name} backend={backend} semiring={semiring} generation={} replans={} executions={} drift={worst:.2} threshold={:.2}",
+                state.stats_generation,
+                state.replans,
+                state.observed.executions,
+                replan_drift(),
+            )];
+            lines.append(&mut var_lines);
+            lines.push(format!("observed nodes={}", state.observed.nodes.len()));
             Ok(lines)
         })
     }
@@ -1481,6 +1731,94 @@ mod tests {
                 }
             )
             .is_err());
+    }
+
+    #[test]
+    fn drift_past_threshold_triggers_a_transparent_replan() {
+        // Plan against a nearly-empty G, then fill it: the nnz ratio
+        // (64+1)/(4+1) = 13 crosses the default 4× drift threshold, so the
+        // next EXEC must transparently re-plan — and stay bit-identical
+        // to a local evaluation over the updated instance.
+        let store = Store::new();
+        store.create_instance("g", true).unwrap();
+        store.set_dim("g", "n", 8).unwrap();
+        store
+            .load_matrix(
+                "g",
+                "G",
+                8,
+                8,
+                vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)],
+            )
+            .unwrap();
+        let expr = Expr::var("G").mm(Expr::var("G"));
+        let qid = store.prepare("g", &expr.to_string()).unwrap().qid;
+        store.exec("g", &[qid]).unwrap();
+
+        let mut entries = Vec::new();
+        let mut dense = Matrix::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                let v = (i + j + 1) as f64;
+                entries.push((i, j, v));
+                dense.set(i, j, Real(v)).unwrap();
+            }
+        }
+        store.update("g", "G", &entries).unwrap();
+        let results = store.exec("g", &[qid]).unwrap();
+
+        let stats = store.stats("g").unwrap();
+        assert!(
+            stats[0].contains("generation=1") && stats[0].contains("replans=1"),
+            "the drifted EXEC must have re-planned: {}",
+            stats[0]
+        );
+        let local: Instance<Real> = Instance::new().with_dim("n", 8).with_matrix("G", dense);
+        let expected = evaluate(&expr, &local, &FunctionRegistry::standard_field()).unwrap();
+        assert_eq!(dense_of(&results[0]), expected, "re-plan changed results");
+        // Steady state: no further drift, no further re-plans, warm cache.
+        let again = store.exec("g", &[qid]).unwrap();
+        assert_eq!(again[0].stats.cache_misses, 0);
+        let stats = store.stats("g").unwrap();
+        assert!(stats[0].contains("replans=1"), "spurious re-plan: {}", stats[0]);
+    }
+
+    #[test]
+    fn stats_reports_planned_current_and_observed() {
+        let store = seeded_store();
+        let qid = store.prepare("g", "(transpose(G) * G)").unwrap().qid;
+        store.exec("g", &[qid]).unwrap();
+        let lines = store.stats("g").unwrap();
+        assert!(
+            lines[0].starts_with(
+                "instance g backend=adaptive semiring=real generation=0 replans=0 executions=1"
+            ),
+            "header: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("threshold="), "header: {}", lines[0]);
+        let g_line = lines
+            .iter()
+            .find(|l| l.starts_with("var G "))
+            .unwrap_or_else(|| panic!("no var line for G in {lines:?}"));
+        assert!(
+            g_line.contains("shape=4x4")
+                && g_line.contains("planned_nnz=4")
+                && g_line.contains("current_nnz=4")
+                && g_line.contains("observed_nnz=4")
+                && g_line.contains("referenced=yes"),
+            "var line: {g_line}"
+        );
+        let footer = lines.last().unwrap();
+        let nodes: usize = footer
+            .strip_prefix("observed nodes=")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("footer: {footer}"));
+        assert!(nodes > 0, "the executed DAG must leave node observations");
+        assert!(matches!(
+            store.stats("missing"),
+            Err(ServerError::UnknownInstance { .. })
+        ));
     }
 
     /// Rebuilds the dense matrix a [`WireResult`] denotes.

@@ -1,6 +1,7 @@
 //! Wire-level tests for the proto-2 `obs` surface: the `METRICS` /
-//! `EXPLAIN` / `PROFILE` verbs, the `trace=` token on `RESULT` headers,
-//! the detailed `LIST` reply and the empty-`UPDATE` short-circuit.
+//! `EXPLAIN` / `PROFILE` / `STATS` / `SLOWLOG` verbs, the `trace=` token
+//! on `RESULT` headers, the detailed `LIST` reply and the empty-`UPDATE`
+//! short-circuit.
 //!
 //! The metrics registry is process-wide, so counter assertions here are
 //! monotone (nonzero / increased-by) rather than exact — other tests in
@@ -190,6 +191,142 @@ fn list_reports_backend_semiring_and_delta_counters() {
     assert_eq!(entries[1].name, "plain");
     assert_eq!(entries[1].backend, "dense");
     assert_eq!(entries[1].semiring, "real");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_map_parses_the_exposition_into_typed_samples() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap();
+
+    let map = client.metrics_map().unwrap();
+    for name in ["exec_total", "requests_total", "connections_total"] {
+        let value = map
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} missing from {map:?}"));
+        assert!(*value >= 1.0, "{name} should be nonzero, got {value}");
+    }
+    // Labeled summary samples (histogram quantiles) are skipped; their
+    // un-labeled _count twin is kept.
+    assert!(map.keys().all(|k| !k.contains('{')), "labeled key in {map:?}");
+    assert!(map.get("exec_latency_us_count").copied().unwrap_or(0.0) >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_window_reports_deltas_and_rates() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    // A bare METRICS records a snapshot into the window ring; traffic
+    // between two scrapes shows up as windowed deltas.
+    client.metrics().unwrap();
+    client.exec("g", qid).unwrap();
+    client.exec("g", qid).unwrap();
+
+    let text = client.metrics_window(3600).unwrap();
+    assert!(
+        text.lines().next().unwrap().starts_with("# window requested_s=3600"),
+        "window header missing:\n{text}"
+    );
+    let delta = scrape(&text, "exec_total_delta")
+        .unwrap_or_else(|| panic!("exec_total_delta missing from:\n{text}"));
+    assert!(delta >= 2.0, "both EXECs must land in the window, got {delta}");
+    assert!(
+        scrape(&text, "exec_total_rate").is_some(),
+        "missing rate gauge in:\n{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn stats_reports_the_feedback_state_over_the_wire() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap();
+
+    let lines = client.stats("g").unwrap();
+    assert!(
+        lines[0].starts_with("instance g backend=adaptive semiring=bool generation=0 replans=0"),
+        "header: {}",
+        lines[0]
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("var G ")
+            && l.contains("observed_nnz=4")
+            && l.contains("referenced=yes")),
+        "missing observed var line in {lines:?}"
+    );
+    assert!(
+        lines.last().unwrap().starts_with("observed nodes="),
+        "missing footer in {lines:?}"
+    );
+    assert!(client.stats("missing").is_err());
+    handle.shutdown();
+}
+
+#[test]
+fn slowlog_captures_plan_and_profile_forensics() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "slowg");
+    let qid = client.prepare("slowg", "(transpose(G) * (G * G))").unwrap();
+    // Lower the slow threshold to zero so this EXEC qualifies, then
+    // restore the environment-driven default for sibling tests.
+    matlang_obs::trace::set_slow_ms(0);
+    let result = client.exec("slowg", qid).unwrap();
+    matlang_obs::trace::set_slow_ms(matlang_obs::trace::SLOW_MS_UNSET);
+    assert_ne!(result.trace, 0);
+
+    let entries = client.slowlog(Some(32)).unwrap();
+    let entry = entries
+        .iter()
+        .find(|e| e.trace_id == result.trace)
+        .unwrap_or_else(|| panic!("EXEC trace {:x} not in slowlog: {entries:?}", result.trace));
+    assert!(entry.label.contains("EXEC slowg"), "label: {}", entry.label);
+    assert!(
+        entry.detail.iter().any(|l| l.starts_with("plan nodes=")),
+        "forensics must carry the rewritten-DAG explain: {:?}",
+        entry.detail
+    );
+    assert!(
+        entry.detail.iter().any(|l| l.starts_with("observed #")),
+        "forensics must carry per-node observations: {:?}",
+        entry.detail
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn profile_does_not_pollute_the_warm_memo_cache() {
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    seed(&mut client, "g");
+    let qid = client.prepare("g", "(G * G)").unwrap();
+    client.exec("g", qid).unwrap(); // cold run populates the cache
+    let warm_before = client.exec("g", qid).unwrap();
+    assert_eq!(warm_before.stats.cache_misses, 0);
+
+    // PROFILE executes the same text on a scratch executor; the
+    // instance's persistent memo cache must be untouched either way.
+    client.profile("g", "(G * G)").unwrap();
+    client.profile("g", "(G + G)").unwrap();
+
+    let warm_after = client.exec("g", qid).unwrap();
+    assert_eq!(
+        warm_after.stats.cache_misses, 0,
+        "PROFILE invalidated the warm cache"
+    );
+    assert_eq!(
+        warm_after.stats.cache_hits, warm_before.stats.cache_hits,
+        "PROFILE changed the warm EXEC hit profile"
+    );
     handle.shutdown();
 }
 

@@ -148,18 +148,17 @@ fn main() {
         println!("   {line}");
     }
 
-    let metrics = client.metrics().unwrap();
-    let scrape = |name: &str| -> f64 {
-        metrics
-            .lines()
-            .find(|l| l.split_whitespace().next() == Some(name))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .and_then(|v| v.parse().ok())
+    // The typed METRICS accessor: counters and gauges as a name → value
+    // map, no string-grepping of the exposition text.
+    let metrics = client.metrics_map().unwrap();
+    let sample = |name: &str| -> f64 {
+        *metrics
+            .get(name)
             .unwrap_or_else(|| panic!("metric {name} missing from METRICS scrape"))
     };
-    let exec_total = scrape("exec_total");
-    let delta_applied = scrape("delta_applied_total");
-    let plan_hits = scrape("plan_cache_hits_total");
+    let exec_total = sample("exec_total");
+    let delta_applied = sample("delta_applied_total");
+    let plan_hits = sample("plan_cache_hits_total");
     assert!(
         exec_total > 0.0,
         "exec_total must be nonzero after the demo"
@@ -174,12 +173,58 @@ fn main() {
     );
     println!(
         "\nMETRICS: exec_total={exec_total} delta_applied_total={delta_applied} \
-         plan_cache_hits_total={plan_hits} exec p99={}us",
-        metrics
+         plan_cache_hits_total={plan_hits}"
+    );
+
+    // STATS: the feedback loop's view of instance `g` — planned vs.
+    // current vs. observed nnz per variable, drift, re-plan counters.
+    let stats = client.stats("g").unwrap();
+    println!("\nSTATS g:");
+    for line in stats.iter().take(6) {
+        println!("   {line}");
+    }
+
+    // Slow-query forensics: zero the slow threshold for one EXEC so it
+    // lands in the slowlog with its plan + per-node observations, then
+    // restore the environment-driven default.
+    matlang::obs::trace::set_slow_ms(0);
+    let slow = client.exec("g", qids[1]).unwrap();
+    matlang::obs::trace::set_slow_ms(matlang::obs::trace::SLOW_MS_UNSET);
+    let slowlog = client.slowlog(Some(8)).unwrap();
+    let entry = slowlog
+        .iter()
+        .find(|e| e.trace_id == slow.trace)
+        .expect("the zero-threshold EXEC must land in the slowlog");
+    assert!(
+        !entry.detail.is_empty(),
+        "slowlog forensics must capture the plan and observations"
+    );
+    println!(
+        "\nSLOWLOG: {} entries; slowest `{}` took {}us, {} forensic lines:",
+        slowlog.len(),
+        entry.label,
+        entry.total_us,
+        entry.detail.len()
+    );
+    for line in entry.detail.iter().take(4) {
+        println!("   {line}");
+    }
+
+    // Windowed metrics: the typed scrape above recorded a baseline
+    // snapshot into the window ring, so a WINDOW query now reports the
+    // traffic since then (the slowlog EXEC, at least) as deltas/rates.
+    let window = client.metrics_window(3600).unwrap();
+    for line in window
+        .lines()
+        .filter(|l| l.starts_with("# window") || l.starts_with("exec_total_"))
+    {
+        println!("METRICS WINDOW: {line}");
+    }
+    assert!(
+        window
             .lines()
-            .find(|l| l.starts_with("exec_latency_us{quantile=\"0.99\"}"))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .unwrap_or("?")
+            .any(|l| l.starts_with("exec_total_delta") && !l.ends_with(" 0")),
+        "the slowlog EXEC must show up in the metrics window"
     );
 
     client.quit().unwrap();

@@ -1,0 +1,63 @@
+//! Resource-accounting overhead on the server's hot path.
+//!
+//! Every executing request refreshes the instance's `ResourceAccount`
+//! (heap-byte walk over its variables, memo-cache residency, last-active
+//! stamp) and publishes the deltas as gauges — all gated on the same
+//! [`matlang_obs::set_enabled`] flag as tracing.  Three views:
+//!
+//! 1. **warm-exec-accounting-on / warm-exec-accounting-off** — the
+//!    load-bearing pair: a warm prepared `EXEC` against an account-heavy
+//!    instance (four variables, multi-node plan) with the instrumented
+//!    layer on versus off.  The release guard test
+//!    (`crates/server/tests/accounting_overhead_guard.rs`) pins the
+//!    ratio at ≤5 %; the bench records the absolute numbers over time.
+//! 2. **health-report** — one `HEALTH` round trip: per-instance account
+//!    refresh plus counter reads, the capacity probe's steady-state cost.
+//! 3. **top-listing** — one `TOP` round trip: refresh, residency
+//!    columns, sort, render.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matlang_bench::quick_criterion;
+use matlang_server::{Client, Server, ServerConfig};
+
+fn bench_accounting_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accounting_overhead");
+
+    let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.create_instance("g", true).unwrap();
+    client.set_dim("g", "n", 64).unwrap();
+    for (var, seed) in [("G", 7), ("H", 11), ("K", 13), ("L", 17)] {
+        client.gen_erdos_renyi("g", var, "n", 4.0, seed).unwrap();
+    }
+    let qid = client
+        .prepare("g", "(transpose(ones(G)) * ((G + H) * ones(K)))")
+        .unwrap();
+    client.exec("g", qid).unwrap(); // warm the root
+
+    matlang_obs::set_enabled(true);
+    group.bench_function("warm-exec-accounting-on", |b| {
+        b.iter(|| client.exec("g", qid).unwrap().entries.len())
+    });
+    matlang_obs::set_enabled(false);
+    group.bench_function("warm-exec-accounting-off", |b| {
+        b.iter(|| client.exec("g", qid).unwrap().entries.len())
+    });
+    matlang_obs::set_enabled(true);
+
+    group.bench_function("health-report", |b| {
+        b.iter(|| client.health().unwrap().len())
+    });
+    group.bench_function("top-listing", |b| {
+        b.iter(|| client.top(None).unwrap().len())
+    });
+    handle.shutdown();
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_accounting_overhead
+}
+criterion_main!(benches);

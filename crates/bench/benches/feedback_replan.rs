@@ -24,7 +24,9 @@ fn seeded(name: &str) -> Store {
     let store = Store::new();
     store.create_instance(name, true).unwrap();
     store.set_dim(name, "n", N).unwrap();
-    store.load_matrix(name, "A", N, N, vec![(0, 0, 1.0)]).unwrap();
+    store
+        .load_matrix(name, "A", N, N, vec![(0, 0, 1.0)])
+        .unwrap();
     let mut b = Vec::with_capacity(N * N);
     for i in 0..N {
         for j in 0..N {

@@ -181,6 +181,12 @@ impl<K: Semiring> DeltaOverlay<K> {
         self.pending.iter().filter(|p| p.is_some()).count()
     }
 
+    /// Heap bytes held by the pending overlay patches (CSR accounting per
+    /// patch).  O(pending nodes) — each patch reports in O(1).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.iter().flatten().map(|p| p.heap_bytes()).sum()
+    }
+
     /// Drops the pending overlay of one node (on invalidation).
     pub fn clear_node(&mut self, id: NodeId) {
         if let Some(slot) = self.pending.get_mut(id) {

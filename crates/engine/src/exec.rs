@@ -160,6 +160,20 @@ impl std::fmt::Display for ExecStats {
 /// [`Plan::invalidate_dependents_in`](crate::plan::Plan::invalidate_dependents_in).
 pub type NodeCache<M> = Vec<Option<Arc<M>>>;
 
+/// Residency of a memo cache: `(resident entries, heap bytes)`.  Each
+/// resident value reports its exact backing-buffer size via
+/// [`MatrixStorage::heap_bytes`]; `Arc`-shared values are counted once per
+/// slot (the cache is the owner of record for capacity accounting).
+pub fn cache_residency<M: MatrixStorage>(cache: &NodeCache<M>) -> (usize, usize) {
+    let mut entries = 0;
+    let mut bytes = 0;
+    for value in cache.iter().flatten() {
+        entries += 1;
+        bytes += value.heap_bytes();
+    }
+    (entries, bytes)
+}
+
 enum FoldKind {
     Sum,
     HProd,

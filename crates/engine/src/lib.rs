@@ -68,7 +68,7 @@ pub mod planner;
 pub mod rewrite;
 
 pub use delta::{DeltaFallback, DeltaOverlay, DeltaReport};
-pub use exec::{ExecOptions, ExecStats, Executor, NodeCache, NodeSample};
+pub use exec::{cache_residency, ExecOptions, ExecStats, Executor, NodeCache, NodeSample};
 pub use plan::{
     AppliedRewrite, NodeEstimate, NodeId, Plan, PlanNode, PlanOp, PlanReport, ReprChoice,
 };

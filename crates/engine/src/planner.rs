@@ -1269,7 +1269,10 @@ mod tests {
             },
         );
         let kept = planner.plan_with_observed(std::slice::from_ref(&q), &s, &stale);
-        assert_eq!(kept.node(kept.roots()[0]).est.unwrap().choice, ReprChoice::Sparse);
+        assert_eq!(
+            kept.node(kept.roots()[0]).est.unwrap().choice,
+            ReprChoice::Sparse
+        );
     }
 
     #[test]

@@ -278,6 +278,14 @@ impl<K: Semiring> Matrix<K> {
         }
     }
 
+    /// Heap bytes held by this matrix's row-major entry buffer:
+    /// `rows · cols · size_of::<K>()`.  Deliberately counts live payload
+    /// (not `Vec` capacity slack) so the figure is reproducible from the
+    /// shape alone.  O(1) — reads lengths only.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<K>()
+    }
+
     /// Approximate equality with tolerance `tol` on every entry.
     pub fn approx_eq(&self, other: &Matrix<K>, tol: f64) -> bool {
         self.shape() == other.shape()

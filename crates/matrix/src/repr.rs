@@ -162,6 +162,15 @@ impl<K: Semiring> MatrixRepr<K> {
         }
     }
 
+    /// Heap bytes held by the active variant (dense entry buffer or CSR
+    /// arrays).  O(1) — delegates to the variant's own accounting.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            MatrixRepr::Dense(d) => d.heap_bytes(),
+            MatrixRepr::Sparse(s) => s.heap_bytes(),
+        }
+    }
+
     /// The entry at `(row, col)`, by value.
     pub fn get(&self, row: usize, col: usize) -> Result<K> {
         match self {

@@ -232,6 +232,16 @@ impl<K: Semiring> SparseMatrix<K> {
         self.values.is_empty()
     }
 
+    /// Heap bytes held by the CSR arrays: `indptr` + `indices` (both
+    /// `usize`) plus `values` (`K`).  Deliberately counts live payload
+    /// (not `Vec` capacity slack) so the figure is reproducible from
+    /// `rows` and `nnz` alone: `(rows + 1 + nnz)·8 + nnz·size_of::<K>()`.
+    /// O(1) — reads lengths only.
+    pub fn heap_bytes(&self) -> usize {
+        (self.indptr.len() + self.indices.len()) * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<K>()
+    }
+
     /// The entry at `(row, col)`, returned by value (`0` for an absent
     /// entry).
     pub fn get(&self, row: usize, col: usize) -> Result<K> {

@@ -104,6 +104,15 @@ pub trait MatrixStorage: Clone + PartialEq + Debug + Send + Sync + Sized + 'stat
         }
     }
 
+    /// Heap bytes held by this matrix's backing buffers — exact per
+    /// backend (`rows·cols·size_of::<K>()` dense; `indptr`/`indices`/
+    /// `values` for CSR; the active variant for the adaptive wrapper) and
+    /// O(1), so resource accounting can re-read it on every mutation.
+    /// The conservative default prices the dense layout.
+    fn heap_bytes(&self) -> usize {
+        self.rows() * self.cols() * std::mem::size_of::<Self::Elem>()
+    }
+
     /// The non-zero entries as owned `(row, col, value)` triples in
     /// row-major order.
     fn nonzero_entries(&self) -> Vec<(usize, usize, Self::Elem)>;
@@ -306,6 +315,10 @@ impl<K: Semiring> MatrixStorage for Matrix<K> {
         Matrix::nnz(self)
     }
 
+    fn heap_bytes(&self) -> usize {
+        Matrix::heap_bytes(self)
+    }
+
     fn nonzero_entries(&self) -> Vec<(usize, usize, K)> {
         self.iter_entries()
             .filter(|(_, _, v)| !v.is_zero())
@@ -498,6 +511,10 @@ impl<K: Semiring> MatrixStorage for SparseMatrix<K> {
         SparseMatrix::nnz(self)
     }
 
+    fn heap_bytes(&self) -> usize {
+        SparseMatrix::heap_bytes(self)
+    }
+
     fn nonzero_entries(&self) -> Vec<(usize, usize, K)> {
         self.iter_entries()
             .map(|(i, j, v)| (i, j, v.clone()))
@@ -655,6 +672,10 @@ impl<K: Semiring> MatrixStorage for MatrixRepr<K> {
 
     fn nnz(&self) -> usize {
         MatrixRepr::nnz(self)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        MatrixRepr::heap_bytes(self)
     }
 
     fn nonzero_entries(&self) -> Vec<(usize, usize, K)> {
@@ -902,5 +923,42 @@ mod tests {
     #[test]
     fn adaptive_backend_agrees_with_dense() {
         backend_agreement::<MatrixRepr<Real>>();
+    }
+
+    /// `heap_bytes` is exact and reproducible from shape/nnz per backend:
+    /// dense prices every entry, CSR prices `indptr`/`indices`/`values`,
+    /// and the adaptive wrapper prices whichever variant is active.
+    #[test]
+    fn heap_bytes_exact_per_backend() {
+        let elem = std::mem::size_of::<Real>();
+        let word = std::mem::size_of::<usize>();
+
+        let dense = Matrix::<Real>::from_f64_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 3.0]]).unwrap();
+        assert_eq!(MatrixStorage::heap_bytes(&dense), 2 * 3 * elem);
+
+        let sparse = SparseMatrix::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 3);
+        assert_eq!(
+            MatrixStorage::heap_bytes(&sparse),
+            (2 + 1 + 3) * word + 3 * elem
+        );
+
+        let adaptive_sparse = MatrixRepr::Sparse(sparse.clone());
+        assert_eq!(
+            MatrixStorage::heap_bytes(&adaptive_sparse),
+            MatrixStorage::heap_bytes(&sparse)
+        );
+        let adaptive_dense = MatrixRepr::Dense(dense.clone());
+        assert_eq!(
+            MatrixStorage::heap_bytes(&adaptive_dense),
+            MatrixStorage::heap_bytes(&dense)
+        );
+
+        // Empty shapes account only for the CSR row-pointer array.
+        assert_eq!(MatrixStorage::heap_bytes(&Matrix::<Real>::zeros(0, 0)), 0);
+        assert_eq!(
+            MatrixStorage::heap_bytes(&SparseMatrix::<Real>::zeros(4, 4)),
+            5 * word
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! other crate in the workspace — including `matlang_matrix` at the bottom of
 //! the dependency graph — can link it without cycles.
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! * [`metrics`] — a process-wide registry of monotonic [`Counter`]s,
 //!   [`Gauge`]s and log₂-bucketed latency [`Histogram`]s.  Updates are relaxed
@@ -25,6 +25,10 @@
 //!   traces slower than the `MATLANG_SLOW_MS` threshold additionally land in
 //!   the slow-query log.
 //!
+//! * [`export`] — renders finished traces from the ring as Chrome
+//!   trace-event JSON (`chrome://tracing` / Perfetto), with a hand-rolled
+//!   validating parser for tests and smoke checks.
+//!
 //! The whole subsystem can be switched off at runtime with [`set_enabled`]
 //! (or at startup with `MATLANG_OBS=0`); when disabled, counters,
 //! histograms and traces all short-circuit to a single relaxed load so the
@@ -33,6 +37,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
+pub mod export;
 pub mod metrics;
 pub mod trace;
 

@@ -720,6 +720,10 @@ mod tests {
             "windowed histogram quantiles missing:\n{text}"
         );
         assert!(
+            text.contains("win_render_us_sum 100"),
+            "windowed histogram sum missing:\n{text}"
+        );
+        assert!(
             text.contains("win_render_us_count 1"),
             "windowed histogram count missing:\n{text}"
         );

@@ -118,8 +118,11 @@ fn slow_ring() -> &'static Mutex<VecDeque<SlowQuery>> {
     RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
 }
 
-fn pending_detail() -> &'static Mutex<VecDeque<(u64, Vec<String>)>> {
-    static PENDING: OnceLock<Mutex<VecDeque<(u64, Vec<String>)>>> = OnceLock::new();
+/// Parked forensic detail, keyed by trace id (see [`attach_slow_detail`]).
+type PendingDetailRing = VecDeque<(u64, Vec<String>)>;
+
+fn pending_detail() -> &'static Mutex<PendingDetailRing> {
+    static PENDING: OnceLock<Mutex<PendingDetailRing>> = OnceLock::new();
     PENDING.get_or_init(|| Mutex::new(VecDeque::with_capacity(PENDING_DETAIL_CAPACITY)))
 }
 
@@ -552,5 +555,82 @@ mod tests {
             let _s = span("fill");
         }
         assert!(recent(usize::MAX).len() <= RING_CAPACITY);
+    }
+
+    #[test]
+    fn trace_ring_wraparound_retains_newest_in_issue_order() {
+        const ISSUED: usize = RING_CAPACITY + 44;
+        let mut issued = Vec::with_capacity(ISSUED);
+        for _ in 0..ISSUED {
+            let id = next_id();
+            issued.push(id);
+            let _t = begin(id, "EXEC wrap 0");
+            let _s = span("wrap-fill");
+        }
+        let all = recent(usize::MAX);
+        assert!(all.len() <= RING_CAPACITY);
+        let mut ids: Vec<u64> = all.iter().map(|t| t.id).collect();
+        // FIFO eviction drops oldest-first, so whichever of our traces
+        // survive must be exactly the newest suffix of what we issued,
+        // in issue order, with nothing duplicated or reordered.
+        let ours: Vec<u64> = ids
+            .iter()
+            .copied()
+            .filter(|id| issued.contains(id))
+            .collect();
+        assert!(!ours.is_empty(), "our newest traces must be retained");
+        assert!(
+            ours.len() < ISSUED,
+            "the ring must have evicted the oldest of {ISSUED} traces"
+        );
+        assert_eq!(ours, issued[ISSUED - ours.len()..]);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate trace ids in the ring");
+        // The newest-n view is the tail of the full listing.
+        let tail: Vec<u64> = recent(8).iter().map(|t| t.id).collect();
+        let full: Vec<u64> = recent(usize::MAX).iter().map(|t| t.id).collect();
+        assert_eq!(tail.len(), 8);
+        assert_eq!(tail, full[full.len() - 8..]);
+    }
+
+    #[test]
+    fn slow_ring_wraparound_retains_newest_in_issue_order() {
+        const ISSUED: usize = RING_CAPACITY + 44;
+        set_slow_ms(0); // every trace counts as slow
+        let mut issued = Vec::with_capacity(ISSUED);
+        for _ in 0..ISSUED {
+            let id = next_id();
+            issued.push(id);
+            let _t = begin(id, "EXEC slow-wrap 0");
+        }
+        set_slow_ms(SLOW_MS_UNSET);
+        let all = slow_queries(usize::MAX);
+        assert!(all.len() <= RING_CAPACITY);
+        // Sibling tests toggle the process-wide threshold concurrently, so
+        // a prefix of ours can be missing — but the survivors must still
+        // appear in issue order with no duplicates, and more than the ring
+        // holds can never survive.
+        let ours: Vec<u64> = all
+            .iter()
+            .map(|s| s.trace_id)
+            .filter(|id| issued.contains(id))
+            .collect();
+        assert!(ours.len() < ISSUED, "the slow ring must have evicted");
+        let mut expect = issued.clone();
+        expect.retain(|id| ours.contains(id));
+        assert_eq!(ours, expect, "survivors must keep issue order");
+        let mut deduped = ours.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ours.len(), "duplicate slow-log entries");
+        // The newest-n view is the tail of the full listing.
+        let tail: Vec<u64> = slow_queries(8).iter().map(|s| s.trace_id).collect();
+        let full: Vec<u64> = slow_queries(usize::MAX)
+            .iter()
+            .map(|s| s.trace_id)
+            .collect();
+        assert_eq!(tail.len(), 8);
+        assert_eq!(tail, full[full.len() - 8..]);
     }
 }

@@ -448,22 +448,7 @@ impl Client {
     /// exposition text.  Histogram quantile lines (labeled) are skipped.
     pub fn metrics_map(&mut self) -> Result<std::collections::BTreeMap<String, f64>, ClientError> {
         let text = self.metrics()?;
-        let mut map = std::collections::BTreeMap::new();
-        for line in text.lines() {
-            if line.starts_with('#') {
-                continue;
-            }
-            let mut tokens = line.split_whitespace();
-            if let (Some(name), Some(value)) = (tokens.next(), tokens.next()) {
-                if name.contains('{') {
-                    continue; // labeled sample (histogram quantile)
-                }
-                if let Ok(value) = value.parse::<f64>() {
-                    map.insert(name.to_string(), value);
-                }
-            }
-        }
-        Ok(map)
+        Ok(parse_metrics_map(&text))
     }
 
     /// `METRICS WINDOW <secs>`; returns the windowed exposition (counter
@@ -492,8 +477,8 @@ impl Client {
             None => "SLOWLOG".to_string(),
         };
         let header = self.send(&request)?;
-        let lines =
-            read_lines_block(&header, "SLOWLOG", &mut self.reader).map_err(ClientError::malformed)?;
+        let lines = read_lines_block(&header, "SLOWLOG", &mut self.reader)
+            .map_err(ClientError::malformed)?;
         let mut entries = Vec::new();
         let mut iter = lines.into_iter();
         while let Some(line) = iter.next() {
@@ -546,6 +531,45 @@ impl Client {
         read_lines_block(&header, "PROFILE", &mut self.reader).map_err(ClientError::malformed)
     }
 
+    /// `HEALTH`; returns the one-line readiness payload
+    /// (`status=… bytes=… budget=… …`).
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        let reply = self.send("HEALTH")?;
+        reply
+            .strip_prefix("OK health ")
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::malformed(format!("malformed HEALTH reply `{reply}`")))
+    }
+
+    /// `TOP [n]`; returns one line per instance, ranked by accounted
+    /// bytes, with the byte breakdown and cache-residency columns.
+    pub fn top(&mut self, n: Option<usize>) -> Result<Vec<String>, ClientError> {
+        let request = match n {
+            Some(n) => format!("TOP {n}"),
+            None => "TOP".to_string(),
+        };
+        let header = self.send(&request)?;
+        read_lines_block(&header, "TOP", &mut self.reader).map_err(ClientError::malformed)
+    }
+
+    /// `TRACE EXPORT [n]`; returns the newest `n` finished traces
+    /// (default 32) as a Chrome trace-event JSON document, loadable in
+    /// `chrome://tracing` or Perfetto.
+    pub fn trace_export(&mut self, n: Option<usize>) -> Result<String, ClientError> {
+        let request = match n {
+            Some(n) => format!("TRACE EXPORT {n}"),
+            None => "TRACE EXPORT".to_string(),
+        };
+        let header = self.send(&request)?;
+        read_lines_block(&header, "TRACE", &mut self.reader)
+            .map(|lines| {
+                let mut text = lines.join("\n");
+                text.push('\n');
+                text
+            })
+            .map_err(ClientError::malformed)
+    }
+
     /// `DROP <instance>`.
     pub fn drop_instance(&mut self, instance: &str) -> Result<(), ClientError> {
         self.send(&format!("DROP {instance}")).map(|_| ())
@@ -570,6 +594,33 @@ fn parse_kv<T: std::str::FromStr>(reply: &str, key: &str) -> Result<T, ClientErr
         .ok_or_else(|| ClientError::malformed(format!("missing {key}= in reply `{reply}`")))
 }
 
+/// Parses a Prometheus text exposition into a name → value map of the
+/// un-labeled samples.  Deliberately lenient — a scrape should never fail
+/// because one line is odd: `#` comments, labeled samples (`{…}` names),
+/// lines without a parseable number, and non-finite values (`NaN`,
+/// `+Inf`/`-Inf`, which `f64::parse` happily accepts) are all skipped
+/// rather than surfaced as errors.
+pub fn parse_metrics_map(text: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut map = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        if let (Some(name), Some(value)) = (tokens.next(), tokens.next()) {
+            if name.contains('{') {
+                continue; // labeled sample (histogram quantile, per-instance gauge)
+            }
+            if let Ok(value) = value.parse::<f64>() {
+                if value.is_finite() {
+                    map.insert(name.to_string(), value);
+                }
+            }
+        }
+    }
+    map
+}
+
 impl WireResult {
     /// Rebuilds the dense matrix this result denotes.
     pub fn to_dense(&self) -> Matrix<Real> {
@@ -578,5 +629,46 @@ impl WireResult {
             out.set(i, j, Real(v)).expect("wire entry in bounds");
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_metrics_map;
+
+    #[test]
+    fn metrics_map_tolerates_hostile_exposition() {
+        // Hand-crafted payload with every way a scrape line can go wrong:
+        // comments, labels, NaN/Inf (which f64::parse accepts!), missing
+        // values, non-numeric values, blank lines and leading whitespace.
+        let text = "\
+# HELP exec_total statements executed\n\
+# TYPE exec_total counter\n\
+exec_total 42\n\
+exec_latency_us{quantile=\"0.99\"} 1234\n\
+instance_bytes{name=\"g\"} 512\n\
+broken_nan NaN\n\
+broken_inf +Inf\n\
+broken_neg_inf -Inf\n\
+dangling_name\n\
+not_a_number twelve\n\
+\n\
+   # indented comment\n\
+instance_bytes 512\n\
+trailing_tokens 7 extra garbage\n";
+        let map = parse_metrics_map(text);
+        assert_eq!(map.get("exec_total"), Some(&42.0));
+        assert_eq!(map.get("instance_bytes"), Some(&512.0));
+        // Prometheus exposition ignores anything past the value token.
+        assert_eq!(map.get("trailing_tokens"), Some(&7.0));
+        // Everything hostile is skipped, never an error or a NaN entry.
+        assert!(!map.contains_key("broken_nan"));
+        assert!(!map.contains_key("broken_inf"));
+        assert!(!map.contains_key("broken_neg_inf"));
+        assert!(!map.contains_key("dangling_name"));
+        assert!(!map.contains_key("not_a_number"));
+        assert!(map.keys().all(|k| !k.contains('{')));
+        assert!(map.values().all(|v| v.is_finite()));
+        assert_eq!(map.len(), 3);
     }
 }

@@ -60,17 +60,19 @@ pub mod store;
 pub mod worker;
 
 pub use client::{
-    Client, ClientError, DeltaWire, ErrorCode, InstanceEntry, ServerHello, SlowlogEntry,
-    UpdateReply,
+    parse_metrics_map, Client, ClientError, DeltaWire, ErrorCode, InstanceEntry, ServerHello,
+    SlowlogEntry, UpdateReply,
 };
 pub use error::ServerError;
 pub use protocol::{
     ExecStatsWire, GenKind, Request, ResponseHeader, SemiringKind, WireResult, CAPABILITIES,
     PROTOCOL_VERSION,
 };
+pub use session::SessionStats;
 pub use store::{
-    replan_drift, set_replan_drift, DeltaDisposition, InstanceInfo, PrepareOutcome, ServerSemiring,
-    Store, UpdateOutcome, DEFAULT_REPLAN_DRIFT, PLAN_CACHE_CAPACITY,
+    mem_budget, replan_drift, set_mem_budget, set_replan_drift, DeltaDisposition, HealthReport,
+    InstanceInfo, PrepareOutcome, ResourceAccount, ServerSemiring, Store, UpdateOutcome,
+    DEFAULT_REPLAN_DRIFT, PLAN_CACHE_CAPACITY,
 };
 pub use worker::ConnQueue;
 
@@ -80,34 +82,69 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Clones of the sockets of live sessions, so shutdown can force-close
-/// them: a worker parked in a blocking `read` on an idle client would
-/// otherwise never observe the stop signal and the join would hang.
+/// A point-in-time view of one live session's accounting (see
+/// [`SessionStats`]), readable without touching the session's socket.
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    /// Registry id of the session (monotonic per server).
+    pub id: u64,
+    /// Requests served, including ones answered with `ERR`.
+    pub requests: u64,
+    /// Bytes written back to the client.
+    pub bytes_out: u64,
+    /// Cumulative statement-execution wall time, microseconds.
+    pub exec_time_us: u64,
+}
+
+/// Clones of the sockets of live sessions plus their accounting, so
+/// shutdown can force-close them (a worker parked in a blocking `read`
+/// on an idle client would otherwise never observe the stop signal and
+/// the join would hang) and introspection can read per-session figures.
+/// The `connections_active` gauge tracks the registry's size.
 #[derive(Default)]
 struct SessionRegistry {
     next_id: AtomicU64,
-    streams: Mutex<HashMap<u64, TcpStream>>,
+    streams: Mutex<HashMap<u64, (TcpStream, Arc<session::SessionStats>)>>,
 }
 
 impl SessionRegistry {
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
+    fn register(&self, stream: &TcpStream) -> Option<(u64, Arc<session::SessionStats>)> {
         let clone = stream.try_clone().ok()?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.streams
-            .lock()
-            .expect("registry poisoned")
-            .insert(id, clone);
-        Some(id)
+        let stats = Arc::new(session::SessionStats::default());
+        let mut streams = self.streams.lock().expect("registry poisoned");
+        streams.insert(id, (clone, Arc::clone(&stats)));
+        matlang_obs::gauge!("connections_active").set(streams.len() as i64);
+        Some((id, stats))
     }
 
     fn unregister(&self, id: u64) {
-        self.streams.lock().expect("registry poisoned").remove(&id);
+        let mut streams = self.streams.lock().expect("registry poisoned");
+        streams.remove(&id);
+        matlang_obs::gauge!("connections_active").set(streams.len() as i64);
     }
 
     fn shutdown_all(&self) {
-        for stream in self.streams.lock().expect("registry poisoned").values() {
+        for (stream, _) in self.streams.lock().expect("registry poisoned").values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
+    }
+
+    fn snapshot(&self) -> Vec<SessionSnapshot> {
+        let mut sessions: Vec<SessionSnapshot> = self
+            .streams
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(&id, (_, stats))| SessionSnapshot {
+                id,
+                requests: stats.requests.load(Ordering::Relaxed),
+                bytes_out: stats.bytes_out.load(Ordering::Relaxed),
+                exec_time_us: stats.exec_time_us.load(Ordering::Relaxed),
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.id);
+        sessions
     }
 }
 
@@ -173,7 +210,7 @@ impl Server {
                             // stop flag is re-checked so a connection
                             // popped during shutdown is not served past
                             // the stop signal.
-                            let Some(id) = sessions.register(&connection) else {
+                            let Some((id, stats)) = sessions.register(&connection) else {
                                 continue;
                             };
                             if !stop.load(Ordering::Acquire) {
@@ -181,7 +218,7 @@ impl Server {
                                 // that session, never the worker.
                                 let _ =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        session::serve_connection(&store, connection)
+                                        session::serve_connection(&store, connection, stats)
                                     }));
                             }
                             sessions.unregister(id);
@@ -250,6 +287,11 @@ impl ServerHandle {
     /// alongside network clients.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Accounting snapshots of the live sessions, in registration order.
+    pub fn sessions(&self) -> Vec<SessionSnapshot> {
+        self.sessions.snapshot()
     }
 
     /// Stops accepting, drops not-yet-served queued connections,

@@ -6,7 +6,7 @@
 //! from `netcat`:
 //!
 //! ```text
-//! →  HELLO                           ←  OK matlangd proto=2 caps=delta,errcodes,semirings,execbatch,obs
+//! →  HELLO                           ←  OK matlangd proto=2 caps=delta,errcodes,semirings,execbatch,obs,capacity
 //! →  INSTANCE g adaptive bool        ←  OK instance g adaptive bool
 //! →  DIM g n 4                       ←  OK dim n 4
 //! →  LOAD g G 4 4 3                  ←  (reads 3 entry lines) OK load G nnz=3
@@ -23,7 +23,7 @@
 //! # Versioning
 //!
 //! `HELLO` answers with a capability banner (`proto=2
-//! caps=delta,errcodes,semirings,execbatch,obs`) so clients can discover
+//! caps=delta,errcodes,semirings,execbatch,obs,capacity`) so clients can discover
 //! what the server speaks before relying on it.  Proto 2 extends proto 1
 //! *additively*: every proto-1 token keeps its position and meaning, new
 //! information rides in appended `key=value` tokens (`delta=`,
@@ -43,6 +43,9 @@
 //! →  PROFILE g (G * G)                ←  PROFILE <n> … END   (executes once; per-node time/nnz/hits)
 //! →  STATS g                          ←  STATS <n> … END     (observed vs. estimated, drift, re-plans)
 //! →  SLOWLOG 10                       ←  SLOWLOG <n> … END   (recent slow queries + captured forensics)
+//! →  HEALTH                           ←  OK health status=ok|pressure bytes=… budget=… conns=… …
+//! →  TOP 10                           ←  TOP <n> … END       (instances ranked by bytes/exec-time)
+//! →  TRACE EXPORT 32                  ←  TRACE <n> … END     (Chrome trace-event JSON array)
 //! ```
 //!
 //! and a `trace=<id>` (hex) token on `RESULT` headers carrying the
@@ -63,7 +66,14 @@ use std::io::{BufRead, Write};
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The capability tokens announced by `HELLO`, comma-joined on the wire.
-pub const CAPABILITIES: &[&str] = &["delta", "errcodes", "semirings", "execbatch", "obs"];
+pub const CAPABILITIES: &[&str] = &[
+    "delta",
+    "errcodes",
+    "semirings",
+    "execbatch",
+    "obs",
+    "capacity",
+];
 
 /// The semiring an instance computes over, as named on the wire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -174,6 +184,18 @@ pub enum Request {
     /// that crossed the slow threshold (`MATLANG_SLOW_MS`), each with its
     /// captured plan/profile forensics.
     Slowlog { n: Option<usize> },
+    /// `HEALTH` — one-line capacity/readiness summary: accounted bytes vs
+    /// the `MATLANG_MEM_BUDGET` soft budget, connection count, slow-query
+    /// and delta-fallback rates, and `status=ok|pressure`.
+    Health,
+    /// `TOP [n]` — the top `n` (default all) instances ranked by accounted
+    /// bytes then cumulative `EXEC` time, one line each with the byte
+    /// attribution and memo-cache residency columns.
+    Top { n: Option<usize> },
+    /// `TRACE EXPORT [n]` — the newest `n` (default 32) finished traces
+    /// from the trace ring, rendered as a Chrome trace-event JSON array
+    /// (`chrome://tracing` / Perfetto).
+    TraceExport { n: Option<usize> },
     /// `EXPLAIN <instance> <query text…>` — parse, typecheck and plan the
     /// query (without registering a prepared statement) and render the
     /// rewritten DAG with per-node cost estimates and cache/delta
@@ -337,7 +359,9 @@ impl Request {
                 Some(token) if token.eq_ignore_ascii_case("WINDOW") => Ok(Request::Metrics {
                     window: Some(parse_num(tokens.next(), "window seconds")?),
                 }),
-                Some(other) => Err(format!("unknown METRICS argument `{other}` (WINDOW <secs>)")),
+                Some(other) => Err(format!(
+                    "unknown METRICS argument `{other}` (WINDOW <secs>)"
+                )),
             },
             "STATS" => Ok(Request::Stats {
                 instance: parse_num(tokens.next(), "instance name")?,
@@ -348,6 +372,28 @@ impl Request {
                     tok => Some(parse_num(tok, "entry count")?),
                 },
             }),
+            "HEALTH" => match tokens.next() {
+                None => Ok(Request::Health),
+                Some(other) => Err(format!("unknown HEALTH argument `{other}`")),
+            },
+            "TOP" => Ok(Request::Top {
+                n: match tokens.next() {
+                    None => None,
+                    tok => Some(parse_num(tok, "instance count")?),
+                },
+            }),
+            "TRACE" => match tokens.next() {
+                Some(token) if token.eq_ignore_ascii_case("EXPORT") => Ok(Request::TraceExport {
+                    n: match tokens.next() {
+                        None => None,
+                        tok => Some(parse_num(tok, "trace count")?),
+                    },
+                }),
+                other => Err(format!(
+                    "unknown TRACE argument `{}` (EXPORT [n])",
+                    other.unwrap_or("<none>")
+                )),
+            },
             "DROP" => Ok(Request::Drop {
                 instance: parse_num(tokens.next(), "instance name")?,
             }),
@@ -720,10 +766,27 @@ mod tests {
                 instance: "g".into()
             }
         );
-        assert_eq!(Request::parse("SLOWLOG").unwrap(), Request::Slowlog { n: None });
+        assert_eq!(
+            Request::parse("SLOWLOG").unwrap(),
+            Request::Slowlog { n: None }
+        );
         assert_eq!(
             Request::parse("SLOWLOG 5").unwrap(),
             Request::Slowlog { n: Some(5) }
+        );
+        assert_eq!(Request::parse("HEALTH").unwrap(), Request::Health);
+        assert_eq!(Request::parse("TOP").unwrap(), Request::Top { n: None });
+        assert_eq!(
+            Request::parse("TOP 3").unwrap(),
+            Request::Top { n: Some(3) }
+        );
+        assert_eq!(
+            Request::parse("TRACE EXPORT").unwrap(),
+            Request::TraceExport { n: None }
+        );
+        assert_eq!(
+            Request::parse("trace export 8").unwrap(),
+            Request::TraceExport { n: Some(8) }
         );
         assert_eq!(
             Request::parse("EXPLAIN g (G * G)").unwrap(),
@@ -767,6 +830,11 @@ mod tests {
         assert!(Request::parse("METRICS WINDOW abc").is_err());
         assert!(Request::parse("STATS").is_err());
         assert!(Request::parse("SLOWLOG many").is_err());
+        assert!(Request::parse("HEALTH now").is_err());
+        assert!(Request::parse("TOP many").is_err());
+        assert!(Request::parse("TRACE").is_err());
+        assert!(Request::parse("TRACE IMPORT").is_err());
+        assert!(Request::parse("TRACE EXPORT many").is_err());
     }
 
     #[test]

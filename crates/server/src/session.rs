@@ -12,6 +12,46 @@ use crate::protocol::{
 use crate::store::{DeltaDisposition, Store};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-connection accounting, shared between the serving worker and the
+/// session registry (so `HEALTH`-era introspection and tests can read a
+/// live session's figures without touching its socket).  All fields are
+/// relaxed atomics: single writer, any reader.
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    /// Requests served, including ones answered with `ERR`.
+    pub requests: AtomicU64,
+    /// Bytes written back to the client.
+    pub bytes_out: AtomicU64,
+    /// Cumulative wall time spent in statement execution
+    /// (`EXEC`/`EXECBATCH`/`QUERY`), microseconds.
+    pub exec_time_us: AtomicU64,
+}
+
+/// A `Write` passthrough to the session socket that adds every written
+/// byte to the session's [`SessionStats`].  Sits *inside* the
+/// `BufWriter`, so it pays one increment per flushed buffer, not per
+/// `write!`.
+struct CountingStream {
+    inner: TcpStream,
+    stats: Arc<SessionStats>,
+}
+
+impl Write for CountingStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        self.stats
+            .bytes_out
+            .fetch_add(written as u64, Ordering::Relaxed);
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// Whether a request kind gets a per-query trace: the verbs that parse,
 /// plan or execute (the spans the engine emits hang off this root).
@@ -27,11 +67,27 @@ fn traced(request: &Request) -> bool {
     )
 }
 
+/// Whether a request executes statements — the kinds whose dispatch time
+/// accrues into [`SessionStats::exec_time_us`].
+fn executes(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Exec { .. } | Request::ExecBatch { .. } | Request::Query { .. }
+    )
+}
+
 /// Serves one connection until `QUIT`, EOF or an I/O error.
-pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()> {
+pub fn serve_connection(
+    store: &Store,
+    stream: TcpStream,
+    stats: Arc<SessionStats>,
+) -> std::io::Result<()> {
     matlang_obs::counter!("connections_total").inc();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(CountingStream {
+        inner: stream,
+        stats: Arc::clone(&stats),
+    });
     let mut line = String::new();
     loop {
         line.clear();
@@ -43,6 +99,7 @@ pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()>
             continue;
         }
         matlang_obs::counter!("requests_total").inc();
+        stats.requests.fetch_add(1, Ordering::Relaxed);
         match Request::parse(trimmed) {
             Err(message) => write_err(&mut writer, &ServerError::protocol(message))?,
             Ok(Request::Quit) => {
@@ -57,7 +114,13 @@ pub fn serve_connection(store: &Store, stream: TcpStream) -> std::io::Result<()>
                 // echoed on RESULT headers as `trace=`.
                 let _trace = (traced(&request) && matlang_obs::enabled())
                     .then(|| matlang_obs::trace::begin(matlang_obs::trace::next_id(), trimmed));
-                dispatch(store, request, &mut reader, &mut writer)?
+                let timer = executes(&request).then(std::time::Instant::now);
+                dispatch(store, request, &mut reader, &mut writer)?;
+                if let Some(t) = timer {
+                    stats
+                        .exec_time_us
+                        .fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
             }
         }
         writer.flush()?;
@@ -68,7 +131,7 @@ fn dispatch(
     store: &Store,
     request: Request,
     reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut impl Write,
 ) -> std::io::Result<()> {
     match request {
         Request::Hello => writeln!(
@@ -277,6 +340,16 @@ fn dispatch(
             Ok(()) => writeln!(writer, "OK dropped {instance}"),
             Err(e) => write_err(writer, &e),
         },
+        Request::Health => writeln!(writer, "OK health {}", store.health().render()),
+        Request::Top { n } => write_lines_block(writer, "TOP", &store.top(n)),
+        Request::TraceExport { n } => {
+            let traces = matlang_obs::trace::recent(n.unwrap_or(32));
+            let lines: Vec<String> = matlang_obs::export::render_chrome_trace(&traces)
+                .lines()
+                .map(String::from)
+                .collect();
+            write_lines_block(writer, "TRACE", &lines)
+        }
         Request::Ping => writeln!(writer, "OK pong"),
         Request::Quit => unreachable!("handled by the session loop"),
     }

@@ -87,7 +87,11 @@ pub const DEFAULT_REPLAN_DRIFT: f64 = 4.0;
 
 /// Runtime override for the drift threshold, stored as `f64` bits; NaN
 /// bits are the "unset" sentinel (NaN can never be a meaningful ratio).
-static REPLAN_DRIFT_OVERRIDE: AtomicU64 = AtomicU64::new(f64::NAN.to_bits());
+/// The literal is Rust's canonical quiet-NaN bit pattern — spelled out
+/// because `f64::NAN.to_bits()` is not `const` on the MSRV; the
+/// `nan_sentinel_matches_f64_nan` test pins the equivalence.
+static REPLAN_DRIFT_OVERRIDE: AtomicU64 = AtomicU64::new(NAN_BITS);
+const NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
 
 /// One-time latch for the `MATLANG_REPLAN_DRIFT` environment variable.
 static REPLAN_DRIFT_ENV: OnceLock<Option<f64>> = OnceLock::new();
@@ -124,6 +128,70 @@ pub fn set_replan_drift(ratio: Option<f64>) {
         _ => f64::NAN.to_bits(),
     };
     REPLAN_DRIFT_OVERRIDE.store(bits, Ordering::Relaxed);
+}
+
+/// Runtime override for the soft memory budget: `u64::MAX` means "unset,
+/// fall through to the environment", `0` means "explicitly unlimited".
+/// Neither sentinel is a meaningful budget, so no real value is shadowed.
+static MEM_BUDGET_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// One-time latch for the `MATLANG_MEM_BUDGET` environment variable.
+static MEM_BUDGET_ENV: OnceLock<Option<u64>> = OnceLock::new();
+
+/// Parses a byte budget: plain bytes, or with a binary suffix `k`/`m`/`g`
+/// (case-insensitive, powers of 1024 — `64m` is 64·2²⁰ bytes).
+fn parse_mem_budget(raw: &str) -> Option<u64> {
+    let v = raw.trim();
+    if v.is_empty() {
+        return None;
+    }
+    let (digits, shift) = match v.as_bytes()[v.len() - 1].to_ascii_lowercase() {
+        b'k' => (&v[..v.len() - 1], 10u32),
+        b'm' => (&v[..v.len() - 1], 20),
+        b'g' => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(1u64 << shift))
+        .filter(|bytes| *bytes > 0)
+}
+
+/// The soft memory budget in bytes, if one is configured: runtime
+/// override ([`set_mem_budget`]) if set, else the `MATLANG_MEM_BUDGET`
+/// environment variable (plain bytes or `k`/`m`/`g` binary suffixes),
+/// else unlimited.  When the accounted bytes across every instance
+/// exceed this figure, `HEALTH` reports `status=pressure` and the store
+/// sheds *derived* state — cold plan-cache entries, then idle instances'
+/// memo caches and overlays — after each mutating request.  Primary data
+/// is never shed, so a budget smaller than the loaded matrices simply
+/// keeps the server in (reported) pressure.
+pub fn mem_budget() -> Option<u64> {
+    match MEM_BUDGET_OVERRIDE.load(Ordering::Relaxed) {
+        u64::MAX => *MEM_BUDGET_ENV.get_or_init(|| {
+            std::env::var("MATLANG_MEM_BUDGET")
+                .ok()
+                .and_then(|v| parse_mem_budget(&v))
+        }),
+        0 => None,
+        bytes => Some(bytes),
+    }
+}
+
+/// Overrides the soft memory budget process-wide.  `Some(0)` forces
+/// "unlimited" regardless of the environment; `None` restores the
+/// environment/default resolution.  Same rationale as
+/// [`set_replan_drift`]: in-process mutation beats `std::env::set_var`
+/// for tests.
+pub fn set_mem_budget(budget: Option<u64>) {
+    let sentinel = match budget {
+        Some(bytes) if bytes > 0 && bytes < u64::MAX => bytes,
+        Some(_) => 0,
+        None => u64::MAX,
+    };
+    MEM_BUDGET_OVERRIDE.store(sentinel, Ordering::Relaxed);
 }
 
 /// One prepared statement: the query text, its parsed form and its
@@ -183,6 +251,107 @@ impl ServerSemiring for MinPlus {
     }
 }
 
+/// Byte-level resource account of one instance.  Byte figures count
+/// *live payload* (`len`-based, per [`MatrixStorage::heap_bytes`]), not
+/// allocator capacity, so they are reproducible from shapes and nnz
+/// alone.  The account is maintained at the mutation points — LOAD /
+/// UPDATE / DIM / PREPARE / EXEC / eviction — from O(1) per-slot length
+/// reads; matrix payloads are never walked.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResourceAccount {
+    /// Bytes held by the instance's matrix variables.
+    pub data_bytes: usize,
+    /// Resident entries in the prepared-plan memo cache.
+    pub cache_entries: usize,
+    /// Bytes held by resident memo-cache values.
+    pub cache_bytes: usize,
+    /// Bytes held by pending delta overlays.
+    pub overlay_bytes: usize,
+    /// Cumulative `EXEC` statements answered by this instance.
+    pub exec_count: u64,
+    /// Cumulative wall time spent executing them, in microseconds.
+    pub exec_time_us: u64,
+    /// Monotonic stamp (µs) of the last accounted mutation — the
+    /// idleness key pressure shedding ranks instances by.
+    pub last_active_us: u64,
+    /// What the registry gauges currently carry for this instance, so a
+    /// re-publish adjusts the process-wide aggregates by a delta instead
+    /// of re-walking every instance.
+    published: PublishedAccount,
+    /// The instance's labelled `instance_bytes{name="…"}` gauge handle,
+    /// resolved once — the publish hot path must not re-format the label
+    /// or take the registry lock per request.
+    labelled: Option<&'static matlang_obs::metrics::Gauge>,
+}
+
+/// The figures last pushed into the metrics registry for one instance.
+#[derive(Clone, Copy, Debug, Default)]
+struct PublishedAccount {
+    total: i64,
+    cache_entries: i64,
+    cache_bytes: i64,
+    overlay_bytes: i64,
+}
+
+impl ResourceAccount {
+    /// Total accounted bytes: data + memo cache + overlays.
+    pub fn total_bytes(&self) -> usize {
+        self.data_bytes + self.cache_bytes + self.overlay_bytes
+    }
+}
+
+/// Resolves the labelled per-instance gauge (registry lock + label
+/// formatting — done once per instance, cached in the account).
+fn labelled_gauge(name: &str) -> &'static matlang_obs::metrics::Gauge {
+    matlang_obs::registry().gauge(&format!("instance_bytes{{name=\"{name}\"}}"))
+}
+
+/// Pushes one instance's account into the metrics registry: the labelled
+/// `instance_bytes{name="…"}` gauge plus delta adjustments to the
+/// process-wide `instance_bytes` / `memo_cache_*` / `overlay_bytes`
+/// aggregates.  No-op while observability is disabled — gauge writes are
+/// gated anyway, and skipping keeps `published` consistent with what the
+/// registry actually absorbed.
+fn publish_account(name: &str, account: &mut ResourceAccount) {
+    if !matlang_obs::enabled() {
+        return;
+    }
+    let now = PublishedAccount {
+        total: account.total_bytes() as i64,
+        cache_entries: account.cache_entries as i64,
+        cache_bytes: account.cache_bytes as i64,
+        overlay_bytes: account.overlay_bytes as i64,
+    };
+    account
+        .labelled
+        .get_or_insert_with(|| labelled_gauge(name))
+        .set(now.total);
+    let was = account.published;
+    matlang_obs::gauge!("instance_bytes").add(now.total - was.total);
+    matlang_obs::gauge!("memo_cache_entries").add(now.cache_entries - was.cache_entries);
+    matlang_obs::gauge!("memo_cache_bytes").add(now.cache_bytes - was.cache_bytes);
+    matlang_obs::gauge!("overlay_bytes").add(now.overlay_bytes - was.overlay_bytes);
+    account.published = now;
+}
+
+/// Retires a dropped instance's contribution: zeroes its labelled gauge
+/// and subtracts its published figures from the aggregates.
+fn unpublish_account(name: &str, account: &mut ResourceAccount) {
+    if !matlang_obs::enabled() {
+        return;
+    }
+    account
+        .labelled
+        .get_or_insert_with(|| labelled_gauge(name))
+        .set(0);
+    let was = account.published;
+    matlang_obs::gauge!("instance_bytes").add(-was.total);
+    matlang_obs::gauge!("memo_cache_entries").add(-was.cache_entries);
+    matlang_obs::gauge!("memo_cache_bytes").add(-was.cache_bytes);
+    matlang_obs::gauge!("overlay_bytes").add(-was.overlay_bytes);
+    account.published = PublishedAccount::default();
+}
+
 /// Per-backend instance state: the MATLANG instance plus the prepared-query
 /// plan, its persistent memo cache and the delta-maintenance bookkeeping.
 pub struct BackendState<K: ServerSemiring, M: MatrixStorage<Elem = K>> {
@@ -216,6 +385,9 @@ pub struct BackendState<K: ServerSemiring, M: MatrixStorage<Elem = K>> {
     pub stats_generation: u64,
     /// Cumulative drift-triggered re-plans (the `STATS` wire counter).
     pub replans: u64,
+    /// Byte-level resource account (data, memo cache, overlays) plus
+    /// execution/activity counters, refreshed at every mutation point.
+    pub account: ResourceAccount,
 }
 
 impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, M> {
@@ -233,6 +405,7 @@ impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, 
             planned_stats: None,
             stats_generation: 0,
             replans: 0,
+            account: ResourceAccount::default(),
         }
     }
 }
@@ -243,6 +416,35 @@ impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> BackendState<K, M> {
     fn clear_cache(&mut self) {
         self.cache.iter_mut().for_each(|slot| *slot = None);
         self.overlay.reset(self.cache.len());
+    }
+
+    /// Recomputes the byte figures of the account from O(1) per-slot
+    /// length reads: every variable's [`MatrixStorage::heap_bytes`], the
+    /// memo cache's residency and the pending overlays.  Cost is
+    /// O(variables + plan nodes) pointer reads — no payload is walked.
+    fn account_refresh(&mut self) {
+        self.account.data_bytes = self
+            .instance
+            .matrices()
+            .map(|(_, matrix)| matrix.heap_bytes())
+            .sum();
+        let (entries, bytes) = matlang_engine::cache_residency(&self.cache);
+        self.account.cache_entries = entries;
+        self.account.cache_bytes = bytes;
+        self.account.overlay_bytes = self.overlay.pending_bytes();
+    }
+
+    /// [`Self::account_refresh`] plus the activity stamp and a registry
+    /// publish — the write-side hook every mutating verb runs under the
+    /// instance lock.  Skipped entirely while observability is disabled,
+    /// so the accounted hot path stays within the overhead guard budget.
+    fn account_touch(&mut self, name: &str) {
+        if !matlang_obs::enabled() {
+            return;
+        }
+        self.account_refresh();
+        self.account.last_active_us = matlang_obs::metrics::clock_us();
+        publish_account(name, &mut self.account);
     }
 }
 
@@ -456,10 +658,50 @@ impl LruPlanCache {
             }
         }
         self.entries.insert(key, (plan, self.tick));
+        self.publish();
+    }
+
+    /// Evicts the least-recently-used entry outright (pressure
+    /// shedding).  Returns whether anything was evicted.
+    fn evict_coldest(&mut self) -> bool {
+        let oldest = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(key, _)| *key);
+        match oldest {
+            Some(key) => {
+                self.entries.remove(&key);
+                self.publish();
+                true
+            }
+            None => false,
+        }
     }
 
     fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total DAG nodes across the retained plans — the cache's weight
+    /// figure (plans hold no matrix data, so nodes are the honest unit).
+    fn weight_nodes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|(plan, _)| plan.nodes().len())
+            .sum()
+    }
+
+    /// Refreshes the plan-cache gauges (entry count and node weight).
+    /// O(entries) at ≤ [`PLAN_CACHE_CAPACITY`] entries, called only on
+    /// content changes, never on lookups.
+    fn publish(&self) {
+        matlang_obs::gauge!("plan_cache_plans").set(self.len() as i64);
+        matlang_obs::gauge!("plan_cache_weight_nodes").set(self.weight_nodes() as i64);
     }
 }
 
@@ -524,16 +766,23 @@ impl Store {
         Ok(())
     }
 
-    /// Removes a named instance, with its prepared statements and cache.
+    /// Removes a named instance, with its prepared statements and cache,
+    /// retiring its contribution to the resource-accounting gauges.
     pub fn drop_instance(&self, name: &str) -> Result<(), ServerError> {
-        self.instances
+        let removed = self
+            .instances
             .write()
             .expect("store poisoned")
             .remove(name)
-            .map(|_| ())
             .ok_or_else(|| ServerError::UnknownInstance {
                 name: name.to_string(),
-            })
+            })?;
+        let mut guard = removed.lock().expect("instance poisoned");
+        with_state!(&mut *guard, |state| unpublish_account(
+            name,
+            &mut state.account
+        ));
+        Ok(())
     }
 
     /// Instance names in sorted order.
@@ -611,6 +860,7 @@ impl Store {
             // conservatively clears the whole memo cache (loop iteration
             // counts and canonical-vector sizes may all have changed).
             state.clear_cache();
+            state.account_touch(name);
             Ok(())
         })
     }
@@ -678,7 +928,14 @@ impl Store {
     ) -> Result<usize, ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| assign_in(state, var, &sparse))
+        let stored = with_state!(&mut *guard, |state| {
+            let stored = assign_in(state, var, &sparse);
+            state.account_touch(name);
+            stored
+        });
+        drop(guard);
+        self.maybe_shed(name);
+        stored
     }
 
     /// Parses, type-checks and plans a query against an instance,
@@ -691,7 +948,11 @@ impl Store {
         let expr = parse_traced(text)?;
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| self.prepare_in(state, text, expr))
+        with_state!(&mut *guard, |state| {
+            let outcome = self.prepare_in(state, text, expr);
+            state.account_touch(name);
+            outcome
+        })
     }
 
     fn prepare_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
@@ -740,9 +1001,9 @@ impl Store {
                 reused_plan = false;
                 matlang_obs::counter!("plan_cache_misses_total").inc();
                 let queries: Vec<Expr> = state.prepared.iter().map(|p| p.expr.clone()).collect();
-                let mut plan =
-                    self.engine
-                        .plan_with_stats::<K>(&queries, &stats, &state.observed);
+                let mut plan = self
+                    .engine
+                    .plan_with_stats::<K>(&queries, &stats, &state.observed);
                 // Every node is memoized: a prepared query re-executed on
                 // an unchanged instance is answered by one root-cache hit.
                 plan.mark_all_cacheable();
@@ -771,7 +1032,10 @@ impl Store {
     pub fn exec(&self, name: &str, qids: &[usize]) -> Result<Vec<WireResult>, ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| self.exec_in(state, qids))
+        let outcome = with_state!(&mut *guard, |state| self.exec_in(state, name, qids));
+        drop(guard);
+        self.maybe_shed(name);
+        outcome
     }
 
     /// Re-plans the instance's prepared batch when the current
@@ -830,6 +1094,7 @@ impl Store {
     fn exec_in<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
         &self,
         state: &mut BackendState<K, M>,
+        name: &str,
         qids: &[usize],
     ) -> Result<Vec<WireResult>, ServerError> {
         if state.plan.is_none() {
@@ -888,15 +1153,16 @@ impl Store {
         // Feedback loop, harvesting half: absorb what execution actually
         // produced.  A fully warm request computed nothing, so the absorb
         // (and its per-node fingerprinting) is skipped on the hot path.
-        if exec.stats().cache_misses > 0 {
+        let misses = exec.stats().cache_misses;
+        if misses > 0 {
             state.observed.absorb(plan, exec.observed_samples());
         }
         // Slow-query forensics: when this request crossed the slow
         // threshold, park the rewritten-DAG explain plus the per-node
         // observations for the session's trace guard to fold into the
         // slowlog entry when it drops.
-        if let Some(t) = request_timer {
-            let elapsed_us = t.elapsed().as_micros() as u64;
+        let spent_us = request_timer.map(|t| t.elapsed().as_micros() as u64);
+        if let Some(elapsed_us) = spent_us {
             if elapsed_us >= matlang_obs::trace::slow_ms().saturating_mul(1_000) {
                 let mut detail = plan.explain();
                 for (id, sample) in exec.observed_samples().iter().enumerate() {
@@ -912,6 +1178,23 @@ impl Store {
             }
         }
         state.cache = exec.into_cache();
+        // Resource accounting rides the same gate — and the same clock
+        // read — as the slow-query check above.  A fully-warm EXEC (every
+        // root a cache hit, no pending overlay folded in) cannot move any
+        // byte figure, so the hot path pays only the activity stamp;
+        // anything that computed (or absorbed an overlay) re-publishes.
+        if let Some(elapsed_us) = spent_us {
+            state.account.exec_count += qids.len() as u64;
+            state.account.exec_time_us += elapsed_us;
+            let warm = outcome.is_ok()
+                && misses == 0
+                && state.overlay.pending_bytes() == state.account.overlay_bytes;
+            if warm {
+                state.account.last_active_us = matlang_obs::metrics::clock_us();
+            } else {
+                state.account_touch(name);
+            }
+        }
         outcome.map(|_| results)
     }
 
@@ -974,10 +1257,16 @@ impl Store {
         let timer = matlang_obs::enabled().then(std::time::Instant::now);
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
-        let outcome = with_state!(&mut *guard, |state| self.update_in(state, var, entries));
+        let outcome = with_state!(&mut *guard, |state| {
+            let outcome = self.update_in(state, var, entries);
+            state.account_touch(name);
+            outcome
+        });
         if let Some(t) = timer {
             matlang_obs::histogram!("update_latency_us").observe(t.elapsed().as_micros() as u64);
         }
+        drop(guard);
+        self.maybe_shed(name);
         outcome
     }
 
@@ -1259,6 +1548,243 @@ impl Store {
             Ok(lines)
         })
     }
+
+    /// Capacity snapshot — the `HEALTH` wire verb.  Byte figures are
+    /// recomputed authoritatively from each instance's account (O(1)
+    /// per-slot reads under the instance lock), so the report is truthful
+    /// even while observability recording is disabled.
+    pub fn health(&self) -> HealthReport {
+        let handles: Vec<Arc<Mutex<ServerInstance>>> = {
+            let map = self.instances.read().expect("store poisoned");
+            map.values().cloned().collect()
+        };
+        let instances = handles.len();
+        let mut total_bytes = 0u64;
+        for handle in handles {
+            let mut guard = handle.lock().expect("instance poisoned");
+            total_bytes += with_state!(&mut *guard, |state| {
+                state.account_refresh();
+                state.account.total_bytes() as u64
+            });
+        }
+        let budget = mem_budget();
+        let status = match budget {
+            Some(b) if total_bytes > b => "pressure",
+            _ => "ok",
+        };
+        HealthReport {
+            status,
+            total_bytes,
+            budget,
+            instances,
+            connections: matlang_obs::gauge!("connections_active").get(),
+            exec_total: matlang_obs::counter!("exec_total").get(),
+            slow_total: matlang_obs::counter!("slow_queries_total").get(),
+            fallback_total: matlang_obs::counter!("delta_fallback_total").get(),
+            update_total: matlang_obs::counter!("update_total").get(),
+            pressure_evictions: matlang_obs::counter!("pressure_evictions_total").get(),
+        }
+    }
+
+    /// Instances ranked by accounted bytes (ties: exec time, then name)
+    /// — the `TOP` wire block.  One line per instance with the byte
+    /// breakdown, memo-cache residency, execution totals and per-root
+    /// cache residency (first 8 roots; `-` marks a cold root).
+    pub fn top(&self, n: Option<usize>) -> Vec<String> {
+        const ROOT_COLUMNS: usize = 8;
+        let handles: Vec<(String, Arc<Mutex<ServerInstance>>)> = {
+            let map = self.instances.read().expect("store poisoned");
+            map.iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect()
+        };
+        let mut rows = Vec::with_capacity(handles.len());
+        for (name, handle) in handles {
+            let mut guard = handle.lock().expect("instance poisoned");
+            let backend = guard.backend_name();
+            let semiring = guard.semiring_name();
+            let (account, roots) = with_state!(&mut *guard, |state| {
+                state.account_refresh();
+                let mut roots = Vec::new();
+                if let Some(plan) = state.plan.as_ref() {
+                    for (qid, &root) in plan.roots().iter().enumerate().take(ROOT_COLUMNS) {
+                        let resident = state
+                            .cache
+                            .get(root)
+                            .and_then(|slot| slot.as_ref())
+                            .map(|value| value.heap_bytes());
+                        roots.push(match resident {
+                            Some(bytes) => format!("q{qid}:{bytes}"),
+                            None => format!("q{qid}:-"),
+                        });
+                    }
+                    if plan.roots().len() > ROOT_COLUMNS {
+                        roots.push(format!("(+{})", plan.roots().len() - ROOT_COLUMNS));
+                    }
+                }
+                (state.account, roots)
+            });
+            rows.push((name, backend, semiring, account, roots));
+        }
+        rows.sort_by(|a, b| {
+            b.3.total_bytes()
+                .cmp(&a.3.total_bytes())
+                .then(b.3.exec_time_us.cmp(&a.3.exec_time_us))
+                .then(a.0.cmp(&b.0))
+        });
+        if let Some(n) = n {
+            rows.truncate(n);
+        }
+        rows.into_iter()
+            .map(|(name, backend, semiring, account, roots)| {
+                format!(
+                    "instance={name} backend={backend} semiring={semiring} bytes={} data={} \
+                     cache_bytes={} cache_entries={} overlay={} execs={} exec_us={} roots={}",
+                    account.total_bytes(),
+                    account.data_bytes,
+                    account.cache_bytes,
+                    account.cache_entries,
+                    account.overlay_bytes,
+                    account.exec_count,
+                    account.exec_time_us,
+                    if roots.is_empty() {
+                        "-".to_string()
+                    } else {
+                        roots.join(",")
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Sheds memory after a mutating request when the aggregate accounted
+    /// bytes exceed the soft budget ([`mem_budget`]): first the cold half
+    /// of the plan cache (plans are pure derived state), then the memo
+    /// caches and overlays of idle instances — coldest `last_active_us`
+    /// first — skipping `just_used` and anything currently locked
+    /// (`try_lock`: shedding must never contend with or deadlock against
+    /// a session holding an instance).  Primary matrix data is never
+    /// shed.  Every eviction bumps `pressure_evictions_total` and leaves
+    /// a trace event.
+    fn maybe_shed(&self, just_used: &str) {
+        if !matlang_obs::enabled() {
+            return;
+        }
+        let Some(budget) = mem_budget() else {
+            return;
+        };
+        let over = || matlang_obs::gauge!("instance_bytes").get() > budget as i64;
+        if !over() {
+            return;
+        }
+        matlang_obs::trace::event("pressure:shed");
+        {
+            let mut plans = self.plan_cache.lock().expect("plan cache poisoned");
+            let keep = plans.capacity() / 2;
+            while plans.len() > keep && plans.evict_coldest() {
+                matlang_obs::counter!("pressure_evictions_total").inc();
+                matlang_obs::trace::event("pressure:evict-plan");
+            }
+        }
+        let snapshot: Vec<(String, Arc<Mutex<ServerInstance>>)> = {
+            let map = self.instances.read().expect("store poisoned");
+            map.iter()
+                .filter(|(name, _)| name.as_str() != just_used)
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect()
+        };
+        let mut candidates: Vec<(u64, String, Arc<Mutex<ServerInstance>>)> = Vec::new();
+        for (name, handle) in snapshot {
+            let idle = match handle.try_lock() {
+                Ok(guard) => with_state!(&*guard, |state| {
+                    let resident = state.account.cache_bytes + state.account.overlay_bytes;
+                    (resident > 0).then_some(state.account.last_active_us)
+                }),
+                Err(_) => None,
+            };
+            if let Some(last_active) = idle {
+                candidates.push((last_active, name, handle));
+            }
+        }
+        candidates.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, name, handle) in candidates {
+            if !over() {
+                break;
+            }
+            let Ok(mut guard) = handle.try_lock() else {
+                continue;
+            };
+            with_state!(&mut *guard, |state| {
+                state.clear_cache();
+                state.account_touch(&name);
+            });
+            matlang_obs::counter!("pressure_evictions_total").inc();
+            matlang_obs::trace::event("pressure:evict-cache");
+        }
+    }
+}
+
+/// One-line readiness snapshot — the payload behind the `HEALTH` verb.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// `ok`, or `pressure` when the accounted bytes exceed the budget.
+    pub status: &'static str,
+    /// Accounted bytes across every instance (data + caches + overlays).
+    pub total_bytes: u64,
+    /// The soft budget ([`mem_budget`]), if one is configured.
+    pub budget: Option<u64>,
+    /// Instances hosted.
+    pub instances: usize,
+    /// Live client connections (the `connections_active` gauge).
+    pub connections: i64,
+    /// Cumulative `EXEC` statements, process-wide.
+    pub exec_total: u64,
+    /// Cumulative queries past the slow threshold.
+    pub slow_total: u64,
+    /// Cumulative delta-maintenance fallbacks.
+    pub fallback_total: u64,
+    /// Cumulative `UPDATE` statements.
+    pub update_total: u64,
+    /// Cumulative pressure evictions (plans + memo caches).
+    pub pressure_evictions: u64,
+}
+
+impl HealthReport {
+    /// Slow queries per executed statement (0 when nothing ran).
+    pub fn slow_rate(&self) -> f64 {
+        if self.exec_total == 0 {
+            0.0
+        } else {
+            self.slow_total as f64 / self.exec_total as f64
+        }
+    }
+
+    /// Delta fallbacks per `UPDATE` (0 when none ran).
+    pub fn fallback_rate(&self) -> f64 {
+        if self.update_total == 0 {
+            0.0
+        } else {
+            self.fallback_total as f64 / self.update_total as f64
+        }
+    }
+
+    /// The one-line wire rendering (`-` for "no budget configured").
+    pub fn render(&self) -> String {
+        format!(
+            "status={} bytes={} budget={} instances={} connections={} exec={} \
+             slow_rate={:.4} fallback_rate={:.4} evictions={}",
+            self.status,
+            self.total_bytes,
+            self.budget
+                .map_or_else(|| "-".to_string(), |b| b.to_string()),
+            self.instances,
+            self.connections,
+            self.exec_total,
+            self.slow_rate(),
+            self.fallback_rate(),
+            self.pressure_evictions,
+        )
+    }
 }
 
 /// Parses query text under a `parse` trace span, mapping errors to the
@@ -1349,6 +1875,27 @@ fn wire_result<M: MatrixStorage>(
 mod tests {
     use super::*;
     use matlang_core::evaluate;
+
+    #[test]
+    fn nan_sentinel_matches_f64_nan() {
+        assert_eq!(NAN_BITS, f64::NAN.to_bits());
+        assert!(f64::from_bits(NAN_BITS).is_nan());
+    }
+
+    #[test]
+    fn mem_budget_parser_accepts_binary_suffixes() {
+        assert_eq!(parse_mem_budget("1048576"), Some(1 << 20));
+        assert_eq!(parse_mem_budget("512k"), Some(512 << 10));
+        assert_eq!(parse_mem_budget("64M"), Some(64 << 20));
+        assert_eq!(parse_mem_budget("2g"), Some(2u64 << 30));
+        assert_eq!(parse_mem_budget(" 8K "), Some(8 << 10));
+        // Zero, empty, negative and non-numeric inputs mean "no budget".
+        assert_eq!(parse_mem_budget("0"), None);
+        assert_eq!(parse_mem_budget(""), None);
+        assert_eq!(parse_mem_budget("k"), None);
+        assert_eq!(parse_mem_budget("-4"), None);
+        assert_eq!(parse_mem_budget("nope"), None);
+    }
 
     fn seeded_store() -> Store {
         let store = Store::new();
@@ -1780,7 +2327,11 @@ mod tests {
         let again = store.exec("g", &[qid]).unwrap();
         assert_eq!(again[0].stats.cache_misses, 0);
         let stats = store.stats("g").unwrap();
-        assert!(stats[0].contains("replans=1"), "spurious re-plan: {}", stats[0]);
+        assert!(
+            stats[0].contains("replans=1"),
+            "spurious re-plan: {}",
+            stats[0]
+        );
     }
 
     #[test]

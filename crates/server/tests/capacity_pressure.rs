@@ -1,0 +1,96 @@
+//! Pressure-shedding test: a soft memory budget smaller than the loaded
+//! data keeps the store permanently over budget, so every mutating
+//! request sheds derived state — the cold half of the plan cache and the
+//! memo caches of *idle* instances — while the just-used instance keeps
+//! its warm cache and primary data is never touched.
+//!
+//! This file holds exactly one test: [`matlang_server::set_mem_budget`]
+//! is process-wide, and a sibling test asserting `status=ok` in the same
+//! binary would race it.
+
+use matlang_server::{set_mem_budget, Store};
+
+fn top_token(lines: &[String], instance: &str, key: &str) -> u64 {
+    let line = lines
+        .iter()
+        .find(|l| l.starts_with(&format!("instance={instance} ")))
+        .unwrap_or_else(|| panic!("no {instance} line in TOP: {lines:?}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing {key}= in `{line}`"))
+}
+
+#[test]
+fn over_budget_store_sheds_plans_and_idle_memo_caches() {
+    // Override semantics first (same test: the knob is process-wide).
+    // MATLANG_MEM_BUDGET is unset in CI, so the resolved default is None.
+    assert_eq!(matlang_server::mem_budget(), None);
+    set_mem_budget(Some(4096));
+    assert_eq!(matlang_server::mem_budget(), Some(4096));
+    set_mem_budget(Some(0)); // explicitly unlimited
+    assert_eq!(matlang_server::mem_budget(), None);
+    set_mem_budget(None); // back to environment resolution
+    assert_eq!(matlang_server::mem_budget(), None);
+
+    // Capacity 2 so the "evict down to the cold half" plan-cache policy
+    // is observable with two distinct plans.
+    let store = Store::with_plan_cache_capacity(2);
+    for name in ["a", "b"] {
+        store.create_instance(name, true).unwrap();
+        store.set_dim(name, "n", 16).unwrap();
+        let entries: Vec<(usize, usize, f64)> = (0..16).map(|i| (i, (i + 3) % 16, 1.0)).collect();
+        store.load_matrix(name, "G", 16, 16, entries).unwrap();
+    }
+    // Distinct queries so the two instances hold two distinct plans.
+    store.prepare("a", "(G * G)").unwrap();
+    store.prepare("b", "(G + G)").unwrap();
+    assert_eq!(store.plan_cache_len(), 2);
+
+    // One byte of budget: the primary data alone exceeds it forever.
+    set_mem_budget(Some(1));
+
+    // Warm both instances, `b` last: the shed pass after `b`'s EXEC sees
+    // `a` idle with a resident memo cache and evicts it, plus the cold
+    // half of the plan cache.  `b` (just used) must keep its warm cache.
+    store.exec("a", &[0]).unwrap();
+    store.exec("b", &[0]).unwrap();
+
+    let top = store.top(None);
+    assert_eq!(top.len(), 2);
+    assert_eq!(
+        top_token(&top, "a", "cache_entries"),
+        0,
+        "idle instance's memo cache must be shed: {top:?}"
+    );
+    assert!(
+        top_token(&top, "b", "cache_entries") >= 1,
+        "the just-used instance keeps its warm cache: {top:?}"
+    );
+    // Primary data is never shed.
+    assert!(top_token(&top, "a", "data") > 0);
+    assert!(top_token(&top, "b", "data") > 0);
+    assert_eq!(
+        store.plan_cache_len(),
+        1,
+        "cold half of the plan cache evicted"
+    );
+
+    let health = store.health();
+    assert_eq!(health.status, "pressure");
+    assert_eq!(health.budget, Some(1));
+    assert!(health.total_bytes > 1);
+    assert!(
+        health.pressure_evictions >= 2,
+        "plan + memo evictions must be counted, got {}",
+        health.pressure_evictions
+    );
+    assert!(health.render().contains("status=pressure"));
+
+    // Shed state is derived: the evicted instance recomputes and answers
+    // correctly on the next EXEC.
+    let replay = store.exec("a", &[0]).unwrap();
+    assert_eq!(replay.len(), 1);
+
+    set_mem_budget(None);
+}

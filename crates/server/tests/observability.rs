@@ -211,7 +211,10 @@ fn metrics_map_parses_the_exposition_into_typed_samples() {
     }
     // Labeled summary samples (histogram quantiles) are skipped; their
     // un-labeled _count twin is kept.
-    assert!(map.keys().all(|k| !k.contains('{')), "labeled key in {map:?}");
+    assert!(
+        map.keys().all(|k| !k.contains('{')),
+        "labeled key in {map:?}"
+    );
     assert!(map.get("exec_latency_us_count").copied().unwrap_or(0.0) >= 1.0);
     handle.shutdown();
 }
@@ -230,12 +233,18 @@ fn metrics_window_reports_deltas_and_rates() {
 
     let text = client.metrics_window(3600).unwrap();
     assert!(
-        text.lines().next().unwrap().starts_with("# window requested_s=3600"),
+        text.lines()
+            .next()
+            .unwrap()
+            .starts_with("# window requested_s=3600"),
         "window header missing:\n{text}"
     );
     let delta = scrape(&text, "exec_total_delta")
         .unwrap_or_else(|| panic!("exec_total_delta missing from:\n{text}"));
-    assert!(delta >= 2.0, "both EXECs must land in the window, got {delta}");
+    assert!(
+        delta >= 2.0,
+        "both EXECs must land in the window, got {delta}"
+    );
     assert!(
         scrape(&text, "exec_total_rate").is_some(),
         "missing rate gauge in:\n{text}"

@@ -27,7 +27,9 @@ fn seeded(name: &str) -> Store {
     store.create_instance(name, true).unwrap();
     store.set_dim(name, "n", N).unwrap();
     // A starts ~empty; B and v are dense.
-    store.load_matrix(name, "A", N, N, vec![(0, 0, 1.0)]).unwrap();
+    store
+        .load_matrix(name, "A", N, N, vec![(0, 0, 1.0)])
+        .unwrap();
     let mut b = Vec::with_capacity(N * N);
     for i in 0..N {
         for j in 0..N {

@@ -74,9 +74,7 @@ fn forced_drift_replans_stay_bit_identical_to_core_evaluate() {
         store.create_instance(name, adaptive).unwrap();
         store.set_dim(name, "n", N).unwrap();
         let seed = vec![(0, 1, 1.0), (1, 2, 2.0), (4, 5, -3.0)];
-        store
-            .load_matrix(name, "G", N, N, seed.clone())
-            .unwrap();
+        store.load_matrix(name, "G", N, N, seed.clone()).unwrap();
         let qids: Vec<usize> = CORPUS
             .iter()
             .map(|text| store.prepare(name, text).unwrap().qid)

@@ -227,6 +227,45 @@ fn main() {
         "the slowlog EXEC must show up in the metrics window"
     );
 
+    // Capacity & health: HEALTH answers readiness against the soft memory
+    // budget (`MATLANG_MEM_BUDGET`, unset here → no pressure), TOP ranks
+    // instances by attributed bytes, and TRACE EXPORT dumps the trace
+    // ring as Chrome-tracing JSON for chrome://tracing or Perfetto.
+    let health = client.health().unwrap();
+    assert!(
+        health.starts_with("status=ok"),
+        "HEALTH must report ok with no budget set, got `{health}`"
+    );
+    println!("\nHEALTH: {health}");
+    let top = client.top(Some(4)).unwrap();
+    for line in &top {
+        println!("TOP: {line}");
+    }
+    let top_bytes: u64 = top
+        .iter()
+        .flat_map(|l| l.split_whitespace())
+        .filter_map(|tok| tok.strip_prefix("bytes="))
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum();
+    assert!(
+        top_bytes > 0,
+        "TOP must attribute nonzero bytes to the demo instances"
+    );
+    let metrics = client.metrics_map().unwrap();
+    assert!(
+        metrics.get("instance_bytes").copied().unwrap_or(0.0) > 0.0,
+        "the aggregate instance_bytes gauge must be nonzero"
+    );
+    let trace_json = client.trace_export(Some(16)).unwrap();
+    assert!(
+        trace_json.trim_start().starts_with('[') && trace_json.contains("\"ph\":\"X\""),
+        "TRACE EXPORT must produce Chrome-trace JSON (array format)"
+    );
+    println!(
+        "TRACE EXPORT: {} bytes of Chrome-trace JSON covering the newest traces",
+        trace_json.len()
+    );
+
     client.quit().unwrap();
     handle.shutdown();
     println!("server shut down cleanly");

@@ -1,0 +1,150 @@
+//! Durability costs and the recovery payoff, as absolute medians:
+//!
+//! - **snapshot-write** — `SAVE` of a dense 128×128 instance (encode +
+//!   atomic write + fsync).
+//! - **snapshot-load** — decoding that snapshot back into a fresh
+//!   instance (`RESTORE`), no WAL involved.
+//! - **wal-append** — one fsync'd single-entry `UPDATE` on a persisted
+//!   instance (the write-path durability tax the overhead guard bounds).
+//! - **cold-boot-replay** — `Store::open` over a snapshot plus a
+//!   1 000-record WAL.
+//! - **fresh-load** — reaching the same durable state without recovery:
+//!   re-ingesting the base `LOAD` plus the same 1 000 updates on a
+//!   durable store.  The `persist_replay_guard` release test pins
+//!   cold-boot-replay ≥2× ahead of this.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matlang_bench::quick_criterion;
+use matlang_server::{Store, StoreConfig};
+use std::fs;
+use std::path::PathBuf;
+
+const N: usize = 128;
+const UPDATES: usize = 1_000;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "matlang-bench-persist-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable(dir: &PathBuf) -> Store {
+    Store::with_config(
+        StoreConfig::builder()
+            .data_dir(dir)
+            .wal_compact(1 << 30)
+            .build(),
+    )
+}
+
+fn base_entries() -> Vec<(usize, usize, f64)> {
+    let mut entries = Vec::with_capacity(N * N / 2);
+    for i in 0..N {
+        for j in 0..N {
+            if (i + j) % 2 == 0 {
+                entries.push((i, j, ((i * 31 + j) % 13 + 1) as f64));
+            }
+        }
+    }
+    entries
+}
+
+fn update_stream() -> Vec<(usize, usize, f64)> {
+    (0..UPDATES)
+        .map(|k| ((k * 7) % N, (k * 13 + 1) % N, (k % 97) as f64 + 0.5))
+        .collect()
+}
+
+fn seed(store: &Store, name: &str) {
+    store.create_instance(name, false).unwrap();
+    store.set_dim(name, "n", N).unwrap();
+    store.load_matrix(name, "G", N, N, base_entries()).unwrap();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistence");
+
+    // Snapshot write: SAVE to an explicit path, fresh file every time.
+    let dir = scratch("snapshot");
+    let store = durable(&dir);
+    seed(&store, "g");
+    let export = dir.join("g.export");
+    group.bench_function("snapshot-write", |b| {
+        b.iter(|| {
+            let _ = fs::remove_file(&export);
+            store.save("g", Some(export.as_path())).unwrap().0
+        })
+    });
+
+    // Snapshot load: RESTORE from that file into a throwaway name.
+    store.save("g", Some(export.as_path())).unwrap();
+    let mut round = 0usize;
+    group.bench_function("snapshot-load", |b| {
+        b.iter(|| {
+            round += 1;
+            let name = format!("r{round}");
+            let out = store.restore(&name, &export).unwrap();
+            store.drop_instance(&name).unwrap();
+            out
+        })
+    });
+
+    // WAL append: one durable single-entry UPDATE (fsync included).
+    store.set_persist("g", true).unwrap();
+    let mut k = 0usize;
+    group.bench_function("wal-append", |b| {
+        b.iter(|| {
+            k += 1;
+            let entry = ((k * 7) % N, (k * 13 + 1) % N, (k % 97) as f64 + 0.5);
+            store.update("g", "G", &[entry]).unwrap().applied
+        })
+    });
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+
+    // Cold-boot replay vs fresh durable load over the same 1 000 updates.
+    let boot_dir = scratch("boot");
+    {
+        let store = durable(&boot_dir);
+        seed(&store, "g");
+        store.set_persist("g", true).unwrap();
+        for &entry in &update_stream() {
+            store.update("g", "G", &[entry]).unwrap();
+        }
+    }
+    group.bench_function("cold-boot-replay", |b| {
+        b.iter(|| {
+            let store = durable(&boot_dir);
+            store.list_instances().len()
+        })
+    });
+
+    let fresh_dir = scratch("fresh");
+    group.bench_function("fresh-load", |b| {
+        b.iter(|| {
+            let _ = fs::remove_dir_all(&fresh_dir);
+            let store = durable(&fresh_dir);
+            seed(&store, "g");
+            store.set_persist("g", true).unwrap();
+            for &entry in &update_stream() {
+                store.update("g", "G", &[entry]).unwrap();
+            }
+            store.list_instances().len()
+        })
+    });
+    let _ = fs::remove_dir_all(&boot_dir);
+    let _ = fs::remove_dir_all(&fresh_dir);
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_persistence
+}
+criterion_main!(benches);

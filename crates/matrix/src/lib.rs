@@ -38,6 +38,7 @@ pub mod parallel;
 pub mod pool;
 pub mod random;
 pub mod repr;
+pub mod snapshot;
 pub mod sparse;
 pub mod special;
 pub mod storage;
@@ -51,6 +52,7 @@ pub use random::{
     sparse_power_law, RandomMatrixConfig,
 };
 pub use repr::MatrixRepr;
+pub use snapshot::{CodecError, MatrixCodec};
 pub use sparse::{CsrBuilder, SparseMatrix};
 pub use storage::MatrixStorage;
 

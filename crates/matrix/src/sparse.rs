@@ -328,6 +328,29 @@ impl<K: Semiring> SparseMatrix<K> {
         self.row_slices(i)
     }
 
+    /// The raw CSR row-pointer array (`rows + 1` monotone offsets into
+    /// [`csr_indices`](Self::csr_indices)/[`csr_values`](Self::csr_values)).
+    /// Read-only: mutation goes through [`set_entry`](Self::set_entry) or a
+    /// rebuild via [`CsrBuilder`] so the invariants cannot be broken from
+    /// outside.  Exposed for byte-exact serialization (the snapshot codec
+    /// writes these arrays verbatim).
+    pub fn csr_indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The raw CSR column-index array, one entry per stored value, sorted
+    /// strictly increasing within each row.  See
+    /// [`csr_indptr`](Self::csr_indptr).
+    pub fn csr_indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The raw CSR value array, parallel to
+    /// [`csr_indices`](Self::csr_indices).  Never contains semiring zeros.
+    pub fn csr_values(&self) -> &[K] {
+        &self.values
+    }
+
     /// The column indices and values of row `i`.
     fn row_slices(&self, i: usize) -> (&[usize], &[K]) {
         let range = self.indptr[i]..self.indptr[i + 1];

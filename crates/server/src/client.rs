@@ -575,6 +575,51 @@ impl Client {
         self.send(&format!("DROP {instance}")).map(|_| ())
     }
 
+    /// `SAVE <instance> [path]` — snapshot the instance to its data-dir
+    /// slot (no path) or export it to an explicit file.  Returns the
+    /// snapshot size in bytes.
+    pub fn save(&mut self, instance: &str, path: Option<&str>) -> Result<u64, ClientError> {
+        let request = match path {
+            Some(p) => format!("SAVE {instance} {p}"),
+            None => format!("SAVE {instance}"),
+        };
+        let reply = self.send(&request)?;
+        parse_kv(&reply, "bytes")
+    }
+
+    /// `RESTORE <instance> <path>` — create a fresh instance from a
+    /// snapshot file.  Returns `(dims, vars)` restored.
+    pub fn restore(&mut self, instance: &str, path: &str) -> Result<(usize, usize), ClientError> {
+        let reply = self.send(&format!("RESTORE {instance} {path}"))?;
+        Ok((parse_kv(&reply, "dims")?, parse_kv(&reply, "vars")?))
+    }
+
+    /// `PERSIST <instance> on|off` — toggle durability for an instance.
+    pub fn set_persist(&mut self, instance: &str, on: bool) -> Result<(), ClientError> {
+        let flag = if on { "on" } else { "off" };
+        self.send(&format!("PERSIST {instance} {flag}")).map(|_| ())
+    }
+
+    /// `WALSTAT <instance>` — durability counters for an instance.
+    pub fn walstat(&mut self, instance: &str) -> Result<crate::store::WalStat, ClientError> {
+        let reply = self.send(&format!("WALSTAT {instance}"))?;
+        let persisted = reply
+            .split_whitespace()
+            .find_map(|token| token.strip_prefix("persist="))
+            .ok_or_else(|| {
+                ClientError::malformed(format!("missing persist= in reply `{reply}`"))
+            })?
+            == "on";
+        Ok(crate::store::WalStat {
+            persisted,
+            seq: parse_kv(&reply, "seq")?,
+            records: parse_kv(&reply, "records")?,
+            wal_bytes: parse_kv(&reply, "wal_bytes")?,
+            snapshot_bytes: parse_kv(&reply, "snapshot_bytes")?,
+            compact_threshold: parse_kv(&reply, "compact")?,
+        })
+    }
+
     /// `PING`.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.send("PING").map(|_| ())

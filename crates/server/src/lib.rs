@@ -54,6 +54,7 @@
 
 pub mod client;
 pub mod error;
+pub mod persist;
 pub mod protocol;
 pub mod session;
 pub mod store;
@@ -71,8 +72,9 @@ pub use protocol::{
 pub use session::SessionStats;
 pub use store::{
     mem_budget, replan_drift, set_mem_budget, set_replan_drift, DeltaDisposition, HealthReport,
-    InstanceInfo, PrepareOutcome, ResourceAccount, ServerSemiring, Store, UpdateOutcome,
-    DEFAULT_REPLAN_DRIFT, PLAN_CACHE_CAPACITY,
+    InstanceInfo, PrepareOutcome, ResourceAccount, ServerSemiring, Store, StoreConfig,
+    StoreConfigBuilder, UpdateOutcome, WalStat, DEFAULT_REPLAN_DRIFT, DEFAULT_WAL_COMPACT,
+    PLAN_CACHE_CAPACITY,
 };
 pub use worker::ConnQueue;
 
@@ -160,6 +162,10 @@ pub struct ServerConfig {
     /// Capacity of the accepted-connection queue; a full queue blocks the
     /// accept loop (backpressure).
     pub queue_capacity: usize,
+    /// Store configuration (plan-cache capacity, data directory, WAL
+    /// compaction threshold); the default honours `MATLANG_DATA_DIR` and
+    /// `MATLANG_WAL_COMPACT`.
+    pub store: StoreConfig,
 }
 
 impl Default for ServerConfig {
@@ -168,6 +174,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             queue_capacity: 64,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -187,7 +194,7 @@ impl Server {
         } else {
             config.workers
         };
-        let store = Arc::new(Store::new());
+        let store = Arc::new(Store::with_config(config.store.clone()));
         let queue = Arc::new(ConnQueue::new(config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
         let sessions = Arc::new(SessionRegistry::default());

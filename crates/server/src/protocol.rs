@@ -73,6 +73,7 @@ pub const CAPABILITIES: &[&str] = &[
     "execbatch",
     "obs",
     "capacity",
+    "persist",
 ];
 
 /// The semiring an instance computes over, as named on the wire.
@@ -206,6 +207,25 @@ pub enum Request {
     Profile { instance: String, text: String },
     /// `DROP <instance>` — remove an instance.
     Drop { instance: String },
+    /// `SAVE <instance> [path]` — write a snapshot now: to the data
+    /// directory (compacting a persisted instance's WAL into it), or
+    /// exported to an explicit whitespace-free path.
+    Save {
+        instance: String,
+        path: Option<String>,
+    },
+    /// `RESTORE <instance> <path>` — create a new instance from a
+    /// snapshot file (fails if the name is taken; the instance is not
+    /// automatically persisted).
+    Restore { instance: String, path: String },
+    /// `PERSIST <instance> on|off` — enable durability (initial snapshot
+    /// plus write-ahead-logged `UPDATE`s) or disable it and remove the
+    /// on-disk artifacts.
+    Persist { instance: String, on: bool },
+    /// `WALSTAT <instance>` — one-line durability figures: persisted
+    /// flag, WAL sequence/record/byte counts, snapshot size, compaction
+    /// threshold.
+    Walstat { instance: String },
     /// `PING` — liveness check.
     Ping,
     /// `QUIT` — close this connection.
@@ -226,9 +246,9 @@ pub enum GenKind {
 }
 
 fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
-    tok.ok_or_else(|| format!("missing {what}"))?
-        .parse::<T>()
-        .map_err(|_| format!("malformed {what}"))
+    let tok = tok.ok_or_else(|| format!("expected {what}, got nothing"))?;
+    tok.parse::<T>()
+        .map_err(|_| format!("expected {what}, got `{tok}`"))
 }
 
 impl Request {
@@ -244,12 +264,12 @@ impl Request {
                 let adaptive = match backend {
                     "dense" => false,
                     "adaptive" => true,
-                    other => return Err(format!("unknown backend `{other}` (dense|adaptive)")),
+                    other => return Err(format!("expected backend dense|adaptive, got `{other}`")),
                 };
                 let semiring = match tokens.next() {
                     None => SemiringKind::default(),
                     Some(token) => SemiringKind::parse(token).ok_or_else(|| {
-                        format!("unknown semiring `{token}` (real|bool|nat|minplus)")
+                        format!("expected semiring real|bool|nat|minplus, got `{token}`")
                     })?,
                 };
                 Ok(Request::Instance {
@@ -286,8 +306,8 @@ impl Request {
                     },
                     other => {
                         return Err(format!(
-                            "unknown generator `{}` (er|pl)",
-                            other.unwrap_or("<none>")
+                            "expected generator er|pl, got `{}`",
+                            other.unwrap_or("nothing")
                         ))
                     }
                 };
@@ -302,7 +322,7 @@ impl Request {
                 let instance: String = parse_num(tokens.next(), "instance name")?;
                 let text = tokens.collect::<Vec<_>>().join(" ");
                 if text.is_empty() {
-                    return Err("missing query text".to_string());
+                    return Err("expected query text, got nothing".to_string());
                 }
                 match command.to_ascii_uppercase().as_str() {
                     "PREPARE" => Ok(Request::Prepare { instance, text }),
@@ -320,11 +340,11 @@ impl Request {
                 let qids: Vec<usize> = tokens
                     .map(|t| {
                         t.parse::<usize>()
-                            .map_err(|_| "malformed query id".to_string())
+                            .map_err(|_| format!("expected query id, got `{t}`"))
                     })
                     .collect::<Result<_, _>>()?;
                 if qids.is_empty() {
-                    return Err("EXECBATCH needs at least one query id".to_string());
+                    return Err("expected at least one query id, got none".to_string());
                 }
                 Ok(Request::ExecBatch { instance, qids })
             }
@@ -335,7 +355,9 @@ impl Request {
                 // An empty batch is legal (a no-op the store short-circuits);
                 // only a *partial* triple is malformed.
                 if rest.len() % 3 != 0 {
-                    return Err("UPDATE needs (row col value) triples".to_string());
+                    return Err(
+                        "expected (row col value) triples, got a partial triple".to_string()
+                    );
                 }
                 let entries = rest
                     .chunks(3)
@@ -359,9 +381,7 @@ impl Request {
                 Some(token) if token.eq_ignore_ascii_case("WINDOW") => Ok(Request::Metrics {
                     window: Some(parse_num(tokens.next(), "window seconds")?),
                 }),
-                Some(other) => Err(format!(
-                    "unknown METRICS argument `{other}` (WINDOW <secs>)"
-                )),
+                Some(other) => Err(format!("expected WINDOW <secs>, got `{other}`")),
             },
             "STATS" => Ok(Request::Stats {
                 instance: parse_num(tokens.next(), "instance name")?,
@@ -374,7 +394,7 @@ impl Request {
             }),
             "HEALTH" => match tokens.next() {
                 None => Ok(Request::Health),
-                Some(other) => Err(format!("unknown HEALTH argument `{other}`")),
+                Some(other) => Err(format!("expected end of HEALTH, got `{other}`")),
             },
             "TOP" => Ok(Request::Top {
                 n: match tokens.next() {
@@ -390,11 +410,35 @@ impl Request {
                     },
                 }),
                 other => Err(format!(
-                    "unknown TRACE argument `{}` (EXPORT [n])",
-                    other.unwrap_or("<none>")
+                    "expected TRACE EXPORT [n], got `{}`",
+                    other.unwrap_or("nothing")
                 )),
             },
             "DROP" => Ok(Request::Drop {
+                instance: parse_num(tokens.next(), "instance name")?,
+            }),
+            "SAVE" => Ok(Request::Save {
+                instance: parse_num(tokens.next(), "instance name")?,
+                path: tokens.next().map(String::from),
+            }),
+            "RESTORE" => Ok(Request::Restore {
+                instance: parse_num(tokens.next(), "instance name")?,
+                path: parse_num(tokens.next(), "snapshot path")?,
+            }),
+            "PERSIST" => Ok(Request::Persist {
+                instance: parse_num(tokens.next(), "instance name")?,
+                on: match tokens.next() {
+                    Some(token) if token.eq_ignore_ascii_case("on") => true,
+                    Some(token) if token.eq_ignore_ascii_case("off") => false,
+                    other => {
+                        return Err(format!(
+                            "expected on|off, got `{}`",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                },
+            }),
+            "WALSTAT" => Ok(Request::Walstat {
                 instance: parse_num(tokens.next(), "instance name")?,
             }),
             "PING" => Ok(Request::Ping),
@@ -811,6 +855,73 @@ mod tests {
                 entries: vec![],
             }
         );
+    }
+
+    #[test]
+    fn parses_persistence_commands() {
+        // One round trip per persistence verb: the wire line parses to
+        // the typed variant that renders the same semantics back.
+        assert_eq!(
+            Request::parse("SAVE g").unwrap(),
+            Request::Save {
+                instance: "g".into(),
+                path: None
+            }
+        );
+        assert_eq!(
+            Request::parse("SAVE g /tmp/g.snap").unwrap(),
+            Request::Save {
+                instance: "g".into(),
+                path: Some("/tmp/g.snap".into())
+            }
+        );
+        assert_eq!(
+            Request::parse("RESTORE h /tmp/g.snap").unwrap(),
+            Request::Restore {
+                instance: "h".into(),
+                path: "/tmp/g.snap".into()
+            }
+        );
+        assert_eq!(
+            Request::parse("PERSIST g on").unwrap(),
+            Request::Persist {
+                instance: "g".into(),
+                on: true
+            }
+        );
+        assert_eq!(
+            Request::parse("persist g OFF").unwrap(),
+            Request::Persist {
+                instance: "g".into(),
+                on: false
+            }
+        );
+        assert_eq!(
+            Request::parse("WALSTAT g").unwrap(),
+            Request::Walstat {
+                instance: "g".into()
+            }
+        );
+        assert!(Request::parse("RESTORE h").is_err());
+        assert!(Request::parse("PERSIST g maybe").is_err());
+        assert!(Request::parse("PERSIST g").is_err());
+        assert!(Request::parse("WALSTAT").is_err());
+    }
+
+    #[test]
+    fn eproto_messages_use_expected_got_phrasing() {
+        for (line, needle) in [
+            ("DIM g n ten", "expected dimension value, got `ten`"),
+            ("EXEC g", "expected query id, got nothing"),
+            (
+                "INSTANCE g columnar",
+                "expected backend dense|adaptive, got `columnar`",
+            ),
+            ("PERSIST g maybe", "expected on|off, got `maybe`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err, needle, "for `{line}`");
+        }
     }
 
     #[test]

@@ -350,6 +350,36 @@ fn dispatch(
                 .collect();
             write_lines_block(writer, "TRACE", &lines)
         }
+        Request::Save { instance, path } => {
+            match store.save(&instance, path.as_deref().map(std::path::Path::new)) {
+                Ok((bytes, path)) => writeln!(
+                    writer,
+                    "OK saved {instance} bytes={bytes} path={}",
+                    path.display()
+                ),
+                Err(e) => write_err(writer, &e),
+            }
+        }
+        Request::Restore { instance, path } => {
+            match store.restore(&instance, std::path::Path::new(&path)) {
+                Ok((dims, vars)) => {
+                    writeln!(writer, "OK restored {instance} dims={dims} vars={vars}")
+                }
+                Err(e) => write_err(writer, &e),
+            }
+        }
+        Request::Persist { instance, on } => match store.set_persist(&instance, on) {
+            Ok(on) => writeln!(
+                writer,
+                "OK persist {instance} {}",
+                if on { "on" } else { "off" }
+            ),
+            Err(e) => write_err(writer, &e),
+        },
+        Request::Walstat { instance } => match store.walstat(&instance) {
+            Ok(stat) => writeln!(writer, "OK walstat {instance} {}", stat.render()),
+            Err(e) => write_err(writer, &e),
+        },
         Request::Ping => writeln!(writer, "OK pong"),
         Request::Quit => unreachable!("handled by the session loop"),
     }

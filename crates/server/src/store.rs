@@ -67,17 +67,20 @@
 //! warm results either way.
 
 use crate::error::ServerError;
+use crate::persist::{self, Snapshot, Wal, WalRecord};
 use crate::protocol::{ExecStatsWire, GenKind, SemiringKind, WireResult};
 use matlang_core::{typecheck, Dim, Expr, FunctionRegistry, Instance, MatrixType, Schema};
 use matlang_engine::delta::{absorbs, join_is_idempotent, propagate, DeltaFallback, DeltaOverlay};
 use matlang_engine::{expr_fingerprint, Engine, Executor, InstanceStats, ObservedStats, Plan};
 use matlang_matrix::{
-    sparse_erdos_renyi, sparse_power_law, Matrix, MatrixRepr, MatrixStorage, SparseMatrix,
+    sparse_erdos_renyi, sparse_power_law, Matrix, MatrixCodec, MatrixRepr, MatrixStorage,
+    SparseMatrix,
 };
 use matlang_parser::parse;
 use matlang_semiring::{Boolean, MinPlus, Nat, Real, Semiring};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -192,6 +195,149 @@ pub fn set_mem_budget(budget: Option<u64>) {
         None => u64::MAX,
     };
     MEM_BUDGET_OVERRIDE.store(sentinel, Ordering::Relaxed);
+}
+
+/// Default WAL compaction threshold: once a persisted instance's log
+/// exceeds this many bytes, the next applied `UPDATE` folds it into a
+/// fresh snapshot (see [`StoreConfigBuilder::wal_compact`] and the
+/// `MATLANG_WAL_COMPACT` environment variable).
+pub const DEFAULT_WAL_COMPACT: u64 = 1 << 20;
+
+/// One-time latch for the `MATLANG_WAL_COMPACT` environment variable
+/// (same `k`/`m`/`g` binary-suffix grammar as `MATLANG_MEM_BUDGET`).
+static WAL_COMPACT_ENV: OnceLock<Option<u64>> = OnceLock::new();
+
+fn wal_compact_env() -> Option<u64> {
+    *WAL_COMPACT_ENV.get_or_init(|| {
+        std::env::var("MATLANG_WAL_COMPACT")
+            .ok()
+            .and_then(|v| parse_mem_budget(&v))
+    })
+}
+
+/// One-time latch for the `MATLANG_DATA_DIR` environment variable — the
+/// default data directory a [`StoreConfig`] starts from.
+static DATA_DIR_ENV: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+fn data_dir_env() -> Option<PathBuf> {
+    DATA_DIR_ENV
+        .get_or_init(|| {
+            std::env::var_os("MATLANG_DATA_DIR")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })
+        .clone()
+}
+
+/// Construction-time configuration for a [`Store`], built with
+/// [`StoreConfig::builder`] and consumed by [`Store::with_config`] /
+/// [`Store::open`].  Collapses the knobs that used to be scattered across
+/// `Store::with_plan_cache_capacity`, [`set_mem_budget`] and
+/// [`set_replan_drift`] call sites (mirroring the `Engine::builder`
+/// precedent), and adds the persistence pair: the data directory and the
+/// WAL compaction threshold.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    plan_cache_capacity: usize,
+    data_dir: Option<PathBuf>,
+    wal_compact: u64,
+    mem_budget: Option<Option<u64>>,
+    replan_drift: Option<Option<f64>>,
+}
+
+impl Default for StoreConfig {
+    /// Environment-resolved defaults: `MATLANG_DATA_DIR` (no persistence
+    /// when unset), `MATLANG_WAL_COMPACT` (else [`DEFAULT_WAL_COMPACT`]),
+    /// plan cache at [`PLAN_CACHE_CAPACITY`], budget/drift untouched.
+    fn default() -> Self {
+        StoreConfig::builder().build()
+    }
+}
+
+impl StoreConfig {
+    /// Starts a builder from the environment-resolved defaults.
+    pub fn builder() -> StoreConfigBuilder {
+        StoreConfigBuilder {
+            config: StoreConfig {
+                plan_cache_capacity: PLAN_CACHE_CAPACITY,
+                data_dir: data_dir_env(),
+                wal_compact: wal_compact_env().unwrap_or(DEFAULT_WAL_COMPACT),
+                mem_budget: None,
+                replan_drift: None,
+            },
+        }
+    }
+
+    /// The configured data directory, if persistence is available.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
+    }
+
+    /// The WAL compaction threshold in bytes.
+    pub fn wal_compact(&self) -> u64 {
+        self.wal_compact
+    }
+
+    /// The plan-cache bound.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.plan_cache_capacity
+    }
+}
+
+/// Builder for [`StoreConfig`]; see [`StoreConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct StoreConfigBuilder {
+    config: StoreConfig,
+}
+
+impl StoreConfigBuilder {
+    /// Bounds the process-wide plan cache (default
+    /// [`PLAN_CACHE_CAPACITY`]).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Enables persistence under `dir`: [`Store::with_config`] recovers
+    /// every snapshot found there and `PERSIST <inst> on` becomes legal.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables persistence even when `MATLANG_DATA_DIR` is set.
+    pub fn no_data_dir(mut self) -> Self {
+        self.config.data_dir = None;
+        self
+    }
+
+    /// Sets the WAL size (bytes) past which an applied `UPDATE` triggers
+    /// compaction into a fresh snapshot (default `MATLANG_WAL_COMPACT`,
+    /// else [`DEFAULT_WAL_COMPACT`]).
+    pub fn wal_compact(mut self, bytes: u64) -> Self {
+        self.config.wal_compact = bytes.max(1);
+        self
+    }
+
+    /// Applies [`set_mem_budget`] when the store is built (`Some(0)`
+    /// forces unlimited; the setting is process-wide, recorded here so
+    /// one builder call configures the whole store).
+    pub fn mem_budget(mut self, budget: Option<u64>) -> Self {
+        self.config.mem_budget = Some(budget);
+        self
+    }
+
+    /// Applies [`set_replan_drift`] when the store is built (process-wide,
+    /// same caveat as [`Self::mem_budget`]).
+    pub fn replan_drift(mut self, ratio: Option<f64>) -> Self {
+        self.config.replan_drift = Some(ratio);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> StoreConfig {
+        self.config
+    }
 }
 
 /// One prepared statement: the query text, its parsed form and its
@@ -352,6 +498,130 @@ fn unpublish_account(name: &str, account: &mut ResourceAccount) {
     account.published = PublishedAccount::default();
 }
 
+/// Per-instance durability state: the open WAL plus the gauge bookkeeping
+/// needed to retract this instance's `wal_bytes` contribution exactly.
+/// Present only while the instance is persisted (`PERSIST <inst> on`, or
+/// recovered from disk by [`Store::open`]).
+pub(crate) struct Persistence {
+    /// The open, fsync-per-append write-ahead log.
+    wal: Wal,
+    /// Size of the newest snapshot written for this instance, in bytes
+    /// (0 until the first snapshot of this process's session).
+    snapshot_bytes: u64,
+    /// What the aggregate `wal_bytes` gauge currently carries for this
+    /// instance, so publishes adjust by a delta and a drop retracts
+    /// exactly what was added.
+    published_wal_bytes: i64,
+}
+
+/// Refreshes this instance's share of the aggregate `wal_bytes` gauge.
+/// Gated like [`publish_account`]: skipping while observability is off
+/// keeps `published_wal_bytes` consistent with what the registry absorbed.
+fn publish_wal_bytes(p: &mut Persistence) {
+    if !matlang_obs::enabled() {
+        return;
+    }
+    let now = p.wal.bytes as i64;
+    matlang_obs::gauge!("wal_bytes").add(now - p.published_wal_bytes);
+    p.published_wal_bytes = now;
+}
+
+/// Retires this instance's `wal_bytes` contribution (`DROP`, `PERSIST
+/// off`, or a WAL write failure degrading the instance to non-persisted).
+fn retract_wal_bytes(p: &mut Persistence) {
+    matlang_obs::gauge!("wal_bytes").add(-p.published_wal_bytes);
+    p.published_wal_bytes = 0;
+}
+
+/// Serializes an instance's durable content — dims and matrices, in the
+/// instance's deterministic name order — into a [`Snapshot`].  Runtime
+/// state (memo cache, overlays, plans, observed statistics) is deliberately
+/// absent: it rebuilds lazily after a restore.
+fn encode_snapshot<K: ServerSemiring, M: MatrixStorage<Elem = K> + MatrixCodec>(
+    state: &BackendState<K, M>,
+    backend: &'static str,
+    covered_seq: u64,
+) -> Snapshot {
+    let dims = state
+        .instance
+        .dims()
+        .map(|(sym, value)| (sym.clone(), value as u64))
+        .collect();
+    let vars = state
+        .instance
+        .matrices()
+        .map(|(name, matrix)| {
+            let mut payload = Vec::new();
+            matrix.encode_matrix(&mut payload);
+            (name.clone(), payload)
+        })
+        .collect();
+    Snapshot {
+        semiring: K::NAME.to_string(),
+        backend: backend.to_string(),
+        covered_seq,
+        dims,
+        vars,
+    }
+}
+
+/// Rebuilds an instance's dims and matrices from a decoded [`Snapshot`].
+/// The memo cache stays empty and no plan exists yet — exactly the state
+/// of a freshly created instance that was `LOAD`ed.
+fn populate_from_snapshot<K: ServerSemiring, M: MatrixStorage<Elem = K> + MatrixCodec>(
+    state: &mut BackendState<K, M>,
+    snap: &Snapshot,
+) -> Result<(), ServerError> {
+    for (sym, value) in &snap.dims {
+        let value = usize::try_from(*value)
+            .map_err(|_| ServerError::storage(format!("dim `{sym}` overflows usize")))?;
+        state.instance.set_dim(sym.clone(), value);
+    }
+    for (var, payload) in &snap.vars {
+        let mut buf = payload.as_slice();
+        let matrix = M::decode_matrix(&mut buf)
+            .map_err(|e| ServerError::storage(format!("variable `{var}`: {e}")))?;
+        if !buf.is_empty() {
+            return Err(ServerError::storage(format!(
+                "variable `{var}`: {} trailing bytes after payload",
+                buf.len()
+            )));
+        }
+        state.instance.set_matrix(var.clone(), matrix);
+    }
+    Ok(())
+}
+
+/// Re-applies the WAL suffix onto a snapshot-restored instance: every
+/// record with `seq > covered_seq`, entry by entry through the same
+/// [`MatrixStorage::set_entry`] the original `UPDATE` used, so the result
+/// is bit-identical to the pre-crash state.  Returns the replayed count.
+fn replay_wal_records<K: ServerSemiring, M: MatrixStorage<Elem = K>>(
+    state: &mut BackendState<K, M>,
+    records: &[WalRecord],
+    covered_seq: u64,
+) -> Result<u64, ServerError> {
+    let mut replayed = 0u64;
+    for record in records {
+        if record.seq <= covered_seq {
+            continue;
+        }
+        let matrix = state.instance.matrix_mut(&record.var).ok_or_else(|| {
+            ServerError::storage(format!("WAL names unknown variable `{}`", record.var))
+        })?;
+        for &(i, j, v) in &record.entries {
+            let (Ok(i), Ok(j)) = (usize::try_from(i), usize::try_from(j)) else {
+                return Err(ServerError::storage("WAL entry index overflows usize"));
+            };
+            matrix
+                .set_entry(i, j, K::from_f64(v))
+                .map_err(|e| ServerError::storage(format!("WAL replay: {e}")))?;
+        }
+        replayed += 1;
+    }
+    Ok(replayed)
+}
+
 /// Per-backend instance state: the MATLANG instance plus the prepared-query
 /// plan, its persistent memo cache and the delta-maintenance bookkeeping.
 pub struct BackendState<K: ServerSemiring, M: MatrixStorage<Elem = K>> {
@@ -388,6 +658,9 @@ pub struct BackendState<K: ServerSemiring, M: MatrixStorage<Elem = K>> {
     /// Byte-level resource account (data, memo cache, overlays) plus
     /// execution/activity counters, refreshed at every mutation point.
     pub account: ResourceAccount,
+    /// Durability state while the instance is persisted (open WAL + gauge
+    /// bookkeeping); `None` for the in-memory-only default.
+    pub(crate) persist: Option<Persistence>,
 }
 
 impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, M> {
@@ -406,6 +679,7 @@ impl<K: ServerSemiring, M: MatrixStorage<Elem = K>> Default for BackendState<K, 
             stats_generation: 0,
             replans: 0,
             account: ResourceAccount::default(),
+            persist: None,
         }
     }
 }
@@ -591,6 +865,40 @@ pub struct InstanceInfo {
     pub delta_fallbacks: u64,
 }
 
+/// One instance's durability figures — the payload behind the `WALSTAT`
+/// verb and the typed reply of [`crate::client::Client::walstat`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalStat {
+    /// Whether the instance is currently persisted.
+    pub persisted: bool,
+    /// Newest WAL sequence number ever issued for the instance (survives
+    /// compaction; 0 when nothing was ever logged).
+    pub seq: u64,
+    /// Records currently in the log (drops to 0 after compaction).
+    pub records: u64,
+    /// Bytes currently in the log.
+    pub wal_bytes: u64,
+    /// Size of the newest snapshot written this session, in bytes.
+    pub snapshot_bytes: u64,
+    /// The WAL size past which the next applied `UPDATE` compacts.
+    pub compact_threshold: u64,
+}
+
+impl WalStat {
+    /// The one-line wire rendering (`persist=on|off`, then the figures).
+    pub fn render(&self) -> String {
+        format!(
+            "persist={} seq={} records={} wal_bytes={} snapshot_bytes={} compact={}",
+            if self.persisted { "on" } else { "off" },
+            self.seq,
+            self.records,
+            self.wal_bytes,
+            self.snapshot_bytes,
+            self.compact_threshold,
+        )
+    }
+}
+
 /// How many `(queries, schema)` plan variants the process-wide plan cache
 /// retains before evicting the least-recently-used one.  Plans are small
 /// next to instance data, but an unbounded cache would grow with every
@@ -710,6 +1018,8 @@ pub struct Store {
     instances: RwLock<HashMap<String, Arc<Mutex<ServerInstance>>>>,
     plan_cache: Mutex<LruPlanCache>,
     engine: Engine,
+    data_dir: Option<PathBuf>,
+    wal_compact: u64,
 }
 
 impl Default for Store {
@@ -719,25 +1029,383 @@ impl Default for Store {
 }
 
 impl Store {
-    /// An empty store with default engine options and the plan cache
-    /// bounded at [`PLAN_CACHE_CAPACITY`].
+    /// An empty store from the environment-resolved [`StoreConfig`]
+    /// defaults (persistence on only when `MATLANG_DATA_DIR` is set, in
+    /// which case any snapshots found there are recovered).
     pub fn new() -> Store {
-        Store::with_plan_cache_capacity(PLAN_CACHE_CAPACITY)
+        Store::with_config(StoreConfig::default())
     }
 
-    /// A store with an explicit plan-cache bound (used by the eviction
-    /// tests; servers want [`Store::new`]).
-    pub fn with_plan_cache_capacity(capacity: usize) -> Store {
-        Store {
-            instances: RwLock::new(HashMap::new()),
-            plan_cache: Mutex::new(LruPlanCache::new(capacity)),
-            engine: Engine::new(),
+    /// A store persisting under `dir`: every snapshot found there is
+    /// recovered (newest valid snapshot + WAL suffix replay) and stays
+    /// persisted, and `PERSIST <inst> on` is legal for new instances.
+    pub fn open(dir: impl Into<PathBuf>) -> Store {
+        Store::with_config(StoreConfig::builder().data_dir(dir).build())
+    }
+
+    /// A store from an explicit [`StoreConfig`].  Applies the process-wide
+    /// budget/drift settings the builder recorded, then — when a data
+    /// directory is configured — creates it and recovers every instance
+    /// with a snapshot there.  A snapshot or WAL that fails integrity
+    /// checks skips that one instance (with a `persist:recover-failed`
+    /// trace event); recovery never panics.
+    pub fn with_config(config: StoreConfig) -> Store {
+        if let Some(budget) = config.mem_budget {
+            set_mem_budget(budget);
         }
+        if let Some(ratio) = config.replan_drift {
+            set_replan_drift(ratio);
+        }
+        let store = Store {
+            instances: RwLock::new(HashMap::new()),
+            plan_cache: Mutex::new(LruPlanCache::new(config.plan_cache_capacity)),
+            engine: Engine::new(),
+            data_dir: config.data_dir,
+            wal_compact: config.wal_compact.max(1),
+        };
+        store.recover_all();
+        store
+    }
+
+    /// A store with an explicit plan-cache bound and no persistence.
+    #[deprecated(
+        note = "use StoreConfig::builder().plan_cache_capacity(..) with Store::with_config"
+    )]
+    pub fn with_plan_cache_capacity(capacity: usize) -> Store {
+        Store::with_config(
+            StoreConfig::builder()
+                .plan_cache_capacity(capacity)
+                .no_data_dir()
+                .build(),
+        )
+    }
+
+    /// The data directory this store persists under, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
+    }
+
+    /// Boot-time recovery: one attempt per snapshot found in the data
+    /// directory.  Failures are contained per instance.
+    fn recover_all(&self) {
+        let Some(dir) = self.data_dir.clone() else {
+            return;
+        };
+        if std::fs::create_dir_all(&dir).is_err() {
+            matlang_obs::trace::event("persist:recover-failed");
+            return;
+        }
+        for name in persist::scan_snapshots(&dir) {
+            match self.recover_one(&dir, &name) {
+                Ok(()) => {
+                    matlang_obs::counter!("persist_recovered_total").inc();
+                    matlang_obs::trace::event("persist:recover");
+                }
+                Err(_) => {
+                    matlang_obs::trace::event("persist:recover-failed");
+                }
+            }
+        }
+    }
+
+    /// Recovers one instance: decode its snapshot, rebuild the typed
+    /// [`ServerInstance`], replay the WAL suffix (`seq > covered_seq`),
+    /// and leave the instance persisted with its WAL re-opened.  A stale
+    /// `.snap.tmp` from a crash mid-compaction is ignored — the rename in
+    /// [`Snapshot::write_atomic`] guarantees `<name>.snap` is either the
+    /// old or the new complete snapshot, never a torn one.
+    fn recover_one(&self, dir: &Path, name: &str) -> Result<(), ServerError> {
+        let snap_path = persist::snapshot_path(dir, name);
+        let snap = Snapshot::read(&snap_path).map_err(|e| ServerError::storage(e.to_string()))?;
+        let semiring = SemiringKind::parse(&snap.semiring).ok_or_else(|| {
+            ServerError::storage(format!("unknown semiring tag `{}`", snap.semiring))
+        })?;
+        let adaptive = match snap.backend.as_str() {
+            "adaptive" => true,
+            "dense" => false,
+            other => {
+                return Err(ServerError::storage(format!(
+                    "unknown backend tag `{other}`"
+                )))
+            }
+        };
+        let snapshot_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+        let (wal, records) = Wal::open(&persist::wal_path(dir, name))
+            .map_err(|e| ServerError::storage(e.to_string()))?;
+        let mut instance = ServerInstance::create(adaptive, semiring);
+        with_state!(&mut instance, |state| {
+            populate_from_snapshot(state, &snap)?;
+            replay_wal_records(state, &records, snap.covered_seq)?;
+            let mut p = Persistence {
+                wal,
+                snapshot_bytes,
+                published_wal_bytes: 0,
+            };
+            // After a compaction the log is empty, so the file's own
+            // last_seq restarts at 0; the snapshot's covered sequence is
+            // the instance's true high-water mark.
+            p.wal.last_seq = p.wal.last_seq.max(snap.covered_seq);
+            publish_wal_bytes(&mut p);
+            state.persist = Some(p);
+            state.account_touch(name);
+            Ok::<(), ServerError>(())
+        })?;
+        self.instances
+            .write()
+            .expect("store poisoned")
+            .insert(name.to_string(), Arc::new(Mutex::new(instance)));
+        Ok(())
     }
 
     /// Number of plans currently retained by the process-wide plan cache.
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Writes a fresh snapshot covering everything logged so far and
+    /// empties the WAL — compaction, and the durability hook for
+    /// non-`UPDATE` mutations (rebinds, dim changes).  A no-op unless the
+    /// instance is persisted.
+    fn checkpoint_in<K: ServerSemiring, M: MatrixStorage<Elem = K> + MatrixCodec>(
+        &self,
+        state: &mut BackendState<K, M>,
+        name: &str,
+        backend: &'static str,
+    ) -> Result<(), ServerError> {
+        let covered_seq = match (&state.persist, self.data_dir.as_deref()) {
+            (Some(p), Some(_)) => p.wal.last_seq,
+            _ => return Ok(()),
+        };
+        let dir = self.data_dir.as_deref().expect("matched above");
+        let snap = encode_snapshot(state, backend, covered_seq);
+        let bytes = snap
+            .write_atomic(&persist::snapshot_path(dir, name))
+            .map_err(|e| ServerError::storage(e.to_string()))?;
+        let p = state.persist.as_mut().expect("matched above");
+        p.wal
+            .truncate()
+            .map_err(|e| ServerError::storage(e.to_string()))?;
+        p.snapshot_bytes = bytes;
+        publish_wal_bytes(p);
+        matlang_obs::counter!("persist_snapshot_total").inc();
+        matlang_obs::trace::event("persist:snapshot");
+        Ok(())
+    }
+
+    /// Logs one applied `UPDATE` prefix to the instance's WAL (fsync'd),
+    /// then compacts when the log has outgrown the configured threshold.
+    /// A WAL write failure degrades the instance to non-persisted — the
+    /// on-disk artifacts stay a *consistent older* state rather than a
+    /// silently diverging one — and leaves a `persist:error` trace event.
+    fn wal_append_in<K: ServerSemiring, M: MatrixStorage<Elem = K> + MatrixCodec>(
+        &self,
+        state: &mut BackendState<K, M>,
+        name: &str,
+        backend: &'static str,
+        var: &str,
+        applied: &[(usize, usize, f64)],
+    ) {
+        let Some(p) = state.persist.as_mut() else {
+            return;
+        };
+        let record = WalRecord {
+            seq: p.wal.last_seq + 1,
+            var: var.to_string(),
+            entries: applied
+                .iter()
+                .map(|&(i, j, v)| (i as u64, j as u64, v))
+                .collect(),
+        };
+        match p.wal.append(&record) {
+            Ok(_) => {
+                matlang_obs::counter!("wal_records_total").inc();
+                matlang_obs::trace::event("persist:append");
+                publish_wal_bytes(p);
+            }
+            Err(_) => {
+                retract_wal_bytes(p);
+                state.persist = None;
+                matlang_obs::trace::event("persist:error");
+                return;
+            }
+        }
+        if state.persist.as_ref().expect("append path").wal.bytes > self.wal_compact {
+            matlang_obs::trace::event("persist:compact");
+            // Best-effort: on failure the WAL still holds every record,
+            // so durability is unharmed and the next append retries.
+            let _ = self.checkpoint_in(state, name, backend);
+        }
+    }
+
+    /// Turns durability on or off for an instance — the `PERSIST` verb.
+    /// Enabling writes an initial snapshot and opens a fresh WAL (requires
+    /// a configured data directory and a filesystem-safe name; idempotent
+    /// when already on).  Disabling stops logging and removes the on-disk
+    /// artifacts, retracting the instance's `wal_bytes` gauge share.
+    /// Returns the resulting persisted flag.
+    pub fn set_persist(&self, name: &str, on: bool) -> Result<bool, ServerError> {
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
+        with_state!(&mut *guard, |state| {
+            if on {
+                if state.persist.is_some() {
+                    return Ok(true);
+                }
+                let dir = self.data_dir.as_deref().ok_or_else(|| {
+                    ServerError::storage(
+                        "no data directory configured (set MATLANG_DATA_DIR or StoreConfig data_dir)",
+                    )
+                })?;
+                if !persist::filesystem_safe(name) {
+                    return Err(ServerError::storage(format!(
+                        "instance name `{name}` is not filesystem-safe"
+                    )));
+                }
+                let (wal, _stale) = Wal::open(&persist::wal_path(dir, name))
+                    .map_err(|e| ServerError::storage(e.to_string()))?;
+                let mut p = Persistence {
+                    wal,
+                    snapshot_bytes: 0,
+                    published_wal_bytes: 0,
+                };
+                // Whatever the log held belonged to an earlier, dropped
+                // persistence session: this one starts at sequence 0 with
+                // the initial snapshot as its base.
+                p.wal
+                    .truncate()
+                    .map_err(|e| ServerError::storage(e.to_string()))?;
+                p.wal.last_seq = 0;
+                state.persist = Some(p);
+                if let Err(e) = self.checkpoint_in(state, name, backend) {
+                    state.persist = None;
+                    return Err(e);
+                }
+                Ok(true)
+            } else {
+                if let Some(p) = state.persist.as_mut() {
+                    retract_wal_bytes(p);
+                }
+                state.persist = None;
+                if let Some(dir) = self.data_dir.as_deref() {
+                    if persist::filesystem_safe(name) {
+                        persist::remove_instance_files(dir, name)
+                            .map_err(|e| ServerError::storage(e.to_string()))?;
+                    }
+                }
+                Ok(false)
+            }
+        })
+    }
+
+    /// Writes a snapshot of an instance now — the `SAVE` verb.  With an
+    /// explicit `path` the snapshot is exported there and the instance's
+    /// live WAL (if any) is untouched; without one the snapshot goes to
+    /// the data directory, and a persisted instance compacts its WAL into
+    /// it.  Returns the byte size and the path written.
+    pub fn save(&self, name: &str, path: Option<&Path>) -> Result<(u64, PathBuf), ServerError> {
+        let instance = self.instance(name)?;
+        let mut guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
+        with_state!(&mut *guard, |state| {
+            let covered_seq = state.persist.as_ref().map_or(0, |p| p.wal.last_seq);
+            match path {
+                Some(path) => {
+                    let snap = encode_snapshot(state, backend, covered_seq);
+                    let bytes = snap
+                        .write_atomic(path)
+                        .map_err(|e| ServerError::storage(e.to_string()))?;
+                    matlang_obs::counter!("persist_snapshot_total").inc();
+                    matlang_obs::trace::event("persist:snapshot");
+                    Ok((bytes, path.to_path_buf()))
+                }
+                None => {
+                    let dir = self.data_dir.as_deref().ok_or_else(|| {
+                        ServerError::storage(
+                            "SAVE without a path needs a data directory (set MATLANG_DATA_DIR or StoreConfig data_dir)",
+                        )
+                    })?;
+                    if !persist::filesystem_safe(name) {
+                        return Err(ServerError::storage(format!(
+                            "instance name `{name}` is not filesystem-safe"
+                        )));
+                    }
+                    let target = persist::snapshot_path(dir, name);
+                    if state.persist.is_some() {
+                        self.checkpoint_in(state, name, backend)?;
+                        let bytes = state.persist.as_ref().expect("persisted").snapshot_bytes;
+                        Ok((bytes, target))
+                    } else {
+                        let snap = encode_snapshot(state, backend, covered_seq);
+                        let bytes = snap
+                            .write_atomic(&target)
+                            .map_err(|e| ServerError::storage(e.to_string()))?;
+                        matlang_obs::counter!("persist_snapshot_total").inc();
+                        matlang_obs::trace::event("persist:snapshot");
+                        Ok((bytes, target))
+                    }
+                }
+            }
+        })
+    }
+
+    /// Creates a new instance from a snapshot file — the `RESTORE` verb.
+    /// The name must be free; the instance is *not* automatically
+    /// persisted (use `PERSIST <inst> on`).  Returns the restored dim and
+    /// variable counts.
+    pub fn restore(&self, name: &str, path: &Path) -> Result<(usize, usize), ServerError> {
+        let snap = Snapshot::read(path).map_err(|e| ServerError::storage(e.to_string()))?;
+        let semiring = SemiringKind::parse(&snap.semiring).ok_or_else(|| {
+            ServerError::storage(format!("unknown semiring tag `{}`", snap.semiring))
+        })?;
+        let adaptive = match snap.backend.as_str() {
+            "adaptive" => true,
+            "dense" => false,
+            other => {
+                return Err(ServerError::storage(format!(
+                    "unknown backend tag `{other}`"
+                )))
+            }
+        };
+        let mut instance = ServerInstance::create(adaptive, semiring);
+        with_state!(&mut instance, |state| {
+            populate_from_snapshot(state, &snap)?;
+            state.account_touch(name);
+            Ok::<(), ServerError>(())
+        })?;
+        let mut instances = self.instances.write().expect("store poisoned");
+        if instances.contains_key(name) {
+            return Err(ServerError::InstanceExists {
+                name: name.to_string(),
+            });
+        }
+        instances.insert(name.to_string(), Arc::new(Mutex::new(instance)));
+        matlang_obs::trace::event("persist:restore");
+        Ok((snap.dims.len(), snap.vars.len()))
+    }
+
+    /// An instance's durability figures — the `WALSTAT` verb.
+    pub fn walstat(&self, name: &str) -> Result<WalStat, ServerError> {
+        let instance = self.instance(name)?;
+        let guard = instance.lock().expect("instance poisoned");
+        Ok(with_state!(&*guard, |state| match state.persist.as_ref() {
+            Some(p) => WalStat {
+                persisted: true,
+                seq: p.wal.last_seq,
+                records: p.wal.records,
+                wal_bytes: p.wal.bytes,
+                snapshot_bytes: p.snapshot_bytes,
+                compact_threshold: self.wal_compact,
+            },
+            None => WalStat {
+                persisted: false,
+                seq: 0,
+                records: 0,
+                wal_bytes: 0,
+                snapshot_bytes: 0,
+                compact_threshold: self.wal_compact,
+            },
+        }))
     }
 
     /// Creates a named instance over ℝ.  Fails if the name is taken.
@@ -767,7 +1435,9 @@ impl Store {
     }
 
     /// Removes a named instance, with its prepared statements and cache,
-    /// retiring its contribution to the resource-accounting gauges.
+    /// retiring its contribution to the resource-accounting gauges.  A
+    /// persisted instance also loses its on-disk snapshot/WAL files and
+    /// its `wal_bytes` gauge share — `DROP` must leave no orphaned state.
     pub fn drop_instance(&self, name: &str) -> Result<(), ServerError> {
         let removed = self
             .instances
@@ -778,10 +1448,19 @@ impl Store {
                 name: name.to_string(),
             })?;
         let mut guard = removed.lock().expect("instance poisoned");
-        with_state!(&mut *guard, |state| unpublish_account(
-            name,
-            &mut state.account
-        ));
+        with_state!(&mut *guard, |state| {
+            if let Some(p) = state.persist.as_mut() {
+                retract_wal_bytes(p);
+            }
+            // Close the WAL handle before unlinking its file.
+            state.persist = None;
+            unpublish_account(name, &mut state.account)
+        });
+        if let Some(dir) = self.data_dir.as_deref() {
+            if persist::filesystem_safe(name) {
+                let _ = persist::remove_instance_files(dir, name);
+            }
+        }
         Ok(())
     }
 
@@ -853,6 +1532,7 @@ impl Store {
     pub fn set_dim(&self, name: &str, sym: &str, value: usize) -> Result<(), ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
         with_state!(&mut *guard, |state| {
             state.instance.set_dim(sym, value);
             // Dimension symbols are not matrix variables, so they are
@@ -860,6 +1540,10 @@ impl Store {
             // conservatively clears the whole memo cache (loop iteration
             // counts and canonical-vector sizes may all have changed).
             state.clear_cache();
+            // A dim assignment is not an `UPDATE`, so it cannot ride the
+            // WAL; a persisted instance checkpoints into a fresh snapshot
+            // instead, keeping recovery exact.
+            self.checkpoint_in(state, name, backend)?;
             state.account_touch(name);
             Ok(())
         })
@@ -928,8 +1612,14 @@ impl Store {
     ) -> Result<usize, ServerError> {
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
         let stored = with_state!(&mut *guard, |state| {
             let stored = assign_in(state, var, &sparse);
+            if stored.is_ok() {
+                // A wholesale rebind cannot be expressed as WAL entries;
+                // a persisted instance checkpoints into a fresh snapshot.
+                self.checkpoint_in(state, name, backend)?;
+            }
             state.account_touch(name);
             stored
         });
@@ -1257,8 +1947,16 @@ impl Store {
         let timer = matlang_obs::enabled().then(std::time::Instant::now);
         let instance = self.instance(name)?;
         let mut guard = instance.lock().expect("instance poisoned");
+        let backend = guard.backend_name();
         let outcome = with_state!(&mut *guard, |state| {
-            let outcome = self.update_in(state, var, entries);
+            let mut applied = 0usize;
+            let outcome = self.update_in(state, var, entries, &mut applied);
+            // Log exactly the applied prefix — on a mid-batch failure the
+            // entries before the failing one *did* mutate the matrix, and
+            // recovery must replay them.
+            if applied > 0 {
+                self.wal_append_in(state, name, backend, var, &entries[..applied]);
+            }
             state.account_touch(name);
             outcome
         });
@@ -1275,6 +1973,7 @@ impl Store {
         state: &mut BackendState<K, M>,
         var: &str,
         entries: &[(usize, usize, f64)],
+        applied_out: &mut usize,
     ) -> Result<UpdateOutcome, ServerError> {
         let has_plan = state.plan.is_some();
         let matrix =
@@ -1337,6 +2036,7 @@ impl Store {
                 break;
             }
             applied += 1;
+            *applied_out = applied;
         }
         if failure.is_some() {
             // The prefix before the failing entry *did* mutate the
@@ -2164,7 +2864,7 @@ mod tests {
     fn plan_cache_evicts_in_lru_order() {
         // Capacity 2, three distinct plan keys; a `get` must refresh
         // recency so the *untouched* entry is the one evicted.
-        let store = Store::with_plan_cache_capacity(2);
+        let store = Store::with_config(StoreConfig::builder().plan_cache_capacity(2).build());
         let seed = |name: &str| {
             store.create_instance(name, true).unwrap();
             store.set_dim(name, "n", 4).unwrap();

@@ -8,7 +8,7 @@
 //! is process-wide, and a sibling test asserting `status=ok` in the same
 //! binary would race it.
 
-use matlang_server::{set_mem_budget, Store};
+use matlang_server::{set_mem_budget, Store, StoreConfig};
 
 fn top_token(lines: &[String], instance: &str, key: &str) -> u64 {
     let line = lines
@@ -35,7 +35,7 @@ fn over_budget_store_sheds_plans_and_idle_memo_caches() {
 
     // Capacity 2 so the "evict down to the cold half" plan-cache policy
     // is observable with two distinct plans.
-    let store = Store::with_plan_cache_capacity(2);
+    let store = Store::with_config(StoreConfig::builder().plan_cache_capacity(2).build());
     for name in ["a", "b"] {
         store.create_instance(name, true).unwrap();
         store.set_dim(name, "n", 16).unwrap();

@@ -1,0 +1,86 @@
+//! Regression: `DROP` on a persisted instance must remove its snapshot
+//! and WAL files and retract its `wal_bytes` gauge contribution — no
+//! orphaned on-disk state, no stuck metrics.
+//!
+//! This file holds exactly this suite: it asserts on the process-wide
+//! `wal_bytes` aggregate, which must not race sibling tests publishing
+//! into the same registry.
+
+use matlang_server::{Client, Server, ServerConfig, StoreConfig};
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("matlang-drop-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn drop_removes_files_and_retracts_the_wal_bytes_gauge() {
+    let dir = scratch("gauge");
+    let handle = Server::spawn(ServerConfig {
+        workers: 1,
+        store: StoreConfig::builder().data_dir(&dir).build(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let baseline = client
+        .metrics_map()
+        .unwrap()
+        .get("wal_bytes")
+        .copied()
+        .unwrap_or(0.0);
+
+    client.create_instance("g", true).unwrap();
+    client.set_dim("g", "n", 4).unwrap();
+    client
+        .load("g", "G", 4, 4, &[(0, 1, 1.0), (1, 2, 2.0)])
+        .unwrap();
+    client.set_persist("g", true).unwrap();
+    client.update("g", "G", &[(2, 3, 3.0)]).unwrap();
+    client.update("g", "G", &[(3, 0, 4.0)]).unwrap();
+
+    let stat = client.walstat("g").unwrap();
+    assert!(stat.wal_bytes > 0, "updates must grow the log");
+    let during = *client.metrics_map().unwrap().get("wal_bytes").unwrap();
+    assert_eq!(
+        during - baseline,
+        stat.wal_bytes as f64,
+        "the gauge must carry exactly this instance's log size"
+    );
+    let snap = dir.join("g.snap");
+    let wal = dir.join("g.wal");
+    assert!(snap.exists() && wal.exists(), "persisted files must exist");
+
+    client.drop_instance("g").unwrap();
+
+    assert!(!snap.exists(), "DROP must remove the snapshot");
+    assert!(!wal.exists(), "DROP must remove the WAL");
+    let after = *client.metrics_map().unwrap().get("wal_bytes").unwrap();
+    assert_eq!(after, baseline, "DROP must retract the gauge exactly");
+
+    // PERSIST off is the same contract without dropping the data.
+    client.create_instance("h", false).unwrap();
+    client.set_dim("h", "n", 3).unwrap();
+    client.set_persist("h", true).unwrap();
+    client.update("h", "G", &[(0, 0, 1.0)]).unwrap_err(); // no such var
+    client.load("h", "H", 3, 3, &[(0, 0, 1.0)]).unwrap();
+    client.update("h", "H", &[(1, 1, 2.0)]).unwrap();
+    assert!(dir.join("h.snap").exists());
+    client.set_persist("h", false).unwrap();
+    assert!(!dir.join("h.snap").exists() && !dir.join("h.wal").exists());
+    assert_eq!(
+        *client.metrics_map().unwrap().get("wal_bytes").unwrap(),
+        baseline,
+        "PERSIST off must retract the gauge exactly"
+    );
+    let r = client.query("h", "(H * H)").unwrap();
+    assert_eq!(r.rows, 3, "the in-memory instance survives PERSIST off");
+
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,98 @@
+//! Release-mode guard: persistence must be free on the warm read path.
+//!
+//! Durability work happens on writes (`UPDATE` appends, rebinds
+//! checkpoint); a warm prepared `EXEC` — root cache hit, no recompute —
+//! must not pay for it at all.  This guard runs the same warm `EXEC`
+//! loop against a persisted and an identical non-persisted instance in
+//! interleaved rounds and pins the overhead at ≤5 % in release mode,
+//! mirroring the obs-overhead guard's best-of-rounds ratio methodology.
+
+use matlang_server::{Client, Server, ServerConfig, StoreConfig};
+use std::fs;
+use std::time::{Duration, Instant};
+
+#[test]
+fn timing_guard_persistence_overhead_on_warm_exec_is_within_five_percent() {
+    let (pairs, iters, margin) = if cfg!(debug_assertions) {
+        (6, 150, 1.5)
+    } else {
+        (12, 1_000, 1.05)
+    };
+
+    let dir = std::env::temp_dir().join(format!("matlang-persist-guard-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    let handle = Server::spawn(ServerConfig {
+        workers: 1,
+        store: StoreConfig::builder().data_dir(&dir).build(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Two identical instances; only one is durable.
+    let mut qids = [0usize; 2];
+    for (slot, name) in ["on", "off"].iter().enumerate() {
+        client.create_instance(name, true).unwrap();
+        client.set_dim(name, "n", 64).unwrap();
+        client.gen_erdos_renyi(name, "G", "n", 4.0, 7).unwrap();
+        qids[slot] = client
+            .prepare(name, "(transpose(ones(G)) * (G * ones(G)))")
+            .unwrap();
+        client.exec(name, qids[slot]).unwrap(); // warm the cache
+    }
+    client.set_persist("on", true).unwrap();
+    client.update("on", "G", &[(0, 1, 1.0)]).unwrap(); // a real WAL record
+    client.update("off", "G", &[(0, 1, 1.0)]).unwrap(); // keep states identical
+    for (slot, name) in ["on", "off"].iter().enumerate() {
+        client.exec(name, qids[slot]).unwrap(); // re-warm after the update
+    }
+
+    let mut run_round = |persisted: bool| -> Duration {
+        let (name, qid) = if persisted {
+            ("on", qids[0])
+        } else {
+            ("off", qids[1])
+        };
+        let started = Instant::now();
+        for _ in 0..iters {
+            let result = client.exec(name, qid).unwrap();
+            debug_assert_eq!(result.stats.cache_misses, 0, "EXEC must stay warm");
+        }
+        started.elapsed()
+    };
+
+    run_round(true);
+    run_round(false);
+    const BEST_OF: usize = 3;
+    let mut ratios = Vec::with_capacity(pairs);
+    for pair in 0..pairs {
+        let mut best = [Duration::MAX; 2]; // [persisted, plain]
+        for rep in 0..2 * BEST_OF {
+            let on = (pair + rep) % 2 == 0;
+            let t = run_round(on);
+            let slot = &mut best[usize::from(!on)];
+            *slot = (*slot).min(t);
+        }
+        ratios.push(best[0].as_secs_f64() / best[1].as_secs_f64());
+    }
+
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[pairs / 2];
+    eprintln!(
+        "warm EXEC ×{iters}, {pairs} pairs (best-of-{BEST_OF} per side): \
+         median persisted/plain ratio {ratio:.4} (min {:.4}, max {:.4})",
+        ratios[0],
+        ratios[pairs - 1]
+    );
+    assert!(
+        ratio <= margin,
+        "persistence costs {:.1}% on warm EXEC (budget {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (margin - 1.0) * 100.0,
+    );
+
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

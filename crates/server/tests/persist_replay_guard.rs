@@ -1,0 +1,118 @@
+//! Release-mode guard: cold-boot WAL replay must beat rebuilding the
+//! instance from source commands.
+//!
+//! The point of the WAL is a faster restart: replaying a 1 000-update
+//! log into a decoded snapshot skips per-update plan-cache invalidation,
+//! delta-overlay bookkeeping, statistics refresh, and — decisively —
+//! re-logging: reaching the *same durable state* without recovery means
+//! re-ingesting on a durable store, which appends and fsyncs every one
+//! of those updates again.  This guard builds a persisted instance with
+//! a 1 000-record log, then times `Store::open` (recovery) against a
+//! fresh durable `Store` fed the same `LOAD` plus the same 1 000
+//! `update` calls, and pins recovery at ≥2× faster in release mode
+//! (best-of-rounds on both sides).
+
+use matlang_server::{Store, StoreConfig};
+use std::fs;
+use std::time::{Duration, Instant};
+
+const N: usize = 64;
+const UPDATES: usize = 1_000;
+
+fn base_entries() -> Vec<(usize, usize, f64)> {
+    (0..N).map(|i| (i, (i + 1) % N, (i + 1) as f64)).collect()
+}
+
+fn update_stream() -> Vec<(usize, usize, f64)> {
+    (0..UPDATES)
+        .map(|k| ((k * 7) % N, (k * 13 + 1) % N, (k % 97) as f64 + 0.5))
+        .collect()
+}
+
+#[test]
+fn timing_guard_wal_replay_beats_reload_from_source() {
+    // Replay must win by 2× in release; debug only pins "not slower".
+    let (rounds, factor) = if cfg!(debug_assertions) {
+        (3, 1.0)
+    } else {
+        (5, 2.0)
+    };
+
+    let dir = std::env::temp_dir().join(format!("matlang-replay-guard-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    // Build the durable state once: snapshot of the base LOAD, then a
+    // 1 000-record WAL (compaction pushed out of the way).
+    {
+        let store = Store::with_config(
+            StoreConfig::builder()
+                .data_dir(&dir)
+                .wal_compact(1 << 30)
+                .build(),
+        );
+        store.create_instance("g", true).unwrap();
+        store.set_dim("g", "n", N).unwrap();
+        store.load_matrix("g", "G", N, N, base_entries()).unwrap();
+        store.set_persist("g", true).unwrap();
+        for &entry in &update_stream() {
+            store.update("g", "G", &[entry]).unwrap();
+        }
+        let stat = store.walstat("g").unwrap();
+        assert_eq!(stat.records, UPDATES as u64, "log must hold every update");
+    }
+
+    let replay = || -> Duration {
+        let started = Instant::now();
+        let store = Store::with_config(
+            StoreConfig::builder()
+                .data_dir(&dir)
+                .wal_compact(1 << 30)
+                .build(),
+        );
+        let elapsed = started.elapsed();
+        assert_eq!(store.list_instances(), vec!["g".to_string()]);
+        elapsed
+    };
+    let reload_dir = std::env::temp_dir().join(format!(
+        "matlang-replay-guard-reload-{}",
+        std::process::id()
+    ));
+    let reload = || -> Duration {
+        let _ = fs::remove_dir_all(&reload_dir);
+        let started = Instant::now();
+        let store = Store::with_config(
+            StoreConfig::builder()
+                .data_dir(&reload_dir)
+                .wal_compact(1 << 30)
+                .build(),
+        );
+        store.create_instance("g", true).unwrap();
+        store.set_dim("g", "n", N).unwrap();
+        store.load_matrix("g", "G", N, N, base_entries()).unwrap();
+        store.set_persist("g", true).unwrap();
+        for &entry in &update_stream() {
+            store.update("g", "G", &[entry]).unwrap();
+        }
+        started.elapsed()
+    };
+
+    // Interleave and keep each side's minimum — load noise only adds.
+    let (mut best_replay, mut best_reload) = (Duration::MAX, Duration::MAX);
+    for _ in 0..rounds {
+        best_replay = best_replay.min(replay());
+        best_reload = best_reload.min(reload());
+    }
+    eprintln!(
+        "cold boot over {UPDATES} updates: replay {best_replay:?} vs reload {best_reload:?} \
+         ({:.2}× speedup, need {factor:.1}×)",
+        best_reload.as_secs_f64() / best_replay.as_secs_f64()
+    );
+    assert!(
+        best_replay.as_secs_f64() * factor <= best_reload.as_secs_f64(),
+        "WAL replay ({best_replay:?}) must be ≥{factor}× faster than re-LOAD ({best_reload:?})"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&reload_dir);
+}

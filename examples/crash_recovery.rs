@@ -1,0 +1,178 @@
+//! Crash-recovery smoke test: SIGKILL a durable server mid-burst and
+//! prove the restart loses nothing that was acknowledged.
+//!
+//! The process re-executes itself as a **child** that serves a persisted
+//! instance and applies a deterministic update burst over the wire,
+//! printing `ACK <k>` only after update `k` has been applied — and, via
+//! the fsync'd WAL append inside `UPDATE`, made durable.  The WAL
+//! compaction threshold is forced low so snapshots race the burst and
+//! the kill can land mid-compaction.  The **parent** SIGKILLs the child
+//! after a few hundred acknowledgements, restarts a server on the same
+//! data directory, and panics unless the recovered matrix equals the
+//! base load plus an *acknowledged-or-later prefix* of the burst — and
+//! unless a standing query over it is bit-identical to
+//! [`matlang_core::evaluate`] on that same prefix.
+//!
+//! Run with `cargo run --release --example crash_recovery`.
+
+use matlang::parser::parse;
+use matlang::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+const N: usize = 64;
+const BURST: usize = 1_000;
+const KILL_AFTER: usize = 300;
+const QUERY: &str = "(transpose(G) * (G + G))";
+
+fn base_entries() -> Vec<(usize, usize, f64)> {
+    (0..N).map(|i| (i, (i + 1) % N, (i + 1) as f64)).collect()
+}
+
+/// Update `k` (1-based) of the deterministic burst.
+fn burst_entry(k: usize) -> (usize, usize, f64) {
+    ((k * 7) % N, (k * 13 + 1) % N, (k % 97) as f64 + 0.5)
+}
+
+/// Child role: serve a durable instance and apply the burst, one fsync'd
+/// update per acknowledgement, until killed.
+fn run_child(dir: &str) -> ! {
+    let handle = Server::spawn(ServerConfig {
+        workers: 1,
+        // A ~4 KiB compaction threshold forces many snapshot+truncate
+        // cycles during the burst, so the SIGKILL can land mid-compaction.
+        store: StoreConfig::builder()
+            .data_dir(dir)
+            .wal_compact(4096)
+            .build(),
+        ..ServerConfig::default()
+    })
+    .expect("child: spawn server");
+    let mut client = Client::connect(handle.addr()).expect("child: connect");
+    client.create_instance("g", true).unwrap();
+    client.set_dim("g", "n", N).unwrap();
+    client.load("g", "G", N, N, &base_entries()).unwrap();
+    client.set_persist("g", true).unwrap();
+
+    let stdout = std::io::stdout();
+    for k in 1..=BURST {
+        let (i, j, v) = burst_entry(k);
+        client.update("g", "G", &[(i, j, v)]).unwrap();
+        // The ack is only printed after `update` returned, i.e. after the
+        // WAL append was fsync'd: everything acknowledged is durable.
+        let mut out = stdout.lock();
+        writeln!(out, "ACK {k}").unwrap();
+        out.flush().unwrap();
+    }
+    // Completing the whole burst means the parent was too slow to kill
+    // us; recovery below still works, but the test loses its point.
+    eprintln!("child: burst completed without being killed");
+    std::process::exit(2);
+}
+
+/// Applies the first `m` burst updates to the base load.
+fn expected_after(m: usize) -> Matrix<Real> {
+    let mut dense = Matrix::zeros(N, N);
+    for (i, j, v) in base_entries() {
+        dense.set(i, j, Real(v)).unwrap();
+    }
+    for k in 1..=m {
+        let (i, j, v) = burst_entry(k);
+        dense.set(i, j, Real(v)).unwrap();
+    }
+    dense
+}
+
+fn dense_of(result: &matlang::server::WireResult) -> Matrix<Real> {
+    let mut m = Matrix::zeros(result.rows, result.cols);
+    for &(i, j, v) in &result.entries {
+        m.set(i, j, Real(v)).unwrap();
+    }
+    m
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("matlang-crash-recovery-{}", std::process::id()));
+    if let Ok(role_dir) = std::env::var("MATLANG_CRASH_CHILD_DIR") {
+        run_child(&role_dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data dir");
+
+    // Fork the burst workload and kill it mid-flight.
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .env("MATLANG_CRASH_CHILD_DIR", &dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn child");
+    let mut acked = 0usize;
+    {
+        let reader = BufReader::new(child.stdout.take().expect("child stdout"));
+        for line in reader.lines() {
+            let line = line.expect("read ack");
+            if let Some(k) = line
+                .strip_prefix("ACK ")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                acked = k;
+                if acked >= KILL_AFTER {
+                    break;
+                }
+            }
+        }
+    }
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+    assert!(
+        acked >= KILL_AFTER,
+        "child died after only {acked} acknowledged updates"
+    );
+    println!("killed the server after {acked} acknowledged updates");
+
+    // Restart on the same data directory: recovery must surface the
+    // instance with every acknowledged update replayed.
+    let handle = Server::spawn(ServerConfig {
+        workers: 1,
+        store: StoreConfig::builder()
+            .data_dir(&dir)
+            .wal_compact(4096)
+            .build(),
+        ..ServerConfig::default()
+    })
+    .expect("restart server");
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let stat = client.walstat("g").expect("recovered instance");
+    assert!(stat.persisted, "recovered instance must stay persisted");
+
+    // The child may have applied (durably) a few updates beyond the last
+    // ack it managed to print: the recovered matrix must equal the base
+    // plus the first `m` updates for exactly one m in [acked, BURST].
+    let recovered = dense_of(&client.query("g", "G").expect("query G"));
+    let matched = (acked..=BURST).find(|&m| expected_after(m) == recovered);
+    let m = matched.unwrap_or_else(|| {
+        panic!("recovered state matches no acknowledged-or-later burst prefix (acked {acked})")
+    });
+    println!("recovered state = base + first {m} updates (acked {acked})");
+
+    // And the standing query over the recovered instance is bit-identical
+    // to core::evaluate on that prefix.
+    let local = Instance::new()
+        .with_dim("n", N)
+        .with_matrix("G", expected_after(m));
+    let expected = evaluate(
+        &parse(QUERY).unwrap(),
+        &local,
+        &FunctionRegistry::standard_field(),
+    )
+    .unwrap();
+    let answer = dense_of(&client.query("g", QUERY).expect("standing query"));
+    assert_eq!(
+        answer, expected,
+        "recovered query diverged from core::evaluate"
+    );
+    println!("standing query bit-identical to core::evaluate after recovery ✓");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

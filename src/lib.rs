@@ -83,6 +83,6 @@ pub mod prelude {
     };
     pub use matlang_server::{
         Client, ClientError, DeltaWire, ErrorCode, SemiringKind, Server, ServerConfig, ServerError,
-        ServerHello, UpdateReply,
+        ServerHello, Store, StoreConfig, UpdateReply,
     };
 }
